@@ -1,0 +1,104 @@
+"""Ablation: which BOLT passes and OCOLOS choices buy the speedup?
+
+DESIGN.md calls out four design choices; this bench isolates them on MySQL
+read_only:
+
+* basic-block reordering (the paper cites it as the most impactful pass);
+* hot/cold splitting;
+* C3 vs Pettis-Hansen vs no function reordering;
+* patching only stack-live C_0 functions vs all of them (the paper measured
+  the "all" variant and found it pure overhead: more pointer writes, no
+  speedup).
+"""
+
+from repro.bolt.optimizer import BoltOptions, run_bolt
+from repro.core.replacement import CodeReplacer
+from repro.harness.experiments import cached_profile, workload_bundle
+from repro.harness.reporting import format_table
+from repro.harness.runner import launch, link_original, measure
+
+
+def run_ablation():
+    bundle = workload_bundle("mysql")
+    workload = bundle.workload
+    spec = bundle.inputs["oltp_read_only"]
+    binary = link_original(workload)
+    profile = cached_profile("mysql", "oltp_read_only")
+
+    base = measure(launch(workload, spec, seed=6, with_agent=False), transactions=400)
+
+    variants = {
+        "full (reorder+split+C3)": BoltOptions(),
+        "no block reorder": BoltOptions(reorder_blocks=False),
+        "no hot/cold split": BoltOptions(split_functions=False),
+        "Pettis-Hansen order": BoltOptions(function_order="ph"),
+        "no function reorder": BoltOptions(function_order="none"),
+    }
+    rows = []
+    for name, options in variants.items():
+        result = run_bolt(
+            workload.program, binary, profile,
+            options=options, compiler_options=workload.options,
+        )
+        proc = launch(workload, spec, binary=result.binary, seed=6, with_agent=False)
+        m = measure(proc, transactions=400)
+        rows.append((name, m.tps / base.tps, m.counters.taken_branch_pki))
+
+    # patch-scope ablation (online): stack-live only vs everything
+    patch_rows = []
+    for patch_all in (False, True):
+        proc = launch(workload, spec, seed=6)
+        proc.run(max_transactions=300)
+        result = run_bolt(
+            workload.program, binary, profile, compiler_options=workload.options
+        )
+        replacer = CodeReplacer(proc, binary, patch_all_calls=patch_all)
+        report = replacer.replace(result)
+        proc.run(max_transactions=600)
+        m = measure(proc, transactions=400, warmup=0)
+        patch_rows.append(
+            (
+                "patch all C0 calls" if patch_all else "patch stack-live only",
+                m.tps / base.tps,
+                report.patches.call_sites_patched,
+                report.pause_seconds * 1000.0,
+            )
+        )
+    return rows, patch_rows
+
+
+def bench_ablation_bolt_passes(once):
+    rows, patch_rows = once(run_ablation)
+    print()
+    print(
+        format_table(
+            ["variant", "speedup", "taken/k-instr"],
+            rows,
+            title="Ablation: BOLT passes (MySQL read_only)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["patch scope", "speedup", "call sites patched", "pause ms"],
+            patch_rows,
+            title="Ablation: OCOLOS patch scope",
+        )
+    )
+
+    by_name = dict((r[0], r[1]) for r in rows)
+    full = by_name["full (reorder+split+C3)"]
+    # block reordering is the most impactful pass (paper §II-B)
+    drop_from_no_reorder = full - by_name["no block reorder"]
+    drop_from_no_split = full - by_name["no hot/cold split"]
+    assert drop_from_no_reorder > 0.02
+    assert drop_from_no_reorder >= drop_from_no_split - 0.05
+    # every ablated variant still beats the original binary
+    assert all(r[1] > 1.0 for r in rows)
+
+    selective, everything = patch_rows
+    # patching everything writes far more pointers and pauses longer ...
+    assert everything[2] > selective[2] * 2
+    assert everything[3] > selective[3]
+    # ... for no meaningful speedup (the paper's finding)
+    assert everything[1] < selective[1] + 0.05

@@ -1,0 +1,39 @@
+"""§VI-C3: end-to-end overhead break-even analysis.
+
+Paper example: MySQL read_only recovers the ground lost to profiling, BOLT
+contention and the pause within ~30 s of optimized execution; in general
+``break_even = a*s/b`` for slowdown ``a`` over ``s`` seconds and speedup
+``b`` afterwards.
+"""
+
+from repro.harness.experiments import breakeven_analysis
+from repro.harness.reporting import format_table
+
+
+def bench_breakeven(once):
+    result = once(breakeven_analysis)
+    print()
+    print(
+        format_table(
+            ["workload", "input", "disruption s", "slowdown a", "speedup b", "break-even s"],
+            [[
+                result.workload,
+                result.input_name,
+                result.disruption_seconds,
+                result.slowdown_factor,
+                result.speedup_factor,
+                result.break_even_after_seconds,
+            ]],
+            title="Break-even after code replacement (paper §VI-C3)",
+        )
+    )
+
+    assert result.speedup_factor > 0.2  # a real gain to amortise into
+    assert 0 < result.slowdown_factor < 1
+    # recovery within a few minutes of optimized execution, as in the paper
+    assert result.break_even_after_seconds < 120
+    # consistency with the formula
+    expected = (
+        result.slowdown_factor * result.disruption_seconds / result.speedup_factor
+    )
+    assert abs(result.break_even_after_seconds - expected) < 1e-9

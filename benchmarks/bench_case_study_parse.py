@@ -1,0 +1,90 @@
+"""§VI-C case study: where do the L1i misses live? (perf report/annotate)
+
+The paper examines MySQL ``oltp_read_only`` and finds that under BOLT with
+an average-case profile (and under clang PGO) the Bison-generated
+``MYSQLparse`` has the most L1i misses of any function, because the blended
+profile cannot specialise the parser for the current query mix — while under
+OCOLOS and the BOLT oracle it "does not even appear on perf's radar".
+
+Our MySQL-like workload carries a ``parse`` function in the same role; this
+bench attributes every L1i miss over a measurement window for each binary
+flavour and compares ``parse``'s share and rank.
+"""
+
+from repro.harness.experiments import (
+    average_profile_bolt,
+    cached_profile,
+    workload_bundle,
+)
+from repro.compiler.pgo import compile_with_pgo
+from repro.harness.reporting import format_table
+from repro.harness.runner import launch, link_original, run_ocolos_pipeline
+from repro.profiling.annotate import record_l1i_misses
+
+
+def run_case_study():
+    bundle = workload_bundle("mysql")
+    workload = bundle.workload
+    spec = bundle.inputs["oltp_read_only"]
+    original = link_original(workload)
+
+    def attribute(binary=None, process=None, extra=()):
+        if process is None:
+            process = launch(workload, spec, binary=binary, seed=4, with_agent=False)
+        process.run(max_transactions=400)  # warm
+        return record_l1i_misses(
+            process, [original, *extra], transactions=400
+        )
+
+    reports = {}
+    reports["original"] = attribute()
+    avg = average_profile_bolt("mysql")
+    reports["BOLT average-case"] = attribute(binary=avg.binary, extra=[avg.binary])
+
+    pgo_binary = compile_with_pgo(
+        workload.program, cached_profile("mysql", "oltp_read_only"), workload.options
+    )
+    reports["clang PGO oracle"] = attribute(binary=pgo_binary, extra=[pgo_binary])
+
+    process, ocolos, _report = run_ocolos_pipeline(workload, spec, seed=4)
+    reports["OCOLOS"] = attribute(process=process, extra=[ocolos.current_binary])
+    return reports
+
+
+def bench_case_study_parse(once):
+    reports = once(run_case_study)
+    print()
+    rows = []
+    for flavour, report in reports.items():
+        rows.append(
+            [
+                flavour,
+                report.total_misses,
+                f"{report.share('parse') * 100:.1f}%",
+                report.rank("parse") or "-",
+                ", ".join(f"{n} ({c})" for n, c in report.top_functions(3)),
+            ]
+        )
+    print(
+        format_table(
+            ["binary", "L1i misses", "parse share", "parse rank", "top offenders"],
+            rows,
+            title="§VI-C case study: L1i miss attribution, MySQL oltp_read_only",
+        )
+    )
+
+    avg = reports["BOLT average-case"]
+    ocolos = reports["OCOLOS"]
+    original = reports["original"]
+    # parse is the (or nearly the) top misser without an oracle layout ...
+    assert (original.rank("parse") or 99) <= 3
+    assert (avg.rank("parse") or 99) <= 3
+    # ... and the online profile collapses its absolute misses: the paper
+    # reports zero sampled misses under OCOLOS; we retain a small residue
+    # because our parser's per-query paths are noisier than Bison's
+    # (documented in EXPERIMENTS.md)
+    parse_misses = lambda r: r.by_function.get("parse", 0)
+    assert parse_misses(ocolos) < parse_misses(original) / 3
+    assert parse_misses(ocolos) < parse_misses(avg)
+    # overall miss volume collapses under OCOLOS
+    assert ocolos.total_misses < original.total_misses / 2

@@ -1,0 +1,21 @@
+"""Fig 1: AMD & Intel per-core L1i capacity over time (flat for 15 years)."""
+
+from repro.analysis.l1i_history import capacity_growth_factor, l1i_capacity_table
+from repro.harness.reporting import format_table
+
+
+def bench_fig1_l1i_history(once):
+    rows = once(l1i_capacity_table)
+    print()
+    print(
+        format_table(
+            ["year", "vendor", "microarchitecture", "L1i KiB"],
+            rows,
+            title="Fig 1: per-core L1i capacity over time",
+        )
+    )
+    intel = capacity_growth_factor("Intel")
+    amd = capacity_growth_factor("AMD")
+    print(f"\ngrowth factor: Intel {intel:.2f}x (literally constant), AMD {amd:.2f}x")
+    assert intel == 1.0
+    assert amd <= 1.0

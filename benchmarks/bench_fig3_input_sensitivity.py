@@ -1,0 +1,41 @@
+"""Fig 3: sensitivity of BOLT's performance to the training input.
+
+Paper shape: profiling the input being run (read_only) is best; the worst
+training input (insert) is ~21% below it; aggregating all inputs lands ~8%
+below; OCOLOS (profiling online) matches the oracle.
+"""
+
+from repro.harness.experiments import fig3_input_sensitivity
+from repro.harness.reporting import format_table
+
+
+def bench_fig3_input_sensitivity(once):
+    result = once(fig3_input_sensitivity)
+    print()
+    print(
+        format_table(
+            ["training input", "tps", "vs original", "vs best"],
+            [
+                [r.train_input, r.tps, r.speedup_vs_original, r.relative_to_best]
+                for r in result.rows
+            ],
+            title=f"Fig 3: BOLTed MySQL running {result.run_input}",
+        )
+    )
+    print(f"\noriginal (no PGO): {result.original_tps:,.0f} tps")
+    print(
+        f"OCOLOS (online profile): {result.ocolos_tps:,.0f} tps = "
+        f"{result.ocolos_tps / result.best_tps:.3f} of best"
+    )
+
+    # shape checks vs the paper
+    by_name = {r.train_input: r for r in result.rows}
+    assert by_name["oltp_read_only"].relative_to_best > 0.99  # oracle is best
+    assert by_name["oltp_insert"].relative_to_best < 0.85  # worst far behind
+    assert 0.85 <= by_name["all"].relative_to_best <= 1.0  # blend in between
+    assert result.ocolos_tps >= 0.9 * result.best_tps  # OCOLOS ~ oracle
+    # the paper finds BOLT helps regardless of training input; our synthetic
+    # inputs sit slightly further apart, so the most-mismatched profiles can
+    # land marginally below break-even
+    assert all(r.speedup_vs_original >= 0.97 for r in result.rows)
+    assert sum(r.speedup_vs_original >= 1.0 for r in result.rows) >= len(result.rows) - 2

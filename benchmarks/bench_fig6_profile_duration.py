@@ -1,0 +1,34 @@
+"""Fig 6: speedup vs profiling duration for MySQL read_only.
+
+Paper shape: beyond ~1 s of profiling the speedup saturates near the
+oracle's; below ~100 ms profile quality collapses for both OCOLOS and
+offline BOLT.  Simulated durations map to the paper's real-time axis by
+sample volume (see EXPERIMENTS.md).
+"""
+
+from repro.harness.experiments import fig6_profile_duration
+from repro.harness.reporting import format_series
+
+
+def bench_fig6_profile_duration(once):
+    rows = once(fig6_profile_duration)
+    print()
+    print(
+        format_series(
+            "profile seconds",
+            ["LBR samples", "OCOLOS speedup", "BOLT speedup"],
+            [[r.duration_seconds, r.samples, r.ocolos_speedup, r.bolt_speedup] for r in rows],
+            title="Fig 6: speedup vs profiling duration (MySQL read_only)",
+        )
+    )
+
+    shortest, longest = rows[0], rows[-1]
+    # more profiling -> more samples
+    assert longest.samples > shortest.samples * 5
+    # long profiles approach the oracle; the shortest profile is clearly worse
+    assert longest.ocolos_speedup > 1.25
+    assert shortest.ocolos_speedup < longest.ocolos_speedup
+    # BOLT is a ceiling for OCOLOS at generous durations
+    assert longest.bolt_speedup >= longest.ocolos_speedup - 0.08
+    # saturation: the last doubling of duration buys little
+    assert rows[-1].ocolos_speedup - rows[-2].ocolos_speedup < 0.15

@@ -1,0 +1,36 @@
+"""Fig 7: MySQL read_only throughput before, during and after replacement.
+
+Paper shape: warm-up steady state, a ~14% dip while perf collects LBR
+samples, a further dip while perf2bolt/BOLT compete for CPU, a sub-second
+stop-the-world pause, then ~1.4x the original throughput.  p95 latency
+degrades modestly during optimization and improves beyond the baseline
+afterwards.
+"""
+
+from repro.harness.reporting import format_series
+from repro.harness.timeline import fig7_timeline
+
+
+def bench_fig7_timeline(once):
+    result = once(fig7_timeline)
+    print()
+    bounds = dict(result.region_bounds)
+    sampled = [p for p in result.points if p.second in bounds or p.second % 10 == 0]
+    print(
+        format_series(
+            "second",
+            ["tps", "p95 ms", "region"],
+            [[p.second, p.tps, p.p95_ms, bounds.get(p.second, "")] for p in sampled],
+            title="Fig 7: throughput timeline (sampled rows)",
+        )
+    )
+    warm, worst, post = result.p95_summary()
+    print(f"\npause: {result.pause_seconds * 1000:.0f} ms   "
+          f"p95: {warm:.2f} -> {worst:.2f} -> {post:.2f} ms")
+
+    assert result.tps_profiling < result.tps_original  # region 2 dip
+    assert result.tps_contention < result.tps_original  # region 3 dip
+    assert result.speedup > 1.25  # region 5 gain
+    assert 0.01 < result.pause_seconds < 2.0  # sub-second-scale pause
+    assert worst > warm  # latency degrades during optimization
+    assert post < warm  # and improves afterwards

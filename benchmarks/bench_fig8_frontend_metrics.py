@@ -1,0 +1,41 @@
+"""Fig 8: front-end microarchitectural events per kilo-instruction for every
+MySQL input, original vs OCOLOS vs offline BOLT (inputs sorted by OCOLOS
+speedup, as in the paper).
+
+Paper shape: OCOLOS achieves large reductions in L1i MPKI and iTLB MPKI and
+turns many taken branches into not-taken ones, tracking offline BOLT closely
+on every metric.
+"""
+
+from repro.harness.experiments import fig8_frontend_metrics
+from repro.harness.reporting import format_table
+
+
+def bench_fig8_frontend_metrics(once):
+    rows = once(fig8_frontend_metrics)
+    print()
+    print(
+        format_table(
+            ["input", "variant", "L1i MPKI", "iTLB MPKI", "taken/k-instr", "mispredict/k-instr"],
+            [
+                [r.input_name, r.variant, r.l1i_mpki, r.itlb_mpki,
+                 r.taken_branch_pki, r.mispredict_pki]
+                for r in rows
+            ],
+            title="Fig 8: front-end events per 1,000 instructions (MySQL)",
+        )
+    )
+
+    by_key = {(r.input_name, r.variant): r for r in rows}
+    inputs = sorted({r.input_name for r in rows})
+    for name in inputs:
+        orig = by_key[(name, "original")]
+        ocolos = by_key[(name, "ocolos")]
+        bolt = by_key[(name, "bolt")]
+        # OCOLOS reduces L1i misses and taken branches on every input
+        assert ocolos.l1i_mpki < orig.l1i_mpki
+        assert ocolos.taken_branch_pki < orig.taken_branch_pki
+        # ... and tracks offline BOLT (within a factor on each metric)
+        assert abs(ocolos.taken_branch_pki - bolt.taken_branch_pki) < 40
+        # iTLB misses never get worse
+        assert ocolos.itlb_mpki <= orig.itlb_mpki + 0.25

@@ -1,0 +1,40 @@
+"""Fig 9: classifying OCOLOS benefit from TopDown Front-End Latency and
+Retiring percentages of the *original* binaries.
+
+Paper claim: a simple linear regression on those two metrics accurately
+separates the workloads OCOLOS helps from those it does not.
+"""
+
+from repro.analysis.regression import fit_benefit_classifier
+from repro.harness.experiments import fig9_topdown_points
+from repro.harness.reporting import format_table
+
+
+def bench_fig9_topdown_classifier(once):
+    points = once(fig9_topdown_points)
+    fit = fit_benefit_classifier(
+        [(p.frontend_latency, p.retiring, p.benefits) for p in points]
+    )
+    print()
+    print(
+        format_table(
+            ["workload", "input", "FE latency %", "retiring %", "speedup", "benefits", "predicted"],
+            [
+                [p.workload, p.input_name, p.frontend_latency, p.retiring,
+                 p.ocolos_speedup, p.benefits, pred]
+                for p, pred in zip(points, fit.predictions)
+            ],
+            title="Fig 9: TopDown metrics vs OCOLOS benefit",
+        )
+    )
+    w0, w1, w2 = fit.weights
+    print(f"\nlinear fit: {w0:.3f} + {w1:.4f}*FE_latency + {w2:.4f}*retiring > 0")
+    print(f"training accuracy: {fit.accuracy:.0%} over {len(points)} workload-inputs")
+
+    assert len(points) >= 14
+    assert any(p.benefits for p in points)
+    assert any(not p.benefits for p in points)  # scan95 at least
+    # the paper's accurate-classification claim
+    assert fit.accuracy >= 0.85
+    # front-end latency should vote FOR benefit
+    assert w1 > 0

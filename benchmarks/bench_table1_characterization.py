@@ -1,0 +1,51 @@
+"""Table I: benchmark characterization.
+
+Absolute counts are scaled (~16-64x smaller programs); the orderings the
+paper's table exhibits must hold: MongoDB > MySQL >> Verilator/Memcached in
+functions/v-tables/text; OCOLOS needs a modest RSS premium over original and
+BOLT; Memcached has no v-tables at all.
+"""
+
+from repro.harness.experiments import table1_characterization
+from repro.harness.reporting import format_table
+
+
+def bench_table1_characterization(once):
+    cols = once(table1_characterization)
+    print()
+    print(
+        format_table(
+            [
+                "workload", "functions", "v-tables", ".text MiB",
+                "avg funcs reordered", "avg funcs on stack",
+                "avg ptrs changed", "RSS orig MiB", "RSS BOLT MiB", "RSS OCOLOS MiB",
+            ],
+            [
+                [
+                    c.workload, c.functions, c.vtables, c.text_mib,
+                    c.avg_funcs_reordered, c.avg_funcs_on_stack,
+                    c.avg_call_sites_changed, c.max_rss_original_mib,
+                    c.max_rss_bolt_mib, c.max_rss_ocolos_mib,
+                ]
+                for c in cols
+            ],
+            title="Table I: benchmark characterization (scaled)",
+        )
+    )
+
+    by_name = {c.workload: c for c in cols}
+    mysql, mongo = by_name["mysql"], by_name["mongodb"]
+    memc, veri = by_name["memcached"], by_name["verilator"]
+
+    # orderings from the paper's table
+    assert mongo.functions > mysql.functions > veri.functions > memc.functions
+    assert mongo.vtables > mysql.vtables > veri.vtables >= 0
+    assert memc.vtables == 0
+    assert mongo.text_mib > mysql.text_mib > memc.text_mib
+    assert mongo.avg_funcs_reordered > mysql.avg_funcs_reordered
+    assert mysql.avg_funcs_reordered > veri.avg_funcs_reordered >= 1
+
+    # OCOLOS costs a modest amount of extra memory, incurred at replacement
+    for c in cols:
+        assert c.max_rss_ocolos_mib >= c.max_rss_bolt_mib * 0.99
+        assert c.max_rss_ocolos_mib < c.max_rss_original_mib * 1.5

@@ -1,0 +1,29 @@
+"""Benchmark suite conventions.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+rows/series it produced.  Experiment configurations are expensive, so every
+benchmark runs its driver exactly once (``benchmark.pedantic`` with one
+round); heavy intermediates (workloads, per-input pipelines, profiles) are
+shared through :mod:`repro.harness.experiments`' module-level caches, so
+running the whole suite costs far less than the sum of its parts.
+
+Run everything:   pytest benchmarks/ --benchmark-only
+Run one figure:   pytest benchmarks/bench_fig5_main_performance.py --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Pause-aware load balancing during an OCOLOS cluster rollout (paper §IV-D).
+
+The paper's answer to the stop-the-world pause hurting tail latency: tell the
+load balancer when a node is being optimized and route around it.  This demo
+measures the MySQL-like pipeline's phase rates, rolls OCOLOS across a 4-node
+cluster under both balancer policies, and prints the p99 story.
+
+Run:  python examples/cluster_rollout.py
+"""
+
+from repro.harness.cluster import simulate_rollout
+from repro.harness.timeline import fig7_timeline
+
+
+def main() -> None:
+    print("measuring single-node phase rates (full OCOLOS pipeline) ...")
+    timeline = fig7_timeline()
+    rates = dict(
+        tps_original=timeline.tps_original,
+        tps_profiling=timeline.tps_profiling,
+        tps_contention=timeline.tps_contention,
+        tps_optimized=timeline.tps_optimized,
+        pause_seconds=timeline.pause_seconds,
+        profile_seconds=4.0,
+        background_seconds=min(8.0, timeline.costs.background_seconds),
+    )
+    print(f"  node rates: {timeline.tps_original:,.0f} -> "
+          f"{timeline.tps_optimized:,.0f} tps, pause "
+          f"{timeline.pause_seconds * 1000:.0f} ms\n")
+
+    for drain in (False, True):
+        result = simulate_rollout(**rates, n_nodes=4, drain=drain)
+        label = "pause-aware drain" if drain else "unaware balancer"
+        print(f"{label:20s}: baseline p99 {result.baseline_p99_ms:7.2f} ms | "
+              f"worst during rollout {result.worst_p99_ms:8.2f} ms | "
+              f"after rollout {result.steady_p99_ms:7.2f} ms")
+
+    print("\nrouting around the announced pause keeps the tail flat while the"
+          "\ncluster converges to the optimized layout (paper §IV-D).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""OCOLOS reproduction: Online COde Layout OptimizationS (MICRO 2022).
+
+A from-scratch Python implementation of the OCOLOS system and every
+substrate it depends on, built on a simulated machine-code/process/front-end
+stack.  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Quickstart::
+
+    from repro import run_ocolos_pipeline, measure
+    from repro.workloads.mysql import mysql_like, mysql_inputs
+
+    workload = mysql_like()
+    spec = mysql_inputs(workload)["oltp_read_only"]
+    process, ocolos, report = run_ocolos_pipeline(workload, spec)
+    process.run(max_transactions=500)
+    print(measure(process, warmup=0).tps)
+"""
+
+__version__ = "1.0.0"
+
+_EXPORTS = {
+    # core OCOLOS
+    "Ocolos": "repro.core.orchestrator",
+    "OcolosConfig": "repro.core.orchestrator",
+    "OcolosReport": "repro.core.orchestrator",
+    "CodeReplacer": "repro.core.replacement",
+    "ContinuousReplacer": "repro.core.continuous",
+    "FunctionPointerMap": "repro.core.funcptr_map",
+    "BatchAcceleratorMode": "repro.core.bam",
+    "BamConfig": "repro.core.bam",
+    "CostModel": "repro.core.costs",
+    # substrate entry points
+    "Process": "repro.vm.process",
+    "PreloadAgent": "repro.vm.preload",
+    "PtraceController": "repro.vm.ptrace",
+    "Binary": "repro.binary.binaryfile",
+    "link_program": "repro.binary.linker",
+    "Program": "repro.compiler.ir",
+    "CompilerOptions": "repro.compiler.codegen",
+    "run_bolt": "repro.bolt.optimizer",
+    "BoltOptions": "repro.bolt.optimizer",
+    "PerfSession": "repro.profiling.perf",
+    "extract_profile": "repro.profiling.perf2bolt",
+    "BoltProfile": "repro.profiling.profile",
+    "InputSpec": "repro.workloads.inputs",
+    # harness
+    "launch": "repro.harness.runner",
+    "measure": "repro.harness.runner",
+    "link_original": "repro.harness.runner",
+    "run_ocolos_pipeline": "repro.harness.runner",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(_EXPORTS) + ["__version__"]
+
+
+__all__ = sorted(_EXPORTS) + ["__version__"]

@@ -1,0 +1,42 @@
+"""PEP 562 lazy re-export helper for package ``__init__`` modules.
+
+Subpackages of :mod:`repro` re-export their public names lazily so that
+importing one submodule never eagerly pulls in sibling modules — the package
+graph has legitimate cross-package references (linker ↔ layout, loader ↔
+process) that would otherwise form import cycles through the ``__init__``
+modules.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List, Tuple
+
+
+def lazy_exports(
+    package: str, exports: Dict[str, str]
+) -> Tuple[Callable[[str], object], Callable[[], List[str]], List[str]]:
+    """Build ``(__getattr__, __dir__, __all__)`` for a package.
+
+    Args:
+        package: the package's ``__name__``.
+        exports: map of public name -> defining submodule (relative, e.g.
+            ``".binaryfile"``).
+
+    Returns:
+        the three module-level hooks to assign in the package ``__init__``.
+    """
+
+    def __getattr__(name: str) -> object:
+        try:
+            module_name = exports[name]
+        except KeyError:
+            raise AttributeError(f"module {package!r} has no attribute {name!r}") from None
+        module = importlib.import_module(module_name, package)
+        value = getattr(module, name)
+        return value
+
+    def __dir__() -> List[str]:
+        return sorted(exports)
+
+    return __getattr__, __dir__, sorted(exports)

@@ -1,0 +1,14 @@
+"""Analysis utilities: the Fig 9 TopDown benefit classifier and the Fig 1
+L1i-capacity history."""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "ClassifierFit": ".regression",
+    "fit_benefit_classifier": ".regression",
+    "L1I_HISTORY": ".l1i_history",
+    "l1i_capacity_table": ".l1i_history",
+    "capacity_growth_factor": ".l1i_history",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,45 @@
+"""Fig 1: per-core L1 instruction cache capacity of AMD and Intel server
+microarchitectures over time.
+
+The paper's point: despite Moore's law, the L1i has stayed effectively
+constant for 15 years (literally constant at Intel) because it is so
+latency-critical — so growing code footprints inevitably strain the front
+end.  This table reproduces that series from public microarchitecture data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: (year, vendor, microarchitecture, per-core L1i KiB)
+L1I_HISTORY: List[Tuple[int, str, str, int]] = [
+    (2006, "Intel", "Woodcrest (Core)", 32),
+    (2008, "Intel", "Nehalem", 32),
+    (2011, "Intel", "Sandy Bridge", 32),
+    (2013, "Intel", "Haswell", 32),
+    (2014, "Intel", "Broadwell", 32),
+    (2017, "Intel", "Skylake-SP", 32),
+    (2019, "Intel", "Cascade Lake", 32),
+    (2021, "Intel", "Ice Lake-SP", 32),
+    (2022, "Intel", "Sapphire Rapids", 32),
+    (2007, "AMD", "Barcelona (K10)", 64),
+    (2011, "AMD", "Bulldozer", 64),
+    (2017, "AMD", "Zen", 64),
+    (2019, "AMD", "Zen 2", 32),
+    (2020, "AMD", "Zen 3", 32),
+    (2022, "AMD", "Zen 4", 32),
+]
+
+
+def l1i_capacity_table(vendor: str = "") -> List[Tuple[int, str, str, int]]:
+    """The Fig 1 series, optionally filtered by vendor, sorted by year."""
+    rows = [r for r in L1I_HISTORY if not vendor or r[1] == vendor]
+    return sorted(rows, key=lambda r: (r[0], r[1]))
+
+
+def capacity_growth_factor(vendor: str) -> float:
+    """Last-over-first L1i capacity ratio for a vendor (~1.0 = stagnant)."""
+    rows = l1i_capacity_table(vendor)
+    if not rows:
+        raise KeyError(f"unknown vendor {vendor!r}")
+    return rows[-1][3] / rows[0][3]

@@ -1,0 +1,64 @@
+"""Fig 9: linear classification of OCOLOS benefit from TopDown metrics.
+
+The paper observes that a simple linear regression on TopDown's *Front-End
+Latency* and *Retiring* percentages accurately separates workloads OCOLOS
+helps from those it does not.  This module fits that line with least squares
+(numpy) over the Fig 9 scatter points and reports its accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ClassifierFit:
+    """A fitted linear decision rule ``w0 + w1·fe_latency + w2·retiring > 0``."""
+
+    weights: Tuple[float, float, float]
+    accuracy: float
+    predictions: List[bool]
+    labels: List[bool]
+
+    def predict(self, frontend_latency: float, retiring: float) -> bool:
+        """Whether a workload with these TopDown metrics should benefit."""
+        w0, w1, w2 = self.weights
+        return w0 + w1 * frontend_latency + w2 * retiring > 0
+
+    def boundary_retiring(self, frontend_latency: float) -> float:
+        """The retiring %% on the decision boundary at a given FE latency."""
+        w0, w1, w2 = self.weights
+        if abs(w2) < 1e-12:
+            return float("nan")
+        return -(w0 + w1 * frontend_latency) / w2
+
+
+def fit_benefit_classifier(
+    points: Sequence[Tuple[float, float, bool]],
+) -> ClassifierFit:
+    """Least-squares fit of the benefit classifier.
+
+    Args:
+        points: ``(frontend_latency_pct, retiring_pct, benefits)`` triples.
+
+    Returns:
+        the fitted classifier with training accuracy.
+    """
+    if not points:
+        raise ValueError("need at least one point")
+    X = np.array([[1.0, fe, ret] for fe, ret, _b in points])
+    y = np.array([1.0 if b else -1.0 for _fe, _ret, b in points])
+    weights, *_ = np.linalg.lstsq(X, y, rcond=None)
+    scores = X @ weights
+    predictions = [bool(s > 0) for s in scores]
+    labels = [bool(b) for _fe, _ret, b in points]
+    accuracy = sum(p == l for p, l in zip(predictions, labels)) / len(labels)
+    return ClassifierFit(
+        weights=(float(weights[0]), float(weights[1]), float(weights[2])),
+        accuracy=accuracy,
+        predictions=predictions,
+        labels=labels,
+    )

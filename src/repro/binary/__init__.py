@@ -1,0 +1,38 @@
+"""Binary container format, linker, and loader for the substrate.
+
+A :class:`~repro.binary.binaryfile.Binary` plays the role of an ELF
+executable: byte-encoded code sections, read-only data (jump tables), a data
+section holding v-tables and function-pointer slots, and a symbol table.  The
+:mod:`~repro.binary.linker` turns a compiler :class:`~repro.compiler.ir.Program`
+plus a :class:`~repro.binary.binaryfile.Layout` into a Binary; the
+:mod:`~repro.binary.loader` maps a Binary into a process address space.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "TEXT_BASE": ".binaryfile",
+    "BOLT_TEXT_BASE": ".binaryfile",
+    "BOLT_GEN_STRIDE": ".binaryfile",
+    "RODATA_BASE": ".binaryfile",
+    "DATA_BASE": ".binaryfile",
+    "HEAP_BASE": ".binaryfile",
+    "STACK_REGION_BASE": ".binaryfile",
+    "STACK_SIZE": ".binaryfile",
+    "PAGE_SIZE": ".binaryfile",
+    "CACHE_LINE": ".binaryfile",
+    "bolt_text_base": ".binaryfile",
+    "Binary": ".binaryfile",
+    "Section": ".binaryfile",
+    "BlockInfo": ".binaryfile",
+    "FunctionInfo": ".binaryfile",
+    "VTableInfo": ".binaryfile",
+    "JumpTableInfo": ".binaryfile",
+    "Fragment": ".binaryfile",
+    "SectionLayout": ".binaryfile",
+    "Layout": ".binaryfile",
+    "link_program": ".linker",
+    "load_binary": ".loader",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

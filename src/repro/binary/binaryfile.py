@@ -1,0 +1,243 @@
+"""Binary container format and the process memory map.
+
+The memory map mirrors a conventional Linux process, with dedicated address
+ranges for BOLT-generation code so that code a BOLTed binary was linked at can
+be **byte-identically injected** into a running process at the same virtual
+addresses (which is how OCOLOS avoids relocating the optimized code):
+
+====================  =====================================================
+``0x0040_0000``       original ``.text`` (``C_0``; becomes ``bolt.org.text``)
+``0x0200_0000`` + g·S new hot ``.text`` for BOLT generation ``g`` (``C_g``)
+``0x0800_0000``       ``.rodata`` (jump tables)
+``0x0C00_0000``       ``.data`` (v-tables, function-pointer slots, globals)
+``0x2000_0000``       heap
+``0x7000_0000``       per-thread stacks (1 MiB apart)
+====================  =====================================================
+
+Global data never moves between code generations — the paper notes that
+``C_0`` hard-codes global locations via RIP-relative addressing, so ``C_1``
+must reference the same addresses.  Our linker realises that constraint by
+giving every generation the same ``.rodata``/``.data`` bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+PAGE_SIZE = 4096
+CACHE_LINE = 64
+#: Threads for which thread-local jump buffers are allocated.
+MAX_JMPBUF_THREADS = 16
+
+TEXT_BASE = 0x0040_0000
+BOLT_TEXT_BASE = 0x0200_0000
+#: Address stride between successive BOLT generations' code regions.
+BOLT_GEN_STRIDE = 0x0080_0000
+RODATA_BASE = 0x0800_0000
+DATA_BASE = 0x0C00_0000
+HEAP_BASE = 0x2000_0000
+STACK_REGION_BASE = 0x7000_0000
+STACK_SIZE = 0x10_0000
+
+
+def bolt_text_base(generation: int) -> int:
+    """Base address of the hot code region for BOLT generation ``generation``
+    (1 = first replacement, i.e. ``C_1``)."""
+    if generation < 1:
+        raise ValueError("BOLT generations start at 1")
+    return BOLT_TEXT_BASE + (generation - 1) * BOLT_GEN_STRIDE
+
+
+@dataclass
+class Section:
+    """A named, contiguous byte region of the binary."""
+
+    name: str
+    addr: int
+    data: bytes
+    executable: bool = False
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the section."""
+        return self.addr + len(self.data)
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside this section."""
+        return self.addr <= addr < self.end
+
+
+@dataclass
+class BlockInfo:
+    """Where one basic block landed: ``label`` is ``"func#bb_id"``."""
+
+    label: str
+    addr: int
+    size: int
+    n_instr: int
+
+
+@dataclass
+class FunctionInfo:
+    """Where one function landed.
+
+    ``blocks`` lists the function's blocks in layout order (hot fragment
+    first, then any exiled cold fragment).  ``addr`` is the entry address —
+    always the address of basic block 0.
+    """
+
+    name: str
+    addr: int
+    blocks: List[BlockInfo] = field(default_factory=list)
+    section: str = ".text"
+    cold_section: Optional[str] = None
+
+    @property
+    def size(self) -> int:
+        """Total code bytes across all fragments of this function."""
+        return sum(b.size for b in self.blocks)
+
+    def block(self, bb_id: int) -> BlockInfo:
+        """Look up the placement of block ``bb_id``."""
+        suffix = f"#{bb_id}"
+        for info in self.blocks:
+            if info.label.endswith(suffix) and info.label == f"{self.name}{suffix}":
+                return info
+        raise KeyError(f"{self.name} has no block {bb_id}")
+
+
+@dataclass
+class VTableInfo:
+    """One class's v-table as materialised in ``.data``."""
+
+    class_id: int
+    addr: int
+    slots: List[str]
+
+    def slot_addr(self, slot: int) -> int:
+        """Address of the u64 entry for ``slot``."""
+        return self.addr + slot * 8
+
+
+@dataclass
+class JumpTableInfo:
+    """A jump table in ``.rodata``: u64 block addresses."""
+
+    label: str
+    addr: int
+    entries: List[str]
+
+
+@dataclass
+class Fragment:
+    """A run of blocks from one function placed contiguously."""
+
+    function: str
+    block_ids: Tuple[int, ...]
+
+
+@dataclass
+class SectionLayout:
+    """An ordered list of fragments to place in one section at ``base``."""
+
+    name: str
+    base: int
+    fragments: List[Fragment] = field(default_factory=list)
+    executable: bool = True
+
+
+@dataclass
+class Layout:
+    """A complete code-placement decision for a link."""
+
+    sections: List[SectionLayout] = field(default_factory=list)
+
+    def fragment_count(self) -> int:
+        """Total number of fragments across all sections."""
+        return sum(len(s.fragments) for s in self.sections)
+
+    def functions(self) -> List[str]:
+        """Function names placed by this layout, in order of first placement."""
+        seen: Dict[str, None] = {}
+        for section in self.sections:
+            for frag in section.fragments:
+                seen.setdefault(frag.function, None)
+        return list(seen)
+
+
+@dataclass
+class Binary:
+    """A linked executable image.
+
+    Attributes:
+        name: binary name.
+        sections: all sections keyed by name.
+        functions: function placements keyed by name.
+        vtables: v-table placements (indexed by class id).
+        jump_tables: jump-table placements.
+        fp_table_addr: base address of the function-pointer slot array.
+        fp_slot_count: number of u64 function-pointer slots.
+        entry: entry function name.
+        bolted: whether this binary was produced by BOLT.
+        bolt_generation: 0 for a non-BOLTed binary, else the generation whose
+            code region holds the hot text.
+        program_name: name of the IR program this binary was linked from.
+    """
+
+    name: str
+    sections: Dict[str, Section] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    vtables: List[VTableInfo] = field(default_factory=list)
+    jump_tables: List[JumpTableInfo] = field(default_factory=list)
+    fp_table_addr: int = 0
+    fp_slot_count: int = 0
+    jmpbuf_table_addr: int = 0
+    jmpbuf_count: int = 0
+    entry: str = "main"
+    bolted: bool = False
+    bolt_generation: int = 0
+    program_name: str = ""
+
+    def code_sections(self) -> List[Section]:
+        """All executable sections."""
+        return [s for s in self.sections.values() if s.executable]
+
+    def symbol(self, name: str) -> int:
+        """Entry address of function ``name``."""
+        return self.functions[name].addr
+
+    def function_at(self, addr: int) -> Optional[FunctionInfo]:
+        """The function whose placed code covers ``addr``, if any."""
+        for func in self.functions.values():
+            for block in func.blocks:
+                if block.addr <= addr < block.addr + block.size:
+                    return func
+        return None
+
+    def text_size(self) -> int:
+        """Total executable bytes."""
+        return sum(len(s.data) for s in self.code_sections())
+
+    def fp_slot_addr(self, slot: int) -> int:
+        """Address of function-pointer slot ``slot``."""
+        if not (0 <= slot < self.fp_slot_count):
+            raise IndexError(f"fp slot {slot} out of range")
+        return self.fp_table_addr + slot * 8
+
+    def jmpbuf_addr(self, buf: int, tid: int) -> int:
+        """Address of thread ``tid``'s jump buffer ``buf`` (16 bytes:
+        saved PC u64 then saved SP u64)."""
+        if not (0 <= buf < self.jmpbuf_count):
+            raise IndexError(f"jmpbuf {buf} out of range")
+        if not (0 <= tid < MAX_JMPBUF_THREADS):
+            raise IndexError(f"tid {tid} out of jmpbuf TLS range")
+        return self.jmpbuf_table_addr + (tid * self.jmpbuf_count + buf) * 16
+
+    def block_index(self) -> Dict[str, BlockInfo]:
+        """Map from block label to placement across all functions."""
+        out: Dict[str, BlockInfo] = {}
+        for func in self.functions.values():
+            for block in func.blocks:
+                out[block.label] = block
+        return out

@@ -1,0 +1,269 @@
+"""The linker: turns a program + layout into a byte-exact binary image.
+
+Two-pass link: pass 1 lowers every fragment and assigns addresses; pass 2
+resolves symbols and encodes instruction bytes, jump tables (``.rodata``) and
+v-tables / function-pointer slots (``.data``).
+
+BOLT reuses this linker to emit optimized binaries: it passes a layout whose
+sections sit in a BOLT-generation code region, a verbatim copy of the
+original text as a *raw section* (``bolt.org.text``), and ``extra_symbols``
+mapping each non-optimized (cold) function to its original, unchanged address
+— reproducing the structure of real BOLTed binaries (paper §II-D).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.binary.binaryfile import (
+    DATA_BASE,
+    RODATA_BASE,
+    Binary,
+    BlockInfo,
+    FunctionInfo,
+    JumpTableInfo,
+    Layout,
+    Section,
+    VTableInfo,
+)
+from repro.compiler.codegen import (
+    CompilerOptions,
+    JumpTableRequest,
+    LoweredBlock,
+    block_label,
+    lower_fragment,
+)
+from repro.compiler.ir import Program
+from repro.errors import LinkError
+from repro.isa.assembler import encode_instruction
+
+_U64 = struct.Struct("<Q")
+
+_FUNCTION_ALIGN = 16
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def link_program(
+    program: Program,
+    layout: Optional[Layout] = None,
+    options: Optional[CompilerOptions] = None,
+    *,
+    name: Optional[str] = None,
+    bolted: bool = False,
+    bolt_generation: int = 0,
+    extra_symbols: Optional[Dict[str, int]] = None,
+    carry_functions: Optional[Iterable[FunctionInfo]] = None,
+    raw_sections: Optional[Iterable[Section]] = None,
+    rodata_base: int = RODATA_BASE,
+    rodata_name: str = ".rodata",
+) -> Binary:
+    """Link ``program`` under ``layout`` into a :class:`Binary`.
+
+    Args:
+        program: the IR program.
+        layout: code placement; defaults to source order.
+        options: compilation flags; defaults to :class:`CompilerOptions`.
+        name: binary name; defaults to the program name.
+        bolted: mark the result as BOLT output.
+        bolt_generation: BOLT generation of the hot text (0 if not BOLTed).
+        extra_symbols: function entry addresses resolved outside this layout
+            (e.g. cold functions kept at their original addresses).
+        carry_functions: :class:`FunctionInfo` records to copy into the result
+            for functions not placed by this layout.
+        raw_sections: verbatim sections to include (e.g. ``bolt.org.text``).
+        rodata_base: base address for jump tables emitted by this link; BOLT
+            generations use a per-generation base so the original tables
+            (referenced by compile-time constants in unmoved cold code) stay
+            valid.
+        rodata_name: section name for this link's jump tables.
+
+    Returns:
+        the linked binary.
+
+    Raises:
+        LinkError: on unresolved symbols, overlapping sections, or a layout
+            that places a function without its entry block.
+    """
+    # Imported lazily: repro.compiler.layout depends on this package's
+    # dataclasses, so a module-level import would be circular.
+    from repro.compiler.layout import default_layout
+
+    program.validate()
+    layout = layout if layout is not None else default_layout(program)
+    options = options if options is not None else CompilerOptions()
+    binary = Binary(
+        name=name or program.name,
+        entry=program.entry,
+        bolted=bolted,
+        bolt_generation=bolt_generation,
+        program_name=program.name,
+        fp_slot_count=program.fp_slot_count,
+    )
+
+    # ---- pass 1: lower fragments and assign addresses -------------------
+    placed: Dict[str, List[Tuple[LoweredBlock, int, str]]] = {}
+    table_requests: List[JumpTableRequest] = []
+    section_images: Dict[str, Tuple[int, int]] = {}  # name -> (base, size)
+    lowered_by_section: Dict[str, List[Tuple[int, LoweredBlock]]] = {}
+    frag_sections: Dict[str, List[str]] = {}
+    for section_layout in layout.sections:
+        cursor = section_layout.base
+        entries: List[Tuple[int, LoweredBlock]] = []
+        for frag in section_layout.fragments:
+            func = program.functions.get(frag.function)
+            if func is None:
+                raise LinkError(f"layout places unknown function {frag.function!r}")
+            cursor = _align(cursor, _FUNCTION_ALIGN)
+            blocks, tables = lower_fragment(program, func, frag.block_ids, options)
+            table_requests.extend(tables)
+            for lowered in blocks:
+                entries.append((cursor, lowered))
+                placed.setdefault(frag.function, []).append(
+                    (lowered, cursor, section_layout.name)
+                )
+                cursor += lowered.size
+            frag_sections.setdefault(frag.function, []).append(section_layout.name)
+        if section_layout.name in section_images:
+            raise LinkError(f"duplicate section {section_layout.name!r} in layout")
+        section_images[section_layout.name] = (
+            section_layout.base,
+            cursor - section_layout.base,
+        )
+        lowered_by_section[section_layout.name] = entries
+
+    # Jump tables in this link's rodata section.
+    rodata_cursor = rodata_base
+    jump_tables: List[Tuple[JumpTableRequest, int]] = []
+    for request in table_requests:
+        rodata_cursor = _align(rodata_cursor, 8)
+        jump_tables.append((request, rodata_cursor))
+        rodata_cursor += 8 * len(request.entries)
+
+    # V-tables then function-pointer slots in .data.
+    data_cursor = DATA_BASE
+    vtable_addrs: List[int] = []
+    for vt in program.vtables:
+        data_cursor = _align(data_cursor, 8)
+        vtable_addrs.append(data_cursor)
+        data_cursor += 8 * len(vt.slots)
+    data_cursor = _align(data_cursor, 8)
+    fp_table_addr = data_cursor
+    data_cursor += 8 * program.fp_slot_count
+    binary.fp_table_addr = fp_table_addr
+    data_cursor = _align(data_cursor, 16)
+    binary.jmpbuf_table_addr = data_cursor
+    binary.jmpbuf_count = program.jmpbuf_count
+    from repro.binary.binaryfile import MAX_JMPBUF_THREADS
+
+    data_cursor += 16 * program.jmpbuf_count * MAX_JMPBUF_THREADS
+
+    # ---- symbol table ----------------------------------------------------
+    symbols: Dict[str, int] = dict(extra_symbols or {})
+    for func_name, entries_list in placed.items():
+        func_blocks: Dict[int, int] = {}
+        for lowered, addr, _section in entries_list:
+            label = block_label(func_name, lowered.bb_id)
+            if label in symbols:
+                raise LinkError(f"block {label} placed twice")
+            symbols[label] = addr
+            func_blocks[lowered.bb_id] = addr
+        if 0 not in func_blocks:
+            raise LinkError(f"layout places {func_name!r} without its entry block")
+        symbols[func_name] = func_blocks[0]
+    for request, addr in jump_tables:
+        symbols[request.label] = addr
+
+    # ---- pass 2: encode ---------------------------------------------------
+    for section_name, (base, size) in section_images.items():
+        image = bytearray(size)
+        for addr, lowered in lowered_by_section[section_name]:
+            off = addr - base
+            pc = addr
+            for insn in lowered.insns:
+                encoded = encode_instruction(insn, pc, symbols)
+                image[off : off + len(encoded)] = encoded
+                off += len(encoded)
+                pc += len(encoded)
+        binary.sections[section_name] = Section(
+            name=section_name, addr=base, data=bytes(image), executable=True
+        )
+
+    if jump_tables:
+        rodata = bytearray(rodata_cursor - rodata_base)
+        for request, addr in jump_tables:
+            off = addr - rodata_base
+            entry_addrs = []
+            for entry in request.entries:
+                if entry not in symbols:
+                    raise LinkError(f"jump table {request.label}: unresolved {entry!r}")
+                entry_addrs.append(symbols[entry])
+            for k, target in enumerate(entry_addrs):
+                _U64.pack_into(rodata, off + 8 * k, target)
+            binary.jump_tables.append(
+                JumpTableInfo(label=request.label, addr=addr, entries=list(request.entries))
+            )
+        binary.sections[rodata_name] = Section(
+            name=rodata_name, addr=rodata_base, data=bytes(rodata), executable=False
+        )
+
+    data = bytearray(data_cursor - DATA_BASE)
+    for vt, addr in zip(program.vtables, vtable_addrs):
+        for slot, func_name in enumerate(vt.slots):
+            target = symbols.get(func_name)
+            if target is None:
+                raise LinkError(f"vtable {vt.class_id}: unresolved {func_name!r}")
+            _U64.pack_into(data, addr - DATA_BASE + 8 * slot, target)
+        binary.vtables.append(VTableInfo(class_id=vt.class_id, addr=addr, slots=list(vt.slots)))
+    for slot, func_name in program.fp_init.items():
+        target = symbols.get(func_name)
+        if target is None:
+            raise LinkError(f"fp_init slot {slot}: unresolved {func_name!r}")
+        _U64.pack_into(data, fp_table_addr - DATA_BASE + 8 * slot, target)
+    binary.sections[".data"] = Section(
+        name=".data", addr=DATA_BASE, data=bytes(data), executable=False
+    )
+
+    # ---- function records --------------------------------------------------
+    for func_name, entries_list in placed.items():
+        sections_used = frag_sections.get(func_name, [])
+        info = FunctionInfo(
+            name=func_name,
+            addr=symbols[func_name],
+            section=sections_used[0] if sections_used else ".text",
+            cold_section=sections_used[1] if len(sections_used) > 1 else None,
+        )
+        for lowered, addr, _section in entries_list:
+            info.blocks.append(
+                BlockInfo(
+                    label=block_label(func_name, lowered.bb_id),
+                    addr=addr,
+                    size=lowered.size,
+                    n_instr=lowered.n_instr,
+                )
+            )
+        binary.functions[func_name] = info
+    for carried in carry_functions or ():
+        if carried.name not in binary.functions:
+            binary.functions[carried.name] = carried
+
+    for raw in raw_sections or ():
+        if raw.name in binary.sections:
+            raise LinkError(f"raw section {raw.name!r} collides with linked section")
+        binary.sections[raw.name] = raw
+
+    _check_overlaps(binary)
+    return binary
+
+
+def _check_overlaps(binary: Binary) -> None:
+    spans = sorted((s.addr, s.end, s.name) for s in binary.sections.values())
+    for (start_a, end_a, name_a), (start_b, _end_b, name_b) in zip(spans, spans[1:]):
+        if start_b < end_a:
+            raise LinkError(
+                f"sections {name_a!r} [{start_a:#x},{end_a:#x}) and {name_b!r} "
+                f"[{start_b:#x},...) overlap"
+            )

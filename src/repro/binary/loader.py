@@ -1,0 +1,30 @@
+"""Loader: maps a linked binary into an address space.
+
+Equivalent to the kernel's ELF loader — every section is copied to its linked
+virtual address.  Code sections are marked executable so writes to them (by
+the OCOLOS patcher) trigger decode-cache invalidation.
+"""
+
+from __future__ import annotations
+
+from repro.binary.binaryfile import Binary
+from repro.errors import LoaderError
+from repro.vm.address_space import AddressSpace
+
+
+def load_binary(binary: Binary, address_space: AddressSpace) -> None:
+    """Map every section of ``binary`` into ``address_space``.
+
+    Raises:
+        LoaderError: if the binary has no code or a section overlaps an
+            existing mapping.
+    """
+    if not binary.code_sections():
+        raise LoaderError(f"binary {binary.name!r} has no executable sections")
+    for section in binary.sections.values():
+        address_space.map_region(
+            start=section.addr,
+            data=section.data,
+            name=f"{binary.name}:{section.name}",
+            executable=section.executable,
+        )

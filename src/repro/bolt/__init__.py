@@ -1,0 +1,35 @@
+"""BOLT-analogue post-link binary optimizer.
+
+Implements the pass structure of LLVM-BOLT (paper §II-D): lift the binary's
+machine code into an MIR-like CFG (:mod:`repro.bolt.mir`), run profile-guided
+basic-block reordering (:mod:`repro.bolt.bb_reorder`), hot/cold splitting
+(:mod:`repro.bolt.splitting`) and function reordering — both Pettis-Hansen
+and C³ (:mod:`repro.bolt.func_reorder`) — then emit a new binary whose cold
+functions stay byte-identical at their original addresses
+(``bolt.org.text``) while hot functions move to a fresh high-address text
+section (:mod:`repro.bolt.optimizer`).
+
+Like the real tool, the optimizer refuses to run on an already-BOLTed binary
+(paper §IV-C); our implementation can override that for the continuous-
+optimization extension experiments.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "MirBlock": ".mir",
+    "MirFunction": ".mir",
+    "lift_function": ".mir",
+    "lift_binary": ".mir",
+    "reorder_blocks": ".bb_reorder",
+    "chain_layout_score": ".bb_reorder",
+    "c3_order": ".func_reorder",
+    "pettis_hansen_order": ".func_reorder",
+    "split_hot_cold": ".splitting",
+    "SplitResult": ".splitting",
+    "BoltOptions": ".optimizer",
+    "BoltResult": ".optimizer",
+    "run_bolt": ".optimizer",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

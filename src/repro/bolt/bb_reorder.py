@@ -1,0 +1,83 @@
+"""Profile-guided basic-block reordering.
+
+Greedy fallthrough-chain construction in the Pettis-Hansen / ExtTSP family
+(paper §II-B): process CFG edges in decreasing weight and merge chains when
+an edge connects one chain's tail to another chain's head, so that the
+heaviest edges become fallthroughs (not-taken paths).  The entry block's
+chain is always placed first; remaining chains are ordered by execution
+weight so hot code packs densely at the front of the function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+def reorder_blocks(
+    n_blocks: int,
+    edge_weights: Mapping[Tuple[int, int], int],
+    block_counts: Mapping[int, int],
+    entry: int = 0,
+) -> List[int]:
+    """Compute a block order for one function.
+
+    Args:
+        n_blocks: number of blocks (ids ``0..n_blocks-1``).
+        edge_weights: CFG edge weights ``(src, dst) -> count`` from the
+            profile (taken + fallthrough combined).
+        block_counts: execution counts per block id.
+        entry: the entry block id (always placed first).
+
+    Returns:
+        a permutation of ``range(n_blocks)``.
+    """
+    chain_of: Dict[int, int] = {b: b for b in range(n_blocks)}
+    chains: Dict[int, List[int]] = {b: [b] for b in range(n_blocks)}
+
+    edges = sorted(
+        ((w, src, dst) for (src, dst), w in edge_weights.items() if src != dst and w > 0),
+        key=lambda t: (-t[0], t[1], t[2]),
+    )
+    for _w, src, dst in edges:
+        if src >= n_blocks or dst >= n_blocks:
+            continue
+        c_src = chain_of[src]
+        c_dst = chain_of[dst]
+        if c_src == c_dst:
+            continue
+        if chains[c_src][-1] != src or chains[c_dst][0] != dst:
+            continue
+        if dst == entry:
+            continue  # nothing may precede the entry block
+        chains[c_src].extend(chains[c_dst])
+        for b in chains[c_dst]:
+            chain_of[b] = c_src
+        del chains[c_dst]
+
+    def chain_weight(chain: List[int]) -> int:
+        return sum(block_counts.get(b, 0) for b in chain)
+
+    entry_chain = chain_of[entry]
+    rest = [cid for cid in chains if cid != entry_chain]
+    rest.sort(key=lambda cid: (-chain_weight(chains[cid]), chains[cid][0]))
+    order: List[int] = list(chains[entry_chain])
+    for cid in rest:
+        order.extend(chains[cid])
+    return order
+
+
+def chain_layout_score(
+    order: Sequence[int],
+    edge_weights: Mapping[Tuple[int, int], int],
+) -> int:
+    """Total edge weight realised as fallthroughs by ``order``.
+
+    The reorderer's objective: higher means fewer taken branches on the
+    profiled paths.  Exposed for tests and the ablation benches.
+    """
+    position = {b: i for i, b in enumerate(order)}
+    score = 0
+    for (src, dst), w in edge_weights.items():
+        if src in position and dst in position and position[dst] == position[src] + 1:
+            score += w
+    return score

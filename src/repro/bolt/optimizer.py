@@ -1,0 +1,307 @@
+"""The BOLT optimization pipeline.
+
+``run_bolt`` takes the original binary, its IR program (our stand-in for the
+decompiled MIR), and a :class:`~repro.profiling.profile.BoltProfile`, and
+emits a new binary structured exactly like real BOLT output (paper §II-D):
+
+* hot functions are block-reordered, optionally hot/cold split, function-
+  reordered (C³ by default) and placed in a fresh ``.text`` at a high
+  address (generation region);
+* exiled cold blocks go to a shared ``.cold`` section behind the hot text;
+* everything else — the cold functions — stays **byte-identical at its
+  original addresses** in a verbatim ``bolt.org.text`` copy;
+* data references (v-tables, fp slots, jump tables of re-emitted code) are
+  regenerated to point at the optimized entries, as relocation-mode BOLT
+  does, so an offline-BOLTed binary is fully consistent.
+
+Matching the paper's limitation, BOLT refuses to run on an already-BOLTed
+binary; ``BoltOptions.allow_rebolt`` overrides this for the continuous-
+optimization extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.binary.binaryfile import (
+    BOLT_GEN_STRIDE,
+    Binary,
+    Fragment,
+    Layout,
+    RODATA_BASE,
+    Section,
+    SectionLayout,
+    bolt_text_base,
+)
+from repro.binary.linker import link_program
+from repro.bolt.bb_reorder import reorder_blocks
+from repro.bolt.func_reorder import c3_order, pettis_hansen_order
+from repro.bolt.splitting import SplitResult, split_hot_cold
+from repro.compiler.codegen import CompilerOptions
+from repro.compiler.ir import Program
+from repro.errors import AlreadyBoltedError, BoltError, ProfileError
+from repro.profiling.profile import BoltProfile
+
+#: Address stride between successive generations' jump-table regions.
+RODATA_GEN_STRIDE = 0x0040_0000
+
+
+@dataclass
+class BoltOptions:
+    """Knobs for the BOLT pipeline.
+
+    Attributes:
+        split_functions: exile cold blocks of hot functions (hot/cold split).
+        function_order: ``"c3"``, ``"ph"`` or ``"none"``.
+        reorder_blocks: run basic-block reordering (ablation knob).
+        min_block_count: blocks below this profile count are considered cold.
+        allow_rebolt: permit optimizing an already-BOLTed binary (extension;
+            real BOLT refuses, which is why the paper could not evaluate
+            continuous optimization).
+    """
+
+    split_functions: bool = True
+    function_order: str = "c3"
+    reorder_blocks: bool = True
+    min_block_count: int = 1
+    allow_rebolt: bool = False
+
+
+@dataclass
+class BoltResult:
+    """BOLT output plus the statistics the cost model consumes."""
+
+    binary: Binary
+    hot_functions: List[str] = field(default_factory=list)
+    functions_reordered: int = 0
+    functions_split: int = 0
+    hot_text_bytes: int = 0
+    generation: int = 1
+
+
+def run_bolt(
+    program: Program,
+    original: Binary,
+    profile: BoltProfile,
+    options: Optional[BoltOptions] = None,
+    compiler_options: Optional[CompilerOptions] = None,
+    generation: int = 1,
+    cold_reference: Optional[Binary] = None,
+) -> BoltResult:
+    """Produce an optimized binary from ``original`` and ``profile``.
+
+    Args:
+        program: the IR program ``original`` was linked from (our MIR).
+        original: the binary the profile was collected on.
+        profile: aggregated LBR profile.
+        options: BOLT knobs.
+        compiler_options: the flags the original was compiled with (jump
+            tables, fp instrumentation) — re-emission must preserve them.
+        generation: target code-generation number (1 = first optimization).
+        cold_reference: binary whose function addresses anchor the cold
+            (non-optimized) functions.  Defaults to ``original``; continuous
+            optimization passes the ``C_0`` binary here so cold functions
+            always resolve to immovable ``C_0`` code even when the profile
+            was collected on a ``C_i`` binary.
+
+    Returns:
+        the :class:`BoltResult` with the new binary.
+
+    Raises:
+        AlreadyBoltedError: if ``original`` is BOLTed and re-bolting is off.
+        ProfileError: if the profile contains no usable activity.
+    """
+    options = options or BoltOptions()
+    compiler_options = compiler_options or CompilerOptions()
+    if original.bolted and not options.allow_rebolt:
+        raise AlreadyBoltedError(
+            "BOLT assumes a single .text section and refuses to run on a "
+            "BOLTed binary (paper §IV-C)"
+        )
+    if profile.is_empty():
+        raise ProfileError("profile contains no samples mapped to the binary")
+
+    hot_functions = [
+        f for f in profile.hot_functions(options.min_block_count) if f in program.functions
+    ]
+    if not hot_functions:
+        raise ProfileError("no hot functions found in profile")
+
+    # ---- per-function block reordering + splitting ------------------------
+    splits: Dict[str, SplitResult] = {}
+    hotness: Dict[str, int] = {}
+    sizes: Dict[str, int] = {}
+    reordered = 0
+    for name in hot_functions:
+        func = program.functions[name]
+        counts = profile.function_block_counts(name)
+        edges = profile.function_edges(name)
+        if options.reorder_blocks:
+            order = reorder_blocks(len(func.blocks), edges, counts)
+            if order != list(range(len(func.blocks))):
+                reordered += 1
+        else:
+            order = list(range(len(func.blocks)))
+        if options.split_functions:
+            split = split_hot_cold(order, counts, min_count=options.min_block_count)
+        else:
+            split = SplitResult(hot=tuple(order), cold=())
+        splits[name] = split
+        hotness[name] = sum(counts.values())
+        info = original.functions.get(name)
+        sizes[name] = info.size if info is not None else len(func.blocks) * 16
+
+    # ---- function ordering -------------------------------------------------
+    call_edges = {
+        (a, b): w
+        for (a, b), w in profile.call_edges.items()
+        if a in splits and b in splits
+    }
+    if options.function_order == "c3":
+        func_order = c3_order(hotness, call_edges, sizes)
+    elif options.function_order == "ph":
+        func_order = pettis_hansen_order(hotness, call_edges)
+    elif options.function_order == "none":
+        func_order = sorted(splits)
+    else:
+        raise BoltError(f"unknown function_order {options.function_order!r}")
+
+    # ---- layout -------------------------------------------------------------
+    hot_base = bolt_text_base(generation)
+    cold_base = hot_base + BOLT_GEN_STRIDE // 2
+    hot_name = f".text.bolt{generation}"
+    cold_name = f".text.bolt{generation}.cold"
+    hot_section = SectionLayout(name=hot_name, base=hot_base, fragments=[])
+    cold_section = SectionLayout(name=cold_name, base=cold_base, fragments=[])
+    for name in func_order:
+        split = splits[name]
+        hot_section.fragments.append(Fragment(function=name, block_ids=split.hot))
+        if split.cold:
+            cold_section.fragments.append(Fragment(function=name, block_ids=split.cold))
+    sections = [hot_section]
+    if cold_section.fragments:
+        sections.append(cold_section)
+    layout = Layout(sections=sections)
+
+    # ---- cold (non-optimized) functions stay put ---------------------------
+    anchor = cold_reference if cold_reference is not None else original
+    extra_symbols: Dict[str, int] = {}
+    carry = []
+    for name, info in anchor.functions.items():
+        if name not in splits:
+            extra_symbols[name] = info.addr
+            carry.append(info)
+
+    raw_sections = _original_raw_sections(original)
+
+    binary = link_program(
+        program,
+        layout,
+        compiler_options,
+        name=f"{original.name}.bolt{generation}",
+        bolted=True,
+        bolt_generation=generation,
+        extra_symbols=extra_symbols,
+        carry_functions=carry,
+        raw_sections=raw_sections,
+        rodata_base=RODATA_BASE + generation * RODATA_GEN_STRIDE,
+        rodata_name=f".rodata.bolt{generation}",
+    )
+
+    _retarget_cold_references(binary, original, splits)
+
+    hot_bytes = len(binary.sections[hot_name].data)
+    if cold_section.fragments:
+        hot_bytes += len(binary.sections[cold_name].data)
+    return BoltResult(
+        binary=binary,
+        hot_functions=list(func_order),
+        functions_reordered=reordered,
+        functions_split=sum(1 for s in splits.values() if s.is_split),
+        hot_text_bytes=hot_bytes,
+        generation=generation,
+    )
+
+
+def _retarget_cold_references(
+    binary: Binary, original: Binary, splits: Dict[str, SplitResult]
+) -> None:
+    """Point cold-code references at moved hot functions' new entries.
+
+    Relocation-mode BOLT updates *all* code references when it moves a
+    function; our analogue rewrites, inside the carried ``bolt.org.text``
+    copy, every direct call and function-pointer materialisation whose target
+    is the old entry address of a function that moved.  (Under OCOLOS this
+    section is never injected — OCOLOS patches the live process selectively
+    instead, which is exactly the oracle-vs-online gap of Fig 5.)
+    """
+    import struct
+
+    from repro.isa.assembler import REL32_OFFSETS, patch_rel32
+    from repro.isa.disassembler import disassemble_range
+
+    moved: Dict[int, int] = {}
+    for name in splits:
+        old_info = original.functions.get(name)
+        new_info = binary.functions.get(name)
+        if old_info is not None and new_info is not None and old_info.addr != new_info.addr:
+            moved[old_info.addr] = new_info.addr
+    if not moved:
+        return
+    section = binary.sections.get("bolt.org.text")
+    if section is None:
+        return
+    data = bytearray(section.data)
+
+    def read(addr: int, length: int) -> bytes:
+        off = addr - section.addr
+        return bytes(data[off : off + length])
+
+    for name, info in binary.functions.items():
+        if name in splits:
+            continue  # hot functions were re-emitted with correct targets
+        for block in info.blocks:
+            if not section.contains(block.addr):
+                continue
+            for insn_addr, insn in disassemble_range(read, block.addr, block.addr + block.size):
+                new_target = moved.get(insn.target) if isinstance(insn.target, int) else None
+                if new_target is None:
+                    continue
+                off = insn_addr - section.addr
+                if insn.op in REL32_OFFSETS and insn.op.name == "CALL":
+                    patch_rel32(data, off, insn_addr, new_target)
+                elif insn.op.name == "MKFP":
+                    struct.pack_into("<I", data, off + 1, new_target)
+    binary.sections["bolt.org.text"] = Section(
+        name="bolt.org.text", addr=section.addr, data=bytes(data), executable=True
+    )
+
+
+def _original_raw_sections(original: Binary) -> List[Section]:
+    """Verbatim copies of the original's code and rodata sections.
+
+    The original ``.text`` is renamed ``bolt.org.text`` the first time; any
+    previously-carried raw sections (re-bolting, extension mode) are kept as
+    they are.  The original ``.data`` is *not* carried — the new link
+    regenerates it at the same addresses with pointers into the optimized
+    code.
+    """
+    out: List[Section] = []
+    for section in original.sections.values():
+        if section.name == ".data":
+            continue
+        if section.name == ".text":
+            out.append(
+                Section(
+                    name="bolt.org.text",
+                    addr=section.addr,
+                    data=section.data,
+                    executable=True,
+                )
+            )
+        elif section.name == ".rodata" or section.name.startswith(".rodata"):
+            out.append(section)
+        elif section.name == "bolt.org.text" or section.name.startswith(".text.bolt"):
+            out.append(section)
+    return out

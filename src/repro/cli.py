@@ -1,0 +1,252 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Examples::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig 3                # input-sensitivity bars
+    python -m repro table 2              # fixed costs
+    python -m repro quickstart           # one OCOLOS cycle on MySQL-like
+    python -m repro fig 5 --transactions 300
+
+Experiment output is the same row/series text the benchmark suite prints;
+heavy figures can take minutes (they execute the full pipelines in the VM).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.reporting import format_series, format_table
+
+
+def _fig1(_args) -> None:
+    from repro.analysis.l1i_history import capacity_growth_factor, l1i_capacity_table
+
+    print(
+        format_table(
+            ["year", "vendor", "microarchitecture", "L1i KiB"],
+            l1i_capacity_table(),
+            title="Fig 1: per-core L1i capacity over time",
+        )
+    )
+    print(f"\nIntel growth: {capacity_growth_factor('Intel'):.2f}x, "
+          f"AMD growth: {capacity_growth_factor('AMD'):.2f}x")
+
+
+def _fig3(args) -> None:
+    from repro.harness.experiments import fig3_input_sensitivity
+
+    result = fig3_input_sensitivity(transactions=args.transactions)
+    print(
+        format_table(
+            ["training input", "tps", "vs original", "vs best"],
+            [
+                [r.train_input, r.tps, r.speedup_vs_original, r.relative_to_best]
+                for r in result.rows
+            ],
+            title=f"Fig 3: BOLTed MySQL running {result.run_input}",
+        )
+    )
+    print(f"\noriginal: {result.original_tps:,.0f} tps; "
+          f"OCOLOS: {result.ocolos_tps:,.0f} tps "
+          f"({result.ocolos_tps / result.best_tps:.3f} of best)")
+
+
+def _fig5(args) -> None:
+    from repro.harness.experiments import fig5_main_performance
+
+    rows = fig5_main_performance(transactions=args.transactions)
+    print(
+        format_table(
+            ["workload", "input", "orig tps", "OCOLOS", "BOLT oracle", "PGO", "BOLT avg"],
+            [
+                [r.workload, r.input_name, r.original_tps, r.ocolos,
+                 r.bolt_oracle, r.pgo_oracle, r.bolt_average]
+                for r in rows
+            ],
+            title="Fig 5: speedup over original",
+        )
+    )
+
+
+def _fig6(args) -> None:
+    from repro.harness.experiments import fig6_profile_duration
+
+    rows = fig6_profile_duration(transactions=args.transactions)
+    print(
+        format_series(
+            "profile seconds",
+            ["samples", "OCOLOS speedup", "BOLT speedup"],
+            [[r.duration_seconds, r.samples, r.ocolos_speedup, r.bolt_speedup] for r in rows],
+            title="Fig 6: speedup vs profiling duration",
+        )
+    )
+
+
+def _fig7(_args) -> None:
+    from repro.harness.timeline import fig7_timeline
+
+    result = fig7_timeline()
+    bounds = dict(result.region_bounds)
+    print(
+        format_series(
+            "second",
+            ["tps", "p95 ms", "region"],
+            [
+                [p.second, p.tps, p.p95_ms, bounds.get(p.second, "")]
+                for p in result.points
+                if p.second in bounds or p.second % 10 == 0
+            ],
+            title="Fig 7: throughput timeline (sampled rows)",
+        )
+    )
+    warm, worst, post = result.p95_summary()
+    print(f"\npause {result.pause_seconds * 1000:.0f} ms; "
+          f"p95 {warm:.2f} -> {worst:.2f} -> {post:.2f} ms; "
+          f"speedup {result.speedup:.2f}x")
+
+
+def _fig8(args) -> None:
+    from repro.harness.experiments import fig8_frontend_metrics
+
+    rows = fig8_frontend_metrics(transactions=args.transactions)
+    print(
+        format_table(
+            ["input", "variant", "L1i MPKI", "iTLB MPKI", "taken PKI", "mispredict PKI"],
+            [
+                [r.input_name, r.variant, r.l1i_mpki, r.itlb_mpki,
+                 r.taken_branch_pki, r.mispredict_pki]
+                for r in rows
+            ],
+            title="Fig 8: front-end events per 1,000 instructions (MySQL)",
+        )
+    )
+
+
+def _fig9(args) -> None:
+    from repro.analysis.regression import fit_benefit_classifier
+    from repro.harness.experiments import fig9_topdown_points
+
+    points = fig9_topdown_points(transactions=args.transactions)
+    fit = fit_benefit_classifier(
+        [(p.frontend_latency, p.retiring, p.benefits) for p in points]
+    )
+    print(
+        format_table(
+            ["workload", "input", "FE latency %", "retiring %", "speedup", "benefits"],
+            [
+                [p.workload, p.input_name, p.frontend_latency, p.retiring,
+                 p.ocolos_speedup, p.benefits]
+                for p in points
+            ],
+            title="Fig 9: TopDown metrics vs OCOLOS benefit",
+        )
+    )
+    print(f"\nlinear classifier accuracy: {fit.accuracy:.0%}")
+
+
+def _table1(args) -> None:
+    from repro.harness.experiments import table1_characterization
+
+    cols = table1_characterization(transactions=args.transactions)
+    print(
+        format_table(
+            ["workload", "functions", "v-tables", ".text MiB", "reordered",
+             "on stack", "ptrs changed", "RSS orig", "RSS BOLT", "RSS OCOLOS"],
+            [
+                [c.workload, c.functions, c.vtables, c.text_mib,
+                 c.avg_funcs_reordered, c.avg_funcs_on_stack,
+                 c.avg_call_sites_changed, c.max_rss_original_mib,
+                 c.max_rss_bolt_mib, c.max_rss_ocolos_mib]
+                for c in cols
+            ],
+            title="Table I: benchmark characterization (scaled)",
+        )
+    )
+
+
+def _table2(args) -> None:
+    from repro.harness.experiments import table2_fixed_costs
+
+    cols = table2_fixed_costs(transactions=args.transactions)
+    print(
+        format_table(
+            ["workload", "perf2bolt s", "llvm-bolt s", "replacement s"],
+            [
+                [c.workload, c.perf2bolt_seconds, c.llvm_bolt_seconds,
+                 c.replacement_seconds]
+                for c in cols
+            ],
+            title="Table II: fixed costs of code replacement",
+        )
+    )
+
+
+def _quickstart(_args) -> None:
+    from repro.harness.runner import launch, measure, run_ocolos_pipeline
+    from repro.workloads.mysql import mysql_inputs, mysql_like
+
+    workload = mysql_like()
+    spec = mysql_inputs(workload)["oltp_read_only"]
+    baseline = measure(launch(workload, spec, seed=2, with_agent=False), transactions=400)
+    process, _ocolos, report = run_ocolos_pipeline(workload, spec, seed=2)
+    process.run(max_transactions=600)
+    optimized = measure(process, transactions=400, warmup=0)
+    print(f"original: {baseline.tps:,.0f} tps | OCOLOS: {optimized.tps:,.0f} tps | "
+          f"speedup {optimized.tps / baseline.tps:.2f}x | "
+          f"pause {report.pause_seconds * 1000:.1f} ms")
+
+
+FIGS: Dict[int, Callable] = {
+    1: _fig1, 3: _fig3, 5: _fig5, 6: _fig6, 7: _fig7, 8: _fig8, 9: _fig9,
+}
+TABLES: Dict[int, Callable] = {1: _table1, 2: _table2}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OCOLOS reproduction: regenerate paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list regenerable experiments")
+    sub.add_parser("quickstart", help="one OCOLOS cycle on MySQL-like")
+
+    fig = sub.add_parser("fig", help="regenerate a figure")
+    fig.add_argument("number", type=int, choices=sorted(FIGS))
+    fig.add_argument("--transactions", type=int, default=500)
+
+    table = sub.add_parser("table", help="regenerate a table")
+    table.add_argument("number", type=int, choices=sorted(TABLES))
+    table.add_argument("--transactions", type=int, default=500)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("figures : " + ", ".join(f"fig {n}" for n in sorted(FIGS)))
+        print("tables  : " + ", ".join(f"table {n}" for n in sorted(TABLES)))
+        print("other   : quickstart")
+        print("\nfig 10 (BAM) and the ablations run via the benchmark suite:")
+        print("  pytest benchmarks/ --benchmark-only")
+        return 0
+    if args.command == "quickstart":
+        _quickstart(args)
+        return 0
+    if args.command == "fig":
+        FIGS[args.number](args)
+        return 0
+    if args.command == "table":
+        TABLES[args.number](args)
+        return 0
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The substrate compiler: CFG-level IR, layout heuristics and code generation.
+
+The compiler mirrors the three compilation flavours the paper compares:
+
+* plain static compilation (``-O2``/``-O3`` analogue): source-order layout,
+  optionally with jump tables (``-fno-jump-tables`` disables them, as OCOLOS
+  requires for its target binary);
+* clang-style PGO (:mod:`repro.compiler.pgo`): profile-guided layout computed
+  at compile time through a lossy source-level mapping of the profile;
+* OCOLOS's function-pointer instrumentation pass
+  (:mod:`repro.compiler.fpinstrument`): marks every function-pointer creation
+  site so the runtime can interpose ``wrapFuncPtrCreation``.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "BasicBlock": ".ir",
+    "CondBr": ".ir",
+    "Jump": ".ir",
+    "Switch": ".ir",
+    "Ret": ".ir",
+    "Halt": ".ir",
+    "IRFunction": ".ir",
+    "Program": ".ir",
+    "SiteInfo": ".ir",
+    "SiteKind": ".ir",
+    "SiteTable": ".ir",
+    "VTableSpec": ".ir",
+    "CompilerOptions": ".codegen",
+    "LoweredBlock": ".codegen",
+    "block_label": ".codegen",
+    "lower_fragment": ".codegen",
+    "default_layout": ".layout",
+    "source_order_layout": ".layout",
+    "instrument_function_pointers": ".fpinstrument",
+    "count_creation_sites": ".fpinstrument",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

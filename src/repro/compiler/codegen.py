@@ -1,0 +1,185 @@
+"""Lowering IR blocks to instruction sequences under a given layout.
+
+Lowering is layout-aware: a conditional branch whose fallthrough successor is
+placed immediately after it needs no extra jump; if the *taken* successor is
+placed next instead, the branch sense is inverted; if neither is next, a
+``br_cond`` + ``jmp`` pair is emitted.  This is exactly the degree of freedom
+basic-block reordering exploits — a good layout turns most taken branches
+into fallthroughs (paper §II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.ir import BasicBlock, CondBr, Halt, IRFunction, Jump, Program, Ret, Switch
+from repro.errors import LinkError
+from repro.isa.instructions import Instruction, Opcode, br_cond, halt, jmp, jtab, ret
+
+
+@dataclass
+class CompilerOptions:
+    """Compilation flags relevant to OCOLOS.
+
+    Attributes:
+        jump_tables: lower switches to jump tables (``True``) or to compare
+            chains (``False``, the paper's ``-fno-jump-tables``).  OCOLOS
+            target binaries must be built with ``jump_tables=False``.
+        instrument_fp: apply the ``wrapFuncPtrCreation`` instrumentation pass
+            to every function-pointer creation site (required for OCOLOS
+            continuous optimization).
+        opt_level: cosmetic optimisation level recorded in binary metadata.
+    """
+
+    jump_tables: bool = True
+    instrument_fp: bool = False
+    opt_level: str = "-O2"
+
+
+def block_label(function: str, bb_id: int) -> str:
+    """The link-time label of a basic block."""
+    return f"{function}#{bb_id}"
+
+
+def jump_table_label(function: str, bb_id: int) -> str:
+    """The link-time label of the jump table lowered from a switch."""
+    return f"jt.{function}#{bb_id}"
+
+
+@dataclass
+class LoweredBlock:
+    """One block's instruction sequence (symbolic targets, no addresses)."""
+
+    bb_id: int
+    insns: List[Instruction]
+
+    @property
+    def size(self) -> int:
+        """Encoded size in bytes."""
+        return sum(i.size for i in self.insns)
+
+    @property
+    def n_instr(self) -> int:
+        """Number of instructions."""
+        return len(self.insns)
+
+
+@dataclass
+class JumpTableRequest:
+    """A jump table that lowering asks the linker to materialise."""
+
+    label: str
+    entries: List[str] = field(default_factory=list)
+
+
+def lower_fragment(
+    program: Program,
+    function: IRFunction,
+    block_ids: Tuple[int, ...],
+    options: CompilerOptions,
+    *,
+    has_later_fragment: bool = False,
+) -> Tuple[List[LoweredBlock], List[JumpTableRequest]]:
+    """Lower a fragment (an ordered run of blocks of one function).
+
+    Args:
+        program: the containing program (for site allocation).
+        function: the function the blocks belong to.
+        block_ids: the blocks to place, in order.
+        options: compilation flags.
+        has_later_fragment: whether more fragments of this function follow in
+            other sections (affects nothing today but validated for clarity).
+
+    Returns:
+        ``(lowered_blocks, jump_table_requests)``.
+    """
+    lowered: List[LoweredBlock] = []
+    tables: List[JumpTableRequest] = []
+    for pos, bb_id in enumerate(block_ids):
+        try:
+            block = function.blocks[bb_id]
+        except IndexError as exc:
+            raise LinkError(f"{function.name}: fragment names missing block {bb_id}") from exc
+        next_bb = block_ids[pos + 1] if pos + 1 < len(block_ids) else None
+        insns = [_body_insn(i, options) for i in block.body]
+        insns.extend(_lower_terminator(program, function, block, next_bb, options, tables))
+        lowered.append(LoweredBlock(bb_id=bb_id, insns=insns))
+    return lowered, tables
+
+
+def _body_insn(insn: Instruction, options: CompilerOptions) -> Instruction:
+    if insn.op == Opcode.MKFP and options.instrument_fp and not insn.wrapped:
+        return Instruction(
+            Opcode.MKFP, slot=insn.slot, target=insn.target, wrapped=True
+        )
+    return insn
+
+
+def _lower_terminator(
+    program: Program,
+    function: IRFunction,
+    block: BasicBlock,
+    next_bb: Optional[int],
+    options: CompilerOptions,
+    tables: List[JumpTableRequest],
+) -> List[Instruction]:
+    term = block.terminator
+    name = function.name
+    if isinstance(term, Ret):
+        return [ret()]
+    if isinstance(term, Halt):
+        return [halt()]
+    if isinstance(term, Jump):
+        if term.target == next_bb:
+            return []
+        return [jmp(block_label(name, term.target))]
+    if isinstance(term, CondBr):
+        if term.fallthrough == next_bb:
+            return [br_cond(term.site, block_label(name, term.taken))]
+        if term.taken == next_bb:
+            return [br_cond(term.site, block_label(name, term.fallthrough), invert=True)]
+        return [
+            br_cond(term.site, block_label(name, term.taken)),
+            jmp(block_label(name, term.fallthrough)),
+        ]
+    if isinstance(term, Switch):
+        if options.jump_tables:
+            label = jump_table_label(name, block.bb_id)
+            tables.append(
+                JumpTableRequest(
+                    label=label,
+                    entries=[block_label(name, t) for t in term.targets],
+                )
+            )
+            return [jtab(term.site, label)]
+        return _lower_switch_chain(program, name, term, next_bb)
+    raise LinkError(f"{name}#{block.bb_id}: unknown terminator {term!r}")
+
+
+def _lower_switch_chain(
+    program: Program,
+    function_name: str,
+    term: Switch,
+    next_bb: Optional[int],
+) -> List[Instruction]:
+    """Lower a switch to a chain of conditional tests (``-fno-jump-tables``).
+
+    Case ``k`` gets a derived branch site whose taken-probability the input
+    model computes as the conditional probability of case ``k`` given that
+    cases ``0..k-1`` did not match.
+    """
+    insns: List[Instruction] = []
+    targets = term.targets
+    for k in range(len(targets) - 1):
+        site = _derived_site(program, term.site, k, function_name)
+        insns.append(br_cond(site, block_label(function_name, targets[k])))
+    last = targets[-1]
+    if last != next_bb:
+        insns.append(jmp(block_label(function_name, last)))
+    return insns
+
+
+def _derived_site(program: Program, switch_site: int, case_index: int, function: str) -> int:
+    """Fetch-or-allocate the derived branch site for one switch case."""
+    return program.sites.allocate_derived(switch_site, case_index, function)

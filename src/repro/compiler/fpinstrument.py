@@ -1,0 +1,47 @@
+"""The ``wrapFuncPtrCreation`` instrumentation pass (paper §IV-C2).
+
+OCOLOS's continuous-optimization invariant is that programs never hold
+function pointers into any replaceable code generation ``C_i`` — function
+pointers must always refer to ``C_0``.  The paper enforces this with an LLVM
+pass that instruments every function-pointer *creation* site with a callback:
+
+    ``void* wrapFuncPtrCreation(void*)``
+
+Our analogue sets the ``wrapped`` flag on every ``MKFP`` instruction; the
+interpreter then routes the materialised address through the runtime's
+registered wrap hook (see :class:`repro.core.funcptr_map.FunctionPointerMap`).
+Once created, pointers propagate freely with no further instrumentation —
+matching the paper's fixed-costs-only design principle #3.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Program
+from repro.isa.instructions import Opcode
+
+
+def instrument_function_pointers(program: Program) -> int:
+    """Mark every MKFP in ``program`` as wrapped, in place.
+
+    Returns:
+        the number of creation sites instrumented.
+    """
+    count = 0
+    for func in program.functions.values():
+        for block in func.blocks:
+            for insn in block.body:
+                if insn.op == Opcode.MKFP and not insn.wrapped:
+                    insn.wrapped = True
+                    count += 1
+    return count
+
+
+def count_creation_sites(program: Program) -> int:
+    """Number of function-pointer creation sites in ``program``."""
+    return sum(
+        1
+        for func in program.functions.values()
+        for block in func.blocks
+        for insn in block.body
+        if insn.op == Opcode.MKFP
+    )

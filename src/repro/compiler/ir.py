@@ -1,0 +1,307 @@
+"""Control-flow-graph intermediate representation.
+
+A :class:`Program` is a set of :class:`IRFunction` objects, each a list of
+:class:`BasicBlock`.  Block bodies are straight-line instruction lists (ALU
+ops, loads/stores, calls, function-pointer creations, syscalls); every block
+ends with exactly one terminator.  Calls are *body* instructions, not
+terminators — as in real machine code, execution resumes at the instruction
+after the call, which is what makes return addresses plain code pointers into
+the middle of a code region.
+
+Behavioural sites
+-----------------
+Conditional branches, indirect calls, virtual calls and switches do not encode
+a condition; they carry a *site id*.  At run time, the workload's input model
+supplies an outcome distribution per site (taken-probability, callee mix,
+case mix).  This models input-dependent control flow — the root cause of
+offline PGO's input sensitivity (paper §III-A) — without simulating data
+values.  The :class:`SiteTable` records each site's kind and, for sites
+derived from lowering a switch into a compare chain, which switch case the
+derived site tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.isa.instructions import Instruction, Opcode
+
+
+class SiteKind(Enum):
+    """What kind of input-dependent behaviour a site id selects."""
+
+    BRANCH = "branch"
+    ICALL = "icall"
+    VCALL = "vcall"
+    SWITCH = "switch"
+    DERIVED_BRANCH = "derived_branch"
+
+
+@dataclass
+class SiteInfo:
+    """Metadata for one behavioural site.
+
+    Attributes:
+        kind: the site kind.
+        function: name of the function containing the site.
+        n_cases: for switch sites, the number of cases.
+        derived_from: for derived branch sites produced by switch lowering,
+            ``(switch_site_id, case_index)``.
+    """
+
+    kind: SiteKind
+    function: str = ""
+    n_cases: int = 0
+    derived_from: Optional[Tuple[int, int]] = None
+
+
+class SiteTable:
+    """Allocates site ids and records their metadata."""
+
+    def __init__(self) -> None:
+        self._sites: Dict[int, SiteInfo] = {}
+        self._next = 1  # site 0 is reserved as "no site"
+        self._derived_cache: Dict[Tuple[int, int], int] = {}
+
+    def allocate(self, kind: SiteKind, function: str = "", n_cases: int = 0) -> int:
+        """Allocate a fresh site id of the given kind."""
+        site = self._next
+        self._next += 1
+        self._sites[site] = SiteInfo(kind=kind, function=function, n_cases=n_cases)
+        return site
+
+    def allocate_derived(self, switch_site: int, case_index: int, function: str = "") -> int:
+        """Fetch-or-allocate the branch site testing case ``case_index`` of a
+        switch.
+
+        The result is cached so that re-lowering the same program (e.g. when
+        BOLT re-links it with a new layout) reuses identical site ids — the
+        input behaviour model keys on them.
+        """
+        key = (switch_site, case_index)
+        if key in self._derived_cache:
+            return self._derived_cache[key]
+        site = self._next
+        self._next += 1
+        self._sites[site] = SiteInfo(
+            kind=SiteKind.DERIVED_BRANCH,
+            function=function,
+            derived_from=(switch_site, case_index),
+        )
+        self._derived_cache[key] = site
+        return site
+
+    def info(self, site: int) -> SiteInfo:
+        """Look up metadata for ``site``."""
+        return self._sites[site]
+
+    def __contains__(self, site: int) -> bool:
+        return site in self._sites
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def items(self):
+        """Iterate over ``(site_id, SiteInfo)`` pairs."""
+        return self._sites.items()
+
+    def by_kind(self, kind: SiteKind) -> List[int]:
+        """All site ids of the given kind."""
+        return [s for s, info in self._sites.items() if info.kind == kind]
+
+
+# --------------------------------------------------------------------------
+# Terminators
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CondBr:
+    """Conditional branch: to ``taken`` with the site's probability, else
+    ``fallthrough``."""
+
+    site: int
+    taken: int
+    fallthrough: int
+
+
+@dataclass(frozen=True)
+class Jump:
+    """Unconditional transfer to block ``target``."""
+
+    target: int
+
+
+@dataclass(frozen=True)
+class Switch:
+    """Multi-way transfer; case ``k`` goes to ``targets[k]``."""
+
+    site: int
+    targets: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Ret:
+    """Return to the caller."""
+
+
+@dataclass(frozen=True)
+class Halt:
+    """Terminate the executing thread."""
+
+
+Terminator = object  # union of the five classes above
+
+
+@dataclass
+class BasicBlock:
+    """One basic block: a straight-line body plus a terminator.
+
+    The body may contain :data:`~repro.isa.instructions.Opcode.CALL` (with a
+    symbolic function-name target), ``ICALL``, ``VCALL``, ``MKFP``, ``ALU``,
+    ``LOAD``, ``STORE``, ``TXN_MARK`` and ``SYSCALL`` instructions.
+    """
+
+    bb_id: int
+    body: List[Instruction] = field(default_factory=list)
+    terminator: Terminator = field(default_factory=Ret)
+
+    def successors(self) -> Tuple[int, ...]:
+        """Block ids this block can transfer to within its function."""
+        term = self.terminator
+        if isinstance(term, CondBr):
+            return (term.taken, term.fallthrough)
+        if isinstance(term, Jump):
+            return (term.target,)
+        if isinstance(term, Switch):
+            return tuple(dict.fromkeys(term.targets))
+        return ()
+
+
+@dataclass
+class IRFunction:
+    """A function: ``blocks[0]`` is the entry block.
+
+    ``blocks`` is indexed by ``bb_id``; every block's ``bb_id`` must equal its
+    index.
+    """
+
+    name: str
+    blocks: List[BasicBlock] = field(default_factory=list)
+
+    def new_block(self) -> BasicBlock:
+        """Append and return a fresh block."""
+        block = BasicBlock(bb_id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`WorkloadError`."""
+        if not self.blocks:
+            raise WorkloadError(f"function {self.name!r} has no blocks")
+        for idx, block in enumerate(self.blocks):
+            if block.bb_id != idx:
+                raise WorkloadError(
+                    f"{self.name}: block at index {idx} has bb_id {block.bb_id}"
+                )
+            for succ in block.successors():
+                if not (0 <= succ < len(self.blocks)):
+                    raise WorkloadError(
+                        f"{self.name}: block {idx} targets missing block {succ}"
+                    )
+            for insn in block.body:
+                if insn.is_terminator and insn.op not in (
+                    Opcode.CALL,
+                    Opcode.ICALL,
+                    Opcode.VCALL,
+                    Opcode.LONGJMP,
+                ):
+                    raise WorkloadError(
+                        f"{self.name}: block {idx} has control-flow opcode "
+                        f"{insn.op.name} in its body"
+                    )
+
+
+@dataclass
+class VTableSpec:
+    """One class's virtual-method table: ``slots[i]`` names the function the
+    i-th slot dispatches to."""
+
+    class_id: int
+    slots: List[str]
+
+
+@dataclass
+class Program:
+    """A whole program at the IR level.
+
+    Attributes:
+        name: program name (becomes the binary name).
+        functions: all functions, keyed by name.
+        entry: name of the entry function each worker thread starts in.
+        vtables: virtual-method tables (indexed by class id).
+        fp_slot_count: number of function-pointer memory slots the program
+            uses (``MKFP`` writes them, ``ICALL`` reads them).
+        fp_init: initial contents of function-pointer slots (slot -> function
+            name), written by the loader at process start.
+        jmpbuf_count: number of setjmp buffers per thread (each is a
+            thread-local (PC, SP) pair in ``.data``, like a jmp_buf in TLS).
+        sites: the site table for all behavioural sites in the program.
+        source_units: optional grouping of functions into "source files",
+            used by the clang-PGO model's lossy source-level mapping.
+    """
+
+    name: str
+    functions: Dict[str, IRFunction] = field(default_factory=dict)
+    entry: str = "main"
+    vtables: List[VTableSpec] = field(default_factory=list)
+    fp_slot_count: int = 0
+    fp_init: Dict[int, str] = field(default_factory=dict)
+    jmpbuf_count: int = 0
+    sites: SiteTable = field(default_factory=SiteTable)
+    source_units: Dict[str, str] = field(default_factory=dict)
+
+    def add_function(self, func: IRFunction) -> IRFunction:
+        """Register ``func``; name must be unique."""
+        if func.name in self.functions:
+            raise WorkloadError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def validate(self) -> None:
+        """Check cross-function invariants; raises :class:`WorkloadError`."""
+        if self.entry not in self.functions:
+            raise WorkloadError(f"entry function {self.entry!r} not defined")
+        for func in self.functions.values():
+            func.validate()
+            for block in func.blocks:
+                for insn in block.body:
+                    if insn.op == Opcode.CALL and insn.target not in self.functions:
+                        raise WorkloadError(
+                            f"{func.name}: call to undefined function {insn.target!r}"
+                        )
+                    if insn.op == Opcode.MKFP and insn.target not in self.functions:
+                        raise WorkloadError(
+                            f"{func.name}: mkfp of undefined function {insn.target!r}"
+                        )
+        for vt in self.vtables:
+            for slot_func in vt.slots:
+                if slot_func not in self.functions:
+                    raise WorkloadError(
+                        f"vtable {vt.class_id}: slot names undefined function "
+                        f"{slot_func!r}"
+                    )
+        for slot, func_name in self.fp_init.items():
+            if not (0 <= slot < self.fp_slot_count):
+                raise WorkloadError(f"fp_init slot {slot} out of range")
+            if func_name not in self.functions:
+                raise WorkloadError(
+                    f"fp_init slot {slot} names undefined function {func_name!r}"
+                )
+
+    def block_count(self) -> int:
+        """Total number of basic blocks across all functions."""
+        return sum(len(f.blocks) for f in self.functions.values())

@@ -1,0 +1,51 @@
+"""Static (non-profile-guided) code layout heuristics.
+
+These produce the "original" binary the paper's baselines run: without
+profiles the compiler must guess, often badly (paper §II-B).  Two policies are
+provided:
+
+* :func:`source_order_layout` — functions in source order, blocks in CFG
+  construction order.  This is what ``-O2``/``-O3`` effectively does for code
+  whose branch directions the compiler cannot predict statically.
+* :func:`default_layout` — source order at a given text base; convenience
+  wrapper used by workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.binary.binaryfile import Fragment, Layout, SectionLayout, TEXT_BASE
+from repro.compiler.ir import Program
+
+
+def source_order_layout(
+    program: Program,
+    *,
+    base: int = TEXT_BASE,
+    section: str = ".text",
+    function_order: Optional[Iterable[str]] = None,
+) -> Layout:
+    """Place every function whole, in source (or the given) order.
+
+    Args:
+        program: the program to place.
+        base: base address of the text section.
+        section: name of the text section.
+        function_order: optional explicit function ordering; defaults to
+            definition order.
+
+    Returns:
+        a single-section layout covering every function and block.
+    """
+    order: List[str] = list(function_order) if function_order else list(program.functions)
+    fragments = [
+        Fragment(function=name, block_ids=tuple(range(len(program.functions[name].blocks))))
+        for name in order
+    ]
+    return Layout(sections=[SectionLayout(name=section, base=base, fragments=fragments)])
+
+
+def default_layout(program: Program) -> Layout:
+    """The layout a plain static compile produces."""
+    return source_order_layout(program)

@@ -1,0 +1,47 @@
+"""OCOLOS: online code layout optimization (the paper's contribution).
+
+The runtime pieces map one-to-one onto paper §IV/§V:
+
+* :mod:`repro.core.funcptr_map` — the ``wrapFuncPtrCreation`` runtime map
+  enforcing the "function pointers always reference C_0" invariant;
+* :mod:`repro.core.injector` — code injection of the BOLTed hot text into the
+  paused target at its linked addresses (via the preload agent);
+* :mod:`repro.core.patcher` — pointer patching: v-tables and the direct call
+  sites of stack-live ``C_0`` functions (with the "patch every call site"
+  variant the paper measured and rejected available for ablation);
+* :mod:`repro.core.replacement` — the stop-the-world replacement sequence;
+* :mod:`repro.core.continuous` — continuous optimization ``C_i → C_{i+1}``
+  with code garbage collection and stack-live code copying;
+* :mod:`repro.core.costs` — the fixed-cost model (perf2bolt / llvm-bolt /
+  replacement pause), calibrated against Table II;
+* :mod:`repro.core.orchestrator` — the end-to-end pipeline of Fig 4a;
+* :mod:`repro.core.bam` — Batch Accelerator Mode for short-running processes.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "FunctionPointerMap": ".funcptr_map",
+    "CodeInjector": ".injector",
+    "InjectionReport": ".injector",
+    "scan_direct_call_sites": ".patcher",
+    "CallSite": ".patcher",
+    "PointerPatcher": ".patcher",
+    "PatchReport": ".patcher",
+    "CodeReplacer": ".replacement",
+    "TrampolineInstaller": ".trampoline",
+    "TrampolineReport": ".trampoline",
+    "ReplacementReport": ".replacement",
+    "ContinuousReplacer": ".continuous",
+    "ContinuousReport": ".continuous",
+    "CostModel": ".costs",
+    "FixedCosts": ".costs",
+    "Ocolos": ".orchestrator",
+    "OcolosConfig": ".orchestrator",
+    "OcolosReport": ".orchestrator",
+    "BatchAcceleratorMode": ".bam",
+    "BamConfig": ".bam",
+    "BamReport": ".bam",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,514 @@
+"""Continuous optimization: replacing ``C_i`` with ``C_{i+1}`` (paper §IV-C).
+
+Unlike the first replacement (which only *adds* code), continuous
+optimization must *remove* the previous generation or code grows without
+bound.  Removal is safe only when nothing can reach ``C_i`` anymore, so the
+replacer proactively enforces unreachability:
+
+* **function pointers** never reference ``C_i`` in the first place — the
+  ``wrapFuncPtrCreation`` invariant (checked before proceeding);
+* **v-table slots** and **``C_0`` direct-call sites** currently pointing into
+  ``C_i`` are retargeted at ``C_{i+1}`` (or back at ``C_0`` for functions no
+  longer hot);
+* **return addresses and thread PCs** inside ``C_i`` are the hard case: the
+  optimizations that produced ``b_{i+1}`` reshuffled instructions, so a
+  mid-function address cannot be mapped to the optimized version.  The
+  replacer instead copies each stack-live ``C_i`` function byte-for-byte into
+  a carry region of the new generation (``b_{i,i+1}``), re-encoding
+  PC-relative targets for the new location, and rewrites the live return
+  addresses/PCs by their offset within the copied code.  The copy performs
+  identically to ``b_i``; *subsequent* calls reach the optimized ``b_{i+1}``
+  through the patched pointers.
+
+After patching, a verification sweep asserts no live pointer remains in the
+``C_i`` address band, then the band is unmapped (garbage-collected).
+
+The paper could not evaluate this mode because real BOLT refuses to process
+a BOLTed binary; our BOLT exposes ``allow_rebolt`` precisely so this
+mechanism can be exercised (flagged as an extension in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.binary.binaryfile import (
+    BOLT_GEN_STRIDE,
+    Binary,
+    BlockInfo,
+    FunctionInfo,
+    bolt_text_base,
+)
+from repro.bolt.optimizer import BoltResult
+from repro.core.costs import CostModel
+from repro.core.funcptr_map import FunctionPointerMap
+from repro.core.injector import CodeInjector, InjectionReport
+from repro.core.patcher import CallSite, PatchReport, PointerPatcher
+from repro.errors import ReplacementError
+from repro.isa.assembler import encode_instruction
+from repro.isa.disassembler import disassemble_range
+from repro.isa.instructions import Opcode
+from repro.vm.process import Process
+from repro.vm.ptrace import PtraceController
+from repro.vm.unwind import stack_return_addresses
+
+_I32 = struct.Struct("<i")
+
+
+def generation_band(generation: int) -> Tuple[int, int]:
+    """Address range owned by BOLT generation ``generation``."""
+    base = bolt_text_base(generation)
+    return base, base + BOLT_GEN_STRIDE
+
+
+@dataclass
+class ContinuousReport:
+    """What one ``C_i -> C_{i+1}`` replacement did."""
+
+    generation: int
+    injection: InjectionReport = field(default_factory=InjectionReport)
+    patches: PatchReport = field(default_factory=PatchReport)
+    functions_copied: int = 0
+    bytes_copied_forward: int = 0
+    return_addresses_rewritten: int = 0
+    pcs_rewritten: int = 0
+    regions_collected: int = 0
+    pause_seconds: float = 0.0
+
+    @property
+    def pointer_writes(self) -> int:
+        """Pointers rewritten during the pause."""
+        return (
+            self.patches.vtable_slots_patched
+            + self.patches.call_sites_patched
+            + self.return_addresses_rewritten
+            + self.pcs_rewritten
+        )
+
+
+class ContinuousReplacer:
+    """Drives repeated generation replacement with code GC."""
+
+    def __init__(
+        self,
+        process: Process,
+        original: Binary,
+        fp_map: FunctionPointerMap,
+        *,
+        call_sites: Optional[Dict[str, List[CallSite]]] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if process.wrap_hook is None:
+            raise ReplacementError(
+                "continuous optimization requires the wrapFuncPtrCreation "
+                "hook (compile the target with instrument_fp=True and run a "
+                "first replacement)"
+            )
+        self.process = process
+        self.original = original
+        self.fp_map = fp_map
+        self.ptrace = PtraceController(process)
+        self.patcher = PointerPatcher(self.ptrace, original, call_sites)
+        self.cost_model = cost_model or CostModel()
+        #: Synthetic binaries describing carry copies, per generation.
+        self.carry_binaries: Dict[int, Binary] = {}
+        self.history: List[ContinuousReport] = []
+
+    # ------------------------------------------------------------------
+
+    def replace_next(self, bolt_result: BoltResult, current: Binary) -> ContinuousReport:
+        """Replace generation ``current`` with ``bolt_result``'s generation.
+
+        Args:
+            bolt_result: BOLT output for generation ``i+1``.
+            current: the generation-``i`` binary whose code is being retired.
+
+        Raises:
+            ReplacementError: on generation mismatch, a violated function-
+                pointer invariant, or a failed unreachability verification.
+        """
+        bolted = bolt_result.binary
+        old_gen = self.process.replacement_generation
+        if current.bolt_generation != old_gen:
+            raise ReplacementError(
+                f"current binary is generation {current.bolt_generation}, "
+                f"process is at {old_gen}"
+            )
+        if bolted.bolt_generation != old_gen + 1:
+            raise ReplacementError(
+                f"expected generation {old_gen + 1}, got {bolted.bolt_generation}"
+            )
+
+        self.ptrace.pause()
+        try:
+            report = ContinuousReport(generation=bolted.bolt_generation)
+            self._check_fp_invariant(old_gen)
+
+            injector = CodeInjector(self.process)
+            report.injection = injector.inject(bolted)
+
+            band = generation_band(old_gen)
+            addr_map = self._copy_stack_live_code(current, bolted, band, report)
+            self._rewrite_stack_pointers(band, addr_map, report)
+            self._rewrite_jmpbufs(band, report)
+            self._patch_vtable_slots(bolted, band, report)
+            self._repatch_c0_calls(bolted, band, report)
+            self._repatch_trampolines(bolted, band, report)
+
+            self.fp_map.register_generation(bolted)
+            self._verify_unreachable(band)
+            report.regions_collected = self._collect_band(band)
+
+            report.pause_seconds = self.cost_model.replacement_seconds(
+                pointer_writes=report.pointer_writes,
+                bytes_copied=report.injection.bytes_copied + report.bytes_copied_forward,
+            )
+            self.process.replacement_generation = bolted.bolt_generation
+            self.history.append(report)
+            return report
+        finally:
+            self.ptrace.resume()
+
+    # ------------------------------------------------------------------
+
+    def _check_fp_invariant(self, old_gen: int) -> None:
+        lo, hi = generation_band(old_gen)
+        binary = self.original
+        for slot in range(binary.fp_slot_count):
+            value = self.process.address_space.read_u64(binary.fp_slot_addr(slot))
+            if lo <= value < hi:
+                raise ReplacementError(
+                    f"fp slot {slot} references retiring generation code at "
+                    f"{value:#x}; wrapFuncPtrCreation invariant violated"
+                )
+
+    def _live_code_addresses(self) -> List[Tuple[int, str, int, int]]:
+        """``(address, kind, tid, slot)`` for every PC, return address and
+        jmpbuf-saved continuation (setjmp/longjmp, paper §III-B)."""
+        out: List[Tuple[int, str, int, int]] = []
+        for thread in self.process.threads:
+            out.append((thread.pc, "pc", thread.tid, -1))
+            addr = thread.sp
+            slot = 0
+            for ret in stack_return_addresses(self.process, thread):
+                out.append((ret, "retaddr", thread.tid, slot))
+                slot += 1
+                addr += 8
+        binary = self.original
+        if binary.jmpbuf_count:
+            for thread in self.process.threads:
+                for buf in range(binary.jmpbuf_count):
+                    buf_addr = binary.jmpbuf_addr(buf, thread.tid)
+                    saved_pc = self.process.address_space.read_u64(buf_addr)
+                    if saved_pc:
+                        out.append((saved_pc, "jmpbuf", thread.tid, buf))
+        return out
+
+    def _functions_in_band(self, binary: Binary, band: Tuple[int, int]):
+        lo, hi = band
+        for name, info in binary.functions.items():
+            blocks = [b for b in info.blocks if lo <= b.addr < hi]
+            if blocks:
+                yield name, info, blocks
+
+    def _copy_stack_live_code(
+        self,
+        current: Binary,
+        bolted: Binary,
+        band: Tuple[int, int],
+        report: ContinuousReport,
+    ) -> Dict[int, int]:
+        """Copy stack-live ``C_i`` functions into the new generation's carry
+        region; returns an old-address -> new-address map covering their code.
+        """
+        lo, hi = band
+        live_addrs = [a for a, _k, _t, _s in self._live_code_addresses() if lo <= a < hi]
+        if not live_addrs:
+            return {}
+
+        sources: List[Binary] = [current]
+        prev_carry = self.carry_binaries.get(current.bolt_generation)
+        if prev_carry is not None:
+            sources.append(prev_carry)
+
+        live_functions: Dict[str, Tuple[Binary, FunctionInfo, List[BlockInfo]]] = {}
+        for source in sources:
+            for name, info, blocks in self._functions_in_band(source, band):
+                spans = [(b.addr, b.addr + b.size) for b in blocks]
+                if any(s <= a < e for a in live_addrs for s, e in spans):
+                    live_functions.setdefault(name, (source, info, blocks))
+
+        if not live_functions:
+            return {}
+
+        carry_base = bolt_text_base(bolted.bolt_generation) + (3 * BOLT_GEN_STRIDE) // 4
+        cursor = carry_base
+        addr_map: Dict[int, int] = {}
+        block_map: List[Tuple[int, int, int]] = []  # (old_start, old_end, new_start)
+        carry = Binary(
+            name=f"{bolted.name}.carry",
+            bolted=True,
+            bolt_generation=bolted.bolt_generation,
+            program_name=bolted.program_name,
+            entry=bolted.entry,
+        )
+
+        # First pass: assign new addresses block by block (sizes unchanged).
+        copies: List[Tuple[str, Binary, List[BlockInfo], int]] = []
+        for name in sorted(live_functions):
+            source, info, blocks = live_functions[name]
+            start = cursor
+            for block in blocks:
+                block_map.append((block.addr, block.addr + block.size, cursor))
+                cursor += block.size
+            copies.append((name, source, blocks, start))
+
+        total_size = cursor - carry_base
+        agent = CodeInjector(self.process).agent
+        agent.map_region(carry_base, total_size, name=f"ocolos:carry{bolted.bolt_generation}")
+
+        def remap(addr: int) -> Optional[int]:
+            for old_start, old_end, new_start in block_map:
+                if old_start <= addr < old_end:
+                    return new_start + (addr - old_start)
+            return None
+
+        moved_entries: Dict[int, int] = {}
+        for name, info in bolted.functions.items():
+            cur = current.functions.get(name)
+            if cur is not None and cur.addr != info.addr:
+                moved_entries[cur.addr] = info.addr
+
+        space = self.process.address_space
+        for name, source, blocks, _start in copies:
+            carry_info = FunctionInfo(name=name, addr=0, section=f"carry{bolted.bolt_generation}")
+            for block in blocks:
+                new_start = remap(block.addr)
+                data = self._reencode_block(
+                    space, block, new_start, remap, moved_entries
+                )
+                agent.copy_into(new_start, data)
+                report.bytes_copied_forward += len(data)
+                carry_info.blocks.append(
+                    BlockInfo(
+                        label=block.label,
+                        addr=new_start,
+                        size=block.size,
+                        n_instr=block.n_instr,
+                    )
+                )
+            carry_info.addr = carry_info.blocks[0].addr
+            carry.functions[name] = carry_info
+            report.functions_copied += 1
+
+        self.carry_binaries[bolted.bolt_generation] = carry
+        self._remap = remap  # kept for the pointer-rewrite pass
+        for old_start, _old_end, new_start in block_map:
+            addr_map[old_start] = new_start
+        return addr_map
+
+    def _reencode_block(
+        self,
+        space,
+        block: BlockInfo,
+        new_start: int,
+        remap,
+        moved_entries: Dict[int, int],
+    ) -> bytes:
+        """Re-encode one block's instructions for its carry location.
+
+        Intra-band targets follow the copied code; direct calls to retiring
+        generation entries are retargeted at the new generation; everything
+        else (calls into ``C_0``, absolute immediates) is preserved.
+        """
+        out = bytearray(block.size)
+        decoded = disassemble_range(space.read, block.addr, block.addr + block.size)
+        for insn_addr, insn in decoded:
+            offset = insn_addr - block.addr
+            if isinstance(insn.target, int):
+                target = insn.target
+                mapped = remap(target)
+                if mapped is not None:
+                    insn.target = mapped
+                elif insn.op == Opcode.CALL and target in moved_entries:
+                    insn.target = moved_entries[target]
+            encoded = encode_instruction(insn, new_start + offset)
+            out[offset : offset + len(encoded)] = encoded
+        return bytes(out)
+
+    def _rewrite_stack_pointers(
+        self,
+        band: Tuple[int, int],
+        addr_map: Dict[int, int],
+        report: ContinuousReport,
+    ) -> None:
+        lo, hi = band
+        remap = getattr(self, "_remap", None)
+        for thread in self.process.threads:
+            if lo <= thread.pc < hi:
+                new_pc = remap(thread.pc) if remap else None
+                if new_pc is None:
+                    raise ReplacementError(
+                        f"thread {thread.tid} PC {thread.pc:#x} in retiring "
+                        "band has no carry copy"
+                    )
+                regs = self.ptrace.get_regs(thread.tid)
+                regs.pc = new_pc
+                self.ptrace.set_regs(thread.tid, regs)
+                report.pcs_rewritten += 1
+            addr = thread.sp
+            while addr < thread.stack_base:
+                ret = self.ptrace.read_u64(addr)
+                if lo <= ret < hi:
+                    new_ret = remap(ret) if remap else None
+                    if new_ret is None:
+                        raise ReplacementError(
+                            f"return address {ret:#x} in retiring band has "
+                            "no carry copy"
+                        )
+                    self.ptrace.write_u64(addr, new_ret)
+                    report.return_addresses_rewritten += 1
+                addr += 8
+
+    def _rewrite_jmpbufs(
+        self, band: Tuple[int, int], report: ContinuousReport
+    ) -> None:
+        """Retarget setjmp continuations saved inside the retiring band at
+        the carry copies (saved SPs are data and stay valid)."""
+        binary = self.original
+        if not binary.jmpbuf_count:
+            return
+        lo, hi = band
+        remap = getattr(self, "_remap", None)
+        for thread in self.process.threads:
+            for buf in range(binary.jmpbuf_count):
+                buf_addr = binary.jmpbuf_addr(buf, thread.tid)
+                saved_pc = self.process.address_space.read_u64(buf_addr)
+                if not (lo <= saved_pc < hi):
+                    continue
+                new_pc = remap(saved_pc) if remap else None
+                if new_pc is None:
+                    raise ReplacementError(
+                        f"jmpbuf {buf} (thread {thread.tid}) continuation "
+                        f"{saved_pc:#x} in retiring band has no carry copy"
+                    )
+                self.ptrace.write_u64(buf_addr, new_pc)
+                report.return_addresses_rewritten += 1
+
+    def _patch_vtable_slots(
+        self, bolted: Binary, band: Tuple[int, int], report: ContinuousReport
+    ) -> None:
+        """Retarget every v-table slot at the newest code for its function."""
+        lo, hi = band
+        for vtable in self.original.vtables:
+            for slot, func_name in enumerate(vtable.slots):
+                slot_addr = vtable.slot_addr(slot)
+                value = self.process.address_space.read_u64(slot_addr)
+                new_info = bolted.functions.get(func_name)
+                c0_info = self.original.functions.get(func_name)
+                target = None
+                if new_info is not None and new_info.addr != c0_info.addr:
+                    target = new_info.addr
+                elif lo <= value < hi:
+                    target = c0_info.addr  # no longer hot: fall back to C_0
+                if target is not None and target != value:
+                    self.ptrace.write_u64(slot_addr, target)
+                    report.patches.vtable_slots_patched += 1
+
+    def _repatch_c0_calls(
+        self, bolted: Binary, band: Tuple[int, int], report: ContinuousReport
+    ) -> None:
+        """Fix every ``C_0`` direct-call site that points into the retiring
+        band (mandatory — those would dangle after GC), and freshly steer the
+        stack-live ``C_0`` functions' calls toward the new generation (the
+        same patch-scope the first replacement uses)."""
+        from repro.vm.unwind import AddressIndex, stack_live_functions
+
+        lo, hi = band
+        call_size = 5  # Opcode.CALL encoded size
+        moved = self.patcher.moved_entries(bolted)
+        live = stack_live_functions(self.process, AddressIndex([self.original]))
+        report.patches.stack_live_functions = live
+
+        for name, sites in self.patcher.call_sites.items():
+            for site in sites:
+                raw = self.ptrace.read_memory(site.addr + 1, 4)
+                current_target = site.addr + call_size + _I32.unpack(raw)[0]
+                desired = None
+                dangling = lo <= current_target < hi
+                if (name in live or dangling) and site.callee in moved:
+                    desired = moved[site.callee][1]
+                elif dangling:
+                    desired = self.original.functions[site.callee].addr
+                if desired is not None and desired != current_target:
+                    rel = desired - (site.addr + call_size)
+                    self.ptrace.write_memory(site.addr + 1, _I32.pack(rel))
+                    report.patches.call_sites_patched += 1
+
+    def _repatch_trampolines(
+        self, bolted: Binary, band: Tuple[int, int], report: ContinuousReport
+    ) -> None:
+        """Fix entry trampolines (the §IV-B full-redirection variant).
+
+        A ``C_0`` entry overwritten with a jump into the retiring band would
+        dangle after GC.  Moved functions get their trampoline retargeted at
+        the new generation; functions that fell cold get their pristine
+        entry bytes restored from the original binary image."""
+        lo, hi = band
+        text = self.original.sections.get(".text")
+        moved = {
+            name: info.addr
+            for name, info in bolted.functions.items()
+            if name in self.original.functions
+            and info.addr != self.original.functions[name].addr
+        }
+        for name, info in self.original.functions.items():
+            entry = info.addr
+            opbyte = self.ptrace.read_memory(entry, 1)[0]
+            if opbyte != int(Opcode.JMP):
+                continue
+            raw = self.ptrace.read_memory(entry + 1, 4)
+            target = entry + 5 + _I32.unpack(raw)[0]
+            if not (lo <= target < hi):
+                continue
+            new_target = moved.get(name)
+            if new_target is not None:
+                rel = new_target - (entry + 5)
+                self.ptrace.write_memory(entry + 1, _I32.pack(rel))
+            elif text is not None and text.contains(entry):
+                off = entry - text.addr
+                self.ptrace.write_memory(entry, bytes(text.data[off : off + 5]))
+            else:  # pragma: no cover - all C_0 entries live in .text
+                raise ReplacementError(
+                    f"cannot repair trampoline of {name!r} at {entry:#x}"
+                )
+            report.patches.call_sites_patched += 1
+
+    def _verify_unreachable(self, band: Tuple[int, int]) -> None:
+        lo, hi = band
+        for addr, kind, tid, slot in self._live_code_addresses():
+            if lo <= addr < hi:
+                raise ReplacementError(
+                    f"live {kind} {addr:#x} (thread {tid}, slot {slot}) still "
+                    "references the retiring generation"
+                )
+        for vtable in self.original.vtables:
+            for slot in range(len(vtable.slots)):
+                value = self.process.address_space.read_u64(vtable.slot_addr(slot))
+                if lo <= value < hi:
+                    raise ReplacementError(
+                        f"v-table {vtable.class_id} slot {slot} still points "
+                        "into the retiring generation"
+                    )
+
+    def _collect_band(self, band: Tuple[int, int]) -> int:
+        """Unmap every region in the retiring band.  Returns regions freed."""
+        lo, hi = band
+        space = self.process.address_space
+        to_free = [r.start for r in space.regions() if lo <= r.start < hi]
+        for start in to_free:
+            space.unmap_region(start)
+        self.process.interpreter.invalidate()
+        return len(to_free)

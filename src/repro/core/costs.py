@@ -1,0 +1,129 @@
+"""Fixed-cost model for OCOLOS's pipeline phases (paper Table II).
+
+OCOLOS's cost structure is "fixed costs only": perf2bolt aggregation time,
+llvm-bolt optimization time, and the stop-the-world replacement pause.  Each
+is modelled as work-proportional:
+
+* perf2bolt ∝ LBR records processed;
+* llvm-bolt ∝ hot functions optimized (the dominant term in the real tool:
+  MySQL 8.2 s / 964 functions ≈ 8.5 ms per function, MongoDB 17.9 s / 2364 ≈
+  7.6 ms — remarkably consistent) plus emitted bytes;
+* replacement ∝ pointer writes (ptrace pokes for v-table slots and call-site
+  rel32s) plus bytes bulk-copied by the in-process agent.
+
+Because the synthetic workloads are scaled down ~16-64x in code size and
+pointer counts, the model takes a ``workload_scale`` that restores
+paper-comparable magnitudes; with ``scale=1`` it reports the honest cost of
+the scaled workload.  Constants are calibrated so the four benchmark
+workloads land near Table II (see EXPERIMENTS.md for measured-vs-paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Seconds per LBR record in perf2bolt aggregation.  NOT workload-scaled:
+#: sample volume is set by profiling duration and thread count, and indeed
+#: Table II shows MySQL (28.2 s) and the 2x-bigger MongoDB (26.6 s) costing
+#: the same for the same 60 s profile.
+PERF2BOLT_PER_RECORD = 1.65e-3
+#: Fixed perf2bolt startup cost (seconds).
+PERF2BOLT_BASE = 0.4
+#: Seconds per (paper-scale) hot function optimized by llvm-bolt.
+BOLT_PER_HOT_FUNCTION = 1.7e-3
+#: Seconds per (paper-scale) emitted hot-text byte.
+BOLT_PER_BYTE = 1.0e-8
+#: Fixed llvm-bolt startup cost (seconds).
+BOLT_BASE = 0.05
+#: Seconds per (paper-scale) pointer write during the pause.  Absorbs both
+#: the code-size scale and the smaller stack-live call-site sets of the
+#: synthetic workloads (paper MySQL patches ~31k sites; ours ~130).
+REPLACE_PER_POINTER = 3.0e-4
+#: Seconds per (paper-scale) byte copied by the in-process agent.
+REPLACE_PER_BYTE = 5.0e-9
+#: Fixed pause overhead (attach, register reads, unwinding), seconds.
+REPLACE_BASE = 0.004
+
+
+@dataclass(frozen=True)
+class FixedCosts:
+    """The three Table-II columns for one replacement."""
+
+    perf2bolt_seconds: float
+    llvm_bolt_seconds: float
+    replacement_seconds: float
+
+    @property
+    def background_seconds(self) -> float:
+        """Time spent in concurrent background work (regions 3 of Fig 7)."""
+        return self.perf2bolt_seconds + self.llvm_bolt_seconds
+
+
+class CostModel:
+    """Maps work counts to wall-clock seconds.
+
+    Args:
+        workload_scale: factor restoring paper-scale magnitudes for scaled
+            synthetic workloads (each workload documents its own factor).
+    """
+
+    def __init__(self, workload_scale: float = 1.0) -> None:
+        self.workload_scale = workload_scale
+
+    def perf2bolt_seconds(self, records: int) -> float:
+        """Aggregation time for ``records`` LBR records (duration-driven,
+        not code-size-driven — see :data:`PERF2BOLT_PER_RECORD`)."""
+        return PERF2BOLT_BASE + records * PERF2BOLT_PER_RECORD
+
+    def llvm_bolt_seconds(self, hot_functions: int, emitted_bytes: int) -> float:
+        """Optimization time for a BOLT run."""
+        return (
+            BOLT_BASE
+            + hot_functions * self.workload_scale * BOLT_PER_HOT_FUNCTION
+            + emitted_bytes * self.workload_scale * BOLT_PER_BYTE
+        )
+
+    def replacement_seconds(self, pointer_writes: int, bytes_copied: int) -> float:
+        """Stop-the-world pause duration."""
+        return (
+            REPLACE_BASE
+            + pointer_writes * self.workload_scale * REPLACE_PER_POINTER
+            + bytes_copied * self.workload_scale * REPLACE_PER_BYTE
+        )
+
+    def fixed_costs(
+        self,
+        *,
+        records: int,
+        hot_functions: int,
+        emitted_bytes: int,
+        pointer_writes: int,
+        bytes_copied: int,
+    ) -> FixedCosts:
+        """All three phase costs at once."""
+        return FixedCosts(
+            perf2bolt_seconds=self.perf2bolt_seconds(records),
+            llvm_bolt_seconds=self.llvm_bolt_seconds(hot_functions, emitted_bytes),
+            replacement_seconds=self.replacement_seconds(pointer_writes, bytes_copied),
+        )
+
+
+def break_even_seconds(
+    slowdown_factor: float, disruption_seconds: float, speedup_factor: float
+) -> float:
+    """Paper §VI-C3: run optimized code at least ``a*s/b`` seconds to recover
+    ground lost during a disruption.
+
+    Args:
+        slowdown_factor: ``a`` — throughput lost during the disruption,
+            as a fraction of baseline (e.g. 0.2 = ran at 80%).
+        disruption_seconds: ``s`` — how long the disruption lasted.
+        speedup_factor: ``b`` — throughput gained after replacement, as a
+            fraction of baseline (e.g. 0.4 = 1.4x).
+
+    Returns:
+        seconds of optimized execution needed to break even.
+    """
+    if speedup_factor <= 0:
+        return float("inf")
+    return slowdown_factor * disruption_seconds / speedup_factor

@@ -1,0 +1,89 @@
+"""The ``wrapFuncPtrCreation`` runtime (paper §IV-C2).
+
+Continuous optimization must be able to discard generation ``C_i`` wholesale,
+which is only safe if no function pointer anywhere in registers or memory can
+reference it.  OCOLOS enforces the invariant at *creation* time: the compiler
+pass marks every creation site, and the runtime maps any ``C_i`` entry
+address back to the corresponding ``C_0`` entry before the program ever sees
+the pointer.  Once created, pointers propagate freely with zero cost —
+intervention happens only on creation (fixed-costs-only, design principle #3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.binary.binaryfile import Binary
+from repro.errors import ReplacementError
+from repro.vm.process import Process
+
+
+class FunctionPointerMap:
+    """Maps optimized-generation entry addresses back to ``C_0`` entries."""
+
+    def __init__(self, original: Binary) -> None:
+        self.original = original
+        self._to_c0: Dict[int, int] = {}
+        self.wraps_total = 0
+        self.wraps_translated = 0
+
+    def register_generation(self, bolted: Binary) -> int:
+        """Record ``C_i -> C_0`` entry translations for one BOLT generation.
+
+        Returns:
+            number of translations added.
+        """
+        added = 0
+        for name, info in bolted.functions.items():
+            c0 = self.original.functions.get(name)
+            if c0 is None or info.addr == c0.addr:
+                continue
+            if info.addr not in self._to_c0:
+                self._to_c0[info.addr] = c0.addr
+                added += 1
+        return added
+
+    def wrap(self, addr: int) -> int:
+        """``wrapFuncPtrCreation``: translate a just-created function pointer.
+
+        Identity for addresses that do not reference optimized code (e.g.
+        library code or ``C_0`` itself).
+        """
+        self.wraps_total += 1
+        translated = self._to_c0.get(addr)
+        if translated is None:
+            return addr
+        self.wraps_translated += 1
+        return translated
+
+    def install(self, process: Process) -> None:
+        """Register the wrap hook on the target process."""
+        process.set_wrap_hook(self.wrap)
+
+    def translate_to_c0(self, addr: int) -> Optional[int]:
+        """Lookup without counting (used by verification sweeps)."""
+        return self._to_c0.get(addr)
+
+    def __len__(self) -> int:
+        return len(self._to_c0)
+
+
+def require_fp_invariant(process: Process) -> None:
+    """Check that no function-pointer slot references replaceable code.
+
+    Raises:
+        ReplacementError: if a slot points above the ``C_0`` text (i.e. into
+            a BOLT generation region), meaning the target binary was built
+            without the instrumentation pass and continuous optimization is
+            unsafe.
+    """
+    from repro.binary.binaryfile import BOLT_TEXT_BASE
+
+    binary = process.binary
+    for slot in range(binary.fp_slot_count):
+        value = process.address_space.read_u64(binary.fp_slot_addr(slot))
+        if value >= BOLT_TEXT_BASE and value < BOLT_TEXT_BASE * 16:
+            raise ReplacementError(
+                f"fp slot {slot} holds {value:#x}, inside a replaceable code "
+                "generation; compile the target with instrument_fp=True"
+            )

@@ -1,0 +1,74 @@
+"""Code injection (paper §IV-A, §V "Efficient Code Copying").
+
+OCOLOS leaves ``C_0`` untouched (design principle #1: preserve all ``C_0``
+instruction addresses) and adds the BOLTed hot code at a fresh address range.
+Because BOLT linked that code at a dedicated generation region, the bytes are
+copied **verbatim at their linked addresses** — no relocation at injection
+time.  The bulk copy runs inside the target through the preload agent;
+ptrace only transfers control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.binary.binaryfile import Binary
+from repro.errors import ReplacementError
+from repro.vm.preload import PreloadAgent
+from repro.vm.process import Process
+
+
+@dataclass
+class InjectionReport:
+    """What one injection copied."""
+
+    sections: List[str] = field(default_factory=list)
+    bytes_copied: int = 0
+    regions_mapped: int = 0
+
+
+class CodeInjector:
+    """Copies a BOLT generation's new sections into a running process."""
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+        self.agent = PreloadAgent.of(process)
+
+    def inject(self, bolted: Binary) -> InjectionReport:
+        """Map and copy ``bolted``'s generation sections into the target.
+
+        Injects the hot text, the exiled-cold text and any regenerated
+        jump-table section of the *new generation only* — never
+        ``bolt.org.text`` (that code already exists in the target) and never
+        ``.data`` (the live process owns its globals; pointer updates are the
+        patcher's job).
+
+        Raises:
+            ReplacementError: if ``bolted`` is not BOLT output.
+        """
+        if not bolted.bolted:
+            raise ReplacementError(f"binary {bolted.name!r} is not BOLT output")
+        generation = bolted.bolt_generation
+        report = InjectionReport()
+        wanted_prefixes = (
+            f".text.bolt{generation}",
+            f".rodata.bolt{generation}",
+        )
+        for section in bolted.sections.values():
+            if not section.name.startswith(wanted_prefixes):
+                continue
+            self.agent.map_region(
+                start=section.addr,
+                size=len(section.data),
+                name=f"ocolos:{section.name}",
+            )
+            self.agent.copy_into(section.addr, section.data)
+            report.sections.append(section.name)
+            report.bytes_copied += len(section.data)
+            report.regions_mapped += 1
+        if not report.sections:
+            raise ReplacementError(
+                f"binary {bolted.name!r} has no generation-{generation} sections"
+            )
+        return report

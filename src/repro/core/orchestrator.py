@@ -1,0 +1,248 @@
+"""The end-to-end OCOLOS pipeline (paper Fig 4a).
+
+``Ocolos.optimize_once`` drives all six steps against a live process:
+
+1. **profile** — stage-1 TopDown check (DMon-style), then LBR collection
+   through an attached perf session, with profiling overhead charged to the
+   target (Fig 7 region 2);
+2. **build the BOLTed binary** — perf2bolt aggregation and BOLT run happen
+   *in the background* while the target keeps running; the pipeline charges
+   the target the configured CPU-contention loss for the modelled duration
+   of those jobs (Fig 7 region 3);
+3-6. **pause, inject, patch pointers, resume** — the stop-the-world
+   replacement (Fig 7 region 4), delegated to
+   :class:`~repro.core.replacement.CodeReplacer` for the first optimization
+   and to :class:`~repro.core.continuous.ContinuousReplacer` for every
+   subsequent one (continuous optimization, §IV-C — an *extension* relative
+   to the paper's evaluation, which real BOLT's single-``.text`` assumption
+   blocked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.binary.binaryfile import Binary
+from repro.bolt.optimizer import BoltOptions, BoltResult, run_bolt
+from repro.compiler.codegen import CompilerOptions
+from repro.core.continuous import ContinuousReplacer, ContinuousReport
+from repro.core.costs import CostModel, FixedCosts
+from repro.core.funcptr_map import FunctionPointerMap
+from repro.core.patcher import scan_direct_call_sites
+from repro.core.replacement import CodeReplacer, ReplacementReport
+from repro.errors import ReplacementError
+from repro.profiling.dmon import FrontendDiagnosis, diagnose_frontend
+from repro.profiling.perf import PerfSession, profile_for_duration
+from repro.profiling.perf2bolt import extract_profile
+from repro.uarch.frontend import CLOCK_HZ
+from repro.vm.process import Process
+
+
+@dataclass
+class OcolosConfig:
+    """Pipeline knobs.
+
+    Attributes:
+        profile_seconds: LBR collection duration (paper default 60 s on real
+            hardware; 0.3 simulated seconds ≈ the same sample volume here).
+        perf_period: cycles between LBR samples per core.
+        perf_overhead: throughput fraction lost while perf is attached.
+        check_frontend_first: run the stage-1 TopDown check and skip
+            optimization for non-front-end-bound targets.
+        frontend_threshold: front-end latency %% above which to optimize.
+        background_contention: throughput fraction lost while perf2bolt and
+            BOLT compete for cycles (Fig 7 region 3).
+        background_sim_cap_seconds: at most this much of the background phase
+            is actually *executed* in the VM (the phase is rate-uniform, so
+            simulating more of it only burns host time; the full modelled
+            duration still appears in the cost report and timelines).
+        patch_all_calls: patch calls in every ``C_0`` function (the paper's
+            rejected variant; ablation only).
+        bolt_options: knobs forwarded to BOLT.
+    """
+
+    profile_seconds: float = 0.3
+    perf_period: int = 4500
+    perf_overhead: float = 0.14
+    check_frontend_first: bool = False
+    frontend_threshold: float = 8.0
+    background_contention: float = 0.22
+    background_sim_cap_seconds: float = 0.8
+    patch_all_calls: bool = False
+    bolt_options: Optional[BoltOptions] = None
+
+
+@dataclass
+class OcolosReport:
+    """What one ``optimize_once`` invocation did."""
+
+    generation: int = 0
+    skipped: bool = False
+    diagnosis: Optional[FrontendDiagnosis] = None
+    samples: int = 0
+    records: int = 0
+    bolt: Optional[BoltResult] = None
+    replacement: Optional[ReplacementReport] = None
+    continuous: Optional[ContinuousReport] = None
+    costs: Optional[FixedCosts] = None
+
+    @property
+    def pause_seconds(self) -> float:
+        """Stop-the-world duration of this optimization."""
+        if self.replacement is not None:
+            return self.replacement.pause_seconds
+        if self.continuous is not None:
+            return self.continuous.pause_seconds
+        return 0.0
+
+
+class Ocolos:
+    """Online code layout optimizer attached to one target process."""
+
+    def __init__(
+        self,
+        process: Process,
+        original: Binary,
+        *,
+        compiler_options: Optional[CompilerOptions] = None,
+        config: Optional[OcolosConfig] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.process = process
+        self.program = process.program
+        self.original = original
+        self.compiler_options = compiler_options or CompilerOptions(jump_tables=False)
+        self.config = config or OcolosConfig()
+        self.cost_model = cost_model or CostModel()
+        # Offline pre-work (before any pause): locate every direct call site.
+        self.call_sites = scan_direct_call_sites(original)
+        self.fp_map = FunctionPointerMap(original)
+        self.replacer = CodeReplacer(
+            process,
+            original,
+            call_sites=self.call_sites,
+            cost_model=self.cost_model,
+            patch_all_calls=self.config.patch_all_calls,
+            fp_map=self.fp_map,
+        )
+        self.continuous_replacer: Optional[ContinuousReplacer] = None
+        self.current_binary = original
+        self.reports: List[OcolosReport] = []
+
+    # ------------------------------------------------------------------
+
+    def optimize_once(self) -> OcolosReport:
+        """Run one full profile→BOLT→replace cycle.
+
+        Returns:
+            the report; ``report.skipped`` is set when the stage-1 check
+            found the target not front-end bound.
+        """
+        cfg = self.config
+        report = OcolosReport(generation=self.process.replacement_generation + 1)
+
+        if cfg.check_frontend_first:
+            report.diagnosis = diagnose_frontend(
+                self.process, threshold=cfg.frontend_threshold
+            )
+            if not report.diagnosis.should_optimize:
+                report.skipped = True
+                self.reports.append(report)
+                return report
+
+        session = profile_for_duration(
+            self.process,
+            cfg.profile_seconds,
+            period=cfg.perf_period,
+            overhead=cfg.perf_overhead,
+        )
+        report.samples = session.sample_count
+        report.records = session.record_count
+
+        profile, stats = extract_profile(session.samples, self.current_binary)
+
+        generation = self.process.replacement_generation + 1
+        if generation == 1:
+            bolt_result = run_bolt(
+                self.program,
+                self.original,
+                profile,
+                options=cfg.bolt_options,
+                compiler_options=self.compiler_options,
+                generation=1,
+            )
+        else:
+            options = cfg.bolt_options or BoltOptions()
+            options.allow_rebolt = True
+            bolt_result = run_bolt(
+                self.program,
+                self.current_binary,
+                profile,
+                options=options,
+                compiler_options=self.compiler_options,
+                generation=generation,
+                cold_reference=self.original,
+            )
+        report.bolt = bolt_result
+
+        costs = self.cost_model.fixed_costs(
+            records=stats.records,
+            hot_functions=len(bolt_result.hot_functions),
+            emitted_bytes=bolt_result.hot_text_bytes,
+            pointer_writes=0,  # patched below once known
+            bytes_copied=bolt_result.hot_text_bytes,
+        )
+        # perf2bolt + BOLT run in the background while the target executes
+        # under CPU contention.
+        self._run_with_contention(costs.background_seconds)
+
+        if generation == 1:
+            report.replacement = self.replacer.replace(bolt_result)
+        else:
+            if self.continuous_replacer is None:
+                self.continuous_replacer = ContinuousReplacer(
+                    self.process,
+                    self.original,
+                    self.fp_map,
+                    call_sites=self.call_sites,
+                    cost_model=self.cost_model,
+                )
+            report.continuous = self.continuous_replacer.replace_next(
+                bolt_result, self.current_binary
+            )
+
+        pointer_writes = (
+            report.replacement.pointer_writes
+            if report.replacement is not None
+            else report.continuous.pointer_writes
+        )
+        report.costs = FixedCosts(
+            perf2bolt_seconds=costs.perf2bolt_seconds,
+            llvm_bolt_seconds=costs.llvm_bolt_seconds,
+            replacement_seconds=report.pause_seconds,
+        )
+        _ = pointer_writes
+        self.current_binary = bolt_result.binary
+        self.reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _run_with_contention(self, seconds: float) -> None:
+        """Advance the target ``seconds`` of wall time at reduced speed.
+
+        The target gets ``1 - background_contention`` of the window's cycles;
+        the rest is charged as contention idle (the BOLT job owns those
+        cores' memory bandwidth and some of the target's SMT capacity).
+        """
+        if seconds <= 0:
+            return
+        simulated = min(seconds, self.config.background_sim_cap_seconds)
+        f = min(0.9, max(0.0, self.config.background_contention))
+        usable = simulated * CLOCK_HZ * (1.0 - f)
+        if usable > 0:
+            self.process.run(max_cycles=usable)
+        lost = simulated * CLOCK_HZ * f
+        for fe in self.process.frontends:
+            fe.idle_cycles(lost)

@@ -1,0 +1,158 @@
+"""Pointer patching (paper §IV-B).
+
+After injection, execution must be steered into ``C_1`` in the common case
+(design principle #2) without breaking any pointer OCOLOS cannot see.  The
+patcher rewrites exactly two pointer classes:
+
+* **v-table slots** — u64 function pointers in data memory; safe to rewrite
+  because the v-table's slot->function meaning is fixed;
+* **direct-call rel32 immediates inside stack-live ``C_0`` functions** —
+  in-place 4-byte rewrites that preserve instruction addresses.  Stack-live
+  functions are the ones that keep executing after resume (their frames are
+  on some stack), so their call sites are where redirection pays off.  The
+  paper found patching *all* ``C_0`` functions' calls adds replacement time
+  with no speedup (cold functions rarely run); ``patch_all_calls=True``
+  reproduces that experiment.
+
+Call sites are located **offline, before the pause** by disassembling the
+original binary (:func:`scan_direct_call_sites`), which is what keeps the
+stop-the-world window short.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.binary.binaryfile import Binary
+from repro.errors import ReplacementError
+from repro.isa.instructions import INSTRUCTION_SIZES, Opcode
+from repro.isa.disassembler import disassemble_range
+from repro.vm.ptrace import PtraceController
+
+_I32 = struct.Struct("<i")
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One direct call instruction found in the original binary."""
+
+    addr: int
+    callee: str
+
+
+@dataclass
+class PatchReport:
+    """What one patching pass rewrote."""
+
+    vtable_slots_patched: int = 0
+    call_sites_patched: int = 0
+    functions_patched: int = 0
+    stack_live_functions: Set[str] = field(default_factory=set)
+
+
+def scan_direct_call_sites(binary: Binary) -> Dict[str, List[CallSite]]:
+    """Locate every direct call site per function, by disassembly.
+
+    Done once, offline, against the original binary — identifying call sites
+    in advance significantly shortens the stop-the-world period (paper §IV).
+    """
+    sites: Dict[str, List[CallSite]] = {}
+    entry_names = {info.addr: name for name, info in binary.functions.items()}
+
+    sections = list(binary.sections.values())
+
+    def read(addr: int, length: int) -> bytes:
+        for section in sections:
+            if section.contains(addr):
+                off = addr - section.addr
+                return section.data[off : off + length]
+        raise ReplacementError(f"address {addr:#x} outside binary {binary.name!r}")
+
+    for name, info in binary.functions.items():
+        found: List[CallSite] = []
+        for block in info.blocks:
+            for insn_addr, insn in disassemble_range(
+                read, block.addr, block.addr + block.size
+            ):
+                if insn.op == Opcode.CALL:
+                    callee = entry_names.get(insn.target)
+                    if callee is not None:
+                        found.append(CallSite(addr=insn_addr, callee=callee))
+        if found:
+            sites[name] = found
+    return sites
+
+
+class PointerPatcher:
+    """Rewrites live pointers in a paused target process."""
+
+    def __init__(
+        self,
+        ptrace: PtraceController,
+        original: Binary,
+        call_sites: Optional[Dict[str, List[CallSite]]] = None,
+    ) -> None:
+        self.ptrace = ptrace
+        self.original = original
+        self.call_sites = (
+            call_sites if call_sites is not None else scan_direct_call_sites(original)
+        )
+
+    # ------------------------------------------------------------------
+
+    def moved_entries(self, bolted: Binary) -> Dict[str, Tuple[int, int]]:
+        """``name -> (old_entry, new_entry)`` for functions BOLT moved."""
+        moved: Dict[str, Tuple[int, int]] = {}
+        for name, info in bolted.functions.items():
+            old = self.original.functions.get(name)
+            if old is not None and info.addr != old.addr:
+                moved[name] = (old.addr, info.addr)
+        return moved
+
+    def patch_vtables(self, bolted: Binary, report: PatchReport) -> None:
+        """Point every v-table slot whose function moved at its new entry."""
+        moved = self.moved_entries(bolted)
+        process = self.ptrace.process
+        for vtable in self.original.vtables:
+            for slot, func_name in enumerate(vtable.slots):
+                pair = moved.get(func_name)
+                if pair is None:
+                    continue
+                slot_addr = vtable.slot_addr(slot)
+                self.ptrace.write_u64(slot_addr, pair[1])
+                report.vtable_slots_patched += 1
+
+    def patch_direct_calls(
+        self,
+        bolted: Binary,
+        functions: Iterable[str],
+        report: PatchReport,
+    ) -> None:
+        """Retarget direct calls inside the given ``C_0`` functions.
+
+        Only the rel32 immediate bytes change; instruction addresses are
+        preserved (design principle #1).
+        """
+        moved = self.moved_entries(bolted)
+        call_size = INSTRUCTION_SIZES[Opcode.CALL]
+        for name in functions:
+            sites = self.call_sites.get(name)
+            if not sites:
+                continue
+            patched_any = False
+            for site in sites:
+                pair = moved.get(site.callee)
+                if pair is None:
+                    continue
+                rel = pair[1] - (site.addr + call_size)
+                self.ptrace.write_memory(site.addr + 1, _I32.pack(rel))
+                report.call_sites_patched += 1
+                patched_any = True
+            if patched_any:
+                report.functions_patched += 1
+
+    def all_c0_functions(self) -> List[str]:
+        """Every function with call sites (for the patch-everything ablation)."""
+        return list(self.call_sites)

@@ -1,0 +1,146 @@
+"""The stop-the-world code replacement sequence (paper Fig 4a, steps 3-6).
+
+``CodeReplacer.replace`` performs, against a *paused* process:
+
+1. inject the BOLT generation's code at its linked addresses (step 3);
+2. patch v-table slots of moved functions (step 4);
+3. unwind all stacks, derive the stack-live ``C_0`` functions, and patch the
+   direct call sites inside them (step 4 continued);
+4. register the generation with the function-pointer map so
+   ``wrapFuncPtrCreation`` keeps the ``C_0`` invariant (step 4);
+5. resume (step 6).
+
+``C_0`` code is never moved or removed — every untracked code pointer
+(function pointers in heap/registers, return addresses, saved PCs) keeps
+working, merely running unoptimized code until a patched call or v-table
+steers execution back into the new generation (design principles #1 and #2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.binary.binaryfile import Binary
+from repro.bolt.optimizer import BoltResult
+from repro.core.costs import CostModel, FixedCosts
+from repro.core.funcptr_map import FunctionPointerMap
+from repro.core.injector import CodeInjector, InjectionReport
+from repro.core.patcher import CallSite, PatchReport, PointerPatcher
+from repro.errors import ReplacementError
+from repro.vm.process import Process
+from repro.vm.ptrace import PtraceController
+from repro.vm.unwind import AddressIndex, stack_live_functions
+
+
+@dataclass
+class ReplacementReport:
+    """Everything one replacement did, plus its modelled pause time."""
+
+    generation: int
+    injection: InjectionReport = field(default_factory=InjectionReport)
+    patches: PatchReport = field(default_factory=PatchReport)
+    stack_live_count: int = 0
+    pause_seconds: float = 0.0
+    trampolines: Optional[object] = None  # TrampolineReport when enabled
+
+    @property
+    def pointer_writes(self) -> int:
+        """Total pointers rewritten during the pause."""
+        writes = self.patches.vtable_slots_patched + self.patches.call_sites_patched
+        if self.trampolines is not None:
+            writes += self.trampolines.installed
+        return writes
+
+
+class CodeReplacer:
+    """Performs single-shot online code replacement on a target process."""
+
+    def __init__(
+        self,
+        process: Process,
+        original: Binary,
+        *,
+        call_sites: Optional[Dict[str, List[CallSite]]] = None,
+        cost_model: Optional[CostModel] = None,
+        patch_all_calls: bool = False,
+        fp_map: Optional[FunctionPointerMap] = None,
+        trampolines: bool = False,
+    ) -> None:
+        """
+        Args:
+            process: the running target (must have the preload agent).
+            original: the ``C_0`` binary the process was launched from.
+            call_sites: pre-scanned direct call sites (scanned offline here
+                if not provided — doing it in advance is what the real system
+                does to keep the pause short).
+            cost_model: pause-time model; defaults to unscaled.
+            patch_all_calls: patch direct calls in *every* ``C_0`` function
+                instead of only stack-live ones (the paper's rejected
+                variant, kept for the ablation bench).
+            trampolines: additionally overwrite moved ``C_0`` entries with
+                jumps to their new versions, so *every* invocation reaches
+                optimized code (the paper's security/debugging variant,
+                §IV-B).
+        """
+        self.process = process
+        self.original = original
+        self.ptrace = PtraceController(process)
+        self.patcher = PointerPatcher(self.ptrace, original, call_sites)
+        self.fp_map = fp_map if fp_map is not None else FunctionPointerMap(original)
+        self.cost_model = cost_model or CostModel()
+        self.patch_all_calls = patch_all_calls
+        self.trampolines = trampolines
+        self.history: List[ReplacementReport] = []
+
+    def replace(self, bolt_result: BoltResult) -> ReplacementReport:
+        """Replace the process's hot code with ``bolt_result``'s generation.
+
+        Raises:
+            ReplacementError: if the generation does not follow the
+                process's current one, or injection/patching fails.
+        """
+        bolted = bolt_result.binary
+        expected = self.process.replacement_generation + 1
+        if bolted.bolt_generation != expected:
+            raise ReplacementError(
+                f"expected generation {expected}, got {bolted.bolt_generation}"
+            )
+
+        self.ptrace.pause()
+        try:
+            report = ReplacementReport(generation=bolted.bolt_generation)
+            injector = CodeInjector(self.process)
+            report.injection = injector.inject(bolted)
+
+            self.patcher.patch_vtables(bolted, report.patches)
+
+            index = AddressIndex([self.original, bolted])
+            live = stack_live_functions(self.process, index)
+            report.patches.stack_live_functions = live
+            report.stack_live_count = len(live)
+            if self.patch_all_calls:
+                targets: Set[str] = set(self.patcher.all_c0_functions())
+            else:
+                targets = live
+            self.patcher.patch_direct_calls(bolted, sorted(targets), report.patches)
+
+            self.fp_map.register_generation(bolted)
+            self.fp_map.install(self.process)
+
+            if self.trampolines:
+                from repro.core.trampoline import TrampolineInstaller
+
+                report.trampolines = TrampolineInstaller(
+                    self.ptrace, self.original
+                ).install(bolted)
+
+            report.pause_seconds = self.cost_model.replacement_seconds(
+                pointer_writes=report.pointer_writes,
+                bytes_copied=report.injection.bytes_copied,
+            )
+            self.process.replacement_generation = bolted.bolt_generation
+            self.history.append(report)
+            return report
+        finally:
+            self.ptrace.resume()

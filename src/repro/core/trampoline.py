@@ -1,0 +1,92 @@
+"""Trampoline-based full redirection (paper §IV-B).
+
+OCOLOS's default policy tolerates occasional ``C_0`` execution (design
+principle #2 only asks for the *common case*).  The paper notes that
+security and debugging use-cases instead need **every** invocation of a
+``C_0`` function to reach its ``C_1`` counterpart, "e.g. via trampoline
+instructions at the start of ``C_0`` functions".
+
+This module implements that variant: during a pause it overwrites the entry
+of each moved ``C_0`` function with a ``JMP`` to the new entry.  Unlike
+rel32 call patching this *does* modify ``C_0`` instructions, so installation
+is guarded:
+
+* a function whose entry block is smaller than the 5-byte jump is skipped
+  (the jump would clobber the next block);
+* a function with any live PC or return address inside the bytes to be
+  overwritten is skipped for this cycle (it would resume into garbage).
+
+Skipped functions still get redirected the ordinary way (patched callers /
+v-tables); the trampoline only closes the residual function-pointer and
+cold-caller paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.binary.binaryfile import Binary
+from repro.errors import ReplacementError
+from repro.isa.assembler import encode_instruction
+from repro.isa.instructions import INSTRUCTION_SIZES, Opcode, jmp
+from repro.vm.ptrace import PtraceController
+from repro.vm.unwind import live_code_pointers
+
+_JMP_SIZE = INSTRUCTION_SIZES[Opcode.JMP]
+
+
+@dataclass
+class TrampolineReport:
+    """Outcome of one trampoline installation pass."""
+
+    installed: int = 0
+    skipped_small_entry: int = 0
+    skipped_live_entry: int = 0
+    functions: Set[str] = field(default_factory=set)
+
+    @property
+    def considered(self) -> int:
+        """Moved functions examined."""
+        return self.installed + self.skipped_small_entry + self.skipped_live_entry
+
+
+class TrampolineInstaller:
+    """Installs entry trampolines from ``C_0`` into a new generation."""
+
+    def __init__(self, ptrace: PtraceController, original: Binary) -> None:
+        self.ptrace = ptrace
+        self.original = original
+
+    def install(self, bolted: Binary) -> TrampolineReport:
+        """Overwrite moved functions' ``C_0`` entries with jumps to ``C_1``.
+
+        The tracee must be stopped (this rewrites code the process could be
+        executing).
+
+        Raises:
+            PtraceError: if the tracee is running.
+        """
+        process = self.ptrace.process
+        report = TrampolineReport()
+        live = [
+            (addr, kind) for addr, kind in live_code_pointers(process)
+        ]
+
+        for name, new_info in bolted.functions.items():
+            old_info = self.original.functions.get(name)
+            if old_info is None or old_info.addr == new_info.addr:
+                continue
+            entry_block = old_info.blocks[0]
+            if entry_block.size < _JMP_SIZE:
+                report.skipped_small_entry += 1
+                continue
+            clobber_range = (old_info.addr, old_info.addr + _JMP_SIZE)
+            if any(clobber_range[0] <= a < clobber_range[1] for a, _k in live):
+                report.skipped_live_entry += 1
+                continue
+            encoded = encode_instruction(jmp(new_info.addr), old_info.addr, {})
+            self.ptrace.write_memory(old_info.addr, encoded)
+            report.installed += 1
+            report.functions.add(name)
+        return report

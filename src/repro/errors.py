@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises errors derived from :class:`ReproError` so callers can
+distinguish simulator bugs (plain Python exceptions) from modelled failure
+conditions (these classes).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded into bytes."""
+
+
+class DecodingError(ReproError):
+    """Bytes at an address do not form a valid instruction."""
+
+
+class LinkError(ReproError):
+    """The linker could not lay out or resolve a binary."""
+
+
+class LoaderError(ReproError):
+    """A binary image could not be mapped into an address space."""
+
+
+class SegmentationFault(ReproError):
+    """An access touched an unmapped address in a simulated address space."""
+
+    def __init__(self, address: int, note: str = "") -> None:
+        self.address = address
+        msg = f"segmentation fault at {address:#x}"
+        if note:
+            msg = f"{msg} ({note})"
+        super().__init__(msg)
+
+
+class ExecutionError(ReproError):
+    """The interpreter reached an invalid architectural state."""
+
+
+class PtraceError(ReproError):
+    """An invalid ptrace request (e.g. operating on a running tracee)."""
+
+
+class BoltError(ReproError):
+    """BOLT could not optimize the given binary."""
+
+
+class AlreadyBoltedError(BoltError):
+    """BOLT refuses to operate on an already-BOLTed binary (paper limitation)."""
+
+
+class ReplacementError(ReproError):
+    """OCOLOS code replacement failed or was attempted in an invalid state."""
+
+
+class ProfileError(ReproError):
+    """Profiling data is missing, empty, or cannot be mapped to a binary."""
+
+
+class WorkloadError(ReproError):
+    """A workload or input specification is invalid."""

@@ -1,0 +1,36 @@
+"""Experiment harness: reusable runners and one driver per paper table/figure.
+
+Every figure and table in the paper's evaluation has a driver in
+:mod:`repro.harness.experiments` (Fig 7's phase timeline lives in
+:mod:`repro.harness.timeline`); ``benchmarks/`` wraps each driver in a
+pytest-benchmark target that prints the regenerated rows/series.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "Measurement": ".runner",
+    "launch": ".runner",
+    "measure": ".runner",
+    "link_original": ".runner",
+    "collect_profile": ".runner",
+    "bolt_oracle_binary": ".runner",
+    "pgo_oracle_binary": ".runner",
+    "run_ocolos_pipeline": ".runner",
+    "WORKLOADS": ".experiments",
+    "workload_bundle": ".experiments",
+    "fig3_input_sensitivity": ".experiments",
+    "fig5_main_performance": ".experiments",
+    "table1_characterization": ".experiments",
+    "fig6_profile_duration": ".experiments",
+    "table2_fixed_costs": ".experiments",
+    "fig8_frontend_metrics": ".experiments",
+    "fig9_topdown_points": ".experiments",
+    "breakeven_analysis": ".experiments",
+    "fig7_timeline": ".timeline",
+    "TimelineResult": ".timeline",
+    "format_table": ".reporting",
+    "format_series": ".reporting",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

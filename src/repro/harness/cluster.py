@@ -1,0 +1,181 @@
+"""Load-balanced rollout simulation (paper §IV-D).
+
+OCOLOS's stop-the-world pause can hurt tail latency.  The paper's proposed
+mitigation: *"if the system includes a load-balancing tier ... the load
+balancer can be made aware of application pauses and can route traffic to
+other nodes temporarily.  Because code optimizations are explicitly
+triggered by the operator, pause times are well known and can be scheduled
+accordingly."*
+
+This module quantifies that claim.  A cluster of replicas serves an
+open-loop request stream; OCOLOS is rolled out node by node (each node pays
+the profiling slowdown, the background-BOLT contention, then the pause).
+Two balancer policies are compared:
+
+* **unaware** — traffic keeps flowing to a node through its pause, queueing
+  behind the stopped process;
+* **drain** — the balancer routes around a node for the announced
+  optimization window and re-adds it afterwards.
+
+Each node's service rates come from real VM measurements (original /
+profiling / contention / optimized tps); latency per one-second step uses an
+M/M/1 sojourn-time approximation with explicit backlog carry-over for
+overloaded nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: p99 of an exponential sojourn time is ln(100) mean sojourn times.
+_P99_FACTOR = math.log(100.0)
+
+
+@dataclass
+class RolloutStep:
+    """Cluster state over one second of the rollout."""
+
+    second: int
+    optimizing_node: Optional[int]
+    cluster_p99_ms: float
+    worst_node_backlog: float
+    nodes_optimized: int
+
+
+@dataclass
+class RolloutResult:
+    """Per-second series plus summary statistics for one policy."""
+
+    policy: str
+    steps: List[RolloutStep] = field(default_factory=list)
+
+    @property
+    def worst_p99_ms(self) -> float:
+        """Worst per-second cluster p99 during the rollout."""
+        return max(s.cluster_p99_ms for s in self.steps)
+
+    @property
+    def steady_p99_ms(self) -> float:
+        """p99 after the rollout completes."""
+        return self.steps[-1].cluster_p99_ms
+
+    @property
+    def baseline_p99_ms(self) -> float:
+        """p99 before the rollout starts."""
+        return self.steps[0].cluster_p99_ms
+
+
+def _node_p99_ms(service_tps: float, arrival_tps: float, backlog: float) -> Tuple[float, float]:
+    """One second of M/M/1-ish service with backlog carry-over.
+
+    Returns:
+        ``(p99_ms, new_backlog)``.
+    """
+    capacity = service_tps
+    demand = arrival_tps + backlog
+    if demand <= 0:
+        return (0.0, 0.0)  # idle (e.g. drained during its pause)
+    if capacity <= 0:
+        return (1000.0, demand)  # fully stalled: a full second of delay
+    if demand >= capacity * 0.999:
+        # overload: queue grows; latency is dominated by backlog drain time
+        new_backlog = max(0.0, demand - capacity)
+        drain_seconds = new_backlog / capacity
+        return ((drain_seconds + 1.0 / capacity * _P99_FACTOR) * 1000.0, new_backlog)
+    sojourn = 1.0 / (capacity - demand)
+    return (sojourn * _P99_FACTOR * 1000.0, 0.0)
+
+
+def simulate_rollout(
+    *,
+    tps_original: float,
+    tps_profiling: float,
+    tps_contention: float,
+    tps_optimized: float,
+    pause_seconds: float,
+    profile_seconds: float,
+    background_seconds: float,
+    n_nodes: int = 4,
+    utilization: float = 0.6,
+    drain: bool = True,
+    settle_seconds: int = 5,
+) -> RolloutResult:
+    """Roll OCOLOS out across a cluster, one node at a time.
+
+    Args:
+        tps_original..tps_optimized: measured single-node service rates for
+            each pipeline phase.
+        pause_seconds: stop-the-world duration per node.
+        profile_seconds: LBR collection duration per node.
+        background_seconds: perf2bolt + BOLT duration per node.
+        n_nodes: replica count.
+        utilization: cluster load as a fraction of original capacity.
+        drain: whether the balancer routes around the optimizing node.
+        settle_seconds: seconds of steady state appended after the rollout.
+
+    Returns:
+        the per-second rollout series.
+    """
+    arrival_total = tps_original * n_nodes * utilization
+    service = [tps_original] * n_nodes
+    backlog = [0.0] * n_nodes
+    result = RolloutResult(policy="drain" if drain else "unaware")
+
+    # Build the per-node phase schedule: (duration seconds, service rate,
+    # stalled?) — the pause occupies (part of) one second at zero service.
+    def phases() -> List[Tuple[int, float]]:
+        out: List[Tuple[int, float]] = []
+        out.extend([(max(1, round(profile_seconds)), tps_profiling)])
+        out.extend([(max(1, round(background_seconds)), tps_contention)])
+        pause_fraction = min(1.0, pause_seconds)
+        out.append((1, tps_contention * (1.0 - pause_fraction)))
+        return out
+
+    second = 0
+    optimized = 0
+    timeline: List[Tuple[Optional[int], List[float], List[bool]]] = []
+    # steady state before rollout
+    timeline.append((None, list(service), [False] * n_nodes))
+
+    for node in range(n_nodes):
+        for duration, rate in phases():
+            for _ in range(duration):
+                rates = list(service)
+                rates[node] = rate
+                excluded = [False] * n_nodes
+                excluded[node] = drain
+                timeline.append((node, rates, excluded))
+        service[node] = tps_optimized
+        optimized += 1
+        timeline.append((node, list(service), [False] * n_nodes))
+
+    for _ in range(settle_seconds):
+        timeline.append((None, list(service), [False] * n_nodes))
+
+    optimized_so_far = 0
+    seen_nodes = set()
+    for opt_node, rates, excluded in timeline:
+        if opt_node is not None and opt_node not in seen_nodes:
+            seen_nodes.add(opt_node)
+        active = [i for i in range(n_nodes) if not excluded[i]]
+        share = arrival_total / len(active) if active else 0.0
+        worst_p99 = 0.0
+        worst_backlog = 0.0
+        for i in range(n_nodes):
+            arrivals = share if i in set(active) else 0.0
+            p99, backlog[i] = _node_p99_ms(rates[i], arrivals, backlog[i])
+            worst_p99 = max(worst_p99, p99)
+            worst_backlog = max(worst_backlog, backlog[i])
+        result.steps.append(
+            RolloutStep(
+                second=second,
+                optimizing_node=opt_node,
+                cluster_p99_ms=worst_p99,
+                worst_node_backlog=worst_backlog,
+                nodes_optimized=len(seen_nodes),
+            )
+        )
+        second += 1
+    return result

@@ -1,0 +1,175 @@
+"""Reusable measurement building blocks for the experiment drivers.
+
+Conventions: throughput samples are steady-state (a warm-up precedes every
+measurement, as in the paper's methodology, §VI-A); OCOLOS performance is
+measured after code replacement completes; all randomness is seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.binary.binaryfile import Binary
+from repro.binary.linker import link_program
+from repro.bolt.optimizer import BoltOptions, BoltResult, run_bolt
+from repro.compiler.pgo import compile_with_pgo
+from repro.core.orchestrator import Ocolos, OcolosConfig, OcolosReport
+from repro.profiling.perf import profile_for_duration
+from repro.profiling.perf2bolt import Perf2BoltStats, extract_profile
+from repro.profiling.profile import BoltProfile
+from repro.uarch.perfcounters import PerfCounters
+from repro.uarch.topdown import TopDownMetrics
+from repro.vm.preload import PreloadAgent
+from repro.vm.process import Process
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.inputs import InputSpec
+
+#: Default steady-state measurement lengths (transactions).
+DEFAULT_WARMUP = 300
+DEFAULT_TXNS = 500
+#: Default LBR collection window (simulated seconds; the paper's 60 s of
+#: real time collects a comparable sample volume on its 2.1 GHz machine).
+DEFAULT_PROFILE_SECONDS = 0.3
+
+
+@dataclass
+class Measurement:
+    """One steady-state throughput sample."""
+
+    tps: float
+    counters: PerfCounters
+    topdown: TopDownMetrics
+    input_name: str
+    binary_name: str
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the sample."""
+        return self.counters.ipc
+
+
+def link_original(workload: SyntheticWorkload) -> Binary:
+    """Link the workload's original (static-layout) binary, cached."""
+    cached = getattr(workload, "_original_binary", None)
+    if cached is None:
+        cached = link_program(workload.program, options=workload.options)
+        workload._original_binary = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def launch(
+    workload: SyntheticWorkload,
+    input_spec: InputSpec,
+    *,
+    binary: Optional[Binary] = None,
+    n_threads: Optional[int] = None,
+    seed: int = 1,
+    with_agent: bool = True,
+) -> Process:
+    """Start a process running the workload under ``input_spec``."""
+    binary = binary if binary is not None else link_original(workload)
+    process = Process(
+        binary,
+        workload.program,
+        input_spec,
+        n_threads=n_threads or workload.params.n_threads,
+        seed=seed,
+    )
+    if with_agent:
+        PreloadAgent(process)
+    return process
+
+
+def measure(
+    process: Process,
+    *,
+    transactions: int = DEFAULT_TXNS,
+    warmup: int = DEFAULT_WARMUP,
+) -> Measurement:
+    """Steady-state throughput over ``transactions`` after ``warmup``."""
+    if warmup > 0:
+        process.run(max_transactions=warmup)
+    delta = process.run(max_transactions=transactions)
+    return Measurement(
+        tps=process.throughput_tps(delta),
+        counters=delta,
+        topdown=process.topdown(delta),
+        input_name=process.behaviour.spec.name,
+        binary_name=process.binary.name,
+    )
+
+
+def collect_profile(
+    workload: SyntheticWorkload,
+    input_spec: InputSpec,
+    *,
+    seconds: float = DEFAULT_PROFILE_SECONDS,
+    period: int = 4500,
+    seed: int = 3,
+    warmup: int = 200,
+) -> Tuple[BoltProfile, Perf2BoltStats]:
+    """Profile a fresh process running ``input_spec`` on the original binary."""
+    binary = link_original(workload)
+    process = launch(workload, input_spec, seed=seed, with_agent=False)
+    if warmup > 0:
+        process.run(max_transactions=warmup)
+    session = profile_for_duration(process, seconds, period=period)
+    return extract_profile(session.samples, binary)
+
+
+def bolt_oracle_binary(
+    workload: SyntheticWorkload,
+    input_spec: InputSpec,
+    *,
+    seconds: float = DEFAULT_PROFILE_SECONDS,
+    options: Optional[BoltOptions] = None,
+) -> BoltResult:
+    """Offline BOLT with an oracle profile of the input being run."""
+    profile, _stats = collect_profile(workload, input_spec, seconds=seconds)
+    return run_bolt(
+        workload.program,
+        link_original(workload),
+        profile,
+        options=options,
+        compiler_options=workload.options,
+    )
+
+
+def pgo_oracle_binary(
+    workload: SyntheticWorkload,
+    input_spec: InputSpec,
+    *,
+    seconds: float = DEFAULT_PROFILE_SECONDS,
+) -> Binary:
+    """Clang-PGO compile using the same oracle profile BOLT gets."""
+    profile, _stats = collect_profile(workload, input_spec, seconds=seconds)
+    return compile_with_pgo(workload.program, profile, workload.options)
+
+
+def run_ocolos_pipeline(
+    workload: SyntheticWorkload,
+    input_spec: InputSpec,
+    *,
+    seed: int = 1,
+    config: Optional[OcolosConfig] = None,
+    warmup: int = 200,
+) -> Tuple[Process, Ocolos, OcolosReport]:
+    """Launch a process, let it warm up, and run one OCOLOS optimization.
+
+    Returns:
+        ``(process, ocolos, report)`` — the process is left running the
+        optimized code, ready to be measured.
+    """
+    binary = link_original(workload)
+    process = launch(workload, input_spec, seed=seed)
+    if warmup > 0:
+        process.run(max_transactions=warmup)
+    ocolos = Ocolos(
+        process,
+        binary,
+        compiler_options=workload.options,
+        config=config,
+    )
+    report = ocolos.optimize_once()
+    return process, ocolos, report

@@ -1,0 +1,165 @@
+"""Fig 7: throughput before, during and after code replacement.
+
+The driver *measures* the steady-state throughput of each phase in the VM
+(original, under-profiling, under-background-contention, optimized) and the
+replacement pause from the cost model, then lays the phases out on a
+paper-comparable wall-clock axis:
+
+====== ============================= =======================
+region content                        duration
+1      warm-up, original binary       ``warmup_seconds``
+2      perf LBR collection            ``profile_display_seconds``
+3      perf2bolt + llvm-bolt          cost model (Table II)
+4      stop-the-world replacement     cost model (Table II)
+5      optimized code                 ``post_seconds``
+====== ============================= =======================
+
+Per-second p95 latency uses an exponential-service approximation
+(p95 ≈ 3 × mean service time = 3 × threads / tps); the second containing the
+pause additionally reflects transactions stalled behind the stop-the-world
+window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.costs import CostModel, FixedCosts
+from repro.core.orchestrator import Ocolos, OcolosConfig
+from repro.harness.runner import launch, link_original, measure
+from repro.harness.experiments import workload_bundle
+from repro.uarch.frontend import CLOCK_HZ
+
+
+@dataclass
+class TimelinePoint:
+    """One per-second sample of the Fig 7 series."""
+
+    second: int
+    tps: float
+    p95_ms: float
+    region: int
+
+
+@dataclass
+class TimelineResult:
+    """The full Fig 7 series plus its phase summary."""
+
+    points: List[TimelinePoint]
+    tps_original: float
+    tps_profiling: float
+    tps_contention: float
+    tps_optimized: float
+    pause_seconds: float
+    costs: FixedCosts
+    region_bounds: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Post-replacement speedup over the original binary."""
+        return self.tps_optimized / self.tps_original
+
+    def p95_summary(self) -> Tuple[float, float, float]:
+        """(warm-up p95, worst p95 during regions 3-4, optimized p95) in ms."""
+        warm = [p.p95_ms for p in self.points if p.region == 1]
+        mid = [p.p95_ms for p in self.points if p.region in (3, 4)]
+        post = [p.p95_ms for p in self.points if p.region == 5]
+        return (
+            sum(warm) / len(warm) if warm else 0.0,
+            max(mid) if mid else 0.0,
+            sum(post) / len(post) if post else 0.0,
+        )
+
+
+def fig7_timeline(
+    workload_name: str = "mysql",
+    input_name: str = "oltp_read_only",
+    *,
+    warmup_seconds: int = 20,
+    profile_display_seconds: int = 60,
+    post_seconds: int = 40,
+    transactions: int = 500,
+    config: Optional[OcolosConfig] = None,
+) -> TimelineResult:
+    """Measure phase rates and regenerate the Fig 7 per-second series."""
+    bundle = workload_bundle(workload_name)
+    workload = bundle.workload
+    spec = bundle.inputs[input_name]
+    cfg = config or OcolosConfig()
+    n_threads = workload.params.n_threads
+
+    process = launch(workload, spec, seed=1)
+    m_orig = measure(process, transactions=transactions)
+
+    ocolos = Ocolos(
+        process,
+        link_original(workload),
+        compiler_options=workload.options,
+        config=cfg,
+        cost_model=CostModel(workload_scale=workload.params.scale),
+    )
+
+    # Profiling-phase rate: measured with the session attached.
+    from repro.profiling.perf import PerfSession
+
+    session = PerfSession(period=cfg.perf_period, overhead=cfg.perf_overhead)
+    session.attach(process)
+    m_prof = measure(process, transactions=transactions, warmup=100)
+    session.detach()
+
+    report = ocolos.optimize_once()
+    process.run(max_transactions=600)
+    m_opt = measure(process, transactions=transactions, warmup=0)
+
+    costs = report.costs
+    tps_orig = m_orig.tps
+    tps_prof = m_prof.tps
+    tps_cont = tps_orig * (1.0 - cfg.background_contention)
+    tps_opt = m_opt.tps
+    pause = report.pause_seconds
+
+    def p95(tps: float) -> float:
+        return 3.0 * n_threads / tps * 1000.0 if tps > 0 else float("inf")
+
+    points: List[TimelinePoint] = []
+    second = 0
+    bounds: List[Tuple[int, str]] = []
+
+    def emit(duration: int, tps: float, region: int, label: str) -> None:
+        nonlocal second
+        bounds.append((second, label))
+        for _ in range(max(1, duration)):
+            points.append(
+                TimelinePoint(second=second, tps=tps, p95_ms=p95(tps), region=region)
+            )
+            second += 1
+
+    emit(warmup_seconds, tps_orig, 1, "warm-up (original)")
+    emit(profile_display_seconds, tps_prof, 2, "perf LBR collection")
+    emit(int(round(costs.background_seconds)), tps_cont, 3, "perf2bolt + llvm-bolt")
+    # Region 4: the second containing the pause loses pause*tps transactions
+    # and its p95 reflects requests stalled behind the stop-the-world window.
+    pause_tps = tps_cont * max(0.0, 1.0 - pause)
+    bounds.append((second, "code replacement (pause)"))
+    points.append(
+        TimelinePoint(
+            second=second,
+            tps=pause_tps,
+            p95_ms=max(p95(tps_cont), pause * 0.9 * 1000.0),
+            region=4,
+        )
+    )
+    second += 1
+    emit(post_seconds, tps_opt, 5, "optimized")
+
+    return TimelineResult(
+        points=points,
+        tps_original=tps_orig,
+        tps_profiling=tps_prof,
+        tps_contention=tps_cont,
+        tps_optimized=tps_opt,
+        pause_seconds=pause,
+        costs=costs,
+        region_bounds=bounds,
+    )

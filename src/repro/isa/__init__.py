@@ -1,0 +1,71 @@
+"""Synthetic byte-encoded instruction set.
+
+The substrate ISA is deliberately small but keeps every property OCOLOS's code
+replacement depends on:
+
+* direct calls and branches encode **PC-relative rel32 immediates** in the
+  instruction bytes (patchable in place without changing instruction size);
+* virtual calls read **u64 function addresses from v-tables in data memory**;
+* indirect calls read **u64 function pointers from memory slots** written by
+  ``MKFP`` (function-pointer materialisation) instructions;
+* jump tables read targets from **compile-time-constant table addresses**
+  (the paper's ``-fno-jump-tables`` limitation applies to them);
+* returns pop **u64 return addresses from stack memory**.
+
+Code is stored as real bytes in the simulated address space, so layout tools
+(the linker, BOLT) and the OCOLOS patcher operate on the same byte-level
+representation a real binary would have.
+"""
+
+from repro.isa.instructions import (
+    INSTRUCTION_SIZES,
+    Opcode,
+    Instruction,
+    alu,
+    br_cond,
+    call,
+    halt,
+    icall,
+    jmp,
+    jtab,
+    load,
+    longjmp,
+    mkfp,
+    nop,
+    ret,
+    setjmp,
+    store,
+    syscall,
+    txn_mark,
+    vcall,
+)
+from repro.isa.assembler import Assembler, encode_instruction, patch_rel32
+from repro.isa.disassembler import decode_instruction, disassemble_range
+
+__all__ = [
+    "INSTRUCTION_SIZES",
+    "Opcode",
+    "Instruction",
+    "Assembler",
+    "encode_instruction",
+    "patch_rel32",
+    "decode_instruction",
+    "disassemble_range",
+    "nop",
+    "alu",
+    "load",
+    "store",
+    "txn_mark",
+    "br_cond",
+    "jmp",
+    "call",
+    "icall",
+    "vcall",
+    "ret",
+    "jtab",
+    "mkfp",
+    "syscall",
+    "halt",
+    "setjmp",
+    "longjmp",
+]

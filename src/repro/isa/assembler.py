@@ -1,0 +1,174 @@
+"""Encoding of instructions into bytes.
+
+The :class:`Assembler` encodes a sequence of instructions at a base address,
+resolving symbolic targets through a caller-supplied symbol table.  PC-relative
+immediates (``rel32``) are computed relative to the address of the *next*
+instruction, as on x86, so a direct call can later be retargeted by rewriting
+only its 4 immediate bytes (see :func:`patch_rel32`).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterable, List, Mapping, Tuple, Union
+
+from repro.errors import EncodingError
+from repro.isa.instructions import INSTRUCTION_SIZES, Instruction, Opcode
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+
+#: Byte offset of the rel32 immediate within each rel32-bearing opcode.
+REL32_OFFSETS = {
+    Opcode.BR_COND: 3,
+    Opcode.JMP: 1,
+    Opcode.CALL: 1,
+}
+
+Resolver = Union[Mapping[str, int], Callable[[str], int]]
+
+
+def _resolve(target, resolver: Resolver) -> int:
+    if isinstance(target, int):
+        return target
+    if target is None:
+        raise EncodingError("control-flow instruction has no target")
+    if callable(resolver):
+        return resolver(target)
+    try:
+        return resolver[target]
+    except KeyError as exc:
+        raise EncodingError(f"unresolved symbol {target!r}") from exc
+
+
+def encode_instruction(insn: Instruction, addr: int, resolver: Resolver = ()) -> bytes:
+    """Encode ``insn`` placed at ``addr`` into its byte representation.
+
+    Args:
+        insn: the instruction to encode.
+        addr: the absolute address the first byte will occupy.
+        resolver: symbol table (mapping or callable) for symbolic targets.
+
+    Returns:
+        ``insn.size`` bytes.
+    """
+    op = insn.op
+    size = INSTRUCTION_SIZES[op]
+    end = addr + size
+    buf = bytearray(size)
+    buf[0] = int(op)
+    if op in (Opcode.ALU, Opcode.LOAD, Opcode.STORE):
+        buf[1] = insn.weight & 0xFF
+    elif op == Opcode.TXN_MARK:
+        buf[1] = insn.weight & 0xFF
+    elif op == Opcode.SYSCALL:
+        buf[1] = insn.weight & 0xFF
+    elif op == Opcode.BR_COND:
+        if insn.site >= 0x8000:
+            raise EncodingError(f"br_cond site {insn.site} exceeds 15-bit limit")
+        site_field = insn.site | (0x8000 if insn.invert else 0)
+        _U16.pack_into(buf, 1, site_field)
+        rel = _resolve(insn.target, resolver) - end
+        _check_rel32(rel)
+        _I32.pack_into(buf, 3, rel)
+    elif op in (Opcode.JMP, Opcode.CALL):
+        rel = _resolve(insn.target, resolver) - end
+        _check_rel32(rel)
+        _I32.pack_into(buf, 1, rel)
+    elif op == Opcode.ICALL:
+        _U16.pack_into(buf, 1, insn.site)
+    elif op == Opcode.VCALL:
+        _U16.pack_into(buf, 1, insn.site)
+        _U16.pack_into(buf, 3, insn.slot)
+    elif op == Opcode.JTAB:
+        _U16.pack_into(buf, 1, insn.site)
+        table = _resolve(insn.target, resolver)
+        _check_u32(table)
+        _U32.pack_into(buf, 3, table)
+    elif op == Opcode.MKFP:
+        func = _resolve(insn.target, resolver)
+        _check_u32(func)
+        _U32.pack_into(buf, 1, func)
+        _U16.pack_into(buf, 5, insn.slot)
+        buf[7] = 1 if insn.wrapped else 0
+    elif op in (Opcode.SETJMP, Opcode.LONGJMP):
+        _U16.pack_into(buf, 1, insn.slot)
+    elif op in (Opcode.NOP, Opcode.RET, Opcode.HALT):
+        pass
+    else:  # pragma: no cover - exhaustive above
+        raise EncodingError(f"unknown opcode {op!r}")
+    return bytes(buf)
+
+
+def _check_rel32(rel: int) -> None:
+    if not (-(2**31) <= rel < 2**31):
+        raise EncodingError(f"rel32 displacement out of range: {rel}")
+
+
+def _check_u32(value: int) -> None:
+    if not (0 <= value < 2**32):
+        raise EncodingError(f"u32 immediate out of range: {value}")
+
+
+def patch_rel32(code: bytearray, insn_offset: int, insn_addr: int, new_target: int) -> None:
+    """Rewrite the rel32 immediate of the instruction at ``insn_offset``.
+
+    This is the byte-level operation OCOLOS uses to retarget direct calls in
+    place: only the 4 immediate bytes change, so instruction addresses are
+    preserved (Design Principle #1 of the paper).
+
+    Args:
+        code: buffer holding the code (mutated in place).
+        insn_offset: offset of the instruction's first byte within ``code``.
+        insn_addr: absolute address of the instruction's first byte.
+        new_target: absolute address the instruction should now transfer to.
+    """
+    op = Opcode(code[insn_offset])
+    if op not in REL32_OFFSETS:
+        raise EncodingError(f"opcode {op.name} has no rel32 immediate")
+    size = INSTRUCTION_SIZES[op]
+    rel = new_target - (insn_addr + size)
+    _check_rel32(rel)
+    _I32.pack_into(code, insn_offset + REL32_OFFSETS[op], rel)
+
+
+class Assembler:
+    """Encodes instruction sequences into a contiguous byte image.
+
+    Example:
+        >>> asm = Assembler(base=0x1000)
+        >>> asm.emit(alu())                             # doctest: +SKIP
+        >>> image = asm.finish({})                      # doctest: +SKIP
+    """
+
+    def __init__(self, base: int) -> None:
+        self.base = base
+        self._pending: List[Tuple[int, Instruction]] = []
+        self._cursor = base
+
+    @property
+    def cursor(self) -> int:
+        """Address the next emitted instruction will occupy."""
+        return self._cursor
+
+    def emit(self, insn: Instruction) -> int:
+        """Queue ``insn`` at the current cursor; returns its address."""
+        addr = self._cursor
+        self._pending.append((addr, insn))
+        self._cursor += insn.size
+        return addr
+
+    def emit_all(self, insns: Iterable[Instruction]) -> None:
+        """Queue each instruction in order."""
+        for insn in insns:
+            self.emit(insn)
+
+    def finish(self, resolver: Resolver = ()) -> bytes:
+        """Encode all queued instructions, resolving symbols via ``resolver``."""
+        out = bytearray(self._cursor - self.base)
+        for addr, insn in self._pending:
+            encoded = encode_instruction(insn, addr, resolver)
+            off = addr - self.base
+            out[off : off + len(encoded)] = encoded
+        return bytes(out)

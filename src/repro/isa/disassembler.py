@@ -1,0 +1,97 @@
+"""Decoding bytes back into :class:`~repro.isa.instructions.Instruction`.
+
+Used by the interpreter's decode cache, by BOLT's binary lifting, and by the
+OCOLOS patcher when it scans ``C_0`` for direct call sites.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Tuple
+
+from repro.errors import DecodingError
+from repro.isa.instructions import INSTRUCTION_SIZES, Instruction, Opcode
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+
+ReadBytes = Callable[[int, int], bytes]
+
+
+def decode_instruction(read: ReadBytes, addr: int) -> Instruction:
+    """Decode the instruction whose first byte is at ``addr``.
+
+    Args:
+        read: callable ``read(addr, length) -> bytes``.
+        addr: absolute address of the opcode byte.
+
+    Returns:
+        the decoded instruction with resolved integer targets.
+
+    Raises:
+        DecodingError: if the opcode byte is not a valid opcode.
+    """
+    opbyte = read(addr, 1)[0]
+    try:
+        op = Opcode(opbyte)
+    except ValueError as exc:
+        raise DecodingError(f"invalid opcode {opbyte:#x} at {addr:#x}") from exc
+    size = INSTRUCTION_SIZES[op]
+    raw = read(addr, size)
+    end = addr + size
+    if op in (Opcode.ALU, Opcode.LOAD, Opcode.STORE, Opcode.TXN_MARK, Opcode.SYSCALL):
+        return Instruction(op, weight=raw[1])
+    if op == Opcode.BR_COND:
+        site_field = _U16.unpack_from(raw, 1)[0]
+        rel = _I32.unpack_from(raw, 3)[0]
+        return Instruction(
+            op,
+            site=site_field & 0x7FFF,
+            target=end + rel,
+            invert=bool(site_field & 0x8000),
+        )
+    if op in (Opcode.JMP, Opcode.CALL):
+        rel = _I32.unpack_from(raw, 1)[0]
+        return Instruction(op, target=end + rel)
+    if op == Opcode.ICALL:
+        site = _U16.unpack_from(raw, 1)[0]
+        return Instruction(op, site=site)
+    if op == Opcode.VCALL:
+        site = _U16.unpack_from(raw, 1)[0]
+        slot = _U16.unpack_from(raw, 3)[0]
+        return Instruction(op, site=site, slot=slot)
+    if op == Opcode.JTAB:
+        site = _U16.unpack_from(raw, 1)[0]
+        table = _U32.unpack_from(raw, 3)[0]
+        return Instruction(op, site=site, target=table)
+    if op == Opcode.MKFP:
+        func = _U32.unpack_from(raw, 1)[0]
+        slot = _U16.unpack_from(raw, 5)[0]
+        wrapped = bool(raw[7])
+        return Instruction(op, slot=slot, target=func, wrapped=wrapped)
+    if op in (Opcode.SETJMP, Opcode.LONGJMP):
+        slot = _U16.unpack_from(raw, 1)[0]
+        return Instruction(op, slot=slot)
+    # NOP, RET, HALT
+    return Instruction(op)
+
+
+def disassemble_range(read: ReadBytes, start: int, end: int) -> List[Tuple[int, Instruction]]:
+    """Linearly decode ``[start, end)`` into ``(address, instruction)`` pairs.
+
+    Decoding stops exactly at ``end``; a final instruction that would extend
+    past ``end`` raises :class:`DecodingError` (it indicates a bad symbol
+    boundary, which real disassemblers also reject).
+    """
+    out: List[Tuple[int, Instruction]] = []
+    addr = start
+    while addr < end:
+        insn = decode_instruction(read, addr)
+        if addr + insn.size > end:
+            raise DecodingError(
+                f"instruction at {addr:#x} (size {insn.size}) crosses range end {end:#x}"
+            )
+        out.append((addr, insn))
+        addr += insn.size
+    return out

@@ -1,0 +1,219 @@
+"""Instruction definitions for the substrate ISA.
+
+Each opcode has a fixed byte size (like a RISC encoding with a few long
+forms).  Control-flow instructions carry either a *resolved* integer target
+(an absolute address) or a *symbolic* target (a string label) before linking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional, Union
+
+
+class Opcode(IntEnum):
+    """Byte values used as the first byte of each encoded instruction."""
+
+    NOP = 0x00
+    ALU = 0x01
+    LOAD = 0x02
+    STORE = 0x03
+    TXN_MARK = 0x04
+    BR_COND = 0x10
+    JMP = 0x11
+    CALL = 0x12
+    ICALL = 0x13
+    VCALL = 0x14
+    RET = 0x15
+    JTAB = 0x16
+    MKFP = 0x17
+    SYSCALL = 0x18
+    HALT = 0x19
+    SETJMP = 0x1A
+    LONGJMP = 0x1B
+
+
+#: Total encoded size in bytes for each opcode.
+INSTRUCTION_SIZES = {
+    Opcode.NOP: 1,
+    Opcode.ALU: 4,
+    Opcode.LOAD: 4,
+    Opcode.STORE: 4,
+    Opcode.TXN_MARK: 2,
+    Opcode.BR_COND: 7,  # op, site:u16, rel32
+    Opcode.JMP: 5,  # op, rel32
+    Opcode.CALL: 5,  # op, rel32
+    Opcode.ICALL: 4,  # op, site:u16, pad
+    Opcode.VCALL: 6,  # op, site:u16, slot:u16, pad
+    Opcode.RET: 1,
+    Opcode.JTAB: 7,  # op, site:u16, table:u32 (absolute, compile-time constant)
+    Opcode.MKFP: 8,  # op, func:u32 (absolute), slot:u16, wrapped:u8
+    Opcode.SYSCALL: 2,  # op, kind:u8
+    Opcode.HALT: 1,
+    Opcode.SETJMP: 4,  # op, buf:u16, pad
+    Opcode.LONGJMP: 4,  # op, buf:u16, pad
+}
+
+#: Opcodes that end a basic block.
+TERMINATORS = frozenset(
+    {
+        Opcode.BR_COND,
+        Opcode.JMP,
+        Opcode.CALL,
+        Opcode.ICALL,
+        Opcode.VCALL,
+        Opcode.RET,
+        Opcode.JTAB,
+        Opcode.HALT,
+        Opcode.LONGJMP,
+    }
+)
+
+#: A symbolic or resolved control-flow target.
+Target = Optional[Union[int, str]]
+
+
+@dataclass
+class Instruction:
+    """A single decoded (or not-yet-encoded) instruction.
+
+    Attributes:
+        op: the opcode.
+        site: behaviour/profile site id for br_cond, icall, vcall and jtab;
+            sites index into per-input outcome distributions.
+        weight: backend-weight class for alu/load/store, syscall kind for
+            syscall, marker kind for txn_mark.
+        slot: v-table slot index for vcall; function-pointer slot for mkfp.
+        target: rel-encoded target for br_cond/jmp/call (absolute address once
+            resolved, or a symbolic label before linking); absolute function
+            address for mkfp; absolute table address for jtab.
+        wrapped: for mkfp, whether the function-pointer-creation
+            instrumentation (``wrapFuncPtrCreation``) applies.
+        invert: for br_cond, whether the branch sense is inverted relative to
+            the site's taken-probability (used when a layout places the
+            originally-taken successor as the fallthrough).
+    """
+
+    op: Opcode
+    site: int = 0
+    weight: int = 0
+    slot: int = 0
+    target: Target = None
+    wrapped: bool = False
+    invert: bool = False
+
+    @property
+    def size(self) -> int:
+        """Encoded size in bytes."""
+        return INSTRUCTION_SIZES[self.op]
+
+    @property
+    def is_terminator(self) -> bool:
+        """Whether this instruction ends a basic block."""
+        return self.op in TERMINATORS
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [self.op.name.lower()]
+        if self.site:
+            parts.append(f"site={self.site}")
+        if self.slot:
+            parts.append(f"slot={self.slot}")
+        if self.target is not None:
+            if isinstance(self.target, int):
+                parts.append(f"target={self.target:#x}")
+            else:
+                parts.append(f"target={self.target!r}")
+        if self.wrapped:
+            parts.append("wrapped")
+        return f"<{' '.join(parts)}>"
+
+
+def nop() -> Instruction:
+    """A 1-byte no-op (used as padding)."""
+    return Instruction(Opcode.NOP)
+
+
+def alu(weight: int = 0) -> Instruction:
+    """A computational instruction; ``weight`` selects a backend stall class."""
+    return Instruction(Opcode.ALU, weight=weight)
+
+
+def load(mem_class: int = 0) -> Instruction:
+    """A memory load; ``mem_class`` selects the data-memory behaviour class."""
+    return Instruction(Opcode.LOAD, weight=mem_class)
+
+
+def store(mem_class: int = 0) -> Instruction:
+    """A memory store; ``mem_class`` selects the data-memory behaviour class."""
+    return Instruction(Opcode.STORE, weight=mem_class)
+
+
+def txn_mark(kind: int = 0) -> Instruction:
+    """Marks completion of one transaction / work unit (perf-countable)."""
+    return Instruction(Opcode.TXN_MARK, weight=kind)
+
+
+def br_cond(site: int, target: Target, invert: bool = False) -> Instruction:
+    """Conditional branch; outcome drawn from the input model at ``site``.
+
+    With ``invert`` set, the branch is taken when the site's modelled
+    condition is *false* (the compiler flipped the branch sense so the
+    common-case successor could be laid out as the fallthrough).
+    """
+    return Instruction(Opcode.BR_COND, site=site, target=target, invert=invert)
+
+
+def jmp(target: Target) -> Instruction:
+    """Unconditional PC-relative jump."""
+    return Instruction(Opcode.JMP, target=target)
+
+
+def call(target: Target) -> Instruction:
+    """Direct call; pushes the return address onto the thread stack."""
+    return Instruction(Opcode.CALL, target=target)
+
+
+def icall(site: int) -> Instruction:
+    """Indirect call through a function-pointer slot chosen at ``site``."""
+    return Instruction(Opcode.ICALL, site=site)
+
+
+def vcall(site: int, slot: int) -> Instruction:
+    """Virtual call through v-table ``slot`` of the class chosen at ``site``."""
+    return Instruction(Opcode.VCALL, site=site, slot=slot)
+
+
+def ret() -> Instruction:
+    """Return: pops a u64 return address from stack memory and jumps to it."""
+    return Instruction(Opcode.RET)
+
+
+def jtab(site: int, table: Target) -> Instruction:
+    """Indirect jump through a jump table at a compile-time-constant address."""
+    return Instruction(Opcode.JTAB, site=site, target=table)
+
+
+def mkfp(func: Target, slot: int, wrapped: bool = False) -> Instruction:
+    """Materialise a function pointer into function-pointer slot ``slot``."""
+    return Instruction(Opcode.MKFP, slot=slot, target=func, wrapped=wrapped)
+
+
+def syscall(kind: int = 0) -> Instruction:
+    """Blocking system call of the given kind."""
+    return Instruction(Opcode.SYSCALL, weight=kind)
+
+
+def setjmp(buf: int) -> Instruction:
+    """Save the continuation (next PC, SP) into jump buffer ``buf``."""
+    return Instruction(Opcode.SETJMP, slot=buf)
+
+
+def longjmp(buf: int) -> Instruction:
+    """Restore the continuation saved in jump buffer ``buf``."""
+    return Instruction(Opcode.LONGJMP, slot=buf)
+
+
+def halt() -> Instruction:
+    """Terminates the executing thread."""
+    return Instruction(Opcode.HALT)

@@ -1,0 +1,24 @@
+"""Profiling: LBR sampling, a perf-like session, and perf2bolt aggregation.
+
+Mirrors the paper's two-stage profiling methodology (§V): stage 1 is a cheap
+TopDown bottleneck check (:mod:`repro.profiling.dmon`, after DMon); stage 2
+records Last Branch Record samples through a perf-like attachable session
+(:mod:`repro.profiling.perf`) and aggregates them into block/edge/call-graph
+counts (:mod:`repro.profiling.perf2bolt`) for BOLT.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "BoltProfile": ".profile",
+    "BlockSpanIndex": ".profile",
+    "PerfSession": ".perf",
+    "extract_profile": ".perf2bolt",
+    "Perf2BoltStats": ".perf2bolt",
+    "FrontendDiagnosis": ".dmon",
+    "diagnose_frontend": ".dmon",
+    "MissReport": ".annotate",
+    "record_l1i_misses": ".annotate",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,59 @@
+"""Stage-1 profiling: DMon/TopDown-style front-end bottleneck detection.
+
+Before paying for LBR collection and BOLT, OCOLOS checks whether the target
+suffers enough front-end stalls to merit optimization (paper §V,
+"Profiling").  This module runs a short counter-only measurement window and
+applies a TopDown threshold — the same decision Fig 9's classifier makes
+offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.topdown import TopDownMetrics
+from repro.vm.process import Process
+
+#: Default decision threshold: proceed when the front-end latency share
+#: exceeds this percentage of pipeline slots.
+FRONTEND_LATENCY_THRESHOLD = 8.0
+
+
+@dataclass(frozen=True)
+class FrontendDiagnosis:
+    """Outcome of the stage-1 check."""
+
+    topdown: TopDownMetrics
+    frontend_bound: bool
+    threshold: float
+
+    @property
+    def should_optimize(self) -> bool:
+        """Whether stage-2 (LBR + BOLT) is worth running."""
+        return self.frontend_bound
+
+
+def diagnose_frontend(
+    process: Process,
+    *,
+    window_instructions: int = 200_000,
+    threshold: float = FRONTEND_LATENCY_THRESHOLD,
+) -> FrontendDiagnosis:
+    """Measure a counter window on the running target and classify it.
+
+    Args:
+        process: the running target.
+        window_instructions: measurement window length.
+        threshold: front-end latency percentage above which the workload is
+            considered front-end bound.
+
+    Returns:
+        the diagnosis, including the raw TopDown metrics.
+    """
+    delta = process.run(max_instructions=window_instructions)
+    metrics = process.topdown(delta)
+    return FrontendDiagnosis(
+        topdown=metrics,
+        frontend_bound=metrics.frontend_latency >= threshold,
+        threshold=threshold,
+    )

@@ -1,0 +1,104 @@
+"""perf2bolt: aggregate raw LBR samples into a :class:`BoltProfile`.
+
+Each LBR snapshot is a window of the last 32 taken transfers.  Aggregation
+does what the real perf2bolt does:
+
+* every record ``(from, to)`` increments the taken-edge count between the
+  blocks containing those addresses;
+* between two consecutive records, execution ran linearly from the earlier
+  record's target to the later record's source — every block span in that
+  range gets a fallthrough execution count;
+* records whose source block belongs to a different function than the target
+  block's entry increment the call graph (calls, virtual calls, indirect
+  calls all appear in the LBR stream as taken transfers to function entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.binary.binaryfile import Binary
+from repro.errors import ProfileError
+from repro.profiling.profile import BlockSpanIndex, BoltProfile
+
+
+@dataclass(frozen=True)
+class Perf2BoltStats:
+    """Work performed by the aggregation (drives the cost model)."""
+
+    samples: int
+    records: int
+    resolved_records: int
+
+
+def extract_profile(
+    samples: Iterable[Sequence[Tuple[int, int]]],
+    binary: Binary,
+) -> Tuple[BoltProfile, Perf2BoltStats]:
+    """Aggregate LBR ``samples`` against ``binary``'s symbol information.
+
+    Args:
+        samples: LBR snapshots (each a sequence of ``(from, to)`` pairs,
+            oldest first).
+        binary: the binary the target process was running.
+
+    Returns:
+        ``(profile, stats)``.
+
+    Raises:
+        ProfileError: if no sample could be resolved against the binary.
+    """
+    index = BlockSpanIndex(binary)
+    profile = BoltProfile()
+    block_counts = profile.block_counts
+    branch_edges = profile.branch_edges
+    fallthrough_edges = profile.fallthrough_edges
+    call_edges = profile.call_edges
+
+    n_samples = 0
+    n_records = 0
+    n_resolved = 0
+    entry_addrs = {f.addr: name for name, f in binary.functions.items()}
+
+    for snapshot in samples:
+        n_samples += 1
+        prev_to = None
+        for from_addr, to_addr in snapshot:
+            n_records += 1
+            src_label = index.label_at(from_addr)
+            dst_label = index.label_at(to_addr)
+            if src_label is None or dst_label is None:
+                prev_to = None
+                continue
+            n_resolved += 1
+            key = (src_label, dst_label)
+            branch_edges[key] = branch_edges.get(key, 0) + 1
+            block_counts[dst_label] = block_counts.get(dst_label, 0) + 1
+
+            callee = entry_addrs.get(to_addr)
+            if callee is not None:
+                caller = src_label.rsplit("#", 1)[0]
+                if caller != callee:
+                    ckey = (caller, callee)
+                    call_edges[ckey] = call_edges.get(ckey, 0) + 1
+
+            if prev_to is not None and from_addr >= prev_to:
+                path = index.labels_between(prev_to, from_addr)
+                for a_label, b_label in zip(path, path[1:]):
+                    fkey = (a_label, b_label)
+                    fallthrough_edges[fkey] = fallthrough_edges.get(fkey, 0) + 1
+                for label in path:
+                    if label != dst_label:
+                        block_counts[label] = block_counts.get(label, 0) + 1
+            prev_to = to_addr
+
+    profile.sample_count = n_samples
+    profile.record_count = n_records
+    stats = Perf2BoltStats(samples=n_samples, records=n_records, resolved_records=n_resolved)
+    if n_samples and not n_resolved:
+        raise ProfileError(
+            f"no LBR record resolved against binary {binary.name!r}; "
+            "was the profile collected on a different binary?"
+        )
+    return profile, stats

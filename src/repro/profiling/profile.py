@@ -1,0 +1,141 @@
+"""Profile data structures.
+
+A :class:`BoltProfile` is the output of perf2bolt: execution counts per basic
+block, weights per control-flow edge, and a call graph — everything BOLT's
+reordering passes consume.  Blocks are identified by their link-time labels
+(``"function#bb_id"``), which is the simulator's analogue of "the profile maps
+perfectly onto the running code" when collected online; the clang-PGO model
+deliberately degrades this mapping (see :mod:`repro.bolt.pgo_mapping`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.binary.binaryfile import Binary
+
+
+@dataclass
+class BoltProfile:
+    """Aggregated profile, keyed on link-time block labels.
+
+    Attributes:
+        block_counts: executions per block label.
+        branch_edges: taken-transfer counts between block labels (intra- and
+            inter-function).
+        fallthrough_edges: fallthrough execution counts between consecutive
+            block labels within a function.
+        call_edges: call counts between functions (callers include virtual
+            and indirect calls observed in the LBR stream).
+        sample_count: number of LBR snapshots aggregated.
+        record_count: number of individual LBR records processed.
+    """
+
+    block_counts: Dict[str, int] = field(default_factory=dict)
+    branch_edges: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    fallthrough_edges: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    call_edges: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    sample_count: int = 0
+    record_count: int = 0
+
+    def is_empty(self) -> bool:
+        """Whether no execution activity was recorded."""
+        return not self.block_counts
+
+    def hot_functions(self, min_count: int = 1) -> List[str]:
+        """Functions with at least ``min_count`` block executions recorded."""
+        totals: Dict[str, int] = {}
+        for label, count in self.block_counts.items():
+            func = label.rsplit("#", 1)[0]
+            totals[func] = totals.get(func, 0) + count
+        return [f for f, c in sorted(totals.items(), key=lambda kv: -kv[1]) if c >= min_count]
+
+    def function_block_counts(self, function: str) -> Dict[int, int]:
+        """Block execution counts of one function, keyed by bb_id."""
+        prefix = function + "#"
+        out: Dict[int, int] = {}
+        for label, count in self.block_counts.items():
+            if label.startswith(prefix):
+                out[int(label[len(prefix):])] = count
+        return out
+
+    def function_edges(self, function: str) -> Dict[Tuple[int, int], int]:
+        """Intra-function CFG edge weights (taken + fallthrough), by bb_id."""
+        prefix = function + "#"
+        out: Dict[Tuple[int, int], int] = {}
+        for edges in (self.branch_edges, self.fallthrough_edges):
+            for (src, dst), count in edges.items():
+                if src.startswith(prefix) and dst.startswith(prefix):
+                    key = (int(src[len(prefix):]), int(dst[len(prefix):]))
+                    out[key] = out.get(key, 0) + count
+        return out
+
+    def merge(self, other: "BoltProfile") -> None:
+        """Accumulate ``other`` into this profile."""
+        for label, count in other.block_counts.items():
+            self.block_counts[label] = self.block_counts.get(label, 0) + count
+        for attr in ("branch_edges", "fallthrough_edges", "call_edges"):
+            mine = getattr(self, attr)
+            for key, count in getattr(other, attr).items():
+                mine[key] = mine.get(key, 0) + count
+        self.sample_count += other.sample_count
+        self.record_count += other.record_count
+
+    def scaled(self, factor: float) -> "BoltProfile":
+        """A copy with all counts multiplied by ``factor`` (floored at 0)."""
+        out = BoltProfile(sample_count=self.sample_count, record_count=self.record_count)
+        out.block_counts = {k: int(v * factor) for k, v in self.block_counts.items()}
+        out.branch_edges = {k: int(v * factor) for k, v in self.branch_edges.items()}
+        out.fallthrough_edges = {
+            k: int(v * factor) for k, v in self.fallthrough_edges.items()
+        }
+        out.call_edges = {k: int(v * factor) for k, v in self.call_edges.items()}
+        return out
+
+
+class BlockSpanIndex:
+    """Maps code addresses to block labels for one binary.
+
+    perf2bolt needs to symbolise raw LBR addresses; this index is built from
+    the binary's block placements (the analogue of its symbol table).
+    """
+
+    def __init__(self, binary: Binary) -> None:
+        spans: List[Tuple[int, int, str]] = []
+        for func in binary.functions.values():
+            for block in func.blocks:
+                spans.append((block.addr, block.addr + block.size, block.label))
+        spans.sort()
+        self._starts = [s[0] for s in spans]
+        self._spans = spans
+
+    def label_at(self, addr: int) -> Optional[str]:
+        """Block label covering ``addr``, or ``None``."""
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            return None
+        start, end, label = self._spans[idx]
+        if start <= addr < end:
+            return label
+        return None
+
+    def labels_between(self, lo: int, hi: int) -> List[str]:
+        """Labels of all blocks whose span intersects ``[lo, hi]``.
+
+        Used to reconstruct fallthrough execution between two consecutive LBR
+        records (the linear path from a branch target to the next branch).
+        """
+        if hi < lo:
+            return []
+        idx = bisect.bisect_right(self._starts, lo) - 1
+        if idx < 0:
+            idx = 0
+        out: List[str] = []
+        for start, end, label in self._spans[idx:]:
+            if start > hi:
+                break
+            if end > lo:
+                out.append(label)
+        return out

@@ -1,0 +1,40 @@
+"""Front-end microarchitecture model.
+
+Converts instruction-fetch behaviour into cycles: a 32 KiB / 8-way L1i, a
+64-entry iTLB, a BTB for taken branches, a gshare direction predictor and a
+return-address stack, with penalties attributed to TopDown-style buckets
+(Retiring / Front-End Bound / Bad Speculation / Back-End Bound).  This is the
+substrate that turns *code layout* into *performance*, reproducing the
+paper's explanatory metrics (Figs 8 and 9) as first-class outputs.
+
+Capacities follow the paper's Broadwell testbed; the BTB is scaled (512
+entries) to match our ~8× scaled-down hot-branch working sets, and the
+simulated clock is 21 MHz (2.1 GHz / 100) because synthetic transactions
+execute ~100× fewer instructions than real MySQL transactions — keeping
+reported throughput in the paper's units (thousands of tps).
+"""
+
+from repro.uarch.cache import SetAssociativeCache
+from repro.uarch.tlb import Tlb
+from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.branch_predictor import GsharePredictor, ReturnAddressStack
+from repro.uarch.memsys import BackendModel, MemoryControllerModel
+from repro.uarch.perfcounters import PerfCounters
+from repro.uarch.frontend import FrontEnd, UarchParams, CLOCK_HZ
+from repro.uarch.topdown import TopDownMetrics, topdown_from_counters
+
+__all__ = [
+    "SetAssociativeCache",
+    "Tlb",
+    "BranchTargetBuffer",
+    "GsharePredictor",
+    "ReturnAddressStack",
+    "BackendModel",
+    "MemoryControllerModel",
+    "PerfCounters",
+    "FrontEnd",
+    "UarchParams",
+    "CLOCK_HZ",
+    "TopDownMetrics",
+    "topdown_from_counters",
+]

@@ -1,0 +1,75 @@
+"""Conditional-branch direction prediction and the return-address stack."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class GsharePredictor:
+    """Gshare: a table of 2-bit saturating counters indexed by PC ⊕ history."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 8) -> None:
+        self.table_size = 1 << table_bits
+        self._mask = self.table_size - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._counters = [2] * self.table_size  # weakly taken
+        self._history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self._counters[self._index(pc)] >= 2
+
+    def record(self, pc: int, taken: bool) -> bool:
+        """Predict, then train on the actual outcome.
+
+        Returns:
+            ``True`` if the prediction was correct.
+        """
+        idx = self._index(pc)
+        predicted = self._counters[idx] >= 2
+        correct = predicted == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        counter = self._counters[idx]
+        if taken:
+            if counter < 3:
+                self._counters[idx] = counter + 1
+        elif counter > 0:
+            self._counters[idx] = counter - 1
+        self._history = ((self._history << 1) | (1 if taken else 0)) & self._history_mask
+        return correct
+
+
+class ReturnAddressStack:
+    """A fixed-depth RAS: calls push, returns pop and predict."""
+
+    def __init__(self, depth: int = 16) -> None:
+        self.depth = depth
+        self._stack: List[int] = []
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def push(self, return_addr: int) -> None:
+        """Record a call's return address; overflow discards the oldest."""
+        self._stack.append(return_addr)
+        if len(self._stack) > self.depth:
+            del self._stack[0]
+
+    def predict_return(self, actual: int) -> bool:
+        """Pop a prediction and compare against ``actual``.
+
+        Returns:
+            ``True`` if the RAS predicted the return correctly.
+        """
+        self.predictions += 1
+        predicted = self._stack.pop() if self._stack else None
+        correct = predicted == actual
+        if not correct:
+            self.mispredictions += 1
+        return correct

@@ -1,0 +1,62 @@
+"""Branch Target Buffer.
+
+The BTB stores targets for **taken** branches only (paper §II-B) — a
+not-taken conditional consumes no BTB entry, which is exactly why layouts
+that linearise the common path relieve BTB pressure.  A taken transfer whose
+source PC misses in the BTB costs a front-end resteer bubble; an entry whose
+stored target differs from the actual target (indirect branches changing
+targets) costs a misprediction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB mapping branch PC to last-seen target."""
+
+    def __init__(self, entries: int = 512, ways: int = 4) -> None:
+        n_sets = max(1, entries // ways)
+        if n_sets & (n_sets - 1):
+            raise ValueError("entries/ways must give a power-of-two set count")
+        self.ways = ways
+        self._mask = n_sets - 1
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.target_mismatches = 0
+
+    def lookup_update(self, pc: int, target: int) -> bool:
+        """Probe for ``pc`` and install/update ``target``.
+
+        Returns:
+            ``True`` if ``pc`` hit **and** the stored target matched
+            ``target`` (a fully correct BTB prediction); ``False`` on a miss.
+            A hit with a differing target counts as a hit plus a
+            ``target_mismatches`` event and the entry is retrained.
+        """
+        s = self._sets[pc & self._mask]
+        stored = s.get(pc)
+        if stored is None:
+            self.misses += 1
+            s[pc] = target
+            if len(s) > self.ways:
+                del s[next(iter(s))]
+            return False
+        # Refresh LRU position.
+        del s[pc]
+        s[pc] = target
+        self.hits += 1
+        if stored != target:
+            self.target_mismatches += 1
+        return stored == target
+
+    def flush(self) -> None:
+        """Invalidate all entries."""
+        for s in self._sets:
+            s.clear()
+
+    def resident_entries(self) -> int:
+        """Number of valid entries."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,70 @@
+"""Set-associative cache with true-LRU replacement.
+
+Keyed on line number (``addr >> log2(line_size)``); the caller does the
+shifting so the same structure serves the L1i (line-addressed) and, via
+:class:`repro.uarch.tlb.Tlb`, the iTLB (page-addressed).
+
+Implementation note: each set is a plain dict used as an ordered set —
+deleting and re-inserting a key moves it to the back, so the front of the
+dict is always the LRU way.  This keeps the per-probe cost to a couple of
+dict operations, which matters because the interpreter probes on every
+fetched line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class SetAssociativeCache:
+    """A cache over abstract line numbers.
+
+    Args:
+        n_sets: number of sets (power of two).
+        ways: associativity.
+    """
+
+    def __init__(self, n_sets: int, ways: int) -> None:
+        if n_sets & (n_sets - 1):
+            raise ValueError(f"n_sets must be a power of two, got {n_sets}")
+        if ways < 1:
+            raise ValueError("ways must be >= 1")
+        self.n_sets = n_sets
+        self.ways = ways
+        self._mask = n_sets - 1
+        self._sets: List[Dict[int, None]] = [dict() for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_geometry(cls, size_bytes: int, line_bytes: int, ways: int) -> "SetAssociativeCache":
+        """Build from a size/line/ways geometry (e.g. 32 KiB, 64 B, 8-way)."""
+        lines = size_bytes // line_bytes
+        return cls(n_sets=lines // ways, ways=ways)
+
+    def access(self, line: int) -> bool:
+        """Probe ``line``; fills on miss.  Returns ``True`` on hit."""
+        s = self._sets[line & self._mask]
+        if line in s:
+            del s[line]
+            s[line] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        s[line] = None
+        if len(s) > self.ways:
+            del s[next(iter(s))]
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Non-perturbing lookup (no fill, no LRU update, no counters)."""
+        return line in self._sets[line & self._mask]
+
+    def flush(self) -> None:
+        """Invalidate all lines (counters are preserved)."""
+        for s in self._sets:
+            s.clear()
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,97 @@
+"""Hardware performance counters, as Linux ``perf stat`` would expose them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class PerfCounters:
+    """Event counts plus cycle-attribution buckets.
+
+    Cycle buckets (``cyc_*``) partition total cycles by cause, which is what
+    the TopDown methodology consumes.  All other fields are event counts.
+    """
+
+    instructions: int = 0
+    cycles: float = 0.0
+    transactions: int = 0
+    l1i_hits: int = 0
+    l1i_misses: int = 0
+    l2i_misses: int = 0
+    itlb_misses: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    cond_branches: int = 0
+    cond_mispredicts: int = 0
+    ind_mispredicts: int = 0
+    ret_mispredicts: int = 0
+    btb_misses: int = 0
+    dram_requests: int = 0
+    fp_creations: int = 0
+    cyc_base: float = 0.0
+    cyc_l1i: float = 0.0
+    cyc_itlb: float = 0.0
+    cyc_btb: float = 0.0
+    cyc_taken: float = 0.0
+    cyc_badspec: float = 0.0
+    cyc_backend: float = 0.0
+    cyc_idle: float = 0.0
+
+    @property
+    def busy_cycles(self) -> float:
+        """Unhalted cycles (total minus blocked-in-syscall idle time)."""
+        return self.cycles - self.cyc_idle
+
+    def snapshot(self) -> "PerfCounters":
+        """A copy of the current values."""
+        return PerfCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, since: "PerfCounters") -> "PerfCounters":
+        """Counter values accumulated since ``since`` was snapshotted."""
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Accumulate ``other`` into this instance (for cross-core totals)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def total_mispredicts(self) -> int:
+        """All mispredicted control transfers."""
+        return self.cond_mispredicts + self.ind_mispredicts + self.ret_mispredicts
+
+    def per_kilo_instructions(self, events: float) -> float:
+        """Events per 1,000 instructions (the MPKI/PKI normalisation of
+        Fig. 8)."""
+        return 1000.0 * events / self.instructions if self.instructions else 0.0
+
+    @property
+    def l1i_mpki(self) -> float:
+        """L1i misses per kilo-instruction."""
+        return self.per_kilo_instructions(self.l1i_misses)
+
+    @property
+    def itlb_mpki(self) -> float:
+        """iTLB misses per kilo-instruction."""
+        return self.per_kilo_instructions(self.itlb_misses)
+
+    @property
+    def taken_branch_pki(self) -> float:
+        """Taken branches per kilo-instruction."""
+        return self.per_kilo_instructions(self.taken_branches)
+
+    @property
+    def mispredict_pki(self) -> float:
+        """Mispredicted branches per kilo-instruction."""
+        return self.per_kilo_instructions(self.total_mispredicts)

@@ -1,0 +1,41 @@
+"""Instruction TLB model: a small set-associative cache over page numbers."""
+
+from __future__ import annotations
+
+from repro.uarch.cache import SetAssociativeCache
+
+
+class Tlb:
+    """An iTLB of ``entries`` page translations.
+
+    Args:
+        entries: total entries (e.g. 64, as on the paper's Broadwell cores).
+        ways: associativity (Broadwell's iTLB is 8-way for 4 KiB pages).
+        page_bits: log2 of the page size.
+    """
+
+    def __init__(self, entries: int = 64, ways: int = 8, page_bits: int = 12) -> None:
+        self.page_bits = page_bits
+        self._cache = SetAssociativeCache(n_sets=max(1, entries // ways), ways=ways)
+
+    def access_page(self, page: int) -> bool:
+        """Probe the translation for page number ``page``; ``True`` on hit."""
+        return self._cache.access(page)
+
+    def access_addr(self, addr: int) -> bool:
+        """Probe the translation covering byte address ``addr``."""
+        return self._cache.access(addr >> self.page_bits)
+
+    @property
+    def hits(self) -> int:
+        """Total hits."""
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses (page walks)."""
+        return self._cache.misses
+
+    def flush(self) -> None:
+        """Invalidate all translations."""
+        self._cache.flush()

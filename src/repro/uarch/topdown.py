@@ -1,0 +1,58 @@
+"""TopDown microarchitectural bottleneck analysis (Yasin 2014).
+
+Classifies pipeline slots into Retiring, Front-End Bound, Bad Speculation and
+Back-End Bound, with the Front-End split into latency (cache/TLB/BTB misses)
+and bandwidth (taken-branch fetch bubbles).  The paper uses the Front-End
+Latency and Retiring percentages to predict which workloads OCOLOS helps
+(Fig 9); :mod:`repro.analysis.regression` fits that classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.perfcounters import PerfCounters
+
+
+@dataclass(frozen=True)
+class TopDownMetrics:
+    """Top-level TopDown percentages (0-100, summing to ~100)."""
+
+    retiring: float
+    frontend_bound: float
+    bad_speculation: float
+    backend_bound: float
+    frontend_latency: float
+    frontend_bandwidth: float
+
+    def dominant(self) -> str:
+        """The largest top-level bucket's name."""
+        buckets = {
+            "retiring": self.retiring,
+            "frontend_bound": self.frontend_bound,
+            "bad_speculation": self.bad_speculation,
+            "backend_bound": self.backend_bound,
+        }
+        return max(buckets, key=buckets.get)
+
+
+def topdown_from_counters(counters: PerfCounters) -> TopDownMetrics:
+    """Compute TopDown percentages from cycle-attribution buckets.
+
+    Percentages are over *unhalted* cycles (syscall-blocked idle time is
+    excluded), matching how hardware TopDown counters behave.
+    """
+    total = counters.busy_cycles
+    if total <= 0:
+        return TopDownMetrics(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    fe_latency = counters.cyc_l1i + counters.cyc_itlb + counters.cyc_btb
+    fe_bandwidth = counters.cyc_taken
+    fe = fe_latency + fe_bandwidth
+    return TopDownMetrics(
+        retiring=100.0 * counters.cyc_base / total,
+        frontend_bound=100.0 * fe / total,
+        bad_speculation=100.0 * counters.cyc_badspec / total,
+        backend_bound=100.0 * counters.cyc_backend / total,
+        frontend_latency=100.0 * fe_latency / total,
+        frontend_bandwidth=100.0 * fe_bandwidth / total,
+    )

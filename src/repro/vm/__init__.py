@@ -1,0 +1,30 @@
+"""The simulated process: address space, threads, interpreter, and the
+ptrace/libunwind/LD_PRELOAD-analogue control surfaces OCOLOS uses.
+
+The VM executes the **bytes in memory** — patched code changes behaviour, a
+stale code pointer really does reach stale code, and every code pointer class
+from paper §III-B (return addresses on stacks, v-table slots, heap/global
+function pointers, rel32 immediates, per-thread PCs, saved syscall contexts)
+exists as a concrete number the OCOLOS runtime can read or rewrite.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "AddressSpace": ".address_space",
+    "MappedRegion": ".address_space",
+    "SimThread": ".thread",
+    "ThreadState": ".thread",
+    "Process": ".process",
+    "Interpreter": ".interpreter",
+    "DecodedRun": ".interpreter",
+    "PtraceController": ".ptrace",
+    "Registers": ".ptrace",
+    "AddressIndex": ".unwind",
+    "stack_return_addresses": ".unwind",
+    "stack_live_functions": ".unwind",
+    "live_code_pointers": ".unwind",
+    "PreloadAgent": ".preload",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,155 @@
+"""A flat simulated address space built from mapped regions.
+
+Reads and writes are byte-exact against ``bytearray`` regions.  Writes into
+executable regions notify registered observers so the interpreter can
+invalidate its decode cache — the simulator-level analogue of an instruction
+cache flush after self-modifying code.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import LoaderError, SegmentationFault
+
+_U64 = struct.Struct("<Q")
+
+WriteObserver = Callable[[int, int], None]
+
+
+@dataclass
+class MappedRegion:
+    """One contiguous mapping."""
+
+    start: int
+    data: bytearray
+    name: str = ""
+    executable: bool = False
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped byte."""
+        return self.start + len(self.data)
+
+
+class AddressSpace:
+    """Sparse address space: sorted, non-overlapping regions."""
+
+    def __init__(self) -> None:
+        self._regions: List[MappedRegion] = []
+        self._starts: List[int] = []
+        self._observers: List[WriteObserver] = []
+
+    # ---- mapping ---------------------------------------------------------
+
+    def map_region(
+        self,
+        start: int,
+        size: int = 0,
+        data: Optional[bytes] = None,
+        name: str = "",
+        executable: bool = False,
+    ) -> MappedRegion:
+        """Map a new region at ``start``.
+
+        Provide either ``data`` (copied) or ``size`` (zero-filled).
+
+        Raises:
+            LoaderError: if the region would overlap an existing mapping.
+        """
+        if data is not None:
+            buf = bytearray(data)
+        elif size > 0:
+            buf = bytearray(size)
+        else:
+            raise LoaderError("map_region needs data or a positive size")
+        region = MappedRegion(start=start, data=buf, name=name, executable=executable)
+        idx = bisect.bisect_left(self._starts, start)
+        if idx > 0 and self._regions[idx - 1].end > start:
+            raise LoaderError(
+                f"mapping {name!r} at {start:#x} overlaps {self._regions[idx - 1].name!r}"
+            )
+        if idx < len(self._regions) and region.end > self._regions[idx].start:
+            raise LoaderError(
+                f"mapping {name!r} at {start:#x} overlaps {self._regions[idx].name!r}"
+            )
+        self._regions.insert(idx, region)
+        self._starts.insert(idx, start)
+        return region
+
+    def unmap_region(self, start: int) -> None:
+        """Remove the region starting exactly at ``start``."""
+        idx = bisect.bisect_left(self._starts, start)
+        if idx >= len(self._regions) or self._regions[idx].start != start:
+            raise LoaderError(f"no region starts at {start:#x}")
+        del self._regions[idx]
+        del self._starts[idx]
+
+    def region_at(self, addr: int) -> Optional[MappedRegion]:
+        """The region containing ``addr``, or ``None``."""
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            return None
+        region = self._regions[idx]
+        if addr < region.end:
+            return region
+        return None
+
+    def regions(self) -> List[MappedRegion]:
+        """All regions in address order."""
+        return list(self._regions)
+
+    def is_mapped(self, addr: int) -> bool:
+        """Whether ``addr`` is inside some region."""
+        return self.region_at(addr) is not None
+
+    def mapped_bytes(self) -> int:
+        """Total mapped bytes (the simulator's RSS analogue)."""
+        return sum(len(r.data) for r in self._regions)
+
+    # ---- access ----------------------------------------------------------
+
+    def _region_for(self, addr: int, length: int) -> MappedRegion:
+        region = self.region_at(addr)
+        if region is None:
+            raise SegmentationFault(addr)
+        if addr + length > region.end:
+            raise SegmentationFault(addr + length - 1, "access crosses region end")
+        return region
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``addr``."""
+        region = self._region_for(addr, length)
+        off = addr - region.start
+        return bytes(region.data[off : off + length])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at ``addr``; notifies observers for executable
+        regions."""
+        region = self._region_for(addr, len(data))
+        off = addr - region.start
+        region.data[off : off + len(data)] = data
+        if region.executable:
+            for observer in self._observers:
+                observer(addr, len(data))
+
+    def read_u64(self, addr: int) -> int:
+        """Read a little-endian u64."""
+        region = self._region_for(addr, 8)
+        return _U64.unpack_from(region.data, addr - region.start)[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Write a little-endian u64; notifies observers for executable
+        regions."""
+        region = self._region_for(addr, 8)
+        _U64.pack_into(region.data, addr - region.start, value)
+        if region.executable:
+            for observer in self._observers:
+                observer(addr, 8)
+
+    def add_write_observer(self, observer: WriteObserver) -> None:
+        """Register a callback invoked after each executable-region write."""
+        self._observers.append(observer)

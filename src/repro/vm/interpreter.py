@@ -1,0 +1,308 @@
+"""Block-level interpreter over the bytes in process memory.
+
+The interpreter decodes *runs* — maximal straight-line instruction sequences
+ending at a control transfer (or syscall) — directly from the address space,
+caches the decode by entry address, and invalidates the cache whenever an
+executable region is written.  Executing the decode of the current bytes is
+what makes OCOLOS's patching observable: retarget a direct call's rel32 or a
+v-table slot and the very next execution follows the new target.
+
+Per executed run the interpreter feeds the owning core's
+:class:`~repro.uarch.frontend.FrontEnd`: one fetch event for the byte range,
+one backend event for the run's data-memory mix, and one branch event for the
+terminator.  Control-flow outcomes (branch directions, virtual dispatch
+targets, switch cases) are sampled from the process's compiled input model.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.isa.disassembler import decode_instruction
+from repro.isa.instructions import Opcode
+from repro.vm.thread import SimThread, ThreadState
+
+_U64 = struct.Struct("<Q")
+
+#: Decode guard: a run longer than this indicates execution fell into data.
+_MAX_RUN_INSTRUCTIONS = 4096
+
+
+class DecodedRun:
+    """A decoded straight-line run, ready for fast re-execution."""
+
+    __slots__ = (
+        "start",
+        "size",
+        "n_instr",
+        "mem_counts",
+        "mkfps",
+        "setjmps",
+        "txn_marks",
+        "term_op",
+        "term_addr",
+        "term_site",
+        "term_invert",
+        "term_slot",
+        "term_target",
+        "next_addr",
+    )
+
+    def __init__(self) -> None:
+        self.start = 0
+        self.size = 0
+        self.n_instr = 0
+        self.mem_counts: Tuple[Tuple[int, int], ...] = ()
+        self.mkfps: Tuple[Tuple[int, int, bool], ...] = ()
+        self.setjmps: Tuple[Tuple[int, int], ...] = ()  # (buf index, resume addr)
+        self.txn_marks = 0
+        self.term_op = Opcode.HALT
+        self.term_addr = 0
+        self.term_site = 0
+        self.term_invert = False
+        self.term_slot = 0
+        self.term_target: Optional[int] = None
+        self.next_addr = 0
+
+
+class Interpreter:
+    """Executes threads of a :class:`~repro.vm.process.Process`."""
+
+    def __init__(self, process) -> None:
+        self.process = process
+        self._cache: Dict[int, DecodedRun] = {}
+        self._read = process.address_space.read
+        process.address_space.add_write_observer(self._on_code_write)
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+
+    def _on_code_write(self, _addr: int, _size: int) -> None:
+        # Code writes are rare (only during replacement); a full decode-cache
+        # flush is the simulator analogue of the required icache flush.
+        self._cache.clear()
+
+    def invalidate(self) -> None:
+        """Drop all cached decodes."""
+        self._cache.clear()
+
+    def cached_runs(self) -> int:
+        """Number of cached decoded runs (for tests/diagnostics)."""
+        return len(self._cache)
+
+    def iter_cached_runs(self):
+        """Snapshot of the cached decoded runs (coverage analyses read the
+        decode cache as an exact record of the code executed since the last
+        invalidation)."""
+        return list(self._cache.values())
+
+    def _decode(self, pc: int) -> DecodedRun:
+        run = DecodedRun()
+        run.start = pc
+        addr = pc
+        mem: Dict[int, int] = {}
+        mkfps: List[Tuple[int, int, bool]] = []
+        setjmps: List[Tuple[int, int]] = []
+        fp_table = self.process.fp_table_addr
+        n = 0
+        while True:
+            insn = decode_instruction(self._read, addr)
+            n += 1
+            if n > _MAX_RUN_INSTRUCTIONS:
+                raise ExecutionError(f"runaway decode starting at {pc:#x}")
+            op = insn.op
+            next_addr = addr + insn.size
+            if op in (Opcode.ALU, Opcode.LOAD, Opcode.STORE):
+                mem[insn.weight] = mem.get(insn.weight, 0) + 1
+            elif op == Opcode.TXN_MARK:
+                run.txn_marks += 1
+            elif op == Opcode.MKFP:
+                mkfps.append((fp_table + insn.slot * 8, insn.target, insn.wrapped))
+            elif op == Opcode.SETJMP:
+                setjmps.append((insn.slot, next_addr))
+            elif op == Opcode.NOP:
+                pass
+            else:
+                run.term_op = op
+                run.term_addr = addr
+                run.term_site = insn.site
+                run.term_invert = insn.invert
+                run.term_slot = insn.slot if op != Opcode.SYSCALL else insn.weight
+                run.term_target = insn.target if isinstance(insn.target, int) else None
+                run.next_addr = next_addr
+                run.size = next_addr - pc
+                run.n_instr = n
+                run.mem_counts = tuple(mem.items())
+                run.mkfps = tuple(mkfps)
+                run.setjmps = tuple(setjmps)
+                return run
+            addr = next_addr
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def step(self, thread: SimThread) -> None:
+        """Execute one run on ``thread``.  No-op for non-runnable threads."""
+        if thread.state != ThreadState.RUNNABLE:
+            return
+        proc = self.process
+        pc = thread.pc
+        run = self._cache.get(pc)
+        if run is None:
+            run = self._decode(pc)
+            self._cache[pc] = run
+
+        fe = proc.frontends[thread.tid]
+        fe.fetch_run(run.start, run.size, run.n_instr)
+        if run.mem_counts:
+            fe.backend_event(run.mem_counts)
+        thread.instructions += run.n_instr
+
+        space = proc.address_space
+        if run.mkfps:
+            hook = proc.wrap_hook
+            for slot_addr, func_addr, wrapped in run.mkfps:
+                value = func_addr
+                if wrapped and hook is not None:
+                    value = hook(value)
+                space.write_u64(slot_addr, value)
+            fe.counters.fp_creations += len(run.mkfps)
+        if run.setjmps:
+            binary = proc.binary
+            for buf, resume_addr in run.setjmps:
+                buf_addr = binary.jmpbuf_addr(buf, thread.tid)
+                space.write_u64(buf_addr, resume_addr)
+                space.write_u64(buf_addr + 8, thread.sp)
+        if run.txn_marks:
+            fe.counters.transactions += run.txn_marks
+
+        beh = proc.behaviour
+        rng = proc.rng.random
+        op = run.term_op
+        term_addr = run.term_addr
+        next_addr = run.next_addr
+
+        if op == Opcode.BR_COND:
+            p = beh.branch_p[run.term_site]
+            if p >= 0.0:
+                condition = rng() < p
+            else:
+                # Counted branch: true on executions 1..k-1, false on the
+                # k-th (deterministic loop trip counts).
+                site = run.term_site
+                period = int(-p)
+                count = beh.counted_state.get(site, 0) + 1
+                if count >= period:
+                    condition = False
+                    beh.counted_state[site] = 0
+                else:
+                    condition = True
+                    beh.counted_state[site] = count
+            taken = (not condition) if run.term_invert else condition
+            to = run.term_target if taken else next_addr
+            fe.branch_event("cond", term_addr, to, taken=taken)
+            if taken and proc.lbr_enabled:
+                proc.record_lbr(thread.tid, term_addr, to)
+            thread.pc = to
+        elif op == Opcode.RET:
+            stack = thread._stack_data  # type: ignore[attr-defined]
+            sp = thread.sp
+            if sp >= thread.stack_base:
+                thread.state = ThreadState.HALTED
+                return
+            to = _U64.unpack_from(stack, sp - thread._stack_start)[0]  # type: ignore[attr-defined]
+            thread.sp = sp + 8
+            fe.branch_event("ret", term_addr, to)
+            if proc.lbr_enabled:
+                proc.record_lbr(thread.tid, term_addr, to)
+            thread.pc = to
+        elif op == Opcode.CALL:
+            self._push_return(thread, next_addr)
+            to = run.term_target
+            fe.branch_event("call", term_addr, to, return_addr=next_addr)
+            if proc.lbr_enabled:
+                proc.record_lbr(thread.tid, term_addr, to)
+            thread.pc = to
+        elif op == Opcode.JMP:
+            to = run.term_target
+            fe.branch_event("jmp", term_addr, to)
+            if proc.lbr_enabled:
+                proc.record_lbr(thread.tid, term_addr, to)
+            thread.pc = to
+        elif op == Opcode.VCALL:
+            class_id = beh.sample_vcall(run.term_site, rng())
+            vt_addr = proc.vtable_addrs[class_id]
+            to = space.read_u64(vt_addr + run.term_slot * 8)
+            self._check_code_target(to, term_addr, "vcall")
+            self._push_return(thread, next_addr)
+            fe.branch_event("vcall", term_addr, to, return_addr=next_addr)
+            if proc.lbr_enabled:
+                proc.record_lbr(thread.tid, term_addr, to)
+            thread.pc = to
+        elif op == Opcode.ICALL:
+            slot = beh.sample_icall(run.term_site, rng())
+            to = space.read_u64(proc.fp_table_addr + slot * 8)
+            self._check_code_target(to, term_addr, "icall")
+            self._push_return(thread, next_addr)
+            fe.branch_event("icall", term_addr, to, return_addr=next_addr)
+            if proc.lbr_enabled:
+                proc.record_lbr(thread.tid, term_addr, to)
+            thread.pc = to
+        elif op == Opcode.JTAB:
+            case = beh.sample_switch(run.term_site, rng())
+            to = space.read_u64(run.term_target + case * 8)
+            self._check_code_target(to, term_addr, "jump table")
+            fe.branch_event("jtab", term_addr, to)
+            if proc.lbr_enabled:
+                proc.record_lbr(thread.tid, term_addr, to)
+            thread.pc = to
+        elif op == Opcode.LONGJMP:
+            buf_addr = proc.binary.jmpbuf_addr(run.term_slot, thread.tid)
+            to = space.read_u64(buf_addr)
+            saved_sp = space.read_u64(buf_addr + 8)
+            if to == 0:
+                raise ExecutionError(
+                    f"longjmp through empty jump buffer {run.term_slot} "
+                    f"at {term_addr:#x}"
+                )
+            if not (thread.stack_limit <= saved_sp <= thread.stack_base):
+                raise ExecutionError(
+                    f"longjmp restored a foreign stack pointer {saved_sp:#x}"
+                )
+            thread.sp = saved_sp
+            fe.branch_event("jtab", term_addr, to)
+            if proc.lbr_enabled:
+                proc.record_lbr(thread.tid, term_addr, to)
+            thread.pc = to
+        elif op == Opcode.SYSCALL:
+            # Threads run on dedicated cores; a blocking syscall simply
+            # advances this core's clock without retiring instructions.
+            fe.idle_cycles(beh.syscall_duration(run.term_slot))
+            thread.pc = next_addr
+        elif op == Opcode.HALT:
+            thread.state = ThreadState.HALTED
+        else:  # pragma: no cover - decode only yields the ops above
+            raise ExecutionError(f"unexpected terminator {op!r} at {term_addr:#x}")
+
+    def _push_return(self, thread: SimThread, return_addr: int) -> None:
+        sp = thread.sp - 8
+        if sp < thread.stack_limit:
+            raise ExecutionError(f"stack overflow on thread {thread.tid}")
+        _U64.pack_into(thread._stack_data, sp - thread._stack_start, return_addr)  # type: ignore[attr-defined]
+        thread.sp = sp
+
+    def _check_code_target(self, target: int, from_addr: int, what: str) -> None:
+        if target == 0:
+            raise ExecutionError(f"{what} at {from_addr:#x} reached a null code pointer")
+
+    def run_quantum(self, thread: SimThread, n_runs: int) -> None:
+        """Execute up to ``n_runs`` runs on ``thread``."""
+        step = self.step
+        for _ in range(n_runs):
+            if thread.state != ThreadState.RUNNABLE:
+                return
+            step(thread)

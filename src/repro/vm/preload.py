@@ -1,0 +1,57 @@
+"""LD_PRELOAD-analogue in-process helper agent.
+
+OCOLOS launches the target with an ``LD_PRELOAD`` library that adds code-copy
+helpers to the target's own address space; ptrace then only transfers control
+while the bulk memory copy happens *inside* the process, avoiding a syscall
+per word (paper §V, "Efficient Code Copying").  The agent mirrors that: its
+copies are accounted cheaply by the cost model, whereas plain ptrace pokes
+are expensive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReplacementError
+from repro.vm.process import Process
+
+
+class PreloadAgent:
+    """The injected helper inside a target process."""
+
+    def __init__(self, process: Process) -> None:
+        if getattr(process, "preload_agent", None) is not None:
+            raise ReplacementError("process already has a preload agent")
+        self.process = process
+        self.bytes_copied = 0
+        self.copy_calls = 0
+        self.regions_mapped = 0
+        process.preload_agent = self  # type: ignore[attr-defined]
+
+    @classmethod
+    def of(cls, process: Process) -> "PreloadAgent":
+        """The agent loaded into ``process``.
+
+        Raises:
+            ReplacementError: if the process was launched without the
+                OCOLOS preload library.
+        """
+        agent: Optional[PreloadAgent] = getattr(process, "preload_agent", None)
+        if agent is None:
+            raise ReplacementError(
+                "target was not launched with the OCOLOS LD_PRELOAD library"
+            )
+        return agent
+
+    def map_region(self, start: int, size: int, name: str) -> None:
+        """mmap a fresh region inside the target (for injected code)."""
+        self.process.address_space.map_region(
+            start=start, size=size, name=name, executable=True
+        )
+        self.regions_mapped += 1
+
+    def copy_into(self, addr: int, data: bytes) -> None:
+        """Copy ``data`` to ``addr`` from inside the target process."""
+        self.copy_calls += 1
+        self.bytes_copied += len(data)
+        self.process.address_space.write(addr, data)

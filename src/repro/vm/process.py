@@ -1,0 +1,277 @@
+"""The simulated process.
+
+A :class:`Process` owns an address space with the target binary mapped in,
+one :class:`~repro.vm.thread.SimThread` plus one per-core
+:class:`~repro.uarch.frontend.FrontEnd` per worker, a compiled input model,
+and the interpreter.  Each thread runs on its own core (private L1i / iTLB /
+BTB / predictors); the DRAM controller is shared.
+
+The process exposes exactly the control surfaces OCOLOS needs: it can be
+paused and resumed (ptrace), its memory and registers can be read and
+written, its input model can be swapped mid-run (modelling a workload shift),
+and a ``wrap_hook`` can be registered to interpose on function-pointer
+creation (the ``wrapFuncPtrCreation`` callback of paper §IV-C2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.binary.binaryfile import (
+    Binary,
+    STACK_REGION_BASE,
+    STACK_SIZE,
+)
+from repro.binary.loader import load_binary
+from repro.compiler.ir import Program
+from repro.errors import ExecutionError, PtraceError
+from repro.uarch.frontend import CLOCK_HZ, FrontEnd, UarchParams
+from repro.uarch.memsys import BackendModel, MemoryControllerModel
+from repro.uarch.perfcounters import PerfCounters
+from repro.uarch.topdown import TopDownMetrics, topdown_from_counters
+from repro.vm.address_space import AddressSpace
+from repro.vm.interpreter import Interpreter
+from repro.vm.thread import SimThread, ThreadState
+from repro.workloads.inputs import CompiledInput, InputSpec
+
+#: Runs executed per scheduling quantum.
+_QUANTUM = 64
+#: Quanta between memory-controller rate updates.
+_MC_UPDATE_QUANTA = 16
+
+WrapHook = Callable[[int], int]
+
+
+class Process:
+    """A running instance of a binary."""
+
+    def __init__(
+        self,
+        binary: Binary,
+        program: Program,
+        input_spec: Union[InputSpec, CompiledInput],
+        *,
+        n_threads: int = 1,
+        seed: int = 0,
+        uarch: Optional[UarchParams] = None,
+    ) -> None:
+        self.binary = binary
+        self.program = program
+        self.address_space = AddressSpace()
+        load_binary(binary, self.address_space)
+
+        self.rng = random.Random(seed)
+        self.behaviour = self._compile_input(input_spec)
+        self.fp_table_addr = binary.fp_table_addr
+        self.vtable_addrs: List[int] = [vt.addr for vt in binary.vtables]
+
+        self.memory_controller = MemoryControllerModel()
+        self.memory_controller.service_rate *= self.behaviour.dram_service_scale
+        self._base_service_rate = self.memory_controller.service_rate / max(
+            1e-9, self.behaviour.dram_service_scale
+        )
+        self._uarch_params = uarch or UarchParams()
+        self.frontends: List[FrontEnd] = []
+        self.threads: List[SimThread] = []
+        entry_addr = binary.symbol(binary.entry)
+        for tid in range(n_threads):
+            stack_top = STACK_REGION_BASE + (tid + 1) * STACK_SIZE
+            stack_start = STACK_REGION_BASE + tid * STACK_SIZE
+            region = self.address_space.map_region(
+                start=stack_start,
+                size=STACK_SIZE,
+                name=f"stack:{tid}",
+            )
+            thread = SimThread(
+                tid=tid,
+                pc=entry_addr,
+                sp=stack_top,
+                stack_base=stack_top,
+                stack_limit=stack_start + 4096,
+            )
+            thread._stack_data = region.data  # type: ignore[attr-defined]
+            thread._stack_start = stack_start  # type: ignore[attr-defined]
+            self.threads.append(thread)
+            backend = BackendModel(
+                controller=self.memory_controller,
+                class_costs=self._scaled_costs(),
+            )
+            self.frontends.append(FrontEnd(params=self._uarch_params, backend=backend))
+
+        self.wrap_hook: Optional[WrapHook] = None
+        self.lbr_enabled = False
+        self.lbr_rings: List[List[Tuple[int, int]]] = [[] for _ in range(n_threads)]
+        self.lbr_depth = 32
+        self.perf_session = None  # set by repro.profiling.perf
+        self.paused = False
+        self.replacement_generation = 0  # bumped by OCOLOS replacements
+        self._quantum_counter = 0
+        self._mc_mark: Tuple[float, int, float] = (0.0, 0, 0.0)
+        self.interpreter = Interpreter(self)
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    def _compile_input(self, spec: Union[InputSpec, CompiledInput]) -> CompiledInput:
+        if isinstance(spec, CompiledInput):
+            return spec
+        return CompiledInput(self.program, spec)
+
+    def _scaled_costs(self) -> Tuple[float, ...]:
+        from repro.uarch.memsys import BASE_CLASS_COSTS
+
+        scale = self.behaviour.mem_scale
+        return tuple(c * s for c, s in zip(BASE_CLASS_COSTS, scale))
+
+    def set_input(self, spec: Union[InputSpec, CompiledInput]) -> None:
+        """Switch the live input mix (a workload shift, paper §I)."""
+        self.behaviour = self._compile_input(spec)
+        costs = self._scaled_costs()
+        for fe in self.frontends:
+            fe.backend.class_costs = costs
+        self.memory_controller.reset()
+        self.memory_controller.service_rate = (
+            self._base_service_rate * self.behaviour.dram_service_scale
+        )
+
+    def set_wrap_hook(self, hook: Optional[WrapHook]) -> None:
+        """Install the ``wrapFuncPtrCreation`` interposer."""
+        self.wrap_hook = hook
+
+    # ------------------------------------------------------------------
+    # LBR
+    # ------------------------------------------------------------------
+
+    def record_lbr(self, tid: int, from_addr: int, to_addr: int) -> None:
+        """Append one taken-branch record to a thread's LBR ring."""
+        ring = self.lbr_rings[tid]
+        ring.append((from_addr, to_addr))
+        if len(ring) > self.lbr_depth:
+            del ring[0]
+
+    def lbr_snapshot(self, tid: int) -> List[Tuple[int, int]]:
+        """Copy of a thread's LBR ring, oldest first."""
+        return list(self.lbr_rings[tid])
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def runnable_threads(self) -> List[SimThread]:
+        """Threads that can still execute."""
+        return [t for t in self.threads if t.state != ThreadState.HALTED]
+
+    def run(
+        self,
+        *,
+        max_instructions: Optional[int] = None,
+        max_transactions: Optional[int] = None,
+        max_cycles: Optional[float] = None,
+    ) -> PerfCounters:
+        """Run until a budget is hit or all threads halt.
+
+        Budgets are process-wide deltas relative to the start of this call:
+        ``max_instructions`` and ``max_transactions`` aggregate across
+        threads; ``max_cycles`` bounds the per-core clock advance.
+
+        Returns:
+            perf-counter deltas accumulated during this call.
+
+        Raises:
+            PtraceError: if the process is currently paused.
+            ExecutionError: on an architectural fault (null code pointer,
+                stack overflow, runaway decode).
+        """
+        if self.paused:
+            raise PtraceError("cannot run a paused process")
+        if max_instructions is None and max_transactions is None and max_cycles is None:
+            raise ValueError("run() needs at least one budget")
+        start = self.counters_total()
+        start_cycles = [fe.counters.cycles for fe in self.frontends]
+        interp = self.interpreter
+
+        while True:
+            alive = False
+            for thread in self.threads:
+                if thread.state != ThreadState.RUNNABLE:
+                    continue
+                alive = True
+                interp.run_quantum(thread, _QUANTUM)
+                session = self.perf_session
+                if session is not None:
+                    session.on_quantum(self, thread)
+            self._quantum_counter += 1
+            if self._quantum_counter % _MC_UPDATE_QUANTA == 0:
+                self._update_memory_controller()
+            if not alive:
+                break
+            delta = self.counters_total().delta(start)
+            if max_instructions is not None and delta.instructions >= max_instructions:
+                break
+            if max_transactions is not None and delta.transactions >= max_transactions:
+                break
+            if max_cycles is not None:
+                advance = max(
+                    fe.counters.cycles - c0
+                    for fe, c0 in zip(self.frontends, start_cycles)
+                )
+                if advance >= max_cycles:
+                    break
+        return self.counters_total().delta(start)
+
+    def _update_memory_controller(self) -> None:
+        total_dram = sum(fe.counters.dram_requests for fe in self.frontends)
+        total_cycles = sum(fe.counters.cycles for fe in self.frontends)
+        total_fe = sum(
+            fe.counters.cyc_l1i
+            + fe.counters.cyc_itlb
+            + fe.counters.cyc_btb
+            + fe.counters.cyc_taken
+            for fe in self.frontends
+        )
+        total_busy = sum(fe.counters.busy_cycles for fe in self.frontends)
+        n = max(1, len(self.frontends))
+        prev_cycles, prev_dram, prev_fe = self._mc_mark
+        d_cycles = (total_busy - prev_cycles) / n
+        d_dram = total_dram - prev_dram
+        d_fe = (total_fe - prev_fe) / n
+        if d_cycles > 0:
+            self.memory_controller.observe(
+                d_dram, d_cycles, frontend_share=d_fe / d_cycles
+            )
+        self._mc_mark = (total_busy, total_dram, total_fe)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def counters_total(self) -> PerfCounters:
+        """Merged perf counters across all cores."""
+        total = PerfCounters()
+        for fe in self.frontends:
+            total.merge(fe.counters)
+        return total
+
+    def topdown(self, delta: Optional[PerfCounters] = None) -> TopDownMetrics:
+        """TopDown metrics for ``delta`` (or the whole run so far)."""
+        return topdown_from_counters(delta or self.counters_total())
+
+    def wall_seconds(self, delta: PerfCounters) -> float:
+        """Wall-clock seconds corresponding to a counter delta.
+
+        Threads run concurrently on private cores, so wall time is the
+        average per-core cycle advance over the clock rate.
+        """
+        n = max(1, len(self.threads))
+        return (delta.cycles / n) / CLOCK_HZ
+
+    def throughput_tps(self, delta: PerfCounters) -> float:
+        """Transactions per wall-clock second over ``delta``."""
+        seconds = self.wall_seconds(delta)
+        return delta.transactions / seconds if seconds > 0 else 0.0
+
+    def max_rss_bytes(self) -> int:
+        """Peak resident set analogue: total mapped bytes."""
+        return self.address_space.mapped_bytes()

@@ -1,0 +1,103 @@
+"""ptrace-analogue controller.
+
+Models the Linux ``ptrace`` API surface OCOLOS uses: stopping and resuming a
+target process, reading and writing its registers, and peeking/poking its
+memory.  Memory transfers through ptrace are *slow* (each access is a syscall
+plus context switches — paper §V), so the controller counts its traffic; the
+cost model charges it far more per byte than copies performed in-process by
+the preload agent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PtraceError
+from repro.vm.process import Process
+
+
+@dataclass
+class Registers:
+    """Architectural registers ptrace exposes per thread."""
+
+    pc: int
+    sp: int
+
+
+class PtraceController:
+    """Controls one traced process."""
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+        self.peek_calls = 0
+        self.poke_calls = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # ---- stop / continue ---------------------------------------------------
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the tracee is currently stopped."""
+        return self.process.paused
+
+    def pause(self) -> None:
+        """Stop all threads of the tracee (``PTRACE_ATTACH``/``SIGSTOP``)."""
+        if self.process.paused:
+            raise PtraceError("process already stopped")
+        self.process.paused = True
+
+    def resume(self) -> None:
+        """Resume the tracee (``PTRACE_CONT``)."""
+        if not self.process.paused:
+            raise PtraceError("process is not stopped")
+        self.process.paused = False
+
+    def _require_stopped(self) -> None:
+        if not self.process.paused:
+            raise PtraceError("tracee must be stopped for this request")
+
+    # ---- registers -----------------------------------------------------------
+
+    def get_regs(self, tid: int) -> Registers:
+        """Read a thread's registers (``PTRACE_GETREGS``)."""
+        self._require_stopped()
+        thread = self.process.threads[tid]
+        return Registers(pc=thread.pc, sp=thread.sp)
+
+    def set_regs(self, tid: int, regs: Registers) -> None:
+        """Write a thread's registers (``PTRACE_SETREGS``)."""
+        self._require_stopped()
+        thread = self.process.threads[tid]
+        thread.pc = regs.pc
+        thread.sp = regs.sp
+
+    # ---- memory ---------------------------------------------------------------
+
+    def read_memory(self, addr: int, length: int) -> bytes:
+        """Peek tracee memory."""
+        self._require_stopped()
+        self.peek_calls += 1
+        self.bytes_read += length
+        return self.process.address_space.read(addr, length)
+
+    def write_memory(self, addr: int, data: bytes) -> None:
+        """Poke tracee memory."""
+        self._require_stopped()
+        self.poke_calls += 1
+        self.bytes_written += len(data)
+        self.process.address_space.write(addr, data)
+
+    def read_u64(self, addr: int) -> int:
+        """Peek one u64."""
+        self._require_stopped()
+        self.peek_calls += 1
+        self.bytes_read += 8
+        return self.process.address_space.read_u64(addr)
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Poke one u64."""
+        self._require_stopped()
+        self.poke_calls += 1
+        self.bytes_written += 8
+        self.process.address_space.write_u64(addr, value)

@@ -1,0 +1,64 @@
+"""Simulated threads.
+
+Each thread owns a stack region in the process address space; ``CALL`` pushes
+a u64 return address at ``sp`` and ``RET`` pops it, so the stack contents are
+real code pointers that OCOLOS's unwinder walks and its continuous-
+optimization GC rewrites.  A thread blocked in a syscall keeps its program
+counter in the thread record — the analogue of a PC saved in a kernel context
+(paper §III-B notes such pointers are inaccessible to user code; our ptrace
+layer exposes them the way the real ptrace does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ThreadState(Enum):
+    """Scheduler-visible thread states."""
+
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    HALTED = "halted"
+
+
+@dataclass
+class SimThread:
+    """Architectural state of one thread.
+
+    Attributes:
+        tid: thread id.
+        pc: current program counter.
+        sp: stack pointer; the stack grows down from ``stack_base``.
+        stack_base: highest address of the stack region (exclusive).
+        stack_limit: lowest usable stack address.
+        state: scheduler state.
+        cycles: cycles this thread's core has retired (its private clock).
+        blocked_until: for BLOCKED threads, the cycle count at which the
+            pending syscall completes.
+        instructions: instructions retired by this thread.
+    """
+
+    tid: int
+    pc: int
+    sp: int
+    stack_base: int
+    stack_limit: int
+    state: ThreadState = ThreadState.RUNNABLE
+    cycles: float = 0.0
+    blocked_until: float = 0.0
+    instructions: int = 0
+
+    @property
+    def stack_depth(self) -> int:
+        """Number of return addresses currently on the stack."""
+        return (self.stack_base - self.sp) // 8
+
+    def is_runnable_at(self, now: float) -> bool:
+        """Whether the thread can execute once its clock reaches ``now``."""
+        if self.state == ThreadState.RUNNABLE:
+            return True
+        if self.state == ThreadState.BLOCKED:
+            return self.blocked_until <= now
+        return False

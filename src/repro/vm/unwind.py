@@ -1,0 +1,78 @@
+"""libunwind-analogue stack crawling.
+
+OCOLOS crawls every thread's stack to find return addresses, combines them
+with each thread's PC, and derives the set of *stack-live* functions — the
+functions whose ``C_0`` direct calls must be patched (single replacement) or
+whose code must be copied forward (continuous optimization, paper §IV-C1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.binary.binaryfile import Binary
+from repro.vm.process import Process
+from repro.vm.thread import SimThread
+
+
+class AddressIndex:
+    """Maps code addresses to ``(binary_name, function_name)``.
+
+    Built from block placements, so it resolves addresses in hot fragments,
+    exiled cold fragments and original text alike.
+    """
+
+    def __init__(self, binaries: Iterable[Binary]) -> None:
+        spans: List[Tuple[int, int, str, str]] = []
+        for binary in binaries:
+            for func in binary.functions.values():
+                for block in func.blocks:
+                    spans.append((block.addr, block.addr + block.size, binary.name, func.name))
+        spans.sort()
+        self._starts = [s[0] for s in spans]
+        self._spans = spans
+
+    def resolve(self, addr: int) -> Optional[Tuple[str, str]]:
+        """``(binary_name, function_name)`` covering ``addr``, or ``None``."""
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            return None
+        start, end, binary_name, func_name = self._spans[idx]
+        if start <= addr < end:
+            return (binary_name, func_name)
+        return None
+
+
+def stack_return_addresses(process: Process, thread: SimThread) -> List[int]:
+    """Return addresses on ``thread``'s stack, innermost first."""
+    out: List[int] = []
+    addr = thread.sp
+    while addr < thread.stack_base:
+        out.append(process.address_space.read_u64(addr))
+        addr += 8
+    return out
+
+
+def live_code_pointers(process: Process) -> List[Tuple[int, str]]:
+    """All live code pointers with their provenance.
+
+    Returns:
+        ``(address, kind)`` pairs where kind is ``"pc"`` or ``"retaddr"``.
+    """
+    out: List[Tuple[int, str]] = []
+    for thread in process.threads:
+        out.append((thread.pc, "pc"))
+        for ret in stack_return_addresses(process, thread):
+            out.append((ret, "retaddr"))
+    return out
+
+
+def stack_live_functions(process: Process, index: AddressIndex) -> Set[str]:
+    """Names of functions currently on any thread's stack (or PC)."""
+    live: Set[str] = set()
+    for addr, _kind in live_code_pointers(process):
+        resolved = index.resolve(addr)
+        if resolved is not None:
+            live.add(resolved[1])
+    return live

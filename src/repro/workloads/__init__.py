@@ -1,0 +1,42 @@
+"""Synthetic workloads with scaled characteristics of the paper's benchmarks.
+
+Each workload builds an IR :class:`~repro.compiler.ir.Program` plus a family
+of :class:`~repro.workloads.inputs.InputSpec` behaviour models (the analogue
+of Sysbench/YCSB/memaslap input mixes).  Scaling notes per workload live in
+their module docstrings and EXPERIMENTS.md.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "InputSpec": ".inputs",
+    "CompiledInput": ".inputs",
+    "merge_input_specs": ".inputs",
+    "WorkloadParams": ".generator",
+    "SyntheticWorkload": ".generator",
+    "BranchSiteMeta": ".generator",
+    "build_workload": ".generator",
+    "mysql_like": ".mysql",
+    "mysql_inputs": ".mysql",
+    "mysql_params": ".mysql",
+    "mongodb_like": ".mongodb",
+    "mongodb_inputs": ".mongodb",
+    "mongodb_params": ".mongodb",
+    "memcached_like": ".memcached",
+    "memcached_inputs": ".memcached",
+    "memcached_params": ".memcached",
+    "verilator_like": ".verilator",
+    "verilator_inputs": ".verilator",
+    "verilator_params": ".verilator",
+    "clang_like_compiler": ".clangbuild",
+    "clang_params": ".clangbuild",
+    "source_file_input": ".clangbuild",
+    "ClangBuildWorkload": ".clangbuild",
+    "clang_build": ".clangbuild",
+    "characterize_binary": ".characterize",
+    "measure_hot_footprint": ".characterize",
+    "StaticCharacterization": ".characterize",
+    "DynamicFootprint": ".characterize",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

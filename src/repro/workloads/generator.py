@@ -1,0 +1,598 @@
+"""Parameterised synthetic server-program generator.
+
+Builds IR programs whose *scaled* structure mirrors the paper's benchmarks
+(Table I): a large pool of work functions grouped into subsystems, a big
+branchy shared parser (the ``MYSQLparse`` analogue), per-operation handlers
+that call scattered subsets of the pool, v-table dispatch (operation dispatch
+and data-format dispatch), function-pointer callbacks, and cold error paths
+interleaved with hot code in source order.
+
+Why the shapes reproduce
+------------------------
+* **Front-end pressure.** Each transaction touches hundreds of functions
+  whose hot bytes are scattered through a text section much larger than the
+  32 KiB L1i, and whose cold error blocks sit *between* hot blocks in source
+  order — so the original layout wastes cache lines and takes branches on the
+  hot path.  BOLT's reordering/splitting packs exactly those bytes, which is
+  the paper's entire mechanism.
+* **Input sensitivity (Fig 3).** Every conditional site gets coefficients
+  ``(a, b)``; under an input with *writeness* ``θ`` its taken probability is
+  ``sigmoid(a + b·θ)``.  Sites with large ``|b|`` genuinely flip direction
+  between read-ish and write-ish inputs, so a layout trained on ``insert``
+  mispacks ``read_only`` paths.
+* **OCOLOS-vs-oracle gap (Fig 5).** Write-ish handlers reach their work
+  functions mainly through function-pointer callbacks (triggers/hooks); the
+  ``C_0`` invariant keeps those pointers in unoptimized code, reproducing the
+  residual-``C_0`` gap the paper reports for ``delete``/``write_only``.
+* **Backend-bound anomaly.** Scan-style operations issue DRAM-class loads;
+  with the memory-controller queueing model, fixing the front end can make
+  such inputs *slower* (the MongoDB ``scan95 insert5`` case).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.codegen import CompilerOptions
+from repro.compiler.ir import (
+    BasicBlock,
+    CondBr,
+    Halt,
+    IRFunction,
+    Jump,
+    Program,
+    Ret,
+    SiteKind,
+    Switch,
+    VTableSpec,
+)
+from repro.errors import WorkloadError
+from repro.isa.instructions import (
+    alu,
+    call,
+    icall,
+    load,
+    longjmp,
+    mkfp,
+    setjmp,
+    store,
+    syscall,
+    txn_mark,
+    vcall,
+)
+from repro.workloads.inputs import InputSpec
+
+
+def _sigmoid(x: float) -> float:
+    return 1.0 / (1.0 + math.exp(-x))
+
+
+@dataclass
+class WorkloadParams:
+    """Generator knobs (defaults give a mid-size server program)."""
+
+    name: str = "server"
+    n_work_functions: int = 600
+    n_utility_functions: int = 100
+    n_callback_functions: int = 48
+    n_op_types: int = 8
+    op_names: Optional[List[str]] = None
+    steps_per_op: Tuple[int, int] = (60, 110)
+    n_subsystems: int = 8
+    shared_fraction: float = 0.30
+    parse_blocks: int = 30
+    n_data_classes: int = 16
+    data_vtable_slots: int = 4
+    vcall_step_fraction: float = 0.25
+    icall_share_per_op: Optional[List[float]] = None
+    layer2_fraction: float = 0.45
+    cold_blocks_range: Tuple[int, int] = (1, 3)
+    body_alu_range: Tuple[int, int] = (1, 3)
+    mem_class_per_op: Optional[List[int]] = None
+    creates_fp_per_op: Optional[List[bool]] = None
+    syscall_cycles: float = 120.0
+    n_threads: int = 4
+    scale: float = 16.0
+    seed: int = 2022
+    dispatch_mode: str = "vcall"  # "vcall" (C++ server) or "switch" (C server)
+    #: Per-thread setjmp buffers; > 0 adds setjmp error-recovery to handlers
+    #: (a rare cold path longjmps back to the dispatcher, like a SQL error).
+    n_jmpbufs: int = 0
+    single_shot: bool = False  # batch programs halt after one work item
+    work_items: int = 1  # for single_shot programs: transactions before halt
+
+
+@dataclass
+class BranchSiteMeta:
+    """Input-sensitivity coefficients of one conditional site."""
+
+    function: str
+    a: float
+    b: float
+    role: str  # "hot_path" | "cold_guard" | "handler_skip" | "parse"
+
+    def taken_probability(self, theta: float) -> float:
+        """Taken probability under writeness ``theta``."""
+        return _sigmoid(self.a + self.b * theta)
+
+
+@dataclass
+class SyntheticWorkload:
+    """A generated program plus everything needed to define inputs."""
+
+    name: str
+    params: WorkloadParams
+    program: Program
+    options: CompilerOptions
+    dispatch_site: int = 0
+    dispatch_kind: str = "vcall"
+    op_names: List[str] = field(default_factory=list)
+    branch_sites: Dict[int, BranchSiteMeta] = field(default_factory=dict)
+    vcall_sites: Dict[int, List[int]] = field(default_factory=dict)
+    icall_sites: Dict[int, List[int]] = field(default_factory=dict)
+    switch_sites: Dict[int, int] = field(default_factory=dict)
+    #: v-table class ids used for operation dispatch, by op index.
+    op_class_ids: List[int] = field(default_factory=list)
+    #: Deterministic loop sites (site -> exact trip count), e.g. the
+    #: work-item counter of single-shot batch programs.
+    counted_sites: Dict[int, int] = field(default_factory=dict)
+
+    def make_input(
+        self,
+        name: str,
+        theta: float,
+        op_mix: Dict[str, float],
+        *,
+        mem_scale: Tuple[float, float, float, float] = (1.0, 1.0, 1.0, 1.0),
+        vcall_tilt: float = 0.0,
+        seed: int = 7,
+    ) -> InputSpec:
+        """Build an input behaviour model.
+
+        Args:
+            name: input name (e.g. ``oltp_read_only``).
+            theta: writeness in [0, 1]; drives every branch-site bias.
+            op_mix: weights over operation names (the query mix).
+            mem_scale: per-memory-class cost multipliers.
+            vcall_tilt: skews data-dispatch class mixes (models different
+                data/schema shapes between inputs).
+            seed: deterministic per-input jitter.
+
+        Raises:
+            WorkloadError: if ``op_mix`` names an unknown operation.
+        """
+        rng = random.Random(f"{seed}:{name}")
+        spec = InputSpec(name=name, mem_scale=mem_scale)
+        for site, meta in self.branch_sites.items():
+            spec.branch_bias[site] = meta.taken_probability(theta)
+
+        for op in op_mix:
+            if op not in self.op_names:
+                raise WorkloadError(f"unknown operation {op!r}")
+        if not any(w > 0 for w in op_mix.values()):
+            raise WorkloadError(f"input {name!r} has an empty op mix")
+        if self.dispatch_kind == "vcall":
+            dispatch_mix = []
+            for idx, op in enumerate(self.op_names):
+                weight = op_mix.get(op, 0.0)
+                if weight > 0:
+                    dispatch_mix.append((self.op_class_ids[idx], weight))
+            spec.vcall_mix[self.dispatch_site] = dispatch_mix
+        else:
+            spec.switch_mix[self.dispatch_site] = [
+                op_mix.get(op, 0.0) for op in self.op_names
+            ]
+
+        for site, class_ids in self.vcall_sites.items():
+            if site == self.dispatch_site:
+                continue
+            weights = []
+            for k, cid in enumerate(class_ids):
+                base = 1.0 + 2.0 * rng.random()
+                tilt = math.exp(vcall_tilt * (k - len(class_ids) / 2.0) * 0.5)
+                weights.append((cid, base * tilt))
+            spec.vcall_mix[site] = weights
+
+        for site, slots in self.icall_sites.items():
+            weights = [(slot, 1.0 + 2.0 * rng.random()) for slot in slots]
+            spec.icall_mix[site] = weights
+
+        for site, n_cases in self.switch_sites.items():
+            raw = [0.2 + rng.random() * math.exp(-0.35 * ((k + 3 * theta) % n_cases))
+                   for k in range(n_cases)]
+            spec.switch_mix[site] = raw
+
+        spec.syscall_cycles[0] = self.params.syscall_cycles
+        spec.counted_branches.update(self.counted_sites)
+        return spec
+
+
+def build_workload(params: WorkloadParams) -> SyntheticWorkload:
+    """Generate the program described by ``params``."""
+    rng = random.Random(params.seed)
+    program = Program(name=params.name, entry="main")
+    wl = SyntheticWorkload(
+        name=params.name,
+        params=params,
+        program=program,
+        options=CompilerOptions(jump_tables=False, instrument_fp=True, opt_level="-O3"),
+    )
+    op_names = params.op_names or [f"op{k}" for k in range(params.n_op_types)]
+    if len(op_names) != params.n_op_types:
+        raise WorkloadError("op_names length must equal n_op_types")
+    wl.op_names = list(op_names)
+
+    program.jmpbuf_count = params.n_jmpbufs
+    utilities = _build_utilities(program, params, rng)
+    work_fns = _build_work_functions(program, params, rng, wl, utilities)
+    callbacks = _build_callbacks(program, params, rng, wl, work_fns, utilities)
+    _build_parse(program, params, rng, wl)
+    handlers = _build_handlers(program, params, rng, wl, work_fns, callbacks)
+    if params.dispatch_mode == "vcall":
+        _build_dispatch_tables(program, params, wl, handlers)
+    _build_data_vtables(program, params, rng, work_fns)
+    _init_fp_slots(program, params, callbacks)
+    _build_main(program, params, wl, handlers)
+    program.validate()
+    return wl
+
+
+# ----------------------------------------------------------------------
+# pieces
+# ----------------------------------------------------------------------
+
+
+def _branch_site(
+    program: Program,
+    wl: SyntheticWorkload,
+    rng: random.Random,
+    function: str,
+    role: str,
+) -> int:
+    site = program.sites.allocate(SiteKind.BRANCH, function)
+    if role == "cold_guard":
+        a, b = -3.6 - rng.random(), 0.4 * (rng.random() - 0.5)
+    elif role == "handler_skip":
+        a, b = -4.0 - 0.6 * rng.random(), 0.8 * (rng.random() - 0.5)
+    elif role == "parse":
+        # Grammar-production tests: moderately biased and input-tilted, so
+        # successive queries walk *different* subsets of a large parser body
+        # (the MYSQLparse behaviour: per-query paths through 176 KiB of
+        # generated code).
+        a = rng.choice([-1.0, 1.0]) * (0.5 + 2.0 * rng.random())
+        b = rng.choice([-1.0, 1.0]) * (2.5 + 2.5 * rng.random())
+    else:
+        # hot_path: strongly biased at any given input, but the *direction*
+        # flips as writeness crosses the site's midpoint:
+        # p(θ) = sigmoid(k·(θ - m)).  Well-predicted once trained, yet a
+        # layout frozen for the wrong θ puts the hot successor out of line.
+        midpoint = -0.25 + 1.5 * rng.random()
+        steepness = rng.choice([-1.0, 1.0]) * (4.0 + 4.0 * rng.random())
+        a = -steepness * midpoint
+        b = steepness
+    wl.branch_sites[site] = BranchSiteMeta(function=function, a=a, b=b, role=role)
+    return site
+
+
+def _body(rng: random.Random, params: WorkloadParams, mem_class: int, n_loads: int = 1):
+    lo, hi = params.body_alu_range
+    insns = [alu() for _ in range(rng.randint(lo, hi))]
+    insns.extend(load(mem_class) for _ in range(n_loads))
+    return insns
+
+
+def _build_utilities(program: Program, params: WorkloadParams, rng: random.Random) -> List[str]:
+    names = []
+    for j in range(params.n_utility_functions):
+        name = f"util{j}"
+        func = IRFunction(name)
+        b0 = func.new_block()
+        b0.body = [alu() for _ in range(rng.randint(2, 4))]
+        b0.terminator = Ret()
+        program.add_function(func)
+        names.append(name)
+    return names
+
+
+def _build_work_functions(
+    program: Program,
+    params: WorkloadParams,
+    rng: random.Random,
+    wl: SyntheticWorkload,
+    utilities: List[str],
+) -> List[str]:
+    """The function pool: entry, two alternative hot paths, interleaved cold
+    error blocks (source order deliberately places cold blocks between hot
+    ones, as compilers do without profiles)."""
+    names = []
+    for j in range(params.n_work_functions):
+        name = f"fn{j}"
+        func = IRFunction(name)
+        mem_class = 1
+        entry = func.new_block()  # 0
+        cold1 = func.new_block()  # 1 (source-next after entry: pollutes lines)
+        hot_a = func.new_block()  # 2
+        cold2 = func.new_block()  # 3
+        hot_b = func.new_block()  # 4
+        exit_b = func.new_block()  # 5
+        cold3 = func.new_block()  # 6 (unreached error tail, inflates text)
+
+        guard = _branch_site(program, wl, rng, name, "cold_guard")
+        path = _branch_site(program, wl, rng, name, "hot_path")
+
+        entry.body = _body(rng, params, mem_class)
+        # Guard taken (rare) goes to the cold error path; the common case
+        # branches over it to hot_a — a taken branch the original layout
+        # cannot avoid, plus cold bytes polluting the entry's cache lines.
+        entry.terminator = CondBr(site=guard, taken=1, fallthrough=2)
+        cold1.body = [alu() for _ in range(rng.randint(8, 14))] + [store(1)]
+        cold1.terminator = Jump(6)
+        hot_a.body = _body(rng, params, mem_class)
+        hot_a.terminator = CondBr(site=path, taken=4, fallthrough=3)
+        cold2.body = [alu() for _ in range(rng.randint(6, 12))]
+        cold2.terminator = Jump(5)
+        hot_b.body = _body(rng, params, mem_class, n_loads=1)
+        if rng.random() < params.layer2_fraction:
+            hot_b.body.append(call(rng.choice(utilities)))
+        hot_b.terminator = Jump(5)
+        exit_b.body = [alu()]
+        exit_b.terminator = Ret()
+        cold3.body = [alu() for _ in range(rng.randint(14, 26))] + [store(1)]
+        cold3.terminator = Jump(5)
+
+        program.add_function(func)
+        names.append(name)
+
+        # Note the structural trap for static layout: the *taken* edge of
+        # ``path`` reaches hot_b while the fallthrough lands in cold2 —
+        # without a profile the fallthrough-is-hot heuristic is wrong
+        # whenever sigmoid(a + b*theta) > 0.5.
+    return names
+
+
+def _build_callbacks(
+    program: Program,
+    params: WorkloadParams,
+    rng: random.Random,
+    wl: SyntheticWorkload,
+    work_fns: List[str],
+    utilities: List[str],
+) -> List[str]:
+    """Trigger/hook-style callback functions reached through function
+    pointers.
+
+    These matter for the OCOLOS-vs-oracle gap: a function pointer pinned to
+    ``C_0`` (the wrapFuncPtrCreation invariant) drags a whole multi-call
+    subtree through unoptimized code, because the callback's *own* direct
+    calls are only patched when the callback happens to be stack-live during
+    replacement."""
+    names: List[str] = []
+    for j in range(params.n_callback_functions):
+        name = f"callback{j}"
+        func = IRFunction(name)
+        n_steps = rng.randint(3, 6)
+        blocks = [func.new_block() for _ in range(n_steps + 1)]
+        for idx in range(n_steps):
+            block = blocks[idx]
+            block.body = [alu(), load(1)]
+            if rng.random() < 0.75:
+                block.body.append(call(rng.choice(work_fns)))
+            else:
+                block.body.append(call(rng.choice(utilities)))
+            block.terminator = Jump(idx + 1)
+        blocks[-1].body = [alu()]
+        blocks[-1].terminator = Ret()
+        program.add_function(func)
+        names.append(name)
+    return names
+
+
+def _build_parse(
+    program: Program, params: WorkloadParams, rng: random.Random, wl: SyntheticWorkload
+) -> None:
+    """The shared, branchy parser every transaction runs (MYSQLparse
+    analogue): a token-switch dispatch plus a long chain of grammar
+    productions with moderately-biased, input-tilted tests.
+
+    Each call skips through the chain along a *different* path (parse sites
+    have high entropy), so the parser's per-transaction footprint is a large
+    varying subset of its body — which is what makes it the top L1i misser
+    under mismatched layouts, and packable by an oracle layout (§VI-C)."""
+    func = IRFunction("parse")
+    n = params.parse_blocks
+    blocks = [func.new_block() for _ in range(n + 1)]
+    switch_site = program.sites.allocate(SiteKind.SWITCH, "parse", n_cases=6)
+    wl.switch_sites[switch_site] = 6
+    for idx in range(n):
+        block = blocks[idx]
+        block.body = _body(rng, params, mem_class=1)
+        if idx == 0:
+            block.terminator = Switch(
+                site=switch_site,
+                targets=tuple(min(idx + 1 + k, n) for k in range(6)),
+            )
+        else:
+            site = _branch_site(program, wl, rng, "parse", "parse")
+            skip = min(idx + 3 + rng.randint(0, 5), n)
+            block.terminator = CondBr(site=site, taken=skip, fallthrough=min(idx + 1, n))
+    blocks[n].body = [alu()]
+    blocks[n].terminator = Ret()
+    program.add_function(func)
+
+
+def _build_handlers(
+    program: Program,
+    params: WorkloadParams,
+    rng: random.Random,
+    wl: SyntheticWorkload,
+    work_fns: List[str],
+    callbacks: List[str],
+) -> List[str]:
+    n_shared = int(len(work_fns) * params.shared_fraction)
+    shared_pool = work_fns[:n_shared]
+    subsystem_size = max(1, (len(work_fns) - n_shared) // params.n_subsystems)
+    subsystems = [
+        work_fns[n_shared + s * subsystem_size : n_shared + (s + 1) * subsystem_size]
+        for s in range(params.n_subsystems)
+    ]
+    icall_share = params.icall_share_per_op or [0.05] * params.n_op_types
+    mem_classes = params.mem_class_per_op or [1] * params.n_op_types
+    creates_fp = params.creates_fp_per_op or [False] * params.n_op_types
+
+    handler_names = []
+    for k, op in enumerate(wl.op_names):
+        name = f"handle_{op}"
+        func = IRFunction(name)
+        lo, hi = params.steps_per_op
+        n_steps = rng.randint(lo, hi)
+        subs = rng.sample(range(params.n_subsystems), k=min(3, params.n_subsystems))
+        targets: List[str] = []
+        for _ in range(n_steps):
+            if rng.random() < params.shared_fraction:
+                targets.append(rng.choice(shared_pool))
+            else:
+                pool = subsystems[rng.choice(subs)]
+                targets.append(rng.choice(pool) if pool else rng.choice(shared_pool))
+
+        step_blocks = [func.new_block() for _ in range(n_steps)]
+        exit_block = func.new_block()
+        if params.n_jmpbufs:
+            # error recovery: setjmp before the first step; a rare error deep
+            # in the handler longjmps back and retries from the top
+            buf = k % params.n_jmpbufs
+            recovery = func.new_block()
+            recovery.body = [alu(), alu(), longjmp(buf)]
+            recovery.terminator = Jump(exit_block.bb_id)  # unreachable
+            error_site = _branch_site(program, wl, rng, name, "cold_guard")
+        for idx, target in enumerate(targets):
+            block = step_blocks[idx]
+            # DRAM-class operations miss to memory on a fraction of their
+            # accesses (row fetches), not on every step.
+            if mem_classes[k] >= 3:
+                block_class = 3 if rng.random() < 0.10 else 2
+            else:
+                block_class = mem_classes[k]
+            block.body = _body(rng, params, block_class)
+            r = rng.random()
+            if r < icall_share[k]:
+                site = program.sites.allocate(SiteKind.ICALL, name)
+                slots = rng.sample(range(len(callbacks)), k=min(3, len(callbacks)))
+                wl.icall_sites[site] = slots
+                block.body.append(icall(site))
+            elif r < icall_share[k] + params.vcall_step_fraction:
+                site = program.sites.allocate(SiteKind.VCALL, name)
+                class_ids = rng.sample(
+                    range(params.n_op_types, params.n_op_types + params.n_data_classes),
+                    k=min(4, params.n_data_classes),
+                )
+                wl.vcall_sites[site] = class_ids
+                block.body.append(
+                    vcall(site, rng.randrange(params.data_vtable_slots))
+                )
+            else:
+                block.body.append(call(target))
+            if creates_fp[k] and idx == 0:
+                slot = rng.randrange(len(callbacks))
+                block.body.append(mkfp(rng.choice(callbacks), slot))
+            if idx + 1 < n_steps:
+                if params.n_jmpbufs and idx == n_steps // 2:
+                    # mid-handler error check: rare longjmp back to the top
+                    block.terminator = CondBr(
+                        site=error_site, taken=recovery.bb_id, fallthrough=idx + 1
+                    )
+                else:
+                    site = _branch_site(program, wl, rng, name, "handler_skip")
+                    block.terminator = CondBr(
+                        site=site, taken=exit_block.bb_id, fallthrough=idx + 1
+                    )
+            else:
+                block.terminator = Jump(exit_block.bb_id)
+        if params.n_jmpbufs:
+            step_blocks[0].body.insert(0, setjmp(k % params.n_jmpbufs))
+        exit_block.body = [store(mem_classes[k]), alu()]
+        exit_block.terminator = Ret()
+        program.add_function(func)
+        handler_names.append(name)
+    return handler_names
+
+
+def _build_dispatch_tables(
+    program: Program, params: WorkloadParams, wl: SyntheticWorkload, handlers: List[str]
+) -> None:
+    """Class ids 0..n_op_types-1 are the operation-dispatch classes."""
+    for k, handler in enumerate(handlers):
+        program.vtables.append(VTableSpec(class_id=k, slots=[handler]))
+        wl.op_class_ids.append(k)
+
+
+def _build_data_vtables(
+    program: Program, params: WorkloadParams, rng: random.Random, work_fns: List[str]
+) -> None:
+    """Class ids n_op_types.. are data-format dispatch tables."""
+    for c in range(params.n_data_classes):
+        slots = [rng.choice(work_fns) for _ in range(params.data_vtable_slots)]
+        program.vtables.append(
+            VTableSpec(class_id=params.n_op_types + c, slots=slots)
+        )
+
+
+def _init_fp_slots(
+    program: Program, params: WorkloadParams, callbacks: List[str]
+) -> None:
+    program.fp_slot_count = len(callbacks)
+    for slot, name in enumerate(callbacks):
+        program.fp_init[slot] = name
+
+
+def _build_main(
+    program: Program,
+    params: WorkloadParams,
+    wl: SyntheticWorkload,
+    handlers: List[str],
+) -> None:
+    func = IRFunction("main")
+    b0 = func.new_block()
+    b0.body = [syscall(0), alu(), call("parse")]
+
+    if params.dispatch_mode == "vcall":
+        dispatch_site = program.sites.allocate(SiteKind.VCALL, "main")
+        wl.dispatch_site = dispatch_site
+        wl.dispatch_kind = "vcall"
+        wl.vcall_sites[dispatch_site] = list(wl.op_class_ids)
+        b0.body.extend([vcall(dispatch_site, 0), txn_mark()])
+        end_source = b0
+    elif params.dispatch_mode == "switch":
+        dispatch_site = program.sites.allocate(
+            SiteKind.SWITCH, "main", n_cases=len(handlers)
+        )
+        wl.dispatch_site = dispatch_site
+        wl.dispatch_kind = "switch"
+        op_blocks = [func.new_block() for _ in handlers]
+        join = func.new_block()
+        b0.terminator = Switch(
+            site=dispatch_site, targets=tuple(b.bb_id for b in op_blocks)
+        )
+        for block, handler in zip(op_blocks, handlers):
+            block.body = [call(handler)]
+            block.terminator = Jump(join.bb_id)
+        join.body = [txn_mark()]
+        end_source = join
+    else:
+        raise WorkloadError(f"unknown dispatch_mode {params.dispatch_mode!r}")
+
+    if params.single_shot:
+        loop_check = func.new_block()
+        end = func.new_block()
+        counter_site = program.sites.allocate(SiteKind.BRANCH, "main")
+        wl.counted_sites[counter_site] = max(1, params.work_items)
+        end_source.terminator = Jump(loop_check.bb_id)
+        loop_check.body = [alu()]
+        loop_check.terminator = CondBr(site=counter_site, taken=0, fallthrough=end.bb_id)
+        end.body = [alu()]
+        end.terminator = Halt()
+    else:
+        end_source.terminator = Jump(0)
+    program.add_function(func)

@@ -1,0 +1,256 @@
+"""Input behaviour models.
+
+An :class:`InputSpec` is the simulator's analogue of "running Sysbench
+``oltp_read_only`` against MySQL": it assigns every behavioural site in a
+program an outcome distribution — taken-probability for conditional
+branches, a class mix for virtual-call sites, a slot mix for indirect-call
+sites, a case mix for switches — plus data-memory cost scaling and syscall
+latencies.  Different inputs bias the *same* code differently, which is
+precisely what makes offline profiles stale (paper §III-A) and what OCOLOS's
+online profiling sidesteps.
+
+A :class:`CompiledInput` flattens an InputSpec against a program's site table
+into arrays for the interpreter's hot path.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.ir import Program, SiteKind
+from repro.errors import WorkloadError
+
+#: Per-memory-class cost scale applied on top of
+#: :data:`repro.uarch.memsys.BASE_CLASS_COSTS`.
+MemScale = Tuple[float, float, float, float]
+
+
+@dataclass
+class InputSpec:
+    """Outcome distributions for every behavioural site of one input.
+
+    Attributes:
+        name: input name (e.g. ``oltp_read_only``).
+        branch_bias: taken-probability per branch site.
+        vcall_mix: per vcall site, ``(class_id, weight)`` pairs.
+        icall_mix: per icall site, ``(fp_slot, weight)`` pairs.
+        switch_mix: per switch site, a weight per case.
+        syscall_cycles: mean blocking cycles per syscall kind.
+        mem_scale: multiplier per memory class.
+        dram_service_scale: scales the memory controller's service rate for
+            this input (< 1 models access patterns with inherently poor
+            row-buffer locality, e.g. multi-core range scans).
+        default_branch_bias: taken-probability for unlisted branch sites.
+    """
+
+    name: str
+    branch_bias: Dict[int, float] = field(default_factory=dict)
+    vcall_mix: Dict[int, List[Tuple[int, float]]] = field(default_factory=dict)
+    icall_mix: Dict[int, List[Tuple[int, float]]] = field(default_factory=dict)
+    switch_mix: Dict[int, List[float]] = field(default_factory=dict)
+    syscall_cycles: Dict[int, float] = field(default_factory=dict)
+    mem_scale: MemScale = (1.0, 1.0, 1.0, 1.0)
+    dram_service_scale: float = 1.0
+    default_branch_bias: float = 0.4
+    #: Deterministic loop branches: site -> period k.  The branch condition
+    #: is true on executions 1..k-1 and false on the k-th (exact trip
+    #: counts, e.g. a batch program processing a fixed work-item count).
+    counted_branches: Dict[int, int] = field(default_factory=dict)
+
+
+class _Sampler:
+    """Cumulative-distribution sampler over integer outcomes."""
+
+    __slots__ = ("outcomes", "cdf")
+
+    def __init__(self, pairs: Sequence[Tuple[int, float]]) -> None:
+        total = float(sum(w for _o, w in pairs))
+        if total <= 0 or not pairs:
+            raise WorkloadError("distribution needs positive total weight")
+        self.outcomes = [o for o, _w in pairs]
+        acc = 0.0
+        cdf = []
+        for _o, w in pairs:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self.cdf = cdf
+
+    def sample(self, r: float) -> int:
+        """Map a uniform ``r`` in [0,1) to an outcome."""
+        return self.outcomes[bisect.bisect_left(self.cdf, r)]
+
+    def probabilities(self) -> List[Tuple[int, float]]:
+        """``(outcome, probability)`` pairs."""
+        probs = []
+        prev = 0.0
+        for outcome, c in zip(self.outcomes, self.cdf):
+            probs.append((outcome, c - prev))
+            prev = c
+        return probs
+
+
+class CompiledInput:
+    """An InputSpec resolved against a program's site table."""
+
+    def __init__(self, program: Program, spec: InputSpec) -> None:
+        self.spec = spec
+        self.program = program
+        n_sites = max((s for s, _ in program.sites.items()), default=0) + 1
+        self.branch_p: List[float] = [spec.default_branch_bias] * n_sites
+        self._vcall: Dict[int, _Sampler] = {}
+        self._icall: Dict[int, _Sampler] = {}
+        self._switch: Dict[int, _Sampler] = {}
+        self.syscall_cycles: Dict[int, float] = dict(spec.syscall_cycles)
+
+        for site, info in program.sites.items():
+            if info.kind == SiteKind.BRANCH:
+                self.branch_p[site] = spec.branch_bias.get(
+                    site, spec.default_branch_bias
+                )
+            elif info.kind == SiteKind.VCALL:
+                mix = spec.vcall_mix.get(site)
+                if mix is None:
+                    raise WorkloadError(
+                        f"input {spec.name!r}: no vcall mix for site {site}"
+                    )
+                self._vcall[site] = _Sampler(mix)
+            elif info.kind == SiteKind.ICALL:
+                mix = spec.icall_mix.get(site)
+                if mix is None:
+                    raise WorkloadError(
+                        f"input {spec.name!r}: no icall mix for site {site}"
+                    )
+                self._icall[site] = _Sampler(mix)
+            elif info.kind == SiteKind.SWITCH:
+                mix = spec.switch_mix.get(site)
+                if mix is None:
+                    raise WorkloadError(
+                        f"input {spec.name!r}: no switch mix for site {site}"
+                    )
+                self._switch[site] = _Sampler(list(enumerate(mix)))
+
+        # Derived branch sites (switch lowered to a compare chain): the k-th
+        # test is taken with the conditional probability of case k given that
+        # earlier cases did not match.
+        for site, info in program.sites.items():
+            if info.kind != SiteKind.DERIVED_BRANCH:
+                continue
+            switch_site, case_index = info.derived_from
+            mix = spec.switch_mix.get(switch_site)
+            if mix is None:
+                raise WorkloadError(
+                    f"input {spec.name!r}: no switch mix for site {switch_site}"
+                )
+            total = float(sum(mix))
+            remaining = total - sum(mix[:case_index])
+            p = (mix[case_index] / remaining) if remaining > 0 else 1.0
+            if site >= len(self.branch_p):
+                self.branch_p.extend(
+                    [spec.default_branch_bias] * (site + 1 - len(self.branch_p))
+                )
+            self.branch_p[site] = min(1.0, max(0.0, p))
+
+        # Counted branches are encoded as negative "probabilities" so the
+        # interpreter's hot path stays a single list access for ordinary
+        # branches; the slow counted path triggers only on p < 0.
+        self.counted_state: Dict[int, int] = {}
+        for site, period in spec.counted_branches.items():
+            if period < 1:
+                raise WorkloadError(f"counted branch {site}: period must be >= 1")
+            if site >= len(self.branch_p):
+                self.branch_p.extend(
+                    [spec.default_branch_bias] * (site + 1 - len(self.branch_p))
+                )
+            self.branch_p[site] = -float(period)
+
+        self.mem_scale = spec.mem_scale
+        self.dram_service_scale = spec.dram_service_scale
+
+    # ---- hot-path sampling -------------------------------------------------
+
+    def sample_vcall(self, site: int, r: float) -> int:
+        """Dynamic class id observed at vcall ``site``."""
+        return self._vcall[site].sample(r)
+
+    def sample_icall(self, site: int, r: float) -> int:
+        """Function-pointer slot read at icall ``site``."""
+        return self._icall[site].sample(r)
+
+    def sample_switch(self, site: int, r: float) -> int:
+        """Case index taken at switch ``site``."""
+        return self._switch[site].sample(r)
+
+    def syscall_duration(self, kind: int) -> float:
+        """Blocking cycles for a syscall of ``kind``."""
+        return self.syscall_cycles.get(kind, 1000.0)
+
+    # ---- introspection (used by tests and oracle analyses) -----------------
+
+    def vcall_probabilities(self, site: int) -> List[Tuple[int, float]]:
+        """``(class_id, probability)`` pairs for a vcall site."""
+        return self._vcall[site].probabilities()
+
+    def icall_probabilities(self, site: int) -> List[Tuple[int, float]]:
+        """``(slot, probability)`` pairs for an icall site."""
+        return self._icall[site].probabilities()
+
+    def switch_probabilities(self, site: int) -> List[Tuple[int, float]]:
+        """``(case, probability)`` pairs for a switch site."""
+        return self._switch[site].probabilities()
+
+
+def merge_input_specs(name: str, specs: Sequence[InputSpec]) -> InputSpec:
+    """Average several inputs into one (the paper's "all"/average-case
+    profile is the profile of this blended behaviour).
+
+    Branch biases and mixes are averaged with equal weight; memory scales are
+    averaged component-wise.
+    """
+    if not specs:
+        raise WorkloadError("merge_input_specs needs at least one spec")
+    merged = InputSpec(name=name)
+    merged.default_branch_bias = sum(s.default_branch_bias for s in specs) / len(specs)
+
+    all_branch_sites = set(itertools.chain.from_iterable(s.branch_bias for s in specs))
+    for site in all_branch_sites:
+        merged.branch_bias[site] = sum(
+            s.branch_bias.get(site, s.default_branch_bias) for s in specs
+        ) / len(specs)
+
+    for attr in ("vcall_mix", "icall_mix"):
+        sites = set(
+            itertools.chain.from_iterable(getattr(s, attr) for s in specs)
+        )
+        for site in sites:
+            acc: Dict[int, float] = {}
+            for s in specs:
+                for outcome, w in getattr(s, attr).get(site, []):
+                    acc[outcome] = acc.get(outcome, 0.0) + w
+            getattr(merged, attr)[site] = sorted(acc.items())
+
+    switch_sites = set(itertools.chain.from_iterable(s.switch_mix for s in specs))
+    for site in switch_sites:
+        lengths = {len(s.switch_mix[site]) for s in specs if site in s.switch_mix}
+        n = max(lengths)
+        acc_list = [0.0] * n
+        for s in specs:
+            mix = s.switch_mix.get(site)
+            if mix:
+                for k, w in enumerate(mix):
+                    acc_list[k] += w
+        merged.switch_mix[site] = acc_list
+
+    kinds = set(itertools.chain.from_iterable(s.syscall_cycles for s in specs))
+    for kind in kinds:
+        merged.syscall_cycles[kind] = sum(
+            s.syscall_cycles.get(kind, 1000.0) for s in specs
+        ) / len(specs)
+
+    merged.mem_scale = tuple(
+        sum(s.mem_scale[i] for s in specs) / len(specs) for i in range(4)
+    )
+    return merged

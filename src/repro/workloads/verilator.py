@@ -1,0 +1,175 @@
+"""Verilator-like workload: a single-threaded generated-code chip simulator.
+
+Verilator emits enormous straight-line evaluation code whose block order
+reflects the RTL source, not the simulated design's steady-state signal
+values — so the executed path zig-zags through the text taking branches
+constantly.  That is why the paper measures its largest speedup here
+(up to 2.20x): BOLT linearises the per-benchmark common path.
+
+Structure: ``main`` loops over ``eval`` (one simulated cycle per
+transaction); ``eval`` calls every module-evaluation function in sequence;
+each module is a long chain of segments where the common case may be either
+the inline block or a source-distant alternative block, depending on the
+benchmark input (``dhrystone``/``median``/``vvadd`` = different θ).
+Matching Table I, the program has ~400 functions and 10 v-tables.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.compiler.codegen import CompilerOptions
+from repro.compiler.ir import (
+    CondBr,
+    IRFunction,
+    Jump,
+    Program,
+    Ret,
+    SiteKind,
+    VTableSpec,
+)
+from repro.isa.instructions import alu, call, load, txn_mark, vcall
+from repro.workloads.generator import BranchSiteMeta, SyntheticWorkload, WorkloadParams
+from repro.workloads.inputs import InputSpec
+
+N_MODULES = 104
+SEGMENTS_PER_MODULE = 10
+N_SUPPORT_FUNCTIONS = 280
+N_CONFIG_CLASSES = 10
+
+INPUT_DEFS = {
+    "dhrystone": 0.55,
+    "median": 0.18,
+    "vvadd": 0.86,
+}
+
+
+def verilator_params(seed: int = 3904) -> WorkloadParams:
+    """Nominal parameters (only metadata fields are used by the harness)."""
+    return WorkloadParams(
+        name="verilator_like",
+        n_op_types=1,
+        op_names=["sim_cycle"],
+        n_threads=1,
+        scale=8.0,
+        seed=seed,
+        syscall_cycles=0.0,
+    )
+
+
+def verilator_like(seed: int = 3904) -> SyntheticWorkload:
+    """Build the Verilator-like workload."""
+    params = verilator_params(seed)
+    rng = random.Random(seed)
+    program = Program(name="verilator_like", entry="main")
+    wl = SyntheticWorkload(
+        name="verilator_like",
+        params=params,
+        program=program,
+        options=CompilerOptions(jump_tables=False, instrument_fp=True, opt_level="-O3"),
+        op_names=["sim_cycle"],
+    )
+
+    # Small config helpers reached through the 10 v-tables.
+    config_fns: List[str] = []
+    for j in range(N_CONFIG_CLASSES * 2):
+        name = f"cfg{j}"
+        func = IRFunction(name)
+        b = func.new_block()
+        b.body = [alu(), alu()]
+        b.terminator = Ret()
+        program.add_function(func)
+        config_fns.append(name)
+    for c in range(N_CONFIG_CLASSES):
+        program.vtables.append(
+            VTableSpec(class_id=c, slots=[config_fns[2 * c], config_fns[2 * c + 1]])
+        )
+
+    # Mostly-cold generated support helpers (reset/settle/trace functions of
+    # the emitted model); they inflate the text as Verilator's generated code
+    # does and are reached only from rare alternative paths.
+    support_fns: List[str] = []
+    for j in range(N_SUPPORT_FUNCTIONS):
+        name = f"support{j}"
+        func = IRFunction(name)
+        b = func.new_block()
+        b.body = [alu() for _ in range(rng.randint(6, 14))] + [load(1)]
+        b.terminator = Ret()
+        program.add_function(func)
+        support_fns.append(name)
+
+    # Module evaluation functions: chains of segments with source-distant
+    # alternative blocks.  Source order: seg0, alt0, seg1, alt1, ... so
+    # whichever side is common under an input, roughly half the transitions
+    # are taken branches over cold bytes until a profile fixes the order.
+    module_names: List[str] = []
+    for m in range(N_MODULES):
+        name = f"mod{m}"
+        func = IRFunction(name)
+        blocks = [func.new_block() for _ in range(2 * SEGMENTS_PER_MODULE + 1)]
+        exit_id = 2 * SEGMENTS_PER_MODULE
+        for s in range(SEGMENTS_PER_MODULE):
+            seg = blocks[2 * s]
+            alt = blocks[2 * s + 1]
+            nxt = 2 * (s + 1) if s + 1 < SEGMENTS_PER_MODULE else exit_id
+            site = program.sites.allocate(SiteKind.BRANCH, name)
+            # Strongly input-determined signal: which side is hot flips as θ
+            # crosses the site's midpoint, p(θ) = sigmoid(k·(θ - m)).
+            midpoint = -0.3 + 1.6 * rng.random()
+            steepness = rng.choice([-1.0, 1.0]) * (8.0 + 8.0 * rng.random())
+            wl.branch_sites[site] = BranchSiteMeta(
+                function=name, a=-steepness * midpoint, b=steepness, role="hot_path"
+            )
+            seg.body = [alu() for _ in range(rng.randint(2, 3))] + [load(1)]
+            seg.terminator = CondBr(site=site, taken=alt.bb_id, fallthrough=nxt)
+            alt.body = [alu() for _ in range(rng.randint(2, 3))]
+            if rng.random() < 0.08:
+                alt.body.append(call(rng.choice(support_fns)))
+            alt.terminator = Jump(nxt)
+        blocks[exit_id].body = [alu()]
+        blocks[exit_id].terminator = Ret()
+        program.add_function(func)
+        module_names.append(name)
+
+    # eval: one simulated cycle — call every module in sequence.
+    eval_fn = IRFunction("eval")
+    n_eval_blocks = N_MODULES
+    eval_blocks = [eval_fn.new_block() for _ in range(n_eval_blocks + 1)]
+    for idx, mod in enumerate(module_names):
+        block = eval_blocks[idx]
+        block.body = [alu(), call(mod)]
+        if idx % 19 == 7:
+            site = program.sites.allocate(SiteKind.VCALL, "eval")
+            cid = rng.randrange(N_CONFIG_CLASSES)
+            wl.vcall_sites[site] = [cid]
+            block.body.append(vcall(site, rng.randrange(2)))
+        block.terminator = Jump(idx + 1)
+    eval_blocks[-1].body = [alu()]
+    eval_blocks[-1].terminator = Ret()
+    program.add_function(eval_fn)
+
+    main = IRFunction("main")
+    b0 = main.new_block()
+    b0.body = [call("eval"), txn_mark()]
+    b0.terminator = Jump(0)
+    program.add_function(main)
+
+    program.fp_slot_count = 4
+    program.fp_init = {k: config_fns[k] for k in range(4)}
+    program.validate()
+    return wl
+
+
+def verilator_inputs(workload: SyntheticWorkload) -> Dict[str, InputSpec]:
+    """RISC-V benchmark inputs, keyed by name."""
+    out: Dict[str, InputSpec] = {}
+    for name, theta in INPUT_DEFS.items():
+        spec = InputSpec(name=name)
+        for site, meta in workload.branch_sites.items():
+            spec.branch_bias[site] = meta.taken_probability(theta)
+        rng = random.Random(f"{name}:11")
+        for site, class_ids in workload.vcall_sites.items():
+            spec.vcall_mix[site] = [(cid, 1.0 + rng.random()) for cid in class_ids]
+        out[name] = spec
+    return out

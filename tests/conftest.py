@@ -1,0 +1,216 @@
+"""Shared fixtures: a hand-built tiny program and a small generated server.
+
+``tiny_program`` exercises every ISA feature (direct/virtual/indirect calls,
+branches, switches, function-pointer creation) in a few dozen instructions —
+most unit tests use it.  ``small_server`` is a scaled-down generator workload
+for pipeline-level tests; the full-size workloads are reserved for the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.binary.linker import link_program
+from repro.compiler.codegen import CompilerOptions
+from repro.compiler.ir import (
+    CondBr,
+    Halt,
+    IRFunction,
+    Jump,
+    Program,
+    Ret,
+    SiteKind,
+    Switch,
+    VTableSpec,
+)
+from repro.isa.instructions import alu, call, icall, load, mkfp, store, syscall, txn_mark, vcall
+from repro.vm.preload import PreloadAgent
+from repro.vm.process import Process
+from repro.workloads.generator import WorkloadParams, build_workload
+from repro.workloads.inputs import InputSpec
+
+
+class TinyBundle:
+    """A tiny program plus its site handles and a default input."""
+
+    def __init__(self, jump_tables: bool = False, instrument_fp: bool = True) -> None:
+        prog = Program(name="tiny", entry="main", fp_slot_count=4)
+        self.sites = {}
+
+        # helper functions with a conditional hot/cold structure
+        for i in range(4):
+            f = IRFunction(f"helper{i}")
+            b0, b1, b2, b3 = (f.new_block() for _ in range(4))
+            site = prog.sites.allocate(SiteKind.BRANCH, f.name)
+            self.sites[f"helper{i}.branch"] = site
+            b0.body = [alu(), load(1)]
+            b0.terminator = CondBr(site=site, taken=2, fallthrough=1)
+            b1.body = [alu()] * 5
+            b1.terminator = Jump(3)
+            b2.body = [alu(), alu(), store(1)]
+            b2.terminator = Jump(3)
+            b3.body = [alu()]
+            b3.terminator = Ret()
+            prog.add_function(f)
+
+        # a leaf used via function pointers
+        leaf = IRFunction("leaf")
+        lb = leaf.new_block()
+        lb.body = [alu(), alu()]
+        lb.terminator = Ret()
+        prog.add_function(leaf)
+
+        # virtual method implementations
+        for i in range(2):
+            vm = IRFunction(f"Virt{i}::m")
+            vb = vm.new_block()
+            vb.body = [alu(), call(f"helper{i}")]
+            vb.terminator = Ret()
+            prog.add_function(vm)
+        prog.vtables = [
+            VTableSpec(class_id=0, slots=["Virt0::m"]),
+            VTableSpec(class_id=1, slots=["Virt1::m"]),
+        ]
+
+        # a switch-using function
+        sw = IRFunction("switchy")
+        s0 = sw.new_block()
+        targets = []
+        for k in range(3):
+            blk = sw.new_block()
+            blk.body = [alu()]
+            blk.terminator = Jump(4)
+            targets.append(blk.bb_id)
+        end = sw.new_block()
+        end.body = [alu()]
+        end.terminator = Ret()
+        switch_site = prog.sites.allocate(SiteKind.SWITCH, "switchy", n_cases=3)
+        self.sites["switchy.switch"] = switch_site
+        s0.body = [alu()]
+        s0.terminator = Switch(site=switch_site, targets=tuple(targets))
+        prog.add_function(sw)
+
+        # main loop
+        main = IRFunction("main")
+        m0 = main.new_block()
+        vsite = prog.sites.allocate(SiteKind.VCALL, "main")
+        isite = prog.sites.allocate(SiteKind.ICALL, "main")
+        self.sites["main.vcall"] = vsite
+        self.sites["main.icall"] = isite
+        m0.body = [
+            syscall(0),
+            mkfp("leaf", 0),
+            call("helper2"),
+            call("switchy"),
+            vcall(vsite, 0),
+            icall(isite),
+            txn_mark(),
+        ]
+        m0.terminator = Jump(0)
+        prog.add_function(main)
+
+        prog.fp_init = {0: "leaf", 1: "helper0", 2: "helper1", 3: "leaf"}
+
+        self.program = prog
+        self.options = CompilerOptions(
+            jump_tables=jump_tables, instrument_fp=instrument_fp
+        )
+        self.binary = link_program(prog, options=self.options)
+
+    def input_spec(
+        self,
+        name: str = "default",
+        branch_p: float = 0.85,
+        vcall_mix=None,
+        icall_mix=None,
+        switch_mix=None,
+    ) -> InputSpec:
+        """An input spec covering every site of the tiny program."""
+        spec = InputSpec(name=name)
+        for key, site in self.sites.items():
+            if key.endswith(".branch"):
+                spec.branch_bias[site] = branch_p
+        spec.vcall_mix[self.sites["main.vcall"]] = vcall_mix or [(0, 3.0), (1, 1.0)]
+        spec.icall_mix[self.sites["main.icall"]] = icall_mix or [(0, 1.0)]
+        spec.switch_mix[self.sites["switchy.switch"]] = switch_mix or [5.0, 3.0, 1.0]
+        spec.syscall_cycles[0] = 50.0
+        return spec
+
+    def process(self, n_threads: int = 2, seed: int = 7, with_agent: bool = True, **input_kwargs) -> Process:
+        """A fresh process running the tiny program."""
+        proc = Process(
+            self.binary,
+            self.program,
+            self.input_spec(**input_kwargs),
+            n_threads=n_threads,
+            seed=seed,
+        )
+        if with_agent:
+            PreloadAgent(proc)
+        return proc
+
+
+@pytest.fixture(scope="session")
+def tiny() -> TinyBundle:
+    """Session-wide tiny program (binary is immutable; processes are not)."""
+    return TinyBundle()
+
+
+@pytest.fixture()
+def tiny_fresh() -> TinyBundle:
+    """A private tiny program for tests that mutate program/binary state."""
+    return TinyBundle()
+
+
+@pytest.fixture(scope="session")
+def tiny_with_jump_tables() -> TinyBundle:
+    """Tiny program compiled WITH jump tables (non-OCOLOS-compatible)."""
+    return TinyBundle(jump_tables=True)
+
+
+def small_server_params(**overrides) -> WorkloadParams:
+    """Parameters for a fast pipeline-scale server workload."""
+    defaults = dict(
+        name="small_server",
+        n_work_functions=60,
+        n_utility_functions=12,
+        n_callback_functions=8,
+        n_op_types=3,
+        op_names=["read_op", "write_op", "scan_op"],
+        steps_per_op=(8, 14),
+        n_subsystems=3,
+        shared_fraction=0.4,
+        parse_blocks=8,
+        n_data_classes=4,
+        data_vtable_slots=2,
+        vcall_step_fraction=0.2,
+        icall_share_per_op=[0.05, 0.15, 0.05],
+        mem_class_per_op=[1, 1, 2],
+        creates_fp_per_op=[False, True, False],
+        syscall_cycles=80.0,
+        n_threads=2,
+        scale=1.0,
+        seed=99,
+    )
+    defaults.update(overrides)
+    return WorkloadParams(**defaults)
+
+
+@pytest.fixture(scope="session")
+def small_server():
+    """Session-wide small generated server workload."""
+    return build_workload(small_server_params())
+
+
+@pytest.fixture(scope="session")
+def small_inputs(small_server):
+    """Read-ish and write-ish inputs for the small server."""
+    return {
+        "readish": small_server.make_input(
+            "readish", 0.1, {"read_op": 8.0, "scan_op": 1.0}
+        ),
+        "writish": small_server.make_input(
+            "writish", 0.9, {"write_op": 4.0, "read_op": 1.0}
+        ),
+    }

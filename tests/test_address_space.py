@@ -1,0 +1,105 @@
+"""Tests for the simulated address space."""
+
+import pytest
+
+from repro.errors import LoaderError, SegmentationFault
+from repro.vm.address_space import AddressSpace
+
+
+@pytest.fixture()
+def space():
+    s = AddressSpace()
+    s.map_region(0x1000, size=0x1000, name="a")
+    s.map_region(0x4000, data=b"\xaa" * 16, name="b", executable=True)
+    return s
+
+
+class TestMapping:
+    def test_map_and_lookup(self, space):
+        assert space.is_mapped(0x1000)
+        assert space.is_mapped(0x1FFF)
+        assert not space.is_mapped(0x2000)
+        assert space.region_at(0x4008).name == "b"
+
+    def test_map_requires_data_or_size(self):
+        with pytest.raises(LoaderError):
+            AddressSpace().map_region(0x1000)
+
+    def test_overlap_with_previous_rejected(self, space):
+        with pytest.raises(LoaderError):
+            space.map_region(0x1800, size=0x100)
+
+    def test_overlap_with_next_rejected(self, space):
+        with pytest.raises(LoaderError):
+            space.map_region(0x3FF0, size=0x100)
+
+    def test_adjacent_regions_allowed(self, space):
+        space.map_region(0x2000, size=0x100)
+        assert space.is_mapped(0x2000)
+
+    def test_unmap(self, space):
+        space.unmap_region(0x1000)
+        assert not space.is_mapped(0x1000)
+        assert space.is_mapped(0x4000)
+
+    def test_unmap_requires_exact_start(self, space):
+        with pytest.raises(LoaderError):
+            space.unmap_region(0x1004)
+
+    def test_regions_sorted(self, space):
+        space.map_region(0x100, size=16)
+        starts = [r.start for r in space.regions()]
+        assert starts == sorted(starts)
+
+    def test_mapped_bytes(self, space):
+        assert space.mapped_bytes() == 0x1000 + 16
+
+
+class TestAccess:
+    def test_read_write_roundtrip(self, space):
+        space.write(0x1100, b"hello")
+        assert space.read(0x1100, 5) == b"hello"
+
+    def test_u64_roundtrip(self, space):
+        space.write_u64(0x1200, 0xDEADBEEF12345678)
+        assert space.read_u64(0x1200) == 0xDEADBEEF12345678
+
+    def test_initial_data_preserved(self, space):
+        assert space.read(0x4000, 4) == b"\xaa" * 4
+
+    def test_unmapped_read_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.read(0x9000, 1)
+
+    def test_cross_region_access_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.read(0x1FFC, 8)
+
+    def test_unmapped_write_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.write(0x9000, b"x")
+
+    def test_fault_carries_address(self, space):
+        with pytest.raises(SegmentationFault) as exc:
+            space.read(0x9000, 1)
+        assert exc.value.address == 0x9000
+
+
+class TestWriteObservers:
+    def test_executable_writes_notify(self, space):
+        events = []
+        space.add_write_observer(lambda a, n: events.append((a, n)))
+        space.write(0x4002, b"zz")
+        assert events == [(0x4002, 2)]
+
+    def test_data_writes_do_not_notify(self, space):
+        events = []
+        space.add_write_observer(lambda a, n: events.append((a, n)))
+        space.write(0x1000, b"zz")
+        assert events == []
+
+    def test_u64_write_to_code_notifies(self, space):
+        events = []
+        space.add_write_observer(lambda a, n: events.append((a, n)))
+        space.write_u64(0x4000, 1)
+        assert events == [(0x4000, 8)]

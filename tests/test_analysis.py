@@ -1,0 +1,77 @@
+"""Tests for the Fig 9 classifier and the Fig 1 L1i history."""
+
+import math
+
+import pytest
+
+from repro.analysis.l1i_history import (
+    L1I_HISTORY,
+    capacity_growth_factor,
+    l1i_capacity_table,
+)
+from repro.analysis.regression import fit_benefit_classifier
+
+
+class TestClassifier:
+    def test_separable_points_classified_perfectly(self):
+        # high FE latency + low retiring -> benefits; opposite -> doesn't
+        points = [
+            (40.0, 10.0, True),
+            (35.0, 15.0, True),
+            (30.0, 20.0, True),
+            (5.0, 40.0, False),
+            (8.0, 35.0, False),
+            (3.0, 50.0, False),
+        ]
+        fit = fit_benefit_classifier(points)
+        assert fit.accuracy == 1.0
+
+    def test_predict_matches_training(self):
+        points = [(40.0, 10.0, True), (5.0, 40.0, False)]
+        fit = fit_benefit_classifier(points)
+        assert fit.predict(40.0, 10.0)
+        assert not fit.predict(5.0, 40.0)
+
+    def test_boundary_is_on_the_line(self):
+        points = [
+            (40.0, 10.0, True),
+            (30.0, 20.0, True),
+            (5.0, 40.0, False),
+            (8.0, 35.0, False),
+        ]
+        fit = fit_benefit_classifier(points)
+        fe = 20.0
+        boundary_ret = fit.boundary_retiring(fe)
+        if not math.isnan(boundary_ret):
+            w0, w1, w2 = fit.weights
+            assert abs(w0 + w1 * fe + w2 * boundary_ret) < 1e-9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_benefit_classifier([])
+
+    def test_single_class_still_fits(self):
+        fit = fit_benefit_classifier([(10.0, 10.0, True), (20.0, 5.0, True)])
+        assert fit.accuracy == 1.0
+
+
+class TestL1iHistory:
+    def test_intel_literally_flat(self):
+        assert capacity_growth_factor("Intel") == 1.0
+        sizes = {r[3] for r in l1i_capacity_table("Intel")}
+        assert sizes == {32}
+
+    def test_amd_never_grew(self):
+        assert capacity_growth_factor("AMD") <= 1.0
+
+    def test_fifteen_year_span(self):
+        years = [r[0] for r in L1I_HISTORY]
+        assert max(years) - min(years) >= 15
+
+    def test_table_sorted_by_year(self):
+        rows = l1i_capacity_table()
+        assert [r[0] for r in rows] == sorted(r[0] for r in rows)
+
+    def test_unknown_vendor_rejected(self):
+        with pytest.raises(KeyError):
+            capacity_growth_factor("VIA")

@@ -1,0 +1,72 @@
+"""Tests for the public API surface and lazy package exports."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_dir_lists_exports(self):
+        names = dir(repro)
+        assert "Ocolos" in names
+        assert "run_bolt" in names
+
+
+@pytest.mark.parametrize(
+    "package",
+    [
+        "repro.isa",
+        "repro.binary",
+        "repro.compiler",
+        "repro.vm",
+        "repro.uarch",
+        "repro.profiling",
+        "repro.bolt",
+        "repro.core",
+        "repro.workloads",
+        "repro.harness",
+        "repro.analysis",
+    ],
+)
+class TestPackageExports:
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            assert getattr(module, name) is not None, f"{package}.{name}"
+
+    def test_unknown_name_raises(self, package):
+        module = importlib.import_module(package)
+        if hasattr(module, "__getattr__"):
+            with pytest.raises(AttributeError):
+                module.__getattr__("definitely_not_a_symbol")
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_segfault_formats_address(self):
+        from repro.errors import SegmentationFault
+
+        err = SegmentationFault(0xDEAD, "test")
+        assert "0xdead" in str(err)
+        assert err.address == 0xDEAD

@@ -1,0 +1,133 @@
+"""Tests for Batch Accelerator Mode."""
+
+import pytest
+
+from repro.binary.linker import link_program
+from repro.core.bam import BamConfig, BatchAcceleratorMode
+from repro.errors import WorkloadError
+from repro.workloads.clangbuild import ClangBuildWorkload, N_SOURCE_CLASSES
+from repro.workloads.generator import build_workload
+from tests.conftest import small_server_params
+
+
+@pytest.fixture(scope="module")
+def small_compiler():
+    """A fast single-shot compiler-like workload."""
+    wl = build_workload(
+        small_server_params(
+            name="cc_like",
+            single_shot=True,
+            work_items=6,
+            n_threads=1,
+            steps_per_op=(6, 10),
+        )
+    )
+    # single-shot compilers identify sources by class; reuse generator inputs
+    return wl
+
+
+@pytest.fixture(scope="module")
+def bam(small_compiler, monkeypatch_module=None):
+    binary = link_program(small_compiler.program, options=small_compiler.options)
+    config = BamConfig(target_binary="cc_like", profiles_needed=2, perf_period=300)
+    mode = BatchAcceleratorMode(small_compiler, binary, config, seed=5)
+
+    # route source inputs through the small compiler's own make_input
+    def source_input(source_class: int):
+        theta = 0.2 + 0.1 * source_class
+        return small_compiler.make_input(
+            f"src{source_class}", theta, {"read_op": 2.0, "write_op": 1.0}
+        )
+
+    mode._source_input = source_input  # type: ignore[assignment]
+    return mode
+
+
+@pytest.fixture(scope="module")
+def build(small_compiler):
+    return ClangBuildWorkload(compiler=small_compiler, n_invocations=32, parallel_jobs=4)
+
+
+class TestBamConfig:
+    def test_target_name_checked(self, small_compiler):
+        binary = link_program(small_compiler.program, options=small_compiler.options)
+        with pytest.raises(WorkloadError):
+            BatchAcceleratorMode(
+                small_compiler, binary, BamConfig(target_binary="wrong")
+            )
+
+
+class TestBamExecution:
+    def test_invocation_runs_to_completion(self, bam):
+        seconds, session = bam.run_invocation(
+            bam.original, bam._source_input(0), profiled=False
+        )
+        assert seconds > 0
+        assert session is None
+
+    def test_profiled_invocation_collects_samples(self, bam):
+        _seconds, session = bam.run_invocation(
+            bam.original, bam._source_input(0), profiled=True
+        )
+        assert session is not None
+        assert session.sample_count > 0
+
+    def test_collect_profiles_aggregates(self, bam):
+        profile, records = bam.collect_profiles(2)
+        assert not profile.is_empty()
+        assert records > 0
+
+    def test_bolt_from_profiles(self, bam):
+        result, seconds = bam.bolt_from_profiles(2)
+        assert result.binary.bolted
+        assert seconds > 0
+
+
+class TestBamBuild:
+    def test_build_modes_in_order(self, bam, build):
+        report = bam.run_build(build)
+        modes = [r.mode for r in report.invocations]
+        assert modes[:2] == ["profiled", "profiled"]
+        assert "optimized" in modes
+        # original fills the gap while BOLT runs
+        first_opt = modes.index("optimized")
+        assert all(m != "optimized" for m in modes[:first_opt])
+
+    def test_build_timeline_consistent(self, bam, build):
+        report = bam.run_build(build)
+        assert report.total_seconds == pytest.approx(
+            max(r.end_seconds for r in report.invocations)
+        )
+        assert report.bolt_ready_at > report.bolt_started_at
+
+    def test_optimized_runs_after_bolt_ready(self, bam, build):
+        report = bam.run_build(build)
+        for rec in report.invocations:
+            if rec.mode == "optimized":
+                assert rec.start_seconds >= report.bolt_ready_at
+
+    def test_bam_beats_baseline_for_long_builds(self, bam, small_compiler):
+        long_build = ClangBuildWorkload(
+            compiler=small_compiler, n_invocations=60, parallel_jobs=4
+        )
+        baseline = bam.baseline_build_seconds(long_build)
+        accelerated = bam.run_build(long_build).total_seconds
+        assert accelerated < baseline
+
+    def test_ideal_is_lower_bound(self, bam, build):
+        ideal = bam.ideal_build_seconds(build, n_profiles=2)
+        accelerated = bam.run_build(build).total_seconds
+        assert ideal <= accelerated * 1.001
+
+    def test_mode_counts_sum(self, bam, build):
+        report = bam.run_build(build)
+        assert sum(report.mode_counts().values()) == build.n_invocations
+
+    def test_too_many_profiles_delay_optimization(self, bam, small_compiler, build):
+        """More profiling -> later BOLT -> fewer optimized invocations."""
+        few = bam.run_build(build)
+        config = BamConfig(target_binary="cc_like", profiles_needed=10, perf_period=300)
+        greedy = BatchAcceleratorMode(small_compiler, bam.original, config, seed=5)
+        greedy._source_input = bam._source_input  # type: ignore[assignment]
+        many = greedy.run_build(build)
+        assert many.optimized_invocations <= few.optimized_invocations

@@ -1,0 +1,152 @@
+"""Tests for the binary container dataclasses and the memory map."""
+
+import pytest
+
+from repro.binary.binaryfile import (
+    BOLT_GEN_STRIDE,
+    BOLT_TEXT_BASE,
+    DATA_BASE,
+    Fragment,
+    Layout,
+    RODATA_BASE,
+    Section,
+    SectionLayout,
+    STACK_REGION_BASE,
+    TEXT_BASE,
+    bolt_text_base,
+)
+
+
+class TestMemoryMap:
+    def test_regions_ordered_and_disjoint(self):
+        assert TEXT_BASE < BOLT_TEXT_BASE < RODATA_BASE < DATA_BASE < STACK_REGION_BASE
+
+    def test_generation_bases_stride(self):
+        assert bolt_text_base(1) == BOLT_TEXT_BASE
+        assert bolt_text_base(2) == BOLT_TEXT_BASE + BOLT_GEN_STRIDE
+        assert bolt_text_base(3) - bolt_text_base(2) == BOLT_GEN_STRIDE
+
+    def test_generation_zero_rejected(self):
+        with pytest.raises(ValueError):
+            bolt_text_base(0)
+
+    def test_generations_fit_below_rodata(self):
+        assert bolt_text_base(8) + BOLT_GEN_STRIDE <= RODATA_BASE
+
+
+class TestSection:
+    def test_contains_and_end(self):
+        s = Section(name=".text", addr=0x1000, data=b"\x00" * 16)
+        assert s.end == 0x1010
+        assert s.contains(0x1000)
+        assert s.contains(0x100F)
+        assert not s.contains(0x1010)
+        assert not s.contains(0xFFF)
+
+
+class TestBinaryQueries:
+    def test_symbol_lookup(self, tiny):
+        assert tiny.binary.symbol("main") == tiny.binary.functions["main"].addr
+
+    def test_function_at(self, tiny):
+        info = tiny.binary.functions["helper1"]
+        found = tiny.binary.function_at(info.addr + 2)
+        assert found is not None and found.name == "helper1"
+        assert tiny.binary.function_at(0x10) is None
+
+    def test_function_block_lookup(self, tiny):
+        info = tiny.binary.functions["helper0"]
+        block = info.block(2)
+        assert block.label == "helper0#2"
+        with pytest.raises(KeyError):
+            info.block(99)
+
+    def test_function_size_sums_blocks(self, tiny):
+        info = tiny.binary.functions["helper0"]
+        assert info.size == sum(b.size for b in info.blocks)
+
+    def test_fp_slot_addr_bounds(self, tiny):
+        binary = tiny.binary
+        assert binary.fp_slot_addr(0) == binary.fp_table_addr
+        assert binary.fp_slot_addr(1) == binary.fp_table_addr + 8
+        with pytest.raises(IndexError):
+            binary.fp_slot_addr(binary.fp_slot_count)
+        with pytest.raises(IndexError):
+            binary.fp_slot_addr(-1)
+
+    def test_text_size_counts_executable_only(self, tiny):
+        binary = tiny.binary
+        assert binary.text_size() == len(binary.sections[".text"].data)
+
+    def test_block_index_complete(self, tiny):
+        index = tiny.binary.block_index()
+        total_blocks = sum(len(f.blocks) for f in tiny.binary.functions.values())
+        assert len(index) == total_blocks
+
+
+class TestLayoutTypes:
+    def test_fragment_count_and_functions(self):
+        layout = Layout(
+            sections=[
+                SectionLayout(
+                    name=".a",
+                    base=0x1000,
+                    fragments=[
+                        Fragment("f", (0, 1)),
+                        Fragment("g", (0,)),
+                    ],
+                ),
+                SectionLayout(
+                    name=".b",
+                    base=0x2000,
+                    fragments=[Fragment("f", (2,))],
+                ),
+            ]
+        )
+        assert layout.fragment_count() == 3
+        assert layout.functions() == ["f", "g"]
+
+
+class TestJumpTableExecution:
+    """Binaries WITH jump tables (BOLT/baseline flavour) must execute."""
+
+    def test_jtab_dispatch_runs(self, tiny_with_jump_tables):
+        proc = tiny_with_jump_tables.process(with_agent=False)
+        delta = proc.run(max_transactions=200)
+        assert delta.transactions >= 200
+
+    def test_jtab_follows_case_distribution(self, tiny_with_jump_tables):
+        bundle = tiny_with_jump_tables
+        # force case 2 always: only blocks on that path execute
+        proc_a = bundle.process(with_agent=False, switch_mix=[0.0, 0.0, 1.0], seed=3)
+        proc_b = bundle.process(with_agent=False, switch_mix=[1.0, 0.0, 0.0], seed=3)
+        da = proc_a.run(max_transactions=200)
+        db = proc_b.run(max_transactions=200)
+        # different cases -> different executed-block mixes -> different
+        # instruction counts (cases have distinct bodies)
+        assert da.instructions != db.instructions or da.cycles != db.cycles
+
+    def test_bolt_regenerates_jump_tables(self, tiny_with_jump_tables):
+        from repro.bolt.optimizer import run_bolt
+        from repro.profiling.perf import PerfSession
+        from repro.profiling.perf2bolt import extract_profile
+        from repro.vm.process import Process
+
+        bundle = tiny_with_jump_tables
+        proc = bundle.process()
+        proc.run(max_transactions=50)
+        session = PerfSession(period=300, overhead=0.0)
+        session.attach(proc)
+        proc.run(max_instructions=60_000)
+        session.detach()
+        profile, _ = extract_profile(session.samples, bundle.binary)
+        result = run_bolt(
+            bundle.program, bundle.binary, profile, compiler_options=bundle.options
+        )
+        # new generation gets its own table region; the original stays valid
+        assert ".rodata" in result.binary.sections
+        if "switchy" in result.hot_functions:
+            assert ".rodata.bolt1" in result.binary.sections
+        # the BOLTed binary executes standalone
+        p2 = Process(result.binary, bundle.program, bundle.input_spec(), n_threads=2, seed=5)
+        assert p2.run(max_transactions=200).transactions >= 200

@@ -1,0 +1,262 @@
+"""Tests for BOLT: lifting, block reordering, function reordering, splitting
+and the end-to-end optimizer."""
+
+import pytest
+
+from repro.bolt.bb_reorder import chain_layout_score, reorder_blocks
+from repro.bolt.func_reorder import c3_order, pettis_hansen_order
+from repro.bolt.mir import lift_binary, lift_function
+from repro.bolt.optimizer import BoltOptions, run_bolt
+from repro.bolt.splitting import split_hot_cold
+from repro.errors import AlreadyBoltedError, BoltError, ProfileError
+from repro.profiling.perf import PerfSession
+from repro.profiling.perf2bolt import extract_profile
+from repro.profiling.profile import BoltProfile
+
+
+@pytest.fixture(scope="module")
+def tiny_profile(tiny):
+    proc = tiny.process()
+    proc.run(max_transactions=50)
+    session = PerfSession(period=300, overhead=0.0)
+    session.attach(proc)
+    proc.run(max_instructions=80_000)
+    session.detach()
+    profile, _ = extract_profile(session.samples, tiny.binary)
+    return profile
+
+
+class TestMirLift:
+    def test_lift_preserves_block_structure(self, tiny):
+        mir = lift_function(tiny.binary, "helper0")
+        assert set(mir.blocks) == {0, 1, 2, 3}
+        assert mir.entry_addr == tiny.binary.functions["helper0"].addr
+
+    def test_lift_finds_successors(self, tiny):
+        mir = lift_function(tiny.binary, "helper0")
+        assert set(mir.blocks[0].successors) == {2}  # taken target (ft is next)
+        assert mir.blocks[1].successors == [3]
+
+    def test_lift_finds_callees(self, tiny):
+        mir = lift_function(tiny.binary, "main")
+        assert "helper2" in mir.blocks[0].callees
+        assert "switchy" in mir.blocks[0].callees
+
+    def test_lift_unknown_function(self, tiny):
+        with pytest.raises(BoltError):
+            lift_function(tiny.binary, "ghost")
+
+    def test_lift_binary_all(self, tiny):
+        mirs = lift_binary(tiny.binary)
+        assert set(mirs) == set(tiny.binary.functions)
+        total = sum(m.size for m in mirs.values())
+        assert total <= tiny.binary.text_size()
+
+
+class TestBlockReorder:
+    def test_heavy_edge_becomes_fallthrough(self):
+        edges = {(0, 2): 100, (0, 1): 5, (2, 3): 100, (1, 3): 5}
+        counts = {0: 105, 1: 5, 2: 100, 3: 105}
+        order = reorder_blocks(4, edges, counts)
+        assert order[0] == 0
+        assert order[1] == 2  # hottest successor adjacent
+        assert chain_layout_score(order, edges) >= 200
+
+    def test_entry_always_first(self):
+        edges = {(3, 0): 1000}  # heavy edge INTO entry must not displace it
+        order = reorder_blocks(4, edges, {0: 1, 3: 1000})
+        assert order[0] == 0
+
+    def test_permutation_property(self):
+        edges = {(0, 1): 3, (1, 2): 2, (2, 4): 9, (0, 3): 1}
+        order = reorder_blocks(5, edges, {})
+        assert sorted(order) == list(range(5))
+
+    def test_no_profile_keeps_valid_order(self):
+        order = reorder_blocks(4, {}, {})
+        assert sorted(order) == list(range(4))
+        assert order[0] == 0
+
+    def test_score_counts_only_adjacent(self):
+        edges = {(0, 1): 10, (1, 0): 7}
+        assert chain_layout_score([0, 1], edges) == 10
+        assert chain_layout_score([1, 0], edges) == 7
+
+    def test_improves_over_source_order(self):
+        # source order is pessimal: hot path 0->2->4, cold 1, 3
+        edges = {(0, 2): 50, (2, 4): 50, (0, 1): 1, (2, 3): 1}
+        source = list(range(5))
+        optimized = reorder_blocks(5, edges, {0: 51, 2: 50, 4: 50, 1: 1, 3: 1})
+        assert chain_layout_score(optimized, edges) > chain_layout_score(source, edges)
+
+
+class TestFunctionReorder:
+    def test_c3_places_caller_before_callee(self):
+        hotness = {"a": 100, "b": 90, "c": 10}
+        calls = {("a", "b"): 50}
+        order = c3_order(hotness, calls)
+        assert order.index("a") < order.index("b")
+
+    def test_c3_respects_cluster_size_cap(self):
+        hotness = {"a": 100, "b": 90}
+        calls = {("a", "b"): 50}
+        sizes = {"a": 70_000, "b": 70_000}
+        order = c3_order(hotness, calls, sizes, max_cluster_bytes=100_000)
+        assert sorted(order) == ["a", "b"]  # no merge, both placed
+
+    def test_c3_covers_all_functions(self):
+        hotness = {f"f{i}": i for i in range(10)}
+        calls = {("f9", "f8"): 5, ("f8", "f7"): 4}
+        order = c3_order(hotness, calls)
+        assert sorted(order) == sorted(hotness)
+
+    def test_ph_merges_heaviest_first(self):
+        hotness = {"a": 10, "b": 10, "c": 10}
+        calls = {("a", "c"): 100, ("a", "b"): 1}
+        order = pettis_hansen_order(hotness, calls)
+        assert abs(order.index("a") - order.index("c")) == 1
+
+    def test_ph_direction_blind(self):
+        hotness = {"a": 10, "b": 10}
+        forward = pettis_hansen_order(hotness, {("a", "b"): 5})
+        backward = pettis_hansen_order(hotness, {("b", "a"): 5})
+        assert set(forward) == set(backward) == {"a", "b"}
+
+
+class TestSplitting:
+    def test_cold_blocks_exiled(self):
+        split = split_hot_cold([0, 2, 1, 3], {0: 10, 2: 8}, entry=0)
+        assert split.hot == (0, 2)
+        assert split.cold == (1, 3)
+        assert split.is_split
+
+    def test_entry_always_hot_even_if_cold(self):
+        split = split_hot_cold([1, 0, 2], {1: 5}, entry=0)
+        assert split.hot[0] == 0
+
+    def test_threshold(self):
+        split = split_hot_cold([0, 1, 2], {0: 10, 1: 3, 2: 1}, min_count=3)
+        assert 1 in split.hot
+        assert 2 in split.cold
+
+    def test_no_cold_blocks(self):
+        split = split_hot_cold([0, 1], {0: 5, 1: 5})
+        assert not split.is_split
+
+
+class TestOptimizer:
+    def test_bolted_binary_structure(self, tiny, tiny_profile):
+        result = run_bolt(tiny.program, tiny.binary, tiny_profile,
+                          compiler_options=tiny.options)
+        binary = result.binary
+        assert binary.bolted and binary.bolt_generation == 1
+        assert "bolt.org.text" in binary.sections
+        assert ".text.bolt1" in binary.sections
+        # original text preserved at original address
+        org = binary.sections["bolt.org.text"]
+        assert org.addr == tiny.binary.sections[".text"].addr
+
+    def test_hot_functions_moved_high(self, tiny, tiny_profile):
+        result = run_bolt(tiny.program, tiny.binary, tiny_profile,
+                          compiler_options=tiny.options)
+        for name in result.hot_functions:
+            new = result.binary.functions[name].addr
+            assert new >= 0x0200_0000
+
+    def test_cold_functions_stay_put(self, tiny, tiny_profile):
+        result = run_bolt(tiny.program, tiny.binary, tiny_profile,
+                          compiler_options=tiny.options)
+        hot = set(result.hot_functions)
+        for name, info in tiny.binary.functions.items():
+            if name not in hot:
+                assert result.binary.functions[name].addr == info.addr
+
+    def test_vtables_updated_to_new_entries(self, tiny, tiny_profile):
+        result = run_bolt(tiny.program, tiny.binary, tiny_profile,
+                          compiler_options=tiny.options)
+        binary = result.binary
+        data = binary.sections[".data"]
+        for vt in binary.vtables:
+            for slot, func in enumerate(vt.slots):
+                off = vt.slot_addr(slot) - data.addr
+                value = int.from_bytes(data.data[off : off + 8], "little")
+                assert value == binary.functions[func].addr
+
+    def test_refuses_rebolt(self, tiny, tiny_profile):
+        result = run_bolt(tiny.program, tiny.binary, tiny_profile,
+                          compiler_options=tiny.options)
+        with pytest.raises(AlreadyBoltedError):
+            run_bolt(tiny.program, result.binary, tiny_profile,
+                     compiler_options=tiny.options)
+
+    def test_rebolt_with_override(self, tiny, tiny_profile):
+        result = run_bolt(tiny.program, tiny.binary, tiny_profile,
+                          compiler_options=tiny.options)
+        # remap the profile against the new binary by re-collecting: here we
+        # simply rebolt with the same (label-level) profile
+        result2 = run_bolt(
+            tiny.program,
+            result.binary,
+            tiny_profile,
+            options=BoltOptions(allow_rebolt=True),
+            compiler_options=tiny.options,
+            generation=2,
+            cold_reference=tiny.binary,
+        )
+        assert result2.binary.bolt_generation == 2
+        assert ".text.bolt2" in result2.binary.sections
+
+    def test_empty_profile_rejected(self, tiny):
+        with pytest.raises(ProfileError):
+            run_bolt(tiny.program, tiny.binary, BoltProfile(),
+                     compiler_options=tiny.options)
+
+    def test_no_split_option(self, tiny, tiny_profile):
+        result = run_bolt(
+            tiny.program, tiny.binary, tiny_profile,
+            options=BoltOptions(split_functions=False),
+            compiler_options=tiny.options,
+        )
+        assert result.functions_split == 0
+        assert f".text.bolt1.cold" not in result.binary.sections
+
+    def test_function_order_variants(self, tiny, tiny_profile):
+        for mode in ("c3", "ph", "none"):
+            result = run_bolt(
+                tiny.program, tiny.binary, tiny_profile,
+                options=BoltOptions(function_order=mode),
+                compiler_options=tiny.options,
+            )
+            assert result.hot_functions
+        with pytest.raises(BoltError):
+            run_bolt(
+                tiny.program, tiny.binary, tiny_profile,
+                options=BoltOptions(function_order="bogus"),
+                compiler_options=tiny.options,
+            )
+
+    def test_bolted_binary_runs_and_is_faster_or_equal(self, tiny, tiny_profile):
+        from repro.vm.process import Process
+
+        result = run_bolt(tiny.program, tiny.binary, tiny_profile,
+                          compiler_options=tiny.options)
+        p_old = Process(tiny.binary, tiny.program, tiny.input_spec(), n_threads=2, seed=11)
+        p_new = Process(result.binary, tiny.program, tiny.input_spec(), n_threads=2, seed=11)
+        p_old.run(max_transactions=200)
+        p_new.run(max_transactions=200)
+        d_old = p_old.run(max_transactions=600)
+        d_new = p_new.run(max_transactions=600)
+        # the tiny program's footprint fits the L1i either way, so parity is
+        # the expectation; the reordered layout must at least not regress
+        assert p_new.throughput_tps(d_new) >= p_old.throughput_tps(d_old) * 0.9
+
+    def test_bolted_binary_reduces_taken_branches(self, tiny, tiny_profile):
+        from repro.vm.process import Process
+
+        result = run_bolt(tiny.program, tiny.binary, tiny_profile,
+                          compiler_options=tiny.options)
+        p_old = Process(tiny.binary, tiny.program, tiny.input_spec(), n_threads=2, seed=11)
+        p_new = Process(result.binary, tiny.program, tiny.input_spec(), n_threads=2, seed=11)
+        d_old = p_old.run(max_transactions=400)
+        d_new = p_new.run(max_transactions=400)
+        assert d_new.taken_branch_pki <= d_old.taken_branch_pki

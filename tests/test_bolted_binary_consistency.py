@@ -1,0 +1,114 @@
+"""Offline-BOLTed-binary consistency: the oracle baseline must be a fully
+self-consistent executable (the paper's BOLT updates *all* references via
+relocations, which is what makes it an upper bound for OCOLOS)."""
+
+import pytest
+
+from repro.bolt.optimizer import run_bolt
+from repro.isa.disassembler import disassemble_range
+from repro.isa.instructions import Opcode
+from repro.profiling.perf import PerfSession
+from repro.profiling.perf2bolt import extract_profile
+from repro.vm.process import Process
+
+
+@pytest.fixture(scope="module")
+def bolted(tiny):
+    proc = tiny.process()
+    proc.run(max_transactions=50)
+    session = PerfSession(period=300, overhead=0.0)
+    session.attach(proc)
+    proc.run(max_instructions=80_000)
+    session.detach()
+    profile, _ = extract_profile(session.samples, tiny.binary)
+    return run_bolt(tiny.program, tiny.binary, profile, compiler_options=tiny.options)
+
+
+def read_section(binary, name):
+    section = binary.sections[name]
+    return section, (lambda a, n: section.data[a - section.addr : a - section.addr + n])
+
+
+class TestColdCodeRetargeting:
+    def test_cold_calls_to_moved_functions_point_at_new_entries(self, tiny, bolted):
+        """Relocation-mode behaviour: even calls inside bolt.org.text reach
+        the moved functions' new addresses."""
+        binary = bolted.binary
+        moved = {
+            tiny.binary.functions[n].addr: binary.functions[n].addr
+            for n in bolted.hot_functions
+            if binary.functions[n].addr != tiny.binary.functions[n].addr
+        }
+        section, read = read_section(binary, "bolt.org.text")
+        stale = 0
+        for name, info in binary.functions.items():
+            if name in bolted.hot_functions:
+                continue
+            for block in info.blocks:
+                if not section.contains(block.addr):
+                    continue
+                for _a, insn in disassemble_range(read, block.addr, block.addr + block.size):
+                    if insn.op == Opcode.CALL and insn.target in moved:
+                        stale += 1
+        assert stale == 0
+
+    def test_org_text_byte_length_preserved(self, tiny, bolted):
+        org = bolted.binary.sections["bolt.org.text"]
+        assert len(org.data) == len(tiny.binary.sections[".text"].data)
+        assert org.addr == tiny.binary.sections[".text"].addr
+
+    def test_hot_entries_resolve_in_hot_section(self, bolted):
+        hot = bolted.binary.sections[".text.bolt1"]
+        for name in bolted.hot_functions:
+            info = bolted.binary.functions[name]
+            assert hot.contains(info.addr) or (
+                info.cold_section and bolted.binary.sections[info.cold_section].contains(info.addr)
+            )
+
+
+class TestInternalReferences:
+    def test_hot_code_never_targets_stale_hot_copies(self, tiny, bolted):
+        """Calls inside the new generation must reach either new-generation
+        entries or genuinely-cold original functions — never the stale
+        original copies of moved functions."""
+        binary = bolted.binary
+        stale_entries = {
+            tiny.binary.functions[n].addr
+            for n in bolted.hot_functions
+            if binary.functions[n].addr != tiny.binary.functions[n].addr
+        }
+        section, read = read_section(binary, ".text.bolt1")
+        for name in bolted.hot_functions:
+            info = binary.functions[name]
+            for block in info.blocks:
+                if not section.contains(block.addr):
+                    continue
+                for _a, insn in disassemble_range(read, block.addr, block.addr + block.size):
+                    if insn.op == Opcode.CALL:
+                        assert insn.target not in stale_entries
+
+    def test_offline_run_equals_online_behaviour_class(self, tiny, bolted):
+        """The BOLTed binary must transact standalone with no faults over a
+        long run — every pointer class consistent."""
+        proc = Process(
+            bolted.binary, tiny.program, tiny.input_spec(), n_threads=2, seed=17
+        )
+        delta = proc.run(max_transactions=1500)
+        assert delta.transactions >= 1500
+
+    def test_deterministic_emission(self, tiny, bolted):
+        """Re-running BOLT on the same profile emits identical bytes."""
+        proc = tiny.process(seed=7)
+        proc.run(max_transactions=50)
+        session = PerfSession(period=300, overhead=0.0)
+        session.attach(proc)
+        proc.run(max_instructions=80_000)
+        session.detach()
+        profile, _ = extract_profile(session.samples, tiny.binary)
+        again = run_bolt(
+            tiny.program, tiny.binary, profile, compiler_options=tiny.options
+        )
+        assert (
+            again.binary.sections[".text.bolt1"].data
+            == bolted.binary.sections[".text.bolt1"].data
+        )

@@ -1,0 +1,78 @@
+"""Tests for workload characterization, including the core front-end claim:
+BOLT shrinks the dynamic hot footprint below the L1i/iTLB capacities."""
+
+import pytest
+
+from repro.bolt.optimizer import run_bolt
+from repro.harness.runner import launch, link_original
+from repro.profiling.perf import PerfSession
+from repro.profiling.perf2bolt import extract_profile
+from repro.vm.process import Process
+from repro.workloads.characterize import (
+    characterize_binary,
+    measure_hot_footprint,
+)
+
+
+class TestStatic:
+    def test_tiny_binary_counts(self, tiny):
+        stats = characterize_binary(tiny.binary)
+        assert stats.functions == len(tiny.binary.functions)
+        assert stats.vtables == 2
+        assert stats.vtable_slots == 2
+        assert stats.fp_slots == 4
+        assert stats.jump_tables == 0
+        assert stats.direct_call_sites >= 3  # main calls helper2+switchy, Virt::m call
+        assert 0 < stats.text_mib < 0.01
+
+    def test_jump_table_flavour(self, tiny_with_jump_tables):
+        stats = characterize_binary(tiny_with_jump_tables.binary)
+        assert stats.jump_tables == 1
+
+
+class TestDynamicFootprint:
+    def test_footprint_counts_consistent(self, small_server, small_inputs):
+        proc = launch(small_server, small_inputs["readish"], seed=3, with_agent=False)
+        proc.run(max_transactions=100)
+        fp = measure_hot_footprint(proc, transactions=200)
+        assert 0 < fp.functions_touched <= len(small_server.program.functions)
+        assert fp.blocks_touched >= fp.functions_touched
+        assert fp.hot_lines * 64 >= fp.hot_bytes * 0.5  # lines cover the bytes
+        assert fp.hot_pages <= fp.hot_lines
+
+    def test_write_mix_touches_different_code(self, small_server, small_inputs):
+        pr = launch(small_server, small_inputs["readish"], seed=3, with_agent=False)
+        pw = launch(small_server, small_inputs["writish"], seed=3, with_agent=False)
+        pr.run(max_transactions=100)
+        pw.run(max_transactions=100)
+        fr = measure_hot_footprint(pr, transactions=200)
+        fw = measure_hot_footprint(pw, transactions=200)
+        assert fr.blocks_touched != fw.blocks_touched
+
+    def test_bolt_shrinks_line_and_page_footprint(self, small_server, small_inputs):
+        """The core front-end mechanism, measured directly."""
+        spec = small_inputs["readish"]
+        binary = link_original(small_server)
+        p0 = launch(small_server, spec, seed=3, with_agent=False)
+        p0.run(max_transactions=150)
+        before = measure_hot_footprint(p0, transactions=250)
+
+        proc = launch(small_server, spec, seed=3, with_agent=False)
+        proc.run(max_transactions=150)
+        session = PerfSession(period=400, overhead=0.0)
+        session.attach(proc)
+        proc.run(max_instructions=80_000)
+        session.detach()
+        profile, _ = extract_profile(session.samples, binary)
+        result = run_bolt(
+            small_server.program, binary, profile,
+            compiler_options=small_server.options,
+        )
+        pb = Process(
+            result.binary, small_server.program, spec, n_threads=2, seed=3
+        )
+        pb.run(max_transactions=150)
+        after = measure_hot_footprint(pb, transactions=250)
+
+        assert after.hot_lines < before.hot_lines
+        assert after.hot_pages <= before.hot_pages

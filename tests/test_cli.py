@@ -1,0 +1,44 @@
+"""Tests for the command-line interface (cheap commands only; the heavy
+figures are exercised by the benchmark suite)."""
+
+import pytest
+
+from repro.cli import FIGS, TABLES, build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_fig_requires_known_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "2"])  # no Fig 2 in the paper
+
+    def test_fig_transactions_option(self):
+        args = build_parser().parse_args(["fig", "5", "--transactions", "300"])
+        assert args.number == 5
+        assert args.transactions == 300
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_registries_cover_paper_artifacts(self):
+        assert set(FIGS) == {1, 3, 5, 6, 7, 8, 9}
+        assert set(TABLES) == {1, 2}
+
+
+class TestExecution:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig 5" in out
+        assert "table 2" in out
+        assert "quickstart" in out
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "L1i capacity" in out
+        assert "Broadwell" in out

@@ -1,0 +1,343 @@
+"""Tests for lowering and linking: layout-aware branch lowering, symbol
+resolution, jump tables, v-tables, fragments and splitting."""
+
+import pytest
+
+from repro.binary.binaryfile import (
+    DATA_BASE,
+    Fragment,
+    Layout,
+    RODATA_BASE,
+    SectionLayout,
+    TEXT_BASE,
+)
+from repro.binary.linker import link_program
+from repro.compiler.codegen import CompilerOptions, block_label, lower_fragment
+from repro.compiler.ir import (
+    CondBr,
+    IRFunction,
+    Jump,
+    Program,
+    Ret,
+    SiteKind,
+    Switch,
+    VTableSpec,
+)
+from repro.compiler.layout import source_order_layout
+from repro.errors import LinkError
+from repro.isa.disassembler import disassemble_range
+from repro.isa.instructions import Opcode, alu, call, mkfp
+
+
+def diamond_program():
+    """entry -> (then | else) -> join; a classic diamond."""
+    prog = Program(name="diamond", entry="f")
+    func = IRFunction("f")
+    b0, b1, b2, b3 = (func.new_block() for _ in range(4))
+    site = prog.sites.allocate(SiteKind.BRANCH, "f")
+    b0.body = [alu()]
+    b0.terminator = CondBr(site=site, taken=2, fallthrough=1)
+    b1.body = [alu()]
+    b1.terminator = Jump(3)
+    b2.body = [alu()]
+    b2.terminator = Jump(3)
+    b3.body = [alu()]
+    b3.terminator = Ret()
+    prog.add_function(func)
+    return prog, site
+
+
+def ops_of(blocks):
+    return [[i.op for i in b.insns] for b in blocks]
+
+
+class TestLowering:
+    def test_fallthrough_elision_source_order(self):
+        prog, _site = diamond_program()
+        func = prog.functions["f"]
+        blocks, tables = lower_fragment(prog, func, (0, 1, 2, 3), CompilerOptions())
+        assert not tables
+        # b0: alu + br_cond (fallthrough to b1 elided)
+        assert ops_of(blocks)[0] == [Opcode.ALU, Opcode.BR_COND]
+        assert not blocks[0].insns[-1].invert
+        # b1: alu + jmp to b3 (b2 is next, not b3)
+        assert ops_of(blocks)[1] == [Opcode.ALU, Opcode.JMP]
+        # b2: alu only, fallthrough to b3 elided
+        assert ops_of(blocks)[2] == [Opcode.ALU]
+
+    def test_inverted_branch_when_taken_successor_is_next(self):
+        prog, _site = diamond_program()
+        func = prog.functions["f"]
+        blocks, _ = lower_fragment(prog, func, (0, 2, 1, 3), CompilerOptions())
+        term = blocks[0].insns[-1]
+        assert term.op == Opcode.BR_COND
+        assert term.invert
+        assert term.target == block_label("f", 1)
+
+    def test_both_successors_distant_emits_branch_plus_jump(self):
+        prog, _site = diamond_program()
+        func = prog.functions["f"]
+        blocks, _ = lower_fragment(prog, func, (0, 3, 1, 2), CompilerOptions())
+        assert ops_of(blocks)[0] == [Opcode.ALU, Opcode.BR_COND, Opcode.JMP]
+
+    def test_switch_lowering_to_jump_table(self):
+        prog = Program(name="s", entry="f")
+        func = IRFunction("f")
+        b0 = func.new_block()
+        cases = [func.new_block() for _ in range(3)]
+        for blk in cases:
+            blk.terminator = Ret()
+        site = prog.sites.allocate(SiteKind.SWITCH, "f", n_cases=3)
+        b0.terminator = Switch(site=site, targets=tuple(c.bb_id for c in cases))
+        prog.add_function(func)
+        blocks, tables = lower_fragment(
+            prog, func, (0, 1, 2, 3), CompilerOptions(jump_tables=True)
+        )
+        assert blocks[0].insns[-1].op == Opcode.JTAB
+        assert len(tables) == 1
+        assert tables[0].entries == [block_label("f", k) for k in (1, 2, 3)]
+
+    def test_switch_lowering_to_compare_chain(self):
+        prog = Program(name="s", entry="f")
+        func = IRFunction("f")
+        b0 = func.new_block()
+        cases = [func.new_block() for _ in range(3)]
+        for blk in cases:
+            blk.terminator = Ret()
+        site = prog.sites.allocate(SiteKind.SWITCH, "f", n_cases=3)
+        b0.terminator = Switch(site=site, targets=tuple(c.bb_id for c in cases))
+        prog.add_function(func)
+        blocks, tables = lower_fragment(
+            prog, func, (0, 1, 2, 3), CompilerOptions(jump_tables=False)
+        )
+        assert not tables
+        ops = [i.op for i in blocks[0].insns]
+        # two derived tests; last case falls through to next block (bb 1 is
+        # next but last case target is bb 3, so a jmp is required)
+        assert ops.count(Opcode.BR_COND) == 2
+        assert ops[-1] == Opcode.JMP
+        # derived sites registered against the switch
+        derived = [i.site for i in blocks[0].insns if i.op == Opcode.BR_COND]
+        for k, d in enumerate(derived):
+            assert prog.sites.info(d).derived_from == (site, k)
+
+    def test_relowering_reuses_derived_sites(self):
+        prog = Program(name="s", entry="f")
+        func = IRFunction("f")
+        b0 = func.new_block()
+        c1 = func.new_block()
+        c2 = func.new_block()
+        c1.terminator = Ret()
+        c2.terminator = Ret()
+        site = prog.sites.allocate(SiteKind.SWITCH, "f", n_cases=2)
+        b0.terminator = Switch(site=site, targets=(1, 2))
+        prog.add_function(func)
+        opts = CompilerOptions(jump_tables=False)
+        blocks1, _ = lower_fragment(prog, func, (0, 1, 2), opts)
+        blocks2, _ = lower_fragment(prog, func, (0, 2, 1), opts)
+        sites1 = [i.site for i in blocks1[0].insns if i.op == Opcode.BR_COND]
+        sites2 = [i.site for i in blocks2[0].insns if i.op == Opcode.BR_COND]
+        assert sites1 == sites2
+
+    def test_instrument_fp_marks_mkfp(self):
+        prog = Program(name="p", entry="f", fp_slot_count=1)
+        func = IRFunction("f")
+        b = func.new_block()
+        b.body = [mkfp("f", 0)]
+        b.terminator = Ret()
+        prog.add_function(func)
+        blocks, _ = lower_fragment(
+            prog, func, (0,), CompilerOptions(instrument_fp=True)
+        )
+        assert blocks[0].insns[0].wrapped
+        # the IR itself is untouched
+        assert not func.blocks[0].body[0].wrapped
+
+
+class TestLinker:
+    def test_sections_present(self, tiny):
+        binary = tiny.binary
+        assert ".text" in binary.sections
+        assert ".data" in binary.sections
+        assert binary.sections[".text"].addr == TEXT_BASE
+        assert binary.sections[".data"].addr == DATA_BASE
+
+    def test_function_entries_are_block0(self, tiny):
+        for name, info in tiny.binary.functions.items():
+            entry_block = next(b for b in info.blocks if b.label == f"{name}#0")
+            assert info.addr == entry_block.addr
+
+    def test_functions_aligned(self, tiny):
+        for info in tiny.binary.functions.values():
+            assert info.addr % 16 == 0
+
+    def test_blocks_do_not_overlap(self, tiny):
+        spans = sorted(
+            (b.addr, b.addr + b.size)
+            for f in tiny.binary.functions.values()
+            for b in f.blocks
+        )
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert s2 >= e1
+
+    def test_code_bytes_disassemble_cleanly(self, tiny):
+        section = tiny.binary.sections[".text"]
+        reader = lambda a, n: section.data[a - section.addr : a - section.addr + n]
+        for info in tiny.binary.functions.values():
+            for block in info.blocks:
+                decoded = disassemble_range(reader, block.addr, block.addr + block.size)
+                assert len(decoded) == block.n_instr
+
+    def test_vtables_hold_function_entries(self, tiny):
+        binary = tiny.binary
+        data = binary.sections[".data"]
+        for vt in binary.vtables:
+            for slot, func_name in enumerate(vt.slots):
+                off = vt.slot_addr(slot) - data.addr
+                value = int.from_bytes(data.data[off : off + 8], "little")
+                assert value == binary.functions[func_name].addr
+
+    def test_fp_init_written(self, tiny):
+        binary = tiny.binary
+        data = binary.sections[".data"]
+        off = binary.fp_slot_addr(0) - data.addr
+        value = int.from_bytes(data.data[off : off + 8], "little")
+        assert value == binary.functions["leaf"].addr
+
+    def test_jump_tables_when_enabled(self, tiny_with_jump_tables):
+        binary = tiny_with_jump_tables.binary
+        assert ".rodata" in binary.sections
+        assert binary.jump_tables
+        table = binary.jump_tables[0]
+        rodata = binary.sections[".rodata"]
+        index = binary.block_index()
+        for k, entry in enumerate(table.entries):
+            off = table.addr + 8 * k - rodata.addr
+            value = int.from_bytes(rodata.data[off : off + 8], "little")
+            assert value == index[entry].addr
+
+    def test_no_jump_tables_when_disabled(self, tiny):
+        assert not tiny.binary.jump_tables
+        assert ".rodata" not in tiny.binary.sections
+
+    def test_layout_missing_entry_block_rejected(self):
+        prog, _ = diamond_program()
+        layout = Layout(
+            sections=[
+                SectionLayout(
+                    name=".text",
+                    base=TEXT_BASE,
+                    fragments=[Fragment(function="f", block_ids=(1, 2, 3))],
+                )
+            ]
+        )
+        with pytest.raises(LinkError):
+            link_program(prog, layout)
+
+    def test_layout_unknown_function_rejected(self):
+        prog, _ = diamond_program()
+        layout = Layout(
+            sections=[
+                SectionLayout(
+                    name=".text",
+                    base=TEXT_BASE,
+                    fragments=[Fragment(function="ghost", block_ids=(0,))],
+                )
+            ]
+        )
+        with pytest.raises(LinkError):
+            link_program(prog, layout)
+
+    def test_duplicate_block_placement_rejected(self):
+        prog, _ = diamond_program()
+        layout = Layout(
+            sections=[
+                SectionLayout(
+                    name=".text",
+                    base=TEXT_BASE,
+                    fragments=[
+                        Fragment(function="f", block_ids=(0, 1, 2, 3)),
+                        Fragment(function="f", block_ids=(0,)),
+                    ],
+                )
+            ]
+        )
+        with pytest.raises(LinkError):
+            link_program(prog, layout)
+
+    def test_overlapping_sections_rejected(self):
+        prog, _ = diamond_program()
+        layout = Layout(
+            sections=[
+                SectionLayout(
+                    name=".a",
+                    base=TEXT_BASE,
+                    fragments=[Fragment(function="f", block_ids=(0, 1))],
+                ),
+                SectionLayout(
+                    name=".b",
+                    base=TEXT_BASE + 4,
+                    fragments=[Fragment(function="f", block_ids=(2, 3))],
+                ),
+            ]
+        )
+        with pytest.raises(LinkError):
+            link_program(prog, layout)
+
+    def test_split_function_across_sections(self):
+        prog, _ = diamond_program()
+        layout = Layout(
+            sections=[
+                SectionLayout(
+                    name=".hot",
+                    base=TEXT_BASE,
+                    fragments=[Fragment(function="f", block_ids=(0, 2, 3))],
+                ),
+                SectionLayout(
+                    name=".cold",
+                    base=TEXT_BASE + 0x10000,
+                    fragments=[Fragment(function="f", block_ids=(1,))],
+                ),
+            ]
+        )
+        binary = link_program(prog, layout)
+        info = binary.functions["f"]
+        assert info.section == ".hot"
+        assert info.cold_section == ".cold"
+        cold_block = binary.block_index()["f#1"]
+        assert cold_block.addr >= TEXT_BASE + 0x10000
+
+    def test_custom_rodata_base(self):
+        prog = Program(name="s", entry="f")
+        func = IRFunction("f")
+        b0 = func.new_block()
+        c = func.new_block()
+        c.terminator = Ret()
+        site = prog.sites.allocate(SiteKind.SWITCH, "f", n_cases=1)
+        b0.terminator = Switch(site=site, targets=(1,))
+        prog.add_function(func)
+        binary = link_program(
+            prog,
+            options=CompilerOptions(jump_tables=True),
+            rodata_base=RODATA_BASE + 0x100000,
+            rodata_name=".rodata.g1",
+        )
+        assert ".rodata.g1" in binary.sections
+        assert binary.sections[".rodata.g1"].addr == RODATA_BASE + 0x100000
+
+    def test_same_program_links_identically_twice(self, tiny):
+        again = link_program(tiny.program, options=tiny.options)
+        assert again.sections[".text"].data == tiny.binary.sections[".text"].data
+        assert again.sections[".data"].data == tiny.binary.sections[".data"].data
+
+    def test_function_order_changes_layout(self):
+        prog, _ = diamond_program()
+        g = IRFunction("g")
+        gb = g.new_block()
+        gb.body = [alu()]
+        gb.terminator = Ret()
+        prog.add_function(g)
+        fwd = link_program(prog, source_order_layout(prog, function_order=["f", "g"]))
+        rev = link_program(prog, source_order_layout(prog, function_order=["g", "f"]))
+        assert fwd.functions["f"].addr < fwd.functions["g"].addr
+        assert rev.functions["g"].addr < rev.functions["f"].addr

@@ -1,0 +1,154 @@
+"""Tests for continuous optimization: C_i -> C_{i+1} with code GC."""
+
+import pytest
+
+from repro.bolt.optimizer import BoltOptions, run_bolt
+from repro.core.continuous import ContinuousReplacer, generation_band
+from repro.core.funcptr_map import FunctionPointerMap
+from repro.core.replacement import CodeReplacer
+from repro.errors import ReplacementError
+from repro.profiling.perf import PerfSession
+from repro.profiling.perf2bolt import extract_profile
+
+
+def profile_of(proc, binary, instructions=80_000):
+    session = PerfSession(period=300, overhead=0.0)
+    session.attach(proc)
+    proc.run(max_instructions=instructions)
+    session.detach()
+    profile, _ = extract_profile(session.samples, binary)
+    return profile
+
+
+@pytest.fixture()
+def replaced(tiny_fresh):
+    """A process already running generation 1, plus its machinery."""
+    bundle = tiny_fresh
+    proc = bundle.process()
+    proc.run(max_transactions=50)
+    profile = profile_of(proc, bundle.binary)
+    result1 = run_bolt(
+        bundle.program, bundle.binary, profile, compiler_options=bundle.options
+    )
+    fp_map = FunctionPointerMap(bundle.binary)
+    replacer = CodeReplacer(proc, bundle.binary, fp_map=fp_map)
+    replacer.replace(result1)
+    proc.run(max_transactions=100)
+    return bundle, proc, fp_map, result1
+
+
+def bolt_next(bundle, proc, current, generation):
+    profile = profile_of(proc, current)
+    return run_bolt(
+        bundle.program,
+        current,
+        profile,
+        options=BoltOptions(allow_rebolt=True),
+        compiler_options=bundle.options,
+        generation=generation,
+        cold_reference=bundle.binary,
+    )
+
+
+class TestContinuousReplacement:
+    def test_generation_advances_and_band_collected(self, replaced):
+        bundle, proc, fp_map, result1 = replaced
+        result2 = bolt_next(bundle, proc, result1.binary, 2)
+        cont = ContinuousReplacer(proc, bundle.binary, fp_map)
+        report = cont.replace_next(result2, result1.binary)
+        assert proc.replacement_generation == 2
+        assert report.regions_collected >= 1
+        lo, hi = generation_band(1)
+        for region in proc.address_space.regions():
+            assert not (lo <= region.start < hi)
+
+    def test_no_live_pointers_into_retired_band(self, replaced):
+        bundle, proc, fp_map, result1 = replaced
+        result2 = bolt_next(bundle, proc, result1.binary, 2)
+        cont = ContinuousReplacer(proc, bundle.binary, fp_map)
+        cont.replace_next(result2, result1.binary)
+        lo, hi = generation_band(1)
+        for thread in proc.threads:
+            assert not (lo <= thread.pc < hi)
+            addr = thread.sp
+            while addr < thread.stack_base:
+                ret = proc.address_space.read_u64(addr)
+                assert not (lo <= ret < hi)
+                addr += 8
+
+    def test_process_keeps_transacting_after_gc(self, replaced):
+        bundle, proc, fp_map, result1 = replaced
+        result2 = bolt_next(bundle, proc, result1.binary, 2)
+        cont = ContinuousReplacer(proc, bundle.binary, fp_map)
+        cont.replace_next(result2, result1.binary)
+        before = proc.counters_total().transactions
+        proc.run(max_transactions=300)
+        assert proc.counters_total().transactions >= before + 300
+
+    def test_stack_live_code_copied_forward(self, replaced):
+        bundle, proc, fp_map, result1 = replaced
+        result2 = bolt_next(bundle, proc, result1.binary, 2)
+        cont = ContinuousReplacer(proc, bundle.binary, fp_map)
+        report = cont.replace_next(result2, result1.binary)
+        # threads were executing generation-1 code mid-replacement, so either
+        # copies were made or no thread happened to be inside C_1
+        if report.pcs_rewritten or report.return_addresses_rewritten:
+            assert report.functions_copied > 0
+            assert report.bytes_copied_forward > 0
+
+    def test_vtables_point_to_newest_generation(self, replaced):
+        bundle, proc, fp_map, result1 = replaced
+        result2 = bolt_next(bundle, proc, result1.binary, 2)
+        cont = ContinuousReplacer(proc, bundle.binary, fp_map)
+        cont.replace_next(result2, result1.binary)
+        for vt in bundle.binary.vtables:
+            for slot, func in enumerate(vt.slots):
+                value = proc.address_space.read_u64(vt.slot_addr(slot))
+                newest = result2.binary.functions.get(func)
+                c0 = bundle.binary.functions[func]
+                assert value in (newest.addr if newest else c0.addr, c0.addr)
+
+    def test_requires_wrap_hook(self, tiny_fresh):
+        proc = tiny_fresh.process()
+        fp_map = FunctionPointerMap(tiny_fresh.binary)
+        with pytest.raises(ReplacementError):
+            ContinuousReplacer(proc, tiny_fresh.binary, fp_map)
+
+    def test_generation_mismatch_rejected(self, replaced):
+        bundle, proc, fp_map, result1 = replaced
+        result3 = bolt_next(bundle, proc, result1.binary, 3)  # skips gen 2
+        cont = ContinuousReplacer(proc, bundle.binary, fp_map)
+        with pytest.raises(ReplacementError):
+            cont.replace_next(result3, result1.binary)
+        assert not proc.paused
+
+    def test_fp_invariant_violation_detected(self, replaced):
+        bundle, proc, fp_map, result1 = replaced
+        # corrupt a slot to point into generation 1
+        moved = [
+            n for n in result1.hot_functions
+            if result1.binary.functions[n].addr != bundle.binary.functions[n].addr
+        ]
+        bad = result1.binary.functions[moved[0]].addr
+        proc.address_space.write_u64(bundle.binary.fp_slot_addr(1), bad)
+        result2 = bolt_next(bundle, proc, result1.binary, 2)
+        cont = ContinuousReplacer(proc, bundle.binary, fp_map)
+        with pytest.raises(ReplacementError):
+            cont.replace_next(result2, result1.binary)
+
+    def test_three_generations(self, replaced):
+        bundle, proc, fp_map, result1 = replaced
+        cont = ContinuousReplacer(proc, bundle.binary, fp_map)
+        current = result1
+        for gen in (2, 3):
+            nxt = bolt_next(bundle, proc, current.binary, gen)
+            cont.replace_next(nxt, current.binary)
+            proc.run(max_transactions=150)
+            current = nxt
+        assert proc.replacement_generation == 3
+        # only the newest generation band is mapped
+        for retired_gen in (1, 2):
+            lo, hi = generation_band(retired_gen)
+            assert not any(
+                lo <= r.start < hi for r in proc.address_space.regions()
+            )

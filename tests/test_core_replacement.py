@@ -1,0 +1,242 @@
+"""Tests for the OCOLOS core: function-pointer map, injector, patcher, and
+single-shot code replacement (incl. the paper's design principles)."""
+
+import pytest
+
+from repro.bolt.optimizer import run_bolt
+from repro.core.funcptr_map import FunctionPointerMap
+from repro.core.injector import CodeInjector
+from repro.core.patcher import PatchReport, PointerPatcher, scan_direct_call_sites
+from repro.core.replacement import CodeReplacer
+from repro.errors import ReplacementError
+from repro.profiling.perf import PerfSession
+from repro.profiling.perf2bolt import extract_profile
+from repro.vm.ptrace import PtraceController
+from repro.vm.unwind import AddressIndex
+
+
+@pytest.fixture(scope="module")
+def bolt_result(tiny):
+    proc = tiny.process()
+    proc.run(max_transactions=50)
+    session = PerfSession(period=300, overhead=0.0)
+    session.attach(proc)
+    proc.run(max_instructions=80_000)
+    session.detach()
+    profile, _ = extract_profile(session.samples, tiny.binary)
+    return run_bolt(tiny.program, tiny.binary, profile, compiler_options=tiny.options)
+
+
+class TestCallSiteScan:
+    def test_scan_finds_known_calls(self, tiny):
+        sites = scan_direct_call_sites(tiny.binary)
+        main_callees = {s.callee for s in sites["main"]}
+        assert {"helper2", "switchy"} <= main_callees
+
+    def test_sites_point_at_call_opcodes(self, tiny):
+        from repro.isa.instructions import Opcode
+
+        sites = scan_direct_call_sites(tiny.binary)
+        text = tiny.binary.sections[".text"]
+        for site_list in sites.values():
+            for site in site_list:
+                opbyte = text.data[site.addr - text.addr]
+                assert opbyte == int(Opcode.CALL)
+
+
+class TestFunctionPointerMap:
+    def test_translates_moved_entries(self, tiny, bolt_result):
+        fp = FunctionPointerMap(tiny.binary)
+        added = fp.register_generation(bolt_result.binary)
+        assert added > 0
+        for name in bolt_result.hot_functions:
+            new_addr = bolt_result.binary.functions[name].addr
+            old_addr = tiny.binary.functions[name].addr
+            if new_addr != old_addr:
+                assert fp.wrap(new_addr) == old_addr
+
+    def test_identity_for_c0_and_unknown(self, tiny, bolt_result):
+        fp = FunctionPointerMap(tiny.binary)
+        fp.register_generation(bolt_result.binary)
+        c0 = tiny.binary.functions["leaf"].addr
+        assert fp.wrap(c0) == c0
+        assert fp.wrap(0xDEAD0000) == 0xDEAD0000
+
+    def test_wrap_statistics(self, tiny, bolt_result):
+        fp = FunctionPointerMap(tiny.binary)
+        fp.register_generation(bolt_result.binary)
+        fp.wrap(tiny.binary.functions["leaf"].addr)
+        moved = bolt_result.binary.functions[bolt_result.hot_functions[0]].addr
+        fp.wrap(moved)
+        assert fp.wraps_total == 2
+        assert fp.wraps_translated >= 1
+
+    def test_install_routes_program_creations(self, tiny, bolt_result):
+        proc = tiny.process()
+        fp = FunctionPointerMap(tiny.binary)
+        fp.register_generation(bolt_result.binary)
+        fp.install(proc)
+        proc.run(max_transactions=20)
+        assert fp.wraps_total > 0
+
+
+class TestInjector:
+    def test_injects_generation_sections(self, tiny, bolt_result):
+        proc = tiny.process()
+        report = CodeInjector(proc).inject(bolt_result.binary)
+        assert ".text.bolt1" in report.sections
+        assert report.bytes_copied > 0
+        # injected bytes are byte-identical to the BOLTed binary's
+        section = bolt_result.binary.sections[".text.bolt1"]
+        assert proc.address_space.read(section.addr, len(section.data)) == section.data
+
+    def test_never_injects_org_text_or_data(self, tiny, bolt_result):
+        proc = tiny.process()
+        report = CodeInjector(proc).inject(bolt_result.binary)
+        assert "bolt.org.text" not in report.sections
+        assert ".data" not in report.sections
+
+    def test_rejects_non_bolted(self, tiny):
+        proc = tiny.process()
+        with pytest.raises(ReplacementError):
+            CodeInjector(proc).inject(tiny.binary)
+
+
+class TestPatcher:
+    def test_vtable_patch(self, tiny, bolt_result):
+        proc = tiny.process()
+        pt = PtraceController(proc)
+        pt.pause()
+        patcher = PointerPatcher(pt, tiny.binary)
+        report = PatchReport()
+        patcher.patch_vtables(bolt_result.binary, report)
+        pt.resume()
+        moved = patcher.moved_entries(bolt_result.binary)
+        for vt in tiny.binary.vtables:
+            for slot, func in enumerate(vt.slots):
+                value = proc.address_space.read_u64(vt.slot_addr(slot))
+                if func in moved:
+                    assert value == moved[func][1]
+                else:
+                    assert value == tiny.binary.functions[func].addr
+
+    def test_direct_call_patch_preserves_addresses(self, tiny, bolt_result):
+        """Design principle #1: C_0 instruction addresses never change."""
+        proc = tiny.process()
+        text = tiny.binary.sections[".text"]
+        before = proc.address_space.read(text.addr, len(text.data))
+        pt = PtraceController(proc)
+        pt.pause()
+        patcher = PointerPatcher(pt, tiny.binary)
+        report = PatchReport()
+        patcher.patch_direct_calls(bolt_result.binary, ["main"], report)
+        pt.resume()
+        after = proc.address_space.read(text.addr, len(text.data))
+        assert len(before) == len(after)
+        # only rel32 immediates differ: opcode bytes unchanged
+        diffs = [i for i, (x, y) in enumerate(zip(before, after)) if x != y]
+        assert diffs  # something was patched
+        sites = {s.addr for s in patcher.call_sites["main"]}
+        for i in diffs:
+            addr = text.addr + i
+            assert any(site < addr <= site + 4 for site in sites)
+
+    def test_patch_report_counts(self, tiny, bolt_result):
+        proc = tiny.process()
+        pt = PtraceController(proc)
+        pt.pause()
+        patcher = PointerPatcher(pt, tiny.binary)
+        report = PatchReport()
+        patcher.patch_direct_calls(bolt_result.binary, patcher.all_c0_functions(), report)
+        pt.resume()
+        assert report.call_sites_patched >= report.functions_patched > 0
+
+
+class TestCodeReplacer:
+    def run_replacement(self, tiny, bolt_result, **kwargs):
+        proc = tiny.process()
+        proc.run(max_transactions=50)
+        replacer = CodeReplacer(proc, tiny.binary, **kwargs)
+        report = replacer.replace(bolt_result)
+        return proc, replacer, report
+
+    def test_process_resumes_and_transacts(self, tiny, bolt_result):
+        proc, _r, report = self.run_replacement(tiny, bolt_result)
+        assert not proc.paused
+        before = proc.counters_total().transactions
+        proc.run(max_transactions=100)
+        assert proc.counters_total().transactions >= before + 100
+
+    def test_execution_reaches_new_generation(self, tiny, bolt_result):
+        proc, _r, _report = self.run_replacement(tiny, bolt_result)
+        proc.run(max_transactions=200)
+        index = AddressIndex([bolt_result.binary])
+        seen_new = False
+        for _ in range(30):
+            proc.run(max_instructions=97)
+            for thread in proc.threads:
+                if thread.pc >= 0x0200_0000:
+                    seen_new = True
+        assert seen_new
+
+    def test_generation_tracking(self, tiny, bolt_result):
+        proc, _r, report = self.run_replacement(tiny, bolt_result)
+        assert proc.replacement_generation == 1
+        assert report.generation == 1
+
+    def test_wrong_generation_rejected(self, tiny, bolt_result):
+        proc = tiny.process()
+        proc.replacement_generation = 1  # pretend a replacement happened
+        replacer = CodeReplacer(proc, tiny.binary)
+        with pytest.raises(ReplacementError):
+            replacer.replace(bolt_result)
+        assert not proc.paused  # pause released on failure
+
+    def test_requires_preload_agent(self, tiny, bolt_result):
+        proc = tiny.process(with_agent=False)
+        replacer = CodeReplacer(proc, tiny.binary)
+        with pytest.raises(ReplacementError):
+            replacer.replace(bolt_result)
+
+    def test_pause_time_modeled(self, tiny, bolt_result):
+        _p, _r, report = self.run_replacement(tiny, bolt_result)
+        assert report.pause_seconds > 0
+        assert report.pointer_writes == (
+            report.patches.vtable_slots_patched + report.patches.call_sites_patched
+        )
+
+    def test_stack_live_subset_patched_by_default(self, tiny, bolt_result):
+        _p, replacer, report = self.run_replacement(tiny, bolt_result)
+        assert report.patches.stack_live_functions
+        assert report.patches.stack_live_functions <= set(tiny.binary.functions)
+
+    def test_patch_all_calls_patches_more(self, tiny, bolt_result):
+        _p1, _r1, selective = self.run_replacement(tiny, bolt_result)
+        _p2, _r2, everything = self.run_replacement(
+            tiny, bolt_result, patch_all_calls=True
+        )
+        assert everything.patches.call_sites_patched >= selective.patches.call_sites_patched
+
+    def test_function_pointers_stay_c0(self, tiny, bolt_result):
+        """Design invariant: program-created pointers always reference C_0."""
+        proc, replacer, _report = self.run_replacement(tiny, bolt_result)
+        proc.run(max_transactions=100)  # main's mkfp re-executes under the hook
+        value = proc.address_space.read_u64(tiny.binary.fp_slot_addr(0))
+        assert value == tiny.binary.functions["leaf"].addr
+
+    def test_c0_text_not_moved(self, tiny, bolt_result):
+        proc, _r, _report = self.run_replacement(tiny, bolt_result)
+        # C_0 region still mapped and still holds decodable code at the same base
+        text = tiny.binary.sections[".text"]
+        assert proc.address_space.is_mapped(text.addr)
+
+    def test_speedup_not_negative(self, tiny, bolt_result):
+        base = tiny.process(seed=21)
+        base.run(max_transactions=100)
+        d0 = base.run(max_transactions=400)
+        proc, _r, _rep = self.run_replacement(tiny, bolt_result)
+        proc.run(max_transactions=100)
+        s0 = proc.counters_total()
+        proc.run(max_transactions=400)
+        d1 = proc.counters_total().delta(s0)
+        assert proc.throughput_tps(d1) >= base.throughput_tps(d0) * 0.9

@@ -1,0 +1,136 @@
+"""Tests for the cost model and the end-to-end orchestrator."""
+
+import pytest
+
+from repro.core.costs import (
+    CostModel,
+    FixedCosts,
+    break_even_seconds,
+)
+from repro.core.orchestrator import Ocolos, OcolosConfig
+
+
+class TestCostModel:
+    def test_monotone_in_work(self):
+        model = CostModel()
+        assert model.perf2bolt_seconds(1000) < model.perf2bolt_seconds(100_000)
+        assert model.llvm_bolt_seconds(10, 1000) < model.llvm_bolt_seconds(1000, 1000)
+        assert model.replacement_seconds(10, 1000) < model.replacement_seconds(10_000, 1000)
+
+    def test_scale_multiplies_code_driven_parts_only(self):
+        small = CostModel(workload_scale=1.0)
+        big = CostModel(workload_scale=16.0)
+        # perf2bolt is duration-driven, not code-size-driven (Table II shows
+        # MySQL and the 2x-bigger MongoDB costing the same for 60 s profiles)
+        assert big.perf2bolt_seconds(1000) == small.perf2bolt_seconds(1000)
+        assert big.llvm_bolt_seconds(100, 1000) > small.llvm_bolt_seconds(100, 1000)
+        assert big.replacement_seconds(100, 1000) > small.replacement_seconds(100, 1000)
+
+    def test_fixed_costs_aggregate(self):
+        model = CostModel()
+        costs = model.fixed_costs(
+            records=10_000,
+            hot_functions=300,
+            emitted_bytes=64_000,
+            pointer_writes=2_000,
+            bytes_copied=64_000,
+        )
+        assert costs.perf2bolt_seconds > 0
+        assert costs.llvm_bolt_seconds > 0
+        assert costs.replacement_seconds > 0
+        assert costs.background_seconds == pytest.approx(
+            costs.perf2bolt_seconds + costs.llvm_bolt_seconds
+        )
+
+    def test_table2_ordering_structure(self):
+        """More hot functions -> more BOLT time (the MySQL-vs-Mongo ordering
+        in Table II: Mongo's 2364 hot functions cost more than MySQL's 964)."""
+        model = CostModel(workload_scale=16.0)
+        mysql_like = model.llvm_bolt_seconds(964 // 16, 60_000)
+        mongo_like = model.llvm_bolt_seconds(2364 // 16, 120_000)
+        assert mongo_like > mysql_like
+
+    def test_break_even_formula(self):
+        # a=0.5, s=10s, b=0.25 -> 20s
+        assert break_even_seconds(0.5, 10.0, 0.25) == pytest.approx(20.0)
+
+    def test_break_even_no_speedup(self):
+        assert break_even_seconds(0.5, 10.0, 0.0) == float("inf")
+
+
+class TestOrchestrator:
+    @pytest.fixture()
+    def quick_config(self):
+        return OcolosConfig(
+            profile_seconds=0.02,
+            perf_period=400,
+            background_sim_cap_seconds=0.05,
+        )
+
+    def test_optimize_once_full_cycle(self, tiny_fresh, quick_config):
+        proc = tiny_fresh.process()
+        proc.run(max_transactions=50)
+        ocolos = Ocolos(
+            proc, tiny_fresh.binary,
+            compiler_options=tiny_fresh.options, config=quick_config,
+        )
+        report = ocolos.optimize_once()
+        assert not report.skipped
+        assert report.generation == 1
+        assert report.samples > 0
+        assert report.replacement is not None
+        assert report.costs.replacement_seconds > 0
+        assert ocolos.current_binary.bolted
+
+    def test_stage1_check_can_skip(self, tiny_fresh, quick_config):
+        quick_config.check_frontend_first = True
+        quick_config.frontend_threshold = 101.0  # impossible
+        proc = tiny_fresh.process()
+        proc.run(max_transactions=50)
+        ocolos = Ocolos(
+            proc, tiny_fresh.binary,
+            compiler_options=tiny_fresh.options, config=quick_config,
+        )
+        report = ocolos.optimize_once()
+        assert report.skipped
+        assert proc.replacement_generation == 0
+
+    def test_second_optimize_is_continuous(self, tiny_fresh, quick_config):
+        proc = tiny_fresh.process()
+        proc.run(max_transactions=50)
+        ocolos = Ocolos(
+            proc, tiny_fresh.binary,
+            compiler_options=tiny_fresh.options, config=quick_config,
+        )
+        r1 = ocolos.optimize_once()
+        proc.run(max_transactions=100)
+        r2 = ocolos.optimize_once()
+        assert r1.replacement is not None and r1.continuous is None
+        assert r2.continuous is not None and r2.replacement is None
+        assert proc.replacement_generation == 2
+        before = proc.counters_total().transactions
+        proc.run(max_transactions=200)
+        assert proc.counters_total().transactions >= before + 200
+
+    def test_reports_accumulate(self, tiny_fresh, quick_config):
+        proc = tiny_fresh.process()
+        proc.run(max_transactions=50)
+        ocolos = Ocolos(
+            proc, tiny_fresh.binary,
+            compiler_options=tiny_fresh.options, config=quick_config,
+        )
+        ocolos.optimize_once()
+        proc.run(max_transactions=50)
+        ocolos.optimize_once()
+        assert len(ocolos.reports) == 2
+
+    def test_background_contention_charged(self, tiny_fresh, quick_config):
+        proc = tiny_fresh.process()
+        proc.run(max_transactions=50)
+        idle_before = proc.counters_total().cyc_idle
+        ocolos = Ocolos(
+            proc, tiny_fresh.binary,
+            compiler_options=tiny_fresh.options, config=quick_config,
+        )
+        ocolos.optimize_once()
+        assert proc.counters_total().cyc_idle > idle_before

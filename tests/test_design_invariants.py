@@ -1,0 +1,142 @@
+"""Integration tests for the paper's design principles as system invariants.
+
+These drive the small generated server through full replacement cycles and
+assert the §IV guarantees the whole design rests on.
+"""
+
+import pytest
+
+from repro.binary.binaryfile import TEXT_BASE, bolt_text_base
+from repro.core.orchestrator import Ocolos, OcolosConfig
+from repro.harness.runner import launch, link_original, measure
+from repro.vm.unwind import AddressIndex, live_code_pointers
+
+QUICK = OcolosConfig(
+    profile_seconds=0.03, perf_period=400, background_sim_cap_seconds=0.05
+)
+
+
+@pytest.fixture()
+def optimized(small_server, small_inputs):
+    """A small-server process that has been through one replacement."""
+    process = launch(small_server, small_inputs["readish"], seed=8)
+    process.run(max_transactions=300)
+    binary = link_original(small_server)
+    ocolos = Ocolos(
+        process, binary, compiler_options=small_server.options, config=QUICK
+    )
+    report = ocolos.optimize_once()
+    return small_server, process, ocolos, report
+
+
+class TestDesignPrinciple1:
+    """Preserve addresses of C_0 instructions."""
+
+    def test_c0_bytes_only_change_at_rel32_immediates(
+        self, small_server, small_inputs
+    ):
+        binary = link_original(small_server)
+        text = binary.sections[".text"]
+        process = launch(small_server, small_inputs["readish"], seed=8)
+        process.run(max_transactions=300)
+        before = process.address_space.read(text.addr, len(text.data))
+        ocolos = Ocolos(
+            process, binary, compiler_options=small_server.options, config=QUICK
+        )
+        ocolos.optimize_once()
+        after = process.address_space.read(text.addr, len(text.data))
+
+        from repro.core.patcher import scan_direct_call_sites
+
+        sites = scan_direct_call_sites(binary)
+        immediate_bytes = set()
+        for site_list in sites.values():
+            for site in site_list:
+                for k in range(1, 5):
+                    immediate_bytes.add(site.addr - text.addr + k)
+        for i, (x, y) in enumerate(zip(before, after)):
+            if x != y:
+                assert i in immediate_bytes, f"non-immediate byte {i} changed"
+
+    def test_old_code_pointers_still_work(self, optimized):
+        _wl, process, _oc, _rep = optimized
+        # run long enough for any stale pointer to be exercised
+        before = process.counters_total().transactions
+        process.run(max_transactions=500)
+        assert process.counters_total().transactions >= before + 500
+
+
+class TestDesignPrinciple2:
+    """Run C_1 code in the common case."""
+
+    def test_majority_of_execution_in_new_generation(self, optimized):
+        _wl, process, _oc, rep = optimized
+        process.run(max_transactions=300)
+        gen_base = bolt_text_base(1)
+        in_new = 0
+        total = 0
+        for _ in range(60):
+            process.run(max_instructions=61)
+            for thread in process.threads:
+                total += 1
+                if thread.pc >= gen_base:
+                    in_new += 1
+        assert in_new / total > 0.5
+
+
+class TestDesignPrinciple3:
+    """Fixed costs only: no recurring instrumentation beyond fp creation."""
+
+    def test_wrap_hook_is_the_only_recurring_intervention(self, optimized):
+        _wl, process, oc, _rep = optimized
+        start = oc.fp_map.wraps_total
+        delta = process.run(max_transactions=200)
+        # the hook fires once per mkfp executed and is proportional to
+        # fp creations, not to instructions
+        fired = oc.fp_map.wraps_total - start
+        assert fired == delta.fp_creations
+
+    def test_function_pointers_always_reference_c0(self, optimized):
+        wl, process, _oc, _rep = optimized
+        process.run(max_transactions=400)
+        binary = link_original(wl)
+        for slot in range(binary.fp_slot_count):
+            value = process.address_space.read_u64(binary.fp_slot_addr(slot))
+            assert value < bolt_text_base(1), f"slot {slot} escaped C_0"
+            assert value >= TEXT_BASE
+
+
+class TestReplacementSafety:
+    def test_all_live_code_pointers_resolve(self, optimized):
+        wl, process, oc, _rep = optimized
+        process.run(max_transactions=200)
+        index = AddressIndex([link_original(wl), oc.current_binary])
+        for addr, kind in live_code_pointers(process):
+            assert index.resolve(addr) is not None, f"dangling {kind} {addr:#x}"
+
+    def test_counters_monotone_across_replacement(
+        self, small_server, small_inputs
+    ):
+        process = launch(small_server, small_inputs["writish"], seed=9)
+        process.run(max_transactions=200)
+        binary = link_original(small_server)
+        ocolos = Ocolos(
+            process, binary, compiler_options=small_server.options, config=QUICK
+        )
+        before = process.counters_total()
+        ocolos.optimize_once()
+        after = process.counters_total()
+        assert after.instructions >= before.instructions
+        assert after.transactions >= before.transactions
+
+    def test_two_generations_back_to_back(self, optimized):
+        wl, process, oc, _rep = optimized
+        process.run(max_transactions=300)
+        r2 = oc.optimize_once()
+        assert r2.generation == 2
+        process.run(max_transactions=300)
+        r3 = oc.optimize_once()
+        assert r3.generation == 3
+        before = process.counters_total().transactions
+        process.run(max_transactions=300)
+        assert process.counters_total().transactions >= before + 300

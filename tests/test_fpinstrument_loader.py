@@ -1,0 +1,108 @@
+"""Tests for the fp-instrumentation pass, the loader, and the fp-invariant
+checker."""
+
+import pytest
+
+from repro.binary.linker import link_program
+from repro.binary.loader import load_binary
+from repro.compiler.codegen import CompilerOptions
+from repro.compiler.fpinstrument import count_creation_sites, instrument_function_pointers
+from repro.compiler.ir import IRFunction, Program, Ret
+from repro.core.funcptr_map import require_fp_invariant
+from repro.errors import LoaderError, ReplacementError
+from repro.isa.instructions import alu, mkfp
+from repro.vm.address_space import AddressSpace
+
+
+def fp_program():
+    prog = Program(name="fp", entry="main", fp_slot_count=2)
+    leaf = IRFunction("leaf")
+    lb = leaf.new_block()
+    lb.body = [alu()]
+    lb.terminator = Ret()
+    prog.add_function(leaf)
+    main = IRFunction("main")
+    m0 = main.new_block()
+    m0.body = [mkfp("leaf", 0), alu(), mkfp("leaf", 1)]
+    m0.terminator = Ret()
+    prog.add_function(main)
+    return prog
+
+
+class TestInstrumentationPass:
+    def test_counts_sites(self):
+        prog = fp_program()
+        assert count_creation_sites(prog) == 2
+
+    def test_marks_all_sites(self):
+        prog = fp_program()
+        assert instrument_function_pointers(prog) == 2
+        for func in prog.functions.values():
+            for block in func.blocks:
+                for insn in block.body:
+                    if insn.op.name == "MKFP":
+                        assert insn.wrapped
+
+    def test_idempotent(self):
+        prog = fp_program()
+        instrument_function_pointers(prog)
+        assert instrument_function_pointers(prog) == 0
+
+    def test_compile_option_equivalent(self):
+        """instrument_fp=True at compile time has the same effect as the
+        pass: every encoded MKFP carries the wrapped flag."""
+        from repro.isa.disassembler import disassemble_range
+        from repro.isa.instructions import Opcode
+
+        prog = fp_program()
+        binary = link_program(prog, options=CompilerOptions(instrument_fp=True))
+        text = binary.sections[".text"]
+        reader = lambda a, n: text.data[a - text.addr : a - text.addr + n]
+        wrapped_flags = [
+            insn.wrapped
+            for info in binary.functions.values()
+            for block in info.blocks
+            for _a, insn in disassemble_range(reader, block.addr, block.addr + block.size)
+            if insn.op == Opcode.MKFP
+        ]
+        assert wrapped_flags and all(wrapped_flags)
+
+
+class TestLoader:
+    def test_maps_all_sections(self, tiny):
+        space = AddressSpace()
+        load_binary(tiny.binary, space)
+        for section in tiny.binary.sections.values():
+            assert space.read(section.addr, len(section.data)) == section.data
+            assert space.region_at(section.addr).executable == section.executable
+
+    def test_rejects_codeless_binary(self):
+        from repro.binary.binaryfile import Binary, Section
+
+        binary = Binary(name="empty")
+        binary.sections[".data"] = Section(name=".data", addr=0x1000, data=b"\0" * 8)
+        with pytest.raises(LoaderError):
+            load_binary(binary, AddressSpace())
+
+    def test_double_load_conflicts(self, tiny):
+        space = AddressSpace()
+        load_binary(tiny.binary, space)
+        with pytest.raises(LoaderError):
+            load_binary(tiny.binary, space)
+
+
+class TestFpInvariantChecker:
+    def test_clean_process_passes(self, tiny):
+        proc = tiny.process()
+        proc.run(max_transactions=20)
+        require_fp_invariant(proc)
+
+    def test_detects_generation_pointer(self, tiny_fresh):
+        proc = tiny_fresh.process()
+        # simulate a missed instrumentation: a slot pointing into a
+        # BOLT-generation address band
+        proc.address_space.write_u64(
+            tiny_fresh.binary.fp_slot_addr(2), 0x0200_0040
+        )
+        with pytest.raises(ReplacementError):
+            require_fp_invariant(proc)

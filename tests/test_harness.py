@@ -1,0 +1,124 @@
+"""Tests for the harness runner, reporting, and small-scale experiment
+mechanics (the full-size drivers run in benchmarks/)."""
+
+import pytest
+
+from repro.harness.reporting import format_series, format_table
+from repro.harness.runner import (
+    Measurement,
+    bolt_oracle_binary,
+    collect_profile,
+    launch,
+    link_original,
+    measure,
+    pgo_oracle_binary,
+    run_ocolos_pipeline,
+)
+from repro.core.orchestrator import OcolosConfig
+
+
+QUICK = OcolosConfig(profile_seconds=0.02, perf_period=400, background_sim_cap_seconds=0.05)
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.2345], ["longer", 10_000.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.234" in text or "1.235" in text
+        assert "10,000" in text
+
+    def test_format_series(self):
+        text = format_series("x", ["y"], [[1, 2.0], [2, 4.0]])
+        assert "x" in text and "y" in text
+
+
+class TestRunner:
+    def test_link_original_cached(self, small_server):
+        a = link_original(small_server)
+        b = link_original(small_server)
+        assert a is b
+
+    def test_launch_and_measure(self, small_server, small_inputs):
+        proc = launch(small_server, small_inputs["readish"], seed=2)
+        m = measure(proc, transactions=150, warmup=100)
+        assert isinstance(m, Measurement)
+        assert m.tps > 0
+        assert m.counters.transactions >= 150
+        assert m.input_name == "readish"
+
+    def test_collect_profile_nonempty(self, small_server, small_inputs):
+        profile, stats = collect_profile(
+            small_server, small_inputs["readish"], seconds=0.03, period=400
+        )
+        assert not profile.is_empty()
+        assert stats.samples > 0
+
+    def test_bolt_oracle_binary(self, small_server, small_inputs):
+        result = bolt_oracle_binary(
+            small_server, small_inputs["readish"], seconds=0.03
+        )
+        assert result.binary.bolted
+        proc = launch(
+            small_server,
+            small_inputs["readish"],
+            binary=result.binary,
+            seed=2,
+            with_agent=False,
+        )
+        m = measure(proc, transactions=100, warmup=50)
+        assert m.tps > 0
+
+    def test_pgo_oracle_binary(self, small_server, small_inputs):
+        binary = pgo_oracle_binary(small_server, small_inputs["readish"], seconds=0.03)
+        assert not binary.bolted
+        proc = launch(
+            small_server,
+            small_inputs["readish"],
+            binary=binary,
+            seed=2,
+            with_agent=False,
+        )
+        m = measure(proc, transactions=100, warmup=50)
+        assert m.tps > 0
+
+    def test_full_ocolos_pipeline(self, small_server, small_inputs):
+        process, ocolos, report = run_ocolos_pipeline(
+            small_server, small_inputs["readish"], config=QUICK
+        )
+        assert report.generation == 1
+        assert process.replacement_generation == 1
+        m = measure(process, transactions=100, warmup=100)
+        assert m.tps > 0
+
+
+class TestEndToEndShape:
+    """The small server should already show the qualitative paper shapes."""
+
+    def test_ocolos_improves_frontend_metrics(self, small_server, small_inputs):
+        spec = small_inputs["readish"]
+        p0 = launch(small_server, spec, seed=4, with_agent=False)
+        base = measure(p0, transactions=300, warmup=200)
+        process, _oc, _rep = run_ocolos_pipeline(
+            small_server, spec, seed=4, config=QUICK
+        )
+        process.run(max_transactions=400)
+        opt = measure(process, transactions=300, warmup=0)
+        assert opt.counters.taken_branch_pki <= base.counters.taken_branch_pki
+
+    def test_input_shift_midrun_is_handled(self, small_server, small_inputs):
+        """OCOLOS's motivating scenario: the input changes after replacement;
+        a second optimization re-specialises the layout."""
+        process, ocolos, _r1 = run_ocolos_pipeline(
+            small_server, small_inputs["readish"], seed=4, config=QUICK
+        )
+        process.run(max_transactions=200)
+        process.set_input(small_inputs["writish"])
+        process.run(max_transactions=200)
+        r2 = ocolos.optimize_once()
+        assert r2.generation == 2
+        process.run(max_transactions=200)
+        assert process.replacement_generation == 2

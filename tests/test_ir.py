@@ -1,0 +1,163 @@
+"""Tests for the compiler IR and site table."""
+
+import pytest
+
+from repro.compiler.ir import (
+    BasicBlock,
+    CondBr,
+    Halt,
+    IRFunction,
+    Jump,
+    Program,
+    Ret,
+    SiteKind,
+    SiteTable,
+    Switch,
+    VTableSpec,
+)
+from repro.errors import WorkloadError
+from repro.isa.instructions import alu, call, jmp, mkfp
+
+
+def make_function(name="f", n_blocks=2):
+    func = IRFunction(name)
+    for _ in range(n_blocks):
+        func.new_block()
+    for i, block in enumerate(func.blocks):
+        block.terminator = Jump(i + 1) if i + 1 < n_blocks else Ret()
+    return func
+
+
+class TestSiteTable:
+    def test_allocation_is_sequential_and_nonzero(self):
+        table = SiteTable()
+        s1 = table.allocate(SiteKind.BRANCH, "f")
+        s2 = table.allocate(SiteKind.VCALL, "g")
+        assert s1 == 1 and s2 == 2
+
+    def test_info_lookup(self):
+        table = SiteTable()
+        site = table.allocate(SiteKind.SWITCH, "f", n_cases=4)
+        info = table.info(site)
+        assert info.kind == SiteKind.SWITCH
+        assert info.function == "f"
+        assert info.n_cases == 4
+
+    def test_derived_sites_are_cached(self):
+        table = SiteTable()
+        sw = table.allocate(SiteKind.SWITCH, "f", n_cases=3)
+        d1 = table.allocate_derived(sw, 0, "f")
+        d2 = table.allocate_derived(sw, 0, "f")
+        d3 = table.allocate_derived(sw, 1, "f")
+        assert d1 == d2
+        assert d3 != d1
+        assert table.info(d1).derived_from == (sw, 0)
+
+    def test_contains_and_len(self):
+        table = SiteTable()
+        site = table.allocate(SiteKind.BRANCH)
+        assert site in table
+        assert (site + 1) not in table
+        assert len(table) == 1
+
+    def test_by_kind(self):
+        table = SiteTable()
+        b = table.allocate(SiteKind.BRANCH)
+        v = table.allocate(SiteKind.VCALL)
+        assert table.by_kind(SiteKind.BRANCH) == [b]
+        assert table.by_kind(SiteKind.VCALL) == [v]
+
+
+class TestBlocks:
+    def test_successors_cond(self):
+        block = BasicBlock(bb_id=0, terminator=CondBr(site=1, taken=2, fallthrough=1))
+        assert block.successors() == (2, 1)
+
+    def test_successors_switch_dedup(self):
+        block = BasicBlock(bb_id=0, terminator=Switch(site=1, targets=(1, 2, 1)))
+        assert block.successors() == (1, 2)
+
+    def test_successors_ret_halt_empty(self):
+        assert BasicBlock(bb_id=0, terminator=Ret()).successors() == ()
+        assert BasicBlock(bb_id=0, terminator=Halt()).successors() == ()
+
+
+class TestValidation:
+    def test_function_without_blocks_rejected(self):
+        with pytest.raises(WorkloadError):
+            IRFunction("empty").validate()
+
+    def test_block_id_mismatch_rejected(self):
+        func = make_function()
+        func.blocks[1].bb_id = 5
+        with pytest.raises(WorkloadError):
+            func.validate()
+
+    def test_dangling_successor_rejected(self):
+        func = make_function()
+        func.blocks[0].terminator = Jump(9)
+        with pytest.raises(WorkloadError):
+            func.validate()
+
+    def test_control_flow_in_body_rejected(self):
+        func = make_function()
+        func.blocks[0].body = [jmp(1)]
+        with pytest.raises(WorkloadError):
+            func.validate()
+
+    def test_calls_allowed_in_body(self):
+        prog = Program(name="p", entry="f")
+        func = make_function()
+        func.blocks[0].body = [call("f")]
+        prog.add_function(func)
+        prog.validate()
+
+    def test_missing_entry_rejected(self):
+        prog = Program(name="p", entry="nope")
+        prog.add_function(make_function("f"))
+        with pytest.raises(WorkloadError):
+            prog.validate()
+
+    def test_call_to_undefined_function_rejected(self):
+        prog = Program(name="p", entry="f")
+        func = make_function()
+        func.blocks[0].body = [call("ghost")]
+        prog.add_function(func)
+        with pytest.raises(WorkloadError):
+            prog.validate()
+
+    def test_mkfp_of_undefined_function_rejected(self):
+        prog = Program(name="p", entry="f")
+        func = make_function()
+        func.blocks[0].body = [mkfp("ghost", 0)]
+        prog.fp_slot_count = 1
+        prog.add_function(func)
+        with pytest.raises(WorkloadError):
+            prog.validate()
+
+    def test_vtable_slot_must_resolve(self):
+        prog = Program(name="p", entry="f")
+        prog.add_function(make_function())
+        prog.vtables = [VTableSpec(class_id=0, slots=["ghost"])]
+        with pytest.raises(WorkloadError):
+            prog.validate()
+
+    def test_fp_init_slot_range_checked(self):
+        prog = Program(name="p", entry="f")
+        prog.add_function(make_function())
+        prog.fp_slot_count = 1
+        prog.fp_init = {3: "f"}
+        with pytest.raises(WorkloadError):
+            prog.validate()
+
+    def test_duplicate_function_rejected(self):
+        prog = Program(name="p", entry="f")
+        prog.add_function(make_function())
+        with pytest.raises(WorkloadError):
+            prog.add_function(make_function())
+
+    def test_block_count(self):
+        prog = Program(name="p", entry="f")
+        prog.add_function(make_function("f", 3))
+        prog.add_function(make_function("g", 2))
+        assert prog.block_count() == 5

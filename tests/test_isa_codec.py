@@ -1,0 +1,208 @@
+"""Round-trip and byte-level tests for the assembler and disassembler."""
+
+import pytest
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa.assembler import Assembler, encode_instruction, patch_rel32
+from repro.isa.disassembler import decode_instruction, disassemble_range
+from repro.isa.instructions import (
+    INSTRUCTION_SIZES,
+    Instruction,
+    Opcode,
+    alu,
+    br_cond,
+    call,
+    halt,
+    icall,
+    jmp,
+    jtab,
+    load,
+    mkfp,
+    nop,
+    ret,
+    store,
+    syscall,
+    txn_mark,
+    vcall,
+)
+
+
+def roundtrip(insn: Instruction, addr: int = 0x1000, resolver=None):
+    encoded = encode_instruction(insn, addr, resolver or {})
+    assert len(encoded) == insn.size
+    reader = lambda a, n: encoded[a - addr : a - addr + n]
+    return decode_instruction(reader, addr)
+
+
+@pytest.mark.parametrize(
+    "insn",
+    [
+        nop(),
+        alu(5),
+        load(3),
+        store(1),
+        txn_mark(2),
+        ret(),
+        halt(),
+        syscall(7),
+        icall(44),
+        vcall(17, 3),
+    ],
+)
+def test_roundtrip_simple(insn):
+    decoded = roundtrip(insn)
+    assert decoded.op == insn.op
+    assert decoded.site == insn.site
+    assert decoded.weight == insn.weight
+    assert decoded.slot == insn.slot
+
+
+def test_roundtrip_br_cond_resolves_target():
+    decoded = roundtrip(br_cond(12, 0x2000), addr=0x1000)
+    assert decoded.op == Opcode.BR_COND
+    assert decoded.site == 12
+    assert decoded.target == 0x2000
+    assert not decoded.invert
+
+
+def test_roundtrip_br_cond_invert_flag():
+    decoded = roundtrip(br_cond(12, 0x800, invert=True), addr=0x1000)
+    assert decoded.invert
+    assert decoded.site == 12
+    assert decoded.target == 0x800  # backwards branch
+
+
+def test_br_cond_site_limit():
+    with pytest.raises(EncodingError):
+        encode_instruction(br_cond(0x8000, 0x2000), 0x1000)
+
+
+def test_roundtrip_call_negative_displacement():
+    decoded = roundtrip(call(0x100), addr=0x5000)
+    assert decoded.target == 0x100
+
+
+def test_roundtrip_jmp():
+    decoded = roundtrip(jmp(0x123456), addr=0x1000)
+    assert decoded.target == 0x123456
+
+
+def test_roundtrip_jtab_absolute_table():
+    decoded = roundtrip(jtab(3, 0x0800_0010), addr=0x1000)
+    assert decoded.op == Opcode.JTAB
+    assert decoded.target == 0x0800_0010
+
+
+def test_roundtrip_mkfp():
+    decoded = roundtrip(mkfp(0x40_0040, 9, wrapped=True), addr=0x1000)
+    assert decoded.target == 0x40_0040
+    assert decoded.slot == 9
+    assert decoded.wrapped
+
+
+def test_symbolic_resolution_through_mapping():
+    encoded = encode_instruction(call("callee"), 0x1000, {"callee": 0x9000})
+    reader = lambda a, n: encoded[a - 0x1000 : a - 0x1000 + n]
+    assert decode_instruction(reader, 0x1000).target == 0x9000
+
+
+def test_unresolved_symbol_raises():
+    with pytest.raises(EncodingError):
+        encode_instruction(call("missing"), 0x1000, {})
+
+
+def test_missing_target_raises():
+    with pytest.raises(EncodingError):
+        encode_instruction(Instruction(Opcode.CALL), 0x1000, {})
+
+
+def test_rel32_out_of_range():
+    with pytest.raises(EncodingError):
+        encode_instruction(call(2**33), 0x1000, {})
+
+
+def test_mkfp_u32_out_of_range():
+    with pytest.raises(EncodingError):
+        encode_instruction(mkfp(2**32, 0), 0x1000, {})
+
+
+def test_decode_invalid_opcode():
+    data = bytes([0xEE])
+    with pytest.raises(DecodingError):
+        decode_instruction(lambda a, n: data[a : a + n], 0)
+
+
+def test_patch_rel32_retargets_call():
+    code = bytearray(encode_instruction(call(0x2000), 0x1000, {}))
+    patch_rel32(code, 0, 0x1000, 0x7000)
+    reader = lambda a, n: bytes(code[a - 0x1000 : a - 0x1000 + n])
+    assert decode_instruction(reader, 0x1000).target == 0x7000
+
+
+def test_patch_rel32_preserves_opcode_and_size():
+    code = bytearray(encode_instruction(jmp(0x2000), 0x1000, {}))
+    before = code[0]
+    patch_rel32(code, 0, 0x1000, 0x3000)
+    assert code[0] == before
+    assert len(code) == INSTRUCTION_SIZES[Opcode.JMP]
+
+
+def test_patch_rel32_rejects_non_branch():
+    code = bytearray(encode_instruction(alu(), 0x1000, {}))
+    with pytest.raises(EncodingError):
+        patch_rel32(code, 0, 0x1000, 0x3000)
+
+
+def test_assembler_sequential_layout():
+    asm = Assembler(base=0x2000)
+    a1 = asm.emit(alu())
+    a2 = asm.emit(load(1))
+    a3 = asm.emit(ret())
+    assert (a1, a2) == (0x2000, 0x2004)
+    assert a3 == 0x2008
+    image = asm.finish({})
+    assert len(image) == 9
+
+
+def test_assembler_emit_all_and_cursor():
+    asm = Assembler(base=0)
+    asm.emit_all([alu(), alu(), ret()])
+    assert asm.cursor == 9
+
+
+def test_assembler_resolves_forward_reference():
+    asm = Assembler(base=0x100)
+    asm.emit(jmp("end"))
+    end = asm.emit(ret())
+    image = asm.finish({"end": end})
+    reader = lambda a, n: image[a - 0x100 : a - 0x100 + n]
+    assert decode_instruction(reader, 0x100).target == end
+
+
+def test_disassemble_range_linear():
+    asm = Assembler(base=0x100)
+    asm.emit_all([alu(), load(2), br_cond(3, 0x100), ret()])
+    image = asm.finish({})
+    reader = lambda a, n: image[a - 0x100 : a - 0x100 + n]
+    decoded = disassemble_range(reader, 0x100, 0x100 + len(image))
+    assert [i.op for _a, i in decoded] == [
+        Opcode.ALU,
+        Opcode.LOAD,
+        Opcode.BR_COND,
+        Opcode.RET,
+    ]
+    assert decoded[2][1].target == 0x100
+
+
+def test_disassemble_range_rejects_crossing_end():
+    image = encode_instruction(call(0x500), 0x100, {})
+    reader = lambda a, n: image[a - 0x100 : a - 0x100 + n]
+    with pytest.raises(DecodingError):
+        disassemble_range(reader, 0x100, 0x102)
+
+
+def test_nop_padding_decodes():
+    image = bytes(4) + encode_instruction(ret(), 0x104, {})
+    reader = lambda a, n: image[a - 0x100 : a - 0x100 + n]
+    decoded = disassemble_range(reader, 0x100, 0x105)
+    assert [i.op for _a, i in decoded] == [Opcode.NOP] * 4 + [Opcode.RET]

@@ -1,0 +1,114 @@
+"""Unit tests for instruction definitions."""
+
+import pytest
+
+from repro.isa.instructions import (
+    INSTRUCTION_SIZES,
+    Opcode,
+    TERMINATORS,
+    alu,
+    br_cond,
+    call,
+    halt,
+    icall,
+    jmp,
+    jtab,
+    load,
+    mkfp,
+    nop,
+    ret,
+    store,
+    syscall,
+    txn_mark,
+    vcall,
+)
+
+
+def test_every_opcode_has_a_size():
+    for op in Opcode:
+        assert op in INSTRUCTION_SIZES
+        assert INSTRUCTION_SIZES[op] >= 1
+
+
+def test_opcode_values_are_unique():
+    values = [int(op) for op in Opcode]
+    assert len(values) == len(set(values))
+
+
+@pytest.mark.parametrize(
+    "factory,op",
+    [
+        (nop, Opcode.NOP),
+        (alu, Opcode.ALU),
+        (load, Opcode.LOAD),
+        (store, Opcode.STORE),
+        (txn_mark, Opcode.TXN_MARK),
+        (ret, Opcode.RET),
+        (halt, Opcode.HALT),
+        (syscall, Opcode.SYSCALL),
+    ],
+)
+def test_simple_factories(factory, op):
+    insn = factory()
+    assert insn.op == op
+    assert insn.size == INSTRUCTION_SIZES[op]
+
+
+def test_branch_factory_fields():
+    insn = br_cond(7, "f#3", invert=True)
+    assert insn.op == Opcode.BR_COND
+    assert insn.site == 7
+    assert insn.target == "f#3"
+    assert insn.invert
+
+
+def test_call_and_jmp_targets():
+    assert call("f").target == "f"
+    assert jmp(0x1000).target == 0x1000
+
+
+def test_vcall_fields():
+    insn = vcall(9, 2)
+    assert insn.site == 9
+    assert insn.slot == 2
+
+
+def test_icall_site():
+    assert icall(4).site == 4
+
+
+def test_jtab_table_target():
+    insn = jtab(3, "jt.f#0")
+    assert insn.target == "jt.f#0"
+
+
+def test_mkfp_fields():
+    insn = mkfp("callee", 5, wrapped=True)
+    assert insn.slot == 5
+    assert insn.target == "callee"
+    assert insn.wrapped
+
+
+def test_terminator_classification():
+    assert br_cond(1, 0).is_terminator
+    assert jmp(0).is_terminator
+    assert ret().is_terminator
+    assert halt().is_terminator
+    assert call("f").is_terminator  # call ends a decode run
+    assert not alu().is_terminator
+    assert not mkfp("f", 0).is_terminator
+    assert not txn_mark().is_terminator
+
+
+def test_terminator_set_contents():
+    assert Opcode.SYSCALL not in TERMINATORS  # decode-run boundary, not CFG
+    assert Opcode.JTAB in TERMINATORS
+
+
+def test_load_store_memory_class():
+    assert load(3).weight == 3
+    assert store(2).weight == 2
+
+
+def test_alu_weight_default_zero():
+    assert alu().weight == 0

@@ -1,0 +1,107 @@
+"""Tests for the clang-PGO model: lossy mapping and layout quality ordering."""
+
+import pytest
+
+from repro.bolt.optimizer import run_bolt
+from repro.compiler.pgo import compile_with_pgo, degrade_profile, pgo_layout
+from repro.errors import ProfileError
+from repro.profiling.perf import PerfSession
+from repro.profiling.perf2bolt import extract_profile
+from repro.profiling.profile import BoltProfile
+from repro.vm.process import Process
+
+
+@pytest.fixture(scope="module")
+def tiny_profile(tiny):
+    proc = tiny.process()
+    proc.run(max_transactions=50)
+    session = PerfSession(period=300, overhead=0.0)
+    session.attach(proc)
+    proc.run(max_instructions=80_000)
+    session.detach()
+    profile, _ = extract_profile(session.samples, tiny.binary)
+    return profile
+
+
+class TestDegradation:
+    def test_preserves_structure(self, tiny_profile):
+        degraded = degrade_profile(tiny_profile)
+        assert set(degraded.block_counts) == set(tiny_profile.block_counts)
+        assert set(degraded.branch_edges) == set(tiny_profile.branch_edges)
+        assert degraded.call_edges == tiny_profile.call_edges
+
+    def test_changes_edge_weights(self, tiny_profile):
+        degraded = degrade_profile(tiny_profile, fidelity=0.3)
+        changed = sum(
+            1
+            for k in tiny_profile.branch_edges
+            if degraded.branch_edges[k] != tiny_profile.branch_edges[k]
+        )
+        assert changed > 0
+
+    def test_full_fidelity_changes_less(self, tiny_profile):
+        near = degrade_profile(tiny_profile, fidelity=0.98)
+        far = degrade_profile(tiny_profile, fidelity=0.1)
+
+        def distance(p):
+            return sum(
+                abs(p.branch_edges[k] - tiny_profile.branch_edges[k])
+                for k in tiny_profile.branch_edges
+            )
+
+        assert distance(near) < distance(far)
+
+    def test_deterministic(self, tiny_profile):
+        a = degrade_profile(tiny_profile, seed=5)
+        b = degrade_profile(tiny_profile, seed=5)
+        assert a.branch_edges == b.branch_edges
+
+    def test_counts_smeared_within_groups(self, tiny_profile):
+        degraded = degrade_profile(tiny_profile, group=100)  # whole function
+        by_func = {}
+        for label, count in degraded.block_counts.items():
+            func = label.rsplit("#", 1)[0]
+            by_func.setdefault(func, set()).add(count)
+        # within a giant group all blocks of a function share one count
+        assert all(len(v) == 1 for v in by_func.values())
+
+
+class TestPgoCompile:
+    def test_layout_covers_whole_program(self, tiny, tiny_profile):
+        layout = pgo_layout(tiny.program, tiny_profile)
+        placed = set()
+        for section in layout.sections:
+            for frag in section.fragments:
+                placed.add(frag.function)
+        assert placed == set(tiny.program.functions)
+
+    def test_single_text_section(self, tiny, tiny_profile):
+        binary = compile_with_pgo(tiny.program, tiny_profile, tiny.options)
+        assert not binary.bolted
+        code = binary.code_sections()
+        assert len(code) == 1 and code[0].name == ".text"
+
+    def test_empty_profile_rejected(self, tiny):
+        with pytest.raises(ProfileError):
+            pgo_layout(tiny.program, BoltProfile())
+
+    def test_pgo_binary_runs(self, tiny, tiny_profile):
+        binary = compile_with_pgo(tiny.program, tiny_profile, tiny.options)
+        proc = Process(binary, tiny.program, tiny.input_spec(), n_threads=2, seed=9)
+        delta = proc.run(max_transactions=200)
+        assert delta.transactions >= 200
+
+    def test_quality_order_bolt_geq_pgo(self, tiny, tiny_profile):
+        """With the same oracle profile, BOLT should not lose to PGO (the
+        paper's consistent finding)."""
+        bolt = run_bolt(tiny.program, tiny.binary, tiny_profile,
+                        compiler_options=tiny.options)
+        pgo = compile_with_pgo(tiny.program, tiny_profile, tiny.options)
+        spec = tiny.input_spec()
+        p_bolt = Process(bolt.binary, tiny.program, spec, n_threads=2, seed=9)
+        p_pgo = Process(pgo, tiny.program, spec, n_threads=2, seed=9)
+        p_bolt.run(max_transactions=150)
+        p_pgo.run(max_transactions=150)
+        d_bolt = p_bolt.run(max_transactions=400)
+        d_pgo = p_pgo.run(max_transactions=400)
+        assert p_bolt.throughput_tps(d_bolt) >= p_pgo.throughput_tps(d_pgo) * 0.9

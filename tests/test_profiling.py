@@ -1,0 +1,170 @@
+"""Tests for LBR sampling, perf sessions, perf2bolt aggregation and the
+stage-1 DMon check."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiling.dmon import diagnose_frontend
+from repro.profiling.perf import PerfSession, profile_for_duration
+from repro.profiling.perf2bolt import extract_profile
+from repro.profiling.profile import BlockSpanIndex, BoltProfile
+
+
+class TestPerfSession:
+    def test_attach_enables_lbr(self, tiny):
+        proc = tiny.process()
+        session = PerfSession(period=500)
+        session.attach(proc)
+        assert proc.lbr_enabled
+        session.detach()
+        assert not proc.lbr_enabled
+
+    def test_double_attach_rejected(self, tiny):
+        proc = tiny.process()
+        s1 = PerfSession()
+        s1.attach(proc)
+        with pytest.raises(ProfileError):
+            PerfSession().attach(proc)
+        with pytest.raises(ProfileError):
+            s1.attach(proc)
+        s1.detach()
+
+    def test_detach_without_attach_rejected(self):
+        with pytest.raises(ProfileError):
+            PerfSession().detach()
+
+    def test_samples_collected_with_period(self, tiny):
+        proc = tiny.process()
+        session = PerfSession(period=400, overhead=0.0)
+        session.attach(proc)
+        proc.run(max_instructions=20_000)
+        session.detach()
+        assert session.sample_count >= 20
+        assert session.record_count <= session.sample_count * 32
+
+    def test_overhead_charged(self, tiny):
+        base = tiny.process(seed=3)
+        base.run(max_instructions=20_000)
+        idle_free = base.counters_total().cyc_idle
+
+        proc = tiny.process(seed=3)
+        session = PerfSession(period=400, overhead=0.25)
+        session.attach(proc)
+        proc.run(max_instructions=20_000)
+        session.detach()
+        assert proc.counters_total().cyc_idle > idle_free
+
+    def test_profile_for_duration_detaches(self, tiny):
+        proc = tiny.process()
+        session = profile_for_duration(proc, 0.02, period=400)
+        assert not proc.lbr_enabled
+        assert session.sample_count > 0
+
+
+class TestPerf2Bolt:
+    @pytest.fixture()
+    def session(self, tiny):
+        proc = tiny.process()
+        proc.run(max_transactions=50)
+        session = PerfSession(period=300, overhead=0.0)
+        session.attach(proc)
+        proc.run(max_instructions=60_000)
+        session.detach()
+        return session
+
+    def test_profile_maps_to_blocks(self, tiny, session):
+        profile, stats = extract_profile(session.samples, tiny.binary)
+        assert not profile.is_empty()
+        assert stats.resolved_records > 0
+        index = tiny.binary.block_index()
+        for label in profile.block_counts:
+            assert label in index
+
+    def test_hot_functions_ranked(self, tiny, session):
+        profile, _ = extract_profile(session.samples, tiny.binary)
+        hot = profile.hot_functions()
+        assert "main" in hot
+        counts = [
+            sum(profile.function_block_counts(f).values()) for f in hot
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_call_graph_edges(self, tiny, session):
+        profile, _ = extract_profile(session.samples, tiny.binary)
+        callers_of_helper2 = [
+            a for (a, b) in profile.call_edges if b == "helper2"
+        ]
+        assert "main" in callers_of_helper2
+
+    def test_fallthrough_reconstruction(self, tiny, session):
+        profile, _ = extract_profile(session.samples, tiny.binary)
+        assert profile.fallthrough_edges  # linear paths between records
+
+    def test_function_edges_by_id(self, tiny, session):
+        profile, _ = extract_profile(session.samples, tiny.binary)
+        edges = profile.function_edges("helper2")
+        for (src, dst) in edges:
+            assert 0 <= src < 4 and 0 <= dst < 4
+
+    def test_mismatched_binary_rejected(self, tiny, session):
+        from repro.binary.linker import link_program
+        from repro.compiler.layout import source_order_layout
+
+        # relink at a shifted base: old addresses resolve nowhere
+        shifted = link_program(
+            tiny.program,
+            source_order_layout(tiny.program, base=0x0300_0000),
+            tiny.options,
+            name="shifted",
+        )
+        with pytest.raises(ProfileError):
+            extract_profile(session.samples, shifted)
+
+
+class TestBoltProfileType:
+    def test_merge_accumulates(self):
+        a = BoltProfile(block_counts={"f#0": 2}, sample_count=1)
+        b = BoltProfile(block_counts={"f#0": 3, "g#0": 1}, sample_count=2)
+        a.merge(b)
+        assert a.block_counts == {"f#0": 5, "g#0": 1}
+        assert a.sample_count == 3
+
+    def test_scaled(self):
+        p = BoltProfile(block_counts={"f#0": 10}, branch_edges={("f#0", "f#1"): 4})
+        half = p.scaled(0.5)
+        assert half.block_counts["f#0"] == 5
+        assert half.branch_edges[("f#0", "f#1")] == 2
+
+    def test_block_span_index(self, tiny):
+        index = BlockSpanIndex(tiny.binary)
+        info = tiny.binary.functions["helper0"]
+        block = info.blocks[0]
+        assert index.label_at(block.addr) == block.label
+        mid = block.addr + block.size // 2
+        assert index.label_at(mid) == block.label
+        assert index.label_at(0) is None
+
+    def test_labels_between(self, tiny):
+        index = BlockSpanIndex(tiny.binary)
+        info = tiny.binary.functions["helper0"]
+        lo = info.blocks[0].addr
+        hi = info.blocks[-1].addr
+        labels = index.labels_between(lo, hi)
+        assert labels[0] == info.blocks[0].label
+        assert info.blocks[-1].label in labels
+        assert index.labels_between(hi, lo) == []
+
+
+class TestDmon:
+    def test_diagnosis_fields(self, tiny):
+        proc = tiny.process()
+        diag = diagnose_frontend(proc, window_instructions=20_000)
+        assert 0 <= diag.topdown.frontend_latency <= 100
+        assert diag.should_optimize == diag.frontend_bound
+
+    def test_threshold_extremes(self, tiny):
+        proc = tiny.process()
+        assert diagnose_frontend(proc, window_instructions=5_000, threshold=0.0).should_optimize
+        assert not diagnose_frontend(
+            proc, window_instructions=5_000, threshold=101.0
+        ).should_optimize

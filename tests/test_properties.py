@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bolt.bb_reorder import chain_layout_score, reorder_blocks
+from repro.bolt.func_reorder import c3_order, pettis_hansen_order
+from repro.isa.assembler import encode_instruction, patch_rel32
+from repro.isa.disassembler import decode_instruction
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    br_cond,
+    call,
+    jmp,
+    jtab,
+    mkfp,
+)
+from repro.uarch.cache import SetAssociativeCache
+from repro.uarch.perfcounters import PerfCounters
+from repro.uarch.topdown import topdown_from_counters
+from repro.workloads.inputs import InputSpec, merge_input_specs
+
+# keep all addresses within one rel32 displacement of each other
+addr_st = st.integers(min_value=0x1000, max_value=0x7FFF_F000)
+site_st = st.integers(min_value=0, max_value=0x7FFF)
+
+
+class TestCodecProperties:
+    @given(site=site_st, base=addr_st, target=addr_st, invert=st.booleans())
+    @settings(max_examples=200)
+    def test_br_cond_roundtrip(self, site, base, target, invert):
+        insn = br_cond(site, target, invert=invert)
+        encoded = encode_instruction(insn, base, {})
+        decoded = decode_instruction(lambda a, n: encoded[a - base : a - base + n], base)
+        assert decoded.site == site
+        assert decoded.target == target
+        assert decoded.invert == invert
+
+    @given(base=addr_st, target=addr_st)
+    @settings(max_examples=200)
+    def test_call_roundtrip(self, base, target):
+        encoded = encode_instruction(call(target), base, {})
+        decoded = decode_instruction(lambda a, n: encoded[a - base : a - base + n], base)
+        assert decoded.target == target
+
+    @given(base=addr_st, t1=addr_st, t2=addr_st)
+    @settings(max_examples=200)
+    def test_patch_rel32_then_decode(self, base, t1, t2):
+        code = bytearray(encode_instruction(jmp(t1), base, {}))
+        patch_rel32(code, 0, base, t2)
+        decoded = decode_instruction(
+            lambda a, n: bytes(code[a - base : a - base + n]), base
+        )
+        assert decoded.target == t2
+
+    @given(
+        func=st.integers(min_value=0, max_value=2**32 - 1),
+        slot=st.integers(min_value=0, max_value=0xFFFF),
+        wrapped=st.booleans(),
+        base=addr_st,
+    )
+    @settings(max_examples=200)
+    def test_mkfp_roundtrip(self, func, slot, wrapped, base):
+        encoded = encode_instruction(mkfp(func, slot, wrapped), base, {})
+        decoded = decode_instruction(lambda a, n: encoded[a - base : a - base + n], base)
+        assert (decoded.target, decoded.slot, decoded.wrapped) == (func, slot, wrapped)
+
+
+class TestCacheProperties:
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=300),
+        ways=st.sampled_from([1, 2, 4, 8]),
+        n_sets=st.sampled_from([1, 2, 8, 64]),
+    )
+    @settings(max_examples=100)
+    def test_counters_consistent(self, lines, ways, n_sets):
+        cache = SetAssociativeCache(n_sets=n_sets, ways=ways)
+        for line in lines:
+            cache.access(line)
+        assert cache.hits + cache.misses == len(lines)
+        assert cache.resident_lines() <= n_sets * ways
+
+    @given(lines=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_second_pass_within_capacity_all_hits(self, lines):
+        distinct = list(dict.fromkeys(lines))
+        if len(distinct) > 8:
+            distinct = distinct[:8]
+        cache = SetAssociativeCache(n_sets=1, ways=8)
+        for line in distinct:
+            cache.access(line)
+        before = cache.misses
+        for line in distinct:
+            assert cache.access(line)
+        assert cache.misses == before
+
+
+class TestReorderProperties:
+    edges_st = st.dictionaries(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)),
+        st.integers(min_value=1, max_value=1000),
+        max_size=30,
+    )
+
+    @given(edges=edges_st, n=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=150)
+    def test_reorder_is_permutation_with_entry_first(self, edges, n):
+        edges = {k: v for k, v in edges.items() if k[0] < n and k[1] < n}
+        order = reorder_blocks(n, edges, {})
+        assert sorted(order) == list(range(n))
+        assert order[0] == 0
+
+    @given(edges=edges_st, n=st.integers(min_value=2, max_value=12))
+    @settings(max_examples=150)
+    def test_reorder_never_worse_than_source_order(self, edges, n):
+        edges = {k: v for k, v in edges.items() if k[0] < n and k[1] < n and k[0] != k[1]}
+        counts = {b: 1 for b in range(n)}
+        optimized = reorder_blocks(n, edges, counts)
+        source = list(range(n))
+        assert chain_layout_score(optimized, edges) >= chain_layout_score(source, edges) or (
+            # greedy chaining is near-optimal but not provably optimal; allow
+            # ties within the heaviest single edge weight
+            chain_layout_score(source, edges) - chain_layout_score(optimized, edges)
+            <= max(edges.values(), default=0)
+        )
+
+    @given(
+        hotness=st.dictionaries(
+            st.sampled_from([f"f{i}" for i in range(8)]),
+            st.integers(min_value=0, max_value=100),
+            min_size=1,
+        ),
+        calls=st.dictionaries(
+            st.tuples(
+                st.sampled_from([f"f{i}" for i in range(8)]),
+                st.sampled_from([f"f{i}" for i in range(8)]),
+            ),
+            st.integers(min_value=1, max_value=50),
+            max_size=16,
+        ),
+    )
+    @settings(max_examples=150)
+    def test_function_orders_are_permutations(self, hotness, calls):
+        for order in (c3_order(hotness, calls), pettis_hansen_order(hotness, calls)):
+            assert sorted(order) == sorted(hotness)
+
+
+class TestTopDownProperties:
+    @given(
+        base=st.floats(min_value=0, max_value=1000),
+        l1i=st.floats(min_value=0, max_value=1000),
+        taken=st.floats(min_value=0, max_value=1000),
+        badspec=st.floats(min_value=0, max_value=1000),
+        backend=st.floats(min_value=0, max_value=1000),
+        idle=st.floats(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=200)
+    def test_buckets_sum_to_100_over_busy(self, base, l1i, taken, badspec, backend, idle):
+        busy = base + l1i + taken + badspec + backend
+        if busy < 1e-6 * max(1.0, idle):
+            return  # busy time below float resolution next to idle time
+        c = PerfCounters(
+            cycles=busy + idle,
+            cyc_base=base,
+            cyc_l1i=l1i,
+            cyc_taken=taken,
+            cyc_badspec=badspec,
+            cyc_backend=backend,
+            cyc_idle=idle,
+        )
+        td = topdown_from_counters(c)
+        total = td.retiring + td.frontend_bound + td.bad_speculation + td.backend_bound
+        assert abs(total - 100.0) < 0.01  # cancellation tolerance (cycles - idle)
+        assert 0 <= td.frontend_latency <= td.frontend_bound + 1e-9
+
+
+class TestInputMergeProperties:
+    @given(
+        biases=st.lists(
+            st.dictionaries(
+                st.integers(min_value=1, max_value=20),
+                st.floats(min_value=0.0, max_value=1.0),
+                min_size=1,
+                max_size=10,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100)
+    def test_merged_bias_within_bounds(self, biases):
+        specs = [InputSpec(name=f"i{k}", branch_bias=b) for k, b in enumerate(biases)]
+        merged = merge_input_specs("all", specs)
+        for site, p in merged.branch_bias.items():
+            values = [s.branch_bias.get(site, s.default_branch_bias) for s in specs]
+            assert min(values) - 1e-9 <= p <= max(values) + 1e-9

@@ -1,0 +1,132 @@
+"""Tests for the ptrace controller, stack unwinding and the preload agent."""
+
+import pytest
+
+from repro.errors import PtraceError, ReplacementError
+from repro.vm.preload import PreloadAgent
+from repro.vm.ptrace import PtraceController, Registers
+from repro.vm.unwind import (
+    AddressIndex,
+    live_code_pointers,
+    stack_live_functions,
+    stack_return_addresses,
+)
+
+
+class TestPtrace:
+    def test_pause_resume_cycle(self, tiny):
+        proc = tiny.process()
+        pt = PtraceController(proc)
+        assert not pt.stopped
+        pt.pause()
+        assert pt.stopped and proc.paused
+        pt.resume()
+        assert not proc.paused
+
+    def test_double_pause_rejected(self, tiny):
+        proc = tiny.process()
+        pt = PtraceController(proc)
+        pt.pause()
+        with pytest.raises(PtraceError):
+            pt.pause()
+
+    def test_resume_without_pause_rejected(self, tiny):
+        pt = PtraceController(tiny.process())
+        with pytest.raises(PtraceError):
+            pt.resume()
+
+    def test_memory_access_requires_stop(self, tiny):
+        pt = PtraceController(tiny.process())
+        with pytest.raises(PtraceError):
+            pt.read_memory(0x40_0000, 4)
+        with pytest.raises(PtraceError):
+            pt.write_u64(0x40_0000, 0)
+
+    def test_regs_roundtrip(self, tiny):
+        proc = tiny.process()
+        proc.run(max_transactions=5)
+        pt = PtraceController(proc)
+        pt.pause()
+        regs = pt.get_regs(0)
+        assert regs.pc == proc.threads[0].pc
+        pt.set_regs(0, Registers(pc=regs.pc, sp=regs.sp - 8))
+        assert proc.threads[0].sp == regs.sp - 8
+        pt.set_regs(0, regs)
+        pt.resume()
+
+    def test_traffic_accounting(self, tiny):
+        proc = tiny.process()
+        pt = PtraceController(proc)
+        pt.pause()
+        pt.read_memory(0x40_0000, 16)
+        pt.write_memory(0x40_0000, proc.address_space.read(0x40_0000, 4))
+        pt.read_u64(0x40_0000)
+        pt.write_u64(0xC00_0000, proc.address_space.read_u64(0xC00_0000))
+        assert pt.peek_calls == 2
+        assert pt.poke_calls == 2
+        assert pt.bytes_read == 24
+        assert pt.bytes_written == 12
+        pt.resume()
+
+
+class TestUnwind:
+    def test_stack_return_addresses_match_depth(self, tiny):
+        proc = tiny.process(n_threads=1)
+        proc.run(max_instructions=333)
+        thread = proc.threads[0]
+        rets = stack_return_addresses(proc, thread)
+        assert len(rets) == thread.stack_depth
+
+    def test_live_code_pointers_include_pcs(self, tiny):
+        proc = tiny.process(n_threads=2)
+        proc.run(max_transactions=10)
+        pointers = live_code_pointers(proc)
+        kinds = {k for _a, k in pointers}
+        assert "pc" in kinds
+
+    def test_address_index_resolves_blocks(self, tiny):
+        index = AddressIndex([tiny.binary])
+        for name, info in tiny.binary.functions.items():
+            for block in info.blocks:
+                assert index.resolve(block.addr) == (tiny.binary.name, name)
+                assert index.resolve(block.addr + block.size - 1) == (
+                    tiny.binary.name,
+                    name,
+                )
+
+    def test_address_index_rejects_gaps(self, tiny):
+        index = AddressIndex([tiny.binary])
+        assert index.resolve(0) is None
+        assert index.resolve(0xFFFF_FFFF) is None
+
+    def test_stack_live_functions_contains_main(self, tiny):
+        proc = tiny.process()
+        proc.run(max_transactions=20)
+        live = stack_live_functions(proc, AddressIndex([tiny.binary]))
+        assert "main" in live
+        # every live function is a real function name
+        assert live <= set(tiny.binary.functions)
+
+
+class TestPreload:
+    def test_agent_registered_once(self, tiny):
+        proc = tiny.process(with_agent=False)
+        agent = PreloadAgent(proc)
+        assert PreloadAgent.of(proc) is agent
+        with pytest.raises(ReplacementError):
+            PreloadAgent(proc)
+
+    def test_missing_agent_raises(self, tiny):
+        proc = tiny.process(with_agent=False)
+        with pytest.raises(ReplacementError):
+            PreloadAgent.of(proc)
+
+    def test_map_and_copy(self, tiny):
+        proc = tiny.process()
+        agent = PreloadAgent.of(proc)
+        agent.map_region(0x0200_0000, 64, name="test")
+        agent.copy_into(0x0200_0000, b"\x01\x02\x03")
+        assert proc.address_space.read(0x0200_0000, 3) == b"\x01\x02\x03"
+        assert agent.bytes_copied == 3
+        assert agent.regions_mapped == 1
+        assert agent.copy_calls == 1

@@ -1,0 +1,146 @@
+"""Tests for setjmp/longjmp: ISA semantics, thread-locality, interaction with
+code replacement (paper §III-B lists saved continuations among the pointer
+hazards; §IV-A notes C_0 preservation handles them for free; continuous
+optimization must rewrite them like return addresses)."""
+
+import pytest
+
+from repro.binary.linker import link_program
+from repro.compiler.codegen import CompilerOptions
+from repro.compiler.ir import CondBr, IRFunction, Jump, Program, Ret, SiteKind
+from repro.errors import ExecutionError
+from repro.isa.instructions import alu, call, longjmp, setjmp, txn_mark
+from repro.vm.process import Process
+from repro.workloads.inputs import InputSpec
+
+
+def jmpbuf_program(error_p=0.3):
+    """main loops: setjmp; call worker; worker may longjmp back."""
+    prog = Program(name="sj", entry="main", jmpbuf_count=2)
+    worker = IRFunction("worker")
+    w0 = worker.new_block()
+    w_err = worker.new_block()
+    w_ok = worker.new_block()
+    site = prog.sites.allocate(SiteKind.BRANCH, "worker")
+    w0.body = [alu(), alu()]
+    w0.terminator = CondBr(site=site, taken=1, fallthrough=2)
+    w_err.body = [alu(), longjmp(0)]
+    w_err.terminator = Ret()  # unreachable
+    w_ok.body = [alu()]
+    w_ok.terminator = Ret()
+    prog.add_function(worker)
+
+    main = IRFunction("main")
+    m0 = main.new_block()
+    m0.body = [setjmp(0), alu(), call("worker"), txn_mark()]
+    m0.terminator = Jump(0)
+    prog.add_function(main)
+    return prog, site
+
+
+class TestSetjmpSemantics:
+    def test_longjmp_unwinds_to_saved_frame(self):
+        prog, site = jmpbuf_program()
+        binary = link_program(prog, options=CompilerOptions(jump_tables=False))
+        spec = InputSpec(name="t", branch_bias={site: 0.3})
+        proc = Process(binary, prog, spec, n_threads=1, seed=2)
+        delta = proc.run(max_instructions=50_000)
+        # the program survives frequent longjmps and keeps transacting
+        assert delta.transactions > 0
+        thread = proc.threads[0]
+        assert thread.stack_depth <= 1  # frames are unwound, not leaked
+
+    def test_longjmp_counts_as_taken_transfer(self):
+        prog, site = jmpbuf_program()
+        binary = link_program(prog, options=CompilerOptions(jump_tables=False))
+        spec = InputSpec(name="t", branch_bias={site: 1.0})  # always error
+        proc = Process(binary, prog, spec, n_threads=1, seed=2)
+        delta = proc.run(max_instructions=5_000)
+        assert delta.taken_branches > 0
+        assert delta.transactions == 0  # txn_mark after the call is re-run...
+        # actually txn_mark precedes the jump back; the longjmp path skips it
+
+    def test_longjmp_without_setjmp_faults(self):
+        prog = Program(name="sj2", entry="main", jmpbuf_count=1)
+        main = IRFunction("main")
+        m0 = main.new_block()
+        m0.body = [alu(), longjmp(0)]
+        m0.terminator = Ret()
+        prog.add_function(main)
+        binary = link_program(prog, options=CompilerOptions(jump_tables=False))
+        proc = Process(binary, prog, InputSpec(name="t"), n_threads=1, seed=1)
+        with pytest.raises(ExecutionError):
+            proc.run(max_instructions=100)
+
+    def test_jmpbufs_are_thread_local(self):
+        prog, site = jmpbuf_program()
+        binary = link_program(prog, options=CompilerOptions(jump_tables=False))
+        spec = InputSpec(name="t", branch_bias={site: 0.3})
+        proc = Process(binary, prog, spec, n_threads=2, seed=2)
+        proc.run(max_transactions=50)
+        a = proc.address_space.read_u64(binary.jmpbuf_addr(0, 0) + 8)
+        b = proc.address_space.read_u64(binary.jmpbuf_addr(0, 1) + 8)
+        # each thread saved its own stack pointer
+        assert a != b
+
+    def test_buf_indices_validated(self):
+        prog, _site = jmpbuf_program()
+        binary = link_program(prog, options=CompilerOptions(jump_tables=False))
+        with pytest.raises(IndexError):
+            binary.jmpbuf_addr(5, 0)
+        with pytest.raises(IndexError):
+            binary.jmpbuf_addr(0, 99)
+
+
+class TestSetjmpAcrossReplacement:
+    def _replaced_process(self):
+        import sys
+
+        sys.path.insert(0, "tests")
+        from conftest import small_server_params
+
+        from repro.core.orchestrator import Ocolos, OcolosConfig
+        from repro.workloads.generator import build_workload
+
+        wl = build_workload(small_server_params(n_jmpbufs=2, seed=123))
+        binary = link_program(wl.program, options=wl.options)
+        spec = wl.make_input("mix", 0.4, {"read_op": 2.0, "write_op": 1.0})
+        from repro.vm.preload import PreloadAgent
+
+        proc = Process(binary, wl.program, spec, n_threads=2, seed=5)
+        PreloadAgent(proc)
+        proc.run(max_transactions=300)
+        ocolos = Ocolos(
+            proc,
+            binary,
+            compiler_options=wl.options,
+            config=OcolosConfig(
+                profile_seconds=0.03, perf_period=500, background_sim_cap_seconds=0.05
+            ),
+        )
+        return wl, binary, proc, ocolos
+
+    def test_saved_continuations_survive_first_replacement(self):
+        _wl, _binary, proc, ocolos = self._replaced_process()
+        ocolos.optimize_once()
+        before = proc.counters_total().transactions
+        proc.run(max_transactions=800)
+        assert proc.counters_total().transactions >= before + 800
+
+    def test_continuations_survive_continuous_replacement(self):
+        """After gen-2 replacement, any jmpbuf continuation saved in gen-1
+        code must have been rewritten to a carry copy (not dangle)."""
+        from repro.core.continuous import generation_band
+
+        wl, binary, proc, ocolos = self._replaced_process()
+        ocolos.optimize_once()
+        proc.run(max_transactions=500)  # handlers in C_1 save jmpbufs
+        ocolos.optimize_once()  # continuous: C_1 retired
+        lo, hi = generation_band(1)
+        for tid in range(len(proc.threads)):
+            for buf in range(binary.jmpbuf_count):
+                pc = proc.address_space.read_u64(binary.jmpbuf_addr(buf, tid))
+                assert not (lo <= pc < hi)
+        before = proc.counters_total().transactions
+        proc.run(max_transactions=800)
+        assert proc.counters_total().transactions >= before + 800

@@ -1,0 +1,140 @@
+"""Tests for the timeline and experiment drivers at small scale.
+
+The drivers are written against the workload registry in
+:mod:`repro.harness.experiments`; these tests register a miniature bundle so
+the full machinery runs in seconds.
+"""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.experiments import (
+    WorkloadBundle,
+    breakeven_analysis,
+    fig9_topdown_points,
+    full_pipeline,
+    table2_fixed_costs,
+    workload_bundle,
+)
+from repro.harness.timeline import fig7_timeline
+
+
+@pytest.fixture(scope="module")
+def mini_bundle(small_server, small_inputs):
+    """Register the small server as workload 'mini' for driver tests."""
+    bundle = WorkloadBundle(
+        name="mini",
+        workload=small_server,
+        inputs=dict(small_inputs),
+        eval_inputs=list(small_inputs),
+    )
+    experiments._BUNDLES["mini"] = bundle
+    experiments.TABLE2_INPUTS["mini"] = "readish"
+    yield bundle
+    experiments._BUNDLES.pop("mini", None)
+    experiments.TABLE2_INPUTS.pop("mini", None)
+
+
+class TestRegistry:
+    def test_known_workloads_enumerated(self):
+        assert set(experiments.WORKLOADS) == {
+            "mysql",
+            "mongodb",
+            "memcached",
+            "verilator",
+        }
+
+    def test_unknown_bundle_rejected(self):
+        with pytest.raises(KeyError):
+            workload_bundle("oracle_db")
+
+
+class TestFullPipeline:
+    def test_pipeline_result_fields(self, mini_bundle):
+        pipe = full_pipeline("mini", "readish", transactions=150)
+        assert pipe.original.tps > 0
+        assert pipe.ocolos.tps > 0
+        assert pipe.bolt_oracle.tps > 0
+        assert pipe.bolt_result.binary.bolted
+        assert pipe.rss_ocolos >= pipe.rss_original
+
+    def test_pipeline_cached(self, mini_bundle):
+        a = full_pipeline("mini", "readish", transactions=150)
+        b = full_pipeline("mini", "readish", transactions=150)
+        assert a is b
+
+    def test_speedup_properties(self, mini_bundle):
+        pipe = full_pipeline("mini", "readish", transactions=150)
+        assert pipe.ocolos_speedup == pytest.approx(
+            pipe.ocolos.tps / pipe.original.tps
+        )
+        assert pipe.bolt_speedup == pytest.approx(
+            pipe.bolt_oracle.tps / pipe.original.tps
+        )
+
+
+class TestDrivers:
+    def test_table2_uses_workload_scale(self, mini_bundle):
+        cols = table2_fixed_costs(workload_names=["mini"], transactions=150)
+        assert len(cols) == 1
+        col = cols[0]
+        assert col.perf2bolt_seconds > 0
+        assert col.llvm_bolt_seconds > 0
+        assert col.replacement_seconds > 0
+
+    def test_fig9_points(self, mini_bundle):
+        points = fig9_topdown_points(workload_names=["mini"], transactions=150)
+        assert len(points) == 2
+        for p in points:
+            assert 0 <= p.frontend_latency <= 100
+            assert 0 <= p.retiring <= 100
+            assert p.benefits == (p.ocolos_speedup >= 1.05)
+
+    def test_breakeven(self, mini_bundle):
+        result = breakeven_analysis("mini", "readish", transactions=150)
+        assert result.disruption_seconds > 0
+        assert result.break_even_after_seconds >= 0
+
+
+class TestTimeline:
+    def test_series_structure(self, mini_bundle):
+        result = fig7_timeline(
+            "mini",
+            "readish",
+            warmup_seconds=3,
+            profile_display_seconds=4,
+            post_seconds=3,
+            transactions=150,
+        )
+        regions = [p.region for p in result.points]
+        assert regions == sorted(regions)  # monotone region progression
+        assert set(regions) == {1, 2, 3, 4, 5}
+        assert result.tps_profiling < result.tps_original
+        assert result.pause_seconds > 0
+
+    def test_p95_summary_ordering(self, mini_bundle):
+        result = fig7_timeline(
+            "mini",
+            "readish",
+            warmup_seconds=3,
+            profile_display_seconds=4,
+            post_seconds=3,
+            transactions=150,
+        )
+        warm, worst, post = result.p95_summary()
+        assert worst >= warm  # optimization phases degrade latency
+        assert post > 0
+
+    def test_region_labels(self, mini_bundle):
+        result = fig7_timeline(
+            "mini",
+            "readish",
+            warmup_seconds=2,
+            profile_display_seconds=2,
+            post_seconds=2,
+            transactions=120,
+        )
+        labels = [label for _s, label in result.region_bounds]
+        assert labels[0].startswith("warm-up")
+        assert any("replacement" in l for l in labels)
+        assert labels[-1] == "optimized"

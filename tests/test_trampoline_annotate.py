@@ -1,0 +1,146 @@
+"""Tests for trampoline full redirection (§IV-B) and L1i miss attribution
+(the §VI-C perf-annotate case study machinery)."""
+
+import pytest
+
+from repro.binary.binaryfile import bolt_text_base
+from repro.bolt.optimizer import run_bolt
+from repro.core.replacement import CodeReplacer
+from repro.core.trampoline import TrampolineInstaller
+from repro.errors import PtraceError
+from repro.profiling.annotate import record_l1i_misses
+from repro.profiling.perf import PerfSession
+from repro.profiling.perf2bolt import extract_profile
+from repro.vm.ptrace import PtraceController
+
+
+@pytest.fixture()
+def bolt_result(tiny_fresh):
+    proc = tiny_fresh.process()
+    proc.run(max_transactions=50)
+    session = PerfSession(period=300, overhead=0.0)
+    session.attach(proc)
+    proc.run(max_instructions=80_000)
+    session.detach()
+    profile, _ = extract_profile(session.samples, tiny_fresh.binary)
+    return run_bolt(
+        tiny_fresh.program, tiny_fresh.binary, profile,
+        compiler_options=tiny_fresh.options,
+    )
+
+
+class TestTrampolines:
+    def test_requires_stopped_tracee(self, tiny_fresh, bolt_result):
+        proc = tiny_fresh.process()
+        installer = TrampolineInstaller(PtraceController(proc), tiny_fresh.binary)
+        with pytest.raises(PtraceError):
+            installer.install(bolt_result.binary)
+
+    def test_install_reports_and_rewrites_entries(self, tiny_fresh, bolt_result):
+        proc = tiny_fresh.process()
+        proc.run(max_transactions=30)
+        pt = PtraceController(proc)
+        pt.pause()
+        report = TrampolineInstaller(pt, tiny_fresh.binary).install(bolt_result.binary)
+        pt.resume()
+        assert report.installed > 0
+        from repro.isa.instructions import Opcode
+
+        for name in report.functions:
+            entry = tiny_fresh.binary.functions[name].addr
+            assert proc.address_space.read(entry, 1)[0] == int(Opcode.JMP)
+
+    def test_stale_pointer_invocations_reach_new_code(self, tiny_fresh, bolt_result):
+        """With trampolines, even the C_0-pinned function pointers execute
+        optimized code: calls land on the C_0 entry jump and bounce to C_1."""
+        proc = tiny_fresh.process()
+        proc.run(max_transactions=30)
+        replacer = CodeReplacer(proc, tiny_fresh.binary, trampolines=True)
+        report = replacer.replace(bolt_result)
+        assert report.trampolines is not None
+        assert report.trampolines.installed > 0
+        # process keeps working with entries rewritten
+        before = proc.counters_total().transactions
+        proc.run(max_transactions=300)
+        assert proc.counters_total().transactions >= before + 300
+        # execution spends time in the new generation
+        gen_base = bolt_text_base(1)
+        seen_new = 0
+        for _ in range(40):
+            proc.run(max_instructions=53)
+            seen_new += sum(1 for t in proc.threads if t.pc >= gen_base)
+        assert seen_new > 0
+
+    def test_trampolines_survive_continuous_replacement(self, tiny_fresh, bolt_result):
+        from repro.bolt.optimizer import BoltOptions
+        from repro.core.continuous import ContinuousReplacer, generation_band
+
+        proc = tiny_fresh.process()
+        proc.run(max_transactions=30)
+        replacer = CodeReplacer(proc, tiny_fresh.binary, trampolines=True)
+        replacer.replace(bolt_result)
+        proc.run(max_transactions=100)
+
+        session = PerfSession(period=300, overhead=0.0)
+        session.attach(proc)
+        proc.run(max_instructions=80_000)
+        session.detach()
+        profile, _ = extract_profile(session.samples, bolt_result.binary)
+        result2 = run_bolt(
+            tiny_fresh.program,
+            bolt_result.binary,
+            profile,
+            options=BoltOptions(allow_rebolt=True),
+            compiler_options=tiny_fresh.options,
+            generation=2,
+            cold_reference=tiny_fresh.binary,
+        )
+        cont = ContinuousReplacer(proc, tiny_fresh.binary, replacer.fp_map)
+        cont.replace_next(result2, bolt_result.binary)
+
+        # no C_0 entry trampoline may point into the collected band
+        lo, hi = generation_band(1)
+        from repro.isa.disassembler import decode_instruction
+
+        for info in tiny_fresh.binary.functions.values():
+            opbyte = proc.address_space.read(info.addr, 1)[0]
+            if opbyte == 0x11:  # JMP
+                insn = decode_instruction(proc.address_space.read, info.addr)
+                assert not (lo <= insn.target < hi)
+        before = proc.counters_total().transactions
+        proc.run(max_transactions=300)
+        assert proc.counters_total().transactions >= before + 300
+
+
+class TestMissAttribution:
+    def test_report_totals_consistent(self, tiny):
+        proc = tiny.process()
+        proc.run(max_transactions=30)
+        before = proc.counters_total().l1i_misses
+        report = record_l1i_misses(proc, [tiny.binary], transactions=100)
+        after = proc.counters_total().l1i_misses
+        assert report.total_misses == after - before
+        assert sum(report.by_function.values()) + report.unattributed == report.total_misses
+
+    def test_hook_removed_after_measurement(self, tiny):
+        proc = tiny.process()
+        record_l1i_misses(proc, [tiny.binary], transactions=30)
+        assert all(fe.l1i_miss_hook is None for fe in proc.frontends)
+
+    def test_rank_and_share(self, tiny):
+        proc = tiny.process()
+        report = record_l1i_misses(proc, [tiny.binary], transactions=150)
+        if report.by_function:
+            top_name, top_count = report.top_functions(1)[0]
+            assert report.rank(top_name) == 1
+            assert report.share(top_name) == pytest.approx(
+                top_count / report.total_misses
+            )
+        assert report.rank("nonexistent_function") is None
+
+    def test_cold_start_misses_attributed(self, tiny):
+        proc = tiny.process()
+        # fresh caches: the first transactions must take attributable misses
+        report = record_l1i_misses(proc, [tiny.binary], transactions=50)
+        assert report.total_misses > 0
+        assert report.by_function

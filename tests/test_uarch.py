@@ -1,0 +1,308 @@
+"""Tests for caches, TLB, BTB, predictors, backend model and TopDown."""
+
+import pytest
+
+from repro.uarch.branch_predictor import GsharePredictor, ReturnAddressStack
+from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.cache import SetAssociativeCache
+from repro.uarch.frontend import FrontEnd, UarchParams
+from repro.uarch.memsys import BackendModel, MemoryControllerModel
+from repro.uarch.perfcounters import PerfCounters
+from repro.uarch.tlb import Tlb
+from repro.uarch.topdown import topdown_from_counters
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(n_sets=4, ways=2)
+        assert not cache.access(10)
+        assert cache.access(10)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = SetAssociativeCache(n_sets=1, ways=2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # refresh 1: LRU is now 2
+        cache.access(3)  # evicts 2
+        assert cache.contains(1)
+        assert not cache.contains(2)
+        assert cache.contains(3)
+
+    def test_set_isolation(self):
+        cache = SetAssociativeCache(n_sets=2, ways=1)
+        cache.access(0)  # set 0
+        cache.access(1)  # set 1
+        assert cache.contains(0) and cache.contains(1)
+        cache.access(2)  # set 0, evicts 0
+        assert not cache.contains(0)
+        assert cache.contains(1)
+
+    def test_geometry(self):
+        cache = SetAssociativeCache.from_geometry(32 * 1024, 64, 8)
+        assert cache.n_sets == 64
+        assert cache.ways == 8
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(n_sets=3, ways=1)
+
+    def test_flush_keeps_counters(self):
+        cache = SetAssociativeCache(n_sets=2, ways=1)
+        cache.access(0)
+        cache.flush()
+        assert cache.misses == 1
+        assert not cache.contains(0)
+        assert cache.resident_lines() == 0
+
+    def test_cyclic_thrash_worst_case(self):
+        """Cyclic sweep over capacity+1 lines with LRU misses every time."""
+        cache = SetAssociativeCache(n_sets=1, ways=4)
+        lines = list(range(5))
+        for _ in range(3):
+            for line in lines:
+                cache.access(line)
+        # after warmup round, everything misses
+        assert cache.hits == 0
+
+
+class TestTlb:
+    def test_page_granularity(self):
+        tlb = Tlb(entries=8, ways=8)
+        assert not tlb.access_addr(0x1000)
+        assert tlb.access_addr(0x1FFF)  # same 4 KiB page
+        assert not tlb.access_addr(0x2000)
+
+    def test_capacity(self):
+        tlb = Tlb(entries=4, ways=4)
+        for page in range(5):
+            tlb.access_page(page)
+        assert not tlb.access_page(0)  # evicted
+
+    def test_flush(self):
+        tlb = Tlb(entries=4, ways=4)
+        tlb.access_page(1)
+        tlb.flush()
+        assert not tlb.access_page(1)
+        assert tlb.misses == 2
+
+
+class TestBtb:
+    def test_miss_then_predict(self):
+        btb = BranchTargetBuffer(entries=16, ways=4)
+        assert not btb.lookup_update(0x100, 0x200)
+        assert btb.lookup_update(0x100, 0x200)
+
+    def test_target_mismatch_counts(self):
+        btb = BranchTargetBuffer(entries=16, ways=4)
+        btb.lookup_update(0x100, 0x200)
+        assert not btb.lookup_update(0x100, 0x300)  # retrained
+        assert btb.target_mismatches == 1
+        assert btb.lookup_update(0x100, 0x300)
+
+    def test_capacity_pressure(self):
+        btb = BranchTargetBuffer(entries=4, ways=4)
+        for pc in range(0, 5):
+            btb.lookup_update(pc * 4, pc)
+        # 5 distinct branches into 4 entries: at least one was evicted
+        assert btb.resident_entries() == 4
+
+    def test_flush(self):
+        btb = BranchTargetBuffer(entries=4, ways=4)
+        btb.lookup_update(0x100, 0x200)
+        btb.flush()
+        assert not btb.lookup_update(0x100, 0x200)
+
+
+class TestPredictors:
+    def test_gshare_learns_bias(self):
+        bp = GsharePredictor(table_bits=8, history_bits=4)
+        for _ in range(50):
+            bp.record(0x40, True)
+        correct = bp.record(0x40, True)
+        assert correct
+
+    def test_gshare_counts_mispredicts(self):
+        bp = GsharePredictor(table_bits=8)
+        for _ in range(10):
+            bp.record(0x40, True)
+        bp.record(0x40, False)
+        assert bp.mispredictions >= 1
+
+    def test_ras_correct_return(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.predict_return(0x200)
+        assert ras.predict_return(0x100)
+        assert ras.mispredictions == 0
+
+    def test_ras_underflow_mispredicts(self):
+        ras = ReturnAddressStack(depth=4)
+        assert not ras.predict_return(0x100)
+        assert ras.mispredictions == 1
+
+    def test_ras_overflow_discards_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0x1)
+        ras.push(0x2)
+        ras.push(0x3)
+        assert ras.predict_return(0x3)
+        assert ras.predict_return(0x2)
+        assert not ras.predict_return(0x1)  # lost to overflow
+
+
+class TestBackend:
+    def test_class_costs(self):
+        model = BackendModel(controller=MemoryControllerModel())
+        stall, dram = model.stall_cycles([(0, 10), (2, 5)])
+        assert dram == 0
+        assert stall == pytest.approx(5 * model.class_costs[2])
+
+    def test_dram_requests_counted(self):
+        model = BackendModel(controller=MemoryControllerModel())
+        _stall, dram = model.stall_cycles([(3, 7)])
+        assert dram == 7
+
+    def test_contention_multiplier_rises_with_rate(self):
+        mc = MemoryControllerModel(service_rate=0.01)
+        low_before = mc.multiplier
+        for _ in range(50):
+            mc.observe(90, 10000, frontend_share=0.1)
+        assert mc.multiplier > low_before
+
+    def test_fetch_smoothness_raises_penalty(self):
+        stalled = MemoryControllerModel(service_rate=0.01)
+        smooth = MemoryControllerModel(service_rate=0.01)
+        for _ in range(50):
+            stalled.observe(60, 10000, frontend_share=0.6)
+            smooth.observe(60, 10000, frontend_share=0.05)
+        assert smooth.multiplier > stalled.multiplier
+
+    def test_utilization_capped(self):
+        mc = MemoryControllerModel(service_rate=0.001, max_utilization=0.9)
+        for _ in range(50):
+            mc.observe(1000, 1000, frontend_share=0.0)
+        assert mc.utilization <= 0.9
+
+    def test_reset(self):
+        mc = MemoryControllerModel()
+        for _ in range(10):
+            mc.observe(100, 1000)
+        mc.reset()
+        assert mc.multiplier == 1.0
+
+
+class TestFrontEnd:
+    def test_fetch_counts_instructions_and_lines(self):
+        fe = FrontEnd()
+        fe.fetch_run(0x1000, 130, 20)  # spans 3 lines
+        c = fe.counters
+        assert c.instructions == 20
+        assert c.l1i_misses == 3
+        fe.fetch_run(0x1000, 130, 20)
+        assert fe.counters.l1i_misses == 3  # warm now
+
+    def test_itlb_accounting(self):
+        fe = FrontEnd()
+        fe.fetch_run(0x1000, 16, 4)
+        assert fe.counters.itlb_misses == 1
+        fe.fetch_run(0x2000, 16, 4)  # new page
+        assert fe.counters.itlb_misses == 2
+
+    def test_not_taken_branch_costs_nothing_when_predicted(self):
+        fe = FrontEnd()
+        for _ in range(30):
+            fe.branch_event("cond", 0x100, 0x200, taken=False)
+        before = fe.counters.cycles
+        fe.branch_event("cond", 0x100, 0x200, taken=False)
+        assert fe.counters.cycles == before
+
+    def test_taken_branch_costs_bubble(self):
+        fe = FrontEnd()
+        fe.branch_event("jmp", 0x100, 0x200)  # btb miss
+        assert fe.counters.btb_misses == 1
+        before = fe.counters.cycles
+        fe.branch_event("jmp", 0x100, 0x200)  # now predicted
+        assert fe.counters.cycles - before == pytest.approx(fe.params.taken_bubble)
+
+    def test_indirect_mispredict_on_target_change(self):
+        fe = FrontEnd()
+        fe.branch_event("vcall", 0x100, 0x200, return_addr=0x105)
+        fe.branch_event("vcall", 0x100, 0x300, return_addr=0x105)
+        assert fe.counters.ind_mispredicts >= 1
+
+    def test_call_ret_pair_uses_ras(self):
+        fe = FrontEnd()
+        fe.branch_event("call", 0x100, 0x500, return_addr=0x105)
+        fe.branch_event("ret", 0x520, 0x105)
+        assert fe.counters.ret_mispredicts == 0
+
+    def test_idle_cycles_go_to_idle_bucket(self):
+        fe = FrontEnd()
+        fe.idle_cycles(100.0)
+        assert fe.counters.cyc_idle == 100.0
+        assert fe.counters.cycles == 100.0
+
+
+class TestTopDown:
+    def test_buckets_sum_to_100(self):
+        c = PerfCounters(
+            cycles=200.0,
+            cyc_base=80,
+            cyc_l1i=40,
+            cyc_itlb=10,
+            cyc_btb=10,
+            cyc_taken=20,
+            cyc_badspec=20,
+            cyc_backend=20,
+        )
+        td = topdown_from_counters(c)
+        total = td.retiring + td.frontend_bound + td.bad_speculation + td.backend_bound
+        assert total == pytest.approx(100.0)
+
+    def test_idle_excluded(self):
+        c = PerfCounters(cycles=300.0, cyc_idle=100.0, cyc_base=100, cyc_backend=100)
+        td = topdown_from_counters(c)
+        assert td.retiring == pytest.approx(50.0)
+
+    def test_latency_vs_bandwidth_split(self):
+        c = PerfCounters(cycles=100.0, cyc_l1i=30, cyc_taken=20, cyc_base=50)
+        td = topdown_from_counters(c)
+        assert td.frontend_latency == pytest.approx(30.0)
+        assert td.frontend_bandwidth == pytest.approx(20.0)
+
+    def test_dominant(self):
+        c = PerfCounters(cycles=100.0, cyc_backend=70, cyc_base=30)
+        assert topdown_from_counters(c).dominant() == "backend_bound"
+
+    def test_empty_counters(self):
+        td = topdown_from_counters(PerfCounters())
+        assert td.retiring == 0.0
+
+
+class TestPerfCounters:
+    def test_delta(self):
+        a = PerfCounters(instructions=100, cycles=200.0)
+        b = PerfCounters(instructions=150, cycles=300.0)
+        d = b.delta(a)
+        assert d.instructions == 50
+        assert d.cycles == 100.0
+
+    def test_merge(self):
+        a = PerfCounters(instructions=100)
+        a.merge(PerfCounters(instructions=50, taken_branches=5))
+        assert a.instructions == 150
+        assert a.taken_branches == 5
+
+    def test_mpki_helpers(self):
+        c = PerfCounters(instructions=2000, l1i_misses=10, itlb_misses=4,
+                         taken_branches=300, cond_mispredicts=6)
+        assert c.l1i_mpki == pytest.approx(5.0)
+        assert c.itlb_mpki == pytest.approx(2.0)
+        assert c.taken_branch_pki == pytest.approx(150.0)
+        assert c.mispredict_pki == pytest.approx(3.0)
+
+    def test_ipc(self):
+        c = PerfCounters(instructions=400, cycles=200.0)
+        assert c.ipc == pytest.approx(2.0)

@@ -1,0 +1,180 @@
+"""Tests for the input model and the synthetic workload generator."""
+
+import math
+
+import pytest
+
+from repro.compiler.ir import SiteKind
+from repro.errors import WorkloadError
+from repro.workloads.generator import build_workload
+from repro.workloads.inputs import CompiledInput, InputSpec, merge_input_specs
+from tests.conftest import small_server_params
+
+
+class TestCompiledInput:
+    def test_branch_bias_resolved(self, small_server):
+        spec = small_server.make_input("x", 0.3, {"read_op": 1.0})
+        compiled = CompiledInput(small_server.program, spec)
+        for site, meta in small_server.branch_sites.items():
+            assert compiled.branch_p[site] == pytest.approx(
+                meta.taken_probability(0.3)
+            )
+
+    def test_missing_vcall_mix_rejected(self, small_server):
+        spec = small_server.make_input("x", 0.3, {"read_op": 1.0})
+        spec.vcall_mix = {}
+        with pytest.raises(WorkloadError):
+            CompiledInput(small_server.program, spec)
+
+    def test_sampler_respects_distribution(self, small_server):
+        spec = small_server.make_input("x", 0.3, {"read_op": 1.0})
+        compiled = CompiledInput(small_server.program, spec)
+        site = small_server.dispatch_site
+        # read-only mix: every dispatch goes to the read handler's class
+        for r in (0.0, 0.3, 0.7, 0.999):
+            assert compiled.sample_vcall(site, r) == small_server.op_class_ids[0]
+
+    def test_derived_switch_probabilities_conditional(self):
+        """A switch mix [3,1] lowered to a chain gives the first test
+        p=0.75 and (implicitly) the remainder to the last case."""
+        from repro.compiler.ir import IRFunction, Program, Ret, Switch
+        from repro.compiler.codegen import CompilerOptions, lower_fragment
+
+        prog = Program(name="p", entry="f")
+        func = IRFunction("f")
+        b0 = func.new_block()
+        c1, c2 = func.new_block(), func.new_block()
+        c1.terminator = Ret()
+        c2.terminator = Ret()
+        site = prog.sites.allocate(SiteKind.SWITCH, "f", n_cases=2)
+        b0.terminator = Switch(site=site, targets=(1, 2))
+        prog.add_function(func)
+        lower_fragment(prog, func, (0, 1, 2), CompilerOptions(jump_tables=False))
+        spec = InputSpec(name="x", switch_mix={site: [3.0, 1.0]})
+        compiled = CompiledInput(prog, spec)
+        derived = prog.sites.allocate_derived(site, 0, "f")
+        assert compiled.branch_p[derived] == pytest.approx(0.75)
+
+    def test_probability_introspection_sums_to_one(self, small_server):
+        spec = small_server.make_input("x", 0.5, {"read_op": 1.0, "write_op": 1.0})
+        compiled = CompiledInput(small_server.program, spec)
+        for site in small_server.icall_sites:
+            total = sum(p for _o, p in compiled.icall_probabilities(site))
+            assert total == pytest.approx(1.0)
+
+
+class TestMergeInputs:
+    def test_average_branch_bias(self):
+        a = InputSpec(name="a", branch_bias={1: 0.9})
+        b = InputSpec(name="b", branch_bias={1: 0.1})
+        merged = merge_input_specs("all", [a, b])
+        assert merged.branch_bias[1] == pytest.approx(0.5)
+
+    def test_vcall_mix_union(self):
+        a = InputSpec(name="a", vcall_mix={1: [(0, 2.0)]})
+        b = InputSpec(name="b", vcall_mix={1: [(1, 2.0)]})
+        merged = merge_input_specs("all", [a, b])
+        assert dict(merged.vcall_mix[1]) == {0: 2.0, 1: 2.0}
+
+    def test_mem_scale_averaged(self):
+        a = InputSpec(name="a", mem_scale=(1, 1, 1, 1))
+        b = InputSpec(name="b", mem_scale=(1, 1, 1, 3))
+        merged = merge_input_specs("all", [a, b])
+        assert merged.mem_scale[3] == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            merge_input_specs("all", [])
+
+
+class TestGenerator:
+    def test_structure_counts(self, small_server):
+        params = small_server.params
+        program = small_server.program
+        names = set(program.functions)
+        assert sum(1 for n in names if n.startswith("fn")) == params.n_work_functions
+        assert sum(1 for n in names if n.startswith("util")) == params.n_utility_functions
+        assert sum(1 for n in names if n.startswith("callback")) == params.n_callback_functions
+        assert "parse" in names and "main" in names
+        for op in params.op_names:
+            assert f"handle_{op}" in names
+
+    def test_vtables_cover_ops_and_data_classes(self, small_server):
+        params = small_server.params
+        assert len(small_server.program.vtables) == params.n_op_types + params.n_data_classes
+
+    def test_program_validates(self, small_server):
+        small_server.program.validate()
+
+    def test_deterministic_rebuild(self):
+        a = build_workload(small_server_params())
+        b = build_workload(small_server_params())
+        from repro.binary.linker import link_program
+
+        ba = link_program(a.program, options=a.options)
+        bb = link_program(b.program, options=b.options)
+        assert ba.sections[".text"].data == bb.sections[".text"].data
+
+    def test_different_seed_differs(self):
+        a = build_workload(small_server_params(seed=1))
+        b = build_workload(small_server_params(seed=2))
+        from repro.binary.linker import link_program
+
+        ba = link_program(a.program, options=a.options)
+        bb = link_program(b.program, options=b.options)
+        assert ba.sections[".text"].data != bb.sections[".text"].data
+
+    def test_theta_flips_sensitive_sites(self, small_server):
+        lo = small_server.make_input("lo", 0.0, {"read_op": 1.0})
+        hi = small_server.make_input("hi", 1.0, {"read_op": 1.0})
+        flipped = sum(
+            1
+            for site in small_server.branch_sites
+            if (lo.branch_bias[site] - 0.5) * (hi.branch_bias[site] - 0.5) < 0
+        )
+        assert flipped > len(small_server.branch_sites) * 0.2
+
+    def test_unknown_op_rejected(self, small_server):
+        with pytest.raises(WorkloadError):
+            small_server.make_input("x", 0.5, {"nonsense": 1.0})
+
+    def test_empty_mix_rejected(self, small_server):
+        with pytest.raises(WorkloadError):
+            small_server.make_input("x", 0.5, {"read_op": 0.0})
+
+    def test_switch_dispatch_mode(self):
+        wl = build_workload(
+            small_server_params(
+                dispatch_mode="switch",
+                n_data_classes=0,
+                data_vtable_slots=0,
+                vcall_step_fraction=0.0,
+            )
+        )
+        assert wl.dispatch_kind == "switch"
+        assert len(wl.program.vtables) == 0
+        spec = wl.make_input("x", 0.2, {"read_op": 1.0})
+        assert wl.dispatch_site in spec.switch_mix
+
+    def test_single_shot_halts(self):
+        wl = build_workload(small_server_params(single_shot=True, work_items=5))
+        from repro.binary.linker import link_program
+        from repro.vm.process import Process
+
+        binary = link_program(wl.program, options=wl.options)
+        spec = wl.make_input("x", 0.3, {"read_op": 1.0})
+        proc = Process(binary, wl.program, spec, n_threads=1, seed=4)
+        delta = proc.run(max_instructions=10_000_000)
+        assert not proc.runnable_threads()
+        assert delta.transactions >= 1
+
+    def test_runs_and_transacts(self, small_server, small_inputs):
+        from repro.binary.linker import link_program
+        from repro.vm.process import Process
+
+        binary = link_program(small_server.program, options=small_server.options)
+        proc = Process(binary, small_server.program, small_inputs["readish"],
+                       n_threads=2, seed=3)
+        delta = proc.run(max_transactions=100)
+        assert delta.transactions >= 100
+        assert delta.fp_creations >= 0

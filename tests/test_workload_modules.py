@@ -1,0 +1,188 @@
+"""Structural tests for the four paper workloads and the clang build.
+
+Full pipeline measurements on these live in benchmarks/; here we verify the
+Table-I-style structure, input families and basic executability.
+"""
+
+import pytest
+
+from repro.binary.linker import link_program
+from repro.vm.process import Process
+
+
+@pytest.fixture(scope="module")
+def mysql():
+    from repro.workloads.mysql import mysql_inputs, mysql_like
+
+    wl = mysql_like()
+    return wl, mysql_inputs(wl)
+
+
+@pytest.fixture(scope="module")
+def verilator():
+    from repro.workloads.verilator import verilator_inputs, verilator_like
+
+    wl = verilator_like()
+    return wl, verilator_inputs(wl)
+
+
+class TestMysqlLike:
+    def test_input_family_matches_sysbench(self, mysql):
+        _wl, inputs = mysql
+        assert "oltp_read_only" in inputs
+        assert "oltp_insert" in inputs
+        assert len(inputs) == 8
+
+    def test_scale_relations_vs_table1(self, mysql):
+        wl, _ = mysql
+        binary = link_program(wl.program, options=wl.options)
+        # Table I relations (scaled): >1000 functions, hundreds of KiB text,
+        # tens of v-tables, non-trivial fp slots
+        assert len(binary.functions) > 1000
+        assert binary.text_size() > 200 * 1024
+        assert len(binary.vtables) >= 30
+        assert binary.fp_slot_count > 0
+
+    def test_ocolos_compatible_options(self, mysql):
+        wl, _ = mysql
+        assert not wl.options.jump_tables  # -fno-jump-tables
+        assert wl.options.instrument_fp
+
+    def test_writeness_axis_orders_biases(self, mysql):
+        wl, inputs = mysql
+        ro = inputs["oltp_read_only"]
+        ins = inputs["oltp_insert"]
+        differing = sum(
+            1
+            for site in wl.branch_sites
+            if abs(ro.branch_bias[site] - ins.branch_bias[site]) > 0.5
+        )
+        assert differing > len(wl.branch_sites) * 0.2
+
+    def test_runs_briefly(self, mysql):
+        wl, inputs = mysql
+        binary = link_program(wl.program, options=wl.options)
+        proc = Process(binary, wl.program, inputs["oltp_read_only"], n_threads=2, seed=1)
+        delta = proc.run(max_transactions=30)
+        assert delta.transactions >= 30
+
+
+class TestMongodbLike:
+    def test_inputs_and_anomaly_knobs(self):
+        from repro.workloads.mongodb import mongodb_inputs, mongodb_like
+
+        wl = mongodb_like()
+        inputs = mongodb_inputs(wl)
+        assert set(inputs) == {
+            "read_update",
+            "read95_insert5",
+            "scan95_insert5",
+            "read_modify_write",
+        }
+        assert inputs["scan95_insert5"].dram_service_scale < 1.0
+        assert inputs["read_update"].dram_service_scale == 1.0
+
+    def test_larger_than_mysql(self):
+        from repro.workloads.mongodb import mongodb_like
+        from repro.workloads.mysql import mysql_like
+
+        mongo = mongodb_like()
+        mysql = mysql_like()
+        assert len(mongo.program.functions) > len(mysql.program.functions)
+        assert len(mongo.program.vtables) > len(mysql.program.vtables)
+
+
+class TestMemcachedLike:
+    def test_no_vtables_plain_c(self):
+        from repro.workloads.memcached import memcached_like
+
+        wl = memcached_like()
+        assert len(wl.program.vtables) == 0
+        assert wl.dispatch_kind == "switch"
+
+    def test_tiny_footprint(self):
+        from repro.workloads.memcached import memcached_like
+
+        wl = memcached_like()
+        binary = link_program(wl.program, options=wl.options)
+        # hot code fits the 32 KiB L1i: whole text is small
+        assert binary.text_size() < 64 * 1024
+
+    def test_runs(self):
+        from repro.workloads.memcached import memcached_inputs, memcached_like
+
+        wl = memcached_like()
+        inputs = memcached_inputs(wl)
+        binary = link_program(wl.program, options=wl.options)
+        proc = Process(binary, wl.program, inputs["set10_get90"], n_threads=2, seed=1)
+        assert proc.run(max_transactions=50).transactions >= 50
+
+
+class TestVerilatorLike:
+    def test_table1_structure(self, verilator):
+        wl, _ = verilator
+        binary = link_program(wl.program, options=wl.options)
+        assert len(binary.vtables) == 10  # Table I
+        assert 380 <= len(binary.functions) <= 450  # ~406 in Table I
+
+    def test_single_threaded(self, verilator):
+        wl, _ = verilator
+        assert wl.params.n_threads == 1
+
+    def test_three_benchmark_inputs(self, verilator):
+        _wl, inputs = verilator
+        assert set(inputs) == {"dhrystone", "median", "vvadd"}
+
+    def test_inputs_flip_module_branches(self, verilator):
+        wl, inputs = verilator
+        dhry = inputs["dhrystone"]
+        vvadd = inputs["vvadd"]
+        flipped = sum(
+            1
+            for site in wl.branch_sites
+            if (dhry.branch_bias[site] - 0.5) * (vvadd.branch_bias[site] - 0.5) < 0
+        )
+        assert flipped > len(wl.branch_sites) * 0.15
+
+    def test_runs_single_cycle_txns(self, verilator):
+        wl, inputs = verilator
+        binary = link_program(wl.program, options=wl.options)
+        proc = Process(binary, wl.program, inputs["median"], n_threads=1, seed=1)
+        delta = proc.run(max_transactions=10)
+        assert delta.transactions >= 10
+        # one simulated chip cycle is a substantial amount of work
+        assert delta.instructions / delta.transactions > 500
+
+
+class TestClangBuild:
+    def test_compiler_is_single_shot(self):
+        from repro.workloads.clangbuild import clang_like_compiler
+
+        wl = clang_like_compiler()
+        assert wl.params.single_shot
+        assert wl.params.n_threads == 1
+
+    def test_source_classes_cycle(self):
+        from repro.workloads.clangbuild import (
+            N_SOURCE_CLASSES,
+            clang_build,
+            source_file_input,
+        )
+
+        build = clang_build(n_invocations=12)
+        wl = build.compiler
+        a = source_file_input(wl, 0)
+        b = source_file_input(wl, N_SOURCE_CLASSES)  # same class
+        c = source_file_input(wl, 1)
+        assert a.branch_bias == b.branch_bias
+        assert a.branch_bias != c.branch_bias
+
+    def test_compiler_terminates(self):
+        from repro.workloads.clangbuild import clang_like_compiler, source_file_input
+
+        wl = clang_like_compiler()
+        binary = link_program(wl.program, options=wl.options)
+        proc = Process(binary, wl.program, source_file_input(wl, 0), n_threads=1, seed=1)
+        delta = proc.run(max_instructions=50_000_000)
+        assert not proc.runnable_threads()
+        assert delta.transactions == wl.params.work_items
