@@ -41,6 +41,8 @@ from repro.bolt.splitting import SplitResult, split_hot_cold
 from repro.compiler.codegen import CompilerOptions
 from repro.compiler.ir import Program
 from repro.errors import AlreadyBoltedError, BoltError, ProfileError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.profiling.profile import BoltProfile
 
 #: Address stride between successive generations' jump-table regions.
@@ -122,98 +124,128 @@ def run_bolt(
     if profile.is_empty():
         raise ProfileError("profile contains no samples mapped to the binary")
 
-    hot_functions = [
-        f for f in profile.hot_functions(options.min_block_count) if f in program.functions
-    ]
-    if not hot_functions:
-        raise ProfileError("no hot functions found in profile")
+    with _trace.span("bolt.run", generation=generation, input=original.name) as root:
+        hot_functions = [
+            f for f in profile.hot_functions(options.min_block_count) if f in program.functions
+        ]
+        if not hot_functions:
+            raise ProfileError("no hot functions found in profile")
 
-    # ---- per-function block reordering + splitting ------------------------
-    splits: Dict[str, SplitResult] = {}
-    hotness: Dict[str, int] = {}
-    sizes: Dict[str, int] = {}
-    reordered = 0
-    for name in hot_functions:
-        func = program.functions[name]
-        counts = profile.function_block_counts(name)
-        edges = profile.function_edges(name)
-        if options.reorder_blocks:
-            order = reorder_blocks(len(func.blocks), edges, counts)
-            if order != list(range(len(func.blocks))):
-                reordered += 1
-        else:
-            order = list(range(len(func.blocks)))
-        if options.split_functions:
-            split = split_hot_cold(order, counts, min_count=options.min_block_count)
-        else:
-            split = SplitResult(hot=tuple(order), cold=())
-        splits[name] = split
-        hotness[name] = sum(counts.values())
-        info = original.functions.get(name)
-        sizes[name] = info.size if info is not None else len(func.blocks) * 16
+        # ---- per-function block reordering + splitting --------------------
+        splits: Dict[str, SplitResult] = {}
+        hotness: Dict[str, int] = {}
+        sizes: Dict[str, int] = {}
+        reordered = 0
+        with _trace.span(
+            "bolt.reorder_blocks", functions=len(hot_functions)
+        ) as s_reorder:
+            for name in hot_functions:
+                func = program.functions[name]
+                counts = profile.function_block_counts(name)
+                edges = profile.function_edges(name)
+                if options.reorder_blocks:
+                    order = reorder_blocks(len(func.blocks), edges, counts)
+                    if order != list(range(len(func.blocks))):
+                        reordered += 1
+                else:
+                    order = list(range(len(func.blocks)))
+                if options.split_functions:
+                    split = split_hot_cold(order, counts, min_count=options.min_block_count)
+                else:
+                    split = SplitResult(hot=tuple(order), cold=())
+                splits[name] = split
+                hotness[name] = sum(counts.values())
+                info = original.functions.get(name)
+                sizes[name] = info.size if info is not None else len(func.blocks) * 16
+            s_reorder.set_attrs(
+                reordered=reordered,
+                split=sum(1 for s in splits.values() if s.is_split),
+            )
 
-    # ---- function ordering -------------------------------------------------
-    call_edges = {
-        (a, b): w
-        for (a, b), w in profile.call_edges.items()
-        if a in splits and b in splits
-    }
-    if options.function_order == "c3":
-        func_order = c3_order(hotness, call_edges, sizes)
-    elif options.function_order == "ph":
-        func_order = pettis_hansen_order(hotness, call_edges)
-    elif options.function_order == "none":
-        func_order = sorted(splits)
-    else:
-        raise BoltError(f"unknown function_order {options.function_order!r}")
+        # ---- function ordering --------------------------------------------
+        call_edges = {
+            (a, b): w
+            for (a, b), w in profile.call_edges.items()
+            if a in splits and b in splits
+        }
+        with _trace.span(
+            "bolt.function_order",
+            algorithm=options.function_order,
+            call_edges=len(call_edges),
+        ):
+            if options.function_order == "c3":
+                func_order = c3_order(hotness, call_edges, sizes)
+            elif options.function_order == "ph":
+                func_order = pettis_hansen_order(hotness, call_edges)
+            elif options.function_order == "none":
+                func_order = sorted(splits)
+            else:
+                raise BoltError(f"unknown function_order {options.function_order!r}")
 
-    # ---- layout -------------------------------------------------------------
-    hot_base = bolt_text_base(generation)
-    cold_base = hot_base + BOLT_GEN_STRIDE // 2
-    hot_name = f".text.bolt{generation}"
-    cold_name = f".text.bolt{generation}.cold"
-    hot_section = SectionLayout(name=hot_name, base=hot_base, fragments=[])
-    cold_section = SectionLayout(name=cold_name, base=cold_base, fragments=[])
-    for name in func_order:
-        split = splits[name]
-        hot_section.fragments.append(Fragment(function=name, block_ids=split.hot))
-        if split.cold:
-            cold_section.fragments.append(Fragment(function=name, block_ids=split.cold))
-    sections = [hot_section]
-    if cold_section.fragments:
-        sections.append(cold_section)
-    layout = Layout(sections=sections)
+        # ---- layout --------------------------------------------------------
+        hot_base = bolt_text_base(generation)
+        cold_base = hot_base + BOLT_GEN_STRIDE // 2
+        hot_name = f".text.bolt{generation}"
+        cold_name = f".text.bolt{generation}.cold"
+        hot_section = SectionLayout(name=hot_name, base=hot_base, fragments=[])
+        cold_section = SectionLayout(name=cold_name, base=cold_base, fragments=[])
+        for name in func_order:
+            split = splits[name]
+            hot_section.fragments.append(Fragment(function=name, block_ids=split.hot))
+            if split.cold:
+                cold_section.fragments.append(Fragment(function=name, block_ids=split.cold))
+        sections = [hot_section]
+        if cold_section.fragments:
+            sections.append(cold_section)
+        layout = Layout(sections=sections)
 
-    # ---- cold (non-optimized) functions stay put ---------------------------
-    anchor = cold_reference if cold_reference is not None else original
-    extra_symbols: Dict[str, int] = {}
-    carry = []
-    for name, info in anchor.functions.items():
-        if name not in splits:
-            extra_symbols[name] = info.addr
-            carry.append(info)
+        # ---- cold (non-optimized) functions stay put -----------------------
+        anchor = cold_reference if cold_reference is not None else original
+        extra_symbols: Dict[str, int] = {}
+        carry = []
+        for name, info in anchor.functions.items():
+            if name not in splits:
+                extra_symbols[name] = info.addr
+                carry.append(info)
 
-    raw_sections = _original_raw_sections(original)
+        raw_sections = _original_raw_sections(original)
 
-    binary = link_program(
-        program,
-        layout,
-        compiler_options,
-        name=f"{original.name}.bolt{generation}",
-        bolted=True,
-        bolt_generation=generation,
-        extra_symbols=extra_symbols,
-        carry_functions=carry,
-        raw_sections=raw_sections,
-        rodata_base=RODATA_BASE + generation * RODATA_GEN_STRIDE,
-        rodata_name=f".rodata.bolt{generation}",
-    )
+        with _trace.span("bolt.link", functions=len(func_order)):
+            binary = link_program(
+                program,
+                layout,
+                compiler_options,
+                name=f"{original.name}.bolt{generation}",
+                bolted=True,
+                bolt_generation=generation,
+                extra_symbols=extra_symbols,
+                carry_functions=carry,
+                raw_sections=raw_sections,
+                rodata_base=RODATA_BASE + generation * RODATA_GEN_STRIDE,
+                rodata_name=f".rodata.bolt{generation}",
+            )
 
-    _retarget_cold_references(binary, original, splits)
+        with _trace.span("bolt.retarget_cold"):
+            _retarget_cold_references(binary, original, splits)
 
-    hot_bytes = len(binary.sections[hot_name].data)
-    if cold_section.fragments:
-        hot_bytes += len(binary.sections[cold_name].data)
+        hot_bytes = len(binary.sections[hot_name].data)
+        if cold_section.fragments:
+            hot_bytes += len(binary.sections[cold_name].data)
+        root.set_attrs(hot_functions=len(func_order), hot_text_bytes=hot_bytes)
+
+    registry = _metrics.current()
+    if registry is not None:
+        registry.counter("bolt.runs_total", "BOLT pipeline invocations").inc()
+        registry.counter("bolt.functions_reordered_total").inc(reordered)
+        registry.counter("bolt.functions_split_total").inc(
+            sum(1 for s in splits.values() if s.is_split)
+        )
+        registry.histogram(
+            "bolt.hot_text_bytes",
+            "emitted hot-text size",
+            buckets=(256, 1024, 4096, 16384, 65536, 262144, 1048576),
+        ).observe(hot_bytes)
+
     return BoltResult(
         binary=binary,
         hot_functions=list(func_order),

@@ -7,18 +7,33 @@ Examples::
     python -m repro table 2              # fixed costs
     python -m repro quickstart           # one OCOLOS cycle on MySQL-like
     python -m repro fig 5 --transactions 300
+    python -m repro run-pipeline --trace-out trace.json --metrics-out m.json
+    python -m repro obs view trace.jsonl # text timeline of a saved trace
 
 Experiment output is the same row/series text the benchmark suite prints;
 heavy figures can take minutes (they execute the full pipelines in the VM).
+
+Every experiment subcommand accepts the observability flags ``--trace-out``
+(span trace; ``*.jsonl`` for JSON Lines, anything else for Chrome
+``trace.json``), ``--metrics-out`` (metrics registry snapshot as JSON) and
+``--log-json`` (structured JSON event log on stderr).  Tables and figures
+stay on stdout; diagnostics go through the structured logger.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.harness.reporting import format_series, format_table
+from repro.harness.reporting import format_series, format_table, format_timeline
+from repro.obs import log as _obs_log
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+_log = _obs_log.get_logger("cli")
 
 
 def _fig1(_args) -> None:
@@ -184,19 +199,92 @@ def _table2(args) -> None:
     )
 
 
-def _quickstart(_args) -> None:
+def _run_one_cycle(transactions: int, seed: int) -> None:
+    """One full OCOLOS cycle on the MySQL-like workload (quickstart body)."""
     from repro.harness.runner import launch, measure, run_ocolos_pipeline
     from repro.workloads.mysql import mysql_inputs, mysql_like
 
     workload = mysql_like()
     spec = mysql_inputs(workload)["oltp_read_only"]
-    baseline = measure(launch(workload, spec, seed=2, with_agent=False), transactions=400)
-    process, _ocolos, report = run_ocolos_pipeline(workload, spec, seed=2)
-    process.run(max_transactions=600)
-    optimized = measure(process, transactions=400, warmup=0)
+    _log.info("pipeline.start", workload=workload.name, input=spec.name,
+              transactions=transactions, seed=seed)
+    baseline = measure(
+        launch(workload, spec, seed=seed, with_agent=False), transactions=transactions
+    )
+    process, _ocolos, report = run_ocolos_pipeline(workload, spec, seed=seed)
+    process.run(max_transactions=transactions + 200)
+    optimized = measure(process, transactions=transactions, warmup=0)
+    _publish_process_metrics(process)
+    _log.info(
+        "pipeline.done",
+        original_tps=round(baseline.tps, 1),
+        ocolos_tps=round(optimized.tps, 1),
+        speedup=round(optimized.tps / baseline.tps, 4),
+        pause_ms=round(report.pause_seconds * 1000, 3),
+        samples=report.samples,
+    )
     print(f"original: {baseline.tps:,.0f} tps | OCOLOS: {optimized.tps:,.0f} tps | "
           f"speedup {optimized.tps / baseline.tps:.2f}x | "
           f"pause {report.pause_seconds * 1000:.1f} ms")
+
+
+def _quickstart(_args) -> None:
+    _run_one_cycle(transactions=400, seed=2)
+
+
+def _run_pipeline(args) -> None:
+    _run_one_cycle(transactions=args.transactions, seed=args.seed)
+
+
+def _publish_process_metrics(process) -> None:
+    """Bridge the finished process's counters into the metrics registry."""
+    registry = _metrics.current()
+    if registry is None:
+        return
+    process.counters_total().publish(registry, prefix="vm")
+    observer = process.interpreter.observer
+    if observer is not None:
+        observer.publish(registry)
+
+
+def _obs_view(args) -> int:
+    """Render a saved trace (JSONL or Chrome JSON) as a text timeline."""
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return 1
+    spans: List[dict]
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    try:
+        if isinstance(doc, dict) and "traceEvents" in doc:
+            spans = [
+                {
+                    "name": ev["name"],
+                    "span_id": i,
+                    "depth": 0,
+                    "sim_start": ev["ts"] / 1e6,
+                    "sim_duration": ev["dur"] / 1e6,
+                    "attrs": ev.get("args", {}),
+                }
+                for i, ev in enumerate(doc.get("traceEvents", []))
+                if ev.get("ph") == "X"
+            ]
+        else:
+            spans = [json.loads(line) for line in text.splitlines() if line.strip()]
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        print(
+            f"error: {args.path} is not a trace export "
+            "(expected JSONL spans or a Chrome trace document)",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_timeline(spans, width=args.width, title=f"trace: {args.path}"))
+    return 0
 
 
 FIGS: Dict[int, Callable] = {
@@ -205,47 +293,126 @@ FIGS: Dict[int, Callable] = {
 TABLES: Dict[int, Callable] = {1: _table1, 2: _table2}
 
 
+def _obs_flag_parser() -> argparse.ArgumentParser:
+    """Shared parent parser so obs flags work after any subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the span trace here (*.jsonl: JSON Lines; otherwise "
+             "Chrome trace.json, loadable in chrome://tracing / Perfetto)",
+    )
+    group.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a JSON snapshot of the metrics registry here",
+    )
+    group.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON event logs on stderr",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="OCOLOS reproduction: regenerate paper experiments.",
     )
+    obs_flags = _obs_flag_parser()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list regenerable experiments")
-    sub.add_parser("quickstart", help="one OCOLOS cycle on MySQL-like")
+    sub.add_parser("list", help="list regenerable experiments", parents=[obs_flags])
+    sub.add_parser(
+        "quickstart", help="one OCOLOS cycle on MySQL-like", parents=[obs_flags]
+    )
 
-    fig = sub.add_parser("fig", help="regenerate a figure")
+    pipeline = sub.add_parser(
+        "run-pipeline",
+        help="one OCOLOS cycle with measurement knobs (obs-friendly quickstart)",
+        parents=[obs_flags],
+    )
+    pipeline.add_argument("--transactions", type=int, default=400)
+    pipeline.add_argument("--seed", type=int, default=2)
+
+    fig = sub.add_parser("fig", help="regenerate a figure", parents=[obs_flags])
     fig.add_argument("number", type=int, choices=sorted(FIGS))
     fig.add_argument("--transactions", type=int, default=500)
 
-    table = sub.add_parser("table", help="regenerate a table")
+    table = sub.add_parser("table", help="regenerate a table", parents=[obs_flags])
     table.add_argument("number", type=int, choices=sorted(TABLES))
     table.add_argument("--transactions", type=int, default=500)
+
+    obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    view = obs_sub.add_parser("view", help="render a saved trace as a text timeline")
+    view.add_argument("path", help="trace file (*.jsonl or Chrome trace.json)")
+    view.add_argument("--width", type=int, default=48, help="bar gutter width")
     return parser
+
+
+def _enable_obs(args) -> None:
+    """Install the requested obs pillars before any experiment code runs."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    log_json = getattr(args, "log_json", False)
+    if log_json:
+        _obs_log.configure(json_output=True, level=logging.INFO)
+    elif trace_out or metrics_out:
+        _obs_log.configure(json_output=False, level=logging.INFO)
+    if trace_out:
+        _trace.install()
+    if metrics_out:
+        _metrics.install()
+
+
+def _export_obs(args) -> None:
+    """Write requested trace/metrics artifacts after the command ran."""
+    trace_out = getattr(args, "trace_out", None)
+    tracer = _trace.current()
+    if trace_out and tracer is not None:
+        tracer.export(trace_out)
+        _log.info("trace.export", path=trace_out, spans=len(tracer.finished))
+    metrics_out = getattr(args, "metrics_out", None)
+    registry = _metrics.current()
+    if metrics_out and registry is not None:
+        registry.export(metrics_out)
+        _log.info("metrics.export", path=metrics_out)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        print("figures : " + ", ".join(f"fig {n}" for n in sorted(FIGS)))
-        print("tables  : " + ", ".join(f"table {n}" for n in sorted(TABLES)))
-        print("other   : quickstart")
-        print("\nfig 10 (BAM) and the ablations run via the benchmark suite:")
-        print("  pytest benchmarks/ --benchmark-only")
-        return 0
-    if args.command == "quickstart":
-        _quickstart(args)
-        return 0
-    if args.command == "fig":
-        FIGS[args.number](args)
-        return 0
-    if args.command == "table":
-        TABLES[args.number](args)
-        return 0
-    return 2  # pragma: no cover - argparse enforces choices
+    _enable_obs(args)
+    try:
+        if args.command == "list":
+            print("figures : " + ", ".join(f"fig {n}" for n in sorted(FIGS)))
+            print("tables  : " + ", ".join(f"table {n}" for n in sorted(TABLES)))
+            print("other   : quickstart, run-pipeline, obs view")
+            print("\nfig 10 (BAM) and the ablations run via the benchmark suite:")
+            print("  pytest benchmarks/ --benchmark-only")
+            return 0
+        if args.command == "quickstart":
+            _quickstart(args)
+            return 0
+        if args.command == "run-pipeline":
+            _run_pipeline(args)
+            return 0
+        if args.command == "fig":
+            _log.info("experiment.start", kind="fig", number=args.number)
+            FIGS[args.number](args)
+            _log.info("experiment.done", kind="fig", number=args.number)
+            return 0
+        if args.command == "table":
+            _log.info("experiment.start", kind="table", number=args.number)
+            TABLES[args.number](args)
+            _log.info("experiment.done", kind="table", number=args.number)
+            return 0
+        if args.command == "obs":
+            return _obs_view(args)
+        return 2  # pragma: no cover - argparse enforces choices
+    finally:
+        _export_obs(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

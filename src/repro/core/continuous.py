@@ -48,6 +48,8 @@ from repro.core.injector import CodeInjector, InjectionReport
 from repro.core.patcher import CallSite, PatchReport, PointerPatcher
 from repro.errors import ReplacementError
 from repro.isa.assembler import encode_instruction
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.isa.disassembler import disassemble_range
 from repro.isa.instructions import Opcode
 from repro.vm.process import Process
@@ -141,37 +143,91 @@ class ContinuousReplacer:
                 f"expected generation {old_gen + 1}, got {bolted.bolt_generation}"
             )
 
-        self.ptrace.pause()
-        try:
+        with _trace.span(
+            "continuous.replace", generation=bolted.bolt_generation, round=len(self.history) + 1
+        ) as sr:
             report = ContinuousReport(generation=bolted.bolt_generation)
-            self._check_fp_invariant(old_gen)
+            # Step 3: stop the world.
+            with _trace.span("ocolos.pause", step=3) as s3:
+                self.ptrace.pause()
+            try:
+                self._check_fp_invariant(old_gen)
 
-            injector = CodeInjector(self.process)
-            report.injection = injector.inject(bolted)
+                # Step 4: inject C_{i+1} and carry-copy stack-live C_i code.
+                with _trace.span("ocolos.inject", step=4) as s4:
+                    injector = CodeInjector(self.process)
+                    report.injection = injector.inject(bolted)
 
-            band = generation_band(old_gen)
-            addr_map = self._copy_stack_live_code(current, bolted, band, report)
-            self._rewrite_stack_pointers(band, addr_map, report)
-            self._rewrite_jmpbufs(band, report)
-            self._patch_vtable_slots(bolted, band, report)
-            self._repatch_c0_calls(bolted, band, report)
-            self._repatch_trampolines(bolted, band, report)
+                    band = generation_band(old_gen)
+                    addr_map = self._copy_stack_live_code(current, bolted, band, report)
+                    s4.set_attrs(
+                        bytes_copied=report.injection.bytes_copied,
+                        bytes_copied_forward=report.bytes_copied_forward,
+                        functions_copied=report.functions_copied,
+                    )
 
-            self.fp_map.register_generation(bolted)
-            self._verify_unreachable(band)
-            report.regions_collected = self._collect_band(band)
+                # Step 5: retarget every pointer out of the retiring band,
+                # verify unreachability, then garbage-collect the band.
+                with _trace.span("ocolos.patch", step=5) as s5:
+                    self._rewrite_stack_pointers(band, addr_map, report)
+                    self._rewrite_jmpbufs(band, report)
+                    self._patch_vtable_slots(bolted, band, report)
+                    self._repatch_c0_calls(bolted, band, report)
+                    self._repatch_trampolines(bolted, band, report)
 
-            report.pause_seconds = self.cost_model.replacement_seconds(
-                pointer_writes=report.pointer_writes,
-                bytes_copied=report.injection.bytes_copied + report.bytes_copied_forward,
-            )
-            self.process.replacement_generation = bolted.bolt_generation
-            self.history.append(report)
+                    self.fp_map.register_generation(bolted)
+                    self._verify_unreachable(band)
+                    report.regions_collected = self._collect_band(band)
+                    s5.set_attrs(
+                        pointer_writes=report.pointer_writes,
+                        regions_collected=report.regions_collected,
+                    )
+
+                report.pause_seconds = self.cost_model.replacement_seconds(
+                    pointer_writes=report.pointer_writes,
+                    bytes_copied=report.injection.bytes_copied + report.bytes_copied_forward,
+                )
+                self.process.replacement_generation = bolted.bolt_generation
+                self.history.append(report)
+            finally:
+                # Step 6: let the target run again.
+                with _trace.span("ocolos.resume", step=6) as s6:
+                    self.ptrace.resume()
+            sr.set_sim_duration(report.pause_seconds)
+            sr.set_attrs(pause_seconds=report.pause_seconds)
+            _trace.apportion(sr, (s3, s4, s5, s6), report.pause_seconds)
+            self._record_metrics(report)
             return report
-        finally:
-            self.ptrace.resume()
 
     # ------------------------------------------------------------------
+
+    def _record_metrics(self, report: ContinuousReport) -> None:
+        """Publish per-round convergence gauges.
+
+        Watching ``functions_copied`` / ``bytes_copied_forward`` /
+        ``pointer_writes`` trend toward a floor across rounds is how one
+        observes continuous optimization converging on a stable layout.
+        """
+        registry = _metrics.current()
+        if registry is None:
+            return
+        gen = str(report.generation)
+        registry.counter("continuous.rounds_total", "generation replacements").inc()
+        registry.gauge("continuous.generation", "latest installed generation").set(
+            report.generation
+        )
+        for name, value in (
+            ("continuous.functions_copied", report.functions_copied),
+            ("continuous.bytes_copied_forward", report.bytes_copied_forward),
+            ("continuous.pointer_writes", report.pointer_writes),
+            ("continuous.regions_collected", report.regions_collected),
+        ):
+            registry.gauge(name, "per-round convergence indicator").labels(
+                generation=gen
+            ).set(value)
+        registry.histogram(
+            "continuous.pause_seconds", "per-round stop-the-world pause"
+        ).observe(report.pause_seconds)
 
     def _check_fp_invariant(self, old_gen: int) -> None:
         lo, hi = generation_band(old_gen)

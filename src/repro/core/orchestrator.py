@@ -32,6 +32,8 @@ from repro.core.funcptr_map import FunctionPointerMap
 from repro.core.patcher import scan_direct_call_sites
 from repro.core.replacement import CodeReplacer, ReplacementReport
 from repro.errors import ReplacementError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.profiling.dmon import FrontendDiagnosis, diagnose_frontend
 from repro.profiling.perf import PerfSession, profile_for_duration
 from repro.profiling.perf2bolt import extract_profile
@@ -129,6 +131,10 @@ class Ocolos:
         self.continuous_replacer: Optional[ContinuousReplacer] = None
         self.current_binary = original
         self.reports: List[OcolosReport] = []
+        # Give the tracer a sim-time source so spans land on the Fig 7 axis.
+        tracer = _trace.current()
+        if tracer is not None and tracer.sim_clock is None:
+            tracer.bind_sim_clock(process.sim_seconds)
 
     # ------------------------------------------------------------------
 
@@ -142,90 +148,141 @@ class Ocolos:
         cfg = self.config
         report = OcolosReport(generation=self.process.replacement_generation + 1)
 
-        if cfg.check_frontend_first:
-            report.diagnosis = diagnose_frontend(
-                self.process, threshold=cfg.frontend_threshold
-            )
-            if not report.diagnosis.should_optimize:
-                report.skipped = True
-                self.reports.append(report)
-                return report
+        with _trace.span("ocolos.optimize", generation=report.generation) as root:
+            if cfg.check_frontend_first:
+                with _trace.span(
+                    "ocolos.diagnose", threshold=cfg.frontend_threshold
+                ) as sd:
+                    report.diagnosis = diagnose_frontend(
+                        self.process, threshold=cfg.frontend_threshold
+                    )
+                    sd.set_attrs(
+                        frontend_bound=report.diagnosis.frontend_bound,
+                        frontend_latency=report.diagnosis.topdown.frontend_latency,
+                    )
+                if not report.diagnosis.should_optimize:
+                    report.skipped = True
+                    root.set_attrs(skipped=True)
+                    self._record_metrics(report)
+                    self.reports.append(report)
+                    return report
 
-        session = profile_for_duration(
-            self.process,
-            cfg.profile_seconds,
-            period=cfg.perf_period,
-            overhead=cfg.perf_overhead,
-        )
-        report.samples = session.sample_count
-        report.records = session.record_count
-
-        profile, stats = extract_profile(session.samples, self.current_binary)
-
-        generation = self.process.replacement_generation + 1
-        if generation == 1:
-            bolt_result = run_bolt(
-                self.program,
-                self.original,
-                profile,
-                options=cfg.bolt_options,
-                compiler_options=self.compiler_options,
-                generation=1,
-            )
-        else:
-            options = cfg.bolt_options or BoltOptions()
-            options.allow_rebolt = True
-            bolt_result = run_bolt(
-                self.program,
-                self.current_binary,
-                profile,
-                options=options,
-                compiler_options=self.compiler_options,
-                generation=generation,
-                cold_reference=self.original,
-            )
-        report.bolt = bolt_result
-
-        costs = self.cost_model.fixed_costs(
-            records=stats.records,
-            hot_functions=len(bolt_result.hot_functions),
-            emitted_bytes=bolt_result.hot_text_bytes,
-            pointer_writes=0,  # patched below once known
-            bytes_copied=bolt_result.hot_text_bytes,
-        )
-        # perf2bolt + BOLT run in the background while the target executes
-        # under CPU contention.
-        self._run_with_contention(costs.background_seconds)
-
-        if generation == 1:
-            report.replacement = self.replacer.replace(bolt_result)
-        else:
-            if self.continuous_replacer is None:
-                self.continuous_replacer = ContinuousReplacer(
+            # Step 1 (Fig 7 region 2): LBR collection under perf overhead.
+            with _trace.span(
+                "ocolos.profile", step=1, seconds=cfg.profile_seconds
+            ) as sp:
+                session = profile_for_duration(
                     self.process,
-                    self.original,
-                    self.fp_map,
-                    call_sites=self.call_sites,
-                    cost_model=self.cost_model,
+                    cfg.profile_seconds,
+                    period=cfg.perf_period,
+                    overhead=cfg.perf_overhead,
                 )
-            report.continuous = self.continuous_replacer.replace_next(
-                bolt_result, self.current_binary
-            )
+                report.samples = session.sample_count
+                report.records = session.record_count
+                sp.set_attrs(samples=report.samples, records=report.records)
+                sp.set_sim_duration(cfg.profile_seconds)
 
-        pointer_writes = (
-            report.replacement.pointer_writes
-            if report.replacement is not None
-            else report.continuous.pointer_writes
-        )
-        report.costs = FixedCosts(
-            perf2bolt_seconds=costs.perf2bolt_seconds,
-            llvm_bolt_seconds=costs.llvm_bolt_seconds,
-            replacement_seconds=report.pause_seconds,
-        )
-        _ = pointer_writes
+            # Step 2 (Fig 7 region 3): perf2bolt + BOLT in the background.
+            # The VM executes only a capped slice of this phase, so the span
+            # is pinned to the cost model's full modelled duration.
+            with _trace.span("ocolos.build", step=2) as sb:
+                profile, stats = extract_profile(session.samples, self.current_binary)
+
+                generation = self.process.replacement_generation + 1
+                if generation == 1:
+                    bolt_result = run_bolt(
+                        self.program,
+                        self.original,
+                        profile,
+                        options=cfg.bolt_options,
+                        compiler_options=self.compiler_options,
+                        generation=1,
+                    )
+                else:
+                    options = cfg.bolt_options or BoltOptions()
+                    options.allow_rebolt = True
+                    bolt_result = run_bolt(
+                        self.program,
+                        self.current_binary,
+                        profile,
+                        options=options,
+                        compiler_options=self.compiler_options,
+                        generation=generation,
+                        cold_reference=self.original,
+                    )
+                report.bolt = bolt_result
+
+                costs = self.cost_model.fixed_costs(
+                    records=stats.records,
+                    hot_functions=len(bolt_result.hot_functions),
+                    emitted_bytes=bolt_result.hot_text_bytes,
+                    pointer_writes=0,  # patched below once known
+                    bytes_copied=bolt_result.hot_text_bytes,
+                )
+                self._run_with_contention(costs.background_seconds)
+                sb.set_attrs(
+                    perf2bolt_seconds=costs.perf2bolt_seconds,
+                    llvm_bolt_seconds=costs.llvm_bolt_seconds,
+                    hot_functions=len(bolt_result.hot_functions),
+                )
+                sb.set_sim_duration(costs.background_seconds)
+
+            # Steps 3-6 (Fig 7 region 4): pause/inject/patch/resume spans are
+            # emitted by the replacer that performs them.
+            if generation == 1:
+                report.replacement = self.replacer.replace(bolt_result)
+            else:
+                if self.continuous_replacer is None:
+                    self.continuous_replacer = ContinuousReplacer(
+                        self.process,
+                        self.original,
+                        self.fp_map,
+                        call_sites=self.call_sites,
+                        cost_model=self.cost_model,
+                    )
+                report.continuous = self.continuous_replacer.replace_next(
+                    bolt_result, self.current_binary
+                )
+
+            report.costs = FixedCosts(
+                perf2bolt_seconds=costs.perf2bolt_seconds,
+                llvm_bolt_seconds=costs.llvm_bolt_seconds,
+                replacement_seconds=report.pause_seconds,
+            )
+            root.set_attrs(
+                pause_seconds=report.pause_seconds,
+                samples=report.samples,
+            )
+        self._record_metrics(report)
         self.current_binary = bolt_result.binary
         self.reports.append(report)
         return report
+
+    def _record_metrics(self, report: OcolosReport) -> None:
+        """Publish one optimization's outcome to the metrics registry."""
+        registry = _metrics.current()
+        if registry is None:
+            return
+        registry.counter(
+            "ocolos.optimizations_total", "optimize_once invocations"
+        ).labels(skipped="yes" if report.skipped else "no").inc()
+        if report.skipped:
+            return
+        registry.gauge(
+            "ocolos.generation", "current code generation of the target"
+        ).set(self.process.replacement_generation)
+        registry.histogram(
+            "ocolos.pause_seconds", "stop-the-world replacement pause"
+        ).observe(report.pause_seconds)
+        if report.costs is not None:
+            registry.gauge("ocolos.perf2bolt_seconds").set(report.costs.perf2bolt_seconds)
+            registry.gauge("ocolos.llvm_bolt_seconds").set(report.costs.llvm_bolt_seconds)
+        registry.counter("ocolos.samples_total", "LBR snapshots consumed").inc(
+            report.samples
+        )
+        registry.counter("ocolos.records_total", "LBR records consumed").inc(
+            report.records
+        )
 
     # ------------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from repro.core.funcptr_map import FunctionPointerMap
 from repro.core.injector import CodeInjector, InjectionReport
 from repro.core.patcher import CallSite, PatchReport, PointerPatcher
 from repro.errors import ReplacementError
+from repro.obs import trace as _trace
 from repro.vm.process import Process
 from repro.vm.ptrace import PtraceController
 from repro.vm.unwind import AddressIndex, stack_live_functions
@@ -107,40 +108,62 @@ class CodeReplacer:
                 f"expected generation {expected}, got {bolted.bolt_generation}"
             )
 
-        self.ptrace.pause()
-        try:
+        with _trace.span("ocolos.replace", generation=bolted.bolt_generation) as sr:
             report = ReplacementReport(generation=bolted.bolt_generation)
-            injector = CodeInjector(self.process)
-            report.injection = injector.inject(bolted)
+            # Step 3: stop the world.
+            with _trace.span("ocolos.pause", step=3) as s3:
+                self.ptrace.pause()
+            try:
+                # Step 4: inject the BOLTed code at its linked addresses.
+                with _trace.span("ocolos.inject", step=4) as s4:
+                    injector = CodeInjector(self.process)
+                    report.injection = injector.inject(bolted)
+                    s4.set_attrs(bytes_copied=report.injection.bytes_copied)
 
-            self.patcher.patch_vtables(bolted, report.patches)
+                # Step 5: patch v-tables, stack-live call sites, fp map.
+                with _trace.span("ocolos.patch", step=5) as s5:
+                    self.patcher.patch_vtables(bolted, report.patches)
 
-            index = AddressIndex([self.original, bolted])
-            live = stack_live_functions(self.process, index)
-            report.patches.stack_live_functions = live
-            report.stack_live_count = len(live)
-            if self.patch_all_calls:
-                targets: Set[str] = set(self.patcher.all_c0_functions())
-            else:
-                targets = live
-            self.patcher.patch_direct_calls(bolted, sorted(targets), report.patches)
+                    index = AddressIndex([self.original, bolted])
+                    live = stack_live_functions(self.process, index)
+                    report.patches.stack_live_functions = live
+                    report.stack_live_count = len(live)
+                    if self.patch_all_calls:
+                        targets: Set[str] = set(self.patcher.all_c0_functions())
+                    else:
+                        targets = live
+                    self.patcher.patch_direct_calls(
+                        bolted, sorted(targets), report.patches
+                    )
 
-            self.fp_map.register_generation(bolted)
-            self.fp_map.install(self.process)
+                    self.fp_map.register_generation(bolted)
+                    self.fp_map.install(self.process)
 
-            if self.trampolines:
-                from repro.core.trampoline import TrampolineInstaller
+                    if self.trampolines:
+                        from repro.core.trampoline import TrampolineInstaller
 
-                report.trampolines = TrampolineInstaller(
-                    self.ptrace, self.original
-                ).install(bolted)
+                        report.trampolines = TrampolineInstaller(
+                            self.ptrace, self.original
+                        ).install(bolted)
+                    s5.set_attrs(
+                        pointer_writes=report.pointer_writes,
+                        stack_live=report.stack_live_count,
+                    )
 
-            report.pause_seconds = self.cost_model.replacement_seconds(
-                pointer_writes=report.pointer_writes,
-                bytes_copied=report.injection.bytes_copied,
-            )
-            self.process.replacement_generation = bolted.bolt_generation
-            self.history.append(report)
+                report.pause_seconds = self.cost_model.replacement_seconds(
+                    pointer_writes=report.pointer_writes,
+                    bytes_copied=report.injection.bytes_copied,
+                )
+                self.process.replacement_generation = bolted.bolt_generation
+                self.history.append(report)
+            finally:
+                # Step 6: let the target run again.
+                with _trace.span("ocolos.resume", step=6) as s6:
+                    self.ptrace.resume()
+            # The sim clock froze while paused: pin the replacement span to
+            # the modelled pause and lay the steps out inside it by their
+            # measured host-time shares.
+            sr.set_sim_duration(report.pause_seconds)
+            sr.set_attrs(pause_seconds=report.pause_seconds)
+            _trace.apportion(sr, (s3, s4, s5, s6), report.pause_seconds)
             return report
-        finally:
-            self.ptrace.resume()

@@ -1,8 +1,9 @@
-"""Plain-text table and series formatting for experiment output."""
+"""Plain-text table, series, and timeline formatting for experiment output."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import math
+from typing import Iterable, List, Mapping, Sequence
 
 
 def format_table(
@@ -10,8 +11,20 @@ def format_table(
     rows: Iterable[Sequence[object]],
     title: str = "",
 ) -> str:
-    """Render rows as an aligned text table."""
-    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    """Render rows as an aligned text table.
+
+    Numeric columns (every cell an int/float) are right-aligned so magnitudes
+    line up; everything else stays left-aligned.
+    """
+    raw_rows = [list(row) for row in rows]
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in raw_rows]
+    numeric = [True] * len(headers)
+    for row in raw_rows:
+        for i, cell in enumerate(row):
+            if not _is_number(cell):
+                numeric[i] = False
+    if not raw_rows:
+        numeric = [False] * len(headers)
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):
@@ -19,10 +32,10 @@ def format_table(
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(_pad(h, w, num) for h, w, num in zip(headers, widths, numeric)))
     lines.append("  ".join("-" * w for w in widths))
     for row in str_rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(_pad(c, w, num) for c, w, num in zip(row, widths, numeric)))
     return "\n".join(lines)
 
 
@@ -36,8 +49,75 @@ def format_series(
     return format_table([x_label, *y_labels], points, title=title)
 
 
+def format_timeline(
+    spans: Sequence[Mapping[str, object]],
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Render exported trace spans as an indented text timeline.
+
+    Args:
+        spans: span dicts as produced by
+            :meth:`repro.obs.trace.Span.to_dict` (JSONL export rows).
+        width: character width of the bar gutter.
+        title: optional heading.
+
+    Each line shows the span name (indented by nesting depth), its sim-clock
+    start and duration, and a bar positioned on a shared sim-time axis — a
+    text rendering of the paper's Fig 7 timeline.
+    """
+    if not spans:
+        return "(empty trace)"
+    ordered = sorted(
+        spans, key=lambda s: (float(s["sim_start"]), int(s.get("span_id", 0)))
+    )
+    t0 = min(float(s["sim_start"]) for s in ordered)
+    t1 = max(float(s["sim_start"]) + float(s["sim_duration"]) for s in ordered)
+    extent = max(t1 - t0, 1e-12)
+
+    labels = []
+    for s in ordered:
+        step = ""
+        attrs = s.get("attrs") or {}
+        if isinstance(attrs, Mapping) and "step" in attrs:
+            step = f" [step {attrs['step']}]"
+        labels.append("  " * int(s.get("depth", 0)) + str(s["name"]) + step)
+    name_w = max(len(label) for label in labels)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"sim window: {t0:.6f} .. {t1:.6f} s  (extent {extent:.6f} s, {len(ordered)} spans)"
+    )
+    for s, label in zip(ordered, labels):
+        start = float(s["sim_start"]) - t0
+        dur = float(s["sim_duration"])
+        left = int(round(start / extent * width))
+        left = min(left, width - 1)
+        length = max(1, int(round(dur / extent * width)))
+        length = min(length, width - left)
+        bar = " " * left + "#" * length
+        lines.append(
+            f"{label.ljust(name_w)}  {start:>12.6f}  {dur:>12.6f}  |{bar.ljust(width)}|"
+        )
+    return "\n".join(lines)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _pad(cell: str, width: int, numeric: bool) -> str:
+    return cell.rjust(width) if numeric else cell.ljust(width)
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
         if value == 0:
             return "0"
         if abs(value) >= 1000:

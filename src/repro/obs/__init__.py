@@ -1,0 +1,80 @@
+"""Observability for the OCOLOS pipeline: traces, metrics, structured logs.
+
+Three pillars, all off by default and zero-cost while off:
+
+* :mod:`repro.obs.trace` — nested span tracing with sim-clock *and*
+  wall-clock timestamps; exports JSONL and Chrome/Perfetto ``trace.json``.
+  An orchestrator trace rendered on the sim axis is the paper's Fig 7
+  timeline.
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  with labels, plus ``snapshot()`` / ``diff()`` for windowed measurement.
+* :mod:`repro.obs.log` — structured event logging (JSON or key=value) on
+  stdlib ``logging``.
+
+Enable everything with::
+
+    import repro.obs as obs
+
+    tracer, registry = obs.enable()
+    ...run a pipeline...
+    tracer.export("trace.json")
+    registry.export("metrics.json")
+    obs.disable()
+
+or use the CLI flags: ``python -m repro run-pipeline --trace-out trace.json
+--metrics-out metrics.json --log-json``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro._lazy import lazy_exports
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+_EXPORTS = {
+    # tracing
+    "Tracer": ".trace",
+    "Span": ".trace",
+    "span": ".trace",
+    # metrics
+    "MetricsRegistry": ".metrics",
+    "MetricsSnapshot": ".metrics",
+    "Counter": ".metrics",
+    "Gauge": ".metrics",
+    "Histogram": ".metrics",
+    "VMCounters": ".metrics",
+    # logging
+    "StructuredLogger": ".log",
+    "get_logger": ".log",
+    "configure": ".log",
+}
+
+__getattr__, __dir__, _all = lazy_exports(__name__, _EXPORTS)
+__all__ = _all + ["enable", "disable", "enabled"]
+
+
+def enable(
+    *, trace: bool = True, metrics: bool = True
+) -> Tuple[Optional["_trace.Tracer"], Optional["_metrics.MetricsRegistry"]]:
+    """Turn observability on; returns ``(tracer, registry)`` (None if off).
+
+    Processes created after this call pick up interpreter-level VM counters
+    automatically; attach to an existing process with
+    ``process.interpreter.set_observer(metrics.vm_counters())``.
+    """
+    tracer = _trace.install() if trace else None
+    registry = _metrics.install() if metrics else None
+    return tracer, registry
+
+
+def disable() -> None:
+    """Turn all observability off (spans/metrics recorded so far are lost)."""
+    _trace.uninstall()
+    _metrics.uninstall()
+
+
+def enabled() -> bool:
+    """Whether any observability pillar is currently installed."""
+    return _trace.current() is not None or _metrics.current() is not None

@@ -1,0 +1,133 @@
+"""Structured event logging on top of stdlib :mod:`logging`.
+
+Instrumented code logs *events with fields*, not formatted prose::
+
+    from repro.obs import log
+
+    _log = log.get_logger("cli")
+    _log.info("experiment.start", command="fig", number=5, transactions=500)
+
+Events flow through the ordinary ``logging`` machinery under the
+``repro.<name>`` hierarchy, so applications embedding this package can route
+them however they like.  :func:`configure` installs a handler on the
+``repro`` root for CLI use: human-readable ``key=value`` lines by default,
+or one JSON object per line with ``json_output=True`` (the ``--log-json``
+flag) — machine-readable, grep-able, and safely off stdout (experiment
+tables own stdout; logs go to stderr).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["StructuredLogger", "JsonFormatter", "KeyValueFormatter", "get_logger", "configure"]
+
+ROOT_NAME = "repro"
+
+#: Attribute used to smuggle event fields through a LogRecord.
+_FIELDS_ATTR = "obs_fields"
+
+
+class StructuredLogger:
+    """Thin wrapper turning keyword arguments into event fields."""
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self.logger = logger
+
+    def _emit(self, level: int, event: str, fields: Dict[str, Any]) -> None:
+        if self.logger.isEnabledFor(level):
+            self.logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+    def debug(self, event: str, **fields: Any) -> None:
+        """Log ``event`` at DEBUG with ``fields``."""
+        self._emit(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        """Log ``event`` at INFO with ``fields``."""
+        self._emit(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        """Log ``event`` at WARNING with ``fields``."""
+        self._emit(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        """Log ``event`` at ERROR with ``fields``."""
+        self._emit(logging.ERROR, event, fields)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            doc.update(fields)
+        if record.exc_info:
+            doc["exception"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Human-readable ``HH:MM:SS level logger event k=v ...`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        parts = [stamp, record.levelname.lower(), record.name, record.getMessage()]
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            parts.extend(f"{k}={_short(v)}" for k, v in fields.items())
+        line = " ".join(parts)
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def _short(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def get_logger(name: str = "") -> StructuredLogger:
+    """A structured logger under the ``repro`` hierarchy."""
+    full = f"{ROOT_NAME}.{name}" if name else ROOT_NAME
+    return StructuredLogger(logging.getLogger(full))
+
+
+def configure(
+    *,
+    json_output: bool = False,
+    level: int = logging.INFO,
+    stream: Optional[Any] = None,
+) -> logging.Handler:
+    """Install a handler on the ``repro`` root logger (idempotent).
+
+    Args:
+        json_output: emit JSON lines instead of key=value text.
+        level: minimum level for the ``repro`` hierarchy.
+        stream: destination (defaults to ``sys.stderr``).
+
+    Returns:
+        the installed handler (so tests/CLI can remove or retarget it).
+    """
+    root = logging.getLogger(ROOT_NAME)
+    root.setLevel(level)
+    root.propagate = False
+    for handler in list(root.handlers):
+        if getattr(handler, "_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_output else KeyValueFormatter())
+    handler._obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    return handler

@@ -1,0 +1,409 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The API follows the Prometheus client shape scaled down to this repo's
+needs::
+
+    from repro.obs import metrics
+
+    reg = metrics.current()
+    if reg is not None:
+        reg.counter("perf.samples_total").inc(session.sample_count)
+        reg.gauge("ocolos.generation").set(3)
+        reg.histogram("bolt.pass_seconds").observe(0.012)
+
+Every instrument supports labels via ``labels(**kv)``, which returns a bound
+child sharing the parent's storage::
+
+    reg.counter("perf2bolt.records_total").labels(resolved="yes").inc(n)
+
+:meth:`MetricsRegistry.snapshot` returns an immutable
+:class:`MetricsSnapshot`; ``new.diff(old)`` subtracts counter and histogram
+series (gauges keep their newest value), which is how a measurement window
+is carved out of monotonically growing totals.
+
+The registry is process-global and off by default — instrumented code holds
+no reference and asks :func:`current` each time, paying a single ``None``
+check when observability is disabled.
+
+:class:`VMCounters` is the special case for the interpreter's hot path: a
+plain-attribute bag the instrumented step function increments directly
+(dict-keyed instruments would be too slow at one update per executed run),
+published into the registry on demand via :meth:`VMCounters.publish`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "VMCounters",
+    "current",
+    "install",
+    "uninstall",
+    "vm_counters",
+]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets (seconds-flavoured, log-spaced).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+)
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared storage + label plumbing for one named metric."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: Dict[LabelKey, Any] = {}
+        self._bound: LabelKey = ()
+
+    def labels(self, **labels: Any) -> "_Instrument":
+        """A view of this metric bound to a label set."""
+        child = self.__class__.__new__(self.__class__)
+        child.__dict__.update(self.__dict__)
+        child._bound = _label_key(labels)
+        return child
+
+    def _value_factory(self) -> Any:
+        raise NotImplementedError
+
+    def _cell(self) -> Any:
+        cell = self._series.get(self._bound)
+        if cell is None:
+            cell = self._series[self._bound] = self._value_factory()
+        return cell
+
+    def series(self) -> Dict[LabelKey, Any]:
+        """Raw per-label-set values (for snapshots/tests)."""
+        return dict(self._series)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def _value_factory(self) -> List[float]:
+        return [0.0]
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._cell()[0] += amount
+
+    @property
+    def value(self) -> float:
+        """Current value of the bound (or unlabeled) series."""
+        cell = self._series.get(self._bound)
+        return cell[0] if cell is not None else 0.0
+
+
+class Gauge(_Instrument):
+    """Point-in-time value that can go up and down."""
+
+    kind = "gauge"
+
+    def _value_factory(self) -> List[float]:
+        return [0.0]
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self._cell()[0] = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self._cell()[0] += amount
+
+    @property
+    def value(self) -> float:
+        """Current value of the bound (or unlabeled) series."""
+        cell = self._series.get(self._bound)
+        return cell[0] if cell is not None else 0.0
+
+
+class _HistogramCell:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # +1 = overflow (+Inf) bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram (cumulative-le semantics on export)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty sequence")
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+
+    def _value_factory(self) -> _HistogramCell:
+        return _HistogramCell(len(self.buckets))
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        cell = self._cell()
+        cell.sum += value
+        cell.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                cell.counts[i] += 1
+                return
+        cell.counts[-1] += 1
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts of the bound series."""
+        cell = self._series.get(self._bound)
+        return list(cell.counts) if cell is not None else [0] * (len(self.buckets) + 1)
+
+    @property
+    def count(self) -> int:
+        """Observations recorded on the bound series."""
+        cell = self._series.get(self._bound)
+        return cell.count if cell is not None else 0
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations on the bound series."""
+        cell = self._series.get(self._bound)
+        return cell.sum if cell is not None else 0.0
+
+
+class MetricsSnapshot:
+    """Frozen registry contents: ``{metric: {label_key: value}}``.
+
+    Counter/gauge values are floats; histogram values are dicts with
+    ``buckets`` (upper bound -> count), ``sum`` and ``count``.
+    """
+
+    def __init__(self, data: Dict[str, Dict[str, Any]]) -> None:
+        self.data = data
+
+    def __getitem__(self, name: str) -> Dict[str, Any]:
+        return self.data[name]["series"]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.data
+
+    def names(self) -> List[str]:
+        """All metric names in the snapshot."""
+        return sorted(self.data)
+
+    def value(self, name: str, **labels: Any) -> Any:
+        """One series value (0.0 / empty when never recorded)."""
+        meta = self.data.get(name)
+        if meta is None:
+            return 0.0
+        return meta["series"].get(_label_text(_label_key(labels)), 0.0)
+
+    def diff(self, older: "MetricsSnapshot") -> "MetricsSnapshot":
+        """This snapshot minus ``older``.
+
+        Counters and histograms subtract series-wise; gauges keep this
+        snapshot's value (a gauge is a level, not a flow).
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, meta in self.data.items():
+            old_meta = older.data.get(name, {"series": {}})
+            old_series = old_meta["series"]
+            series: Dict[str, Any] = {}
+            for key, value in meta["series"].items():
+                if meta["kind"] == "gauge":
+                    series[key] = value
+                elif meta["kind"] == "histogram":
+                    old = old_series.get(key)
+                    series[key] = _diff_histogram(value, old)
+                else:
+                    series[key] = value - old_series.get(key, 0.0)
+            out[name] = {"kind": meta["kind"], "help": meta["help"], "series": series}
+        return MetricsSnapshot(out)
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-dict form (what ``--metrics-out`` writes)."""
+        return self.data
+
+    def to_json(self) -> str:
+        """Pretty JSON document of the snapshot."""
+        return json.dumps(self.data, indent=2, sort_keys=True)
+
+
+def _label_text(key: LabelKey) -> str:
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+def _diff_histogram(new: Dict[str, Any], old: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    if old is None:
+        return dict(new)
+    return {
+        "buckets": {
+            le: n - old["buckets"].get(le, 0) for le, n in new["buckets"].items()
+        },
+        "sum": new["sum"] - old["sum"],
+        "count": new["count"] - old["count"],
+    }
+
+
+class MetricsRegistry:
+    """Names and owns every instrument."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Instrument] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> _Instrument:
+        inst = self._metrics.get(name)
+        if inst is None:
+            inst = self._metrics[name] = cls(name, help, **kwargs)
+        elif not isinstance(inst, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"requested {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create a fixed-bucket histogram."""
+        return self._get(Histogram, name, help, buckets=buckets)  # type: ignore[return-value]
+
+    def names(self) -> List[str]:
+        """All registered metric names."""
+        return sorted(self._metrics)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze every series into a :class:`MetricsSnapshot`."""
+        data: Dict[str, Dict[str, Any]] = {}
+        for name, inst in self._metrics.items():
+            series: Dict[str, Any] = {}
+            for key, cell in inst.series().items():
+                text = _label_text(key)
+                if isinstance(inst, Histogram):
+                    hist: _HistogramCell = cell
+                    buckets = {
+                        ("+Inf" if i == len(inst.buckets) else repr(inst.buckets[i])): n
+                        for i, n in enumerate(hist.counts)
+                    }
+                    series[text] = {
+                        "buckets": buckets,
+                        "sum": hist.sum,
+                        "count": hist.count,
+                    }
+                else:
+                    series[text] = cell[0]
+            data[name] = {"kind": inst.kind, "help": inst.help, "series": series}
+        return MetricsSnapshot(data)
+
+    def export(self, path: str) -> None:
+        """Write the current snapshot to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.snapshot().to_json() + "\n")
+
+
+class VMCounters:
+    """Hot-path event counters the interpreter increments directly.
+
+    These mirror (a subset of) the per-core
+    :class:`~repro.uarch.perfcounters.PerfCounters` bookkeeping, counted at
+    the interpreter layer: ``instructions`` and ``branches`` accumulate the
+    exact same increments the front-end model receives, so the two sources
+    must agree to the unit when observation covers the process's whole life.
+    """
+
+    __slots__ = ("instructions", "branches", "runs")
+
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.branches = 0
+        self.runs = 0
+
+    def publish(self, registry: MetricsRegistry, prefix: str = "vm.interp") -> None:
+        """Copy the totals into ``registry`` as gauges."""
+        registry.gauge(
+            f"{prefix}.instructions", "instructions executed (interpreter count)"
+        ).set(self.instructions)
+        registry.gauge(
+            f"{prefix}.branches", "control transfers executed (interpreter count)"
+        ).set(self.branches)
+        registry.gauge(f"{prefix}.runs", "decoded runs executed").set(self.runs)
+
+
+# ---------------------------------------------------------------------------
+# module-level registry (the instrumentation surface)
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def install(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install (and return) the process-wide registry, enabling metrics.
+
+    Interpreters constructed *after* this call each allocate their own
+    :class:`VMCounters` bag (see :func:`vm_counters`); attach one to a live
+    process with ``process.interpreter.set_observer(metrics.vm_counters())``.
+    """
+    global _REGISTRY
+    _REGISTRY = registry if registry is not None else MetricsRegistry()
+    return _REGISTRY
+
+
+def uninstall() -> None:
+    """Disable metrics collection."""
+    global _REGISTRY
+    _REGISTRY = None
+
+
+def current() -> Optional[MetricsRegistry]:
+    """The installed registry, or None when metrics are disabled."""
+    return _REGISTRY
+
+
+def vm_counters() -> Optional[VMCounters]:
+    """A fresh interpreter counter bag, or None while metrics are disabled.
+
+    One bag per interpreter (not shared): a simulated host runs many
+    processes, and each process's counts must stay comparable to its own
+    :class:`~repro.uarch.perfcounters.PerfCounters` totals.
+    """
+    return VMCounters() if _REGISTRY is not None else None

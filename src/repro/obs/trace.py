@@ -1,0 +1,373 @@
+"""Span tracer: the journey of one OCOLOS pipeline, recorded.
+
+A :class:`Tracer` records nested :class:`Span`\\ s with *two* clocks:
+
+* **sim clock** — the simulated machine's wall time (core cycles over
+  :data:`~repro.uarch.frontend.CLOCK_HZ`), bound per pipeline via
+  :meth:`Tracer.bind_sim_clock`.  A trace plotted on this axis *is* the
+  paper's Fig 7 timeline: the profile span is region 2, the background
+  build span region 3, the replacement span region 4.
+* **wall clock** — host ``time.perf_counter()``, for finding where the
+  reproduction itself spends host time.
+
+Spans are created through the module-level :func:`span` helper::
+
+    from repro.obs import trace
+
+    with trace.span("bolt.run", generation=1) as sp:
+        ...
+        sp.set_attrs(hot_functions=42)
+
+When tracing is disabled (the default) :func:`span` returns a shared no-op
+object and the instrumented code pays one dict construction plus one ``None``
+check — nothing is recorded and no tracer state exists.
+
+Finished spans export as JSONL (one span object per line) or as a Chrome
+``chrome://tracing`` / Perfetto-compatible ``trace.json`` (complete ``"X"``
+events on the sim-clock axis, wall durations carried in ``args``).
+
+Phases whose simulated duration is *modelled* rather than executed (the
+background BOLT build runs under a sim cap; the stop-the-world pause does not
+advance the target's clock at all) set their span length explicitly with
+:meth:`Span.set_sim_duration`; the recorded trace then reconciles with the
+cost model's Table II numbers by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "apportion",
+    "current",
+    "span",
+    "event",
+    "install",
+    "uninstall",
+]
+
+
+class Span:
+    """One timed operation, possibly nested inside another."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "attrs",
+        "sim_start",
+        "sim_end",
+        "wall_start",
+        "wall_end",
+        "_tracer",
+        "_sim_duration_override",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.attrs = attrs
+        self.sim_start = tracer.sim_now()
+        self.sim_end: Optional[float] = None
+        self.wall_start = time.perf_counter()
+        self.wall_end: Optional[float] = None
+        self._sim_duration_override: Optional[float] = None
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+
+    # -- mutation -------------------------------------------------------
+
+    def set_attrs(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes on the live span."""
+        self.attrs.update(attrs)
+        return self
+
+    def set_sim_duration(self, seconds: float) -> "Span":
+        """Pin the span's simulated duration to a modelled value.
+
+        Used for phases the VM does not execute in full: the background
+        build (executed only up to ``background_sim_cap_seconds``) and the
+        stop-the-world pause (the target's clock is frozen while paused).
+        """
+        self._sim_duration_override = float(seconds)
+        return self
+
+    def set_sim_window(self, start: float, duration: float) -> "Span":
+        """Re-anchor the span on the sim axis (used when a parent
+        apportions its modelled duration across children)."""
+        self.sim_start = float(start)
+        self._sim_duration_override = float(duration)
+        return self
+
+    # -- derived --------------------------------------------------------
+
+    @property
+    def sim_duration(self) -> float:
+        """Simulated seconds covered by this span."""
+        if self._sim_duration_override is not None:
+            return self._sim_duration_override
+        end = self.sim_end if self.sim_end is not None else self._tracer.sim_now()
+        return end - self.sim_start
+
+    @property
+    def wall_duration(self) -> float:
+        """Host seconds spent inside this span."""
+        end = self.wall_end if self.wall_end is not None else time.perf_counter()
+        return end - self.wall_start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL record for this span."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "sim_start": self.sim_start,
+            "sim_duration": self.sim_duration,
+            "wall_start": self.wall_start,
+            "wall_duration": self.wall_duration,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, sim={self.sim_start:.4f}"
+            f"+{self.sim_duration:.4f}s, depth={self.depth})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set_attrs(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def set_sim_duration(self, seconds: float) -> "_NullSpan":
+        return self
+
+    def set_sim_window(self, start: float, duration: float) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records a tree of spans against a bindable sim clock."""
+
+    def __init__(self, sim_clock: Optional[Callable[[], float]] = None) -> None:
+        self.sim_clock = sim_clock
+        self.finished: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- clock ----------------------------------------------------------
+
+    def bind_sim_clock(self, clock: Optional[Callable[[], float]]) -> None:
+        """Attach the simulated-time source (e.g. ``process.sim_seconds``)."""
+        self.sim_clock = clock
+
+    def sim_now(self) -> float:
+        """Current simulated time, 0.0 while no clock is bound."""
+        clock = self.sim_clock
+        return clock() if clock is not None else 0.0
+
+    # -- spans ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span; close it via ``with`` or :meth:`Span.__exit__`."""
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(
+            self,
+            name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(self._stack),
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._stack.append(sp)
+        return sp
+
+    def _finish(self, sp: Span) -> None:
+        sp.sim_end = self.sim_now()
+        sp.wall_end = time.perf_counter()
+        # Close any abandoned children first (exception unwinding).
+        while self._stack and self._stack[-1] is not sp:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self.finished.append(sp)
+
+    def event(self, name: str, **attrs: Any) -> Span:
+        """Record an instantaneous (zero-duration) span."""
+        with self.span(name, **attrs) as sp:
+            sp.set_sim_duration(0.0)
+        return sp
+
+    def clear(self) -> None:
+        """Drop all recorded spans (the open stack is preserved)."""
+        self.finished.clear()
+
+    # -- queries --------------------------------------------------------
+
+    def find(self, name: str) -> List[Span]:
+        """Finished spans with ``name``, in completion order."""
+        return [s for s in self.finished if s.name == name]
+
+    def pipeline_steps(self) -> List[Span]:
+        """The paper's six pipeline-step spans, ordered by start time.
+
+        Step spans are identified by their ``step`` attribute (1-6), set by
+        the orchestrator and the replacers.
+        """
+        steps = [s for s in self.finished if "step" in s.attrs]
+        steps.sort(key=lambda s: (s.wall_start, s.attrs["step"]))
+        return steps
+
+    # -- export ---------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """All finished spans as JSON Lines (start-time order)."""
+        ordered = sorted(self.finished, key=lambda s: (s.wall_start, s.span_id))
+        return "\n".join(json.dumps(s.to_dict(), sort_keys=True) for s in ordered)
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """Chrome ``trace.json`` document on the sim-clock axis.
+
+        Complete (``"X"``) events; timestamps in microseconds as the format
+        requires.  Wall-clock durations ride along in ``args.wall_ms``.
+        """
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "ocolos-sim"},
+            }
+        ]
+        for sp in sorted(self.finished, key=lambda s: (s.sim_start, s.span_id)):
+            args = dict(sp.attrs)
+            args["wall_ms"] = round(sp.wall_duration * 1e3, 3)
+            events.append(
+                {
+                    "name": sp.name,
+                    "cat": sp.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": sp.sim_start * 1e6,
+                    "dur": sp.sim_duration * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export(self, path: str) -> None:
+        """Write the trace to ``path``.
+
+        ``*.jsonl`` gets JSON Lines; anything else (conventionally
+        ``trace.json``) gets the Chrome trace document.
+        """
+        if path.endswith(".jsonl"):
+            text = self.to_jsonl() + "\n"
+        else:
+            text = json.dumps(self.to_chrome(), sort_keys=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+
+# ---------------------------------------------------------------------------
+# module-level tracer (the instrumentation surface)
+# ---------------------------------------------------------------------------
+
+_TRACER: Optional[Tracer] = None
+
+
+def install(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the process-wide tracer, enabling tracing."""
+    global _TRACER
+    _TRACER = tracer if tracer is not None else Tracer()
+    return _TRACER
+
+
+def uninstall() -> None:
+    """Disable tracing; :func:`span` reverts to the no-op span."""
+    global _TRACER
+    _TRACER = None
+
+
+def current() -> Optional[Tracer]:
+    """The installed tracer, or None when tracing is disabled."""
+    return _TRACER
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the installed tracer (no-op while disabled)."""
+    t = _TRACER
+    if t is None:
+        return NULL_SPAN
+    return t.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record an instantaneous event on the installed tracer, if any."""
+    t = _TRACER
+    if t is not None:
+        t.event(name, **attrs)
+
+
+def apportion(parent, children, total_seconds: float) -> None:
+    """Split a parent's modelled sim duration across finished children.
+
+    Used for the stop-the-world window: the target's sim clock is frozen
+    while paused, so the pause/inject/patch/resume child spans have zero
+    measured sim extent.  This lays them out sequentially inside the parent,
+    each sized by its share of the *host* time actually spent — a modelled
+    duration decomposed by measured proportions.
+    """
+    if parent is NULL_SPAN or not children:
+        return
+    walls = [max(c.wall_duration, 0.0) for c in children]
+    total_wall = sum(walls)
+    if total_wall <= 0.0:
+        walls = [1.0] * len(children)
+        total_wall = float(len(children))
+    cursor = parent.sim_start
+    for child, wall in zip(children, walls):
+        duration = total_seconds * (wall / total_wall)
+        child.set_sim_window(cursor, duration)
+        cursor += duration

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ProfileError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.vm.process import Process
 from repro.vm.thread import SimThread
 
@@ -62,6 +64,17 @@ class PerfSession:
         process.perf_session = None
         process.lbr_enabled = False
         self.attached_to = None
+        # Session totals land in the registry once, at detach — nothing is
+        # recorded on the per-quantum sampling path.
+        registry = _metrics.current()
+        if registry is not None:
+            registry.counter("perf.sessions_total", "perf record invocations").inc()
+            registry.counter("perf.samples_total", "LBR snapshots taken").inc(
+                self.sample_count
+            )
+            registry.counter("perf.records_total", "LBR records captured").inc(
+                self.record_count
+            )
 
     # ------------------------------------------------------------------
 
@@ -112,9 +125,13 @@ def profile_for_duration(
     from repro.uarch.frontend import CLOCK_HZ
 
     session = PerfSession(period=period, overhead=overhead)
-    session.attach(process)
-    try:
-        process.run(max_cycles=duration_seconds * CLOCK_HZ)
-    finally:
-        session.detach()
+    with _trace.span(
+        "perf.record", seconds=duration_seconds, period=period
+    ) as sp:
+        session.attach(process)
+        try:
+            process.run(max_cycles=duration_seconds * CLOCK_HZ)
+        finally:
+            session.detach()
+        sp.set_attrs(samples=session.sample_count, records=session.record_count)
     return session

@@ -20,6 +20,8 @@ from typing import Iterable, Sequence, Tuple
 
 from repro.binary.binaryfile import Binary
 from repro.errors import ProfileError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.profiling.profile import BlockSpanIndex, BoltProfile
 
 
@@ -49,6 +51,29 @@ def extract_profile(
     Raises:
         ProfileError: if no sample could be resolved against the binary.
     """
+    with _trace.span("perf2bolt.extract", binary=binary.name) as sp:
+        profile, stats = _aggregate(samples, binary)
+        sp.set_attrs(
+            samples=stats.samples,
+            records=stats.records,
+            resolved=stats.resolved_records,
+        )
+    registry = _metrics.current()
+    if registry is not None:
+        records = registry.counter(
+            "perf2bolt.records_total", "LBR records aggregated, by resolution"
+        )
+        records.labels(resolved="yes").inc(stats.resolved_records)
+        records.labels(resolved="no").inc(stats.records - stats.resolved_records)
+        registry.counter("perf2bolt.runs_total", "aggregation invocations").inc()
+    return profile, stats
+
+
+def _aggregate(
+    samples: Iterable[Sequence[Tuple[int, int]]],
+    binary: Binary,
+) -> Tuple[BoltProfile, Perf2BoltStats]:
+    """The aggregation loop proper (see :func:`extract_profile`)."""
     index = BlockSpanIndex(binary)
     profile = BoltProfile()
     block_counts = profile.block_counts

@@ -76,6 +76,26 @@ class PerfCounters:
         Fig. 8)."""
         return 1000.0 * events / self.instructions if self.instructions else 0.0
 
+    def publish(self, registry, prefix: str = "vm", **labels: object) -> None:
+        """Bridge every counter field into an observability metrics registry.
+
+        Event counts and cycle buckets become gauges named
+        ``<prefix>.<field>`` (optionally labelled, e.g. ``core=3``); the
+        derived MPKI/PKI rates of Fig 8 are published alongside.  Gauges
+        rather than counters: a ``PerfCounters`` may be a windowed delta,
+        and deltas can shrink between publishes.
+        """
+        for f in fields(self):
+            gauge = registry.gauge(f"{prefix}.{f.name}")
+            if labels:
+                gauge = gauge.labels(**labels)
+            gauge.set(getattr(self, f.name))
+        for name in ("ipc", "l1i_mpki", "itlb_mpki", "taken_branch_pki", "mispredict_pki"):
+            gauge = registry.gauge(f"{prefix}.{name}")
+            if labels:
+                gauge = gauge.labels(**labels)
+            gauge.set(getattr(self, name))
+
     @property
     def l1i_mpki(self) -> float:
         """L1i misses per kilo-instruction."""

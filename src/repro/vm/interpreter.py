@@ -67,6 +67,10 @@ class DecodedRun:
         self.next_addr = 0
 
 
+#: Terminators that are not control transfers (no ``branch_event``).
+_NON_BRANCH_TERMS = (Opcode.SYSCALL, Opcode.HALT)
+
+
 class Interpreter:
     """Executes threads of a :class:`~repro.vm.process.Process`."""
 
@@ -75,6 +79,18 @@ class Interpreter:
         self._cache: Dict[int, DecodedRun] = {}
         self._read = process.address_space.read
         process.address_space.add_write_observer(self._on_code_write)
+        # Observability is opt-in: when the obs metrics pillar is enabled a
+        # fresh VMCounters bag is allocated here; otherwise the observer is
+        # None and run_quantum dispatches to the plain step function, keeping
+        # the disabled-path hot loop untouched.
+        from repro.obs import metrics as _obs_metrics
+
+        self._obs = _obs_metrics.vm_counters()
+
+    @property
+    def observer(self):
+        """The attached :class:`~repro.obs.metrics.VMCounters`, or None."""
+        return self._obs
 
     # ------------------------------------------------------------------
     # decode
@@ -88,6 +104,16 @@ class Interpreter:
     def invalidate(self) -> None:
         """Drop all cached decodes."""
         self._cache.clear()
+
+    def set_observer(self, counters) -> None:
+        """Attach (or with None, detach) a
+        :class:`~repro.obs.metrics.VMCounters` bag.
+
+        Counting costs one extra dict lookup and two integer adds per
+        executed run; with the observer detached, execution goes through the
+        unobserved :meth:`step` and pays nothing.
+        """
+        self._obs = counters
 
     def cached_runs(self) -> int:
         """Number of cached decoded runs (for tests/diagnostics)."""
@@ -299,9 +325,38 @@ class Interpreter:
         if target == 0:
             raise ExecutionError(f"{what} at {from_addr:#x} reached a null code pointer")
 
+    def _obs_step(self, thread: SimThread) -> None:
+        """Observed variant of :meth:`step`: counts instructions/branches.
+
+        The counts replicate the front-end model's bookkeeping exactly:
+        instructions follow ``fetch_run`` (every executed run, including
+        syscall/halt terminators), branches follow ``branch_event`` (every
+        terminator except syscalls, halts and the final halting return).
+        The run is decoded/cached *before* stepping so a code write inside
+        the run (``MKFP``/``SETJMP`` stores flush the decode cache) cannot
+        hide it from the accounting.
+        """
+        if thread.state != ThreadState.RUNNABLE:
+            return
+        pc = thread.pc
+        run = self._cache.get(pc)
+        if run is None:
+            run = self._decode(pc)
+            self._cache[pc] = run
+        self.step(thread)
+        obs = self._obs
+        obs.runs += 1
+        obs.instructions += run.n_instr
+        op = run.term_op
+        if op == Opcode.RET:
+            if thread.state != ThreadState.HALTED:
+                obs.branches += 1
+        elif op not in _NON_BRANCH_TERMS:
+            obs.branches += 1
+
     def run_quantum(self, thread: SimThread, n_runs: int) -> None:
         """Execute up to ``n_runs`` runs on ``thread``."""
-        step = self.step
+        step = self.step if self._obs is None else self._obs_step
         for _ in range(n_runs):
             if thread.state != ThreadState.RUNNABLE:
                 return

@@ -258,6 +258,18 @@ class Process:
         """TopDown metrics for ``delta`` (or the whole run so far)."""
         return topdown_from_counters(delta or self.counters_total())
 
+    def sim_seconds(self) -> float:
+        """The process's simulated wall clock (seconds since launch).
+
+        Defined as the fastest core's cycle count over the clock rate —
+        cores run concurrently, so machine wall time is the leading clock.
+        This is the time source bound to the observability tracer; it does
+        not advance while the process is paused.
+        """
+        if not self.frontends:
+            return 0.0
+        return max(fe.counters.cycles for fe in self.frontends) / CLOCK_HZ
+
     def wall_seconds(self, delta: PerfCounters) -> float:
         """Wall-clock seconds corresponding to a counter delta.
 

@@ -15,7 +15,10 @@ from typing import Dict, Optional, Set
 
 from repro.binary.binaryfile import Binary, CACHE_LINE, PAGE_SIZE
 from repro.core.patcher import scan_direct_call_sites
+from repro.obs.log import get_logger
 from repro.vm.process import Process
+
+_log = get_logger("characterize")
 
 
 @dataclass(frozen=True)
@@ -59,6 +62,13 @@ class DynamicFootprint:
 def characterize_binary(binary: Binary) -> StaticCharacterization:
     """Compute the static Table-I-style metrics of ``binary``."""
     call_sites = scan_direct_call_sites(binary)
+    _log.debug(
+        "characterize.static",
+        binary=binary.name,
+        functions=len(binary.functions),
+        vtables=len(binary.vtables),
+        text_bytes=binary.text_size(),
+    )
     return StaticCharacterization(
         binary_name=binary.name,
         functions=len(binary.functions),
@@ -110,10 +120,20 @@ def measure_hot_footprint(
         if resolved is not None:
             functions.add(resolved[1])
 
-    return DynamicFootprint(
+    footprint = DynamicFootprint(
         functions_touched=len(functions),
         blocks_touched=len(starts),
         hot_bytes=hot_bytes,
         hot_lines=len(lines),
         hot_pages=len(pages),
     )
+    _log.debug(
+        "characterize.footprint",
+        binary=process.binary.name,
+        transactions=transactions,
+        functions=footprint.functions_touched,
+        hot_bytes=footprint.hot_bytes,
+        fits_l1i=footprint.fits_l1i(),
+        fits_itlb=footprint.fits_itlb(),
+    )
+    return footprint

@@ -39,6 +39,7 @@ class TestTopLevelApi:
         "repro.workloads",
         "repro.harness",
         "repro.analysis",
+        "repro.obs",
     ],
 )
 class TestPackageExports:

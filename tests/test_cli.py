@@ -28,6 +28,26 @@ class TestParser:
         assert set(FIGS) == {1, 3, 5, 6, 7, 8, 9}
         assert set(TABLES) == {1, 2}
 
+    def test_obs_flags_after_subcommand(self):
+        args = build_parser().parse_args(
+            ["run-pipeline", "--trace-out", "t.json", "--metrics-out", "m.json"]
+        )
+        assert args.command == "run-pipeline"
+        assert args.trace_out == "t.json"
+        assert args.metrics_out == "m.json"
+        assert args.log_json is False
+
+    def test_obs_flags_on_every_experiment_command(self):
+        for argv in (["list"], ["quickstart"], ["fig", "1"], ["table", "2"]):
+            args = build_parser().parse_args([*argv, "--log-json"])
+            assert args.log_json is True
+
+    def test_obs_view_parses(self):
+        args = build_parser().parse_args(["obs", "view", "trace.jsonl"])
+        assert args.command == "obs"
+        assert args.obs_command == "view"
+        assert args.path == "trace.jsonl"
+
 
 class TestExecution:
     def test_list_output(self, capsys):
@@ -42,3 +62,27 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "L1i capacity" in out
         assert "Broadwell" in out
+
+    def test_fig1_with_trace_out(self, capsys, tmp_path):
+        from repro.obs import trace as obs_trace
+
+        path = tmp_path / "trace.jsonl"
+        try:
+            assert main(["fig", "1", "--trace-out", str(path)]) == 0
+        finally:
+            obs_trace.uninstall()
+        assert path.exists()
+
+    def test_obs_view_renders_timeline(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        span = {
+            "name": "ocolos.profile", "span_id": 1, "depth": 0,
+            "sim_start": 0.0, "sim_duration": 1.0,
+            "wall_start": 0.0, "wall_duration": 0.1, "attrs": {"step": 1},
+        }
+        path.write_text(json.dumps(span) + "\n")
+        assert main(["obs", "view", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ocolos.profile [step 1]" in out

@@ -1,0 +1,393 @@
+"""Tests for the observability subsystem (repro.obs): tracing, metrics,
+structured logging, and the pipeline instrumentation built on them."""
+
+import io
+import json
+import logging
+import math
+
+import pytest
+
+from repro import obs
+from repro.core.orchestrator import Ocolos, OcolosConfig
+from repro.harness.reporting import format_table, format_timeline
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+QUICK = OcolosConfig(
+    profile_seconds=0.02, perf_period=400, background_sim_cap_seconds=0.05
+)
+
+#: The six pipeline steps of paper §III, in order.
+PIPELINE_SPANS = [
+    ("ocolos.profile", 1),
+    ("ocolos.build", 2),
+    ("ocolos.pause", 3),
+    ("ocolos.inject", 4),
+    ("ocolos.patch", 5),
+    ("ocolos.resume", 6),
+]
+
+
+@pytest.fixture()
+def enabled():
+    """Full observability on for the duration of one test."""
+    tracer, registry = obs.enable()
+    yield tracer, registry
+    obs.disable()
+
+
+# ---------------------------------------------------------------------------
+# tracing
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nesting_depth_and_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("mid") as mid:
+                with tracer.span("inner") as inner:
+                    pass
+            with tracer.span("sibling") as sib:
+                pass
+        assert outer.depth == 0 and outer.parent_id is None
+        assert mid.depth == 1 and mid.parent_id == outer.span_id
+        assert inner.depth == 2 and inner.parent_id == mid.span_id
+        assert sib.depth == 1 and sib.parent_id == outer.span_id
+        # Finished in completion (inner-first) order.
+        assert [s.name for s in tracer.finished] == [
+            "inner", "mid", "sibling", "outer",
+        ]
+
+    def test_exception_unwinds_open_children(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                tracer.span("abandoned")  # opened, never closed
+                raise RuntimeError("boom")
+        with tracer.span("next") as nxt:
+            pass
+        assert nxt.depth == 0  # the stack recovered
+
+    def test_module_span_is_null_when_disabled(self):
+        assert obs_trace.current() is None
+        with obs_trace.span("anything", k=1) as sp:
+            assert sp is NULL_SPAN
+        assert sp.set_attrs(x=2) is sp  # chainable no-ops
+
+    def test_module_span_records_when_enabled(self, enabled):
+        tracer, _ = enabled
+        with obs_trace.span("unit.work", size=3) as sp:
+            sp.set_attrs(done=True)
+        (found,) = tracer.find("unit.work")
+        assert found.attrs == {"size": 3, "done": True}
+
+    def test_sim_clock_binding_and_override(self):
+        now = [1.0]
+        tracer = Tracer(sim_clock=lambda: now[0])
+        with tracer.span("timed") as sp:
+            now[0] = 4.0
+        assert sp.sim_start == 1.0 and sp.sim_duration == pytest.approx(3.0)
+        with tracer.span("modelled") as sp2:
+            sp2.set_sim_duration(42.0)
+        assert sp2.sim_duration == 42.0
+
+    def test_apportion_partitions_parent_window(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            children = [tracer.span(f"c{i}") for i in range(3)]
+            for child in reversed(children):
+                child.__exit__(None, None, None)
+        obs_trace.apportion(parent, children, 0.9)
+        assert sum(c.sim_duration for c in children) == pytest.approx(0.9)
+        assert children[0].sim_start == parent.sim_start
+        for a, b in zip(children, children[1:]):
+            assert b.sim_start == pytest.approx(a.sim_start + a.sim_duration)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", step=1):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export(str(path))
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in rows] == ["a", "b"]
+        for row in rows:
+            for key in ("span_id", "depth", "sim_start", "sim_duration",
+                        "wall_start", "wall_duration", "attrs"):
+                assert key in row
+
+    def test_chrome_trace_schema(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("phase", step=2) as sp:
+            sp.set_sim_duration(1.5)
+        doc = tracer.to_chrome()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"  # process_name metadata
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 1
+        (ev,) = xs
+        assert ev["name"] == "phase"
+        assert ev["dur"] == pytest.approx(1.5e6)  # microseconds
+        for key in ("ts", "pid", "tid", "cat", "args"):
+            assert key in ev
+        # The whole document must be valid JSON.
+        path = tmp_path / "trace.json"
+        tracer.export(str(path))
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "things")
+        c.inc()
+        c.inc(4)
+        assert reg.snapshot().value("x_total") == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("level")
+        g.set(10.0)
+        g.inc(-2.5)
+        assert reg.snapshot().value("level") == 7.5
+
+    def test_labels_are_independent_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total")
+        c.labels(kind="a").inc(2)
+        c.labels(kind="b").inc(3)
+        snap = reg.snapshot()
+        assert snap.value("req_total", kind="a") == 2
+        assert snap.value("req_total", kind="b") == 3
+
+    def test_histogram_bucketing(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = reg.snapshot()
+        cell = snap.value("lat")
+        assert cell["buckets"] == {"0.1": 1, "1.0": 2, "10.0": 1, "+Inf": 1}
+        assert cell["count"] == 5
+        assert cell["sum"] == pytest.approx(56.05)
+        assert h.bucket_counts() == [1, 2, 1, 1]
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(ValueError):
+            reg.gauge("thing")
+
+    def test_snapshot_diff(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total")
+        g = reg.gauge("depth")
+        c.inc(10)
+        g.set(3)
+        older = reg.snapshot()
+        c.inc(7)
+        g.set(9)
+        diff = reg.snapshot().diff(older)
+        assert diff.value("n_total") == 7  # counters subtract
+        assert diff.value("depth") == 9  # gauges keep the new level
+
+    def test_export_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help text").inc(2)
+        path = tmp_path / "metrics.json"
+        reg.export(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["a_total"]["kind"] == "counter"
+        assert doc["a_total"]["series"][""] == 2
+
+    def test_vm_counters_require_enablement(self):
+        assert obs_metrics.current() is None
+        assert obs_metrics.vm_counters() is None
+
+    def test_vm_counters_fresh_per_call(self, enabled):
+        a = obs_metrics.vm_counters()
+        b = obs_metrics.vm_counters()
+        assert a is not None and b is not None and a is not b
+
+
+# ---------------------------------------------------------------------------
+# structured logging
+# ---------------------------------------------------------------------------
+
+
+class TestStructuredLog:
+    def teardown_method(self):
+        root = logging.getLogger(obs_log.ROOT_NAME)
+        for handler in list(root.handlers):
+            if getattr(handler, "_obs_handler", False):
+                root.removeHandler(handler)
+
+    def test_json_lines(self):
+        stream = io.StringIO()
+        obs_log.configure(json_output=True, stream=stream)
+        obs_log.get_logger("test").info("unit.event", n=3, name="x")
+        doc = json.loads(stream.getvalue().strip())
+        assert doc["event"] == "unit.event"
+        assert doc["logger"] == "repro.test"
+        assert doc["level"] == "info"
+        assert doc["n"] == 3 and doc["name"] == "x"
+
+    def test_key_value_lines(self):
+        stream = io.StringIO()
+        obs_log.configure(json_output=False, stream=stream)
+        obs_log.get_logger("test").warning("unit.warn", ratio=0.25)
+        line = stream.getvalue().strip()
+        assert "unit.warn" in line and "ratio=0.25" in line and "warning" in line
+
+    def test_configure_idempotent(self):
+        stream = io.StringIO()
+        obs_log.configure(stream=stream)
+        obs_log.configure(stream=stream)
+        root = logging.getLogger(obs_log.ROOT_NAME)
+        marked = [h for h in root.handlers if getattr(h, "_obs_handler", False)]
+        assert len(marked) == 1
+
+
+# ---------------------------------------------------------------------------
+# reporting (satellite: _fmt edge cases + timeline renderer)
+# ---------------------------------------------------------------------------
+
+
+class TestReportingEdgeCases:
+    def test_nan_inf_render(self):
+        out = format_table(["v"], [[float("nan")], [float("inf")], [float("-inf")]])
+        assert "nan" in out and "inf" in out and "-inf" in out
+
+    def test_negative_magnitudes_bucket_like_positive(self):
+        out = format_table(["v"], [[-12345.6], [-42.0], [-1.2345]])
+        assert "-12,346" in out
+        assert "-42.0" in out
+        assert "-1.234" in out or "-1.235" in out
+
+    def test_numeric_columns_right_aligned(self):
+        out = format_table(["name", "v"], [["a", 1.0], ["bb", 22.0]])
+        rows = out.splitlines()[2:]
+        # numeric cells line up on their right edge
+        assert rows[0].endswith("1.000") and rows[1].endswith("22.0")
+        assert len(rows[0]) == len(rows[1])
+        # string column stays left-aligned
+        assert rows[0].startswith("a ") and rows[1].startswith("bb")
+
+    def test_timeline_renderer(self):
+        spans = [
+            {"name": "root", "span_id": 1, "depth": 0,
+             "sim_start": 0.0, "sim_duration": 2.0, "attrs": {}},
+            {"name": "child", "span_id": 2, "depth": 1,
+             "sim_start": 1.0, "sim_duration": 1.0, "attrs": {"step": 4}},
+        ]
+        out = format_timeline(spans, width=10)
+        assert "root" in out and "  child [step 4]" in out
+        assert "|" in out and "#" in out
+        assert format_timeline([]) == "(empty trace)"
+
+
+# ---------------------------------------------------------------------------
+# pipeline integration
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineInstrumentation:
+    def _optimize(self, bundle):
+        proc = bundle.process()
+        proc.run(max_transactions=50)
+        ocolos = Ocolos(
+            proc, bundle.binary,
+            compiler_options=bundle.options, config=QUICK,
+        )
+        report = ocolos.optimize_once()
+        return proc, ocolos, report
+
+    def test_trace_contains_six_steps_in_order(self, tiny_fresh, enabled):
+        """Regression: an orchestrator trace IS the paper's 6-step pipeline."""
+        tracer, _ = enabled
+        self._optimize(tiny_fresh)
+        steps = tracer.pipeline_steps()
+        assert [(s.name, s.attrs["step"]) for s in steps] == PIPELINE_SPANS
+
+    def test_continuous_round_traces_six_steps(self, tiny_fresh, enabled):
+        tracer, _ = enabled
+        proc, ocolos, _ = self._optimize(tiny_fresh)
+        tracer.clear()
+        proc.run(max_transactions=100)
+        report = ocolos.optimize_once()
+        assert report.continuous is not None
+        steps = tracer.pipeline_steps()
+        assert [(s.name, s.attrs["step"]) for s in steps] == PIPELINE_SPANS
+
+    def test_span_durations_match_cost_model(self, tiny_fresh, enabled):
+        """Acceptance: trace durations reconcile with the cost model <1%."""
+        tracer, _ = enabled
+        _, _, report = self._optimize(tiny_fresh)
+        (profile,) = tracer.find("ocolos.profile")
+        assert profile.sim_duration == pytest.approx(QUICK.profile_seconds, rel=0.01)
+        (build,) = tracer.find("ocolos.build")
+        assert build.sim_duration == pytest.approx(
+            report.costs.background_seconds, rel=0.01
+        )
+        (replace,) = tracer.find("ocolos.replace")
+        assert replace.sim_duration == pytest.approx(report.pause_seconds, rel=0.01)
+        steps = tracer.pipeline_steps()
+        pause_parts = sum(s.sim_duration for s in steps if s.attrs["step"] >= 3)
+        assert pause_parts == pytest.approx(report.pause_seconds, rel=0.01)
+
+    def test_interpreter_counters_match_perfcounters_exactly(
+        self, tiny_fresh, enabled
+    ):
+        """Acceptance: obs instruction/branch counts == PerfCounters totals."""
+        proc = tiny_fresh.process()
+        observer = proc.interpreter.observer
+        assert observer is not None  # picked up at construction
+        proc.run(max_transactions=400)
+        totals = proc.counters_total()
+        assert observer.instructions == totals.instructions
+        assert observer.branches == totals.branches
+
+    def test_interpreter_observer_detach(self, tiny_fresh, enabled):
+        proc = tiny_fresh.process()
+        proc.interpreter.set_observer(None)
+        proc.run(max_transactions=50)
+        assert proc.counters_total().instructions > 0
+
+    def test_no_observer_when_disabled(self, tiny_fresh):
+        proc = tiny_fresh.process()
+        assert proc.interpreter.observer is None
+        proc.run(max_transactions=50)
+
+    def test_metrics_published_by_pipeline(self, tiny_fresh, enabled):
+        _, registry = enabled
+        self._optimize(tiny_fresh)
+        snap = registry.snapshot()
+        assert snap.value("ocolos.optimizations_total", skipped="no") == 1
+        assert snap.value("bolt.runs_total") == 1
+        assert snap.value("perf.samples_total") > 0
+        assert snap.value("perf2bolt.runs_total") == 1
+
+    def test_perfcounters_publish_bridge(self, tiny_fresh, enabled):
+        _, registry = enabled
+        proc = tiny_fresh.process()
+        proc.run(max_transactions=100)
+        totals = proc.counters_total()
+        totals.publish(registry, prefix="vm")
+        snap = registry.snapshot()
+        assert snap.value("vm.instructions") == totals.instructions
+        assert snap.value("vm.ipc") == pytest.approx(totals.ipc)
