@@ -4,14 +4,60 @@ Each benchmark regenerates one table or figure of the paper and prints the
 rows/series it produced.  Experiment configurations are expensive, so every
 benchmark runs its driver exactly once (``benchmark.pedantic`` with one
 round); heavy intermediates (workloads, per-input pipelines, profiles) are
-shared through :mod:`repro.harness.experiments`' module-level caches, so
-running the whole suite costs far less than the sum of its parts.
+shared through the engine's content-addressed artifact store
+(:mod:`repro.engine`), so running the whole suite costs far less than the
+sum of its parts.
 
 Run everything:   pytest benchmarks/ --benchmark-only
 Run one figure:   pytest benchmarks/bench_fig5_main_performance.py --benchmark-only
+
+Pass ``--bench-metrics-out PATH`` to install a metrics registry for the
+session and write its snapshot (the drivers' ``bench.*`` result gauges plus
+``engine.cache.*`` / pipeline internals) to PATH at the end of the run.
+Pass ``--bench-artifact-cache DIR`` to persist the artifact store on disk so
+repeated benchmark sessions skip unchanged builds.
 """
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-metrics-out",
+        default=None,
+        metavar="PATH",
+        help="export the metrics registry (bench.* gauges included) to PATH",
+    )
+    parser.addoption(
+        "--bench-artifact-cache",
+        default=None,
+        metavar="DIR",
+        help="persist the engine's artifact store under DIR",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--bench-metrics-out"):
+        from repro.obs import metrics
+
+        metrics.install()
+    cache_dir = config.getoption("--bench-artifact-cache")
+    if cache_dir:
+        from repro.engine.store import configure
+
+        configure(cache_dir=cache_dir)
+
+
+def pytest_unconfigure(config):
+    path = config.getoption("--bench-metrics-out")
+    if not path:
+        return
+    from repro.obs import metrics
+
+    registry = metrics.current()
+    if registry is not None:
+        registry.export(path)
+    metrics.uninstall()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

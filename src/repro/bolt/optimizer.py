@@ -337,3 +337,39 @@ def _original_raw_sections(original: Binary) -> List[Section]:
         elif section.name == "bolt.org.text" or section.name.startswith(".text.bolt"):
             out.append(section)
     return out
+
+
+def run_bolt_cached(
+    program: Program,
+    original: Binary,
+    profile: BoltProfile,
+    *,
+    context: str,
+    options: Optional[BoltOptions] = None,
+    compiler_options: Optional[CompilerOptions] = None,
+    generation: int = 1,
+) -> BoltResult:
+    """Fingerprint-keyed :func:`run_bolt` through the engine's artifact store.
+
+    ``context`` is the content fingerprint identifying the provenance of
+    ``program``/``original`` (typically the workload fingerprint) — the pair
+    cannot be fingerprinted directly, so the caller vouches for them.  The
+    profile, BOLT knobs, compiler flags and generation are fingerprinted
+    here, so any change to them yields a new cache entry.
+    """
+    from repro.engine.fingerprint import fingerprint
+    from repro.engine.store import store
+
+    parts = (context, fingerprint(profile), options, compiler_options, generation)
+    return store().get_or_build(
+        "bolt",
+        parts,
+        lambda: run_bolt(
+            program,
+            original,
+            profile,
+            options=options,
+            compiler_options=compiler_options,
+            generation=generation,
+        ),
+    )

@@ -16,8 +16,13 @@ heavy figures can take minutes (they execute the full pipelines in the VM).
 Every experiment subcommand accepts the observability flags ``--trace-out``
 (span trace; ``*.jsonl`` for JSON Lines, anything else for Chrome
 ``trace.json``), ``--metrics-out`` (metrics registry snapshot as JSON) and
-``--log-json`` (structured JSON event log on stderr).  Tables and figures
-stay on stdout; diagnostics go through the structured logger.
+``--log-json`` (structured JSON event log on stderr), plus the engine flags
+``--jobs N`` (fan independent experiment cells over N worker processes;
+results are bit-identical to the serial run) and ``--artifact-cache DIR``
+(persist the content-addressed artifact store on disk so repeated runs skip
+every build whose inputs are unchanged).  ``engine stats`` inspects a disk
+cache.  Tables and figures stay on stdout; diagnostics go through the
+structured logger.
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ def _fig1(_args) -> None:
 def _fig3(args) -> None:
     from repro.harness.experiments import fig3_input_sensitivity
 
-    result = fig3_input_sensitivity(transactions=args.transactions)
+    result = fig3_input_sensitivity(transactions=args.transactions, jobs=args.jobs)
     print(
         format_table(
             ["training input", "tps", "vs original", "vs best"],
@@ -72,7 +77,7 @@ def _fig3(args) -> None:
 def _fig5(args) -> None:
     from repro.harness.experiments import fig5_main_performance
 
-    rows = fig5_main_performance(transactions=args.transactions)
+    rows = fig5_main_performance(transactions=args.transactions, jobs=args.jobs)
     print(
         format_table(
             ["workload", "input", "orig tps", "OCOLOS", "BOLT oracle", "PGO", "BOLT avg"],
@@ -89,7 +94,7 @@ def _fig5(args) -> None:
 def _fig6(args) -> None:
     from repro.harness.experiments import fig6_profile_duration
 
-    rows = fig6_profile_duration(transactions=args.transactions)
+    rows = fig6_profile_duration(transactions=args.transactions, jobs=args.jobs)
     print(
         format_series(
             "profile seconds",
@@ -126,7 +131,7 @@ def _fig7(_args) -> None:
 def _fig8(args) -> None:
     from repro.harness.experiments import fig8_frontend_metrics
 
-    rows = fig8_frontend_metrics(transactions=args.transactions)
+    rows = fig8_frontend_metrics(transactions=args.transactions, jobs=args.jobs)
     print(
         format_table(
             ["input", "variant", "L1i MPKI", "iTLB MPKI", "taken PKI", "mispredict PKI"],
@@ -144,7 +149,7 @@ def _fig9(args) -> None:
     from repro.analysis.regression import fit_benefit_classifier
     from repro.harness.experiments import fig9_topdown_points
 
-    points = fig9_topdown_points(transactions=args.transactions)
+    points = fig9_topdown_points(transactions=args.transactions, jobs=args.jobs)
     fit = fit_benefit_classifier(
         [(p.frontend_latency, p.retiring, p.benefits) for p in points]
     )
@@ -165,7 +170,7 @@ def _fig9(args) -> None:
 def _table1(args) -> None:
     from repro.harness.experiments import table1_characterization
 
-    cols = table1_characterization(transactions=args.transactions)
+    cols = table1_characterization(transactions=args.transactions, jobs=args.jobs)
     print(
         format_table(
             ["workload", "functions", "v-tables", ".text MiB", "reordered",
@@ -185,7 +190,7 @@ def _table1(args) -> None:
 def _table2(args) -> None:
     from repro.harness.experiments import table2_fixed_costs
 
-    cols = table2_fixed_costs(transactions=args.transactions)
+    cols = table2_fixed_costs(transactions=args.transactions, jobs=args.jobs)
     print(
         format_table(
             ["workload", "perf2bolt s", "llvm-bolt s", "replacement s"],
@@ -201,11 +206,12 @@ def _table2(args) -> None:
 
 def _run_one_cycle(transactions: int, seed: int) -> None:
     """One full OCOLOS cycle on the MySQL-like workload (quickstart body)."""
+    from repro.engine.cells import workload_bundle
     from repro.harness.runner import launch, measure, run_ocolos_pipeline
-    from repro.workloads.mysql import mysql_inputs, mysql_like
 
-    workload = mysql_like()
-    spec = mysql_inputs(workload)["oltp_read_only"]
+    bundle = workload_bundle("mysql")
+    workload = bundle.workload
+    spec = bundle.inputs["oltp_read_only"]
     _log.info("pipeline.start", workload=workload.name, input=spec.name,
               transactions=transactions, seed=seed)
     baseline = measure(
@@ -287,6 +293,43 @@ def _obs_view(args) -> int:
     return 0
 
 
+def _engine_stats(args) -> int:
+    """Print artifact-store statistics (and disk-cache contents if bound)."""
+    from repro.engine.store import store
+
+    st = store()
+    if st.disk is not None:
+        entries = st.disk.entries()
+        by_kind: Dict[str, List[int]] = {}
+        for kind, _digest, size in entries:
+            by_kind.setdefault(kind, []).append(size)
+        print(
+            format_table(
+                ["kind", "artifacts", "bytes"],
+                [
+                    [kind, len(sizes), sum(sizes)]
+                    for kind, sizes in sorted(by_kind.items())
+                ],
+                title=f"artifact cache: {st.disk.root}",
+            )
+        )
+        print(f"\ntotal: {len(entries)} artifacts, "
+              f"{sum(s for _, _, s in entries):,} bytes")
+    else:
+        print("artifact cache: in-memory only (pass --artifact-cache DIR)")
+    stats = st.stats()
+    if stats:
+        print()
+        print(
+            format_table(
+                ["kind", "hits", "misses", "entries"],
+                [[k, s.hits, s.misses, s.entries] for k, s in stats.items()],
+                title="this-process lookups",
+            )
+        )
+    return 0
+
+
 FIGS: Dict[int, Callable] = {
     1: _fig1, 3: _fig3, 5: _fig5, 6: _fig6, 7: _fig7, 8: _fig8, 9: _fig9,
 }
@@ -313,6 +356,23 @@ def _obs_flag_parser() -> argparse.ArgumentParser:
     return parent
 
 
+def _engine_flag_parser() -> argparse.ArgumentParser:
+    """Shared parent parser for the experiment engine's flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("engine")
+    group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent experiment cells over N worker processes "
+             "(results are bit-identical to the serial run; default 1)",
+    )
+    group.add_argument(
+        "--artifact-cache", metavar="DIR", default=None,
+        help="persist the content-addressed artifact store under DIR so "
+             "repeated runs reuse binaries, profiles and measurements",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -320,26 +380,33 @@ def build_parser() -> argparse.ArgumentParser:
         description="OCOLOS reproduction: regenerate paper experiments.",
     )
     obs_flags = _obs_flag_parser()
+    engine_flags = _engine_flag_parser()
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list regenerable experiments", parents=[obs_flags])
     sub.add_parser(
-        "quickstart", help="one OCOLOS cycle on MySQL-like", parents=[obs_flags]
+        "quickstart",
+        help="one OCOLOS cycle on MySQL-like",
+        parents=[obs_flags, engine_flags],
     )
 
     pipeline = sub.add_parser(
         "run-pipeline",
         help="one OCOLOS cycle with measurement knobs (obs-friendly quickstart)",
-        parents=[obs_flags],
+        parents=[obs_flags, engine_flags],
     )
     pipeline.add_argument("--transactions", type=int, default=400)
     pipeline.add_argument("--seed", type=int, default=2)
 
-    fig = sub.add_parser("fig", help="regenerate a figure", parents=[obs_flags])
+    fig = sub.add_parser(
+        "fig", help="regenerate a figure", parents=[obs_flags, engine_flags]
+    )
     fig.add_argument("number", type=int, choices=sorted(FIGS))
     fig.add_argument("--transactions", type=int, default=500)
 
-    table = sub.add_parser("table", help="regenerate a table", parents=[obs_flags])
+    table = sub.add_parser(
+        "table", help="regenerate a table", parents=[obs_flags, engine_flags]
+    )
     table.add_argument("number", type=int, choices=sorted(TABLES))
     table.add_argument("--transactions", type=int, default=500)
 
@@ -348,6 +415,16 @@ def build_parser() -> argparse.ArgumentParser:
     view = obs_sub.add_parser("view", help="render a saved trace as a text timeline")
     view.add_argument("path", help="trace file (*.jsonl or Chrome trace.json)")
     view.add_argument("--width", type=int, default=48, help="bar gutter width")
+
+    eng = sub.add_parser("engine", help="experiment engine utilities")
+    eng_sub = eng.add_subparsers(dest="engine_command", required=True)
+    stats = eng_sub.add_parser(
+        "stats", help="show artifact-store contents and lookup statistics"
+    )
+    stats.add_argument(
+        "--artifact-cache", metavar="DIR", default=None,
+        help="disk cache directory to inspect",
+    )
     return parser
 
 
@@ -380,10 +457,21 @@ def _export_obs(args) -> None:
         _log.info("metrics.export", path=metrics_out)
 
 
+def _enable_engine(args) -> None:
+    """Bind the artifact store to a disk directory when requested."""
+    cache_dir = getattr(args, "artifact_cache", None)
+    if cache_dir:
+        from repro.engine.store import configure
+
+        configure(cache_dir=cache_dir)
+        _log.info("engine.cache", dir=cache_dir)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     _enable_obs(args)
+    _enable_engine(args)
     try:
         if args.command == "list":
             print("figures : " + ", ".join(f"fig {n}" for n in sorted(FIGS)))
@@ -410,6 +498,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 0
         if args.command == "obs":
             return _obs_view(args)
+        if args.command == "engine":
+            return _engine_stats(args)
         return 2  # pragma: no cover - argparse enforces choices
     finally:
         _export_obs(args)

@@ -139,3 +139,31 @@ def compile_with_pgo(
     return link_program(
         program, layout, options, name=f"{program.name}.pgo"
     )
+
+
+def compile_with_pgo_cached(
+    program: Program,
+    profile: BoltProfile,
+    options: Optional[CompilerOptions] = None,
+    *,
+    context: str,
+    fidelity: float = DEFAULT_FIDELITY,
+    seed: int = 1234,
+) -> Binary:
+    """Fingerprint-keyed :func:`compile_with_pgo` through the artifact store.
+
+    ``context`` is the content fingerprint vouching for ``program`` (the
+    workload fingerprint); profile contents, compiler flags, fidelity and
+    seed are fingerprinted here.
+    """
+    from repro.engine.fingerprint import fingerprint
+    from repro.engine.store import store
+
+    parts = (context, fingerprint(profile), options, fidelity, seed)
+    return store().get_or_build(
+        "pgo_binary",
+        parts,
+        lambda: compile_with_pgo(
+            program, profile, options, fidelity=fidelity, seed=seed
+        ),
+    )

@@ -1,0 +1,64 @@
+"""Experiment engine: content-addressed artifacts + task-graph scheduling.
+
+The engine is the single path from (workload spec, input, seed, pipeline
+config) to measured results:
+
+* :mod:`repro.engine.fingerprint` — deterministic, cross-process content
+  fingerprints over the parameters that define an artifact;
+* :mod:`repro.engine.store` — the :class:`ArtifactStore` caching workload
+  bundles, linked binaries, profiles, BOLT/PGO builds and finished
+  measurement cells (in-memory always; on-disk via ``--artifact-cache``);
+* :mod:`repro.engine.scheduler` — task graphs (build → profile → optimize →
+  measure) run serially or fanned over a ``multiprocessing`` fork pool with
+  bit-identical results;
+* :mod:`repro.engine.cells` — the experiment cells the figure drivers are
+  built from, plus the workload registry.
+
+Typical use::
+
+    from repro import engine
+
+    engine.configure(cache_dir=".artifact-cache")   # optional disk layer
+    cells = [engine.CellSpec("pipeline", w, i) for w, i in sweep]
+    engine.prefetch(cells, jobs=4)                  # parallel fan-out
+    results = [engine.run_cell(c) for c in cells]   # all cache hits now
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    # fingerprint
+    "canonical": ".fingerprint",
+    "fingerprint": ".fingerprint",
+    "FingerprintError": ".fingerprint",
+    # store
+    "ArtifactKey": ".store",
+    "ArtifactStore": ".store",
+    "DiskBackend": ".store",
+    "KindStats": ".store",
+    "StoreError": ".store",
+    "configure": ".store",
+    "store": ".store",
+    # scheduler
+    "Scheduler": ".scheduler",
+    "SchedulerError": ".scheduler",
+    "Task": ".scheduler",
+    "TaskGraph": ".scheduler",
+    # cells
+    "CellSpec": ".cells",
+    "Fig6Cell": ".cells",
+    "PipelineResult": ".cells",
+    "WorkloadBundle": ".cells",
+    "WORKLOADS": ".cells",
+    "cached_profile": ".cells",
+    "cell_graph": ".cells",
+    "prefetch": ".cells",
+    "register_bundle": ".cells",
+    "reset": ".cells",
+    "run_cell": ".cells",
+    "unregister_bundle": ".cells",
+    "workload_bundle": ".cells",
+    "workload_fingerprint": ".cells",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,527 @@
+"""Experiment cells: the engine's unit of schedulable, cacheable work.
+
+A *cell* is one (workload, input, configuration) measurement of a specific
+kind — a full original/OCOLOS/BOLT-oracle pipeline, a clang-PGO oracle, a
+BOLT-average-case build, a Fig 3 training run, a Fig 6 profiling-duration
+point.  Each cell decomposes into a short task chain (build → profile →
+optimize → measure, with kind-specific stages omitted where they do not
+apply); cells are independent of one another, which is what the
+:class:`~repro.engine.scheduler.Scheduler` exploits to fan a sweep out over
+worker processes.
+
+Everything heavy a cell touches goes through the
+:class:`~repro.engine.store.ArtifactStore` under content-addressed keys:
+
+* ``bundle``       — built workload + input family, keyed by its parameters;
+* ``binary``       — linked original binary (see
+  :func:`repro.harness.runner.link_original`);
+* ``profile``      — offline LBR profiles, keyed by workload/input/window;
+* ``bolt`` / ``pgo_binary`` — optimized builds, keyed by profile content
+  hash plus options (see :func:`repro.bolt.optimizer.run_bolt_cached` and
+  :func:`repro.compiler.pgo.compile_with_pgo_cached`);
+* ``cell.*``       — the finished cell results themselves.
+
+The workload registry maps workload names to bundle factories; tests can
+:func:`register_bundle` ad-hoc bundles (fork-based workers inherit them).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.fingerprint import fingerprint
+from repro.engine.scheduler import Scheduler, TaskGraph
+from repro.engine.store import ArtifactStore, configure as _configure_store, store
+from repro.harness.runner import (
+    DEFAULT_PROFILE_SECONDS,
+    Measurement,
+    collect_profile,
+    launch,
+    link_original,
+    measure,
+    run_ocolos_pipeline,
+)
+from repro.profiling.profile import BoltProfile
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.inputs import InputSpec
+
+__all__ = [
+    "CellSpec",
+    "Fig6Cell",
+    "PipelineResult",
+    "WorkloadBundle",
+    "WORKLOADS",
+    "cached_profile",
+    "cell_graph",
+    "prefetch",
+    "register_bundle",
+    "reset",
+    "run_cell",
+    "unregister_bundle",
+    "workload_bundle",
+    "workload_fingerprint",
+]
+
+
+# ----------------------------------------------------------------------
+# workload registry
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class WorkloadBundle:
+    """A workload plus its input family and evaluation input list."""
+
+    name: str
+    workload: SyntheticWorkload
+    inputs: Dict[str, InputSpec]
+    eval_inputs: List[str]
+
+
+#: Registered bundle factories: name -> (module, bundle fn, params fn).
+#: The params function is cheap and its result fingerprints the bundle's
+#: disk-cache key, so editing a workload's parameters invalidates stale
+#: cached bundles automatically.
+_WORKLOAD_FACTORIES: Dict[str, Tuple[str, str, str]] = {
+    "mysql": ("repro.workloads.mysql", "mysql_bundle", "mysql_params"),
+    "mongodb": ("repro.workloads.mongodb", "mongodb_bundle", "mongodb_params"),
+    "memcached": ("repro.workloads.memcached", "memcached_bundle", "memcached_params"),
+    "verilator": ("repro.workloads.verilator", "verilator_bundle", "verilator_params"),
+}
+
+WORKLOADS = ("mysql", "mongodb", "memcached", "verilator")
+
+#: Bundles registered directly (tests, ad-hoc experiments).  These bypass
+#: the store — they are already-built objects owned by the caller.
+_LOCAL_BUNDLES: Dict[str, WorkloadBundle] = {}
+
+
+def register_bundle(name: str, bundle: WorkloadBundle) -> None:
+    """Expose an already-built bundle under ``name`` (test/ad-hoc use).
+
+    Forked scheduler workers inherit the registration, so registered
+    bundles work with parallel sweeps too.
+    """
+    _LOCAL_BUNDLES[name] = bundle
+
+
+def unregister_bundle(name: str) -> None:
+    """Remove a :func:`register_bundle` registration (missing names ok)."""
+    _LOCAL_BUNDLES.pop(name, None)
+
+
+def workload_bundle(name: str) -> WorkloadBundle:
+    """Fetch (building through the store if needed) the named bundle.
+
+    Raises:
+        KeyError: for names that are neither registered nor built in.
+    """
+    local = _LOCAL_BUNDLES.get(name)
+    if local is not None:
+        return local
+    try:
+        module_name, bundle_fn, params_fn = _WORKLOAD_FACTORIES[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}") from None
+    module = importlib.import_module(module_name)
+    params = getattr(module, params_fn)()
+    return store().get_or_build(
+        "bundle", (name, params), lambda: getattr(module, bundle_fn)()
+    )
+
+
+def workload_fingerprint(workload: SyntheticWorkload) -> str:
+    """Content fingerprint of a workload (parameters + compiler options)."""
+    return fingerprint(workload)
+
+
+def reset() -> ArtifactStore:
+    """Clear every engine cache: the artifact store (memory layer and disk
+    binding) plus locally-registered bundles.  Returns the fresh store."""
+    _LOCAL_BUNDLES.clear()
+    return _configure_store(cache_dir=None)
+
+
+# ----------------------------------------------------------------------
+# fingerprint-keyed builders shared by the cells
+# ----------------------------------------------------------------------
+
+
+def cached_profile(
+    workload: SyntheticWorkload,
+    input_spec: InputSpec,
+    *,
+    seconds: float = DEFAULT_PROFILE_SECONDS,
+    period: int = 4500,
+    seed: int = 3,
+    warmup: int = 200,
+) -> Tuple[BoltProfile, Any]:
+    """Collect (through the store) an offline profile of one input.
+
+    Returns the same ``(profile, stats)`` pair as
+    :func:`repro.harness.runner.collect_profile`.
+    """
+    parts = (fingerprint(workload), fingerprint(input_spec), seconds, period, seed, warmup)
+    return store().get_or_build(
+        "profile",
+        parts,
+        lambda: collect_profile(
+            workload, input_spec, seconds=seconds, period=period, seed=seed, warmup=warmup
+        ),
+    )
+
+
+def _aggregate_profile(bundle: WorkloadBundle, seconds: float) -> BoltProfile:
+    """Merge every evaluation input's profile (the paper's "all" blend)."""
+    aggregate = BoltProfile()
+    for input_name in bundle.eval_inputs:
+        profile, _stats = cached_profile(
+            bundle.workload, bundle.inputs[input_name], seconds=seconds
+        )
+        aggregate.merge(profile)
+    return aggregate
+
+
+# ----------------------------------------------------------------------
+# cell specs and results
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Declarative description of one experiment cell.
+
+    Attributes:
+        kind: ``pipeline`` | ``pgo`` | ``average`` | ``train`` | ``duration``.
+        workload: workload registry name.
+        input_name: the input driving the cell (for ``train`` cells, the
+            *training* input).
+        transactions: steady-state measurement length.
+        run_input: for ``train`` cells, the input the trained binary is
+            measured on.
+        profile_seconds: LBR window for ``train``/``duration`` cells.
+    """
+
+    kind: str
+    workload: str
+    input_name: str
+    transactions: int = 500
+    run_input: str = ""
+    profile_seconds: float = DEFAULT_PROFILE_SECONDS
+
+    @property
+    def cell_id(self) -> str:
+        """Unique task-name prefix for this cell."""
+        parts = [self.kind, self.workload, self.input_name]
+        if self.run_input:
+            parts.append(f"on_{self.run_input}")
+        return "/".join(parts)
+
+
+@dataclass
+class PipelineResult:
+    """Everything the figure drivers need for one workload-input pair."""
+
+    workload_name: str
+    input_name: str
+    original: Measurement
+    ocolos: Measurement
+    bolt_oracle: Measurement
+    bolt_result: Any  # BoltResult
+    ocolos_report: Any  # OcolosReport
+    rss_original: int
+    rss_bolt: int
+    rss_ocolos: int
+
+    @property
+    def ocolos_speedup(self) -> float:
+        """OCOLOS throughput normalised to the original binary."""
+        return self.ocolos.tps / self.original.tps
+
+    @property
+    def bolt_speedup(self) -> float:
+        """Offline BOLT (oracle profile) normalised to the original binary."""
+        return self.bolt_oracle.tps / self.original.tps
+
+
+@dataclass
+class Fig6Cell:
+    """One profiling-duration point (Fig 6), before normalisation."""
+
+    samples: int
+    ocolos: Measurement
+    bolt: Measurement
+
+
+# ----------------------------------------------------------------------
+# stage functions (module-level: picklable for the fork pool)
+# ----------------------------------------------------------------------
+
+
+def _bundle_and_spec(spec: CellSpec) -> Tuple[WorkloadBundle, InputSpec]:
+    bundle = workload_bundle(spec.workload)
+    return bundle, bundle.inputs[spec.input_name]
+
+
+def _stage_build(spec: CellSpec):
+    """Materialise the workload bundle and original binary."""
+    bundle = workload_bundle(spec.workload)
+    return link_original(bundle.workload)
+
+
+def _stage_pipeline_optimize(spec: CellSpec, _binary):
+    """Run one OCOLOS cycle; leave the process running optimized code."""
+    bundle, wl_spec = _bundle_and_spec(spec)
+    process, _ocolos, report = run_ocolos_pipeline(bundle.workload, wl_spec, seed=1)
+    process.run(max_transactions=600)  # settle after replacement
+    return process, report
+
+
+def _stage_pipeline_measure(spec: CellSpec, live) -> PipelineResult:
+    """Measure original / OCOLOS / BOLT-oracle and assemble the result."""
+    process, report = live
+    bundle, wl_spec = _bundle_and_spec(spec)
+    workload = bundle.workload
+
+    p_orig = launch(workload, wl_spec, seed=1)
+    m_orig = measure(p_orig, transactions=spec.transactions)
+    rss_original = p_orig.max_rss_bytes()
+
+    m_ocolos = measure(process, transactions=spec.transactions, warmup=0)
+    rss_ocolos = process.max_rss_bytes()
+
+    bolt_result = report.bolt
+    p_bolt = launch(workload, wl_spec, binary=bolt_result.binary, seed=1, with_agent=False)
+    m_bolt = measure(p_bolt, transactions=spec.transactions)
+    rss_bolt = p_bolt.max_rss_bytes()
+
+    return PipelineResult(
+        workload_name=spec.workload,
+        input_name=spec.input_name,
+        original=m_orig,
+        ocolos=m_ocolos,
+        bolt_oracle=m_bolt,
+        bolt_result=bolt_result,
+        ocolos_report=report,
+        rss_original=rss_original,
+        rss_bolt=rss_bolt,
+        rss_ocolos=rss_ocolos,
+    )
+
+
+def _stage_oracle_profile(spec: CellSpec, _binary) -> BoltProfile:
+    """Offline profile of the cell's own input (oracle training data)."""
+    bundle, wl_spec = _bundle_and_spec(spec)
+    profile, _stats = cached_profile(
+        bundle.workload, wl_spec, seconds=spec.profile_seconds
+    )
+    return profile
+
+
+def _stage_pgo_optimize(spec: CellSpec, profile: BoltProfile):
+    from repro.compiler.pgo import compile_with_pgo_cached
+
+    bundle, _wl_spec = _bundle_and_spec(spec)
+    return compile_with_pgo_cached(
+        bundle.workload.program,
+        profile,
+        bundle.workload.options,
+        context=workload_fingerprint(bundle.workload),
+    )
+
+
+def _stage_pgo_measure(spec: CellSpec, binary) -> Measurement:
+    bundle, wl_spec = _bundle_and_spec(spec)
+    process = launch(bundle.workload, wl_spec, binary=binary, seed=1, with_agent=False)
+    return measure(process, transactions=spec.transactions)
+
+
+def _stage_average_profile(spec: CellSpec, _binary) -> BoltProfile:
+    """Aggregate profile over every evaluation input."""
+    bundle = workload_bundle(spec.workload)
+    return _aggregate_profile(bundle, spec.profile_seconds)
+
+
+def _stage_bolt_optimize(spec: CellSpec, profile: BoltProfile):
+    """BOLT the original binary with whatever profile the cell produced."""
+    from repro.bolt.optimizer import run_bolt_cached
+
+    bundle = workload_bundle(spec.workload)
+    return run_bolt_cached(
+        bundle.workload.program,
+        link_original(bundle.workload),
+        profile,
+        context=workload_fingerprint(bundle.workload),
+        compiler_options=bundle.workload.options,
+    )
+
+
+def _stage_bolt_measure(spec: CellSpec, result) -> Measurement:
+    """Measure a BOLTed binary on the cell's measurement input."""
+    bundle = workload_bundle(spec.workload)
+    run_name = spec.run_input or spec.input_name
+    process = launch(
+        bundle.workload,
+        bundle.inputs[run_name],
+        binary=result.binary,
+        seed=1,
+        with_agent=False,
+    )
+    return measure(process, transactions=spec.transactions)
+
+
+def _stage_duration_optimize(spec: CellSpec, profile: BoltProfile):
+    """OCOLOS cycle with the cell's profiling window, plus the offline BOLT
+    build from the same-duration profile (Fig 6 compares both)."""
+    from repro.bolt.optimizer import run_bolt_cached
+    from repro.core.orchestrator import OcolosConfig
+
+    bundle, wl_spec = _bundle_and_spec(spec)
+    config = OcolosConfig(profile_seconds=spec.profile_seconds)
+    process, _ocolos, report = run_ocolos_pipeline(
+        bundle.workload, wl_spec, seed=1, config=config
+    )
+    process.run(max_transactions=600)
+    bolt_result = run_bolt_cached(
+        bundle.workload.program,
+        link_original(bundle.workload),
+        profile,
+        context=workload_fingerprint(bundle.workload),
+        compiler_options=bundle.workload.options,
+    )
+    return process, report, bolt_result
+
+
+def _stage_duration_profile(spec: CellSpec, _binary) -> BoltProfile:
+    bundle, wl_spec = _bundle_and_spec(spec)
+    profile, _stats = cached_profile(
+        bundle.workload, wl_spec, seconds=spec.profile_seconds
+    )
+    return profile
+
+
+def _stage_duration_measure(spec: CellSpec, live) -> Fig6Cell:
+    process, report, bolt_result = live
+    bundle, wl_spec = _bundle_and_spec(spec)
+    m_oc = measure(process, transactions=spec.transactions, warmup=0)
+    p_b = launch(
+        bundle.workload, wl_spec, binary=bolt_result.binary, seed=1, with_agent=False
+    )
+    m_b = measure(p_b, transactions=spec.transactions)
+    return Fig6Cell(samples=report.samples, ocolos=m_oc, bolt=m_b)
+
+
+#: Stage chains per cell kind.  Every chain ends in ``measure`` — the task
+#: whose return value is the cell's result.
+_STAGES: Dict[str, Tuple[Tuple[str, Any], ...]] = {
+    "pipeline": (
+        ("build", _stage_build),
+        ("optimize", _stage_pipeline_optimize),
+        ("measure", _stage_pipeline_measure),
+    ),
+    "pgo": (
+        ("build", _stage_build),
+        ("profile", _stage_oracle_profile),
+        ("optimize", _stage_pgo_optimize),
+        ("measure", _stage_pgo_measure),
+    ),
+    "average": (
+        ("build", _stage_build),
+        ("profile", _stage_average_profile),
+        ("optimize", _stage_bolt_optimize),
+        ("measure", _stage_bolt_measure),
+    ),
+    "train": (
+        ("build", _stage_build),
+        ("profile", _stage_oracle_profile),
+        ("optimize", _stage_bolt_optimize),
+        ("measure", _stage_bolt_measure),
+    ),
+    "duration": (
+        ("build", _stage_build),
+        ("profile", _stage_duration_profile),
+        ("optimize", _stage_duration_optimize),
+        ("measure", _stage_duration_measure),
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# execution: graph building, caching, prefetch
+# ----------------------------------------------------------------------
+
+
+def _cell_parts(spec: CellSpec) -> Tuple[Any, ...]:
+    """Content-addressed key parts for one cell result."""
+    bundle = workload_bundle(spec.workload)
+    run_name = spec.run_input or spec.input_name
+    return (
+        workload_fingerprint(bundle.workload),
+        fingerprint(bundle.inputs[spec.input_name]),
+        fingerprint(bundle.inputs[run_name]),
+        fingerprint([bundle.inputs[n] for n in bundle.eval_inputs])
+        if spec.kind == "average"
+        else "",
+        spec,
+    )
+
+
+def _cell_key(spec: CellSpec):
+    return store().key(f"cell.{spec.kind}", _cell_parts(spec))
+
+
+def cell_graph(specs: Sequence[CellSpec]) -> TaskGraph:
+    """Task graph for a sweep: one stage chain per cell, no cross-cell edges."""
+    graph = TaskGraph()
+    for spec in specs:
+        stages = _STAGES.get(spec.kind)
+        if stages is None:
+            raise KeyError(f"unknown cell kind {spec.kind!r}")
+        prev: Optional[str] = None
+        for i, (stage, fn) in enumerate(stages):
+            name = f"{spec.cell_id}:{stage}"
+            graph.add(
+                name,
+                fn,
+                args=(spec,),
+                deps=(prev,) if prev else (),
+                result=(i == len(stages) - 1),
+            )
+            prev = name
+    return graph
+
+
+def run_cell(spec: CellSpec) -> Any:
+    """Execute (or fetch) one cell through the store."""
+    return store().get_or_build(
+        f"cell.{spec.kind}", _cell_parts(spec), lambda: _execute_cell(spec)
+    )
+
+
+def _execute_cell(spec: CellSpec) -> Any:
+    results = Scheduler(jobs=1).run(cell_graph([spec]))
+    return results[f"{spec.cell_id}:measure"]
+
+
+def prefetch(specs: Iterable[CellSpec], jobs: int = 1) -> int:
+    """Ensure every cell result is in the store, fanning misses out over
+    ``jobs`` workers.  Returns the number of cells actually computed.
+
+    With ``jobs=1`` the cells run serially through the exact same stage
+    functions, so serial and parallel sweeps are bit-identical.
+    """
+    ordered: List[CellSpec] = []
+    seen = set()
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            ordered.append(spec)
+    missing = [spec for spec in ordered if not store().contains(_cell_key(spec))]
+    if not missing:
+        return 0
+    results = Scheduler(jobs=jobs).run(cell_graph(missing))
+    for spec in missing:
+        store().put(_cell_key(spec), results[f"{spec.cell_id}:measure"])
+    return len(missing)

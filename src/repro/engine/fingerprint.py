@@ -1,0 +1,96 @@
+"""Deterministic content fingerprints for experiment artifacts.
+
+Every artifact the engine caches — linked binaries, collected profiles, BOLT
+and PGO builds, full measurement cells — is addressed by a fingerprint over
+the *inputs that determine it*: workload parameters, input-behaviour specs,
+compiler/BOLT options, profile contents, seeds.  Two requests with equal
+fingerprints are guaranteed (by the simulator's seeded determinism) to
+produce bit-identical artifacts, which is what makes the cache safe and what
+makes parallel sweeps reproducible.
+
+Fingerprints must be stable across *processes* — in particular they may not
+depend on ``hash()`` (randomised per process via ``PYTHONHASHSEED``), on
+dict insertion order, or on object identity.  :func:`canonical` therefore
+reduces values to a canonical JSON-compatible structure (sorted dict items,
+dataclasses by field name, floats via their exact ``repr``) and
+:func:`fingerprint` hashes its compact JSON encoding with SHA-256.
+
+Objects that drag non-canonical state behind them (a
+:class:`~repro.workloads.generator.SyntheticWorkload` holds its whole IR
+program) expose a ``fingerprint_parts()`` method returning the minimal
+defining tuple; :func:`canonical` prefers that hook over dataclass
+introspection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, Iterable, List, Tuple
+
+__all__ = ["canonical", "fingerprint", "FingerprintError"]
+
+
+class FingerprintError(TypeError):
+    """Raised when a value cannot be canonically fingerprinted."""
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-encodable structure.
+
+    Handles primitives, lists/tuples, sets (sorted), dicts with arbitrary
+    canonicalisable keys (sorted by encoded key), enums, dataclasses, and any
+    object exposing ``fingerprint_parts()``.
+
+    Raises:
+        FingerprintError: for values with no canonical form (functions, open
+            handles, arbitrary class instances).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips exactly and is stable across processes.
+        return {"~f": repr(obj)}
+    if isinstance(obj, bytes):
+        return {"~b": hashlib.sha256(obj).hexdigest()}
+    parts = getattr(obj, "fingerprint_parts", None)
+    if parts is not None and callable(parts):
+        return {"~o": type(obj).__name__, "parts": canonical(parts())}
+    if isinstance(obj, enum.Enum):
+        return {"~e": f"{type(obj).__name__}.{obj.name}"}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        items = [canonical(x) for x in obj]
+        return {"~s": sorted(items, key=_sort_key)}
+    if isinstance(obj, dict):
+        items = [[canonical(k), canonical(v)] for k, v in obj.items()]
+        return {"~d": sorted(items, key=lambda kv: _sort_key(kv[0]))}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"~dc": type(obj).__name__, "fields": fields}
+    raise FingerprintError(
+        f"cannot fingerprint {type(obj).__name__!r} value {obj!r}; give it a "
+        "fingerprint_parts() method or pass its defining parameters instead"
+    )
+
+
+def _sort_key(encoded: Any) -> str:
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``parts``.
+
+    Equal inputs yield equal digests in every process; any change to a
+    nested field changes the digest.
+    """
+    encoded = json.dumps(
+        canonical(list(parts)), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

@@ -1,0 +1,260 @@
+"""Task-graph scheduler for experiment sweeps.
+
+An experiment sweep is a :class:`TaskGraph`: one task per pipeline stage
+(build → profile → optimize → measure), with dependency edges inside each
+experiment cell and none between cells.  The :class:`Scheduler` executes a
+graph either serially (``jobs=1``, the default and the reference semantics)
+or by fanning the graph's independent connected components — the cells —
+out over a ``multiprocessing`` fork pool (``jobs=N``).
+
+Design rules that keep the two modes bit-identical:
+
+* every task is a deterministic pure function of its spec and its
+  dependencies' results (all simulator randomness is seeded);
+* a component's tasks always run serially, in dependency order, inside one
+  process, so intermediate results (live :class:`~repro.vm.process.Process`
+  objects among them) never cross a process boundary;
+* only tasks marked ``result=True`` (the measure stages) ship their return
+  value back to the parent — those results must be picklable;
+* workers are *forked* from the parent, so they inherit the workload
+  registry and the artifact store's memory layer as-of the fork; artifacts
+  they build beyond that are recomputed deterministically and discarded with
+  the worker (the parent re-caches the returned results under the same
+  content addresses).
+
+Scheduling activity is observable: ``engine.tasks.{submitted,completed,
+failed}`` counters, plus one ``engine.task`` span per task in serial mode
+and an ``engine.parallel`` span around each pool dispatch — a traced serial
+sweep therefore shows the full task graph on the timeline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs import log as _obs_log
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+__all__ = ["Scheduler", "SchedulerError", "Task", "TaskGraph"]
+
+_log = _obs_log.get_logger("engine.scheduler")
+
+
+class SchedulerError(ReproError):
+    """Raised for malformed graphs or failed task execution."""
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    Attributes:
+        name: unique task name (``<cell id>:<stage>`` by convention).
+        fn: a picklable (module-level) callable; invoked as
+            ``fn(*args, *dep_results)`` with dependency results appended in
+            ``deps`` order.
+        args: static arguments (must be picklable for parallel runs).
+        deps: names of tasks whose results feed this one.
+        result: whether the task's return value is part of the graph's
+            result set (and must therefore be picklable in parallel mode).
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    deps: Tuple[str, ...] = ()
+    result: bool = False
+
+
+class TaskGraph:
+    """A DAG of named tasks."""
+
+    def __init__(self) -> None:
+        self.tasks: Dict[str, Task] = {}
+
+    def add(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        *,
+        args: Tuple[Any, ...] = (),
+        deps: Sequence[str] = (),
+        result: bool = False,
+    ) -> Task:
+        """Add one task; dependency names may be added later but must exist
+        by execution time."""
+        if name in self.tasks:
+            raise SchedulerError(f"duplicate task {name!r}")
+        task = Task(name=name, fn=fn, args=tuple(args), deps=tuple(deps), result=result)
+        self.tasks[name] = task
+        return task
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def topological_order(self) -> List[Task]:
+        """Tasks in a deterministic dependency-respecting order.
+
+        Ties break on insertion order, so the serial schedule is stable.
+
+        Raises:
+            SchedulerError: on unknown dependencies or cycles.
+        """
+        order: List[Task] = []
+        done: set = set()
+        pending = list(self.tasks.values())
+        for task in pending:
+            for dep in task.deps:
+                if dep not in self.tasks:
+                    raise SchedulerError(
+                        f"task {task.name!r} depends on unknown task {dep!r}"
+                    )
+        while pending:
+            progressed = False
+            remaining: List[Task] = []
+            for task in pending:
+                if all(dep in done for dep in task.deps):
+                    order.append(task)
+                    done.add(task.name)
+                    progressed = True
+                else:
+                    remaining.append(task)
+            if not progressed:
+                names = ", ".join(sorted(t.name for t in remaining))
+                raise SchedulerError(f"dependency cycle among: {names}")
+            pending = remaining
+        return order
+
+    def components(self) -> List[List[Task]]:
+        """Weakly-connected components (the independent cells), each as a
+        topologically-ordered task list, in first-insertion order."""
+        parent: Dict[str, str] = {name: name for name in self.tasks}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for task in self.tasks.values():
+            for dep in task.deps:
+                if dep not in self.tasks:
+                    raise SchedulerError(
+                        f"task {task.name!r} depends on unknown task {dep!r}"
+                    )
+                parent[find(task.name)] = find(dep)
+
+        ordered = self.topological_order()
+        groups: Dict[str, List[Task]] = {}
+        roots_in_order: List[str] = []
+        for task in ordered:
+            root = find(task.name)
+            if root not in groups:
+                groups[root] = []
+                roots_in_order.append(root)
+        for task in ordered:
+            groups[find(task.name)].append(task)
+        return [groups[root] for root in roots_in_order]
+
+
+def _run_task_chain(tasks: List[Task], record_spans: bool) -> Dict[str, Any]:
+    """Execute one component serially; return its result-task values."""
+    values: Dict[str, Any] = {}
+    results: Dict[str, Any] = {}
+    for task in tasks:
+        dep_values = tuple(values[dep] for dep in task.deps)
+        if record_spans:
+            with _trace.span("engine.task", task=task.name):
+                value = task.fn(*task.args, *dep_values)
+        else:
+            value = task.fn(*task.args, *dep_values)
+        values[task.name] = value
+        if task.result:
+            results[task.name] = value
+    return results
+
+
+def _run_component(payload: List[Task]) -> Dict[str, Any]:
+    """Pool worker entry point: run one cell's tasks in this process."""
+    return _run_task_chain(payload, record_spans=False)
+
+
+class Scheduler:
+    """Runs task graphs serially or across a fork pool.
+
+    Attributes:
+        jobs: worker processes; ``1`` (default) executes in-process and is
+            the reference semantics the parallel mode must match
+            bit-for-bit.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise SchedulerError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, graph: TaskGraph) -> Dict[str, Any]:
+        """Execute ``graph``; returns ``{task name: value}`` for result tasks."""
+        components = graph.components()
+        self._count("submitted", len(graph))
+        jobs = self.jobs
+        if jobs > 1 and not _fork_available():
+            _log.warning(
+                "scheduler.no_fork", requested_jobs=jobs,
+                detail="fork start method unavailable; running serially",
+            )
+            jobs = 1
+        if jobs <= 1 or len(components) <= 1:
+            return self._run_serial(components, len(graph))
+        return self._run_parallel(components, jobs, len(graph))
+
+    # -- execution modes -------------------------------------------------
+
+    def _run_serial(
+        self, components: List[List[Task]], n_tasks: int
+    ) -> Dict[str, Any]:
+        results: Dict[str, Any] = {}
+        try:
+            for tasks in components:
+                results.update(_run_task_chain(tasks, record_spans=True))
+        except Exception:
+            self._count("failed", 1)
+            raise
+        self._count("completed", n_tasks)
+        return results
+
+    def _run_parallel(
+        self, components: List[List[Task]], jobs: int, n_tasks: int
+    ) -> Dict[str, Any]:
+        ctx = multiprocessing.get_context("fork")
+        results: Dict[str, Any] = {}
+        with _trace.span(
+            "engine.parallel", jobs=jobs, components=len(components), tasks=n_tasks
+        ):
+            with ctx.Pool(processes=min(jobs, len(components))) as pool:
+                try:
+                    for part in pool.map(_run_component, components, chunksize=1):
+                        results.update(part)
+                except Exception:
+                    self._count("failed", 1)
+                    raise
+        self._count("completed", n_tasks)
+        return results
+
+    # -- metrics ---------------------------------------------------------
+
+    @staticmethod
+    def _count(event: str, n: int) -> None:
+        registry = _metrics.current()
+        if registry is not None and n:
+            registry.counter(
+                f"engine.tasks.{event}", "scheduler task lifecycle"
+            ).inc(n)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()

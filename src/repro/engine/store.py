@@ -1,0 +1,256 @@
+"""Content-addressed artifact store for experiment intermediates.
+
+The store is the single cache in the reproduction: workload bundles, linked
+binaries, collected profiles, BOLT/PGO builds and full measurement cells all
+live here, keyed by :class:`ArtifactKey` — a ``(kind, digest)`` pair whose
+digest comes from :mod:`repro.engine.fingerprint` over the artifact's
+defining inputs.  It replaces the ad-hoc module-level dicts and
+attribute-hack caches the harness used to scatter around.
+
+Two layers:
+
+* an **in-memory map** (always on) — same-process reuse returns the same
+  object, so ``full_pipeline(...) is full_pipeline(...)`` still holds;
+* an optional **on-disk backend** (``--artifact-cache DIR``) — artifacts are
+  pickled under ``DIR/<kind>/<digest>.pkl`` with atomic renames, giving
+  cross-process and cross-run reuse (the BOLT-as-cacheable-build-step model
+  of data-center pipelines).
+
+Every lookup increments ``engine.cache.hit`` / ``engine.cache.miss``
+counters (labelled by artifact kind and layer) when a metrics registry is
+installed, and keeps process-local totals for :meth:`ArtifactStore.stats`
+regardless, so warm-cache behaviour is verifiable without observability
+enabled.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.engine.fingerprint import fingerprint
+from repro.errors import ReproError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+__all__ = [
+    "ArtifactKey",
+    "ArtifactStore",
+    "DiskBackend",
+    "KindStats",
+    "StoreError",
+    "configure",
+    "reset",
+    "store",
+]
+
+
+class StoreError(ReproError):
+    """Raised for unusable artifact-store configurations or entries."""
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Content address of one artifact: kind plus input fingerprint."""
+
+    kind: str
+    digest: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}/{self.digest[:12]}"
+
+
+@dataclass
+class KindStats:
+    """Per-kind cache statistics (process-local)."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+
+
+class DiskBackend:
+    """Pickle-per-artifact directory layout: ``root/<kind>/<digest>.pkl``."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: ArtifactKey) -> str:
+        return os.path.join(self.root, key.kind, f"{key.digest}.pkl")
+
+    def contains(self, key: ArtifactKey) -> bool:
+        """Whether an artifact is present on disk."""
+        return os.path.exists(self._path(key))
+
+    def get(self, key: ArtifactKey) -> Any:
+        """Load one artifact (raises ``KeyError`` when absent)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            raise KeyError(str(key)) from None
+        except (pickle.UnpicklingError, EOFError) as exc:
+            raise StoreError(f"corrupt artifact {key} at {path}: {exc}") from exc
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Write one artifact atomically (tmp file + rename)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def entries(self) -> List[Tuple[str, str, int]]:
+        """``(kind, digest, bytes)`` for every artifact on disk."""
+        out: List[Tuple[str, str, int]] = []
+        for kind in sorted(os.listdir(self.root)):
+            kind_dir = os.path.join(self.root, kind)
+            if not os.path.isdir(kind_dir):
+                continue
+            for name in sorted(os.listdir(kind_dir)):
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(kind_dir, name)
+                out.append((kind, name[: -len(".pkl")], os.path.getsize(path)))
+        return out
+
+
+class ArtifactStore:
+    """Content-addressed cache with an in-memory layer and optional disk."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self._mem: Dict[ArtifactKey, Any] = {}
+        self.disk: Optional[DiskBackend] = (
+            DiskBackend(cache_dir) if cache_dir else None
+        )
+        self._stats: Dict[str, KindStats] = {}
+
+    # -- keys ------------------------------------------------------------
+
+    def key(self, kind: str, parts: Tuple[Any, ...]) -> ArtifactKey:
+        """Build the content address for ``kind`` from fingerprint parts."""
+        return ArtifactKey(kind=kind, digest=fingerprint(kind, *parts))
+
+    # -- lookup / insert -------------------------------------------------
+
+    def contains(self, key: ArtifactKey) -> bool:
+        """Whether the artifact is available (memory or disk)."""
+        if key in self._mem:
+            return True
+        return self.disk is not None and self.disk.contains(key)
+
+    def get(self, key: ArtifactKey) -> Any:
+        """Fetch an artifact (raises ``KeyError`` when absent); counts a hit.
+
+        Disk hits are promoted into the memory layer so later lookups return
+        the same object.
+        """
+        if key in self._mem:
+            self._count(key.kind, hit=True, layer="memory")
+            return self._mem[key]
+        if self.disk is not None and self.disk.contains(key):
+            value = self.disk.get(key)
+            self._mem[key] = value
+            self._count(key.kind, hit=True, layer="disk")
+            return value
+        self._count(key.kind, hit=False, layer="none")
+        raise KeyError(str(key))
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Insert an artifact into every layer."""
+        self._mem[key] = value
+        self._kind_stats(key.kind).entries = sum(
+            1 for k in self._mem if k.kind == key.kind
+        )
+        if self.disk is not None:
+            self.disk.put(key, value)
+
+    def get_or_build(
+        self, kind: str, parts: Tuple[Any, ...], build: Callable[[], Any]
+    ) -> Any:
+        """The main entry point: fetch by content address or build and cache.
+
+        A miss runs ``build()`` under an ``engine.build`` span so traces show
+        which artifacts were actually constructed.
+        """
+        key = self.key(kind, parts)
+        try:
+            return self.get(key)
+        except KeyError:
+            pass
+        with _trace.span("engine.build", kind=kind, key=str(key)):
+            value = build()
+        self.put(key, value)
+        return value
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _kind_stats(self, kind: str) -> KindStats:
+        stats = self._stats.get(kind)
+        if stats is None:
+            stats = self._stats[kind] = KindStats()
+        return stats
+
+    def _count(self, kind: str, *, hit: bool, layer: str) -> None:
+        stats = self._kind_stats(kind)
+        if hit:
+            stats.hits += 1
+        else:
+            stats.misses += 1
+        registry = _metrics.current()
+        if registry is not None:
+            name = "engine.cache.hit" if hit else "engine.cache.miss"
+            registry.counter(name, "artifact store lookups").labels(
+                kind=kind, layer=layer
+            ).inc()
+
+    def stats(self) -> Dict[str, KindStats]:
+        """Per-kind hit/miss/entry counts for this process."""
+        return {kind: stats for kind, stats in sorted(self._stats.items())}
+
+    def clear(self) -> None:
+        """Drop the in-memory layer and reset statistics (disk untouched)."""
+        self._mem.clear()
+        self._stats.clear()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+
+# ---------------------------------------------------------------------------
+# process-global store
+# ---------------------------------------------------------------------------
+
+_STORE = ArtifactStore()
+
+
+def store() -> ArtifactStore:
+    """The process-wide artifact store."""
+    return _STORE
+
+
+def configure(cache_dir: Optional[str] = None) -> ArtifactStore:
+    """Replace the global store (optionally backed by ``cache_dir``)."""
+    global _STORE
+    _STORE = ArtifactStore(cache_dir=cache_dir)
+    return _STORE
+
+
+def reset() -> ArtifactStore:
+    """Fresh in-memory store: drops every cached artifact and all stats.
+
+    Tests use this (via the ``fresh_engine`` fixture) so no hidden state
+    crosses test cases; a configured disk backend is dropped too.
+    """
+    return configure(cache_dir=None)

@@ -19,6 +19,9 @@ _EXPORTS = {
     "run_ocolos_pipeline": ".runner",
     "WORKLOADS": ".experiments",
     "workload_bundle": ".experiments",
+    "register_bundle": ".experiments",
+    "unregister_bundle": ".experiments",
+    "full_pipeline": ".experiments",
     "fig3_input_sensitivity": ".experiments",
     "fig5_main_performance": ".experiments",
     "table1_characterization": ".experiments",
@@ -31,6 +34,8 @@ _EXPORTS = {
     "TimelineResult": ".timeline",
     "format_table": ".reporting",
     "format_series": ".reporting",
+    "publish_bench_rows": ".reporting",
+    "publish_bench_scalar": ".reporting",
 }
 
 __getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

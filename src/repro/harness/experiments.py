@@ -1,241 +1,122 @@
 """Drivers for every table and figure in the paper's evaluation.
 
-Heavy artefacts (workload builds, per-input full pipelines) are cached at
-module level so that composing several tables in one session — as the
-benchmark suite does — measures each configuration only once.
+All heavy work flows through :mod:`repro.engine`: each (workload, input,
+configuration) measurement is an engine *cell*, cached content-addressed in
+the :class:`~repro.engine.store.ArtifactStore` and runnable in parallel.
+Every driver takes ``jobs`` — with ``jobs > 1`` its independent cells are
+prefetched over a worker pool (bit-identical to the serial run); repeated
+driver calls, and any composition of drivers sharing cells, reuse the store.
+
+Drivers also publish their result rows as ``bench.*`` gauges whenever a
+metrics registry is installed, so ``--metrics-out`` captures experiment
+results and pipeline internals in one artifact.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence
 
-from repro.binary.binaryfile import Binary
-from repro.bolt.optimizer import BoltResult, run_bolt
-from repro.compiler.pgo import compile_with_pgo
-from repro.core.costs import CostModel, FixedCosts, break_even_seconds
+from repro.core.costs import CostModel, break_even_seconds
 from repro.core.orchestrator import OcolosConfig
+from repro.engine.cells import (
+    CellSpec,
+    PipelineResult,
+    WORKLOADS,
+    WorkloadBundle,
+    prefetch,
+    register_bundle,
+    run_cell,
+    unregister_bundle,
+    workload_bundle,
+    workload_fingerprint,
+)
+from repro.engine.cells import _aggregate_profile, cached_profile as _profile_cell
+from repro.harness.reporting import publish_bench_rows, publish_bench_scalar
 from repro.harness.runner import (
     DEFAULT_PROFILE_SECONDS,
     Measurement,
-    collect_profile,
     launch,
     link_original,
     measure,
-    run_ocolos_pipeline,
 )
 from repro.profiling.profile import BoltProfile
-from repro.workloads.generator import SyntheticWorkload
-from repro.workloads.inputs import InputSpec
+
+__all__ = [
+    "WORKLOADS",
+    "TABLE2_INPUTS",
+    "WorkloadBundle",
+    "PipelineResult",
+    "workload_bundle",
+    "register_bundle",
+    "unregister_bundle",
+    "cached_profile",
+    "full_pipeline",
+    "pgo_measurement",
+    "average_profile_bolt",
+    "average_measurement",
+    "fig3_input_sensitivity",
+    "fig5_main_performance",
+    "table1_characterization",
+    "fig6_profile_duration",
+    "table2_fixed_costs",
+    "fig8_frontend_metrics",
+    "fig9_topdown_points",
+    "breakeven_analysis",
+]
+
 
 # ----------------------------------------------------------------------
-# workload registry
+# engine-backed building blocks (same call signatures as the old ad-hoc
+# module caches, now shared content-addressed artifacts)
 # ----------------------------------------------------------------------
 
 
-@dataclass
-class WorkloadBundle:
-    """A workload plus its input family and evaluation input list."""
-
-    name: str
-    workload: SyntheticWorkload
-    inputs: Dict[str, InputSpec]
-    eval_inputs: List[str]
-
-
-_BUNDLES: Dict[str, WorkloadBundle] = {}
-
-WORKLOADS = ("mysql", "mongodb", "memcached", "verilator")
-
-
-def workload_bundle(name: str) -> WorkloadBundle:
-    """Build (once) and return the named workload bundle."""
-    bundle = _BUNDLES.get(name)
-    if bundle is not None:
-        return bundle
-    if name == "mysql":
-        from repro.workloads.mysql import mysql_inputs, mysql_like
-
-        workload = mysql_like()
-        inputs = mysql_inputs(workload)
-        eval_inputs = list(inputs)
-    elif name == "mongodb":
-        from repro.workloads.mongodb import mongodb_inputs, mongodb_like
-
-        workload = mongodb_like()
-        inputs = mongodb_inputs(workload)
-        eval_inputs = list(inputs)
-    elif name == "memcached":
-        from repro.workloads.memcached import memcached_inputs, memcached_like
-
-        workload = memcached_like()
-        inputs = memcached_inputs(workload)
-        eval_inputs = ["set10_get90"]
-    elif name == "verilator":
-        from repro.workloads.verilator import verilator_inputs, verilator_like
-
-        workload = verilator_like()
-        inputs = verilator_inputs(workload)
-        eval_inputs = list(inputs)
-    else:
-        raise KeyError(f"unknown workload {name!r}")
-    bundle = WorkloadBundle(
-        name=name, workload=workload, inputs=inputs, eval_inputs=eval_inputs
+def cached_profile(
+    workload_name: str, input_name: str, seconds: float = DEFAULT_PROFILE_SECONDS
+) -> BoltProfile:
+    """Offline profile of one input, cached in the artifact store."""
+    bundle = workload_bundle(workload_name)
+    profile, _stats = _profile_cell(
+        bundle.workload, bundle.inputs[input_name], seconds=seconds
     )
-    _BUNDLES[name] = bundle
-    return bundle
-
-
-# ----------------------------------------------------------------------
-# shared full pipeline per (workload, input)
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class PipelineResult:
-    """Everything the figure drivers need for one workload-input pair."""
-
-    workload_name: str
-    input_name: str
-    original: Measurement
-    ocolos: Measurement
-    bolt_oracle: Measurement
-    bolt_result: BoltResult
-    ocolos_report: object
-    rss_original: int
-    rss_bolt: int
-    rss_ocolos: int
-
-    @property
-    def ocolos_speedup(self) -> float:
-        """OCOLOS throughput normalised to the original binary."""
-        return self.ocolos.tps / self.original.tps
-
-    @property
-    def bolt_speedup(self) -> float:
-        """Offline BOLT (oracle profile) normalised to the original binary."""
-        return self.bolt_oracle.tps / self.original.tps
-
-
-_PIPELINES: Dict[Tuple[str, str, int], PipelineResult] = {}
-_PGO: Dict[Tuple[str, str, int], Measurement] = {}
-_AVERAGE_BINARY: Dict[str, BoltResult] = {}
-_AVERAGE: Dict[Tuple[str, str, int], Measurement] = {}
-_PROFILES: Dict[Tuple[str, str, float], object] = {}
-
-
-def cached_profile(workload_name: str, input_name: str, seconds: float = DEFAULT_PROFILE_SECONDS):
-    """Collect (once, cached) an offline profile of one input."""
-    key = (workload_name, input_name, seconds)
-    cached = _PROFILES.get(key)
-    if cached is None:
-        bundle = workload_bundle(workload_name)
-        cached, _stats = collect_profile(
-            bundle.workload, bundle.inputs[input_name], seconds=seconds
-        )
-        _PROFILES[key] = cached
-    return cached
+    return profile
 
 
 def full_pipeline(
     workload_name: str, input_name: str, transactions: int = 500
 ) -> PipelineResult:
-    """Run (once, cached) original / OCOLOS / BOLT-oracle for one input."""
-    key = (workload_name, input_name, transactions)
-    cached = _PIPELINES.get(key)
-    if cached is not None:
-        return cached
-    bundle = workload_bundle(workload_name)
-    workload = bundle.workload
-    spec = bundle.inputs[input_name]
-
-    p_orig = launch(workload, spec, seed=1)
-    m_orig = measure(p_orig, transactions=transactions)
-    rss_original = p_orig.max_rss_bytes()
-
-    process, _ocolos, report = run_ocolos_pipeline(workload, spec, seed=1)
-    process.run(max_transactions=600)  # settle after replacement
-    m_ocolos = measure(process, transactions=transactions, warmup=0)
-    rss_ocolos = process.max_rss_bytes()
-
-    bolt_result = report.bolt
-    p_bolt = launch(workload, spec, binary=bolt_result.binary, seed=1, with_agent=False)
-    m_bolt = measure(p_bolt, transactions=transactions)
-    rss_bolt = p_bolt.max_rss_bytes()
-
-    result = PipelineResult(
-        workload_name=workload_name,
-        input_name=input_name,
-        original=m_orig,
-        ocolos=m_ocolos,
-        bolt_oracle=m_bolt,
-        bolt_result=bolt_result,
-        ocolos_report=report,
-        rss_original=rss_original,
-        rss_bolt=rss_bolt,
-        rss_ocolos=rss_ocolos,
-    )
-    _PIPELINES[key] = result
-    return result
+    """Original / OCOLOS / BOLT-oracle measurements for one input, cached."""
+    return run_cell(CellSpec("pipeline", workload_name, input_name, transactions))
 
 
 def pgo_measurement(
     workload_name: str, input_name: str, transactions: int = 500
 ) -> Measurement:
     """Clang-PGO (oracle profile) measurement, cached."""
-    key = (workload_name, input_name, transactions)
-    cached = _PGO.get(key)
-    if cached is not None:
-        return cached
-    bundle = workload_bundle(workload_name)
-    spec = bundle.inputs[input_name]
-    profile = cached_profile(workload_name, input_name)
-    binary = compile_with_pgo(bundle.workload.program, profile, bundle.workload.options)
-    process = launch(bundle.workload, spec, binary=binary, seed=1, with_agent=False)
-    m = measure(process, transactions=transactions)
-    _PGO[key] = m
-    return m
+    return run_cell(CellSpec("pgo", workload_name, input_name, transactions))
 
 
-def average_profile_bolt(workload_name: str) -> BoltResult:
+def average_profile_bolt(workload_name: str):
     """BOLT from the aggregate of every evaluation input's profile, cached."""
-    cached = _AVERAGE_BINARY.get(workload_name)
-    if cached is not None:
-        return cached
+    from repro.bolt.optimizer import run_bolt_cached
+
     bundle = workload_bundle(workload_name)
-    aggregate = BoltProfile()
-    for input_name in bundle.eval_inputs:
-        aggregate.merge(cached_profile(workload_name, input_name))
-    result = run_bolt(
+    aggregate = _aggregate_profile(bundle, DEFAULT_PROFILE_SECONDS)
+    return run_bolt_cached(
         bundle.workload.program,
         link_original(bundle.workload),
         aggregate,
+        context=workload_fingerprint(bundle.workload),
         compiler_options=bundle.workload.options,
     )
-    _AVERAGE_BINARY[workload_name] = result
-    return result
 
 
 def average_measurement(
     workload_name: str, input_name: str, transactions: int = 500
 ) -> Measurement:
     """BOLT-average-case measurement, cached."""
-    key = (workload_name, input_name, transactions)
-    cached = _AVERAGE.get(key)
-    if cached is not None:
-        return cached
-    bundle = workload_bundle(workload_name)
-    result = average_profile_bolt(workload_name)
-    process = launch(
-        bundle.workload,
-        bundle.inputs[input_name],
-        binary=result.binary,
-        seed=1,
-        with_agent=False,
-    )
-    m = measure(process, transactions=transactions)
-    _AVERAGE[key] = m
-    return m
+    return run_cell(CellSpec("average", workload_name, input_name, transactions))
 
 
 # ----------------------------------------------------------------------
@@ -272,27 +153,40 @@ def fig3_input_sensitivity(
     run_input: str = "oltp_read_only",
     transactions: int = 500,
     profile_seconds: float = DEFAULT_PROFILE_SECONDS,
+    jobs: int = 1,
 ) -> Fig3Result:
     """Regenerate Fig 3 on the MySQL-like workload."""
     bundle = workload_bundle("mysql")
     workload = bundle.workload
     run_spec = bundle.inputs[run_input]
 
+    train_specs = [
+        CellSpec(
+            "train",
+            "mysql",
+            train_name,
+            transactions,
+            run_input=run_input,
+            profile_seconds=profile_seconds,
+        )
+        for train_name in bundle.eval_inputs
+    ]
+    prefetch(
+        train_specs
+        + [
+            CellSpec("average", "mysql", run_input, transactions),
+            CellSpec("pipeline", "mysql", run_input, transactions),
+        ],
+        jobs=jobs,
+    )
+
     p0 = launch(workload, run_spec, seed=1, with_agent=False)
     original_tps = measure(p0, transactions=transactions).tps
 
     rows: List[Fig3Row] = []
-    for train_name in bundle.eval_inputs:
-        profile = cached_profile("mysql", train_name, profile_seconds)
-        result = run_bolt(
-            workload.program,
-            link_original(workload),
-            profile,
-            compiler_options=workload.options,
-        )
-        proc = launch(workload, run_spec, binary=result.binary, seed=1, with_agent=False)
-        tps = measure(proc, transactions=transactions).tps
-        rows.append(Fig3Row(train_name, tps, tps / original_tps, 0.0))
+    for spec in train_specs:
+        tps = run_cell(spec).tps
+        rows.append(Fig3Row(spec.input_name, tps, tps / original_tps, 0.0))
 
     avg = average_measurement("mysql", run_input, transactions)
     rows.append(Fig3Row("all", avg.tps, avg.tps / original_tps, 0.0))
@@ -303,6 +197,9 @@ def fig3_input_sensitivity(
     rows.sort(key=lambda r: -r.tps)
 
     pipeline = full_pipeline("mysql", run_input, transactions)
+    publish_bench_rows("fig3", rows)
+    publish_bench_scalar("fig3", "original_tps", original_tps, run_input=run_input)
+    publish_bench_scalar("fig3", "ocolos_tps", pipeline.ocolos.tps, run_input=run_input)
     return Fig3Result(
         run_input=run_input,
         original_tps=original_tps,
@@ -332,8 +229,17 @@ class Fig5Row:
 def fig5_main_performance(
     workload_names: Sequence[str] = WORKLOADS,
     transactions: int = 500,
+    jobs: int = 1,
 ) -> List[Fig5Row]:
     """Regenerate Fig 5 across all workloads and inputs."""
+    specs: List[CellSpec] = []
+    for name in workload_names:
+        bundle = workload_bundle(name)
+        for input_name in bundle.eval_inputs:
+            for kind in ("pipeline", "pgo", "average"):
+                specs.append(CellSpec(kind, name, input_name, transactions))
+    prefetch(specs, jobs=jobs)
+
     rows: List[Fig5Row] = []
     for name in workload_names:
         bundle = workload_bundle(name)
@@ -352,6 +258,7 @@ def fig5_main_performance(
                     bolt_average=avg.tps / pipe.original.tps,
                 )
             )
+    publish_bench_rows("fig5", rows)
     return rows
 
 
@@ -379,8 +286,17 @@ class Table1Column:
 def table1_characterization(
     workload_names: Sequence[str] = WORKLOADS,
     transactions: int = 500,
+    jobs: int = 1,
 ) -> List[Table1Column]:
     """Regenerate Table I (averages are across each workload's inputs)."""
+    prefetch(
+        [
+            CellSpec("pipeline", name, input_name, transactions)
+            for name in workload_names
+            for input_name in workload_bundle(name).eval_inputs
+        ],
+        jobs=jobs,
+    )
     out: List[Table1Column] = []
     for name in workload_names:
         bundle = workload_bundle(name)
@@ -415,6 +331,7 @@ def table1_characterization(
                 max_rss_ocolos_mib=max(rss_c) / (1024 * 1024),
             )
         )
+    publish_bench_rows("table1", out)
     return out
 
 
@@ -437,6 +354,7 @@ def fig6_profile_duration(
     durations: Sequence[float] = (0.01, 0.03, 0.1, 0.3, 1.0),
     input_name: str = "oltp_read_only",
     transactions: int = 450,
+    jobs: int = 1,
 ) -> List[Fig6Row]:
     """Regenerate Fig 6: speedup vs LBR collection duration.
 
@@ -447,33 +365,29 @@ def fig6_profile_duration(
     workload = bundle.workload
     spec = bundle.inputs[input_name]
 
+    cell_specs = [
+        CellSpec(
+            "duration", "mysql", input_name, transactions, profile_seconds=duration
+        )
+        for duration in durations
+    ]
+    prefetch(cell_specs, jobs=jobs)
+
     p0 = launch(workload, spec, seed=1, with_agent=False)
     base = measure(p0, transactions=transactions).tps
 
     rows: List[Fig6Row] = []
-    for duration in durations:
-        profile, stats = collect_profile(workload, spec, seconds=duration)
-        config = OcolosConfig(profile_seconds=duration)
-        process, _oc, report = run_ocolos_pipeline(workload, spec, seed=1, config=config)
-        process.run(max_transactions=600)
-        m_oc = measure(process, transactions=transactions, warmup=0)
-
-        result = run_bolt(
-            workload.program,
-            link_original(workload),
-            profile,
-            compiler_options=workload.options,
-        )
-        p_b = launch(workload, spec, binary=result.binary, seed=1, with_agent=False)
-        m_b = measure(p_b, transactions=transactions)
+    for duration, cell_spec in zip(durations, cell_specs):
+        cell = run_cell(cell_spec)
         rows.append(
             Fig6Row(
                 duration_seconds=duration,
-                samples=report.samples,
-                ocolos_speedup=m_oc.tps / base,
-                bolt_speedup=m_b.tps / base,
+                samples=cell.samples,
+                ocolos_speedup=cell.ocolos.tps / base,
+                bolt_speedup=cell.bolt.tps / base,
             )
         )
+    publish_bench_rows("fig6", rows)
     return rows
 
 
@@ -506,8 +420,16 @@ TABLE2_INPUTS = {
 def table2_fixed_costs(
     workload_names: Sequence[str] = WORKLOADS,
     transactions: int = 500,
+    jobs: int = 1,
 ) -> List[Table2Column]:
     """Regenerate Table II from the cost model applied to measured work."""
+    prefetch(
+        [
+            CellSpec("pipeline", name, TABLE2_INPUTS[name], transactions)
+            for name in workload_names
+        ],
+        jobs=jobs,
+    )
     out: List[Table2Column] = []
     for name in workload_names:
         bundle = workload_bundle(name)
@@ -531,6 +453,7 @@ def table2_fixed_costs(
                 replacement_seconds=costs.replacement_seconds,
             )
         )
+    publish_bench_rows("table2", out)
     return out
 
 
@@ -551,9 +474,16 @@ class Fig8Row:
     mispredict_pki: float
 
 
-def fig8_frontend_metrics(transactions: int = 500) -> List[Fig8Row]:
+def fig8_frontend_metrics(transactions: int = 500, jobs: int = 1) -> List[Fig8Row]:
     """Regenerate Fig 8 for every MySQL input, sorted by OCOLOS speedup."""
     bundle = workload_bundle("mysql")
+    prefetch(
+        [
+            CellSpec("pipeline", "mysql", input_name, transactions)
+            for input_name in bundle.eval_inputs
+        ],
+        jobs=jobs,
+    )
     ordered = sorted(
         bundle.eval_inputs,
         key=lambda i: -full_pipeline("mysql", i, transactions).ocolos_speedup,
@@ -577,6 +507,7 @@ def fig8_frontend_metrics(transactions: int = 500) -> List[Fig8Row]:
                     mispredict_pki=c.mispredict_pki,
                 )
             )
+    publish_bench_rows("fig8", rows)
     return rows
 
 
@@ -604,8 +535,17 @@ class Fig9Point:
 def fig9_topdown_points(
     workload_names: Sequence[str] = WORKLOADS,
     transactions: int = 500,
+    jobs: int = 1,
 ) -> List[Fig9Point]:
     """Collect the Fig 9 scatter: original-binary TopDown vs OCOLOS benefit."""
+    prefetch(
+        [
+            CellSpec("pipeline", name, input_name, transactions)
+            for name in workload_names
+            for input_name in workload_bundle(name).eval_inputs
+        ],
+        jobs=jobs,
+    )
     points: List[Fig9Point] = []
     for name in workload_names:
         bundle = workload_bundle(name)
@@ -621,6 +561,7 @@ def fig9_topdown_points(
                     ocolos_speedup=pipe.ocolos_speedup,
                 )
             )
+    publish_bench_rows("fig9", points)
     return points
 
 
@@ -661,7 +602,7 @@ def breakeven_analysis(
     disruption = config.profile_seconds + costs.background_seconds + report.pause_seconds
     slowdown = (profile_loss + background_loss + pause_loss) / disruption
     speedup = pipe.ocolos_speedup - 1.0
-    return BreakEvenResult(
+    result = BreakEvenResult(
         workload=workload_name,
         input_name=input_name,
         disruption_seconds=disruption,
@@ -669,3 +610,5 @@ def breakeven_analysis(
         speedup_factor=speedup,
         break_even_after_seconds=break_even_seconds(slowdown, disruption, speedup),
     )
+    publish_bench_rows("breakeven", [result])
+    return result

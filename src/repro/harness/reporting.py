@@ -1,9 +1,13 @@
-"""Plain-text table, series, and timeline formatting for experiment output."""
+"""Plain-text table, series, and timeline formatting for experiment output,
+plus ``bench.*`` gauge export of driver results through the metrics registry."""
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Iterable, List, Mapping, Sequence
+
+from repro.obs import metrics as _metrics
 
 
 def format_table(
@@ -102,6 +106,47 @@ def format_timeline(
             f"{label.ljust(name_w)}  {start:>12.6f}  {dur:>12.6f}  |{bar.ljust(width)}|"
         )
     return "\n".join(lines)
+
+
+def publish_bench_rows(name: str, rows: Iterable[object]) -> None:
+    """Export driver result rows as ``bench.<name>.<field>`` gauges.
+
+    Each row must be a dataclass instance; its numeric fields become gauge
+    values and its string fields become labels (so e.g. a Fig 5 row exports
+    ``bench.fig5.ocolos{workload="mysql",input_name="oltp_read_only"}``).
+    No-op when no metrics registry is installed, so drivers can always call
+    this unconditionally.
+    """
+    registry = _metrics.current()
+    if registry is None:
+        return
+    for row in rows:
+        if not dataclasses.is_dataclass(row) or isinstance(row, type):
+            continue
+        labels = {}
+        values = {}
+        for f in dataclasses.fields(row):
+            v = getattr(row, f.name)
+            if isinstance(v, str):
+                labels[f.name] = v
+            elif _is_number(v):
+                values[f.name] = float(v)
+        for field_name, value in values.items():
+            registry.gauge(
+                f"bench.{name}.{field_name}", f"{name} driver result field"
+            ).labels(**labels).set(value)
+
+
+def publish_bench_scalar(
+    name: str, field_name: str, value: float, **labels: str
+) -> None:
+    """Export one scalar driver result as a ``bench.<name>.<field>`` gauge."""
+    registry = _metrics.current()
+    if registry is None:
+        return
+    registry.gauge(
+        f"bench.{name}.{field_name}", f"{name} driver result field"
+    ).labels(**labels).set(float(value))
 
 
 def _is_number(value: object) -> bool:

@@ -14,7 +14,10 @@ from repro.binary.binaryfile import Binary
 from repro.binary.linker import link_program
 from repro.bolt.optimizer import BoltOptions, BoltResult, run_bolt
 from repro.compiler.pgo import compile_with_pgo
+from repro.compiler.ir import SiteKind
 from repro.core.orchestrator import Ocolos, OcolosConfig, OcolosReport
+from repro.engine.fingerprint import fingerprint
+from repro.errors import LinkError
 from repro.profiling.perf import profile_for_duration
 from repro.profiling.perf2bolt import Perf2BoltStats, extract_profile
 from repro.profiling.profile import BoltProfile
@@ -50,12 +53,43 @@ class Measurement:
 
 
 def link_original(workload: SyntheticWorkload) -> Binary:
-    """Link the workload's original (static-layout) binary, cached."""
-    cached = getattr(workload, "_original_binary", None)
-    if cached is None:
-        cached = link_program(workload.program, options=workload.options)
-        workload._original_binary = cached  # type: ignore[attr-defined]
-    return cached
+    """Link the workload's original (static-layout) binary, cached.
+
+    Cached in the engine's artifact store under the workload's content
+    fingerprint, so every caller (and every worker process with a warm disk
+    cache) shares one build per workload definition.
+
+    Linking has one side effect beyond the binary: lowering switches to
+    compare chains allocates ``DERIVED_BRANCH`` sites in the program's site
+    table, and the emitted code references those ids.  The cached artifact
+    records the allocations so a cache hit can replay them into the
+    requesting workload's (content-identical, but never linked) program —
+    without the replay, running a cached binary would index past the
+    program's site table.
+    """
+    from repro.engine.store import store
+
+    def build() -> Dict[str, object]:
+        binary = link_program(workload.program, options=workload.options)
+        derived = [
+            (site, *info.derived_from, info.function)
+            for site, info in sorted(workload.program.sites.items())
+            if info.kind == SiteKind.DERIVED_BRANCH
+        ]
+        return {"binary": binary, "derived": derived}
+
+    artifact = store().get_or_build("binary", (fingerprint(workload),), build)
+    for site, switch_site, case_index, function in artifact["derived"]:
+        allocated = workload.program.sites.allocate_derived(
+            switch_site, case_index, function
+        )
+        if allocated != site:
+            raise LinkError(
+                f"derived-site replay mismatch for {workload.name!r}: expected "
+                f"site {site}, got {allocated}; the program diverged from the "
+                "cached binary"
+            )
+    return artifact["binary"]
 
 
 def launch(
@@ -68,7 +102,11 @@ def launch(
     with_agent: bool = True,
 ) -> Process:
     """Start a process running the workload under ``input_spec``."""
-    binary = binary if binary is not None else link_original(workload)
+    # Always resolve the original binary first: a cache hit replays the
+    # program's derived-site allocations, which every binary linked from this
+    # program (original, BOLTed, PGO) relies on at execution time.
+    original = link_original(workload)
+    binary = binary if binary is not None else original
     process = Process(
         binary,
         workload.program,

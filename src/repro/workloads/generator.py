@@ -140,6 +140,15 @@ class SyntheticWorkload:
     #: work-item counter of single-shot batch programs.
     counted_sites: Dict[int, int] = field(default_factory=dict)
 
+    def fingerprint_parts(self) -> Tuple[str, WorkloadParams, CompilerOptions]:
+        """Content identity for the engine's artifact store.
+
+        Every builder (generator, per-workload modules) is a deterministic
+        function of its parameters, so ``(name, params, options)`` fully
+        determines the program and all site metadata.
+        """
+        return (self.name, self.params, self.options)
+
     def make_input(
         self,
         name: str,

@@ -59,3 +59,21 @@ def memcached_inputs(workload: SyntheticWorkload) -> Dict[str, InputSpec]:
     for name, (theta, mix) in INPUT_DEFS.items():
         out[name] = workload.make_input(name, theta, mix)
     return out
+
+
+def memcached_bundle():
+    """Workload bundle for the engine registry.
+
+    Only ``set10_get90`` is evaluated, matching the paper's memcached
+    configuration (the other mixes exist for profiling experiments).
+    """
+    from repro.engine.cells import WorkloadBundle
+
+    workload = memcached_like()
+    inputs = memcached_inputs(workload)
+    return WorkloadBundle(
+        name="memcached",
+        workload=workload,
+        inputs=inputs,
+        eval_inputs=["set10_get90"],
+    )

@@ -90,3 +90,14 @@ def mongodb_inputs(workload: SyntheticWorkload) -> Dict[str, InputSpec]:
             spec.dram_service_scale = 0.30
         out[name] = spec
     return out
+
+
+def mongodb_bundle():
+    """Workload bundle for the engine registry (all inputs evaluated)."""
+    from repro.engine.cells import WorkloadBundle
+
+    workload = mongodb_like()
+    inputs = mongodb_inputs(workload)
+    return WorkloadBundle(
+        name="mongodb", workload=workload, inputs=inputs, eval_inputs=list(inputs)
+    )

@@ -111,3 +111,14 @@ def mysql_inputs(workload: SyntheticWorkload) -> Dict[str, InputSpec]:
             vcall_tilt=(theta - 0.5),
         )
     return out
+
+
+def mysql_bundle():
+    """Workload bundle for the engine registry (all inputs evaluated)."""
+    from repro.engine.cells import WorkloadBundle
+
+    workload = mysql_like()
+    inputs = mysql_inputs(workload)
+    return WorkloadBundle(
+        name="mysql", workload=workload, inputs=inputs, eval_inputs=list(inputs)
+    )

@@ -173,3 +173,14 @@ def verilator_inputs(workload: SyntheticWorkload) -> Dict[str, InputSpec]:
             spec.vcall_mix[site] = [(cid, 1.0 + rng.random()) for cid in class_ids]
         out[name] = spec
     return out
+
+
+def verilator_bundle():
+    """Workload bundle for the engine registry (all inputs evaluated)."""
+    from repro.engine.cells import WorkloadBundle
+
+    workload = verilator_like()
+    inputs = verilator_inputs(workload)
+    return WorkloadBundle(
+        name="verilator", workload=workload, inputs=inputs, eval_inputs=list(inputs)
+    )

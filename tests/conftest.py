@@ -151,6 +151,19 @@ class TinyBundle:
         return proc
 
 
+@pytest.fixture()
+def fresh_engine():
+    """A private, empty artifact store + workload registry for one test.
+
+    Yields the fresh :class:`~repro.engine.store.ArtifactStore`; resets again
+    afterwards so no engine state leaks into other tests.
+    """
+    from repro import engine
+
+    yield engine.reset()
+    engine.reset()
+
+
 @pytest.fixture(scope="session")
 def tiny() -> TinyBundle:
     """Session-wide tiny program (binary is immutable; processes are not)."""

@@ -1,0 +1,521 @@
+"""Engine layer tests: fingerprints, artifact store, scheduler, cells.
+
+The determinism guarantees under test are the ones the engine's caching and
+parallelism rest on: identical specs fingerprint identically in every
+process, serial and parallel sweeps produce identical measurements, and the
+cache hit/miss accounting matches what actually happened.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.compiler.codegen import CompilerOptions
+from repro.engine import cells as engine_cells
+from repro.engine.cells import CellSpec, WorkloadBundle, prefetch, run_cell
+from repro.engine.fingerprint import FingerprintError, canonical, fingerprint
+from repro.engine.scheduler import Scheduler, SchedulerError, TaskGraph
+from repro.engine.store import ArtifactStore, StoreError, configure, store
+from repro.harness.reporting import publish_bench_rows, publish_bench_scalar
+from repro.workloads.inputs import InputSpec
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+
+class Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclasses.dataclass
+class _Spec:
+    name: str
+    weight: float
+
+
+class _Hooked:
+    """Object exposing fingerprint_parts() instead of dataclass fields."""
+
+    def __init__(self, payload, noise):
+        self.payload = payload
+        self.noise = noise  # deliberately NOT part of the fingerprint
+
+    def fingerprint_parts(self):
+        return (self.payload,)
+
+
+class TestFingerprint:
+    def test_equal_values_equal_digests(self):
+        a = fingerprint({"x": 1, "y": [1.5, "z"]}, (2, 3))
+        b = fingerprint({"x": 1, "y": [1.5, "z"]}, (2, 3))
+        assert a == b
+
+    def test_any_nested_change_changes_digest(self):
+        base = fingerprint({"x": 1, "y": [1.5, "z"]})
+        assert fingerprint({"x": 1, "y": [1.5, "w"]}) != base
+        assert fingerprint({"x": 1, "y": [1.5000001, "z"]}) != base
+
+    def test_dict_order_independent(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_set_order_independent(self):
+        assert fingerprint({3, 1, 2}) == fingerprint({2, 3, 1})
+
+    def test_bool_is_not_int(self):
+        assert fingerprint(True) != fingerprint(1)
+
+    def test_float_exact_repr(self):
+        # 0.1 + 0.2 != 0.3 exactly; the fingerprint must see the difference.
+        assert fingerprint(0.1 + 0.2) != fingerprint(0.3)
+        assert canonical(0.5) == {"~f": "0.5"}
+
+    def test_enum_and_dataclass(self):
+        assert fingerprint(Color.RED) != fingerprint(Color.BLUE)
+        assert fingerprint(_Spec("a", 1.0)) == fingerprint(_Spec("a", 1.0))
+        assert fingerprint(_Spec("a", 1.0)) != fingerprint(_Spec("a", 2.0))
+
+    def test_fingerprint_parts_hook_preferred(self):
+        assert fingerprint(_Hooked("p", noise=1)) == fingerprint(
+            _Hooked("p", noise=2)
+        )
+        assert fingerprint(_Hooked("p", 0)) != fingerprint(_Hooked("q", 0))
+
+    def test_compiler_options_and_input_spec_fingerprint(self):
+        assert fingerprint(CompilerOptions()) == fingerprint(CompilerOptions())
+        assert fingerprint(CompilerOptions(jump_tables=True)) != fingerprint(
+            CompilerOptions(jump_tables=False)
+        )
+        spec = InputSpec(name="probe")
+        spec.branch_bias[3] = 0.75
+        spec2 = InputSpec(name="probe")
+        spec2.branch_bias[3] = 0.75
+        assert fingerprint(spec) == fingerprint(spec2)
+
+    def test_unfingerprintable_value_rejected(self):
+        with pytest.raises(FingerprintError):
+            fingerprint(lambda: None)
+
+    def test_stable_across_processes_and_hash_seeds(self):
+        """The digest may not depend on PYTHONHASHSEED or process identity."""
+        script = (
+            "from repro.engine.fingerprint import fingerprint\n"
+            "from repro.compiler.codegen import CompilerOptions\n"
+            "from repro.workloads.mysql import mysql_params\n"
+            "print(fingerprint({'b': 2, 'a': 1.5, 's': {'y', 'x'}},"
+            " CompilerOptions(), mysql_params()))\n"
+        )
+        digests = []
+        for seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            digests.append(out.stdout.strip())
+        assert digests[0] == digests[1]
+        # and equal to the in-process value
+        from repro.workloads.mysql import mysql_params
+
+        local = fingerprint(
+            {"b": 2, "a": 1.5, "s": {"y", "x"}}, CompilerOptions(), mysql_params()
+        )
+        assert digests[0] == local
+
+
+# ---------------------------------------------------------------------------
+# artifact store
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactStore:
+    def test_miss_raises_and_counts(self):
+        s = ArtifactStore()
+        key = s.key("profile", ("nothing",))
+        with pytest.raises(KeyError):
+            s.get(key)
+        assert s.stats()["profile"].misses == 1
+        assert s.stats()["profile"].hits == 0
+
+    def test_put_get_returns_same_object(self):
+        s = ArtifactStore()
+        key = s.key("binary", ("w1",))
+        value = {"payload": [1, 2, 3]}
+        s.put(key, value)
+        assert s.get(key) is value
+        assert s.stats()["binary"].hits == 1
+        assert s.stats()["binary"].entries == 1
+
+    def test_get_or_build_builds_exactly_once(self):
+        s = ArtifactStore()
+        calls = []
+        for _ in range(3):
+            got = s.get_or_build("bolt", ("k",), lambda: calls.append(1) or "built")
+        assert got == "built"
+        assert len(calls) == 1
+        assert s.stats()["bolt"].misses == 1
+        assert s.stats()["bolt"].hits == 2
+
+    def test_contains_does_not_count(self):
+        s = ArtifactStore()
+        key = s.key("bundle", ("x",))
+        assert not s.contains(key)
+        s.put(key, 1)
+        assert s.contains(key)
+        assert "bundle" not in s.stats() or s.stats()["bundle"].hits == 0
+
+    def test_disk_roundtrip_and_promotion(self, tmp_path):
+        root = str(tmp_path / "cache")
+        writer = ArtifactStore(cache_dir=root)
+        key = writer.key("profile", ("p", 0.3))
+        writer.put(key, {"samples": 17})
+
+        reader = ArtifactStore(cache_dir=root)
+        assert reader.contains(key)
+        value = reader.get(key)
+        assert value == {"samples": 17}
+        # promoted into memory: second get returns the identical object
+        assert reader.get(key) is value
+        assert reader.stats()["profile"].hits == 2
+        assert reader.stats()["profile"].misses == 0
+
+    def test_corrupt_disk_artifact_rejected(self, tmp_path):
+        root = str(tmp_path / "cache")
+        s = ArtifactStore(cache_dir=root)
+        key = s.key("pgo_binary", ("bad",))
+        path = os.path.join(root, key.kind, f"{key.digest}.pkl")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        with pytest.raises(StoreError):
+            s.get(key)
+
+    def test_clear_drops_memory_not_disk(self, tmp_path):
+        root = str(tmp_path / "cache")
+        s = ArtifactStore(cache_dir=root)
+        key = s.key("cell.pipeline", ("c",))
+        s.put(key, "result")
+        s.clear()
+        assert len(s) == 0
+        assert s.get(key) == "result"  # reloaded from disk
+
+    def test_cache_counters_published(self):
+        s = ArtifactStore()
+        _tracer, registry = obs.enable()
+        try:
+            key = s.key("binary", ("m",))
+            with pytest.raises(KeyError):
+                s.get(key)
+            s.put(key, 1)
+            s.get(key)
+            snap = registry.snapshot()
+            assert snap.value("engine.cache.miss", kind="binary", layer="none") == 1
+            assert snap.value("engine.cache.hit", kind="binary", layer="memory") == 1
+        finally:
+            obs.disable()
+
+    def test_global_store_configure_and_reset(self, tmp_path, fresh_engine):
+        configured = configure(cache_dir=str(tmp_path / "ac"))
+        assert store() is configured
+        assert configured.disk is not None
+        from repro import engine
+
+        fresh = engine.reset()
+        assert store() is fresh
+        assert fresh.disk is None
+
+
+# ---------------------------------------------------------------------------
+# scheduler
+# ---------------------------------------------------------------------------
+
+
+def _const(x):
+    return x
+
+
+def _double(x):
+    return 2 * x
+
+
+def _sum_deps(*vals):
+    return sum(vals)
+
+
+def _boom():
+    raise RuntimeError("stage exploded")
+
+
+def _chain_graph(n_cells: int) -> TaskGraph:
+    graph = TaskGraph()
+    for i in range(n_cells):
+        graph.add(f"c{i}:build", _const, args=(i,))
+        graph.add(f"c{i}:opt", _double, deps=(f"c{i}:build",))
+        graph.add(
+            f"c{i}:measure", _sum_deps, deps=(f"c{i}:build", f"c{i}:opt"), result=True
+        )
+    return graph
+
+
+class TestTaskGraph:
+    def test_duplicate_task_rejected(self):
+        graph = TaskGraph()
+        graph.add("a", _const, args=(1,))
+        with pytest.raises(SchedulerError, match="duplicate"):
+            graph.add("a", _const, args=(2,))
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph()
+        graph.add("a", _const, args=(1,), deps=("ghost",))
+        with pytest.raises(SchedulerError, match="unknown task"):
+            graph.topological_order()
+
+    def test_cycle_detected(self):
+        graph = TaskGraph()
+        graph.add("a", _const, deps=("b",))
+        graph.add("b", _const, deps=("a",))
+        with pytest.raises(SchedulerError, match="cycle"):
+            graph.topological_order()
+
+    def test_topological_order_respects_deps(self):
+        graph = _chain_graph(3)
+        order = [t.name for t in graph.topological_order()]
+        for i in range(3):
+            assert order.index(f"c{i}:build") < order.index(f"c{i}:opt")
+            assert order.index(f"c{i}:opt") < order.index(f"c{i}:measure")
+
+    def test_components_are_the_cells(self):
+        graph = _chain_graph(4)
+        comps = graph.components()
+        assert len(comps) == 4
+        for i, comp in enumerate(comps):
+            assert [t.name for t in comp] == [
+                f"c{i}:build",
+                f"c{i}:opt",
+                f"c{i}:measure",
+            ]
+
+
+class TestScheduler:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SchedulerError):
+            Scheduler(jobs=0)
+
+    def test_serial_results(self):
+        results = Scheduler(jobs=1).run(_chain_graph(3))
+        # measure = build + double(build) = 3 * i
+        assert results == {f"c{i}:measure": 3 * i for i in range(3)}
+
+    def test_parallel_matches_serial(self):
+        serial = Scheduler(jobs=1).run(_chain_graph(5))
+        parallel = Scheduler(jobs=3).run(_chain_graph(5))
+        assert parallel == serial
+
+    def test_failed_task_propagates(self):
+        graph = TaskGraph()
+        graph.add("bad", _boom, result=True)
+        with pytest.raises(RuntimeError, match="exploded"):
+            Scheduler(jobs=1).run(graph)
+
+    def test_task_counters(self):
+        _tracer, registry = obs.enable()
+        try:
+            Scheduler(jobs=1).run(_chain_graph(2))
+            snap = registry.snapshot()
+            assert snap.value("engine.tasks.submitted") == 6
+            assert snap.value("engine.tasks.completed") == 6
+            assert snap.value("engine.tasks.failed") == 0
+        finally:
+            obs.disable()
+
+
+# ---------------------------------------------------------------------------
+# cells: caching, parallel determinism, warm-store behaviour
+# ---------------------------------------------------------------------------
+
+
+def _register_mini(small_server, small_inputs) -> WorkloadBundle:
+    bundle = WorkloadBundle(
+        name="mini",
+        workload=small_server,
+        inputs=dict(small_inputs),
+        eval_inputs=list(small_inputs),
+    )
+    engine_cells.register_bundle("mini", bundle)
+    return bundle
+
+
+def _measurement_tuple(result):
+    """Exact-comparison projection of a PipelineResult."""
+    return (
+        result.original.tps,
+        result.ocolos.tps,
+        result.bolt_oracle.tps,
+        result.original.counters,
+        result.ocolos.counters,
+        result.rss_original,
+        result.rss_ocolos,
+        result.rss_bolt,
+    )
+
+
+class TestCells:
+    def test_run_cell_cached_with_identity(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        _register_mini(small_server, small_inputs)
+        spec = CellSpec("pipeline", "mini", "readish", transactions=120)
+        first = run_cell(spec)
+        second = run_cell(spec)
+        assert second is first
+        stats = store().stats()["cell.pipeline"]
+        assert stats.misses == 1
+        assert stats.hits == 1
+
+    def test_serial_and_parallel_sweeps_identical(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        """The headline determinism guarantee: --jobs N changes nothing."""
+        specs = [
+            CellSpec("pipeline", "mini", "readish", transactions=120),
+            CellSpec("pipeline", "mini", "writish", transactions=120),
+        ]
+
+        _register_mini(small_server, small_inputs)
+        assert prefetch(specs, jobs=1) == 2
+        serial = [_measurement_tuple(run_cell(s)) for s in specs]
+
+        from repro import engine
+
+        engine.reset()
+        _register_mini(small_server, small_inputs)
+        assert prefetch(specs, jobs=2) == 2
+        parallel = [_measurement_tuple(run_cell(s)) for s in specs]
+
+        assert parallel == serial
+
+    def test_prefetch_dedups_and_skips_cached(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        _register_mini(small_server, small_inputs)
+        spec = CellSpec("pipeline", "mini", "readish", transactions=120)
+        assert prefetch([spec, spec], jobs=1) == 1
+        assert prefetch([spec], jobs=1) == 0
+
+    def test_warm_disk_store_zero_rebuilds(
+        self, fresh_engine, tmp_path, small_server, small_inputs
+    ):
+        """A warm --artifact-cache serves the cell without recomputation."""
+        cache_dir = str(tmp_path / "ac")
+        spec = CellSpec("pipeline", "mini", "readish", transactions=120)
+
+        configure(cache_dir=cache_dir)
+        _register_mini(small_server, small_inputs)
+        cold = run_cell(spec)
+        assert store().stats()["cell.pipeline"].misses == 1
+
+        # Fresh process simulation: empty memory layer, same disk.
+        configure(cache_dir=cache_dir)
+        warm = run_cell(spec)
+        stats = store().stats()["cell.pipeline"]
+        assert stats.misses == 0
+        assert stats.hits == 1
+        assert _measurement_tuple(warm) == _measurement_tuple(cold)
+
+    def test_no_binary_attribute_hacks_on_workloads(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        """Binaries live in the store now, not as attributes on workloads."""
+        _register_mini(small_server, small_inputs)
+        run_cell(CellSpec("pipeline", "mini", "readish", transactions=120))
+        assert not hasattr(small_server, "_original_binary")
+
+    def test_unknown_workload_and_kind_rejected(self, fresh_engine):
+        with pytest.raises(KeyError):
+            engine_cells.workload_bundle("oracle_db")
+        with pytest.raises(KeyError):
+            engine_cells.cell_graph([CellSpec("warp", "mini", "readish")])
+
+
+# ---------------------------------------------------------------------------
+# bench result export (satellite: harness results through the registry)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _Row:
+    workload: str
+    speedup: float
+    samples: int
+
+
+class TestBenchExport:
+    def test_rows_become_labelled_gauges(self):
+        _tracer, registry = obs.enable()
+        try:
+            publish_bench_rows(
+                "fig5", [_Row("mysql", 1.32, 900), _Row("mongodb", 1.18, 700)]
+            )
+            snap = registry.snapshot()
+            assert snap.value("bench.fig5.speedup", workload="mysql") == 1.32
+            assert snap.value("bench.fig5.samples", workload="mongodb") == 700
+        finally:
+            obs.disable()
+
+    def test_scalar_export(self):
+        _tracer, registry = obs.enable()
+        try:
+            publish_bench_scalar("fig3", "ocolos_tps", 123.5, input="readish")
+            snap = registry.snapshot()
+            assert snap.value("bench.fig3.ocolos_tps", input="readish") == 123.5
+        finally:
+            obs.disable()
+
+    def test_noop_without_registry(self):
+        publish_bench_rows("fig5", [_Row("mysql", 1.0, 1)])
+        publish_bench_scalar("fig5", "x", 1.0)
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCliFlags:
+    def test_fig_accepts_engine_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["fig", "5", "--jobs", "2", "--artifact-cache", "/tmp/x"]
+        )
+        assert args.jobs == 2
+        assert args.artifact_cache == "/tmp/x"
+
+    def test_run_pipeline_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run-pipeline"])
+        assert args.jobs == 1
+        assert args.artifact_cache is None
+
+    def test_engine_stats_subcommand(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["engine", "stats", "--artifact-cache", "/tmp/x"]
+        )
+        assert args.command == "engine"
+        assert args.engine_command == "stats"
+        assert args.artifact_cache == "/tmp/x"

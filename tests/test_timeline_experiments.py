@@ -28,10 +28,10 @@ def mini_bundle(small_server, small_inputs):
         inputs=dict(small_inputs),
         eval_inputs=list(small_inputs),
     )
-    experiments._BUNDLES["mini"] = bundle
+    experiments.register_bundle("mini", bundle)
     experiments.TABLE2_INPUTS["mini"] = "readish"
     yield bundle
-    experiments._BUNDLES.pop("mini", None)
+    experiments.unregister_bundle("mini")
     experiments.TABLE2_INPUTS.pop("mini", None)
 
 
