@@ -1,0 +1,114 @@
+"""Interpreter cold-loop throughput: superblock fast path vs reference.
+
+Not a paper figure — this guards the simulator's own inner-loop speed.  The
+superblock execution layer (:mod:`repro.vm.superblock`) exists purely to make
+the simulation faster; its correctness contract (bit-identical counters, LBR,
+RNG vs the reference stepper) is enforced by
+``tests/test_interp_equivalence.py``, and this benchmark tracks the speed it
+buys on the memcached workload, plus the cost of the sampled ``vm.interp.*``
+observability counters on both steppers.
+
+``benchmarks/data/interp_throughput.json`` is the committed before/after
+record for the optimization (the *before* stepper no longer exists in-tree,
+so its number was measured from the pre-change revision on the same machine
+as the *after* numbers).
+
+Modes:
+    Full run:   pytest benchmarks/bench_interp_throughput.py --benchmark-only
+    Smoke run:  BENCH_SMOKE=1 pytest ... (CI: small budget, no speed assert)
+    JSON out:   BENCH_JSON_OUT=path.json pytest ... (timing artifact)
+"""
+
+import json
+import os
+import platform
+
+from repro.harness.reporting import format_table
+from repro.harness.runner import measure_interp_throughput
+from repro.workloads.memcached import memcached_inputs, memcached_like
+
+#: In-tree floor: the fast path must beat the in-tree reference stepper by
+#: at least this factor on the full workload.  (The committed JSON records
+#: the larger speedup vs the pre-change interpreter, whose reference path
+#: was slower than today's.)
+MIN_INTREE_SPEEDUP = 2.0
+
+
+def _measure(transactions, repeats):
+    workload = memcached_like()
+    spec = memcached_inputs(workload)["set10_get90"]
+    samples = {}
+    for superblocks in (True, False):
+        for observed in (False, True):
+            sample = measure_interp_throughput(
+                workload,
+                spec,
+                transactions=transactions,
+                superblocks=superblocks,
+                observed=observed,
+                repeats=repeats,
+            )
+            key = sample.mode + ("+observer" if observed else "")
+            samples[key] = sample
+    return samples
+
+
+def bench_interp_throughput(once):
+    smoke = os.environ.get("BENCH_SMOKE") == "1"
+    transactions = 2_000 if smoke else 20_000
+    samples = once(_measure, transactions, 1 if smoke else 3)
+
+    print()
+    rows = []
+    for key, s in samples.items():
+        rows.append(
+            [key, f"{s.seconds:.3f}", f"{s.runs_per_sec:,.0f}",
+             f"{s.instructions_per_sec:,.0f}", s.runs, s.superblocks]
+        )
+    print(
+        format_table(
+            ["stepper", "seconds", "runs/s", "instr/s", "runs", "superblocks"],
+            rows,
+            title=f"interpreter throughput, memcached set10_get90 x{transactions}",
+        )
+    )
+
+    fast = samples["superblock"]
+    ref = samples["reference"]
+    # Determinism: both steppers executed exactly the same work.
+    assert fast.runs == ref.runs
+    assert fast.instructions == ref.instructions
+    # The fast path genuinely chained (reference never dispatches chains).
+    assert fast.superblocks and fast.superblocks < fast.runs
+    assert ref.superblocks == 0
+    if not smoke:
+        speedup = fast.runs_per_sec / ref.runs_per_sec
+        assert speedup >= MIN_INTREE_SPEEDUP, (
+            f"superblock path only {speedup:.2f}x the in-tree reference"
+        )
+
+    out = os.environ.get("BENCH_JSON_OUT")
+    if out:
+        payload = {
+            "workload": "memcached_like",
+            "input": "set10_get90",
+            "transactions": transactions,
+            "smoke": smoke,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "samples": {
+                key: {
+                    "mode": s.mode,
+                    "observed": s.observed,
+                    "seconds": round(s.seconds, 4),
+                    "runs": s.runs,
+                    "instructions": s.instructions,
+                    "superblocks": s.superblocks,
+                    "runs_per_sec": round(s.runs_per_sec, 1),
+                }
+                for key, s in samples.items()
+            },
+        }
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")

@@ -330,6 +330,56 @@ def _engine_stats(args) -> int:
     return 0
 
 
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte size like ``250000``, ``64K``, ``512M`` or ``2G``."""
+    raw = text.strip().lower().rstrip("b")
+    factor = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"unparseable size {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be >= 0, got {text!r}")
+    return int(value * factor)
+
+
+def _engine_gc(args) -> int:
+    """Evict least-recently-used artifacts until the disk cache fits."""
+    from repro.engine.store import store
+
+    st = store()
+    if st.disk is None:
+        print(
+            "error: engine gc needs a disk cache (pass --artifact-cache DIR)",
+            file=sys.stderr,
+        )
+        return 1
+    evicted = st.disk.gc(args.max_bytes)
+    kept = st.disk.entries()
+    print(
+        f"evicted {len(evicted)} artifacts "
+        f"({sum(s for _, _, s in evicted):,} bytes) from {st.disk.root}"
+    )
+    print(
+        f"kept {len(kept)} artifacts ({sum(s for _, _, s in kept):,} bytes), "
+        f"cap {args.max_bytes:,} bytes"
+    )
+    _log.info(
+        "engine.gc",
+        dir=st.disk.root,
+        cap_bytes=args.max_bytes,
+        evicted=len(evicted),
+        kept=len(kept),
+    )
+    return 0
+
+
 FIGS: Dict[int, Callable] = {
     1: _fig1, 3: _fig3, 5: _fig5, 6: _fig6, 7: _fig7, 8: _fig8, 9: _fig9,
 }
@@ -425,6 +475,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifact-cache", metavar="DIR", default=None,
         help="disk cache directory to inspect",
     )
+    gc = eng_sub.add_parser(
+        "gc", help="evict least-recently-used artifacts to fit a size cap"
+    )
+    gc.add_argument(
+        "--artifact-cache", metavar="DIR", required=True,
+        help="disk cache directory to collect",
+    )
+    gc.add_argument(
+        "--max-bytes", metavar="SIZE", type=_parse_size, required=True,
+        help="size cap (supports K/M/G suffixes, e.g. 512M)",
+    )
     return parser
 
 
@@ -499,6 +560,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "obs":
             return _obs_view(args)
         if args.command == "engine":
+            if args.engine_command == "gc":
+                return _engine_gc(args)
             return _engine_stats(args)
         return 2  # pragma: no cover - argparse enforces choices
     finally:

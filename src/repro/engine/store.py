@@ -87,15 +87,25 @@ class DiskBackend:
         return os.path.exists(self._path(key))
 
     def get(self, key: ArtifactKey) -> Any:
-        """Load one artifact (raises ``KeyError`` when absent)."""
+        """Load one artifact (raises ``KeyError`` when absent).
+
+        A successful load touches the file's timestamps: :meth:`gc` evicts
+        by least-recent use, and relying on the filesystem's own atime
+        would break under the common ``relatime``/``noatime`` mounts.
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
-                return pickle.load(fh)
+                value = pickle.load(fh)
         except FileNotFoundError:
             raise KeyError(str(key)) from None
         except (pickle.UnpicklingError, EOFError) as exc:
             raise StoreError(f"corrupt artifact {key} at {path}: {exc}") from exc
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # read-only cache dirs still serve artifacts
+        return value
 
     def put(self, key: ArtifactKey, value: Any) -> None:
         """Write one artifact atomically (tmp file + rename)."""
@@ -124,6 +134,44 @@ class DiskBackend:
                 path = os.path.join(kind_dir, name)
                 out.append((kind, name[: -len(".pkl")], os.path.getsize(path)))
         return out
+
+    def gc(self, max_bytes: int) -> List[Tuple[str, str, int]]:
+        """Evict least-recently-used artifacts until the cache fits.
+
+        Recency is the file's access time, which :meth:`get` refreshes
+        explicitly on every load (see there), so an artifact a long-running
+        benchmark session keeps hitting survives a size-capped cache even
+        when it was written first.
+
+        Args:
+            max_bytes: size cap; artifacts are deleted, oldest access
+                first, until the total on-disk size is at or below it.
+
+        Returns:
+            ``(kind, digest, bytes)`` for every evicted artifact.
+        """
+        if max_bytes < 0:
+            raise StoreError(f"gc size cap must be >= 0, got {max_bytes}")
+        ranked: List[Tuple[float, str, str, int, str]] = []
+        for kind, digest, size in self.entries():
+            path = os.path.join(self.root, kind, f"{digest}.pkl")
+            try:
+                atime = os.stat(path).st_atime
+            except FileNotFoundError:
+                continue  # concurrent eviction
+            ranked.append((atime, kind, digest, size, path))
+        total = sum(item[3] for item in ranked)
+        evicted: List[Tuple[str, str, int]] = []
+        for _atime, kind, digest, size, path in sorted(ranked):
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                continue
+            total -= size
+            evicted.append((kind, digest, size))
+        return evicted
 
 
 class ArtifactStore:

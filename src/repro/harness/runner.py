@@ -7,6 +7,7 @@ measured after code replacement completes; all randomness is seeded.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -211,3 +212,96 @@ def run_ocolos_pipeline(
     )
     report = ocolos.optimize_once()
     return process, ocolos, report
+
+
+@dataclass
+class InterpThroughput:
+    """One cold-loop interpreter speed sample (no OCOLOS machinery).
+
+    ``runs``/``instructions``/``superblocks`` are execution counts, which
+    are deterministic for a given (workload, input, seed, transactions) —
+    identical across steppers and machines; ``seconds`` is best-of-N wall
+    time on the measuring machine.
+    """
+
+    mode: str
+    observed: bool
+    seconds: float
+    runs: int
+    instructions: int
+    superblocks: int
+    transactions: int
+
+    @property
+    def runs_per_sec(self) -> float:
+        """Executed runs per wall-clock second."""
+        return self.runs / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def instructions_per_sec(self) -> float:
+        """Executed instructions per wall-clock second."""
+        return self.instructions / self.seconds if self.seconds > 0 else 0.0
+
+
+def measure_interp_throughput(
+    workload: SyntheticWorkload,
+    input_spec: InputSpec,
+    *,
+    transactions: int = 20_000,
+    n_threads: Optional[int] = None,
+    seed: int = 1612,
+    superblocks: bool = True,
+    observed: bool = False,
+    repeats: int = 3,
+) -> InterpThroughput:
+    """Wall-time for executing ``transactions`` from a cold process.
+
+    Cold-loop by design: every repetition launches a fresh process (cold
+    decode cache, cold uarch structures) and runs it to the transaction
+    budget, so the number includes decode/specialization cost, which is
+    the situation OCOLOS's own tooling is in when it replays a workload.
+
+    Args:
+        superblocks: measure the superblock fast path (True) or the
+            reference single-run stepper (False).
+        observed: attach a ``VMCounters`` observer during the timed runs
+            (quantifies the sampled ``vm.interp.*`` counter overhead).
+        repeats: wall-time repetitions; the best (least-noise) is kept.
+
+    Returns:
+        the sample, with counts taken from a separate observed run (the
+        counts are deterministic, so they apply to every repetition).
+    """
+    from repro.obs.metrics import VMCounters
+
+    def fresh() -> Process:
+        process = launch(
+            workload, input_spec, n_threads=n_threads, seed=seed, with_agent=False
+        )
+        process.interpreter.use_superblocks = superblocks
+        return process
+
+    # Counting pass: deterministic, so done once, always observed.
+    counter_proc = fresh()
+    bag = VMCounters()
+    counter_proc.interpreter.set_observer(bag)
+    counter_proc.run(max_transactions=transactions)
+
+    best = None
+    for _ in range(max(1, repeats)):
+        process = fresh()
+        process.interpreter.set_observer(VMCounters() if observed else None)
+        t0 = time.perf_counter()
+        process.run(max_transactions=transactions)
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return InterpThroughput(
+        mode="superblock" if superblocks else "reference",
+        observed=observed,
+        seconds=best,
+        runs=bag.runs,
+        instructions=bag.instructions,
+        superblocks=bag.superblocks,
+        transactions=transactions,
+    )

@@ -351,12 +351,13 @@ class VMCounters:
     must agree to the unit when observation covers the process's whole life.
     """
 
-    __slots__ = ("instructions", "branches", "runs")
+    __slots__ = ("instructions", "branches", "runs", "superblocks")
 
     def __init__(self) -> None:
         self.instructions = 0
         self.branches = 0
         self.runs = 0
+        self.superblocks = 0
 
     def publish(self, registry: MetricsRegistry, prefix: str = "vm.interp") -> None:
         """Copy the totals into ``registry`` as gauges."""
@@ -367,6 +368,9 @@ class VMCounters:
             f"{prefix}.branches", "control transfers executed (interpreter count)"
         ).set(self.branches)
         registry.gauge(f"{prefix}.runs", "decoded runs executed").set(self.runs)
+        registry.gauge(
+            f"{prefix}.superblocks", "superblock dispatches (chained fast path)"
+        ).set(self.superblocks)
 
 
 # ---------------------------------------------------------------------------

@@ -35,6 +35,11 @@ class SetAssociativeCache:
         self._sets: List[Dict[int, None]] = [dict() for _ in range(n_sets)]
         self.hits = 0
         self.misses = 0
+        #: The line of the most recent ``access``.  Re-probing it is a
+        #: guaranteed hit whose LRU reposition is a no-op, so ``access`` (and
+        #: external fast paths, see :meth:`streak_hit`) can skip the dict
+        #: operations entirely without perturbing any observable state.
+        self.mru_line = -1
 
     @classmethod
     def from_geometry(cls, size_bytes: int, line_bytes: int, ways: int) -> "SetAssociativeCache":
@@ -44,7 +49,14 @@ class SetAssociativeCache:
 
     def access(self, line: int) -> bool:
         """Probe ``line``; fills on miss.  Returns ``True`` on hit."""
+        if line == self.mru_line:
+            # Same-line streak: the line was the last one probed, so it is
+            # resident at the MRU position of its set; repositioning it is a
+            # no-op.  Charge the hit without touching the set dict.
+            self.hits += 1
+            return True
         s = self._sets[line & self._mask]
+        self.mru_line = line
         if line in s:
             del s[line]
             s[line] = None
@@ -56,6 +68,15 @@ class SetAssociativeCache:
             del s[next(iter(s))]
         return False
 
+    def streak_hit(self) -> None:
+        """Account a hit that the caller proved is a same-line streak.
+
+        Callers that track ``mru_line`` themselves (the interpreter's
+        superblock executor) use this to skip even the ``access`` call; it
+        must only be used when the probed line equals :attr:`mru_line`.
+        """
+        self.hits += 1
+
     def contains(self, line: int) -> bool:
         """Non-perturbing lookup (no fill, no LRU update, no counters)."""
         return line in self._sets[line & self._mask]
@@ -64,6 +85,7 @@ class SetAssociativeCache:
         """Invalidate all lines (counters are preserved)."""
         for s in self._sets:
             s.clear()
+        self.mru_line = -1
 
     def resident_lines(self) -> int:
         """Number of valid lines currently cached."""

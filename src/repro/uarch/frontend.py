@@ -87,6 +87,12 @@ class FrontEnd:
         self._line_shift = p.line_bytes.bit_length() - 1
         self._page_shift = 12
         self._prefetched_line = -1
+        self._itlb_cache = self.itlb.cache
+        #: Whether the fused single-line fetch path (:meth:`fetch_line`) is
+        #: valid for this core.  With the next-line prefetcher enabled every
+        #: fetch must also issue the sequential prefetch probe, so callers
+        #: must take the general :meth:`fetch_run` path instead.
+        self.fast_fetch = not p.next_line_prefetch
 
     # ------------------------------------------------------------------
     # events
@@ -98,14 +104,37 @@ class FrontEnd:
         Returns:
             cycles charged for this fetch (base + fetch stalls).
         """
+        return self.fetch_lines(
+            start >> self._line_shift,
+            (start + size - 1) >> self._line_shift,
+            start >> self._page_shift,
+            (start + size - 1) >> self._page_shift,
+            n_instr,
+            n_instr / self.params.issue_width,
+        )
+
+    def fetch_lines(
+        self,
+        first_line: int,
+        last_line: int,
+        first_page: int,
+        last_page: int,
+        n_instr: int,
+        base_cycles: float,
+    ) -> float:
+        """:meth:`fetch_run` body with the address geometry precomputed.
+
+        The interpreter's decode cache stores each run's line/page index
+        range and ``n_instr / issue_width`` once at decode time, so repeated
+        executions skip the shifts and the division.  Counter updates are
+        identical to :meth:`fetch_run`.
+        """
         p = self.params
         c = self.counters
-        cycles = n_instr / p.issue_width
+        cycles = base_cycles
         c.instructions += n_instr
-        c.cyc_base += cycles
+        c.cyc_base += base_cycles
 
-        first_line = start >> self._line_shift
-        last_line = (start + size - 1) >> self._line_shift
         l1i = self.l1i
         for line in range(first_line, last_line + 1):
             if l1i.access(line):
@@ -135,13 +164,57 @@ class FrontEnd:
             self.l2.access(next_line)
             self._prefetched_line = next_line
 
-        first_page = start >> self._page_shift
-        last_page = (start + size - 1) >> self._page_shift
         for page in range(first_page, last_page + 1):
             if not self.itlb.access_page(page):
                 c.itlb_misses += 1
                 c.cyc_itlb += p.itlb_miss_penalty
                 cycles += p.itlb_miss_penalty
+
+        c.cycles += cycles
+        return cycles
+
+    def fetch_line(self, line: int, page: int, n_instr: int, base_cycles: float) -> float:
+        """Fused fetch for a run that spans one cache line and one page.
+
+        Only valid when :attr:`fast_fetch` is set (next-line prefetch off,
+        so ``_prefetched_line`` is permanently ``-1`` and the prefetch-probe
+        branch of :meth:`fetch_lines` is dead).  Inlines the L1i and iTLB
+        same-line streak checks so the common hit/hit case charges exactly
+        the counters :meth:`fetch_run` would, with no loop and at most two
+        method calls.
+        """
+        c = self.counters
+        cycles = base_cycles
+        c.instructions += n_instr
+        c.cyc_base += base_cycles
+
+        l1i = self.l1i
+        if line == l1i.mru_line:
+            l1i.hits += 1
+            c.l1i_hits += 1
+        elif l1i.access(line):
+            c.l1i_hits += 1
+        else:
+            p = self.params
+            c.l1i_misses += 1
+            if self.l2.access(line):
+                stall = p.l1i_miss_penalty
+            else:
+                c.l2i_misses += 1
+                stall = p.l2_miss_penalty
+            c.cyc_l1i += stall
+            cycles += stall
+            if self.l1i_miss_hook is not None:
+                self.l1i_miss_hook(line << self._line_shift)
+
+        itlb = self._itlb_cache
+        if page == itlb.mru_line:
+            itlb.hits += 1
+        elif not itlb.access(page):
+            p = self.params
+            c.itlb_misses += 1
+            c.cyc_itlb += p.itlb_miss_penalty
+            cycles += p.itlb_miss_penalty
 
         c.cycles += cycles
         return cycles
@@ -156,9 +229,13 @@ class FrontEnd:
     ) -> float:
         """Account for one control transfer.
 
+        A thin string dispatch over the specialized per-kind methods below;
+        the interpreter's decode cache binds the right method once per run
+        and skips the dispatch entirely on repeat executions.
+
         Args:
-            kind: ``cond``, ``jmp``, ``call``, ``icall``, ``vcall``, ``ret``
-                or ``jtab``.
+            kind: ``cond``, ``jmp``, ``call``, ``icall``, ``vcall``, ``ret``,
+                ``jtab`` or ``longjmp``.
             from_addr: address of the transferring instruction.
             to_addr: actual target.
             taken: for ``cond``, whether the branch was taken.
@@ -167,51 +244,132 @@ class FrontEnd:
         Returns:
             cycles charged for this event.
         """
+        if kind == "cond":
+            return self.branch_cond(from_addr, to_addr, taken)
+        if kind == "ret":
+            return self.branch_ret(to_addr)
+        if kind in ("icall", "vcall"):
+            return self.branch_ind_call(from_addr, to_addr, return_addr)
+        if kind == "call":
+            return self.branch_call(from_addr, to_addr, return_addr)
+        if kind in ("jtab", "longjmp"):
+            return self.branch_ind_jump(from_addr, to_addr)
+        return self.branch_taken(from_addr, to_addr)
+
+    def branch_cond(self, from_addr: int, to_addr: int, taken: bool) -> float:
+        """Conditional branch: direction predictor, then BTB if taken."""
         p = self.params
         c = self.counters
         cycles = 0.0
         c.branches += 1
-
-        if kind == "cond":
-            c.cond_branches += 1
-            correct = self.predictor.record(from_addr, taken)
-            if not correct:
-                c.cond_mispredicts += 1
-                c.cyc_badspec += p.mispredict_penalty
-                cycles += p.mispredict_penalty
-            if not taken:
-                c.cycles += cycles
-                return cycles
-        elif kind == "ret":
-            c.taken_branches += 1
-            if not self.ras.predict_return(to_addr):
-                c.ret_mispredicts += 1
-                c.cyc_badspec += p.mispredict_penalty
-                cycles += p.mispredict_penalty
-            c.cyc_taken += p.taken_bubble
-            cycles += p.taken_bubble
+        c.cond_branches += 1
+        if not self.predictor.record(from_addr, taken):
+            c.cond_mispredicts += 1
+            c.cyc_badspec += p.mispredict_penalty
+            cycles += p.mispredict_penalty
+        if not taken:
             c.cycles += cycles
             return cycles
-
-        # All remaining paths are taken transfers that consult the BTB.
         c.taken_branches += 1
-        if kind in ("call", "icall", "vcall"):
-            if return_addr is not None:
-                self.ras.push(return_addr)
-        fully_predicted = self.btb.lookup_update(from_addr, to_addr)
-        if fully_predicted:
+        if self.btb.lookup_update(from_addr, to_addr):
             c.cyc_taken += p.taken_bubble
             cycles += p.taken_bubble
         else:
             c.btb_misses += 1
             c.cyc_btb += p.btb_miss_bubble
             cycles += p.btb_miss_bubble
-            if kind in ("icall", "vcall", "jtab"):
-                # An indirect transfer whose target was unknown or wrong is a
-                # full misprediction, not just a fetch resteer.
-                c.ind_mispredicts += 1
-                c.cyc_badspec += p.mispredict_penalty
-                cycles += p.mispredict_penalty
+        c.cycles += cycles
+        return cycles
+
+    def branch_ret(self, to_addr: int) -> float:
+        """Return: predicted via the RAS, no BTB consultation."""
+        p = self.params
+        c = self.counters
+        cycles = 0.0
+        c.branches += 1
+        c.taken_branches += 1
+        if not self.ras.predict_return(to_addr):
+            c.ret_mispredicts += 1
+            c.cyc_badspec += p.mispredict_penalty
+            cycles += p.mispredict_penalty
+        c.cyc_taken += p.taken_bubble
+        cycles += p.taken_bubble
+        c.cycles += cycles
+        return cycles
+
+    def branch_taken(self, from_addr: int, to_addr: int) -> float:
+        """Unconditional direct transfer (``jmp``): BTB only."""
+        p = self.params
+        c = self.counters
+        c.branches += 1
+        c.taken_branches += 1
+        if self.btb.lookup_update(from_addr, to_addr):
+            cycles = p.taken_bubble
+            c.cyc_taken += cycles
+        else:
+            c.btb_misses += 1
+            cycles = p.btb_miss_bubble
+            c.cyc_btb += cycles
+        c.cycles += cycles
+        return cycles
+
+    def branch_call(self, from_addr: int, to_addr: int, return_addr: Optional[int]) -> float:
+        """Direct call: trains the RAS, then BTB like ``jmp``."""
+        p = self.params
+        c = self.counters
+        c.branches += 1
+        c.taken_branches += 1
+        if return_addr is not None:
+            self.ras.push(return_addr)
+        if self.btb.lookup_update(from_addr, to_addr):
+            cycles = p.taken_bubble
+            c.cyc_taken += cycles
+        else:
+            c.btb_misses += 1
+            cycles = p.btb_miss_bubble
+            c.cyc_btb += cycles
+        c.cycles += cycles
+        return cycles
+
+    def branch_ind_call(
+        self, from_addr: int, to_addr: int, return_addr: Optional[int]
+    ) -> float:
+        """Indirect call (``icall``/``vcall``): RAS push; a BTB miss is a
+        full target misprediction, not just a fetch resteer."""
+        p = self.params
+        c = self.counters
+        c.branches += 1
+        c.taken_branches += 1
+        if return_addr is not None:
+            self.ras.push(return_addr)
+        if self.btb.lookup_update(from_addr, to_addr):
+            cycles = p.taken_bubble
+            c.cyc_taken += cycles
+        else:
+            c.btb_misses += 1
+            c.cyc_btb += p.btb_miss_bubble
+            c.ind_mispredicts += 1
+            c.cyc_badspec += p.mispredict_penalty
+            cycles = p.btb_miss_bubble + p.mispredict_penalty
+        c.cycles += cycles
+        return cycles
+
+    def branch_ind_jump(self, from_addr: int, to_addr: int) -> float:
+        """Indirect jump (``jtab``/``longjmp``): like an indirect call but
+        without RAS training."""
+        p = self.params
+        c = self.counters
+        c.branches += 1
+        c.taken_branches += 1
+        if self.btb.lookup_update(from_addr, to_addr):
+            cycles = p.taken_bubble
+            c.cyc_taken += cycles
+        else:
+            c.btb_misses += 1
+            c.cyc_btb += p.btb_miss_bubble
+            c.ind_mispredicts += 1
+            c.cyc_badspec += p.mispredict_penalty
+            cycles = p.btb_miss_bubble + p.mispredict_penalty
         c.cycles += cycles
         return cycles
 

@@ -138,9 +138,10 @@ class BackendModel:
         stall = 0.0
         dram = 0
         costs = self.class_costs
-        mult = self.controller.multiplier
+        n_costs = len(costs)
+        mult = self.controller._multiplier
         for mem_class, count in class_counts:
-            cost = costs[mem_class] if mem_class < len(costs) else costs[-1]
+            cost = costs[mem_class] if mem_class < n_costs else costs[-1]
             if mem_class >= DRAM_CLASS:
                 stall += count * cost * mult
                 dram += count

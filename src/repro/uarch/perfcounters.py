@@ -45,21 +45,18 @@ class PerfCounters:
 
     def snapshot(self) -> "PerfCounters":
         """A copy of the current values."""
-        return PerfCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
+        return PerfCounters(**{n: getattr(self, n) for n in _FIELD_NAMES})
 
     def delta(self, since: "PerfCounters") -> "PerfCounters":
         """Counter values accumulated since ``since`` was snapshotted."""
         return PerfCounters(
-            **{
-                f.name: getattr(self, f.name) - getattr(since, f.name)
-                for f in fields(self)
-            }
+            **{n: getattr(self, n) - getattr(since, n) for n in _FIELD_NAMES}
         )
 
     def merge(self, other: "PerfCounters") -> None:
         """Accumulate ``other`` into this instance (for cross-core totals)."""
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for n in _FIELD_NAMES:
+            setattr(self, n, getattr(self, n) + getattr(other, n))
 
     @property
     def ipc(self) -> float:
@@ -115,3 +112,9 @@ class PerfCounters:
     def mispredict_pki(self) -> float:
         """Mispredicted branches per kilo-instruction."""
         return self.per_kilo_instructions(self.total_mispredicts)
+
+
+#: Field names resolved once at import: snapshot/delta/merge run at every
+#: quantum boundary for budget checks, and ``dataclasses.fields`` is too
+#: slow to call there.
+_FIELD_NAMES = tuple(f.name for f in fields(PerfCounters))

@@ -16,7 +16,11 @@ class Tlb:
 
     def __init__(self, entries: int = 64, ways: int = 8, page_bits: int = 12) -> None:
         self.page_bits = page_bits
-        self._cache = SetAssociativeCache(n_sets=max(1, entries // ways), ways=ways)
+        #: Underlying page-number cache.  Public because the front-end's
+        #: fused fetch path probes it directly (one call fewer per run);
+        #: treat it as read/probe-only from outside this class.
+        self.cache = SetAssociativeCache(n_sets=max(1, entries // ways), ways=ways)
+        self._cache = self.cache
 
     def access_page(self, page: int) -> bool:
         """Probe the translation for page number ``page``; ``True`` on hit."""

@@ -22,6 +22,16 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ExecutionError
 from repro.isa.disassembler import decode_instruction
 from repro.isa.instructions import Opcode
+from repro.vm.superblock import (
+    INTERIOR_CALL,
+    INTERIOR_JMP,
+    INTERIOR_SYSCALL,
+    MAX_CHAIN,
+    TERM_EXECUTORS,
+    Superblock,
+    _term_unexpected,
+    run_superblock_quantum,
+)
 from repro.vm.thread import SimThread, ThreadState
 
 _U64 = struct.Struct("<Q")
@@ -31,7 +41,19 @@ _MAX_RUN_INSTRUCTIONS = 4096
 
 
 class DecodedRun:
-    """A decoded straight-line run, ready for fast re-execution."""
+    """A decoded straight-line run, ready for fast re-execution.
+
+    Beyond the raw decode, each run is *specialized* once at decode time:
+    fetch geometry (line/page index ranges, base cycles, single-line flag)
+    is precomputed so repeated executions skip the shifts and division;
+    the terminator executor is bound from
+    :data:`repro.vm.superblock.TERM_EXECUTORS`, replacing the per-step
+    if/elif ladder; and runs with a statically certain successor carry it
+    in ``static_next`` for superblock chaining.  ``stall_*`` memoize the
+    back-end stall for the current ``(class_costs, multiplier)`` inputs —
+    recomputation with identical inputs yields identical floats, so the
+    cache is bit-exact.
+    """
 
     __slots__ = (
         "start",
@@ -48,6 +70,24 @@ class DecodedRun:
         "term_slot",
         "term_target",
         "next_addr",
+        # decode-time specialization
+        "base_cycles",
+        "first_line",
+        "last_line",
+        "first_page",
+        "last_page",
+        "fused_fetch",
+        "static_next",
+        "interior_kind",
+        "exec_term",
+        "counts_branch",
+        "has_extras",
+        "final_kind",
+        # back-end stall memo
+        "stall_costs",
+        "stall_mult",
+        "stall",
+        "dram",
     )
 
     def __init__(self) -> None:
@@ -65,6 +105,22 @@ class DecodedRun:
         self.term_slot = 0
         self.term_target: Optional[int] = None
         self.next_addr = 0
+        self.base_cycles = 0.0
+        self.first_line = 0
+        self.last_line = 0
+        self.first_page = 0
+        self.last_page = 0
+        self.fused_fetch = False
+        self.static_next: Optional[int] = None
+        self.interior_kind = INTERIOR_JMP
+        self.exec_term = _term_unexpected
+        self.counts_branch = 1
+        self.has_extras = False
+        self.final_kind = 2
+        self.stall_costs: Optional[Tuple[float, ...]] = None
+        self.stall_mult = -1.0
+        self.stall = 0.0
+        self.dram = 0
 
 
 #: Terminators that are not control transfers (no ``branch_event``).
@@ -77,8 +133,26 @@ class Interpreter:
     def __init__(self, process) -> None:
         self.process = process
         self._cache: Dict[int, DecodedRun] = {}
+        self._sb_cache: Dict[int, Superblock] = {}
+        #: Bumped on every executable write / invalidate; the superblock
+        #: executor snapshots it and stops the in-flight chain if it moves.
+        self._epoch = 0
+        #: Chained fast-path execution (the default).  The differential
+        #: oracle tests clear this to drive the preserved reference stepper.
+        self.use_superblocks = True
         self._read = process.address_space.read
         process.address_space.add_write_observer(self._on_code_write)
+        # Fetch geometry baked into each decode.  All of a process's cores
+        # share one UarchParams, so decode-time geometry is core-agnostic.
+        try:
+            params = process.frontends[0].params
+        except (AttributeError, IndexError):  # bare test harnesses
+            from repro.uarch.frontend import UarchParams
+
+            params = UarchParams()
+        self._line_shift = params.line_bytes.bit_length() - 1
+        self._page_shift = 12
+        self._issue_width = params.issue_width
         # Observability is opt-in: when the obs metrics pillar is enabled a
         # fresh VMCounters bag is allocated here; otherwise the observer is
         # None and run_quantum dispatches to the plain step function, keeping
@@ -99,11 +173,18 @@ class Interpreter:
     def _on_code_write(self, _addr: int, _size: int) -> None:
         # Code writes are rare (only during replacement); a full decode-cache
         # flush is the simulator analogue of the required icache flush.
+        # Superblocks chain decoded runs, so they flush with them, and the
+        # epoch bump stops any chain currently in flight at its next run
+        # boundary.
         self._cache.clear()
+        self._sb_cache.clear()
+        self._epoch += 1
 
     def invalidate(self) -> None:
-        """Drop all cached decodes."""
+        """Drop all cached decodes (and the superblocks chaining them)."""
         self._cache.clear()
+        self._sb_cache.clear()
+        self._epoch += 1
 
     def set_observer(self, counters) -> None:
         """Attach (or with None, detach) a
@@ -164,8 +245,84 @@ class Interpreter:
                 run.mem_counts = tuple(mem.items())
                 run.mkfps = tuple(mkfps)
                 run.setjmps = tuple(setjmps)
+                self._specialize(run, pc, next_addr, op)
                 return run
             addr = next_addr
+
+    def _specialize(self, run: DecodedRun, pc: int, next_addr: int, op: Opcode) -> None:
+        """Bake fetch geometry, terminator executor and chain link into ``run``."""
+        run.base_cycles = run.n_instr / self._issue_width
+        last_byte = next_addr - 1
+        run.first_line = pc >> self._line_shift
+        run.last_line = last_byte >> self._line_shift
+        run.first_page = pc >> self._page_shift
+        run.last_page = last_byte >> self._page_shift
+        run.fused_fetch = (
+            run.first_line == run.last_line and run.first_page == run.last_page
+        )
+        run.exec_term = TERM_EXECUTORS.get(op, _term_unexpected)
+        run.has_extras = bool(run.mkfps or run.setjmps or run.txn_marks)
+        # Chain link: only terminators whose successor is statically certain.
+        if op == Opcode.JMP:
+            run.static_next = run.term_target
+            run.interior_kind = INTERIOR_JMP
+        elif op == Opcode.CALL:
+            run.static_next = run.term_target
+            run.interior_kind = INTERIOR_CALL
+        elif op == Opcode.SYSCALL:
+            run.static_next = next_addr
+            run.interior_kind = INTERIOR_SYSCALL
+        # Observed-branch accounting: 0 = never (no branch_event), 1 =
+        # always, 2 = unless the terminator halted the thread (final RET).
+        if op in _NON_BRANCH_TERMS:
+            run.counts_branch = 0
+        elif op == Opcode.RET:
+            run.counts_branch = 2
+        else:
+            run.counts_branch = 1
+        # Final-run dispatch discriminator for the quantum executor: the two
+        # dominant terminators are inlined there, the rest go through
+        # ``exec_term``.
+        if op == Opcode.BR_COND:
+            run.final_kind = 0
+        elif op == Opcode.RET:
+            run.final_kind = 1
+        else:
+            run.final_kind = 2
+
+    def _form_superblock(self, pc: int) -> Superblock:
+        """Chain runs from ``pc`` across statically certain successors.
+
+        Formation decodes ahead of execution (up to :data:`MAX_CHAIN` runs),
+        which is safe because control cannot diverge between chained runs;
+        a decode failure on a successor just ends the chain — if execution
+        really reaches that address, the next dispatch re-decodes it and
+        raises exactly where the reference stepper would.
+        """
+        cache = self._cache
+        runs = [cache.get(pc) or self._cache_decode(pc)]
+        seen = {pc}
+        addr = runs[0].static_next
+        while (
+            addr is not None
+            and addr not in seen
+            and len(runs) < MAX_CHAIN
+        ):
+            run = cache.get(addr)
+            if run is None:
+                try:
+                    run = self._cache_decode(addr)
+                except ExecutionError:
+                    break
+            runs.append(run)
+            seen.add(addr)
+            addr = run.static_next
+        return Superblock(pc, tuple(runs))
+
+    def _cache_decode(self, pc: int) -> DecodedRun:
+        run = self._decode(pc)
+        self._cache[pc] = run
+        return run
 
     # ------------------------------------------------------------------
     # execution
@@ -300,7 +457,9 @@ class Interpreter:
                     f"longjmp restored a foreign stack pointer {saved_sp:#x}"
                 )
             thread.sp = saved_sp
-            fe.branch_event("jtab", term_addr, to)
+            # longjmp is its own kind (it was mislabeled "jtab"); both map
+            # to indirect-jump accounting, so counters are unchanged.
+            fe.branch_event("longjmp", term_addr, to)
             if proc.lbr_enabled:
                 proc.record_lbr(thread.tid, term_addr, to)
             thread.pc = to
@@ -355,9 +514,18 @@ class Interpreter:
             obs.branches += 1
 
     def run_quantum(self, thread: SimThread, n_runs: int) -> None:
-        """Execute up to ``n_runs`` runs on ``thread``."""
-        step = self.step if self._obs is None else self._obs_step
-        for _ in range(n_runs):
-            if thread.state != ThreadState.RUNNABLE:
-                return
-            step(thread)
+        """Execute up to ``n_runs`` runs on ``thread``.
+
+        The budget is in *runs*, not superblocks: a chain may be entered
+        with fewer runs of budget left and is simply cut short, so budget
+        checks and perf-sampling cadence in :meth:`repro.vm.process.Process.run`
+        are identical across the reference and superblock paths.
+        """
+        if not self.use_superblocks:
+            step = self.step if self._obs is None else self._obs_step
+            for _ in range(n_runs):
+                if thread.state != ThreadState.RUNNABLE:
+                    return
+                step(thread)
+            return
+        run_superblock_quantum(self, thread, n_runs)

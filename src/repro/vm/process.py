@@ -93,9 +93,14 @@ class Process:
             thread._stack_data = region.data  # type: ignore[attr-defined]
             thread._stack_start = stack_start  # type: ignore[attr-defined]
             self.threads.append(thread)
+        # One shared costs tuple across all cores: the interpreter's per-run
+        # stall memo validates by tuple identity, so all backends must point
+        # at the same object (as set_input already guarantees on re-input).
+        costs = self._scaled_costs()
+        for _ in range(n_threads):
             backend = BackendModel(
                 controller=self.memory_controller,
-                class_costs=self._scaled_costs(),
+                class_costs=costs,
             )
             self.frontends.append(FrontEnd(params=self._uarch_params, backend=backend))
 
@@ -191,10 +196,16 @@ class Process:
         start = self.counters_total()
         start_cycles = [fe.counters.cycles for fe in self.frontends]
         interp = self.interpreter
+        frontends = self.frontends
+        threads = self.threads
+        # Budget checks run every scheduling round; summing just the budgeted
+        # field beats building a merged PerfCounters each time.
+        start_instructions = start.instructions
+        start_transactions = start.transactions
 
         while True:
             alive = False
-            for thread in self.threads:
+            for thread in threads:
                 if thread.state != ThreadState.RUNNABLE:
                     continue
                 alive = True
@@ -207,15 +218,22 @@ class Process:
                 self._update_memory_controller()
             if not alive:
                 break
-            delta = self.counters_total().delta(start)
-            if max_instructions is not None and delta.instructions >= max_instructions:
-                break
-            if max_transactions is not None and delta.transactions >= max_transactions:
-                break
+            if max_instructions is not None:
+                total = 0
+                for fe in frontends:
+                    total += fe.counters.instructions
+                if total - start_instructions >= max_instructions:
+                    break
+            if max_transactions is not None:
+                total = 0
+                for fe in frontends:
+                    total += fe.counters.transactions
+                if total - start_transactions >= max_transactions:
+                    break
             if max_cycles is not None:
                 advance = max(
                     fe.counters.cycles - c0
-                    for fe, c0 in zip(self.frontends, start_cycles)
+                    for fe, c0 in zip(frontends, start_cycles)
                 )
                 if advance >= max_cycles:
                     break

@@ -1,0 +1,838 @@
+"""Superblock execution: chained runs with specialized, fused dispatch.
+
+A *superblock* is a chain of decoded runs linked by terminators whose
+successor is statically certain — a direct ``JMP``, a direct ``CALL``, or a
+``SYSCALL`` falling through to the next instruction.  Control cannot diverge
+between those runs, so the interpreter resolves the whole chain with one
+cache lookup and executes it in one pass, skipping the per-run cache probe
+and terminator dispatch that dominate the reference stepper
+(:meth:`repro.vm.interpreter.Interpreter.step`).
+
+Two invariants make this a pure speed change (enforced by
+``tests/test_interp_equivalence.py``):
+
+* every per-run side effect — perf-counter updates (including float add
+  order), LBR records, RNG draws, predictor/BTB/RAS state and tallies,
+  memory writes — happens in exactly the order the reference stepper
+  produces; and
+* a write to executable memory bumps the interpreter's epoch, which stops
+  the current chain after the in-flight run, so OCOLOS patching is
+  observable at the next run boundary exactly as with single-run execution.
+
+The terminator executors in :data:`TERM_EXECUTORS` mirror the reference
+stepper's if/elif ladder branch-for-branch, with the front-end event
+bodies (``branch_cond``/``branch_ret``/… and the gshare/BTB/RAS updates
+they make) *inlined*: the reference path pays up to five Python calls per
+terminator, the fused executor pays one.  The inlined code must stay
+update-for-update identical to :mod:`repro.uarch.frontend`,
+:mod:`repro.uarch.branch_predictor` and :mod:`repro.uarch.btb` — those
+modules remain the semantic spec, and the differential oracle tests fail
+on any drift.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.errors import ExecutionError
+from repro.isa.instructions import Opcode
+from repro.vm.thread import ThreadState
+
+_U64 = struct.Struct("<Q")
+
+#: Cap on runs per superblock.  Bounds formation-time decode-ahead (the
+#: decode cache doubles as the executed-code record for coverage analyses)
+#: and keeps chain re-formation after invalidation cheap.
+MAX_CHAIN = 16
+
+#: ``DecodedRun.interior_kind`` values for chainable terminators.
+INTERIOR_JMP = 0
+INTERIOR_CALL = 1
+INTERIOR_SYSCALL = 2
+
+
+class Superblock:
+    """An entry address plus the chain of runs reachable deterministically."""
+
+    __slots__ = ("entry", "runs")
+
+    def __init__(self, entry: int, runs: Tuple[object, ...]) -> None:
+        self.entry = entry
+        self.runs = runs
+
+
+# ----------------------------------------------------------------------
+# fused front-end event bodies (spec: repro.uarch.frontend)
+# ----------------------------------------------------------------------
+
+
+def _btb_taken(fe, c, from_addr: int, to: int, cycles: float) -> None:
+    """Taken direct transfer: BTB probe/update, then charge ``cycles``.
+
+    Inlines :meth:`BranchTargetBuffer.lookup_update` plus the taken-path
+    accounting of :meth:`FrontEnd.branch_taken`; ``cycles`` carries any
+    penalty accumulated before the BTB consultation (conditional-branch
+    mispredicts).
+    """
+    btb = fe.btb
+    s = btb._sets[from_addr & btb._mask]
+    stored = s.get(from_addr)
+    if stored is None:
+        btb.misses += 1
+        s[from_addr] = to
+        if len(s) > btb.ways:
+            del s[next(iter(s))]
+        c.btb_misses += 1
+        bubble = fe.params.btb_miss_bubble
+        c.cyc_btb += bubble
+        c.cycles += cycles + bubble
+        return
+    del s[from_addr]
+    s[from_addr] = to
+    btb.hits += 1
+    if stored == to:
+        bubble = fe.params.taken_bubble
+        c.cyc_taken += bubble
+        c.cycles += cycles + bubble
+        return
+    btb.target_mismatches += 1
+    c.btb_misses += 1
+    bubble = fe.params.btb_miss_bubble
+    c.cyc_btb += bubble
+    c.cycles += cycles + bubble
+
+
+def _btb_taken_ind(fe, c, from_addr: int, to: int) -> None:
+    """Taken indirect transfer: like :func:`_btb_taken`, but a miss (or a
+    target mismatch) is a full misprediction on top of the resteer."""
+    p = fe.params
+    btb = fe.btb
+    s = btb._sets[from_addr & btb._mask]
+    stored = s.get(from_addr)
+    if stored is None:
+        btb.misses += 1
+        s[from_addr] = to
+        if len(s) > btb.ways:
+            del s[next(iter(s))]
+    else:
+        del s[from_addr]
+        s[from_addr] = to
+        btb.hits += 1
+        if stored == to:
+            bubble = p.taken_bubble
+            c.cyc_taken += bubble
+            c.cycles += bubble
+            return
+        btb.target_mismatches += 1
+    c.btb_misses += 1
+    c.cyc_btb += p.btb_miss_bubble
+    c.ind_mispredicts += 1
+    c.cyc_badspec += p.mispredict_penalty
+    c.cycles += p.btb_miss_bubble + p.mispredict_penalty
+
+
+def _push_return(thread, return_addr: int) -> None:
+    """Inline of :meth:`Interpreter._push_return` (spec lives there)."""
+    sp = thread.sp - 8
+    if sp < thread.stack_limit:
+        raise ExecutionError(f"stack overflow on thread {thread.tid}")
+    _U64.pack_into(thread._stack_data, sp - thread._stack_start, return_addr)
+    thread.sp = sp
+
+
+def _ras_push(ras, return_addr: int) -> None:
+    stack = ras._stack
+    stack.append(return_addr)
+    if len(stack) > ras.depth:
+        del stack[0]
+
+
+# ----------------------------------------------------------------------
+# terminator executors (one per opcode, bound at decode time)
+# ----------------------------------------------------------------------
+
+
+def _term_cond(interp, proc, fe, thread, run) -> None:
+    beh = proc.behaviour
+    p = beh.branch_p[run.term_site]
+    if p >= 0.0:
+        condition = proc.rng.random() < p
+    else:
+        # Counted branch: true on executions 1..k-1, false on the k-th.
+        site = run.term_site
+        period = int(-p)
+        count = beh.counted_state.get(site, 0) + 1
+        if count >= period:
+            condition = False
+            beh.counted_state[site] = 0
+        else:
+            condition = True
+            beh.counted_state[site] = count
+    taken = (not condition) if run.term_invert else condition
+    term_addr = run.term_addr
+
+    c = fe.counters
+    c.branches += 1
+    c.cond_branches += 1
+    # Gshare predict + train (spec: GsharePredictor.record).
+    pred = fe.predictor
+    counters = pred._counters
+    idx = (term_addr ^ pred._history) & pred._mask
+    counter = counters[idx]
+    correct = (counter >= 2) == taken
+    pred.predictions += 1
+    cycles = 0.0
+    if not correct:
+        pred.mispredictions += 1
+        c.cond_mispredicts += 1
+        penalty = fe.params.mispredict_penalty
+        c.cyc_badspec += penalty
+        cycles = penalty
+    if taken:
+        if counter < 3:
+            counters[idx] = counter + 1
+        pred._history = ((pred._history << 1) | 1) & pred._history_mask
+        to = run.term_target
+        c.taken_branches += 1
+        _btb_taken(fe, c, term_addr, to, cycles)
+        if proc.lbr_enabled:
+            proc.record_lbr(thread.tid, term_addr, to)
+        thread.pc = to
+    else:
+        if counter > 0:
+            counters[idx] = counter - 1
+        pred._history = (pred._history << 1) & pred._history_mask
+        c.cycles += cycles
+        thread.pc = run.next_addr
+
+
+def _term_ret(interp, proc, fe, thread, run) -> None:
+    sp = thread.sp
+    if sp >= thread.stack_base:
+        thread.state = ThreadState.HALTED
+        return
+    to = _U64.unpack_from(thread._stack_data, sp - thread._stack_start)[0]
+    thread.sp = sp + 8
+    c = fe.counters
+    c.branches += 1
+    c.taken_branches += 1
+    # RAS predict (spec: ReturnAddressStack.predict_return).
+    ras = fe.ras
+    ras.predictions += 1
+    stack = ras._stack
+    predicted = stack.pop() if stack else None
+    p = fe.params
+    cycles = 0.0
+    if predicted != to:
+        ras.mispredictions += 1
+        c.ret_mispredicts += 1
+        penalty = p.mispredict_penalty
+        c.cyc_badspec += penalty
+        cycles = penalty
+    bubble = p.taken_bubble
+    c.cyc_taken += bubble
+    c.cycles += cycles + bubble
+    if proc.lbr_enabled:
+        proc.record_lbr(thread.tid, run.term_addr, to)
+    thread.pc = to
+
+
+def _term_call(interp, proc, fe, thread, run) -> None:
+    next_addr = run.next_addr
+    _push_return(thread, next_addr)
+    to = run.term_target
+    term_addr = run.term_addr
+    c = fe.counters
+    c.branches += 1
+    c.taken_branches += 1
+    _ras_push(fe.ras, next_addr)
+    _btb_taken(fe, c, term_addr, to, 0.0)
+    if proc.lbr_enabled:
+        proc.record_lbr(thread.tid, term_addr, to)
+    thread.pc = to
+
+
+def _term_jmp(interp, proc, fe, thread, run) -> None:
+    to = run.term_target
+    term_addr = run.term_addr
+    c = fe.counters
+    c.branches += 1
+    c.taken_branches += 1
+    _btb_taken(fe, c, term_addr, to, 0.0)
+    if proc.lbr_enabled:
+        proc.record_lbr(thread.tid, term_addr, to)
+    thread.pc = to
+
+
+def _ind_call(proc, fe, thread, run, to: int) -> None:
+    """Shared tail of ``vcall``/``icall``: push, RAS, BTB, LBR, redirect."""
+    next_addr = run.next_addr
+    _push_return(thread, next_addr)
+    term_addr = run.term_addr
+    c = fe.counters
+    c.branches += 1
+    c.taken_branches += 1
+    _ras_push(fe.ras, next_addr)
+    _btb_taken_ind(fe, c, term_addr, to)
+    if proc.lbr_enabled:
+        proc.record_lbr(thread.tid, term_addr, to)
+    thread.pc = to
+
+
+def _term_vcall(interp, proc, fe, thread, run) -> None:
+    class_id = proc.behaviour.sample_vcall(run.term_site, proc.rng.random())
+    vt_addr = proc.vtable_addrs[class_id]
+    to = proc.address_space.read_u64(vt_addr + run.term_slot * 8)
+    interp._check_code_target(to, run.term_addr, "vcall")
+    _ind_call(proc, fe, thread, run, to)
+
+
+def _term_icall(interp, proc, fe, thread, run) -> None:
+    slot = proc.behaviour.sample_icall(run.term_site, proc.rng.random())
+    to = proc.address_space.read_u64(proc.fp_table_addr + slot * 8)
+    interp._check_code_target(to, run.term_addr, "icall")
+    _ind_call(proc, fe, thread, run, to)
+
+
+def _term_jtab(interp, proc, fe, thread, run) -> None:
+    term_addr = run.term_addr
+    case = proc.behaviour.sample_switch(run.term_site, proc.rng.random())
+    to = proc.address_space.read_u64(run.term_target + case * 8)
+    interp._check_code_target(to, term_addr, "jump table")
+    c = fe.counters
+    c.branches += 1
+    c.taken_branches += 1
+    _btb_taken_ind(fe, c, term_addr, to)
+    if proc.lbr_enabled:
+        proc.record_lbr(thread.tid, term_addr, to)
+    thread.pc = to
+
+
+def _term_longjmp(interp, proc, fe, thread, run) -> None:
+    term_addr = run.term_addr
+    space = proc.address_space
+    buf_addr = proc.binary.jmpbuf_addr(run.term_slot, thread.tid)
+    to = space.read_u64(buf_addr)
+    saved_sp = space.read_u64(buf_addr + 8)
+    if to == 0:
+        raise ExecutionError(
+            f"longjmp through empty jump buffer {run.term_slot} "
+            f"at {term_addr:#x}"
+        )
+    if not (thread.stack_limit <= saved_sp <= thread.stack_base):
+        raise ExecutionError(
+            f"longjmp restored a foreign stack pointer {saved_sp:#x}"
+        )
+    thread.sp = saved_sp
+    c = fe.counters
+    c.branches += 1
+    c.taken_branches += 1
+    _btb_taken_ind(fe, c, term_addr, to)
+    if proc.lbr_enabled:
+        proc.record_lbr(thread.tid, term_addr, to)
+    thread.pc = to
+
+
+def _term_syscall(interp, proc, fe, thread, run) -> None:
+    c = fe.counters
+    duration = proc.behaviour.syscall_duration(run.term_slot)
+    c.cycles += duration
+    c.cyc_idle += duration
+    thread.pc = run.next_addr
+
+
+def _term_halt(interp, proc, fe, thread, run) -> None:
+    thread.state = ThreadState.HALTED
+
+
+def _term_unexpected(interp, proc, fe, thread, run) -> None:  # pragma: no cover
+    raise ExecutionError(
+        f"unexpected terminator {run.term_op!r} at {run.term_addr:#x}"
+    )
+
+
+TERM_EXECUTORS = {
+    Opcode.BR_COND: _term_cond,
+    Opcode.RET: _term_ret,
+    Opcode.CALL: _term_call,
+    Opcode.JMP: _term_jmp,
+    Opcode.VCALL: _term_vcall,
+    Opcode.ICALL: _term_icall,
+    Opcode.JTAB: _term_jtab,
+    Opcode.LONGJMP: _term_longjmp,
+    Opcode.SYSCALL: _term_syscall,
+    Opcode.HALT: _term_halt,
+}
+
+
+# ----------------------------------------------------------------------
+# quantum executor
+# ----------------------------------------------------------------------
+
+
+def run_superblock_quantum(interp, thread, n_runs: int) -> None:
+    """Execute up to ``n_runs`` runs on ``thread`` via superblock dispatch.
+
+    One call per scheduling quantum: all per-core structures are bound to
+    locals once here, then the loop dispatches whole chains with a single
+    superblock-cache probe each.  The L1i/iTLB probes, the interior
+    (chainable) terminators, and the two dominant final terminators
+    (``BR_COND``, ``RET``) are fully inlined — the specs for the inlined
+    bodies are :meth:`SetAssociativeCache.access`,
+    :meth:`BranchTargetBuffer.lookup_update`,
+    :meth:`GsharePredictor.record`,
+    :meth:`ReturnAddressStack.predict_return` and the ``branch_*``/
+    ``fetch_*`` methods of :class:`FrontEnd`; counter updates are
+    value-for-value identical.
+
+    Event tallies that are plain integer sums (``branches``,
+    ``taken_branches``, ``cond_branches``, hit counts, instruction counts,
+    the gshare history register) are accumulated in locals and flushed in
+    the ``finally`` block — integer addition commutes, so the flushed
+    totals are exactly the reference values at every point the caller can
+    observe them (quantum boundaries, and the raise path).  Float cycle
+    accumulators are never batched: their per-accumulator add order is
+    preserved add-for-add.  Consequences: ``behaviour``/``set_input`` must
+    not change mid-quantum (it cannot — ``run()`` drives whole quanta),
+    and an ``l1i_miss_hook`` must not read perf counters (it receives the
+    missing address only).
+
+    A chain stops early when the run budget is exhausted, the thread
+    halts, or a write to executable memory bumps the interpreter's epoch
+    (the remaining decodes may be stale, so the dispatcher re-forms).  The
+    thread's pc is architecturally valid after every run, so a partial
+    chain is indistinguishable from single-run execution.
+    """
+    proc = interp.process
+    fe = proc.frontends[thread.tid]
+    c = fe.counters
+    params = fe.params
+    l1i = fe.l1i
+    l1i_sets = l1i._sets
+    l1i_mask = l1i._mask
+    l1i_ways = l1i.ways
+    l2 = fe.l2
+    itlb = fe._itlb_cache
+    itlb_sets = itlb._sets
+    itlb_mask = itlb._mask
+    itlb_ways = itlb.ways
+    btb = fe.btb
+    btb_sets = btb._sets
+    btb_mask = btb._mask
+    btb_ways = btb.ways
+    pred = fe.predictor
+    pred_counters = pred._counters
+    pred_mask = pred._mask
+    pred_hist_mask = pred._history_mask
+    pred_history = pred._history
+    ras = fe.ras
+    ras_stack = ras._stack
+    taken_bubble = params.taken_bubble
+    btb_miss_bubble = params.btb_miss_bubble
+    mispredict_penalty = params.mispredict_penalty
+    backend = fe.backend
+    controller = backend.controller
+    fast_fetch = fe.fast_fetch
+    lbr = proc.lbr_enabled
+    rng = proc.rng.random
+    behaviour = proc.behaviour
+    branch_p = behaviour.branch_p
+    counted_state = behaviour.counted_state
+    sb_cache = interp._sb_cache
+    runnable = ThreadState.RUNNABLE
+    halted = ThreadState.HALTED
+    tid = thread.tid
+
+    budget = n_runs
+    runs_total = 0
+    instr_sum = 0
+    branch_sum = 0
+    sb_count = 0
+    n_branches = 0
+    n_taken = 0
+    n_cond = 0
+    n_ret = 0
+    n_l1i = 0
+    n_itlb = 0
+    n_instr_fused = 0
+
+    try:
+        while budget > 0 and thread.state == runnable:
+            pc = thread.pc
+            sb = sb_cache.get(pc)
+            if sb is None:
+                sb = interp._form_superblock(pc)
+                sb_cache[pc] = sb
+            sb_count += 1
+            epoch = interp._epoch
+            dirty = False
+            executed = 0
+            for run in sb.runs:
+                # --- fetch --------------------------------------------
+                n_instr = run.n_instr
+                if not fast_fetch:
+                    # Next-line prefetcher on: the prefetch probe makes
+                    # fetch stateful beyond the caches, so take the
+                    # reference path.
+                    fe.fetch_lines(
+                        run.first_line,
+                        run.last_line,
+                        run.first_page,
+                        run.last_page,
+                        n_instr,
+                        run.base_cycles,
+                    )
+                elif run.fused_fetch:
+                    line = run.first_line
+                    # L1i probe (spec: SetAssociativeCache.access).
+                    if line == l1i.mru_line:
+                        n_l1i += 1
+                        cycles = run.base_cycles
+                    else:
+                        s = l1i_sets[line & l1i_mask]
+                        l1i.mru_line = line
+                        if line in s:
+                            del s[line]
+                            s[line] = None
+                            n_l1i += 1
+                            cycles = run.base_cycles
+                        else:
+                            l1i.misses += 1
+                            s[line] = None
+                            if len(s) > l1i_ways:
+                                del s[next(iter(s))]
+                            c.l1i_misses += 1
+                            if l2.access(line):
+                                stall = params.l1i_miss_penalty
+                            else:
+                                c.l2i_misses += 1
+                                stall = params.l2_miss_penalty
+                            c.cyc_l1i += stall
+                            cycles = run.base_cycles + stall
+                            if fe.l1i_miss_hook is not None:
+                                fe.l1i_miss_hook(line << fe._line_shift)
+                    # iTLB probe (internal tallies only; perf counters
+                    # see misses alone, as in fetch_lines).
+                    page = run.first_page
+                    if page == itlb.mru_line:
+                        n_itlb += 1
+                    else:
+                        s = itlb_sets[page & itlb_mask]
+                        itlb.mru_line = page
+                        if page in s:
+                            del s[page]
+                            s[page] = None
+                            n_itlb += 1
+                        else:
+                            itlb.misses += 1
+                            s[page] = None
+                            if len(s) > itlb_ways:
+                                del s[next(iter(s))]
+                            c.itlb_misses += 1
+                            penalty = params.itlb_miss_penalty
+                            c.cyc_itlb += penalty
+                            cycles += penalty
+                    n_instr_fused += n_instr
+                    c.cyc_base += run.base_cycles
+                    c.cycles += cycles
+                else:
+                    # Line-/page-crossing run: the fetch_lines loops with
+                    # the same probe bodies inlined (prefetch branch dead
+                    # under fast_fetch).
+                    cycles = run.base_cycles
+                    line = run.first_line
+                    last_line = run.last_line
+                    while True:
+                        if line == l1i.mru_line:
+                            n_l1i += 1
+                        else:
+                            s = l1i_sets[line & l1i_mask]
+                            l1i.mru_line = line
+                            if line in s:
+                                del s[line]
+                                s[line] = None
+                                n_l1i += 1
+                            else:
+                                l1i.misses += 1
+                                s[line] = None
+                                if len(s) > l1i_ways:
+                                    del s[next(iter(s))]
+                                c.l1i_misses += 1
+                                if l2.access(line):
+                                    stall = params.l1i_miss_penalty
+                                else:
+                                    c.l2i_misses += 1
+                                    stall = params.l2_miss_penalty
+                                c.cyc_l1i += stall
+                                cycles += stall
+                                if fe.l1i_miss_hook is not None:
+                                    fe.l1i_miss_hook(line << fe._line_shift)
+                        if line >= last_line:
+                            break
+                        line += 1
+                    page = run.first_page
+                    last_page = run.last_page
+                    while True:
+                        if page == itlb.mru_line:
+                            n_itlb += 1
+                        else:
+                            s = itlb_sets[page & itlb_mask]
+                            itlb.mru_line = page
+                            if page in s:
+                                del s[page]
+                                s[page] = None
+                                n_itlb += 1
+                            else:
+                                itlb.misses += 1
+                                s[page] = None
+                                if len(s) > itlb_ways:
+                                    del s[next(iter(s))]
+                                c.itlb_misses += 1
+                                penalty = params.itlb_miss_penalty
+                                c.cyc_itlb += penalty
+                                cycles += penalty
+                        if page >= last_page:
+                            break
+                        page += 1
+                    n_instr_fused += n_instr
+                    c.cyc_base += run.base_cycles
+                    c.cycles += cycles
+                # --- backend (per-run stall memoization) --------------
+                if run.mem_counts:
+                    mult = controller._multiplier
+                    if run.stall_costs is backend.class_costs and run.stall_mult == mult:
+                        c.dram_requests += run.dram
+                        c.cyc_backend += run.stall
+                        c.cycles += run.stall
+                    else:
+                        # Same (costs, multiplier) inputs always produce
+                        # the same floats, so caching is bit-exact.
+                        stall, dram = backend.stall_cycles(run.mem_counts)
+                        run.stall_costs = backend.class_costs
+                        run.stall_mult = mult
+                        run.stall = stall
+                        run.dram = dram
+                        c.dram_requests += dram
+                        c.cyc_backend += stall
+                        c.cycles += stall
+
+                # --- architectural writes (rare) ----------------------
+                if run.has_extras:
+                    if run.mkfps:
+                        space = proc.address_space
+                        hook = proc.wrap_hook
+                        for slot_addr, func_addr, wrapped in run.mkfps:
+                            value = func_addr
+                            if wrapped and hook is not None:
+                                value = hook(value)
+                            space.write_u64(slot_addr, value)
+                        c.fp_creations += len(run.mkfps)
+                        if interp._epoch != epoch:
+                            dirty = True
+                    if run.setjmps:
+                        space = proc.address_space
+                        binary = proc.binary
+                        for buf, resume_addr in run.setjmps:
+                            buf_addr = binary.jmpbuf_addr(buf, thread.tid)
+                            space.write_u64(buf_addr, resume_addr)
+                            space.write_u64(buf_addr + 8, thread.sp)
+                        if interp._epoch != epoch:
+                            dirty = True
+                    if run.txn_marks:
+                        c.transactions += run.txn_marks
+
+                # --- terminator ---------------------------------------
+                executed += 1
+                instr_sum += n_instr
+                if run.static_next is not None and not (executed >= budget or dirty):
+                    # Interior chainable terminator, inlined by kind.
+                    kind = run.interior_kind
+                    if kind == INTERIOR_SYSCALL:
+                        duration = behaviour.syscall_duration(run.term_slot)
+                        c.cycles += duration
+                        c.cyc_idle += duration
+                        thread.pc = run.next_addr
+                        continue
+                    if kind == INTERIOR_CALL:
+                        next_addr = run.next_addr
+                        sp = thread.sp - 8
+                        if sp < thread.stack_limit:
+                            raise ExecutionError(
+                                f"stack overflow on thread {thread.tid}"
+                            )
+                        _U64.pack_into(
+                            thread._stack_data, sp - thread._stack_start, next_addr
+                        )
+                        thread.sp = sp
+                        ras_stack.append(next_addr)
+                        if len(ras_stack) > ras.depth:
+                            del ras_stack[0]
+                    to = run.term_target
+                    term_addr = run.term_addr
+                    n_branches += 1
+                    n_taken += 1
+                    # BTB probe (spec: BranchTargetBuffer.lookup_update).
+                    s = btb_sets[term_addr & btb_mask]
+                    stored = s.get(term_addr)
+                    if stored is None:
+                        btb.misses += 1
+                        s[term_addr] = to
+                        if len(s) > btb_ways:
+                            del s[next(iter(s))]
+                        c.btb_misses += 1
+                        c.cyc_btb += btb_miss_bubble
+                        c.cycles += btb_miss_bubble
+                    else:
+                        del s[term_addr]
+                        s[term_addr] = to
+                        btb.hits += 1
+                        if stored == to:
+                            c.cyc_taken += taken_bubble
+                            c.cycles += taken_bubble
+                        else:
+                            btb.target_mismatches += 1
+                            c.btb_misses += 1
+                            c.cyc_btb += btb_miss_bubble
+                            c.cycles += btb_miss_bubble
+                    if lbr:
+                        proc.record_lbr(tid, term_addr, to)
+                    thread.pc = to
+                    branch_sum += 1
+                    continue
+                # Final run of this chain execution (end of chain, budget
+                # exhausted, or epoch bumped).  The two dominant
+                # terminators are inlined; the rest dispatch through the
+                # executor bound at decode time.
+                fk = run.final_kind
+                if fk == 0:  # BR_COND (spec: step + branch_cond + gshare)
+                    pbp = branch_p[run.term_site]
+                    if pbp >= 0.0:
+                        condition = rng() < pbp
+                    else:
+                        # Counted branch: true on executions 1..k-1,
+                        # false on the k-th.
+                        site = run.term_site
+                        count = counted_state.get(site, 0) + 1
+                        if count >= int(-pbp):
+                            condition = False
+                            counted_state[site] = 0
+                        else:
+                            condition = True
+                            counted_state[site] = count
+                    taken = (not condition) if run.term_invert else condition
+                    term_addr = run.term_addr
+                    n_branches += 1
+                    n_cond += 1
+                    idx = (term_addr ^ pred_history) & pred_mask
+                    counter = pred_counters[idx]
+                    correct = (counter >= 2) == taken
+                    if taken:
+                        if correct:
+                            cycles = 0.0
+                        else:
+                            pred.mispredictions += 1
+                            c.cond_mispredicts += 1
+                            c.cyc_badspec += mispredict_penalty
+                            cycles = mispredict_penalty
+                        if counter < 3:
+                            pred_counters[idx] = counter + 1
+                        pred_history = ((pred_history << 1) | 1) & pred_hist_mask
+                        to = run.term_target
+                        n_taken += 1
+                        s = btb_sets[term_addr & btb_mask]
+                        stored = s.get(term_addr)
+                        if stored is None:
+                            btb.misses += 1
+                            s[term_addr] = to
+                            if len(s) > btb_ways:
+                                del s[next(iter(s))]
+                            c.btb_misses += 1
+                            c.cyc_btb += btb_miss_bubble
+                            c.cycles += cycles + btb_miss_bubble
+                        else:
+                            del s[term_addr]
+                            s[term_addr] = to
+                            btb.hits += 1
+                            if stored == to:
+                                c.cyc_taken += taken_bubble
+                                c.cycles += cycles + taken_bubble
+                            else:
+                                btb.target_mismatches += 1
+                                c.btb_misses += 1
+                                c.cyc_btb += btb_miss_bubble
+                                c.cycles += cycles + btb_miss_bubble
+                        if lbr:
+                            proc.record_lbr(tid, term_addr, to)
+                        thread.pc = to
+                    else:
+                        if not correct:
+                            pred.mispredictions += 1
+                            c.cond_mispredicts += 1
+                            c.cyc_badspec += mispredict_penalty
+                            c.cycles += mispredict_penalty
+                        if counter > 0:
+                            pred_counters[idx] = counter - 1
+                        pred_history = (pred_history << 1) & pred_hist_mask
+                        thread.pc = run.next_addr
+                    branch_sum += 1
+                elif fk == 1:  # RET (spec: step + branch_ret + RAS)
+                    sp = thread.sp
+                    if sp >= thread.stack_base:
+                        thread.state = halted
+                        break
+                    to = _U64.unpack_from(
+                        thread._stack_data, sp - thread._stack_start
+                    )[0]
+                    thread.sp = sp + 8
+                    n_branches += 1
+                    n_taken += 1
+                    n_ret += 1
+                    predicted = ras_stack.pop() if ras_stack else None
+                    if predicted != to:
+                        ras.mispredictions += 1
+                        c.ret_mispredicts += 1
+                        c.cyc_badspec += mispredict_penalty
+                        c.cycles += mispredict_penalty + taken_bubble
+                    else:
+                        c.cycles += taken_bubble
+                    c.cyc_taken += taken_bubble
+                    if lbr:
+                        proc.record_lbr(tid, run.term_addr, to)
+                    thread.pc = to
+                    branch_sum += 1
+                else:
+                    run.exec_term(interp, proc, fe, thread, run)
+                    # counts_branch == 2 (RET) is handled inline above,
+                    # so here it is 0 (SYSCALL/HALT) or 1.
+                    if run.counts_branch:
+                        branch_sum += 1
+                break
+            budget -= executed
+            runs_total += executed
+    finally:
+        pred._history = pred_history
+        if n_cond:
+            pred.predictions += n_cond
+            c.cond_branches += n_cond
+        if n_ret:
+            ras.predictions += n_ret
+        if n_branches:
+            c.branches += n_branches
+        if n_taken:
+            c.taken_branches += n_taken
+        if n_l1i:
+            l1i.hits += n_l1i
+            c.l1i_hits += n_l1i
+        if n_itlb:
+            itlb.hits += n_itlb
+        if n_instr_fused:
+            c.instructions += n_instr_fused
+        if instr_sum:
+            thread.instructions += instr_sum
+        obs = interp._obs
+        if obs is not None:
+            obs.runs += runs_total
+            obs.superblocks += sb_count
+            obs.instructions += instr_sum
+            obs.branches += branch_sum

@@ -1,0 +1,255 @@
+"""Differential oracle: superblock fast path vs the reference stepper.
+
+The superblock execution layer (:mod:`repro.vm.superblock`) promises to be a
+pure speed change: bit-identical perf counters (including float cycle
+buckets), LBR streams, RNG consumption, and predictor/BTB/RAS/cache state
+against the preserved single-run reference stepper
+(:meth:`repro.vm.interpreter.Interpreter.step`).  These tests enforce that
+contract by running the same seeded workload under both steppers and
+comparing complete machine state — any drift in the inlined counter
+bookkeeping, chain formation, or invalidation logic fails here.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.binary.linker import link_program
+from repro.core.patcher import scan_direct_call_sites
+from repro.isa.instructions import INSTRUCTION_SIZES, Opcode
+from repro.obs.metrics import VMCounters
+from repro.uarch.perfcounters import _FIELD_NAMES
+from repro.vm.process import Process
+from repro.workloads.generator import WorkloadParams, build_workload
+from repro.workloads.memcached import memcached_inputs, memcached_like
+
+_I32 = struct.Struct("<i")
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def _launch(workload, spec, *, n_threads, seed, superblocks):
+    binary = link_program(workload.program, options=workload.options)
+    proc = Process(
+        binary, workload.program, input_spec=spec, n_threads=n_threads, seed=seed
+    )
+    proc.lbr_enabled = True
+    proc.interpreter.use_superblocks = superblocks
+    return proc
+
+
+def _machine_state(proc):
+    """Everything observable: counters (bit-exact via repr), uarch
+    structures, architectural thread state, LBR rings, RNG state."""
+    state = {"threads": [], "lbr": proc.lbr_rings, "rng": proc.rng.getstate()}
+    state["counted"] = dict(proc.behaviour.counted_state)
+    for thread in proc.threads:
+        state["threads"].append(
+            (thread.pc, thread.sp, thread.state, thread.instructions)
+        )
+    for i, fe in enumerate(proc.frontends):
+        state[f"counters{i}"] = {
+            name: repr(getattr(fe.counters, name)) for name in _FIELD_NAMES
+        }
+        pred = fe.predictor
+        state[f"pred{i}"] = (
+            list(pred._counters),
+            pred._history,
+            pred.predictions,
+            pred.mispredictions,
+        )
+        btb = fe.btb
+        state[f"btb{i}"] = (
+            [dict(s) for s in btb._sets],
+            btb.hits,
+            btb.misses,
+            btb.target_mismatches,
+        )
+        ras = fe.ras
+        state[f"ras{i}"] = (list(ras._stack), ras.predictions, ras.mispredictions)
+        for cname in ("l1i", "l2"):
+            cache = getattr(fe, cname)
+            state[f"{cname}{i}"] = (
+                cache.hits,
+                cache.misses,
+                [list(s) for s in cache._sets],
+            )
+        tlb = fe.itlb.cache
+        state[f"itlb{i}"] = (tlb.hits, tlb.misses, [list(s) for s in tlb._sets])
+    return state
+
+
+def _run_pair(workload, spec, *, n_threads=4, seed=1612, txns=1000, mid=None):
+    """Run both steppers over the same schedule; return their states.
+
+    ``mid(proc)``, when given, is applied to both processes at the same
+    point (between two equal-budget run segments).
+    """
+    states = []
+    for superblocks in (False, True):
+        proc = _launch(
+            workload, spec, n_threads=n_threads, seed=seed, superblocks=superblocks
+        )
+        if mid is None:
+            proc.run(max_transactions=txns)
+        else:
+            proc.run(max_transactions=txns // 2)
+            mid(proc)
+            proc.run(max_transactions=txns - txns // 2)
+        states.append(_machine_state(proc))
+    return states
+
+
+def _assert_identical(ref_state, fast_state):
+    assert ref_state.keys() == fast_state.keys()
+    for key in ref_state:
+        assert ref_state[key] == fast_state[key], f"state diverged: {key}"
+
+
+def _random_workload(seed):
+    """A small randomized server program; shape varies with the seed."""
+    return build_workload(
+        WorkloadParams(
+            name=f"rand{seed}",
+            n_work_functions=40 + seed % 3 * 12,
+            n_utility_functions=12,
+            n_callback_functions=8,
+            n_op_types=4,
+            steps_per_op=(8, 16),
+            n_subsystems=3,
+            parse_blocks=8,
+            n_data_classes=0 if seed % 2 else 6,
+            data_vtable_slots=0 if seed % 2 else 3,
+            vcall_step_fraction=0.0 if seed % 2 else 0.2,
+            n_jmpbufs=2 if seed % 3 == 0 else 0,
+            syscall_cycles=90.0,
+            n_threads=2 + seed % 2,
+            scale=1.0,
+            seed=seed,
+            dispatch_mode="switch" if seed % 2 else "vcall",
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# tests
+# ----------------------------------------------------------------------
+
+
+def test_memcached_bit_identical():
+    workload = memcached_like()
+    spec = memcached_inputs(workload)["set10_get90"]
+    ref, fast = _run_pair(workload, spec, txns=2000)
+    _assert_identical(ref, fast)
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303, 404, 505])
+def test_randomized_workloads_bit_identical(seed):
+    workload = _random_workload(seed)
+    mix = {op: 1.0 + (i + seed) % 3 for i, op in enumerate(workload.op_names)}
+    spec = workload.make_input(
+        f"mix{seed}", theta=(seed % 5) / 4.0, op_mix=mix, seed=seed
+    )
+    ref, fast = _run_pair(
+        workload, spec, n_threads=workload.params.n_threads, seed=seed, txns=400
+    )
+    _assert_identical(ref, fast)
+
+
+def test_superblocks_actually_chain():
+    """Guard against the fast path silently degenerating to single runs."""
+    workload = memcached_like()
+    spec = memcached_inputs(workload)["set10_get90"]
+    proc = _launch(workload, spec, n_threads=4, seed=1612, superblocks=True)
+    bag = VMCounters()
+    proc.interpreter.set_observer(bag)
+    proc.run(max_transactions=1000)
+    assert bag.superblocks > 0
+    assert bag.runs > bag.superblocks  # chains average > 1 run
+
+
+def test_midrun_code_patch_invalidates_chains():
+    """Retargeting a direct call mid-run must be picked up by both steppers
+    at the same boundary — stale superblocks would either diverge from the
+    reference or keep calling the old callee."""
+    workload = memcached_like()
+    spec = memcached_inputs(workload)["set10_get90"]
+
+    def pick_site(proc):
+        sites = scan_direct_call_sites(proc.binary)
+        entry = proc.binary.entry
+        fn = entry if entry in sites else sorted(sites)[0]
+        site = sites[fn][0]
+        current = site.callee
+        # Retarget to a different function that is also a direct-call
+        # callee somewhere (so it is a plain, returning function).
+        for other_sites in sites.values():
+            for other in other_sites:
+                if other.callee != current:
+                    return site, proc.binary.functions[other.callee].addr
+        raise AssertionError("workload has no alternative callee")
+
+    epochs = []
+
+    def patch(proc):
+        site, new_target = pick_site(proc)
+        interp = proc.interpreter
+        before = interp._epoch
+        size = INSTRUCTION_SIZES[Opcode.CALL]
+        rel = new_target - (site.addr + size)
+        proc.address_space.write(site.addr + 1, _I32.pack(rel))
+        # The executable-region write observer must have dropped every
+        # cached chain and bumped the epoch.
+        assert interp._epoch > before
+        assert not interp._sb_cache
+        epochs.append(interp._epoch)
+
+    ref, fast = _run_pair(workload, spec, txns=1200, mid=patch)
+    _assert_identical(ref, fast)
+    assert len(epochs) == 2  # patch ran under both steppers
+
+    # Control: without the patch the run ends in a different state, i.e.
+    # the patched bytes really were re-decoded and executed.
+    ref_unpatched, fast_unpatched = _run_pair(workload, spec, txns=1200)
+    _assert_identical(ref_unpatched, fast_unpatched)
+    assert fast != fast_unpatched
+
+
+def test_wrap_hook_code_write_breaks_chain_mid_quantum():
+    """A code write issued *by an executing run* (wrap hook on MKFP, the
+    ``wrapFuncPtrCreation`` path) bumps the epoch mid-chain; the dispatcher
+    must finish the in-flight run and stop the chain, exactly like the
+    reference stepper's per-run cadence."""
+    workload = memcached_like()
+    spec = memcached_inputs(workload)["set10_get90"]
+    calls = []
+
+    def mid(proc):
+        entry_addr = proc.binary.symbol(proc.binary.entry)
+        epochs = []
+        calls.append(epochs)
+
+        def hook(func_addr):
+            # Rewrite an executable byte range with its own contents: a
+            # semantic no-op, but a real executable-region write, so the
+            # interpreter invalidates mid-run.
+            data = proc.address_space.read(entry_addr, 4)
+            proc.address_space.write(entry_addr, data)
+            epochs.append(proc.interpreter._epoch)
+            return func_addr
+
+        proc.set_wrap_hook(hook)
+
+    ref, fast = _run_pair(workload, spec, txns=1200, mid=mid)
+    _assert_identical(ref, fast)
+    # The hook fired under both steppers (set_op creates function pointers)
+    # at the same points, and each firing bumped that process's epoch.
+    assert len(calls) == 2
+    ref_epochs, fast_epochs = calls
+    assert ref_epochs == fast_epochs and len(ref_epochs) >= 1
+    assert fast_epochs == sorted(set(fast_epochs))
