@@ -34,22 +34,35 @@ from repro.workloads.memcached import memcached_inputs, memcached_like
 MIN_INTREE_SPEEDUP = 2.0
 
 
+#: (superblocks, trace_superblocks, observed) per measured configuration.
+#: ``superblock-notrace`` (guard-free chaining) is measured unobserved only —
+#: it exists as the speedup baseline for trace speculation, not as a mode
+#: anyone runs with the observer on.
+_CONFIGS = (
+    (True, None, False),
+    (True, None, True),
+    (True, False, False),
+    (False, None, False),
+    (False, None, True),
+)
+
+
 def _measure(transactions, repeats):
     workload = memcached_like()
     spec = memcached_inputs(workload)["set10_get90"]
     samples = {}
-    for superblocks in (True, False):
-        for observed in (False, True):
-            sample = measure_interp_throughput(
-                workload,
-                spec,
-                transactions=transactions,
-                superblocks=superblocks,
-                observed=observed,
-                repeats=repeats,
-            )
-            key = sample.mode + ("+observer" if observed else "")
-            samples[key] = sample
+    for superblocks, trace, observed in _CONFIGS:
+        sample = measure_interp_throughput(
+            workload,
+            spec,
+            transactions=transactions,
+            superblocks=superblocks,
+            trace_superblocks=trace,
+            observed=observed,
+            repeats=repeats,
+        )
+        key = sample.mode + ("+observer" if observed else "")
+        samples[key] = sample
     return samples
 
 
@@ -63,24 +76,33 @@ def bench_interp_throughput(once):
     for key, s in samples.items():
         rows.append(
             [key, f"{s.seconds:.3f}", f"{s.runs_per_sec:,.0f}",
-             f"{s.instructions_per_sec:,.0f}", s.runs, s.superblocks]
+             f"{s.instructions_per_sec:,.0f}", s.runs, s.superblocks,
+             s.guards, s.guard_exits]
         )
     print(
         format_table(
-            ["stepper", "seconds", "runs/s", "instr/s", "runs", "superblocks"],
+            ["stepper", "seconds", "runs/s", "instr/s", "runs",
+             "superblocks", "guards", "guard exits"],
             rows,
             title=f"interpreter throughput, memcached set10_get90 x{transactions}",
         )
     )
 
     fast = samples["superblock"]
+    notrace = samples["superblock-notrace"]
     ref = samples["reference"]
-    # Determinism: both steppers executed exactly the same work.
-    assert fast.runs == ref.runs
-    assert fast.instructions == ref.instructions
+    # Determinism: all three steppers executed exactly the same work.
+    assert fast.runs == notrace.runs == ref.runs
+    assert fast.instructions == notrace.instructions == ref.instructions
     # The fast path genuinely chained (reference never dispatches chains).
     assert fast.superblocks and fast.superblocks < fast.runs
     assert ref.superblocks == 0
+    # Trace speculation genuinely engaged: guarded chains executed, cold
+    # directions took the deopt side exit, and speculation lengthened
+    # chains (fewer dispatches than guard-free chaining for the same runs).
+    assert fast.guards > 0 and fast.guard_exits > 0
+    assert notrace.guards == 0
+    assert fast.superblocks < notrace.superblocks
     if not smoke:
         speedup = fast.runs_per_sec / ref.runs_per_sec
         assert speedup >= MIN_INTREE_SPEEDUP, (
@@ -104,6 +126,8 @@ def bench_interp_throughput(once):
                     "runs": s.runs,
                     "instructions": s.instructions,
                     "superblocks": s.superblocks,
+                    "guards": s.guards,
+                    "guard_exits": s.guard_exits,
                     "runs_per_sec": round(s.runs_per_sec, 1),
                 }
                 for key, s in samples.items()

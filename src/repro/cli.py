@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -293,6 +294,34 @@ def _obs_view(args) -> int:
     return 0
 
 
+def _print_task_timings(cache_dir: str) -> None:
+    """Per-stage cost profile and critical path of the last sweep run
+    against this cache (recorded by the scheduler; absent until a sweep
+    has run with ``--artifact-cache`` pointing here)."""
+    from repro.engine.scheduler import critical_path, load_timings, stage_summary
+
+    timings = load_timings(cache_dir)
+    if not timings:
+        return
+    print()
+    print(
+        format_table(
+            ["stage", "tasks", "total s", "max s"],
+            [
+                [stage, n, f"{total:.3f}", f"{worst:.3f}"]
+                for stage, n, total, worst in stage_summary(timings)
+            ],
+            title="last sweep: wall time by stage",
+        )
+    )
+    chain = critical_path(timings)
+    chain_s = sum(t.seconds for t in chain)
+    total_s = sum(t.seconds for t in timings)
+    print(f"\ncritical path ({chain_s:.3f}s of {total_s:.3f}s total task time):")
+    for t in chain:
+        print(f"  {t.seconds:8.3f}s  {t.name}")
+
+
 def _engine_stats(args) -> int:
     """Print artifact-store statistics (and disk-cache contents if bound)."""
     from repro.engine.store import store
@@ -315,6 +344,7 @@ def _engine_stats(args) -> int:
         )
         print(f"\ntotal: {len(entries)} artifacts, "
               f"{sum(s for _, _, s in entries):,} bytes")
+        _print_task_timings(st.disk.root)
     else:
         print("artifact cache: in-memory only (pass --artifact-cache DIR)")
     stats = st.stats()
@@ -406,6 +436,26 @@ def _obs_flag_parser() -> argparse.ArgumentParser:
     return parent
 
 
+def _vm_flag_parser() -> argparse.ArgumentParser:
+    """Shared parent parser for interpreter execution knobs."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("interpreter")
+    group.add_argument(
+        "--trace-superblocks", choices=("on", "off"), default=None,
+        help="speculate superblock chains through biased conditional "
+             "branches with deopt guards (default: on, or the "
+             "REPRO_TRACE_SUPERBLOCKS environment override); 'off' keeps "
+             "statically-certain chaining only — results are bit-identical "
+             "either way, only wall-clock speed changes",
+    )
+    group.add_argument(
+        "--max-chain", type=int, default=None, metavar="N",
+        help="cap on decoded runs per superblock chain (default: "
+             "REPRO_TRACE_MAX_CHAIN or the built-in default)",
+    )
+    return parent
+
+
 def _engine_flag_parser() -> argparse.ArgumentParser:
     """Shared parent parser for the experiment engine's flags."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -431,31 +481,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_flags = _obs_flag_parser()
     engine_flags = _engine_flag_parser()
+    vm_flags = _vm_flag_parser()
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list regenerable experiments", parents=[obs_flags])
     sub.add_parser(
         "quickstart",
         help="one OCOLOS cycle on MySQL-like",
-        parents=[obs_flags, engine_flags],
+        parents=[obs_flags, engine_flags, vm_flags],
     )
 
     pipeline = sub.add_parser(
         "run-pipeline",
         help="one OCOLOS cycle with measurement knobs (obs-friendly quickstart)",
-        parents=[obs_flags, engine_flags],
+        parents=[obs_flags, engine_flags, vm_flags],
     )
     pipeline.add_argument("--transactions", type=int, default=400)
     pipeline.add_argument("--seed", type=int, default=2)
 
     fig = sub.add_parser(
-        "fig", help="regenerate a figure", parents=[obs_flags, engine_flags]
+        "fig", help="regenerate a figure",
+        parents=[obs_flags, engine_flags, vm_flags],
     )
     fig.add_argument("number", type=int, choices=sorted(FIGS))
     fig.add_argument("--transactions", type=int, default=500)
 
     table = sub.add_parser(
-        "table", help="regenerate a table", parents=[obs_flags, engine_flags]
+        "table", help="regenerate a table",
+        parents=[obs_flags, engine_flags, vm_flags],
     )
     table.add_argument("number", type=int, choices=sorted(TABLES))
     table.add_argument("--transactions", type=int, default=500)
@@ -518,6 +571,24 @@ def _export_obs(args) -> None:
         _log.info("metrics.export", path=metrics_out)
 
 
+def _enable_vm(args) -> None:
+    """Publish interpreter knobs through the environment overrides.
+
+    Every ``Interpreter`` resolves its trace policy from ``REPRO_TRACE_*``
+    at construction (:func:`repro.vm.superblock.trace_policy_from_env`),
+    so exporting the flags here reaches all processes the command spawns,
+    including engine worker processes.
+    """
+    trace = getattr(args, "trace_superblocks", None)
+    if trace is not None:
+        os.environ["REPRO_TRACE_SUPERBLOCKS"] = trace
+    max_chain = getattr(args, "max_chain", None)
+    if max_chain is not None:
+        if max_chain < 1:
+            raise SystemExit("--max-chain must be >= 1")
+        os.environ["REPRO_TRACE_MAX_CHAIN"] = str(max_chain)
+
+
 def _enable_engine(args) -> None:
     """Bind the artifact store to a disk directory when requested."""
     cache_dir = getattr(args, "artifact_cache", None)
@@ -532,6 +603,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     _enable_obs(args)
+    _enable_vm(args)
     _enable_engine(args)
     try:
         if args.command == "list":

@@ -30,7 +30,10 @@ sweep therefore shows the full task graph on the timeline.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -39,7 +42,20 @@ from repro.obs import log as _obs_log
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 
-__all__ = ["Scheduler", "SchedulerError", "Task", "TaskGraph"]
+__all__ = [
+    "Scheduler",
+    "SchedulerError",
+    "Task",
+    "TaskGraph",
+    "TaskTiming",
+    "critical_path",
+    "load_timings",
+    "stage_summary",
+]
+
+#: Filename of the persisted per-task wall-time record inside a disk-backed
+#: artifact cache (read back by ``repro engine stats``).
+TIMINGS_FILENAME = "scheduler_timings.json"
 
 _log = _obs_log.get_logger("engine.scheduler")
 
@@ -161,24 +177,107 @@ class TaskGraph:
         return [groups[root] for root in roots_in_order]
 
 
-def _run_task_chain(tasks: List[Task], record_spans: bool) -> Dict[str, Any]:
-    """Execute one component serially; return its result-task values."""
+@dataclass(frozen=True)
+class TaskTiming:
+    """Wall time of one executed task (plus its dependency edges).
+
+    Collected on every run — serial and parallel — purely as a side
+    record: timings never influence scheduling, so the bit-identical
+    contract between the two modes is untouched.
+    """
+
+    name: str
+    seconds: float
+    deps: Tuple[str, ...] = ()
+
+    @property
+    def stage(self) -> str:
+        """Stage label: the part after the last ``:`` of the task name
+        (tasks are named ``<cell id>:<stage>`` by convention)."""
+        return self.name.rsplit(":", 1)[-1]
+
+
+def critical_path(timings: Sequence[TaskTiming]) -> List[TaskTiming]:
+    """The heaviest dependency chain, in execution order.
+
+    With cells fanned out over workers, the sweep's wall time is bounded
+    below by this chain's duration — it is the lower bound no amount of
+    parallelism can beat (dependency edges to tasks missing from
+    ``timings`` are ignored).
+    """
+    by_name = {t.name: t for t in timings}
+    best: Dict[str, float] = {}
+    prev: Dict[str, Optional[str]] = {}
+
+    def weigh(name: str) -> float:
+        if name in best:
+            return best[name]
+        t = by_name[name]
+        total, heaviest = t.seconds, None
+        for dep in t.deps:
+            if dep in by_name:
+                w = weigh(dep) + t.seconds
+                if w > total:
+                    total, heaviest = w, dep
+        best[name] = total
+        prev[name] = heaviest
+        return total
+
+    if not timings:
+        return []
+    tail = max((weigh(t.name), i) for i, t in enumerate(timings))[1]
+    chain: List[TaskTiming] = []
+    name: Optional[str] = timings[tail].name
+    while name is not None:
+        chain.append(by_name[name])
+        name = prev[name]
+    chain.reverse()
+    return chain
+
+
+def stage_summary(
+    timings: Sequence[TaskTiming],
+) -> List[Tuple[str, int, float, float]]:
+    """Per-stage ``(stage, tasks, total seconds, max seconds)`` rows,
+    ordered by descending total (the sweep's cost profile)."""
+    rows: Dict[str, List[float]] = {}
+    for t in timings:
+        rows.setdefault(t.stage, []).append(t.seconds)
+    return sorted(
+        (
+            (stage, len(secs), sum(secs), max(secs))
+            for stage, secs in rows.items()
+        ),
+        key=lambda r: -r[2],
+    )
+
+
+def _run_task_chain(
+    tasks: List[Task], record_spans: bool
+) -> Tuple[Dict[str, Any], List[TaskTiming]]:
+    """Execute one component serially; return its result-task values and
+    per-task wall timings."""
     values: Dict[str, Any] = {}
     results: Dict[str, Any] = {}
+    timings: List[TaskTiming] = []
     for task in tasks:
         dep_values = tuple(values[dep] for dep in task.deps)
+        t0 = time.perf_counter()
         if record_spans:
             with _trace.span("engine.task", task=task.name):
                 value = task.fn(*task.args, *dep_values)
         else:
             value = task.fn(*task.args, *dep_values)
+        timings.append(
+            TaskTiming(task.name, time.perf_counter() - t0, task.deps)
+        )
         values[task.name] = value
         if task.result:
             results[task.name] = value
-    return results
+    return results, timings
 
 
-def _run_component(payload: List[Task]) -> Dict[str, Any]:
+def _run_component(payload: List[Task]) -> Tuple[Dict[str, Any], List[TaskTiming]]:
     """Pool worker entry point: run one cell's tasks in this process."""
     return _run_task_chain(payload, record_spans=False)
 
@@ -196,6 +295,8 @@ class Scheduler:
         if jobs < 1:
             raise SchedulerError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        #: Per-task wall timings of the most recent :meth:`run`.
+        self.last_timings: List[TaskTiming] = []
 
     def run(self, graph: TaskGraph) -> Dict[str, Any]:
         """Execute ``graph``; returns ``{task name: value}`` for result tasks."""
@@ -209,8 +310,11 @@ class Scheduler:
             )
             jobs = 1
         if jobs <= 1 or len(components) <= 1:
-            return self._run_serial(components, len(graph))
-        return self._run_parallel(components, jobs, len(graph))
+            outcome = self._run_serial(components, len(graph))
+        else:
+            outcome = self._run_parallel(components, jobs, len(graph))
+        self._persist_timings()
+        return outcome
 
     # -- execution modes -------------------------------------------------
 
@@ -218,12 +322,16 @@ class Scheduler:
         self, components: List[List[Task]], n_tasks: int
     ) -> Dict[str, Any]:
         results: Dict[str, Any] = {}
+        timings: List[TaskTiming] = []
         try:
             for tasks in components:
-                results.update(_run_task_chain(tasks, record_spans=True))
+                part, spans = _run_task_chain(tasks, record_spans=True)
+                results.update(part)
+                timings.extend(spans)
         except Exception:
             self._count("failed", 1)
             raise
+        self.last_timings = timings
         self._count("completed", n_tasks)
         return results
 
@@ -232,18 +340,47 @@ class Scheduler:
     ) -> Dict[str, Any]:
         ctx = multiprocessing.get_context("fork")
         results: Dict[str, Any] = {}
+        timings: List[TaskTiming] = []
         with _trace.span(
             "engine.parallel", jobs=jobs, components=len(components), tasks=n_tasks
         ):
             with ctx.Pool(processes=min(jobs, len(components))) as pool:
                 try:
-                    for part in pool.map(_run_component, components, chunksize=1):
+                    for part, spans in pool.map(
+                        _run_component, components, chunksize=1
+                    ):
                         results.update(part)
+                        timings.extend(spans)
                 except Exception:
                     self._count("failed", 1)
                     raise
+        self.last_timings = timings
         self._count("completed", n_tasks)
         return results
+
+    # -- timings ---------------------------------------------------------
+
+    def _persist_timings(self) -> None:
+        """Drop the latest timings into the disk artifact cache (if bound)
+        so ``repro engine stats`` can report them after the run."""
+        from repro.engine.store import store
+
+        disk = store().disk
+        if disk is None or not self.last_timings:
+            return
+        path = os.path.join(disk.root, TIMINGS_FILENAME)
+        payload = {
+            "jobs": self.jobs,
+            "tasks": [
+                {"name": t.name, "seconds": t.seconds, "deps": list(t.deps)}
+                for t in self.last_timings
+            ],
+        }
+        try:
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+        except OSError as exc:  # pragma: no cover - disk-full etc.
+            _log.warning("scheduler.timings_write_failed", error=str(exc))
 
     # -- metrics ---------------------------------------------------------
 
@@ -254,6 +391,21 @@ class Scheduler:
             registry.counter(
                 f"engine.tasks.{event}", "scheduler task lifecycle"
             ).inc(n)
+
+
+def load_timings(cache_dir: str) -> List[TaskTiming]:
+    """Read back the timings a disk-cache-bound run persisted (empty list
+    when the cache has no record)."""
+    path = os.path.join(cache_dir, TIMINGS_FILENAME)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    return [
+        TaskTiming(t["name"], float(t["seconds"]), tuple(t.get("deps", ())))
+        for t in payload.get("tasks", ())
+    ]
 
 
 def _fork_available() -> bool:

@@ -218,10 +218,10 @@ def run_ocolos_pipeline(
 class InterpThroughput:
     """One cold-loop interpreter speed sample (no OCOLOS machinery).
 
-    ``runs``/``instructions``/``superblocks`` are execution counts, which
-    are deterministic for a given (workload, input, seed, transactions) —
-    identical across steppers and machines; ``seconds`` is best-of-N wall
-    time on the measuring machine.
+    ``runs``/``instructions``/``superblocks``/``guards``/``guard_exits``
+    are execution counts, which are deterministic for a given (workload,
+    input, seed, transactions, trace policy) — identical across machines;
+    ``seconds`` is best-of-N wall time on the measuring machine.
     """
 
     mode: str
@@ -230,6 +230,8 @@ class InterpThroughput:
     runs: int
     instructions: int
     superblocks: int
+    guards: int
+    guard_exits: int
     transactions: int
 
     @property
@@ -242,6 +244,11 @@ class InterpThroughput:
         """Executed instructions per wall-clock second."""
         return self.instructions / self.seconds if self.seconds > 0 else 0.0
 
+    @property
+    def runs_per_superblock(self) -> float:
+        """Average chain length (runs retired per chain dispatch)."""
+        return self.runs / self.superblocks if self.superblocks > 0 else 0.0
+
 
 def measure_interp_throughput(
     workload: SyntheticWorkload,
@@ -251,19 +258,26 @@ def measure_interp_throughput(
     n_threads: Optional[int] = None,
     seed: int = 1612,
     superblocks: bool = True,
+    trace_superblocks: Optional[bool] = None,
+    max_chain: Optional[int] = None,
     observed: bool = False,
     repeats: int = 3,
 ) -> InterpThroughput:
     """Wall-time for executing ``transactions`` from a cold process.
 
     Cold-loop by design: every repetition launches a fresh process (cold
-    decode cache, cold uarch structures) and runs it to the transaction
-    budget, so the number includes decode/specialization cost, which is
-    the situation OCOLOS's own tooling is in when it replays a workload.
+    decode cache, cold uarch structures, cold bias profile) and runs it to
+    the transaction budget, so the number includes decode/specialization
+    cost, which is the situation OCOLOS's own tooling is in when it
+    replays a workload.
 
     Args:
         superblocks: measure the superblock fast path (True) or the
             reference single-run stepper (False).
+        trace_superblocks: override the trace-speculation switch (None
+            keeps the interpreter's env-resolved default); ``False`` with
+            ``superblocks=True`` measures statically-certain chaining only.
+        max_chain: override the runs-per-chain cap (ablation sweeps).
         observed: attach a ``VMCounters`` observer during the timed runs
             (quantifies the sampled ``vm.interp.*`` counter overhead).
         repeats: wall-time repetitions; the best (least-noise) is kept.
@@ -278,7 +292,12 @@ def measure_interp_throughput(
         process = launch(
             workload, input_spec, n_threads=n_threads, seed=seed, with_agent=False
         )
-        process.interpreter.use_superblocks = superblocks
+        interp = process.interpreter
+        interp.use_superblocks = superblocks
+        if trace_superblocks is not None or max_chain is not None:
+            interp.set_trace_policy(
+                trace_superblocks=trace_superblocks, max_chain=max_chain
+            )
         return process
 
     # Counting pass: deterministic, so done once, always observed.
@@ -296,12 +315,20 @@ def measure_interp_throughput(
         elapsed = time.perf_counter() - t0
         if best is None or elapsed < best:
             best = elapsed
+    if not superblocks:
+        mode = "reference"
+    elif trace_superblocks is False:
+        mode = "superblock-notrace"
+    else:
+        mode = "superblock"
     return InterpThroughput(
-        mode="superblock" if superblocks else "reference",
+        mode=mode,
         observed=observed,
         seconds=best,
         runs=bag.runs,
         instructions=bag.instructions,
         superblocks=bag.superblocks,
+        guards=bag.guards,
+        guard_exits=bag.guard_exits,
         transactions=transactions,
     )

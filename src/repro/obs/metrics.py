@@ -351,13 +351,24 @@ class VMCounters:
     must agree to the unit when observation covers the process's whole life.
     """
 
-    __slots__ = ("instructions", "branches", "runs", "superblocks")
+    __slots__ = (
+        "instructions",
+        "branches",
+        "runs",
+        "superblocks",
+        "guards",
+        "guard_exits",
+    )
 
     def __init__(self) -> None:
         self.instructions = 0
         self.branches = 0
         self.runs = 0
         self.superblocks = 0
+        #: Deopt-guard evaluations inside chains (trace speculation), and
+        #: how many of them took the cold outcome and exited the chain.
+        self.guards = 0
+        self.guard_exits = 0
 
     def publish(self, registry: MetricsRegistry, prefix: str = "vm.interp") -> None:
         """Copy the totals into ``registry`` as gauges."""
@@ -371,6 +382,12 @@ class VMCounters:
         registry.gauge(
             f"{prefix}.superblocks", "superblock dispatches (chained fast path)"
         ).set(self.superblocks)
+        registry.gauge(
+            f"{prefix}.guards", "deopt-guard evaluations inside chains"
+        ).set(self.guards)
+        registry.gauge(
+            f"{prefix}.guard_exits", "deopt-guard cold exits (chain deopts)"
+        ).set(self.guard_exits)
 
 
 # ---------------------------------------------------------------------------

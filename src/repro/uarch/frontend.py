@@ -12,6 +12,17 @@ Cycle accounting partitions every cycle into buckets (base/retiring,
 L1i-miss, iTLB-miss, BTB-resteer, taken-branch bubble, bad speculation,
 back-end stall) so that TopDown metrics (paper Fig 9) and event counters
 (paper Fig 8) come from the same bookkeeping.
+
+.. note::
+   The superblock fast tier (:mod:`repro.vm.superblock`) does **not** call
+   these methods per run: it inlines the bodies of :meth:`FrontEnd.fetch_run`
+   / :meth:`FrontEnd.fetch_lines` and the ``branch_*`` handlers against
+   locally-bound predictor/BTB/RAS/cache state, including for speculated
+   (guarded) chain steps.  The methods here are therefore the *specification*
+   those inlined copies must match probe-for-probe and bucket-for-bucket —
+   any behavioural change in this file must be mirrored there (the
+   equivalence oracle in ``tests/test_interp_equivalence.py`` catches
+   drift).
 """
 
 from __future__ import annotations

@@ -66,6 +66,12 @@ class MemoryControllerModel:
         self._rate = 0.0
         self._fetch_smoothness = 0.5
         self._multiplier = 1.0
+        #: Monotone generation counter for the per-run stall memo
+        #: (:mod:`repro.vm.superblock`): bumped whenever the multiplier
+        #: may have changed, and by :meth:`reset` — which ``set_input``
+        #: always calls after swapping ``class_costs`` — so a run's cached
+        #: ``(stall, dram)`` is valid iff its stored token matches.
+        self.memo_token = 0
 
     def observe(
         self, requests: float, cycles: float, frontend_share: float = 0.5
@@ -98,6 +104,7 @@ class MemoryControllerModel:
         rho = min(self.max_utilization, self._rate / effective_service)
         scheduling = 1.0 + self.locality_penalty * rho * self._fetch_smoothness**2
         self._multiplier = scheduling / (1.0 - rho)
+        self.memo_token += 1
 
     @property
     def multiplier(self) -> float:
@@ -113,6 +120,7 @@ class MemoryControllerModel:
         """Forget rate history."""
         self._rate = 0.0
         self._multiplier = 1.0
+        self.memo_token += 1
 
 
 @dataclass

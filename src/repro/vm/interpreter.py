@@ -24,13 +24,15 @@ from repro.isa.disassembler import decode_instruction
 from repro.isa.instructions import Opcode
 from repro.vm.superblock import (
     INTERIOR_CALL,
+    INTERIOR_GUARD,
     INTERIOR_JMP,
+    INTERIOR_RET,
     INTERIOR_SYSCALL,
-    MAX_CHAIN,
     TERM_EXECUTORS,
     Superblock,
     _term_unexpected,
     run_superblock_quantum,
+    trace_policy_from_env,
 )
 from repro.vm.thread import SimThread, ThreadState
 
@@ -79,13 +81,14 @@ class DecodedRun:
         "fused_fetch",
         "static_next",
         "interior_kind",
+        "guard_taken",
+        "bias_ent",
         "exec_term",
         "counts_branch",
         "has_extras",
         "final_kind",
         # back-end stall memo
-        "stall_costs",
-        "stall_mult",
+        "stall_token",
         "stall",
         "dram",
     )
@@ -113,12 +116,13 @@ class DecodedRun:
         self.fused_fetch = False
         self.static_next: Optional[int] = None
         self.interior_kind = INTERIOR_JMP
+        self.guard_taken = False
+        self.bias_ent: Optional[list] = None
         self.exec_term = _term_unexpected
         self.counts_branch = 1
         self.has_extras = False
         self.final_kind = 2
-        self.stall_costs: Optional[Tuple[float, ...]] = None
-        self.stall_mult = -1.0
+        self.stall_token = -1
         self.stall = 0.0
         self.dram = 0
 
@@ -126,11 +130,69 @@ class DecodedRun:
 #: Terminators that are not control transfers (no ``branch_event``).
 _NON_BRANCH_TERMS = (Opcode.SYSCALL, Opcode.HALT)
 
+_RUN_SLOTS = DecodedRun.__slots__
+
+
+def _guarded_variant(run: DecodedRun, hot_taken: bool) -> DecodedRun:
+    """A private copy of a ``BR_COND`` run, chained into its hot successor.
+
+    The copy lives only inside the superblock that formation is building —
+    the shared decode-cache entry (and every other chain referencing it) is
+    untouched, so a later re-formation against a shifted bias profile can
+    speculate the other way, or not at all, without disturbing existing
+    chains.  The copy's stall memo starts cold; recomputation with the same
+    inputs is bit-exact, so that costs one memoized recompute, not accuracy.
+    """
+    g = DecodedRun()
+    for name in _RUN_SLOTS:
+        setattr(g, name, getattr(run, name))
+    g.static_next = run.term_target if hot_taken else run.next_addr
+    g.interior_kind = INTERIOR_GUARD
+    g.guard_taken = hot_taken
+    g.stall_token = -1
+    return g
+
+
+def _ret_variant(run: DecodedRun, return_addr: int) -> DecodedRun:
+    """A private copy of a ``RET`` run whose matching ``CALL`` is earlier in
+    the chain being formed, chained into the known return address.
+
+    Formation's virtual call stack guarantees the address the real ``RET``
+    will pop (stack writes happen only through ``CALL``/``RET`` between the
+    push and this pop on a linear chain), but the executor still treats the
+    link as a guard — it executes the real pop and deopts on any mismatch —
+    so correctness never rests on that argument.  Same privacy/memo rules
+    as :func:`_guarded_variant`.
+    """
+    g = DecodedRun()
+    for name in _RUN_SLOTS:
+        setattr(g, name, getattr(run, name))
+    g.static_next = return_addr
+    g.interior_kind = INTERIOR_RET
+    g.stall_token = -1
+    return g
+
 
 class Interpreter:
-    """Executes threads of a :class:`~repro.vm.process.Process`."""
+    """Executes threads of a :class:`~repro.vm.process.Process`.
 
-    def __init__(self, process) -> None:
+    Trace-policy keyword arguments (``trace_superblocks``, ``max_chain``,
+    ``trace_bias_threshold``, ``trace_min_samples``) default to the
+    environment-resolved policy (:func:`repro.vm.superblock.trace_policy_from_env`,
+    knobs ``REPRO_TRACE_*``); pass explicit values — or call
+    :meth:`set_trace_policy` on a live interpreter — to override per
+    instance, e.g. for ablation sweeps.
+    """
+
+    def __init__(
+        self,
+        process,
+        *,
+        trace_superblocks: Optional[bool] = None,
+        max_chain: Optional[int] = None,
+        trace_bias_threshold: Optional[float] = None,
+        trace_min_samples: Optional[int] = None,
+    ) -> None:
         self.process = process
         self._cache: Dict[int, DecodedRun] = {}
         self._sb_cache: Dict[int, Superblock] = {}
@@ -140,6 +202,36 @@ class Interpreter:
         #: Chained fast-path execution (the default).  The differential
         #: oracle tests clear this to drive the preserved reference stepper.
         self.use_superblocks = True
+        policy = trace_policy_from_env()
+        #: Speculate through strongly-biased conditional branches (deopt
+        #: guards).  Off leaves formation at the PR-3 statically-certain
+        #: links only.
+        self.trace_superblocks = (
+            bool(policy["trace_superblocks"])
+            if trace_superblocks is None
+            else trace_superblocks
+        )
+        #: Cap on runs per superblock (also bounds trace unrolling).
+        self.max_chain = int(policy["max_chain"]) if max_chain is None else max_chain
+        #: Observed hot-direction rate a site needs before formation
+        #: speculates through it (must exceed 0.5).
+        self.trace_bias_threshold = (
+            float(policy["bias_threshold"])
+            if trace_bias_threshold is None
+            else trace_bias_threshold
+        )
+        #: Profile weight a site needs before its bias estimate is trusted.
+        self.trace_min_samples = (
+            int(policy["min_samples"])
+            if trace_min_samples is None
+            else trace_min_samples
+        )
+        #: Online per-site branch profile: ``site -> [taken, total]``,
+        #: decayed by halving at ``BIAS_CAP``.  Keyed by site (not address)
+        #: and deliberately *not* cleared by code-write invalidation: sites
+        #: are stable across OCOLOS generations, so re-formed chains after
+        #: a replacement speculate immediately instead of re-warming.
+        self._trace_bias: Dict[int, list] = {}
         self._read = process.address_space.read
         process.address_space.add_write_observer(self._on_code_write)
         # Fetch geometry baked into each decode.  All of a process's cores
@@ -183,6 +275,40 @@ class Interpreter:
     def invalidate(self) -> None:
         """Drop all cached decodes (and the superblocks chaining them)."""
         self._cache.clear()
+        self._sb_cache.clear()
+        self._epoch += 1
+
+    def set_trace_policy(
+        self,
+        *,
+        trace_superblocks: Optional[bool] = None,
+        max_chain: Optional[int] = None,
+        bias_threshold: Optional[float] = None,
+        min_samples: Optional[int] = None,
+    ) -> None:
+        """Retune trace speculation on a live interpreter.
+
+        Only the given fields change.  Cached superblocks embed the old
+        policy's guards, so they are dropped (and the epoch bumped, which
+        stops any in-flight chain at its next run boundary); decoded runs
+        and the bias profile are kept — both are policy-independent.
+        """
+        if trace_superblocks is not None:
+            self.trace_superblocks = trace_superblocks
+        if max_chain is not None:
+            if max_chain < 1:
+                raise ValueError(f"max_chain must be >= 1, got {max_chain}")
+            self.max_chain = max_chain
+        if bias_threshold is not None:
+            if not 0.5 < bias_threshold <= 1.0:
+                raise ValueError(
+                    f"bias_threshold must be in (0.5, 1.0], got {bias_threshold}"
+                )
+            self.trace_bias_threshold = bias_threshold
+        if min_samples is not None:
+            if min_samples < 1:
+                raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+            self.trace_min_samples = min_samples
         self._sb_cache.clear()
         self._epoch += 1
 
@@ -285,38 +411,120 @@ class Interpreter:
         # ``exec_term``.
         if op == Opcode.BR_COND:
             run.final_kind = 0
+            # Bind the site's bias-profile entry (shared, long-lived list)
+            # so the hot paths update it with one attribute load instead of
+            # a dict probe.  The profile outlives decode-cache flushes, so
+            # re-decodes re-bind the same entry.
+            run.bias_ent = self._trace_bias.setdefault(run.term_site, [0, 0])
         elif op == Opcode.RET:
             run.final_kind = 1
         else:
             run.final_kind = 2
 
-    def _form_superblock(self, pc: int) -> Superblock:
-        """Chain runs from ``pc`` across statically certain successors.
+    def _hot_direction(self, site: int) -> Optional[bool]:
+        """The profiled hot direction of a conditional site, if its bias
+        clears the threshold at sufficient weight; None otherwise."""
+        ent = self._trace_bias.get(site)
+        if ent is None:
+            return None
+        taken, total = ent
+        if total < self.trace_min_samples:
+            return None
+        need = total * self.trace_bias_threshold
+        if taken >= need:
+            return True
+        if total - taken >= need:
+            return False
+        return None
 
-        Formation decodes ahead of execution (up to :data:`MAX_CHAIN` runs),
-        which is safe because control cannot diverge between chained runs;
-        a decode failure on a successor just ends the chain — if execution
-        really reaches that address, the next dispatch re-decodes it and
-        raises exactly where the reference stepper would.
+    def _form_superblock(
+        self, pc: int, thread: Optional[SimThread] = None
+    ) -> Superblock:
+        """Chain runs from ``pc`` across statically certain successors and,
+        with trace speculation on, through strongly-biased conditional
+        branches (deopt-guarded links into the profiled hot direction) and
+        returns (deopt-guarded links into the address the ``RET`` will
+        pop).
+
+        The return address comes from a virtual stack pointer tracked
+        along the chain: a chained-through ``CALL`` lowers it by one slot
+        and records the pushed address, a ``RET`` raises it.  A return
+        whose matching call is in the chain therefore links to the
+        recorded push; a return *above* the chain's entry depth links to
+        the address read from ``thread``'s real stack at the virtual
+        depth — exact for the dispatch that triggered formation, and a
+        same-caller speculation (guarded, like every speculated link) for
+        later executions of the cached chain.
+
+        Formation decodes ahead of execution (up to :attr:`max_chain` runs).
+        For static links that is safe because control cannot diverge; for
+        guarded links it is safe because the guard evaluates the real
+        condition (or pops the real stack) at execution time and deopts
+        before any speculated successor runs.  A decode failure on a
+        successor just ends the chain — if execution really reaches that
+        address, the next dispatch re-decodes it and raises exactly where
+        the reference stepper would.
+
+        Chains may revisit an address (trace unrolling): a loop whose
+        backedge is a biased branch — or a plain ``JMP`` — unrolls up to
+        the chain cap, so tight loops retire many iterations per dispatch.
+        Side effects are per-run and in-order, so unrolling is invisible to
+        the bit-identity contract.
         """
         cache = self._cache
-        runs = [cache.get(pc) or self._cache_decode(pc)]
-        seen = {pc}
-        addr = runs[0].static_next
-        while (
-            addr is not None
-            and addr not in seen
-            and len(runs) < MAX_CHAIN
-        ):
+        trace = self.trace_superblocks
+        max_chain = self.max_chain
+        last_slot = max_chain - 1
+        runs: List[DecodedRun] = []
+        vstack: List[int] = []  # return addrs pushed by chained-through CALLs
+        virtual_sp = thread.sp if thread is not None else 0
+        addr = pc
+        while True:
             run = cache.get(addr)
             if run is None:
                 try:
                     run = self._cache_decode(addr)
                 except ExecutionError:
+                    if not runs:
+                        raise
                     break
+            nxt = run.static_next
+            if nxt is None:
+                # Speculated links never occupy the last slot: a trailing
+                # guard cannot extend the chain, so it would be pure
+                # guard overhead at the dispatch boundary.
+                if trace and len(runs) < last_slot:
+                    fk = run.final_kind
+                    if fk == 0:
+                        hot = self._hot_direction(run.term_site)
+                        if hot is not None:
+                            run = _guarded_variant(run, hot)
+                            nxt = run.static_next
+                    elif fk == 1:
+                        if vstack:
+                            nxt = vstack.pop()
+                            run = _ret_variant(run, nxt)
+                            virtual_sp += 8
+                        elif (
+                            thread is not None
+                            and virtual_sp < thread.stack_base
+                        ):
+                            # Above entry depth: peek the real stack (a
+                            # RET at or past stack_base halts instead, so
+                            # the chain must end there).
+                            nxt = _U64.unpack_from(
+                                thread._stack_data,  # type: ignore[attr-defined]
+                                virtual_sp - thread._stack_start,  # type: ignore[attr-defined]
+                            )[0]
+                            run = _ret_variant(run, nxt)
+                            virtual_sp += 8
+            elif run.interior_kind == INTERIOR_CALL:
+                vstack.append(run.next_addr)
+                virtual_sp -= 8
             runs.append(run)
-            seen.add(addr)
-            addr = run.static_next
+            if nxt is None or len(runs) >= max_chain:
+                break
+            addr = nxt
         return Superblock(pc, tuple(runs))
 
     def _cache_decode(self, pc: int) -> DecodedRun:

@@ -94,8 +94,9 @@ class Process:
             thread._stack_start = stack_start  # type: ignore[attr-defined]
             self.threads.append(thread)
         # One shared costs tuple across all cores: the interpreter's per-run
-        # stall memo validates by tuple identity, so all backends must point
-        # at the same object (as set_input already guarantees on re-input).
+        # stall memo is validated by the controller's memo_token, which is
+        # process-wide — all backends must therefore agree on the costs at
+        # any token value (as set_input already guarantees on re-input).
         costs = self._scaled_costs()
         for _ in range(n_threads):
             backend = BackendModel(

@@ -8,6 +8,32 @@ cache lookup and executes it in one pass, skipping the per-run cache probe
 and terminator dispatch that dominate the reference stepper
 (:meth:`repro.vm.interpreter.Interpreter.step`).
 
+On top of the statically-certain links, formation *speculates through
+strongly-biased conditional branches* the way BOLT lays out traces along
+the hot direction: the interpreter keeps an online per-site taken/not-taken
+profile, and when a site's observed bias clears
+:data:`TRACE_BIAS_THRESHOLD`, the chain continues into the hot successor
+behind a *deopt guard* (``interior_kind == INTERIOR_GUARD``).  The guard
+evaluates the real branch condition in-chain with the exact reference
+semantics — same RNG draw / counted-state update, same gshare/BTB training,
+same counters and LBR records in **both** directions — so speculation is a
+formation-time layout decision only, never an execution-time prediction.
+On the hot outcome execution continues inside the superblock with zero
+extra dispatch; on the cold outcome the chain *deopts*: the thread's pc is
+already architecturally correct for the cold side, so the guard simply
+breaks out to the dispatcher, which resumes single-dispatch execution at
+the cold target.  A cold exit also re-checks the site's bias and drops the
+containing superblock for re-formation once the bias has flipped or
+decayed below threshold.
+
+Traces also chain through *returns whose matching call is in the chain*:
+formation keeps a virtual call stack mirroring the pushes of
+chained-through ``CALL`` runs, so the address a ``RET`` will pop is known
+before execution (``interior_kind == INTERIOR_RET``).  The executor still
+pops the real stack with full reference semantics and deopts if the popped
+address ever differs from the speculated one, so the virtual-stack
+argument is an optimization rationale, not a correctness dependency.
+
 Two invariants make this a pure speed change (enforced by
 ``tests/test_interp_equivalence.py``):
 
@@ -32,8 +58,9 @@ on any drift.
 
 from __future__ import annotations
 
+import os
 import struct
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ExecutionError
 from repro.isa.instructions import Opcode
@@ -43,23 +70,269 @@ _U64 = struct.Struct("<Q")
 
 #: Cap on runs per superblock.  Bounds formation-time decode-ahead (the
 #: decode cache doubles as the executed-code record for coverage analyses)
-#: and keeps chain re-formation after invalidation cheap.
-MAX_CHAIN = 16
+#: and keeps chain re-formation after invalidation cheap.  Tunable per
+#: interpreter (``Interpreter(max_chain=...)``) and via ``REPRO_TRACE_MAX_CHAIN``.
+#: 32 is the measured knee on the memcached mix: average retired chain
+#: length saturates near 6.3 runs (longer caps add formation work and pre
+#: rows without shortening the dispatch stream), and scheduling-quantum
+#: cuts of long chains stay on the fast tier via the sliced step prefix.
+MAX_CHAIN = 32
+
+#: Trace-speculation policy defaults.  All are per-interpreter tunables
+#: (:meth:`repro.vm.interpreter.Interpreter.set_trace_policy`) with
+#: environment overrides (see :func:`trace_policy_from_env`), so ablation
+#: benches can sweep them without editing source.
+TRACE_SUPERBLOCKS = True
+#: Minimum observed hot-direction rate before formation speculates through
+#: a conditional branch.  Must stay above 0.5 so at most one direction
+#: qualifies.
+TRACE_BIAS_THRESHOLD = 0.9
+#: Minimum profile weight (observed executions of the site) before the
+#: bias estimate is trusted.
+TRACE_MIN_SAMPLES = 24
+#: Profile decay: when a site's total tally reaches this cap, both tallies
+#: are halved, so a bias flip is noticed within ~``(1 - threshold) * cap``
+#: cold exits instead of being drowned by stale history.
+BIAS_CAP = 256
+
+#: Hysteresis between the formation threshold and the deopt-time drop
+#: check.  Guarded sites train their bias profile on a sampled cadence
+#: (weight 16, every 16th outcome), which puts ±0.06-grade noise on the
+#: hot-fraction estimate; dropping the chain the moment the estimate dips
+#: under the formation threshold makes marginal sites thrash
+#: (drop -> re-form unguarded -> full-rate tallies recover -> upgrade ->
+#: drop ...), each cycle paying a re-formation.  A chain is therefore
+#: dropped only when the hot fraction falls below
+#: ``threshold - TRACE_POP_HYSTERESIS``: a genuine flip crashes the
+#: estimate through both lines at once, while threshold-straddling sites
+#: keep their chain and pay only the (cheap) occasional cold exit.
+TRACE_POP_HYSTERESIS = 0.125
 
 #: ``DecodedRun.interior_kind`` values for chainable terminators.
 INTERIOR_JMP = 0
 INTERIOR_CALL = 1
 INTERIOR_SYSCALL = 2
+#: Guarded conditional branch: chain continues into the profiled hot
+#: successor; the guard evaluates the real condition and deopts on the
+#: cold outcome.
+INTERIOR_GUARD = 3
+#: Guarded return whose matching ``CALL`` is earlier in the same chain:
+#: formation tracks a virtual call stack, so the popped return address is
+#: known ahead of time.  The guard executes the real pop (and RAS/counter
+#: updates) and deopts if the popped address ever differs.
+INTERIOR_RET = 4
+
+
+def _env_flag(env: Dict[str, str], name: str, default: bool) -> bool:
+    raw = env.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "off", "false", "no", "")
+
+
+def trace_policy_from_env(
+    env: Optional[Dict[str, str]] = None,
+) -> Dict[str, object]:
+    """Resolve the trace-speculation policy from environment knobs.
+
+    Recognised variables (all optional):
+
+    * ``REPRO_TRACE_SUPERBLOCKS`` — ``on``/``off`` master switch;
+    * ``REPRO_TRACE_MAX_CHAIN`` — runs per superblock (int >= 1);
+    * ``REPRO_TRACE_BIAS`` — bias threshold in (0.5, 1.0];
+    * ``REPRO_TRACE_MIN_SAMPLES`` — profile weight floor (int >= 1).
+
+    Unset (or unparseable numeric) variables fall back to the module
+    defaults, so a bad knob can degrade only to the committed policy.
+    """
+    e = os.environ if env is None else env
+    policy: Dict[str, object] = {
+        "trace_superblocks": _env_flag(e, "REPRO_TRACE_SUPERBLOCKS", TRACE_SUPERBLOCKS),
+        "max_chain": MAX_CHAIN,
+        "bias_threshold": TRACE_BIAS_THRESHOLD,
+        "min_samples": TRACE_MIN_SAMPLES,
+    }
+    try:
+        policy["max_chain"] = max(1, int(e.get("REPRO_TRACE_MAX_CHAIN", MAX_CHAIN)))
+    except ValueError:
+        pass
+    try:
+        bias = float(e.get("REPRO_TRACE_BIAS", TRACE_BIAS_THRESHOLD))
+        if 0.5 < bias <= 1.0:
+            policy["bias_threshold"] = bias
+    except ValueError:
+        pass
+    try:
+        policy["min_samples"] = max(
+            1, int(e.get("REPRO_TRACE_MIN_SAMPLES", TRACE_MIN_SAMPLES))
+        )
+    except ValueError:
+        pass
+    return policy
+
+
+#: ``Superblock.steps`` terminator codes.  Formation-time facts that the
+#: per-run loop would otherwise re-derive — interior vs. final position,
+#: the speculated guard direction — are baked into the code, so the fast
+#: tier dispatches on one small int per run.
+STEP_JMP = 0
+STEP_CALL = 1
+STEP_SYSCALL = 2
+STEP_GUARD_TAKEN = 3
+STEP_GUARD_NOT_TAKEN = 4
+STEP_RET = 5
+STEP_FINAL_COND = 6
+STEP_FINAL_RET = 7
+STEP_FINAL_OTHER = 8
 
 
 class Superblock:
-    """An entry address plus the chain of runs reachable deterministically."""
+    """An entry address plus the chain of runs reachable deterministically.
 
-    __slots__ = ("entry", "runs")
+    Construction precomputes the two flat tables the fast dispatch tier
+    iterates (:func:`run_superblock_quantum`):
+
+    ``steps``
+        One tuple per run: ``(run, fused_fetch, first_line, first_page,
+        base_cycles, mem_counts, step_kind, term)``.  A single sequence
+        unpack per run replaces the ~10 attribute loads the loop body
+        would otherwise perform on ``DecodedRun``; ``term`` carries the
+        kind-specific terminator operands (already unpacked from the
+        run), with the step index embedded where an early exit needs it.
+        The position in the chain and the speculated guard direction are
+        encoded in ``step_kind`` (``STEP_*``), so the executor never
+        consults ``interior_kind``/``final_kind``/``guard_taken``.
+
+    ``pre``
+        The *prefix tally table*: every integer event count that is
+        deterministic at formation time — instruction counts, L1i/iTLB
+        probe counts, and the terminator tallies of interior runs, whose
+        outcome on a surviving chain is by construction the speculated
+        hot direction — folded into one tuple per possible exit point,
+        so executing a chain adds each tally once per *dispatch* rather
+        than once per *run*.  Runtime-dependent events (cache misses,
+        BTB outcomes, mispredicts, the float cycle stream) are never
+        precomputed.  ``pre[i]`` covers the fetch-level tallies of runs
+        ``0..i`` inclusive plus the terminator tallies of runs
+        ``0..i-1``: the run at the exit index always accounts for its
+        own terminator live (a deopt guard's cold outcome, or the final
+        run's inlined terminator), so every exit — deopt at ``i``, halt
+        at ``i``, or completion through the final run — flushes exactly
+        ``pre[exit_index]``.  Field order: ``(instr, l1i_probes,
+        itlb_probes, base_cycles, branches, taken, cond, ret, guard,
+        branch_sum, btb_probes, txn_marks)``.
+
+    ``fast`` is False when any run writes memory the interpreter watches
+    (``mkfp``/``setjmp``): those can bump the epoch mid-chain, which only
+    the careful tier re-checks.  Transaction marks are a plain counter
+    bump, so they stay prefixable (``pre`` column 11).
+    """
+
+    __slots__ = ("entry", "runs", "steps", "pre", "fast", "n")
 
     def __init__(self, entry: int, runs: Tuple[object, ...]) -> None:
         self.entry = entry
         self.runs = runs
+        n = self.n = len(runs)
+        fast = True
+        pre = []
+        steps = []
+        # Fetch-level tallies for runs 0..i (terminator tallies lag one
+        # run behind; see class docstring).
+        instr = l1i_p = itlb_p = txn = 0
+        base = 0.0
+        branches = taken = cond = ret = guard = branch_sum = btb_p = 0
+        last_i = n - 1
+        for i, run in enumerate(runs):
+            if run.mkfps or run.setjmps:
+                fast = False
+            instr += run.n_instr
+            txn += run.txn_marks
+            if run.fused_fetch:
+                l1i_p += 1
+                itlb_p += 1
+            else:
+                l1i_p += run.last_line - run.first_line + 1
+                itlb_p += run.last_page - run.first_page + 1
+            base += run.base_cycles
+            pre.append(
+                (
+                    instr, l1i_p, itlb_p, base,
+                    branches, taken, cond, ret, guard, branch_sum, btb_p,
+                    txn,
+                )
+            )
+            if i == last_i:
+                fk = run.final_kind
+                if fk == 0:
+                    kind = STEP_FINAL_COND
+                    term = (
+                        run.term_site, run.term_invert, run.term_addr,
+                        run.term_target, run.next_addr, run.bias_ent,
+                        run.static_next,
+                    )
+                elif fk == 1:
+                    kind = STEP_FINAL_RET
+                    term = (run.term_addr, run.start)
+                else:
+                    kind = STEP_FINAL_OTHER
+                    term = None
+            else:
+                ik = run.interior_kind
+                if ik == INTERIOR_GUARD:
+                    kind = (
+                        STEP_GUARD_TAKEN
+                        if run.guard_taken
+                        else STEP_GUARD_NOT_TAKEN
+                    )
+                    term = (
+                        run.term_site, run.term_invert, run.term_addr,
+                        run.term_target, run.next_addr, run.bias_ent, i,
+                    )
+                elif ik == INTERIOR_RET:
+                    kind = STEP_RET
+                    term = (run.term_addr, run.static_next, run.start, i)
+                elif ik == INTERIOR_SYSCALL:
+                    kind = STEP_SYSCALL
+                    term = run.term_slot
+                elif ik == INTERIOR_CALL:
+                    kind = STEP_CALL
+                    term = (run.next_addr, run.term_target, run.term_addr)
+                else:
+                    kind = STEP_JMP
+                    term = (run.term_target, run.term_addr)
+                # Terminator tallies for the *next* prefix entry: on a
+                # chain that survives past this run, a guard took its
+                # speculated hot direction and a chained RET popped its
+                # speculated address.
+                if ik == INTERIOR_GUARD:
+                    branches += 1
+                    cond += 1
+                    guard += 1
+                    branch_sum += 1
+                    if run.guard_taken:
+                        taken += 1
+                        btb_p += 1
+                elif ik == INTERIOR_RET:
+                    branches += 1
+                    taken += 1
+                    ret += 1
+                    guard += 1
+                    branch_sum += 1
+                elif ik != INTERIOR_SYSCALL:  # CALL / JMP
+                    branches += 1
+                    taken += 1
+                    branch_sum += 1
+                    btb_p += 1
+            steps.append(
+                (
+                    run, run.fused_fetch, run.first_line, run.first_page,
+                    run.base_cycles, run.mem_counts, kind, term,
+                )
+            )
+        self.pre = tuple(pre)
+        self.steps = tuple(steps)
+        self.fast = fast
 
 
 # ----------------------------------------------------------------------
@@ -366,6 +639,27 @@ TERM_EXECUTORS = {
 }
 
 
+def _add_const(obj, attr: str, const: float, count: int) -> None:
+    """Add ``const`` to ``obj.attr`` ``count`` times, bit-identically.
+
+    Used to flush deferred adds to accumulators that only ever receive one
+    constant addend (``cyc_taken``/``cyc_btb``/``cyc_badspec``): with a
+    single addend the running value is independent of *when* each add
+    happens, so deferring to the quantum boundary cannot change it.
+    Integer-valued constants take the closed form (every partial sum is an
+    exact integer below 2**53, so one multiply-add equals the sequential
+    adds); non-integer constants replay the adds so per-step rounding
+    matches the reference stream exactly.
+    """
+    if float(const).is_integer():
+        setattr(obj, attr, getattr(obj, attr) + const * count)
+    else:
+        value = getattr(obj, attr)
+        for _ in range(count):
+            value += const
+        setattr(obj, attr, value)
+
+
 # ----------------------------------------------------------------------
 # quantum executor
 # ----------------------------------------------------------------------
@@ -387,22 +681,33 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
     value-for-value identical.
 
     Event tallies that are plain integer sums (``branches``,
-    ``taken_branches``, ``cond_branches``, hit counts, instruction counts,
-    the gshare history register) are accumulated in locals and flushed in
-    the ``finally`` block — integer addition commutes, so the flushed
-    totals are exactly the reference values at every point the caller can
-    observe them (quantum boundaries, and the raise path).  Float cycle
-    accumulators are never batched: their per-accumulator add order is
-    preserved add-for-add.  Consequences: ``behaviour``/``set_input`` must
-    not change mid-quantum (it cannot — ``run()`` drives whole quanta),
-    and an ``l1i_miss_hook`` must not read perf counters (it receives the
-    missing address only).
+    ``taken_branches``, ``cond_branches``, hit/miss/mispredict counts,
+    instruction counts, DRAM request counts, the gshare history register)
+    are accumulated in locals and flushed in the ``finally`` block —
+    integer addition commutes, so the flushed totals are exactly the
+    reference values at every point the caller can observe them (quantum
+    boundaries, and the raise path).  Float cycle accumulators are batched
+    only where deferral is provably bit-identical: ``cyc_taken``,
+    ``cyc_btb`` and ``cyc_badspec`` each receive a single constant addend,
+    so counting occurrences and flushing via :func:`_add_const` reproduces
+    the reference value exactly; ``cyc_base`` addends are exact dyadic
+    floats when the issue width is a power of two (the ``base_exact``
+    gate), making their sum order-independent.  Every other float
+    accumulator (``cycles``, ``cyc_backend``, ``cyc_l1i``, ``cyc_itlb``,
+    ``cyc_idle``) keeps its per-accumulator add order add-for-add.
+    Consequences: ``behaviour``/``set_input`` must not change mid-quantum
+    (it cannot — ``run()`` drives whole quanta), and an ``l1i_miss_hook``
+    must not read perf counters (it receives the missing address only).
 
     A chain stops early when the run budget is exhausted, the thread
-    halts, or a write to executable memory bumps the interpreter's epoch
-    (the remaining decodes may be stale, so the dispatcher re-forms).  The
-    thread's pc is architecturally valid after every run, so a partial
-    chain is indistinguishable from single-run execution.
+    halts, a deopt guard observes the cold outcome of a speculated
+    conditional branch, or a write to executable memory bumps the
+    interpreter's epoch (the remaining decodes may be stale, so the
+    dispatcher re-forms).  The thread's pc is architecturally valid after
+    every run in the careful tier, and at every point control can leave
+    the fast tier (interior stores there are elided because nothing
+    mid-chain can observe them), so a partial chain is indistinguishable
+    from single-run execution.
     """
     proc = interp.process
     fe = proc.frontends[thread.tid]
@@ -432,7 +737,12 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
     btb_miss_bubble = params.btb_miss_bubble
     mispredict_penalty = params.mispredict_penalty
     backend = fe.backend
-    controller = backend.controller
+    # Quantum-invariant memo generation: the controller bumps it whenever
+    # the queueing multiplier may have moved (observe/reset, both only
+    # between quanta) and set_input's class_costs swap always passes
+    # through reset, so one token comparison validates a run's cached
+    # (stall, dram) pair.
+    memo_token = backend.controller.memo_token
     fast_fetch = fe.fast_fetch
     lbr = proc.lbr_enabled
     rng = proc.rng.random
@@ -443,6 +753,11 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
     runnable = ThreadState.RUNNABLE
     halted = ThreadState.HALTED
     tid = thread.tid
+    trace_on = interp.trace_superblocks
+    bias_threshold = interp.trace_bias_threshold
+    pop_threshold = bias_threshold - TRACE_POP_HYSTERESIS
+    min_samples = interp.trace_min_samples
+    max_chain = interp.max_chain
 
     budget = n_runs
     runs_total = 0
@@ -453,18 +768,539 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
     n_taken = 0
     n_cond = 0
     n_ret = 0
-    n_l1i = 0
-    n_itlb = 0
     n_instr_fused = 0
+    n_guard = 0
+    n_guard_cold = 0
+    guard_tick = 0
+    # Deferred tallies for structures/accumulators whose adds commute
+    # (ints) or are order-independent (single-constant floats; see
+    # _add_const).  Kept as local ints in the loop, flushed in finally.
+    # Probes are counted instead of hits: hits = probes - misses, with
+    # the (rare) miss branches counting misses, so the hot probe paths
+    # carry no tally at all and probe counts can come from the
+    # formation-time prefix tables.
+    n_l1i_probe = 0
+    n_l1i_miss = 0
+    n_itlb_probe = 0
+    n_itlb_miss = 0
+    n_btb_probe = 0
+    n_btb_miss = 0
+    n_btb_mismatch = 0
+    n_cond_mp = 0
+    n_ret_mp = 0
+    dram_sum = 0
+    # cyc_base addends are n_instr / issue_width: with a power-of-two
+    # issue width every addend and partial sum is an exact dyadic float,
+    # so local accumulation flushes bit-identically; otherwise fall back
+    # to per-run reference-order adds.
+    iw = params.issue_width
+    base_exact = iw & (iw - 1) == 0
+    cyc_base_sum = 0.0
+    # Fast-tier gate: the prefix-tally tier needs the fused fetch paths
+    # (prefetcher off) and exact-dyadic base cycles.
+    fast_ok = fast_fetch and base_exact
 
     try:
         while budget > 0 and thread.state == runnable:
             pc = thread.pc
             sb = sb_cache.get(pc)
             if sb is None:
-                sb = interp._form_superblock(pc)
+                sb = interp._form_superblock(pc, thread)
                 sb_cache[pc] = sb
             sb_count += 1
+            if fast_ok and sb.fast:
+                # ==== fast tier ========================================
+                # No run can bump the epoch mid-chain, so the per-run
+                # epoch checks are dead and every deterministic tally
+                # comes from sb.pre (see Superblock); only
+                # runtime-dependent events (misses, mispredicts, the
+                # cycle stream) execute live.  A chain longer than the
+                # remaining budget executes a sliced step prefix: every
+                # interior terminator's hot direction leads to the next
+                # run in the chain, so stopping after ``budget`` runs
+                # leaves the architectural pc at ``runs[budget].start``.
+                # Every semantic operation below is copied line-for-line
+                # from the careful tier; only bookkeeping differs, plus
+                # one liberty: interior thread.pc stores are elided.  No
+                # code that runs mid-chain here can observe the pc (no
+                # extras, no epoch bumps; the L1i miss hook receives the
+                # missing address, record_lbr the branch endpoints), and
+                # every exit — deopt, halt, raise, budget cut, or the
+                # final run — re-establishes the exact reference pc
+                # before control leaves the loop.
+                if sb.n <= budget:
+                    cut = 0
+                    steps = sb.steps
+                else:
+                    cut = budget
+                    steps = sb.steps[:cut]
+                exit_i = -1
+                for step in steps:
+                    run, fused, line, page, base, memc, kind, term = step
+                    # --- fetch (probe tallies in sb.pre) --------------
+                    if fused:
+                        if line == l1i.mru_line:
+                            cycles = base
+                        else:
+                            s = l1i_sets[line & l1i_mask]
+                            l1i.mru_line = line
+                            if line in s:
+                                del s[line]
+                                s[line] = None
+                                cycles = base
+                            else:
+                                l1i.misses += 1
+                                n_l1i_miss += 1
+                                s[line] = None
+                                if len(s) > l1i_ways:
+                                    del s[next(iter(s))]
+                                c.l1i_misses += 1
+                                if l2.access(line):
+                                    stall = params.l1i_miss_penalty
+                                else:
+                                    c.l2i_misses += 1
+                                    stall = params.l2_miss_penalty
+                                c.cyc_l1i += stall
+                                cycles = base + stall
+                                if fe.l1i_miss_hook is not None:
+                                    fe.l1i_miss_hook(line << fe._line_shift)
+                        if page != itlb.mru_line:
+                            s = itlb_sets[page & itlb_mask]
+                            itlb.mru_line = page
+                            if page in s:
+                                del s[page]
+                                s[page] = None
+                            else:
+                                itlb.misses += 1
+                                n_itlb_miss += 1
+                                s[page] = None
+                                if len(s) > itlb_ways:
+                                    del s[next(iter(s))]
+                                c.itlb_misses += 1
+                                penalty = params.itlb_miss_penalty
+                                c.cyc_itlb += penalty
+                                cycles += penalty
+                        c.cycles += cycles
+                    else:
+                        cycles = base
+                        last_line = run.last_line
+                        while True:
+                            if line != l1i.mru_line:
+                                s = l1i_sets[line & l1i_mask]
+                                l1i.mru_line = line
+                                if line in s:
+                                    del s[line]
+                                    s[line] = None
+                                else:
+                                    l1i.misses += 1
+                                    n_l1i_miss += 1
+                                    s[line] = None
+                                    if len(s) > l1i_ways:
+                                        del s[next(iter(s))]
+                                    c.l1i_misses += 1
+                                    if l2.access(line):
+                                        stall = params.l1i_miss_penalty
+                                    else:
+                                        c.l2i_misses += 1
+                                        stall = params.l2_miss_penalty
+                                    c.cyc_l1i += stall
+                                    cycles += stall
+                                    if fe.l1i_miss_hook is not None:
+                                        fe.l1i_miss_hook(
+                                            line << fe._line_shift
+                                        )
+                            if line >= last_line:
+                                break
+                            line += 1
+                        last_page = run.last_page
+                        while True:
+                            if page != itlb.mru_line:
+                                s = itlb_sets[page & itlb_mask]
+                                itlb.mru_line = page
+                                if page in s:
+                                    del s[page]
+                                    s[page] = None
+                                else:
+                                    itlb.misses += 1
+                                    n_itlb_miss += 1
+                                    s[page] = None
+                                    if len(s) > itlb_ways:
+                                        del s[next(iter(s))]
+                                    c.itlb_misses += 1
+                                    penalty = params.itlb_miss_penalty
+                                    c.cyc_itlb += penalty
+                                    cycles += penalty
+                            if page >= last_page:
+                                break
+                            page += 1
+                        c.cycles += cycles
+                    # --- backend (per-run stall memoization) ----------
+                    if memc:
+                        if run.stall_token == memo_token:
+                            dram_sum += run.dram
+                            c.cyc_backend += run.stall
+                            c.cycles += run.stall
+                        else:
+                            stall, dram = backend.stall_cycles(memc)
+                            run.stall_token = memo_token
+                            run.stall = stall
+                            run.dram = dram
+                            dram_sum += dram
+                            c.cyc_backend += stall
+                            c.cycles += stall
+                    # --- terminator (step kinds; see STEP_*) ----------
+                    if kind == 3 or kind == 4:  # deopt guard (3 = taken)
+                        site, invert, term_addr, target, next_addr, ent, i = (
+                            term
+                        )
+                        pbp = branch_p[site]
+                        if pbp >= 0.0:
+                            condition = rng() < pbp
+                        else:
+                            count = counted_state.get(site, 0) + 1
+                            if count >= int(-pbp):
+                                condition = False
+                                counted_state[site] = 0
+                            else:
+                                condition = True
+                                counted_state[site] = count
+                        taken = (not condition) if invert else condition
+                        # Sampled bias update: every 16th guard outcome,
+                        # weight 16 — an unbiased estimate of the same
+                        # rate at a sixteenth of the hot-path cost (the
+                        # sample is taken on a fixed cadence, independent
+                        # of the outcome, so it cannot skew hot/cold the
+                        # way cold-only updates do).
+                        guard_tick += 1
+                        if guard_tick & 15 == 0:
+                            if taken:
+                                ent[0] += 16
+                            ent[1] += 16
+                            if ent[1] >= BIAS_CAP:
+                                ent[0] >>= 1
+                                ent[1] >>= 1
+                        idx = (term_addr ^ pred_history) & pred_mask
+                        counter = pred_counters[idx]
+                        correct = (counter >= 2) == taken
+                        if taken:
+                            if correct:
+                                cycles = 0.0
+                            else:
+                                n_cond_mp += 1
+                                cycles = mispredict_penalty
+                            if counter < 3:
+                                pred_counters[idx] = counter + 1
+                            pred_history = (
+                                (pred_history << 1) | 1
+                            ) & pred_hist_mask
+                            s = btb_sets[term_addr & btb_mask]
+                            stored = s.get(term_addr)
+                            if stored is None:
+                                n_btb_miss += 1
+                                s[term_addr] = target
+                                if len(s) > btb_ways:
+                                    del s[next(iter(s))]
+                                c.cycles += cycles + btb_miss_bubble
+                            else:
+                                del s[term_addr]
+                                s[term_addr] = target
+                                if stored == target:
+                                    c.cycles += cycles + taken_bubble
+                                else:
+                                    n_btb_mismatch += 1
+                                    c.cycles += cycles + btb_miss_bubble
+                            if lbr:
+                                proc.record_lbr(tid, term_addr, target)
+                            if kind == 3:
+                                continue
+                            # Cold outcome on a speculated-not-taken
+                            # guard: this BTB probe is not in the prefix,
+                            # and the deopt re-establishes the pc.
+                            thread.pc = target
+                            n_btb_probe += 1
+                            n_taken += 1
+                        else:
+                            if not correct:
+                                n_cond_mp += 1
+                                c.cycles += mispredict_penalty
+                            if counter > 0:
+                                pred_counters[idx] = counter - 1
+                            pred_history = (
+                                pred_history << 1
+                            ) & pred_hist_mask
+                            if kind == 4:
+                                continue
+                            thread.pc = next_addr
+                        # Deopt: count this guard live (the prefix covers
+                        # terminators strictly before the exit index).
+                        n_branches += 1
+                        n_cond += 1
+                        n_guard += 1
+                        branch_sum += 1
+                        n_guard_cold += 1
+                        hot_n = ent[0] if kind == 3 else ent[1] - ent[0]
+                        if ent[1] and hot_n < ent[1] * pop_threshold:
+                            sb_cache.pop(pc, None)
+                        exit_i = i
+                        break
+                    if kind == 0:  # statically-certain JMP
+                        to, term_addr = term
+                        s = btb_sets[term_addr & btb_mask]
+                        stored = s.get(term_addr)
+                        if stored is None:
+                            n_btb_miss += 1
+                            s[term_addr] = to
+                            if len(s) > btb_ways:
+                                del s[next(iter(s))]
+                            c.cycles += btb_miss_bubble
+                        else:
+                            del s[term_addr]
+                            s[term_addr] = to
+                            if stored == to:
+                                c.cycles += taken_bubble
+                            else:
+                                n_btb_mismatch += 1
+                                c.cycles += btb_miss_bubble
+                        if lbr:
+                            proc.record_lbr(tid, term_addr, to)
+                        continue
+                    if kind == 1:  # statically-certain direct CALL
+                        next_addr, to, term_addr = term
+                        sp = thread.sp - 8
+                        if sp < thread.stack_limit:
+                            # Re-establish the reference pc (== this run's
+                            # start) before surfacing the fault.
+                            thread.pc = run.start
+                            raise ExecutionError(
+                                f"stack overflow on thread {thread.tid}"
+                            )
+                        _U64.pack_into(
+                            thread._stack_data,
+                            sp - thread._stack_start,
+                            next_addr,
+                        )
+                        thread.sp = sp
+                        ras_stack.append(next_addr)
+                        if len(ras_stack) > ras.depth:
+                            del ras_stack[0]
+                        s = btb_sets[term_addr & btb_mask]
+                        stored = s.get(term_addr)
+                        if stored is None:
+                            n_btb_miss += 1
+                            s[term_addr] = to
+                            if len(s) > btb_ways:
+                                del s[next(iter(s))]
+                            c.cycles += btb_miss_bubble
+                        else:
+                            del s[term_addr]
+                            s[term_addr] = to
+                            if stored == to:
+                                c.cycles += taken_bubble
+                            else:
+                                n_btb_mismatch += 1
+                                c.cycles += btb_miss_bubble
+                        if lbr:
+                            proc.record_lbr(tid, term_addr, to)
+                        continue
+                    if kind == 5:  # chained RET (speculated return site)
+                        term_addr, snext, start, i = term
+                        sp = thread.sp
+                        if sp >= thread.stack_base:
+                            # Reference semantics leave the pc at the
+                            # halting run's start (interior stores are
+                            # elided, so re-establish it).
+                            thread.pc = start
+                            thread.state = halted
+                            exit_i = i
+                            break
+                        to = _U64.unpack_from(
+                            thread._stack_data, sp - thread._stack_start
+                        )[0]
+                        thread.sp = sp + 8
+                        predicted = ras_stack.pop() if ras_stack else None
+                        if predicted != to:
+                            n_ret_mp += 1
+                            c.cycles += mispredict_penalty + taken_bubble
+                        else:
+                            c.cycles += taken_bubble
+                        if lbr:
+                            proc.record_lbr(tid, term_addr, to)
+                        if to == snext:
+                            continue
+                        thread.pc = to
+                        n_branches += 1
+                        n_taken += 1
+                        n_ret += 1
+                        n_guard += 1
+                        branch_sum += 1
+                        n_guard_cold += 1
+                        exit_i = i
+                        break
+                    if kind == 2:  # SYSCALL (term is the slot)
+                        duration = behaviour.syscall_duration(term)
+                        c.cycles += duration
+                        c.cyc_idle += duration
+                        continue
+                    if kind == 6:  # final BR_COND
+                        site, invert, term_addr, target, next_addr, ent, snext = (
+                            term
+                        )
+                        pbp = branch_p[site]
+                        if pbp >= 0.0:
+                            condition = rng() < pbp
+                        else:
+                            count = counted_state.get(site, 0) + 1
+                            if count >= int(-pbp):
+                                condition = False
+                                counted_state[site] = 0
+                            else:
+                                condition = True
+                                counted_state[site] = count
+                        taken = (not condition) if invert else condition
+                        if trace_on:
+                            if taken:
+                                ent[0] += 1
+                            ent[1] += 1
+                            if ent[1] >= BIAS_CAP:
+                                ent[0] >>= 1
+                                ent[1] >>= 1
+                            if (
+                                (ent[1] & 15) == 0
+                                and snext is None
+                                and ent[1] >= min_samples
+                                and sb.n < max_chain
+                            ):
+                                need = ent[1] * bias_threshold
+                                if (
+                                    ent[0] >= need
+                                    or ent[1] - ent[0] >= need
+                                ):
+                                    sb_cache.pop(pc, None)
+                        n_branches += 1
+                        n_cond += 1
+                        idx = (term_addr ^ pred_history) & pred_mask
+                        counter = pred_counters[idx]
+                        correct = (counter >= 2) == taken
+                        if taken:
+                            if correct:
+                                cycles = 0.0
+                            else:
+                                n_cond_mp += 1
+                                cycles = mispredict_penalty
+                            if counter < 3:
+                                pred_counters[idx] = counter + 1
+                            pred_history = (
+                                (pred_history << 1) | 1
+                            ) & pred_hist_mask
+                            n_taken += 1
+                            n_btb_probe += 1
+                            s = btb_sets[term_addr & btb_mask]
+                            stored = s.get(term_addr)
+                            if stored is None:
+                                n_btb_miss += 1
+                                s[term_addr] = target
+                                if len(s) > btb_ways:
+                                    del s[next(iter(s))]
+                                c.cycles += cycles + btb_miss_bubble
+                            else:
+                                del s[term_addr]
+                                s[term_addr] = target
+                                if stored == target:
+                                    c.cycles += cycles + taken_bubble
+                                else:
+                                    n_btb_mismatch += 1
+                                    c.cycles += cycles + btb_miss_bubble
+                            if lbr:
+                                proc.record_lbr(tid, term_addr, target)
+                            thread.pc = target
+                        else:
+                            if not correct:
+                                n_cond_mp += 1
+                                c.cycles += mispredict_penalty
+                            if counter > 0:
+                                pred_counters[idx] = counter - 1
+                            pred_history = (
+                                pred_history << 1
+                            ) & pred_hist_mask
+                            thread.pc = next_addr
+                        branch_sum += 1
+                        break
+                    if kind == 7:  # final RET
+                        term_addr, start = term
+                        sp = thread.sp
+                        if sp >= thread.stack_base:
+                            thread.pc = start
+                            thread.state = halted
+                            break
+                        to = _U64.unpack_from(
+                            thread._stack_data, sp - thread._stack_start
+                        )[0]
+                        thread.sp = sp + 8
+                        n_branches += 1
+                        n_taken += 1
+                        n_ret += 1
+                        predicted = ras_stack.pop() if ras_stack else None
+                        if predicted != to:
+                            n_ret_mp += 1
+                            c.cycles += mispredict_penalty + taken_bubble
+                        else:
+                            c.cycles += taken_bubble
+                        if lbr:
+                            proc.record_lbr(tid, term_addr, to)
+                        thread.pc = to
+                        branch_sum += 1
+                        break
+                    # kind == 8: any other final terminator.  Interior
+                    # stores are elided, so re-establish the reference pc
+                    # (== this run's start) before dispatching: HALT
+                    # leaves the pc untouched and the indirect executors
+                    # may raise with it.
+                    thread.pc = run.start
+                    run.exec_term(interp, proc, fe, thread, run)
+                    if run.counts_branch:
+                        branch_sum += 1
+                    break
+                if exit_i < 0 and cut:
+                    # Budget cut: the sliced prefix ran to its end.  The
+                    # last executed run's hot terminator is NOT covered
+                    # by pre[cut-1] (terminator tallies lag one run), so
+                    # take fetch-level columns from pre[cut-1] and
+                    # terminator columns from pre[cut].
+                    thread.pc = sb.runs[cut].start
+                    e0, e1, e2, e3, _, _, _, _, _, _, _, e11 = (
+                        sb.pre[cut - 1]
+                    )
+                    _, _, _, _, e4, e5, e6, e7, e8, e9, e10, _ = sb.pre[cut]
+                    executed = cut
+                    budget = 0
+                else:
+                    # Flush the prefix tallies for the exit index (the
+                    # final run's index when the chain completed).
+                    e0, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11 = (
+                        sb.pre[exit_i]
+                    )
+                    executed = exit_i + 1 if exit_i >= 0 else sb.n
+                    budget -= executed
+                instr_sum += e0
+                n_instr_fused += e0
+                n_l1i_probe += e1
+                n_itlb_probe += e2
+                cyc_base_sum += e3
+                n_branches += e4
+                n_taken += e5
+                n_cond += e6
+                n_ret += e7
+                n_guard += e8
+                branch_sum += e9
+                n_btb_probe += e10
+                if e11:
+                    c.transactions += e11
+                runs_total += executed
+                continue
+            # ==== careful tier =========================================
+            # Budget may cut the chain mid-way, or a run's architectural
+            # extras may bump the epoch: every run re-checks both, and all
+            # tallies are counted live.
             epoch = interp._epoch
             dirty = False
             executed = 0
@@ -485,9 +1321,9 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                     )
                 elif run.fused_fetch:
                     line = run.first_line
+                    n_l1i_probe += 1
                     # L1i probe (spec: SetAssociativeCache.access).
                     if line == l1i.mru_line:
-                        n_l1i += 1
                         cycles = run.base_cycles
                     else:
                         s = l1i_sets[line & l1i_mask]
@@ -495,10 +1331,10 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                         if line in s:
                             del s[line]
                             s[line] = None
-                            n_l1i += 1
                             cycles = run.base_cycles
                         else:
                             l1i.misses += 1
+                            n_l1i_miss += 1
                             s[line] = None
                             if len(s) > l1i_ways:
                                 del s[next(iter(s))]
@@ -515,17 +1351,16 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                     # iTLB probe (internal tallies only; perf counters
                     # see misses alone, as in fetch_lines).
                     page = run.first_page
-                    if page == itlb.mru_line:
-                        n_itlb += 1
-                    else:
+                    n_itlb_probe += 1
+                    if page != itlb.mru_line:
                         s = itlb_sets[page & itlb_mask]
                         itlb.mru_line = page
                         if page in s:
                             del s[page]
                             s[page] = None
-                            n_itlb += 1
                         else:
                             itlb.misses += 1
+                            n_itlb_miss += 1
                             s[page] = None
                             if len(s) > itlb_ways:
                                 del s[next(iter(s))]
@@ -534,7 +1369,10 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                             c.cyc_itlb += penalty
                             cycles += penalty
                     n_instr_fused += n_instr
-                    c.cyc_base += run.base_cycles
+                    if base_exact:
+                        cyc_base_sum += run.base_cycles
+                    else:
+                        c.cyc_base += run.base_cycles
                     c.cycles += cycles
                 else:
                     # Line-/page-crossing run: the fetch_lines loops with
@@ -543,18 +1381,17 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                     cycles = run.base_cycles
                     line = run.first_line
                     last_line = run.last_line
+                    n_l1i_probe += last_line - line + 1
                     while True:
-                        if line == l1i.mru_line:
-                            n_l1i += 1
-                        else:
+                        if line != l1i.mru_line:
                             s = l1i_sets[line & l1i_mask]
                             l1i.mru_line = line
                             if line in s:
                                 del s[line]
                                 s[line] = None
-                                n_l1i += 1
                             else:
                                 l1i.misses += 1
+                                n_l1i_miss += 1
                                 s[line] = None
                                 if len(s) > l1i_ways:
                                     del s[next(iter(s))]
@@ -573,18 +1410,17 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                         line += 1
                     page = run.first_page
                     last_page = run.last_page
+                    n_itlb_probe += last_page - page + 1
                     while True:
-                        if page == itlb.mru_line:
-                            n_itlb += 1
-                        else:
+                        if page != itlb.mru_line:
                             s = itlb_sets[page & itlb_mask]
                             itlb.mru_line = page
                             if page in s:
                                 del s[page]
                                 s[page] = None
-                                n_itlb += 1
                             else:
                                 itlb.misses += 1
+                                n_itlb_miss += 1
                                 s[page] = None
                                 if len(s) > itlb_ways:
                                     del s[next(iter(s))]
@@ -596,24 +1432,25 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                             break
                         page += 1
                     n_instr_fused += n_instr
-                    c.cyc_base += run.base_cycles
+                    if base_exact:
+                        cyc_base_sum += run.base_cycles
+                    else:
+                        c.cyc_base += run.base_cycles
                     c.cycles += cycles
                 # --- backend (per-run stall memoization) --------------
                 if run.mem_counts:
-                    mult = controller._multiplier
-                    if run.stall_costs is backend.class_costs and run.stall_mult == mult:
-                        c.dram_requests += run.dram
+                    if run.stall_token == memo_token:
+                        dram_sum += run.dram
                         c.cyc_backend += run.stall
                         c.cycles += run.stall
                     else:
                         # Same (costs, multiplier) inputs always produce
                         # the same floats, so caching is bit-exact.
                         stall, dram = backend.stall_cycles(run.mem_counts)
-                        run.stall_costs = backend.class_costs
-                        run.stall_mult = mult
+                        run.stall_token = memo_token
                         run.stall = stall
                         run.dram = dram
-                        c.dram_requests += dram
+                        dram_sum += dram
                         c.cyc_backend += stall
                         c.cycles += stall
 
@@ -648,6 +1485,138 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                 if run.static_next is not None and not (executed >= budget or dirty):
                     # Interior chainable terminator, inlined by kind.
                     kind = run.interior_kind
+                    if kind == INTERIOR_GUARD:
+                        # Deopt guard (spec: step + branch_cond + gshare —
+                        # identical to the fk == 0 final below in both
+                        # directions).  The real condition is evaluated
+                        # in-chain: the hot outcome continues inside the
+                        # superblock, the cold outcome deopts to the
+                        # dispatcher with the pc already on the cold path.
+                        site = run.term_site
+                        pbp = branch_p[site]
+                        if pbp >= 0.0:
+                            condition = rng() < pbp
+                        else:
+                            # Counted branch: true on executions 1..k-1,
+                            # false on the k-th.
+                            count = counted_state.get(site, 0) + 1
+                            if count >= int(-pbp):
+                                condition = False
+                                counted_state[site] = 0
+                            else:
+                                condition = True
+                                counted_state[site] = count
+                        taken = (not condition) if run.term_invert else condition
+                        # Sampled bias update (see the fast tier for the
+                        # estimator argument; the cadence counter is
+                        # shared across tiers so the sampling rate is
+                        # uniform regardless of which tier executes).
+                        guard_tick += 1
+                        if guard_tick & 15 == 0:
+                            ent = run.bias_ent
+                            if taken:
+                                ent[0] += 16
+                            ent[1] += 16
+                            if ent[1] >= BIAS_CAP:
+                                ent[0] >>= 1
+                                ent[1] >>= 1
+                        term_addr = run.term_addr
+                        n_branches += 1
+                        n_cond += 1
+                        n_guard += 1
+                        idx = (term_addr ^ pred_history) & pred_mask
+                        counter = pred_counters[idx]
+                        correct = (counter >= 2) == taken
+                        if taken:
+                            if correct:
+                                cycles = 0.0
+                            else:
+                                n_cond_mp += 1
+                                cycles = mispredict_penalty
+                            if counter < 3:
+                                pred_counters[idx] = counter + 1
+                            pred_history = (
+                                (pred_history << 1) | 1
+                            ) & pred_hist_mask
+                            to = run.term_target
+                            n_taken += 1
+                            n_btb_probe += 1
+                            s = btb_sets[term_addr & btb_mask]
+                            stored = s.get(term_addr)
+                            if stored is None:
+                                n_btb_miss += 1
+                                s[term_addr] = to
+                                if len(s) > btb_ways:
+                                    del s[next(iter(s))]
+                                c.cycles += cycles + btb_miss_bubble
+                            else:
+                                del s[term_addr]
+                                s[term_addr] = to
+                                if stored == to:
+                                    c.cycles += cycles + taken_bubble
+                                else:
+                                    n_btb_mismatch += 1
+                                    c.cycles += cycles + btb_miss_bubble
+                            if lbr:
+                                proc.record_lbr(tid, term_addr, to)
+                            thread.pc = to
+                        else:
+                            if not correct:
+                                n_cond_mp += 1
+                                c.cycles += mispredict_penalty
+                            if counter > 0:
+                                pred_counters[idx] = counter - 1
+                            pred_history = (pred_history << 1) & pred_hist_mask
+                            thread.pc = run.next_addr
+                        branch_sum += 1
+                        if taken == run.guard_taken:
+                            continue
+                        # Cold outcome: deopt.  The pc already points at
+                        # the cold successor, so abandoning the chain here
+                        # is indistinguishable from single-run execution.
+                        # If the site's observed bias no longer supports
+                        # the speculated direction, drop the containing
+                        # superblock so the next dispatch re-forms it
+                        # against the current profile.
+                        n_guard_cold += 1
+                        ent = run.bias_ent
+                        hot_n = ent[0] if run.guard_taken else ent[1] - ent[0]
+                        if ent[1] and hot_n < ent[1] * pop_threshold:
+                            sb_cache.pop(pc, None)
+                        break
+                    if kind == INTERIOR_RET:
+                        # Guarded return (spec: step + branch_ret + RAS —
+                        # identical to the fk == 1 final below).  The real
+                        # stack is popped; formation's virtual call stack
+                        # guarantees the popped address matches the chain,
+                        # but the guard re-checks and deopts on mismatch so
+                        # correctness never rests on that argument.
+                        sp = thread.sp
+                        if sp >= thread.stack_base:
+                            thread.state = halted
+                            break
+                        to = _U64.unpack_from(
+                            thread._stack_data, sp - thread._stack_start
+                        )[0]
+                        thread.sp = sp + 8
+                        n_branches += 1
+                        n_taken += 1
+                        n_ret += 1
+                        n_guard += 1
+                        predicted = ras_stack.pop() if ras_stack else None
+                        if predicted != to:
+                            n_ret_mp += 1
+                            c.cycles += mispredict_penalty + taken_bubble
+                        else:
+                            c.cycles += taken_bubble
+                        if lbr:
+                            proc.record_lbr(tid, run.term_addr, to)
+                        thread.pc = to
+                        branch_sum += 1
+                        if to == run.static_next:
+                            continue
+                        n_guard_cold += 1
+                        break
                     if kind == INTERIOR_SYSCALL:
                         duration = behaviour.syscall_duration(run.term_slot)
                         c.cycles += duration
@@ -672,28 +1641,23 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                     term_addr = run.term_addr
                     n_branches += 1
                     n_taken += 1
+                    n_btb_probe += 1
                     # BTB probe (spec: BranchTargetBuffer.lookup_update).
                     s = btb_sets[term_addr & btb_mask]
                     stored = s.get(term_addr)
                     if stored is None:
-                        btb.misses += 1
+                        n_btb_miss += 1
                         s[term_addr] = to
                         if len(s) > btb_ways:
                             del s[next(iter(s))]
-                        c.btb_misses += 1
-                        c.cyc_btb += btb_miss_bubble
                         c.cycles += btb_miss_bubble
                     else:
                         del s[term_addr]
                         s[term_addr] = to
-                        btb.hits += 1
                         if stored == to:
-                            c.cyc_taken += taken_bubble
                             c.cycles += taken_bubble
                         else:
-                            btb.target_mismatches += 1
-                            c.btb_misses += 1
-                            c.cyc_btb += btb_miss_bubble
+                            n_btb_mismatch += 1
                             c.cycles += btb_miss_bubble
                     if lbr:
                         proc.record_lbr(tid, term_addr, to)
@@ -721,6 +1685,36 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                             condition = True
                             counted_state[site] = count
                     taken = (not condition) if run.term_invert else condition
+                    if trace_on:
+                        # Train the per-site bias profile that trace
+                        # formation consults (policy input, not state).
+                        ent = run.bias_ent
+                        if taken:
+                            ent[0] += 1
+                        ent[1] += 1
+                        if ent[1] >= BIAS_CAP:
+                            ent[0] >>= 1
+                            ent[1] >>= 1
+                        # Chain upgrade: this chain genuinely ends at an
+                        # unguarded conditional (not a guard cut short by
+                        # the budget, not the chain cap).  Once the site's
+                        # bias matures past the threshold, drop the chain
+                        # so the next dispatch re-forms it with a deopt
+                        # guard through this branch.  Each upgrade strictly
+                        # lengthens the chain, so re-formation terminates.
+                        # Subsampled 1-in-16 (unbiased sites would pay the
+                        # threshold comparison forever); the tally grows by
+                        # one per execution, so maturing sites still hit
+                        # the gate within 16 executions.
+                        if (
+                            (ent[1] & 15) == 0
+                            and run.static_next is None
+                            and ent[1] >= min_samples
+                            and len(sb.runs) < max_chain
+                        ):
+                            need = ent[1] * bias_threshold
+                            if ent[0] >= need or ent[1] - ent[0] >= need:
+                                sb_cache.pop(pc, None)
                     term_addr = run.term_addr
                     n_branches += 1
                     n_cond += 1
@@ -731,45 +1725,36 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                         if correct:
                             cycles = 0.0
                         else:
-                            pred.mispredictions += 1
-                            c.cond_mispredicts += 1
-                            c.cyc_badspec += mispredict_penalty
+                            n_cond_mp += 1
                             cycles = mispredict_penalty
                         if counter < 3:
                             pred_counters[idx] = counter + 1
                         pred_history = ((pred_history << 1) | 1) & pred_hist_mask
                         to = run.term_target
                         n_taken += 1
+                        n_btb_probe += 1
                         s = btb_sets[term_addr & btb_mask]
                         stored = s.get(term_addr)
                         if stored is None:
-                            btb.misses += 1
+                            n_btb_miss += 1
                             s[term_addr] = to
                             if len(s) > btb_ways:
                                 del s[next(iter(s))]
-                            c.btb_misses += 1
-                            c.cyc_btb += btb_miss_bubble
                             c.cycles += cycles + btb_miss_bubble
                         else:
                             del s[term_addr]
                             s[term_addr] = to
-                            btb.hits += 1
                             if stored == to:
-                                c.cyc_taken += taken_bubble
                                 c.cycles += cycles + taken_bubble
                             else:
-                                btb.target_mismatches += 1
-                                c.btb_misses += 1
-                                c.cyc_btb += btb_miss_bubble
+                                n_btb_mismatch += 1
                                 c.cycles += cycles + btb_miss_bubble
                         if lbr:
                             proc.record_lbr(tid, term_addr, to)
                         thread.pc = to
                     else:
                         if not correct:
-                            pred.mispredictions += 1
-                            c.cond_mispredicts += 1
-                            c.cyc_badspec += mispredict_penalty
+                            n_cond_mp += 1
                             c.cycles += mispredict_penalty
                         if counter > 0:
                             pred_counters[idx] = counter - 1
@@ -790,13 +1775,10 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
                     n_ret += 1
                     predicted = ras_stack.pop() if ras_stack else None
                     if predicted != to:
-                        ras.mispredictions += 1
-                        c.ret_mispredicts += 1
-                        c.cyc_badspec += mispredict_penalty
+                        n_ret_mp += 1
                         c.cycles += mispredict_penalty + taken_bubble
                     else:
                         c.cycles += taken_bubble
-                    c.cyc_taken += taken_bubble
                     if lbr:
                         proc.record_lbr(tid, run.term_addr, to)
                     thread.pc = to
@@ -821,11 +1803,51 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
             c.branches += n_branches
         if n_taken:
             c.taken_branches += n_taken
-        if n_l1i:
-            l1i.hits += n_l1i
-            c.l1i_hits += n_l1i
-        if n_itlb:
-            itlb.hits += n_itlb
+        n_btb_hit = n_btb_probe - n_btb_miss
+        if n_btb_hit:
+            btb.hits += n_btb_hit
+        if n_btb_miss:
+            btb.misses += n_btb_miss
+        if n_btb_mismatch:
+            btb.target_mismatches += n_btb_mismatch
+        n_bm = n_btb_miss + n_btb_mismatch
+        if n_bm:
+            c.btb_misses += n_bm
+            if float(btb_miss_bubble).is_integer():
+                c.cyc_btb += btb_miss_bubble * n_bm
+            else:
+                _add_const(c, "cyc_btb", btb_miss_bubble, n_bm)
+        if n_cond_mp:
+            pred.mispredictions += n_cond_mp
+            c.cond_mispredicts += n_cond_mp
+        if n_ret_mp:
+            ras.mispredictions += n_ret_mp
+            c.ret_mispredicts += n_ret_mp
+        n_mp = n_cond_mp + n_ret_mp
+        if n_mp:
+            if float(mispredict_penalty).is_integer():
+                c.cyc_badspec += mispredict_penalty * n_mp
+            else:
+                _add_const(c, "cyc_badspec", mispredict_penalty, n_mp)
+        # Every taken-bubble event is either a BTB hit with a matching
+        # target or a (non-halting) return, so the count is derived.
+        n_cyc_taken = n_btb_hit - n_btb_mismatch + n_ret
+        if n_cyc_taken:
+            if float(taken_bubble).is_integer():
+                c.cyc_taken += taken_bubble * n_cyc_taken
+            else:
+                _add_const(c, "cyc_taken", taken_bubble, n_cyc_taken)
+        if dram_sum:
+            c.dram_requests += dram_sum
+        if cyc_base_sum:
+            c.cyc_base += cyc_base_sum
+        n_l1i_hit = n_l1i_probe - n_l1i_miss
+        if n_l1i_hit:
+            l1i.hits += n_l1i_hit
+            c.l1i_hits += n_l1i_hit
+        n_itlb_hit = n_itlb_probe - n_itlb_miss
+        if n_itlb_hit:
+            itlb.hits += n_itlb_hit
         if n_instr_fused:
             c.instructions += n_instr_fused
         if instr_sum:
@@ -836,3 +1858,5 @@ def run_superblock_quantum(interp, thread, n_runs: int) -> None:
             obs.superblocks += sb_count
             obs.instructions += instr_sum
             obs.branches += branch_sum
+            obs.guards += n_guard
+            obs.guard_exits += n_guard_cold

@@ -424,6 +424,43 @@ class TestScheduler:
         finally:
             obs.disable()
 
+    def test_wall_timings_recorded_serial_and_parallel(self):
+        for jobs in (1, 3):
+            sched = Scheduler(jobs=jobs)
+            sched.run(_chain_graph(3))
+            names = sorted(t.name for t in sched.last_timings)
+            assert names == sorted(_chain_graph(3).tasks)
+            assert all(t.seconds >= 0.0 for t in sched.last_timings)
+            by_name = {t.name: t for t in sched.last_timings}
+            assert by_name["c0:measure"].deps == ("c0:build", "c0:opt")
+            assert by_name["c0:measure"].stage == "measure"
+
+    def test_stage_summary_and_critical_path(self):
+        from repro.engine.scheduler import TaskTiming, critical_path, stage_summary
+
+        timings = [
+            TaskTiming("c0:build", 1.0),
+            TaskTiming("c0:measure", 2.0, ("c0:build",)),
+            TaskTiming("c1:build", 5.0),
+            TaskTiming("c1:measure", 0.5, ("c1:build",)),
+        ]
+        rows = stage_summary(timings)
+        assert rows[0] == ("build", 2, 6.0, 5.0)  # heaviest stage first
+        assert rows[1] == ("measure", 2, 2.5, 2.0)
+        chain = critical_path(timings)
+        assert [t.name for t in chain] == ["c1:build", "c1:measure"]
+
+    def test_timings_persisted_to_disk_cache(self, tmp_path, fresh_engine):
+        from repro.engine.scheduler import load_timings
+        from repro.engine.store import configure
+
+        cache = str(tmp_path / "cache")
+        configure(cache_dir=cache)
+        Scheduler(jobs=1).run(_chain_graph(2))
+        loaded = load_timings(cache)
+        assert sorted(t.name for t in loaded) == sorted(_chain_graph(2).tasks)
+        assert load_timings(str(tmp_path / "missing")) == []
+
 
 # ---------------------------------------------------------------------------
 # cells: caching, parallel determinism, warm-store behaviour

@@ -220,6 +220,118 @@ def test_midrun_code_patch_invalidates_chains():
     assert fast != fast_unpatched
 
 
+def test_bias_flip_mid_run_bit_identical():
+    """Invert the workload's branch mix after guarded chains have trained:
+    the speculated directions go cold, chains must deopt, drop, and
+    re-form for the new bias — with every counter still bit-identical to
+    the reference stepper across the whole flip."""
+    workload = memcached_like()
+    spec = memcached_inputs(workload)["set10_get90"]
+    # Mirror-image input: theta and the op mix both inverted, so branch
+    # sites trained hot under ``spec`` flip direction.
+    flipped = workload.make_input(
+        "flipped", theta=0.88, op_mix={"get_op": 1.0, "set_op": 9.0}
+    )
+
+    ref, fast = _run_pair(
+        workload, spec, txns=2000, mid=lambda proc: proc.set_input(flipped)
+    )
+    _assert_identical(ref, fast)
+
+    # The flip visibly exercises the deopt machinery: guard exits climb
+    # faster after the shift than during warmed-up steady state before it.
+    proc = _launch(workload, spec, n_threads=4, seed=1612, superblocks=True)
+    bag = VMCounters()
+    proc.interpreter.set_observer(bag)
+    proc.run(max_transactions=1000)
+    warm_guards, warm_exits = bag.guards, bag.guard_exits
+    proc.run(max_transactions=1000)
+    steady_exits = bag.guard_exits - warm_exits
+    pre_flip = bag.guard_exits
+    proc.set_input(flipped)
+    proc.run(max_transactions=1000)
+    flip_exits = bag.guard_exits - pre_flip
+    assert warm_guards > 0 and warm_exits > 0
+    assert flip_exits > steady_exits  # the flip forced extra deopts
+
+
+def test_guarded_successor_patch_invalidates_mid_quantum():
+    """An executable write landing while guarded chains are live (the wrap
+    hook fires from inside an executing run) must drop speculated chains
+    exactly like statically-certain ones: the next dispatch re-forms from
+    fresh decode, bit-identical to the reference stepper."""
+    from repro.vm.superblock import STEP_GUARD_NOT_TAKEN, STEP_GUARD_TAKEN
+
+    workload = memcached_like()
+    spec = memcached_inputs(workload)["set10_get90"]
+    seen = []
+
+    def mid(proc):
+        entry_addr = proc.binary.symbol(proc.binary.entry)
+        interp = proc.interpreter
+
+        def hook(func_addr):
+            cache = interp._sb_cache
+            guarded = sum(
+                1
+                for sb in cache.values()
+                for step in sb.steps
+                if step[6] in (STEP_GUARD_TAKEN, STEP_GUARD_NOT_TAKEN)
+            )
+            data = proc.address_space.read(entry_addr, 4)
+            proc.address_space.write(entry_addr, data)  # real code write
+            seen.append((interp.use_superblocks, guarded, len(interp._sb_cache)))
+            return func_addr
+
+        proc.set_wrap_hook(hook)
+
+    ref, fast = _run_pair(workload, spec, txns=1600, mid=mid)
+    _assert_identical(ref, fast)
+    fast_firings = [s for s in seen if s[0]]
+    assert fast_firings, "wrap hook never fired under the superblock stepper"
+    # At least one write landed while a guarded chain was cached, and
+    # every write left the cache empty (guarded chains dropped too).
+    assert any(guarded > 0 for _, guarded, _ in fast_firings)
+    assert all(left == 0 for _, _, left in fast_firings)
+
+
+def test_formation_races_longjmp_target():
+    """setjmp/longjmp workloads: chains form through call frames that a
+    longjmp later unwinds, so speculated return sites (chained RETs) go
+    stale and must deopt through the side exit; formation also restarts at
+    longjmp targets that sit mid-chain.  Everything stays bit-identical."""
+    workload = build_workload(
+        WorkloadParams(
+            name="longjmp_race",
+            n_work_functions=48,
+            n_utility_functions=12,
+            n_callback_functions=8,
+            n_op_types=4,
+            steps_per_op=(8, 16),
+            n_subsystems=3,
+            parse_blocks=8,
+            vcall_step_fraction=0.0,
+            n_jmpbufs=3,
+            syscall_cycles=90.0,
+            n_threads=2,
+            scale=1.0,
+            seed=906,
+            dispatch_mode="switch",
+        )
+    )
+    mix = {op: 1.0 + i % 3 for i, op in enumerate(workload.op_names)}
+    spec = workload.make_input("race", theta=0.3, op_mix=mix, seed=906)
+    ref, fast = _run_pair(workload, spec, n_threads=2, seed=906, txns=800)
+    _assert_identical(ref, fast)
+
+    proc = _launch(workload, spec, n_threads=2, seed=906, superblocks=True)
+    bag = VMCounters()
+    proc.interpreter.set_observer(bag)
+    proc.run(max_transactions=800)
+    assert bag.guards > 0  # speculation engaged despite longjmp traffic
+    assert bag.runs > bag.superblocks
+
+
 def test_wrap_hook_code_write_breaks_chain_mid_quantum():
     """A code write issued *by an executing run* (wrap hook on MKFP, the
     ``wrapFuncPtrCreation`` path) bumps the epoch mid-chain; the dispatcher
