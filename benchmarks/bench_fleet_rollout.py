@@ -1,0 +1,112 @@
+"""Fleet rollout SLO: measured drain-vs-unaware canary deployments.
+
+Extends ``bench_cluster_rollout`` (the closed-form §IV-D model) with the
+real thing: N VM replicas behind the deterministic router walk through the
+full profile → background BOLT → canary → fleet-wide install pipeline, and
+the tail-latency series is measured from served traffic rather than
+predicted.  The analytic model is re-run on the *measured* phase rates as a
+cross-check; ``tests/test_fleet.py::TestAnalyticModel`` enforces the
+agreement band (~±30% on worst/baseline shape, direction always).
+
+``benchmarks/data/fleet_rollout.json`` is the committed record: both
+measured policies, the analytic prediction on the same clock, the shape
+comparison, and a replayed event-log digest proving the rollout reproduces
+from its seed alone.
+
+Modes:
+    Full run:   pytest benchmarks/bench_fleet_rollout.py --benchmark-only
+    Smoke run:  BENCH_SMOKE=1 pytest ... (CI: 2 replicas)
+    JSON out:   BENCH_JSON_OUT=path.json pytest ... (payload artifact)
+"""
+
+import json
+import os
+
+from repro.fleet.bench import run_fleet_rollout_bench
+from repro.harness.reporting import format_table, publish_bench_rows
+from repro.fleet.controller import FleetSloRow
+
+#: The pause-aware balancer must keep the worst tail at least this factor
+#: below the unaware rollout's (paper §IV-D; measured ~3.4x on memcached).
+MIN_DRAIN_ADVANTAGE = 1.5
+
+
+def bench_fleet_rollout(once):
+    smoke = os.environ.get("BENCH_SMOKE") == "1"
+    payload = once(
+        run_fleet_rollout_bench,
+        "memcached",
+        n_replicas=2 if smoke else 3,
+        seed=2024,
+    )
+
+    print()
+    rows = []
+    for policy in ("drain", "unaware"):
+        m = payload["measured"][policy]
+        a = payload["analytic"][policy]
+        rows.append(
+            [policy, m["status"],
+             f"{m['baseline_p99_ms']:.2f}", f"{m['worst_p99_ms']:.2f}",
+             f"{m['steady_p99_ms']:.2f}", f"{a['worst_p99']:.2f}",
+             f"{m['error_rate']:.2%}", m["rollbacks"]]
+        )
+    print(
+        format_table(
+            ["policy", "status", "baseline p99", "worst p99 (measured)",
+             "steady p99", "worst p99 (analytic)", "errors", "rollbacks"],
+            rows,
+            title=f"fleet rollout, memcached x{payload['config']['n_replicas']}"
+                  " replicas (ms, fleet clock)",
+        )
+    )
+    shape = payload["shape"]
+    print(
+        f"unaware/drain worst-tail ratio: measured "
+        f"{shape['measured_unaware_over_drain_worst']:.2f}x, analytic "
+        f"{shape['analytic_unaware_over_drain_worst']:.2f}x"
+    )
+
+    drain = payload["measured"]["drain"]
+    unaware = payload["measured"]["unaware"]
+    # Both policies complete the rollout cleanly on a fault-free fleet.
+    assert drain["status"] == unaware["status"] == "optimized"
+    assert drain["error_rate"] == 0.0 and drain["rollbacks"] == 0
+    # Drain's whole point: a strictly smaller worst-case tail.
+    assert drain["worst_p99_ms"] * MIN_DRAIN_ADVANTAGE <= unaware["worst_p99_ms"]
+    # Analytic model agrees on the direction of that separation.
+    assert shape["analytic_unaware_over_drain_worst"] > 1.0
+    # The committed record must be reproducible from its seed.
+    assert payload["replayed_from_seed"] is True
+
+    publish_bench_rows("fleet", _slo_rows(drain) + _slo_rows(unaware))
+
+    out = os.environ.get("BENCH_JSON_OUT")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+
+
+def _slo_rows(m):
+    """Rebuild SLO gauge rows from a serialized outcome dict."""
+    return [
+        FleetSloRow(
+            policy=m["policy"],
+            status=m["status"],
+            replicas=len(m["replicas"]),
+            baseline_p99_ms=m["baseline_p99_ms"],
+            worst_p99_ms=m["worst_p99_ms"],
+            steady_p99_ms=m["steady_p99_ms"],
+            tps_original=m["rates"].get("tps_original", 0.0),
+            tps_optimized=m["rates"].get("tps_optimized", 0.0),
+            canary_speedup=float(m["canary"].get("speedup", 0.0)),
+            error_rate=m["error_rate"],
+            requests_routed=m["requests_routed"],
+            requests_lost=m["requests_lost"],
+            rollbacks=m["rollbacks"],
+            retries=m["retries"],
+            faults_injected=m["faults_injected"],
+            generation_skew=m["generation_skew"],
+        )
+    ]

@@ -8,7 +8,9 @@ Examples::
     python -m repro quickstart           # one OCOLOS cycle on MySQL-like
     python -m repro fig 5 --transactions 300
     python -m repro run-pipeline --trace-out trace.json --metrics-out m.json
+    python -m repro fleet run --replicas 3 --fault bolt.crash
     python -m repro obs view trace.jsonl # text timeline of a saved trace
+    python -m repro engine stats --artifact-cache .cache --what-if-stealing
 
 Experiment output is the same row/series text the benchmark suite prints;
 heavy figures can take minutes (they execute the full pipelines in the VM).
@@ -294,6 +296,91 @@ def _obs_view(args) -> int:
     return 0
 
 
+def _parse_fault(text: str):
+    """Parse a ``--fault`` spec: ``site[:node][:times|persistent]``.
+
+    Examples: ``bolt.crash``, ``replica.slow:2``, ``bolt.crash::persistent``,
+    ``patch.mid_replace:1:2``.
+    """
+    from repro.fleet import PERSISTENT, FaultSpec
+
+    parts = text.split(":")
+    if len(parts) > 3:
+        raise argparse.ArgumentTypeError(f"unparseable fault spec {text!r}")
+    site = parts[0]
+    node = None
+    times = 1
+    try:
+        if len(parts) > 1 and parts[1]:
+            node = int(parts[1])
+        if len(parts) > 2 and parts[2]:
+            times = PERSISTENT if parts[2] == "persistent" else int(parts[2])
+        return FaultSpec(site=site, node=node, times=times)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad fault spec {text!r}: {exc}") from None
+
+
+def _fleet_run(args) -> int:
+    """One supervised canary rollout over a real replica fleet."""
+    from repro.engine.cells import workload_bundle
+    from repro.fleet import FaultPlan, FleetConfig, FleetController
+    from repro.harness.reporting import publish_bench_rows
+
+    bundle = workload_bundle(args.workload)
+    input_name = args.input or bundle.eval_inputs[0]
+    if input_name not in bundle.inputs:
+        print(
+            f"error: unknown input {input_name!r} for {args.workload} "
+            f"(have: {', '.join(sorted(bundle.inputs))})",
+            file=sys.stderr,
+        )
+        return 1
+    config = FleetConfig(
+        n_replicas=args.replicas,
+        seed=args.seed,
+        drain=args.policy == "drain",
+        optimize=not args.no_optimize,
+        pessimize_layout=args.pessimize_layout,
+    )
+    plan = FaultPlan(args.fault) if args.fault else None
+    _log.info(
+        "fleet.start", workload=args.workload, input=input_name,
+        replicas=args.replicas, policy=args.policy, seed=args.seed,
+        faults=len(args.fault or ()),
+    )
+    controller = FleetController(bundle.workload, bundle.inputs[input_name],
+                                 config, plan)
+    outcome = controller.run()
+    publish_bench_rows("fleet", outcome.slo_rows())
+
+    print(
+        format_table(
+            ["node", "state", "generation", "degraded", "requests lost"],
+            [
+                [r["node"], r["state"], r["generation"],
+                 "yes" if r["degraded"] else "", r["requests_lost"]]
+                for r in outcome.replicas
+            ],
+            title=f"fleet: {args.workload}/{input_name} x{args.replicas}, "
+                  f"{outcome.policy} policy",
+        )
+    )
+    canary = outcome.canary.get("speedup")
+    print(
+        f"\nstatus {outcome.status} | p99 {outcome.baseline_p99_ms:.2f} -> "
+        f"{outcome.worst_p99_ms:.2f} -> {outcome.steady_p99_ms:.2f} ms | "
+        f"canary {f'{canary:.3f}x' if canary else 'n/a'} | "
+        f"errors {outcome.error_rate:.2%} | "
+        f"rollbacks {outcome.rollbacks}, retries {outcome.retries}, "
+        f"faults {outcome.faults_injected}"
+    )
+    if outcome.events is not None:
+        print(f"event log: {len(outcome.events.events)} events, "
+              f"replay digest {outcome.events.replay_digest()[:16]} "
+              f"(seed {args.seed})")
+    return 0
+
+
 def _print_task_timings(cache_dir: str) -> None:
     """Per-stage cost profile and critical path of the last sweep run
     against this cache (recorded by the scheduler; absent until a sweep
@@ -322,9 +409,55 @@ def _print_task_timings(cache_dir: str) -> None:
         print(f"  {t.seconds:8.3f}s  {t.name}")
 
 
+def _what_if_stealing(cache_dir: str, jobs: Optional[int]) -> int:
+    """Estimate task-granular work stealing's payoff from recorded timings."""
+    from repro.engine.scheduler import load_timings, recorded_jobs, what_if_stealing
+
+    timings = load_timings(cache_dir)
+    if not timings:
+        print(
+            "error: no scheduler timing record in this cache — run a sweep "
+            "with --artifact-cache pointing here first",
+            file=sys.stderr,
+        )
+        return 1
+    estimate = what_if_stealing(timings, jobs or recorded_jobs(cache_dir))
+    print(
+        format_table(
+            ["schedule", "makespan s"],
+            [
+                ["current (cell-granular)", f"{estimate.current_seconds:.3f}"],
+                ["ideal task stealing", f"{estimate.stealing_seconds:.3f}"],
+                ["lower bound", f"{estimate.lower_bound_seconds:.3f}"],
+            ],
+            title=f"what-if: task stealing over {estimate.jobs} workers "
+                  f"({estimate.tasks} tasks in {estimate.components} cells)",
+        )
+    )
+    print(f"\npredicted gain from stealing: {estimate.predicted_gain:.3f}x")
+    if estimate.predicted_gain < 1.05:
+        print("verdict: cell-granular dispatch is within 5% of ideal "
+              "stealing on this record — not worth the migration machinery")
+    else:
+        print("verdict: stealing would pay off on this record — cells are "
+              "imbalanced enough to leave workers idle")
+    return 0
+
+
 def _engine_stats(args) -> int:
     """Print artifact-store statistics (and disk-cache contents if bound)."""
     from repro.engine.store import store
+
+    if getattr(args, "what_if_stealing", False):
+        cache_dir = getattr(args, "artifact_cache", None)
+        if not cache_dir:
+            print(
+                "error: --what-if-stealing needs --artifact-cache DIR "
+                "(the timing record lives in the disk cache)",
+                file=sys.stderr,
+            )
+            return 1
+        return _what_if_stealing(cache_dir, getattr(args, "jobs", None))
 
     st = store()
     if st.disk is not None:
@@ -513,6 +646,49 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("number", type=int, choices=sorted(TABLES))
     table.add_argument("--transactions", type=int, default=500)
 
+    fleet = sub.add_parser("fleet", help="fleet serving control plane")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run",
+        help="supervised canary OCOLOS rollout over N real replicas",
+        parents=[obs_flags, engine_flags, vm_flags],
+    )
+    fleet_run.add_argument(
+        "--workload", default="memcached",
+        help="workload bundle name (default: memcached)",
+    )
+    fleet_run.add_argument(
+        "--input", default=None,
+        help="input spec name (default: the bundle's first eval input)",
+    )
+    fleet_run.add_argument(
+        "--replicas", type=int, default=3, help="fleet size (default 3)",
+    )
+    fleet_run.add_argument(
+        "--seed", type=int, default=2024,
+        help="seed for traffic + event log (rollouts replay from it)",
+    )
+    fleet_run.add_argument(
+        "--policy", choices=("drain", "unaware"), default="drain",
+        help="balancer policy: drain nodes before pausing them, or leave "
+             "the balancer unaware of the rollout (default: drain)",
+    )
+    fleet_run.add_argument(
+        "--fault", metavar="SITE[:NODE][:TIMES]", type=_parse_fault,
+        action="append", default=None,
+        help="arm a fault (repeatable); TIMES is a count or 'persistent', "
+             "e.g. bolt.crash, replica.slow:2, patch.mid_replace::persistent",
+    )
+    fleet_run.add_argument(
+        "--pessimize-layout", action="store_true",
+        help="feed BOLT an inverted profile so the canary measures a real "
+             "regression and the rollout auto-rolls-back (demo/testing)",
+    )
+    fleet_run.add_argument(
+        "--no-optimize", action="store_true",
+        help="serve only: skip the rollout pipeline (baseline runs)",
+    )
+
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     view = obs_sub.add_parser("view", help="render a saved trace as a text timeline")
@@ -527,6 +703,17 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--artifact-cache", metavar="DIR", default=None,
         help="disk cache directory to inspect",
+    )
+    stats.add_argument(
+        "--what-if-stealing", action="store_true",
+        help="estimate, from the cache's recorded sweep timings, what "
+             "task-granular work stealing would buy over the current "
+             "cell-granular dispatch",
+    )
+    stats.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker count for the what-if estimate (default: the jobs "
+             "value recorded with the timings)",
     )
     gc = eng_sub.add_parser(
         "gc", help="evict least-recently-used artifacts to fit a size cap"
@@ -609,7 +796,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "list":
             print("figures : " + ", ".join(f"fig {n}" for n in sorted(FIGS)))
             print("tables  : " + ", ".join(f"table {n}" for n in sorted(TABLES)))
-            print("other   : quickstart, run-pipeline, obs view")
+            print("other   : quickstart, run-pipeline, fleet run, obs view")
             print("\nfig 10 (BAM) and the ablations run via the benchmark suite:")
             print("  pytest benchmarks/ --benchmark-only")
             return 0
@@ -629,6 +816,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             TABLES[args.number](args)
             _log.info("experiment.done", kind="table", number=args.number)
             return 0
+        if args.command == "fleet":
+            return _fleet_run(args)
         if args.command == "obs":
             return _obs_view(args)
         if args.command == "engine":

@@ -42,8 +42,10 @@ _EXPORTS = {
     # scheduler
     "Scheduler": ".scheduler",
     "SchedulerError": ".scheduler",
+    "StealingEstimate": ".scheduler",
     "Task": ".scheduler",
     "TaskGraph": ".scheduler",
+    "what_if_stealing": ".scheduler",
     # cells
     "CellSpec": ".cells",
     "Fig6Cell": ".cells",

@@ -45,12 +45,15 @@ from repro.obs import trace as _trace
 __all__ = [
     "Scheduler",
     "SchedulerError",
+    "StealingEstimate",
     "Task",
     "TaskGraph",
     "TaskTiming",
     "critical_path",
     "load_timings",
+    "recorded_jobs",
     "stage_summary",
+    "what_if_stealing",
 ]
 
 #: Filename of the persisted per-task wall-time record inside a disk-backed
@@ -252,6 +255,157 @@ def stage_summary(
     )
 
 
+@dataclass(frozen=True)
+class StealingEstimate:
+    """What task-granular work stealing would buy over cell-granular fan-out.
+
+    Computed purely from a recorded timing set (:func:`load_timings`), so the
+    question "should the scheduler steal individual tasks instead of whole
+    cells?" is answerable from any past sweep without re-running it.
+
+    Attributes:
+        jobs: worker count the estimate assumes.
+        tasks: timed tasks in the record.
+        components: independent cells (connected components) in the record.
+        current_seconds: predicted makespan of today's scheduler — each
+            cell runs serially on one worker, cells dispatched greedily.
+        stealing_seconds: predicted makespan of a dependency-respecting
+            greedy list schedule over *individual* tasks (ideal stealing:
+            zero migration cost).
+        lower_bound_seconds: no schedule can beat
+            ``max(critical path, total work / jobs)``.
+    """
+
+    jobs: int
+    tasks: int
+    components: int
+    current_seconds: float
+    stealing_seconds: float
+    lower_bound_seconds: float
+
+    @property
+    def predicted_gain(self) -> float:
+        """Speedup ideal stealing would deliver over the current scheduler."""
+        return (
+            self.current_seconds / self.stealing_seconds
+            if self.stealing_seconds > 0
+            else 1.0
+        )
+
+
+def _list_schedule_makespan(
+    units: Sequence[Tuple[str, float, Tuple[str, ...]]], jobs: int
+) -> float:
+    """Makespan of a greedy list schedule of ``units`` over ``jobs`` workers.
+
+    Units are ``(name, seconds, deps)`` in priority order; a unit starts on
+    the earliest-free worker once all its dependencies have finished (the
+    classic Graham list schedule — what an ideal work-stealing pool with
+    free migration converges to).
+    """
+    known = {name for name, _secs, _deps in units}
+    finish: Dict[str, float] = {}
+    worker_free = [0.0] * max(1, jobs)
+    pending = list(units)
+    while pending:
+        # Earliest-startable unit first; ties break on list (priority) order.
+        best_i, best_start = -1, float("inf")
+        free_at = min(worker_free)
+        for i, (_name, _secs, deps) in enumerate(pending):
+            internal = [d for d in deps if d in known]
+            if any(d not in finish for d in internal):
+                continue
+            ready = max((finish[d] for d in internal), default=0.0)
+            start = max(ready, free_at)
+            if start < best_start:
+                best_i, best_start = i, start
+        name, secs, _deps = pending.pop(best_i)
+        worker = min(range(len(worker_free)), key=worker_free.__getitem__)
+        end = best_start + secs
+        worker_free[worker] = end
+        finish[name] = end
+    return max(finish.values(), default=0.0)
+
+
+def _timing_components(
+    timings: Sequence[TaskTiming],
+) -> List[List[TaskTiming]]:
+    """Connected components of a timing record (the cells), via its
+    dependency edges, in first-appearance order."""
+    parent = {t.name: t.name for t in timings}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for t in timings:
+        for dep in t.deps:
+            if dep in parent:
+                parent[find(t.name)] = find(dep)
+    groups: Dict[str, List[TaskTiming]] = {}
+    order: List[str] = []
+    for t in timings:
+        root = find(t.name)
+        if root not in groups:
+            groups[root] = []
+            order.append(root)
+        groups[root].append(t)
+    return [groups[root] for root in order]
+
+
+def what_if_stealing(
+    timings: Sequence[TaskTiming], jobs: int
+) -> StealingEstimate:
+    """Estimate the sweep makespan with and without task-granular stealing.
+
+    Answers the ROADMAP question about scheduler granularity from recorded
+    evidence: compare the *current* cell-granular dispatch (each connected
+    component pinned to one worker) against an idealized work-stealing pool
+    that migrates individual tasks, on the same recorded task durations.
+    """
+    comps = _timing_components(timings)
+    cells = [
+        (cell[0].name, sum(t.seconds for t in cell), ())
+        for cell in comps
+    ]
+    current = _list_schedule_makespan(cells, jobs)
+    # Ideal stealing gets critical-path priority (schedule the task with the
+    # heaviest remaining dependency chain first — the standard list-scheduling
+    # heuristic), so the estimate is stealing's *potential*, not an artifact
+    # of submission order.
+    children: Dict[str, List[str]] = {t.name: [] for t in timings}
+    for t in timings:
+        for dep in t.deps:
+            if dep in children:
+                children[dep].append(t.name)
+    by_name = {t.name: t for t in timings}
+    rank: Dict[str, float] = {}
+
+    def upward_rank(name: str) -> float:
+        if name not in rank:
+            rank[name] = by_name[name].seconds + max(
+                (upward_rank(c) for c in children[name]), default=0.0
+            )
+        return rank[name]
+
+    prioritized = sorted(timings, key=lambda t: -upward_rank(t.name))
+    stealing = _list_schedule_makespan(
+        [(t.name, t.seconds, t.deps) for t in prioritized], jobs
+    )
+    total = sum(t.seconds for t in timings)
+    chain = sum(t.seconds for t in critical_path(timings))
+    return StealingEstimate(
+        jobs=jobs,
+        tasks=len(timings),
+        components=len(comps),
+        current_seconds=current,
+        stealing_seconds=stealing,
+        lower_bound_seconds=max(chain, total / max(1, jobs)),
+    )
+
+
 def _run_task_chain(
     tasks: List[Task], record_spans: bool
 ) -> Tuple[Dict[str, Any], List[TaskTiming]]:
@@ -406,6 +560,21 @@ def load_timings(cache_dir: str) -> List[TaskTiming]:
         TaskTiming(t["name"], float(t["seconds"]), tuple(t.get("deps", ())))
         for t in payload.get("tasks", ())
     ]
+
+
+def recorded_jobs(cache_dir: str) -> int:
+    """The ``--jobs`` value of the run that persisted the timing record
+    (``1`` when nothing was recorded)."""
+    path = os.path.join(cache_dir, TIMINGS_FILENAME)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return 1
+    try:
+        return max(1, int(payload.get("jobs", 1)))
+    except (TypeError, ValueError):
+        return 1
 
 
 def _fork_available() -> bool:

@@ -1,0 +1,59 @@
+"""Fleet serving control plane: canary OCOLOS rollouts (paper §IV-D, scaled
+out).
+
+The fleet runs N real VM replicas behind a router under open-loop traffic
+and treats online code replacement as a supervised deployment: profile →
+one shared background BOLT → per-node drain/pause/patch behind a canary
+stage with measured health checks, automatic rollback to original ``.text``
+on regression, and pluggable fault injection at every pipeline site.
+
+* :mod:`repro.fleet.replica` — one serving node: a real process driven by
+  absolute transaction demand, with virtual-time p99 from measured rates;
+* :mod:`repro.fleet.router` — seeded open-loop traffic + deterministic
+  request routing (drain-aware, failure-accounting);
+* :mod:`repro.fleet.controller` — the rollout state machine (canary,
+  verdicts, retries with exponential backoff, graceful degradation);
+* :mod:`repro.fleet.rollback` — steering undo back onto ``C_0`` plus lazy
+  generation-band garbage collection;
+* :mod:`repro.fleet.faults` — named fault sites and armed fault plans;
+* :mod:`repro.fleet.events` — seeded replayable event logs;
+* :mod:`repro.fleet.bench` — the measured drain-vs-unaware benchmark and
+  its analytic cross-check.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    # events
+    "EventLog": ".events",
+    "FleetEvent": ".events",
+    # faults
+    "FAULT_SITES": ".faults",
+    "FaultInjected": ".faults",
+    "FaultPlan": ".faults",
+    "FaultSpec": ".faults",
+    "PERSISTENT": ".faults",
+    # replica
+    "Replica": ".replica",
+    "ReplicaState": ".replica",
+    "TickSample": ".replica",
+    # router
+    "Router": ".router",
+    "TrafficStream": ".router",
+    # rollback
+    "RollbackReport": ".rollback",
+    "restore_original_text": ".rollback",
+    "try_collect_bands": ".rollback",
+    # controller
+    "FleetConfig": ".controller",
+    "FleetController": ".controller",
+    "FleetSloRow": ".controller",
+    "RolloutOutcome": ".controller",
+    "inverted_profile": ".controller",
+    "unoptimized_reference_digests": ".controller",
+    # bench
+    "analytic_prediction": ".bench",
+    "run_fleet_rollout_bench": ".bench",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,150 @@
+"""Fleet rollout benchmark: measured drain-vs-unaware, with the analytic check.
+
+Runs the same supervised rollout twice over real VM replicas — once with a
+pause-aware balancer (drain) and once unaware — and sets the measured SLO
+series against :func:`repro.harness.cluster.simulate_rollout`'s closed-form
+prediction fed the *measured* phase rates.
+
+Unit bridge: the analytic model steps at 1 Hz; the fleet ticks at
+``tick_seconds``.  Feeding the analytic model per-**tick** service rates and
+phase durations in ticks reinterprets its "second" as one tick exactly (the
+model only ever multiplies rates by step durations), so the two latency
+series live on the same clock and their dimensionless *shape* ratios —
+worst/baseline per policy and drain-vs-unaware worst — are directly
+comparable.  The committed JSON records both series, the shape comparison,
+and a replayed event-log digest proving the rollout reproduces from its
+seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.engine.cells import workload_bundle
+from repro.fleet.controller import FleetConfig, FleetController, RolloutOutcome
+from repro.fleet.faults import FaultPlan
+from repro.harness.cluster import RolloutResult, simulate_rollout
+
+
+def analytic_prediction(
+    rates: Dict[str, float], config: FleetConfig, drain: bool
+) -> RolloutResult:
+    """The closed-form §IV-D rollout, on the fleet's clock (1 step = 1 tick)."""
+    tick = config.tick_seconds
+    return simulate_rollout(
+        tps_original=rates.get("tps_original", 0.0) * tick,
+        tps_profiling=rates.get("tps_profiling", 0.0) * tick,
+        tps_contention=rates.get("tps_contention", 0.0) * tick,
+        tps_optimized=rates.get("tps_optimized", 0.0) * tick,
+        pause_seconds=rates.get("pause_seconds", 0.0) / tick,
+        profile_seconds=config.profile_ticks,
+        background_seconds=config.background_ticks,
+        n_nodes=config.n_replicas,
+        utilization=config.utilization,
+        drain=drain,
+        settle_seconds=config.settle_ticks,
+    )
+
+
+def _shape(outcome: RolloutOutcome, analytic: RolloutResult) -> Dict[str, float]:
+    """Dimensionless shape metrics one (policy) comparison needs."""
+
+    def ratio(worst: float, baseline: float) -> float:
+        return worst / baseline if baseline > 0 else math.inf
+
+    return {
+        "measured_worst_over_baseline": round(
+            ratio(outcome.worst_p99_ms, outcome.baseline_p99_ms), 4
+        ),
+        "analytic_worst_over_baseline": round(
+            ratio(analytic.worst_p99_ms, analytic.baseline_p99_ms), 4
+        ),
+    }
+
+
+def run_fleet_rollout_bench(
+    workload_name: str = "memcached",
+    *,
+    n_replicas: int = 3,
+    seed: int = 2024,
+    fault_plan: Optional[FaultPlan] = None,
+    config: Optional[FleetConfig] = None,
+) -> Dict[str, object]:
+    """Measured drain vs unaware rollouts plus the analytic prediction.
+
+    Returns the committed-JSON payload (``benchmarks/data/fleet_rollout.json``).
+    """
+    bundle = workload_bundle(workload_name)
+    input_name = bundle.eval_inputs[0]
+    spec = bundle.inputs[input_name]
+
+    outcomes: Dict[str, RolloutOutcome] = {}
+    for drain in (True, False):
+        if config is not None:
+            cfg = FleetConfig(**{**config.__dict__, "drain": drain})
+        else:
+            cfg = FleetConfig(n_replicas=n_replicas, seed=seed, drain=drain)
+        plan = FaultPlan(list(fault_plan.specs)) if fault_plan else None
+        controller = FleetController(bundle.workload, spec, cfg, plan)
+        outcomes["drain" if drain else "unaware"] = controller.run()
+
+    drain_outcome = outcomes["drain"]
+    unaware_outcome = outcomes["unaware"]
+    # Phase rates come from the drain run's measurements (homogeneous
+    # replicas: either run's rates parameterize the model equally well).
+    rates = dict(drain_outcome.rates)
+    base_cfg = config or FleetConfig(n_replicas=n_replicas, seed=seed)
+
+    analytic = {
+        "drain": analytic_prediction(rates, base_cfg, drain=True),
+        "unaware": analytic_prediction(rates, base_cfg, drain=False),
+    }
+
+    # Replay proof: rerun the drain rollout from its recorded seed and
+    # compare event-log digests.
+    replay_cfg = FleetConfig(**{**base_cfg.__dict__, "drain": True})
+    replay_plan = FaultPlan(list(fault_plan.specs)) if fault_plan else None
+    replay = FleetController(bundle.workload, spec, replay_cfg, replay_plan).run()
+    replayed = (
+        replay.events is not None
+        and drain_outcome.events is not None
+        and replay.events.replay_digest() == drain_outcome.events.replay_digest()
+    )
+
+    def worst_ratio(d: float, u: float) -> float:
+        return u / d if d > 0 else math.inf
+
+    payload: Dict[str, object] = {
+        "benchmark": "fleet_rollout",
+        "workload": workload_name,
+        "input": input_name,
+        "config": base_cfg.to_jsonable(),
+        "measured": {
+            "drain": drain_outcome.to_jsonable(),
+            "unaware": unaware_outcome.to_jsonable(),
+        },
+        "analytic": {
+            policy: {
+                "baseline_p99": round(result.baseline_p99_ms, 4),
+                "worst_p99": round(result.worst_p99_ms, 4),
+                "steady_p99": round(result.steady_p99_ms, 4),
+            }
+            for policy, result in analytic.items()
+        },
+        "shape": {
+            "drain": _shape(drain_outcome, analytic["drain"]),
+            "unaware": _shape(unaware_outcome, analytic["unaware"]),
+            "measured_unaware_over_drain_worst": round(
+                worst_ratio(drain_outcome.worst_p99_ms, unaware_outcome.worst_p99_ms), 4
+            ),
+            "analytic_unaware_over_drain_worst": round(
+                worst_ratio(
+                    analytic["drain"].worst_p99_ms, analytic["unaware"].worst_p99_ms
+                ),
+                4,
+            ),
+        },
+        "replayed_from_seed": replayed,
+    }
+    return payload

@@ -1,0 +1,873 @@
+"""The fleet control plane: supervised OCOLOS rollouts.
+
+:class:`FleetController` runs N single-threaded VM replicas behind a
+:class:`~repro.fleet.router.Router` and treats layout optimization as a
+revertible, canaried deployment:
+
+1. **warmup + baseline** — every replica reaches steady state; the fleet's
+   open-loop arrival rate is derived from the measured baseline rate.
+2. **canary pipeline** (node 0) — profile while serving (real perf
+   overhead), one background BOLT (shared through the
+   :mod:`~repro.engine.store` artifact store — one BOLT, N installs) with
+   contention charged to the canary, then drain (policy-dependent), pause,
+   patch, resume.
+3. **canary evaluation** — the canary's measured service rate and TopDown
+   profile are compared against the unoptimized cohort
+   (:func:`~repro.analysis.regression.fit_benefit_classifier` over the
+   per-replica points); the verdict **proceeds**, **holds** (re-measure
+   with backoff), or **rolls back** fleet-wide via
+   :mod:`repro.fleet.rollback`.
+4. **fleet rollout** — remaining nodes install the same cached artifact one
+   at a time behind a health gate (stragglers hold with backoff).
+5. **settle** — steady state; SLOs summarized.
+
+Faults from the :class:`~repro.fleet.faults.FaultPlan` fire at named
+pipeline sites.  Transient faults retry with exponential backoff (the fleet
+keeps serving through every backoff tick); persistent ones degrade
+gracefully — the replica is rolled back to original code (idempotent even
+when nothing was installed) and the rollout stops, with the fleet fully
+serving.  Every run emits a seeded replayable event log and ``fleet.*``
+metrics (p99, error rate, generation skew).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.regression import fit_benefit_classifier
+from repro.bolt.optimizer import BoltOptions, BoltResult, run_bolt
+from repro.core.costs import CostModel
+from repro.core.funcptr_map import FunctionPointerMap
+from repro.core.patcher import PointerPatcher, scan_direct_call_sites
+from repro.core.replacement import CodeReplacer
+from repro.engine.fingerprint import fingerprint
+from repro.engine.store import store
+from repro.errors import BoltError, ProfileError, ReproError
+from repro.fleet.events import EventLog
+from repro.fleet.faults import FaultInjected, FaultPlan
+from repro.fleet.replica import Replica, ReplicaState
+from repro.fleet.router import Router, TrafficStream
+from repro.fleet.rollback import restore_original_text, try_collect_bands
+from repro.harness.runner import link_original
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.profiling.perf import PerfSession
+from repro.profiling.perf2bolt import extract_profile
+from repro.profiling.profile import BoltProfile
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.inputs import InputSpec
+
+
+def inverted_profile(profile: BoltProfile) -> BoltProfile:
+    """A deliberately pessimized profile: hotness inverted everywhere.
+
+    Two lies combine into the canonical "bad rollout" a canary stage must
+    catch from measurements alone:
+
+    * every surviving count ``c`` becomes ``max + 1 - c``, so block chains
+      and function order follow the *coldest* paths (the hot successor is
+      always a taken jump to somewhere far);
+    * within each function, every other block (by hotness rank) is
+      **dropped** from the profile.  To the splitter a missing block is a
+      never-executed one, so alternating hot blocks are exiled to the cold
+      section — which the layout places half a generation-stride away.
+      The real hot path then ping-pongs between the two bands on nearly
+      every block transition, defeating the i-side caches and iTLB.
+    """
+    out = BoltProfile(
+        sample_count=profile.sample_count, record_count=profile.record_count
+    )
+    counts = profile.block_counts
+    if counts:
+        top = max(counts.values())
+        per_function: Dict[str, List[Tuple[str, int]]] = {}
+        for label, c in counts.items():
+            per_function.setdefault(label.rsplit("#", 1)[0], []).append((label, c))
+        kept: Dict[str, int] = {}
+        for blocks in per_function.values():
+            blocks.sort(key=lambda pair: -pair[1])
+            for rank, (label, c) in enumerate(blocks):
+                if rank % 2 == 1:
+                    kept[label] = top + 1 - c
+        out.block_counts = kept or {
+            label: top + 1 - c for label, c in counts.items()
+        }
+    for attr in ("branch_edges", "fallthrough_edges", "call_edges"):
+        table = getattr(profile, attr)
+        if not table:
+            continue
+        top = max(table.values())
+        setattr(out, attr, {k: top + 1 - v for k, v in table.items()})
+    return out
+
+
+class _MidPatchFaultPatcher:
+    """Patcher proxy that dies between the v-table pass and the call-site
+    pass — leaving the replacement genuinely half-applied."""
+
+    def __init__(self, inner: PointerPatcher, node: int) -> None:
+        self._inner = inner
+        self._node = node
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def patch_direct_calls(self, bolted, targets, report) -> None:
+        raise FaultInjected("patch.mid_replace", self._node)
+
+
+@dataclass
+class FleetConfig:
+    """Rollout knobs.  Defaults are sized for fast, deterministic runs.
+
+    Attributes:
+        tick_seconds: virtual seconds per tick (the discrete-event step).
+        utilization: offered load as a fraction of measured fleet capacity.
+        drain: whether the balancer routes around a node for its install
+            window (the paper's §IV-D mitigation) or stays unaware.
+        optimize: ``False`` runs a serving-only fleet (the unoptimized
+            reference for bit-identity comparisons).
+        pessimize_layout: build from :func:`inverted_profile` — used to
+            exercise measured-regression rollback end to end.
+        proceed_above / rollback_below: canary speedup thresholds; between
+            them the controller holds and re-measures (classifier breaks
+            the tie after ``max_holds``).
+        superblocks: force the interpreter mode on every replica (``None``
+            keeps the default); twin runs with ``True``/``False`` must be
+            bit-identical.
+    """
+
+    n_replicas: int = 3
+    seed: int = 2024
+    tick_seconds: float = 0.02
+    utilization: float = 0.55
+    jitter: float = 0.05
+    rate_per_tick: Optional[float] = None
+    warmup_transactions: int = 150
+    baseline_transactions: int = 200
+    profile_ticks: int = 4
+    background_ticks: int = 2
+    #: Serve ticks between install and canary evaluation: the new layout
+    #: starts with cold i-cache/BTB state and measures slower than it runs
+    #: (Fig 2's warmup transient); evaluating too early reads that
+    #: transient as a regression.
+    warm_ticks: int = 6
+    measure_ticks: int = 3
+    settle_ticks: int = 4
+    drain: bool = True
+    optimize: bool = True
+    perf_period: int = 900
+    perf_overhead: float = 0.14
+    background_contention: float = 0.22
+    bolt_options: Optional[BoltOptions] = None
+    pessimize_layout: bool = False
+    proceed_above: float = 1.01
+    rollback_below: float = 0.99
+    max_holds: int = 2
+    max_retries: int = 2
+    backoff_base_ticks: int = 1
+    slow_fraction: float = 0.6
+    straggler_ticks: int = 3
+    gc_retry_ticks: int = 6
+    superblocks: Optional[bool] = None
+
+    def to_jsonable(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for name, value in self.__dict__.items():
+            if name == "bolt_options":
+                value = None if value is None else vars(value)
+            out[name] = value
+        return out
+
+
+@dataclass
+class FleetSloRow:
+    """One rollout's SLO summary (publish_bench_rows-ready: string fields
+    become metric labels, numeric fields become ``bench.fleet.*`` gauges)."""
+
+    policy: str
+    status: str
+    replicas: int
+    baseline_p99_ms: float
+    worst_p99_ms: float
+    steady_p99_ms: float
+    tps_original: float
+    tps_optimized: float
+    canary_speedup: float
+    error_rate: float
+    requests_routed: int
+    requests_lost: int
+    rollbacks: int
+    retries: int
+    faults_injected: int
+    generation_skew: int
+
+
+@dataclass
+class RolloutOutcome:
+    """Everything one rollout produced."""
+
+    policy: str
+    status: str = "serving"
+    replicas: List[Dict[str, object]] = field(default_factory=list)
+    #: Per-tick fleet p99 (max over in-rotation replicas), ms.
+    p99_series: List[float] = field(default_factory=list)
+    #: Measured phase rates, comparable to the analytic model's inputs.
+    rates: Dict[str, float] = field(default_factory=dict)
+    canary: Dict[str, object] = field(default_factory=dict)
+    requests_routed: int = 0
+    requests_lost: int = 0
+    error_rate: float = 0.0
+    rollbacks: int = 0
+    retries: int = 0
+    faults_injected: int = 0
+    installs: int = 0
+    generation_skew: int = 0
+    events: Optional[EventLog] = None
+    #: Per-node per-tick routed arrivals (the replayable demand schedule).
+    demand_schedule: List[List[int]] = field(default_factory=list)
+
+    @property
+    def baseline_p99_ms(self) -> float:
+        return self.p99_series[0] if self.p99_series else 0.0
+
+    @property
+    def worst_p99_ms(self) -> float:
+        return max(self.p99_series) if self.p99_series else 0.0
+
+    @property
+    def steady_p99_ms(self) -> float:
+        return self.p99_series[-1] if self.p99_series else 0.0
+
+    def slo_rows(self) -> List[FleetSloRow]:
+        """Summary rows for :func:`~repro.harness.reporting.publish_bench_rows`."""
+        return [
+            FleetSloRow(
+                policy=self.policy,
+                status=self.status,
+                replicas=len(self.replicas),
+                baseline_p99_ms=self.baseline_p99_ms,
+                worst_p99_ms=self.worst_p99_ms,
+                steady_p99_ms=self.steady_p99_ms,
+                tps_original=self.rates.get("tps_original", 0.0),
+                tps_optimized=self.rates.get("tps_optimized", 0.0),
+                canary_speedup=float(self.canary.get("speedup", 0.0)),
+                error_rate=self.error_rate,
+                requests_routed=self.requests_routed,
+                requests_lost=self.requests_lost,
+                rollbacks=self.rollbacks,
+                retries=self.retries,
+                faults_injected=self.faults_injected,
+                generation_skew=self.generation_skew,
+            )
+        ]
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "status": self.status,
+            "replicas": self.replicas,
+            "p99_series_ms": [round(v, 4) for v in self.p99_series],
+            "baseline_p99_ms": round(self.baseline_p99_ms, 4),
+            "worst_p99_ms": round(self.worst_p99_ms, 4),
+            "steady_p99_ms": round(self.steady_p99_ms, 4),
+            "rates": {k: round(v, 2) for k, v in self.rates.items()},
+            "canary": self.canary,
+            "requests_routed": self.requests_routed,
+            "requests_lost": self.requests_lost,
+            "error_rate": round(self.error_rate, 6),
+            "rollbacks": self.rollbacks,
+            "retries": self.retries,
+            "faults_injected": self.faults_injected,
+            "installs": self.installs,
+            "generation_skew": self.generation_skew,
+            "events": self.events.to_jsonable() if self.events else None,
+            "event_digest": self.events.replay_digest() if self.events else None,
+        }
+
+
+class FleetController:
+    """Walks a replica fleet through one supervised OCOLOS rollout."""
+
+    def __init__(
+        self,
+        workload: SyntheticWorkload,
+        input_spec: InputSpec,
+        config: Optional[FleetConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.workload = workload
+        self.input_spec = input_spec
+        self.cfg = config or FleetConfig()
+        self.plan = fault_plan or FaultPlan()
+        self.original = link_original(workload)
+        #: Offline pre-work shared by every replica (one scan, N installs).
+        self.call_sites = scan_direct_call_sites(self.original)
+        self.cost_model = CostModel()
+        self.replicas: List[Replica] = [
+            Replica(
+                node,
+                workload,
+                input_spec,
+                self.original,
+                seed=self.cfg.seed + node,
+                superblocks=self.cfg.superblocks,
+            )
+            for node in range(self.cfg.n_replicas)
+        ]
+        self.fp_maps: Dict[int, FunctionPointerMap] = {}
+        self.router = Router(self.replicas)
+        self.log = EventLog(self.cfg.seed)
+        self.tick = 0
+        self._stream: Optional[TrafficStream] = None
+        self._p99_series: List[float] = []
+        self._demands: List[List[int]] = [[] for _ in self.replicas]
+        self._bolt_result: Optional[BoltResult] = None
+        self._rollbacks = 0
+        self._retries = 0
+        self._installs = 0
+        self._last_pause_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # metrics helpers
+    # ------------------------------------------------------------------
+
+    def _gauge(self, name: str, value: float, **labels: str) -> None:
+        registry = _metrics.current()
+        if registry is not None:
+            g = registry.gauge(f"fleet.{name}", "fleet SLO gauge")
+            (g.labels(**labels) if labels else g).set(value)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        registry = _metrics.current()
+        if registry is not None and n:
+            registry.counter(f"fleet.{name}", "fleet lifecycle counter").inc(n)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def _serve_ticks(self, n: int) -> None:
+        """Advance the fleet ``n`` ticks of open-loop serving."""
+        assert self._stream is not None
+        cfg = self.cfg
+        for _ in range(n):
+            shares = self.router.route(self._stream.arrivals())
+            p99 = 0.0
+            for replica in self.replicas:
+                arrivals = shares.get(replica.node, 0)
+                self._demands[replica.node].append(arrivals)
+                sample = replica.serve_tick(self.tick, arrivals, cfg.tick_seconds)
+                if replica.in_rotation:
+                    p99 = max(p99, sample.p99_ms)
+            self._p99_series.append(p99)
+            for dead in self.router.evict_failed():
+                self.log.emit(self.tick, "replica.detected_dead", node=dead.node)
+                self._count("replicas_failed_total")
+            healthy_gens = [r.generation for r in self.replicas if r.healthy]
+            skew = (max(healthy_gens) - min(healthy_gens)) if healthy_gens else 0
+            policy = "drain" if cfg.drain else "unaware"
+            self._gauge("p99_ms", p99, policy=policy)
+            self._gauge("error_rate", self.router.error_rate, policy=policy)
+            self._gauge("generation_skew", skew, policy=policy)
+            self.tick += 1
+
+    def _backoff(self, attempt: int, site: str, node: int) -> None:
+        """Exponential backoff, spent serving (the fleet never stops)."""
+        ticks = self.cfg.backoff_base_ticks * (2 ** attempt)
+        self.log.emit(self.tick, "retry.backoff", node=node, site=site, ticks=ticks)
+        self._retries += 1
+        self._count("retries_total")
+        self._serve_ticks(ticks)
+
+    def _measure_window(self, ticks: int) -> Dict[int, Tuple[float, object]]:
+        """Serve ``ticks`` and return per-node (tps, topdown) over the window."""
+        marks = {r.node: r.counters_mark() for r in self.replicas if r.healthy}
+        self._serve_ticks(ticks)
+        out: Dict[int, Tuple[float, object]] = {}
+        for replica in self.replicas:
+            if not replica.healthy or replica.node not in marks:
+                continue
+            delta = replica.window_delta(marks[replica.node])
+            out[replica.node] = (
+                replica.measured_tps(delta),
+                replica.process.topdown(delta),
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # pipeline phases
+    # ------------------------------------------------------------------
+
+    def _profile_canary(self, canary: Replica) -> Tuple[BoltProfile, float]:
+        """LBR collection on the serving canary, with truncation faults."""
+        cfg = self.cfg
+        attempt = 0
+        while True:
+            session = PerfSession(period=cfg.perf_period, overhead=cfg.perf_overhead)
+            session.attach(canary.process)
+            mark = canary.counters_mark()
+            try:
+                self._serve_ticks(cfg.profile_ticks)
+            finally:
+                session.detach()
+            tps_profiling = canary.measured_tps(canary.window_delta(mark))
+            samples = session.samples
+            if self.plan.should_fire("profile.truncate", canary.node):
+                self.log.emit(
+                    self.tick, "fault.injected", node=canary.node,
+                    site="profile.truncate", samples_dropped=len(samples),
+                )
+                self._count("faults_injected_total")
+                samples = []
+            try:
+                profile, _stats = extract_profile(samples, self.original)
+                if profile.is_empty():
+                    raise ProfileError("LBR profile truncated: no usable samples")
+                self.log.emit(
+                    self.tick, "profile.collected", node=canary.node,
+                    samples=len(samples), tps_profiling=round(tps_profiling, 1),
+                )
+                return profile, tps_profiling
+            except ProfileError as exc:
+                self.log.emit(
+                    self.tick, "profile.failed", node=canary.node, error=str(exc),
+                    attempt=attempt,
+                )
+                if attempt >= cfg.max_retries:
+                    raise
+                self._backoff(attempt, "profile.truncate", canary.node)
+                attempt += 1
+
+    def _build_bolt(self, canary: Replica, profile: BoltProfile) -> Tuple[BoltResult, float]:
+        """One shared background BOLT, contention charged to the canary."""
+        cfg = self.cfg
+        used = inverted_profile(profile) if cfg.pessimize_layout else profile
+        context = fingerprint(self.workload)
+        parts = (
+            context, fingerprint(used), cfg.bolt_options, None, 1,
+            "pessimal" if cfg.pessimize_layout else "faithful",
+        )
+        attempt = 0
+        while True:
+            def build() -> BoltResult:
+                return run_bolt(
+                    self.workload.program,
+                    self.original,
+                    used,
+                    options=cfg.bolt_options,
+                    compiler_options=self.workload.options,
+                    generation=1,
+                )
+
+            try:
+                # The fault fires on the *attempt*, before the cache: a real
+                # BOLT job crashes whether or not some other fleet already
+                # produced the artifact.
+                if self.plan.should_fire("bolt.crash", canary.node):
+                    self.log.emit(
+                        self.tick, "fault.injected", node=canary.node,
+                        site="bolt.crash",
+                    )
+                    self._count("faults_injected_total")
+                    raise FaultInjected("bolt.crash", canary.node)
+                result = store().get_or_build("bolt", parts, build)
+            except (FaultInjected, BoltError) as exc:
+                self.log.emit(
+                    self.tick, "bolt.failed", node=canary.node, error=str(exc),
+                    attempt=attempt,
+                )
+                if attempt >= cfg.max_retries:
+                    raise
+                self._backoff(attempt, "bolt.crash", canary.node)
+                attempt += 1
+                continue
+
+            # Contention window: the BOLT job steals cycles from the canary.
+            f = min(0.9, max(0.0, cfg.background_contention))
+            if f > 0:
+                canary.make_slow(1.0 / (1.0 - f), cfg.background_ticks)
+            mark = canary.counters_mark()
+            self._serve_ticks(cfg.background_ticks)
+            tps_contention = canary.measured_tps(canary.window_delta(mark))
+            self.log.emit(
+                self.tick, "bolt.built", node=canary.node,
+                hot_functions=len(result.hot_functions),
+                generation=result.generation,
+                tps_contention=round(tps_contention, 1),
+            )
+            return result, tps_contention
+
+    def _install(self, replica: Replica, bolt_result: BoltResult) -> bool:
+        """Drain (per policy), pause, patch, resume one replica.
+
+        Returns True on success; on persistent failure the replica is rolled
+        back and left degraded (serving original code).
+        """
+        cfg = self.cfg
+        node = replica.node
+        if cfg.drain:
+            replica.drain()
+            self.log.emit(self.tick, "replica.drain", node=node)
+
+        try:
+            if self.plan.should_fire("replica.die_drain", node):
+                self.log.emit(
+                    self.tick, "fault.injected", node=node, site="replica.die_drain"
+                )
+                self._count("faults_injected_total")
+                replica.kill()
+                self.log.emit(self.tick, "replica.died", node=node, drained=cfg.drain)
+                return False
+
+            attempt = 0
+            while True:
+                fp_map = self.fp_maps.setdefault(
+                    node, FunctionPointerMap(self.original)
+                )
+                replacer = CodeReplacer(
+                    replica.process,
+                    self.original,
+                    call_sites=self.call_sites,
+                    cost_model=self.cost_model,
+                    fp_map=fp_map,
+                )
+                if self.plan.should_fire("patch.mid_replace", node):
+                    self.log.emit(
+                        self.tick, "fault.injected", node=node,
+                        site="patch.mid_replace",
+                    )
+                    self._count("faults_injected_total")
+                    replacer.patcher = _MidPatchFaultPatcher(replacer.patcher, node)
+                try:
+                    report = replacer.replace(bolt_result)
+                except (FaultInjected, ReproError) as exc:
+                    self.log.emit(
+                        self.tick, "patch.failed", node=node, error=str(exc),
+                        attempt=attempt,
+                    )
+                    self._rollback_replica(replica, reason="patch_failed")
+                    if attempt >= cfg.max_retries:
+                        replica.degraded = True
+                        self.log.emit(self.tick, "replica.degraded", node=node)
+                        return False
+                    self._backoff(attempt, "patch.mid_replace", node)
+                    attempt += 1
+                    continue
+                break
+
+            replica.charge_stall(report.pause_seconds)
+            self._last_pause_seconds = report.pause_seconds
+            self._installs += 1
+            self._count("installs_total")
+            self.log.emit(
+                self.tick, "replica.patched", node=node,
+                generation=replica.generation,
+                pause_ms=round(report.pause_seconds * 1000.0, 3),
+                pointer_writes=report.pointer_writes,
+            )
+            # Let the stall play out (under drain it hits zero arrivals —
+            # that is the entire point of the policy).
+            stall_ticks = max(
+                1, math.ceil(replica.stall_pending_seconds / cfg.tick_seconds)
+            )
+            self._serve_ticks(stall_ticks)
+            return True
+        finally:
+            if cfg.drain and replica.state == ReplicaState.DRAINED:
+                replica.undrain()
+                self.log.emit(self.tick, "replica.undrain", node=node)
+
+    def _rollback_replica(self, replica: Replica, *, reason: str) -> None:
+        """Steer one replica back onto original ``.text`` and GC the band."""
+        report = restore_original_text(
+            replica.process,
+            self.original,
+            call_sites=self.call_sites,
+            fp_map=self.fp_maps.get(replica.node),
+        )
+        self._rollbacks += 1
+        self._count("rollbacks_total")
+        collected = 0
+        quiesced = False
+        for _ in range(self.cfg.gc_retry_ticks):
+            got, quiesced = try_collect_bands(replica.process, self.original)
+            collected += got
+            if quiesced:
+                break
+            self._serve_ticks(1)
+        report.regions_collected = collected
+        report.quiesced = quiesced
+        self.log.emit(
+            self.tick, "replica.rollback", node=replica.node, reason=reason,
+            pointer_writes=report.pointer_writes, regions_collected=collected,
+            quiesced=quiesced, generation=replica.generation,
+        )
+
+    def _rollback_fleet(self, reason: str) -> None:
+        for replica in self.replicas:
+            if replica.healthy:
+                self._rollback_replica(replica, reason=reason)
+
+    def _health_gate(self, replica: Replica, median_tps: float) -> bool:
+        """Hold a node's install while it serves anomalously slowly."""
+        cfg = self.cfg
+        spec = self.plan.should_fire("replica.slow", replica.node)
+        if spec is not None:
+            self.log.emit(
+                self.tick, "fault.injected", node=replica.node,
+                site="replica.slow", slow_factor=spec.slow_factor,
+            )
+            self._count("faults_injected_total")
+            replica.make_slow(spec.slow_factor, cfg.straggler_ticks)
+        attempt = 0
+        while True:
+            window = self._measure_window(1)
+            tps = window.get(replica.node, (0.0, None))[0]
+            if median_tps <= 0 or tps >= cfg.slow_fraction * median_tps:
+                return True
+            self.log.emit(
+                self.tick, "replica.unhealthy", node=replica.node,
+                tps=round(tps, 1), median_tps=round(median_tps, 1),
+                attempt=attempt,
+            )
+            if attempt >= cfg.max_retries:
+                return False
+            self._backoff(attempt, "replica.slow", replica.node)
+            attempt += 1
+
+    # ------------------------------------------------------------------
+    # canary evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate_canary(self, canary: Replica, rates: Dict[str, float]) -> str:
+        """Measure the canary against the cohort; returns the verdict."""
+        cfg = self.cfg
+        holds = 0
+        prediction = None
+        fit_accuracy = 0.0
+        while True:
+            window = self._measure_window(cfg.measure_ticks)
+            cohort = [
+                tps for node, (tps, _td) in window.items()
+                if node != canary.node and self.replicas[node].generation == 0
+            ]
+            canary_tps, canary_td = window.get(canary.node, (0.0, None))
+            cohort_median = sorted(cohort)[len(cohort) // 2] if cohort else 0.0
+            speedup = canary_tps / cohort_median if cohort_median > 0 else 0.0
+            points = []
+            for node, (tps, td) in window.items():
+                benefits = (
+                    speedup >= cfg.proceed_above
+                    if node == canary.node
+                    else False
+                )
+                points.append((td.frontend_latency, td.retiring, benefits))
+            fit = fit_benefit_classifier(points)
+            fit_accuracy = fit.accuracy
+            if canary_td is not None:
+                prediction = fit.predict(
+                    canary_td.frontend_latency, canary_td.retiring
+                )
+            rates["tps_optimized"] = canary_tps
+            if speedup >= cfg.proceed_above:
+                verdict = "proceed"
+            elif speedup < cfg.rollback_below:
+                verdict = "rollback"
+            elif holds < cfg.max_holds:
+                verdict = "hold"
+            else:
+                verdict = "proceed" if prediction else "rollback"
+            self.log.emit(
+                self.tick, "canary.verdict", node=canary.node, verdict=verdict,
+                speedup=round(speedup, 4), canary_tps=round(canary_tps, 1),
+                cohort_tps=round(cohort_median, 1), holds=holds,
+                classifier_accuracy=round(fit_accuracy, 3),
+                classifier_predicts_benefit=bool(prediction),
+            )
+            self.canary_summary = {
+                "speedup": round(speedup, 4),
+                "verdict": verdict,
+                "holds": holds,
+                "classifier_accuracy": round(fit_accuracy, 3),
+                "classifier_predicts_benefit": bool(prediction),
+            }
+            if verdict != "hold":
+                return verdict
+            holds += 1
+            self._count("canary_holds_total")
+            self._backoff(holds - 1, "canary.hold", canary.node)
+
+    # ------------------------------------------------------------------
+    # the rollout
+    # ------------------------------------------------------------------
+
+    def run(self) -> RolloutOutcome:
+        """Execute the rollout; always returns a served-to-completion outcome."""
+        cfg = self.cfg
+        policy = "drain" if cfg.drain else "unaware"
+        outcome = RolloutOutcome(policy=policy, events=self.log)
+        self.canary_summary: Dict[str, object] = {}
+        rates: Dict[str, float] = {}
+
+        with _trace.span(
+            "fleet.rollout", policy=policy, replicas=cfg.n_replicas,
+            optimize=cfg.optimize,
+        ):
+            # Warmup + baseline (fixed transaction counts: identical across
+            # policies and replay runs by construction).
+            for replica in self.replicas:
+                replica.process.run(max_transactions=cfg.warmup_transactions)
+                replica.demand_total = (
+                    replica.process.counters_total().transactions
+                )
+            marks = {r.node: r.counters_mark() for r in self.replicas}
+            for replica in self.replicas:
+                replica.process.run(max_transactions=cfg.baseline_transactions)
+                replica.demand_total = (
+                    replica.process.counters_total().transactions
+                )
+            baselines = {
+                r.node: r.measured_tps(r.window_delta(marks[r.node]))
+                for r in self.replicas
+            }
+            for replica in self.replicas:
+                replica.last_capacity_tps = baselines[replica.node]
+            tps_original = sorted(baselines.values())[len(baselines) // 2]
+            rates["tps_original"] = tps_original
+            rate = cfg.rate_per_tick
+            if rate is None:
+                rate = cfg.utilization * tps_original * cfg.tick_seconds * len(
+                    self.replicas
+                )
+            self._stream = TrafficStream(rate, cfg.seed, jitter=cfg.jitter)
+            self.log.emit(
+                0, "rollout.start", policy=policy, replicas=cfg.n_replicas,
+                tps_original=round(tps_original, 1),
+                rate_per_tick=round(rate, 2), optimize=cfg.optimize,
+                faults=len(self.plan),
+            )
+
+            self._serve_ticks(1)  # baseline SLO sample
+
+            status = "serving"
+            if cfg.optimize:
+                status = self._rollout(rates)
+
+            self._serve_ticks(cfg.settle_ticks)
+            self.log.emit(self.tick, "rollout.done", status=status)
+
+        outcome.status = status
+        outcome.rates = rates
+        outcome.canary = dict(self.canary_summary)
+        outcome.p99_series = list(self._p99_series)
+        outcome.requests_routed = self.router.requests_routed
+        outcome.requests_lost = self.router.requests_lost + sum(
+            r.requests_lost for r in self.replicas
+        )
+        outcome.error_rate = self.router.error_rate
+        outcome.rollbacks = self._rollbacks
+        outcome.retries = self._retries
+        outcome.faults_injected = self.plan.fired_total()
+        outcome.installs = self._installs
+        healthy_gens = [r.generation for r in self.replicas if r.healthy]
+        outcome.generation_skew = (
+            max(healthy_gens) - min(healthy_gens) if healthy_gens else 0
+        )
+        outcome.demand_schedule = [list(d) for d in self._demands]
+        outcome.replicas = [
+            {
+                "node": r.node,
+                "state": r.state.value,
+                "generation": r.generation,
+                "degraded": r.degraded,
+                "requests_lost": r.requests_lost,
+            }
+            for r in self.replicas
+        ]
+        return outcome
+
+    def _rollout(self, rates: Dict[str, float]) -> str:
+        """The optimization pipeline proper.  Returns the final status."""
+        cfg = self.cfg
+        canary = self.replicas[0]
+
+        # -- canary pipeline --------------------------------------------
+        try:
+            profile, tps_profiling = self._profile_canary(canary)
+            rates["tps_profiling"] = tps_profiling
+            self._bolt_result, tps_contention = self._build_bolt(canary, profile)
+            rates["tps_contention"] = tps_contention
+        except (ProfileError, BoltError, FaultInjected):
+            self._rollback_replica(canary, reason="pipeline_failed")
+            canary.degraded = True
+            self.log.emit(self.tick, "rollout.degraded", node=canary.node)
+            return "degraded"
+
+        if not self._install(canary, self._bolt_result):
+            return "degraded"
+        rates["pause_seconds"] = self._last_pause_seconds
+        rates["profile_seconds"] = cfg.profile_ticks * cfg.tick_seconds
+        rates["background_seconds"] = cfg.background_ticks * cfg.tick_seconds
+
+        # -- canary evaluation ------------------------------------------
+        self._serve_ticks(cfg.warm_ticks)
+        verdict = self._evaluate_canary(canary, rates)
+        if verdict == "rollback":
+            self._rollback_fleet("canary_regression")
+            return "rolled_back"
+
+        # -- fleet rollout ----------------------------------------------
+        for replica in self.replicas[1:]:
+            if not replica.healthy:
+                continue
+            window = self._measure_window(1)
+            fleet_median = sorted(
+                tps for _node, (tps, _td) in window.items()
+            )[len(window) // 2] if window else 0.0
+            if not self._health_gate(replica, fleet_median):
+                replica.degraded = True
+                self.log.emit(
+                    self.tick, "replica.skipped", node=replica.node,
+                    reason="unhealthy",
+                )
+                continue
+            self._install(replica, self._bolt_result)
+
+        return "optimized"
+
+
+def unoptimized_reference_digests(
+    workload: SyntheticWorkload,
+    input_spec: InputSpec,
+    config: FleetConfig,
+    demand_schedule: Sequence[Sequence[int]],
+) -> List[Tuple]:
+    """Semantic digests of a never-optimized fleet fed the same demands.
+
+    Replays a rollout's recorded per-tick demand schedule into fresh
+    replicas on the original binary (same seeds, same warmup/baseline run
+    pattern).  Because replicas serve against absolute transaction targets,
+    a replica that was never patched during the rollout must finish in
+    exactly this state — the bit-identity oracle the CI smoke asserts.
+    """
+    digests: List[Tuple] = []
+    for node, demands in enumerate(demand_schedule):
+        replica = Replica(
+            node,
+            workload,
+            input_spec,
+            link_original(workload),
+            seed=config.seed + node,
+            superblocks=config.superblocks,
+        )
+        replica.process.run(max_transactions=config.warmup_transactions)
+        replica.demand_total = replica.process.counters_total().transactions
+        replica.process.run(max_transactions=config.baseline_transactions)
+        replica.demand_total = replica.process.counters_total().transactions
+        for tick, arrivals in enumerate(demands):
+            replica.serve_tick(tick, arrivals, config.tick_seconds)
+        digests.append(replica.semantic_digest())
+    return digests

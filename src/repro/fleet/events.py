@@ -1,0 +1,90 @@
+"""Seeded, replayable rollout event logs.
+
+Every fleet rollout appends control-plane events (phase transitions, fault
+injections, retries, canary verdicts, rollbacks, deaths) to an
+:class:`EventLog`.  The fleet is deterministic for a given (config, seed,
+fault plan), so re-running the rollout from the log's recorded seed must
+reproduce the log bit-for-bit — the rr-style property that turns every
+injected fault into a reproducible test case.  ``replay_digest`` is the
+stable content hash tests (and the committed benchmark JSON) compare.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs import log as _obs_log
+
+_log = _obs_log.get_logger("fleet.events")
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One control-plane event.
+
+    Attributes:
+        tick: fleet tick the event happened on.
+        kind: dotted event name (``rollout.start``, ``fault.injected``,
+            ``canary.verdict``, ``replica.rollback``, ...).
+        node: replica index the event concerns (``None`` for fleet-wide).
+        attrs: JSON-safe detail payload.
+    """
+
+    tick: int
+    kind: str
+    node: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_jsonable(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"tick": self.tick, "kind": self.kind}
+        if self.node is not None:
+            out["node"] = self.node
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class EventLog:
+    """Ordered rollout events plus the seed that reproduces them."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.events: List[FleetEvent] = []
+
+    def emit(self, tick: int, kind: str, node: Optional[int] = None, **attrs: object) -> FleetEvent:
+        """Append one event (and mirror it to the structured log)."""
+        event = FleetEvent(tick=tick, kind=kind, node=node, attrs=dict(attrs))
+        self.events.append(event)
+        _log.info("fleet." + kind, tick=tick, node=node, **attrs)
+        return event
+
+    def kinds(self) -> List[str]:
+        """Event kinds in order (handy for coarse assertions)."""
+        return [e.kind for e in self.events]
+
+    def count(self, kind: str) -> int:
+        """Occurrences of one event kind."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """JSON-safe form: the seed plus every event, in order."""
+        return {
+            "seed": self.seed,
+            "events": [e.to_jsonable() for e in self.events],
+        }
+
+    def replay_digest(self) -> str:
+        """Stable content hash of the full log (seed included).
+
+        Two rollouts replay identically iff their digests match; the digest
+        is committed alongside the benchmark JSON so a re-run from the
+        recorded seed can prove it reproduced the same rollout.
+        """
+        payload = json.dumps(self.to_jsonable(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,143 @@
+"""Pluggable fault injection for fleet rollouts.
+
+A :class:`FaultPlan` arms failures at named pipeline sites; the controller
+checks each site as it passes it and the plan decides — deterministically —
+whether the fault fires.  Transient faults (finite ``times``) clear after
+firing that many times, so a retry with backoff eventually succeeds;
+persistent faults (``times`` large) exhaust the retry budget and force the
+graceful-degradation path (replica stays on original code, fleet keeps
+serving).
+
+Fault sites (the ≥5 named failure modes of the rollout pipeline):
+
+* ``profile.truncate`` — the LBR profile comes back empty/truncated
+  (perf died mid-collection); surfaces as ``ProfileError``.
+* ``bolt.crash`` — the background BOLT job crashes before producing a
+  binary.
+* ``patch.mid_replace`` — an exception in the middle of the stop-the-world
+  patch, after some pointers were already rewritten.
+* ``replica.die_drain`` — the replica dies while drained for its
+  optimization window.
+* ``replica.slow`` — a straggler: the replica serves at a fraction of its
+  rate for a while (injected as real idle cycles, so measured tps and IPC
+  genuinely drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Every named fault site, in pipeline order.
+FAULT_SITES = (
+    "profile.truncate",
+    "bolt.crash",
+    "patch.mid_replace",
+    "replica.die_drain",
+    "replica.slow",
+)
+
+#: ``times`` at or above this is treated as a persistent fault in reporting.
+PERSISTENT = 1_000_000
+
+
+class FaultInjected(ReproError):
+    """Raised by the controller at a fired fault site (where the site does
+    not already have a domain-specific error, e.g. ``ProfileError``)."""
+
+    def __init__(self, site: str, node: Optional[int]) -> None:
+        super().__init__(f"injected fault {site!r} on node {node}")
+        self.site = site
+        self.node = node
+
+
+@dataclass
+class FaultSpec:
+    """Arm one fault site.
+
+    Attributes:
+        site: one of :data:`FAULT_SITES`.
+        node: replica index to target (``None`` matches any node).
+        times: how many firings before the fault clears.  ``1`` (default)
+            is a transient blip a single retry gets past;
+            :data:`PERSISTENT` never clears within a rollout.
+        slow_factor: for ``replica.slow`` — the service-rate divisor while
+            the fault is active.
+    """
+
+    site: str
+    node: Optional[int] = None
+    times: int = 1
+    slow_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; expected one of {FAULT_SITES}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+    @property
+    def persistent(self) -> bool:
+        return self.times >= PERSISTENT
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "node": self.node,
+            "times": self.times,
+            "slow_factor": self.slow_factor,
+        }
+
+
+class FaultPlan:
+    """A set of armed faults, consumed as the rollout passes their sites."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self._remaining: List[int] = [spec.times for spec in self.specs]
+        #: Fire counts per ``(site, node)``, for post-rollout assertions.
+        self.fired: Dict[Tuple[str, Optional[int]], int] = {}
+
+    def _match(self, site: str, node: int) -> Optional[int]:
+        for i, spec in enumerate(self.specs):
+            if spec.site != site or self._remaining[i] <= 0:
+                continue
+            if spec.node is None or spec.node == node:
+                return i
+        return None
+
+    def should_fire(self, site: str, node: int) -> Optional[FaultSpec]:
+        """Consume one firing of ``site`` on ``node`` if armed.
+
+        Returns:
+            the matching spec (with its remaining count decremented), or
+            ``None`` when nothing is armed there.
+        """
+        i = self._match(site, node)
+        if i is None:
+            return None
+        self._remaining[i] -= 1
+        key = (site, self.specs[i].node)
+        self.fired[key] = self.fired.get(key, 0) + 1
+        return self.specs[i]
+
+    def active(self, site: str, node: int) -> Optional[FaultSpec]:
+        """Peek: the armed spec for ``site``/``node`` without consuming."""
+        i = self._match(site, node)
+        return None if i is None else self.specs[i]
+
+    def fired_total(self, site: Optional[str] = None) -> int:
+        """Total firings (optionally restricted to one site)."""
+        return sum(
+            n for (s, _node), n in self.fired.items() if site is None or s == site
+        )
+
+    def to_jsonable(self) -> List[Dict[str, object]]:
+        return [spec.to_jsonable() for spec in self.specs]
+
+    def __len__(self) -> int:
+        return len(self.specs)

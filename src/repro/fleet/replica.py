@@ -1,0 +1,247 @@
+"""One serving replica: a real :class:`~repro.vm.process.Process` plus the
+per-node bookkeeping the control plane needs.
+
+Serving is transaction-driven and uses **absolute demand targets**: each
+tick raises ``demand_total`` by the routed arrivals and runs the VM until
+its cumulative transaction count reaches the target.  Because the process
+scheduler checks budgets at fixed round boundaries, composing run calls
+against absolute targets makes the stop points — and therefore the entire
+machine state — a function of the cumulative demand schedule alone, not of
+how it was split into ticks.  That is what makes fleet runs comparable
+bit-for-bit: two runs that route the same cumulative demand to a replica
+leave it in the same state, regardless of drain windows or phase timing.
+
+Latency is virtual-time: the tick's *measured* service rate (transactions
+over :meth:`~repro.vm.process.Process.wall_seconds`) feeds the same
+M/M/1-with-backlog step the analytic cluster model uses
+(:func:`repro.harness.cluster.node_p99_ms`), with stop-the-world pauses
+charged as stall time that eats tick capacity.  Profiling overhead and
+background-BOLT contention are charged to the VM as idle cycles, so they
+depress the measured rate with no modelling shortcut.
+
+Replicas are single-threaded: with one thread the per-site RNG draw order
+is layout-invariant (branch-sense inversion is an encoding-level flag), so
+a replica's semantic digest is comparable across code layouts; multiple
+threads would interleave the shared RNG differently per layout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.binary.binaryfile import Binary
+from repro.harness.cluster import node_p99_ms
+from repro.harness.runner import launch
+from repro.uarch.perfcounters import PerfCounters
+from repro.vm.process import Process
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.inputs import InputSpec
+
+
+class ReplicaState(enum.Enum):
+    """Where a replica is in the serving lifecycle."""
+
+    SERVING = "serving"
+    DRAINED = "drained"
+    FAILED = "failed"
+
+
+@dataclass
+class TickSample:
+    """What one serve tick did to one replica."""
+
+    tick: int
+    arrivals: int
+    served: int
+    busy_seconds: float
+    stall_seconds: float
+    capacity_tps: float
+    p99_ms: float
+    backlog: float
+
+
+class Replica:
+    """A single fleet node."""
+
+    def __init__(
+        self,
+        node: int,
+        workload: SyntheticWorkload,
+        input_spec: InputSpec,
+        original: Binary,
+        *,
+        seed: int,
+        superblocks: Optional[bool] = None,
+    ) -> None:
+        self.node = node
+        self.workload = workload
+        self.original = original
+        self.process: Process = launch(
+            workload, input_spec, n_threads=1, seed=seed, with_agent=True
+        )
+        if superblocks is not None:
+            self.process.interpreter.use_superblocks = superblocks
+        self.state = ReplicaState.SERVING
+        self.degraded = False
+        #: Cumulative transaction target (absolute-demand serving).
+        self.demand_total = 0
+        #: Requests routed here after death but before detection (lost).
+        self.requests_lost = 0
+        self.requests_routed = 0
+        #: Virtual queue carried between ticks (requests).
+        self.backlog = 0.0
+        #: Pending stop-the-world stall to charge against tick capacity.
+        self.stall_pending_seconds = 0.0
+        #: Straggler injection: remaining slow ticks and rate divisor.
+        self.slow_ticks_left = 0
+        self.slow_factor = 1.0
+        #: Last known intrinsic service rate (carried over idle ticks).
+        self.last_capacity_tps = 0.0
+        self.samples: List[TickSample] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Installed code generation of the underlying process."""
+        return self.process.replacement_generation
+
+    @property
+    def healthy(self) -> bool:
+        return self.state != ReplicaState.FAILED
+
+    @property
+    def in_rotation(self) -> bool:
+        return self.state == ReplicaState.SERVING
+
+    def drain(self) -> None:
+        if self.state == ReplicaState.SERVING:
+            self.state = ReplicaState.DRAINED
+
+    def undrain(self) -> None:
+        if self.state == ReplicaState.DRAINED:
+            self.state = ReplicaState.SERVING
+
+    def kill(self) -> None:
+        """The process dies; routed-but-unserved requests become errors."""
+        self.state = ReplicaState.FAILED
+
+    def charge_stall(self, seconds: float) -> None:
+        """Record a stop-the-world pause to be absorbed by tick capacity."""
+        self.stall_pending_seconds += max(0.0, seconds)
+
+    def make_slow(self, factor: float, ticks: int) -> None:
+        """Arm the straggler injection for the next ``ticks`` serve ticks."""
+        self.slow_factor = max(1.0, factor)
+        self.slow_ticks_left = max(0, ticks)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def serve_tick(self, tick: int, arrivals: int, tick_seconds: float) -> TickSample:
+        """Serve one tick's routed arrivals; returns the tick sample.
+
+        A failed replica loses every routed request.  A slow replica burns
+        real idle cycles, so its measured rate (and IPC) genuinely drop.
+        """
+        if self.state == ReplicaState.FAILED:
+            self.requests_lost += arrivals
+            self.requests_routed += arrivals
+            sample = TickSample(
+                tick=tick, arrivals=arrivals, served=0, busy_seconds=0.0,
+                stall_seconds=0.0, capacity_tps=0.0, p99_ms=0.0,
+                backlog=self.backlog,
+            )
+            self.samples.append(sample)
+            return sample
+
+        self.requests_routed += arrivals
+        self.demand_total += arrivals
+        process = self.process
+        start = process.counters_total().transactions
+        want = self.demand_total - start
+        busy = 0.0
+        served = 0
+        if want > 0:
+            delta = process.run(max_transactions=want)
+            served = delta.transactions
+            busy = process.wall_seconds(delta)
+            if self.slow_ticks_left > 0 and self.slow_factor > 1.0:
+                extra_cycles = delta.cycles * (self.slow_factor - 1.0)
+                per_core = extra_cycles / max(1, len(process.frontends))
+                for fe in process.frontends:
+                    fe.idle_cycles(per_core)
+                busy *= self.slow_factor
+                self.slow_ticks_left -= 1
+            if busy > 0:
+                self.last_capacity_tps = served / busy
+
+        stall = min(self.stall_pending_seconds, tick_seconds)
+        self.stall_pending_seconds -= stall
+        capacity = self.last_capacity_tps * max(0.0, 1.0 - stall / tick_seconds)
+        p99_ms, self.backlog = node_p99_ms(
+            capacity, arrivals / tick_seconds, self.backlog, step_seconds=tick_seconds
+        )
+        sample = TickSample(
+            tick=tick, arrivals=arrivals, served=served, busy_seconds=busy,
+            stall_seconds=stall, capacity_tps=capacity, p99_ms=p99_ms,
+            backlog=self.backlog,
+        )
+        self.samples.append(sample)
+        return sample
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+
+    def counters_mark(self) -> PerfCounters:
+        """Start-of-window counter snapshot for :meth:`window_delta`."""
+        return self.process.counters_total()
+
+    def window_delta(self, mark: PerfCounters) -> PerfCounters:
+        """Counter delta since ``mark``."""
+        return self.process.counters_total().delta(mark)
+
+    def measured_tps(self, delta: PerfCounters) -> float:
+        """Intrinsic service rate over a measurement window."""
+        seconds = self.process.wall_seconds(delta)
+        return delta.transactions / seconds if seconds > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # bit-identity oracles
+    # ------------------------------------------------------------------
+
+    def semantic_digest(self) -> Tuple:
+        """Layout-invariant execution state.
+
+        Transactions retired, per-thread architectural position, the RNG
+        stream position and the counted-branch state together pin the
+        semantic history of a single-threaded replica: two replicas with
+        equal digests consumed identical site-outcome sequences.  Counters
+        and LBR are excluded — they are microarchitectural and legitimately
+        differ across code layouts and profiling windows.
+        """
+        process = self.process
+        threads = tuple(
+            (t.tid, t.pc, t.sp, t.state.name) for t in process.threads
+        )
+        counted = tuple(sorted(process.behaviour.counted_state.items()))
+        return (
+            process.counters_total().transactions,
+            threads,
+            process.rng.getstate(),
+            counted,
+        )
+
+    def machine_digest(self) -> Tuple:
+        """Full state, for same-layout twin runs (superblock vs reference
+        stepper): semantic digest plus counters and LBR rings."""
+        process = self.process
+        counters = tuple(repr(fe.counters) for fe in process.frontends)
+        lbr = tuple(tuple(ring) for ring in process.lbr_rings)
+        return self.semantic_digest() + (counters, lbr)

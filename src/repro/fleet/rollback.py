@@ -1,0 +1,195 @@
+"""Rolling a replica back to its original ``.text``.
+
+OCOLOS never moves or removes ``C_0`` code (design principle #1), which
+makes rollback a *steering undo* rather than a byte-restore: repoint every
+steering structure — v-table slots, patched direct-call rel32 sites, entry
+trampolines, function-pointer slots — at the original entries, and the
+process serves from pristine ``C_0`` code again.  The optimized band stays
+mapped (and behaviorally identical) until the frames still executing inside
+it drain out; :func:`try_collect_bands` then unmaps it once nothing live
+references it.  Because every restore write is "only if it differs", the
+operation is idempotent and total: it recovers equally from a fully
+installed generation and from a patch that died halfway through rewriting
+pointers.
+
+Rollback invariants (asserted by the fleet tests):
+
+1. after :func:`restore_original_text`, every v-table slot and every
+   scanned direct-call site targets a ``C_0`` entry;
+2. the process keeps serving throughout (pause excepted) with outputs
+   bit-identical to a never-optimized run — ``C_0`` bytes were never
+   modified, so no state can be lost;
+3. once quiescent, no region above ``BOLT_TEXT_BASE`` remains mapped and
+   ``replacement_generation`` is back to 0; if frames never quiesce (e.g. a
+   saved longjmp continuation pins the band), the band stays mapped and the
+   replica is merely degraded, never wrong.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.binary.binaryfile import BOLT_TEXT_BASE, RODATA_BASE, Binary
+from repro.core.funcptr_map import FunctionPointerMap
+from repro.core.patcher import CallSite, scan_direct_call_sites
+from repro.isa.instructions import Opcode
+from repro.obs import trace as _trace
+from repro.vm.process import Process
+from repro.vm.ptrace import PtraceController
+from repro.vm.unwind import stack_return_addresses
+
+_I32 = struct.Struct("<i")
+_CALL_SIZE = 5  # Opcode.CALL/JMP encoded size (opcode byte + rel32)
+
+
+@dataclass
+class RollbackReport:
+    """What one replica rollback did."""
+
+    vtable_slots_restored: int = 0
+    call_sites_restored: int = 0
+    trampolines_restored: int = 0
+    fp_slots_restored: int = 0
+    regions_collected: int = 0
+    quiesced: bool = False
+
+    @property
+    def pointer_writes(self) -> int:
+        return (
+            self.vtable_slots_restored
+            + self.call_sites_restored
+            + self.trampolines_restored
+            + self.fp_slots_restored
+        )
+
+
+def _optimized(addr: int) -> bool:
+    """Whether ``addr`` lies in any replaceable (BOLT generation) band.
+
+    Generation bands occupy ``[BOLT_TEXT_BASE, RODATA_BASE)``; everything at
+    ``RODATA_BASE`` and above is immovable data/heap/stack.
+    """
+    return BOLT_TEXT_BASE <= addr < RODATA_BASE
+
+
+def restore_original_text(
+    process: Process,
+    original: Binary,
+    *,
+    call_sites: Optional[Dict[str, List[CallSite]]] = None,
+    fp_map: Optional[FunctionPointerMap] = None,
+) -> RollbackReport:
+    """Steer the process back onto its original code (pause included).
+
+    Safe against partially-patched state: every write happens only where
+    the current value differs from the ``C_0`` target, so invoking it after
+    a mid-patch exception, after a full install, or twice in a row all
+    converge on the same state.
+    """
+    ptrace = PtraceController(process)
+    report = RollbackReport()
+    with _trace.span("fleet.rollback", process=original.name) as span:
+        already_stopped = ptrace.stopped
+        if not already_stopped:
+            ptrace.pause()
+        try:
+            # v-tables back to C_0 entries.
+            for vtable in original.vtables:
+                for slot, func_name in enumerate(vtable.slots):
+                    slot_addr = vtable.slot_addr(slot)
+                    value = process.address_space.read_u64(slot_addr)
+                    target = original.functions[func_name].addr
+                    if value != target:
+                        ptrace.write_u64(slot_addr, target)
+                        report.vtable_slots_restored += 1
+
+            # direct-call sites back to their original callees.
+            sites = call_sites if call_sites is not None else scan_direct_call_sites(original)
+            for sites_of_fn in sites.values():
+                for site in sites_of_fn:
+                    raw = ptrace.read_memory(site.addr + 1, 4)
+                    current = site.addr + _CALL_SIZE + _I32.unpack(raw)[0]
+                    desired = original.functions[site.callee].addr
+                    if current != desired:
+                        rel = desired - (site.addr + _CALL_SIZE)
+                        ptrace.write_memory(site.addr + 1, _I32.pack(rel))
+                        report.call_sites_restored += 1
+
+            # entry trampolines (§IV-B variant): restore pristine bytes.
+            text = original.sections.get(".text")
+            for name, info in original.functions.items():
+                entry = info.addr
+                opbyte = ptrace.read_memory(entry, 1)[0]
+                if opbyte != int(Opcode.JMP):
+                    continue
+                raw = ptrace.read_memory(entry + 1, 4)
+                target = entry + _CALL_SIZE + _I32.unpack(raw)[0]
+                if not _optimized(target) or text is None or not text.contains(entry):
+                    continue
+                off = entry - text.addr
+                ptrace.write_memory(entry, bytes(text.data[off : off + _CALL_SIZE]))
+                report.trampolines_restored += 1
+
+            # function-pointer slots (defensive: the wrapFuncPtrCreation
+            # invariant keeps these in C_0 already).
+            for slot in range(original.fp_slot_count):
+                slot_addr = original.fp_slot_addr(slot)
+                value = process.address_space.read_u64(slot_addr)
+                if not _optimized(value):
+                    continue
+                c0 = fp_map.translate_to_c0(value) if fp_map is not None else None
+                if c0 is not None:
+                    ptrace.write_u64(slot_addr, c0)
+                    report.fp_slots_restored += 1
+        finally:
+            if not already_stopped:
+                ptrace.resume()
+        span.set_attrs(pointer_writes=report.pointer_writes)
+    return report
+
+
+def _live_band_addresses(process: Process, original: Binary) -> List[int]:
+    """Every PC, return address and saved longjmp continuation currently
+    pointing into replaceable code."""
+    out: List[int] = []
+    for thread in process.threads:
+        if _optimized(thread.pc):
+            out.append(thread.pc)
+        for ret in stack_return_addresses(process, thread):
+            if _optimized(ret):
+                out.append(ret)
+    if original.jmpbuf_count:
+        for thread in process.threads:
+            for buf in range(original.jmpbuf_count):
+                saved_pc = process.address_space.read_u64(
+                    original.jmpbuf_addr(buf, thread.tid)
+                )
+                if saved_pc and _optimized(saved_pc):
+                    out.append(saved_pc)
+    return out
+
+
+def try_collect_bands(process: Process, original: Binary) -> Tuple[int, bool]:
+    """Unmap retired generation bands once nothing live references them.
+
+    Returns:
+        ``(regions_collected, quiesced)`` — ``quiesced`` is True when no
+        optimized-band region remains mapped afterwards (at which point the
+        process is architecturally indistinguishable from freshly-launched
+        ``C_0`` state and ``replacement_generation`` resets to 0).
+    """
+    space = process.address_space
+    band_regions = [r for r in space.regions() if _optimized(r.start)]
+    if not band_regions:
+        if process.replacement_generation != 0:
+            process.replacement_generation = 0
+        return 0, True
+    if _live_band_addresses(process, original):
+        return 0, False
+    for region in band_regions:
+        space.unmap_region(region.start)
+    process.interpreter.invalidate()
+    process.replacement_generation = 0
+    return len(band_regions), True

@@ -1,0 +1,95 @@
+"""Open-loop traffic generation and request routing.
+
+The :class:`TrafficStream` is an open-loop arrival process: a seeded base
+rate with bounded multiplicative jitter, independent of how the fleet is
+doing (arrivals do not slow down when the fleet backs up — the defining
+property of open-loop load, and what makes pause-time backlogs visible).
+
+The :class:`Router` splits each tick's arrivals evenly across in-rotation
+replicas, distributing the remainder round-robin so the split is fair *and*
+deterministic.  Requests routed to a replica that has silently died count
+as lost (errors) until the health check removes it from rotation; a drained
+replica's share is re-routed, not lost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.fleet.replica import Replica
+
+
+class TrafficStream:
+    """Seeded open-loop arrival generator (requests per tick)."""
+
+    def __init__(self, rate_per_tick: float, seed: int, jitter: float = 0.1) -> None:
+        if rate_per_tick < 0:
+            raise ValueError(f"rate_per_tick must be >= 0, got {rate_per_tick}")
+        self.rate_per_tick = rate_per_tick
+        self.jitter = max(0.0, min(1.0, jitter))
+        self._rng = random.Random(seed)
+
+    def arrivals(self) -> int:
+        """Next tick's arrival count."""
+        factor = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(0, int(round(self.rate_per_tick * factor)))
+
+
+class Router:
+    """Load balancer over the fleet's replicas."""
+
+    def __init__(self, replicas: Sequence[Replica]) -> None:
+        self.replicas = list(replicas)
+        self._rr_offset = 0
+        self.requests_routed = 0
+        self.requests_lost = 0
+
+    def in_rotation(self) -> List[Replica]:
+        """Replicas currently receiving traffic.
+
+        A failed replica keeps its rotation slot until the health check
+        notices (:meth:`evict_failed`); its share is lost in the meantime.
+        """
+        return [r for r in self.replicas if r.state.value != "drained"]
+
+    def evict_failed(self) -> List[Replica]:
+        """Health check: nothing to do — failed replicas exclude themselves
+        from :meth:`route` loss accounting only after detection.  Returns
+        replicas newly detected as failed this call."""
+        detected = [
+            r for r in self.replicas
+            if not r.healthy and not getattr(r, "_evicted", False)
+        ]
+        for r in detected:
+            r._evicted = True  # type: ignore[attr-defined]
+        return detected
+
+    def route(self, total: int) -> Dict[int, int]:
+        """Split ``total`` arrivals across the rotation.
+
+        Returns:
+            per-node arrival counts (failed-but-undetected nodes included —
+            their replicas count those requests as lost).
+        """
+        targets = [
+            r for r in self.in_rotation() if not getattr(r, "_evicted", False)
+        ]
+        self.requests_routed += total
+        if not targets:
+            self.requests_lost += total
+            return {}
+        base, rem = divmod(total, len(targets))
+        shares: Dict[int, int] = {}
+        for i, replica in enumerate(targets):
+            extra = 1 if (i + self._rr_offset) % len(targets) < rem else 0
+            shares[replica.node] = base + extra
+        self._rr_offset = (self._rr_offset + rem) % max(1, len(targets))
+        return shares
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of routed requests lost (router blackholes plus
+        requests that died with their replica)."""
+        lost = self.requests_lost + sum(r.requests_lost for r in self.replicas)
+        return lost / self.requests_routed if self.requests_routed else 0.0

@@ -7,6 +7,7 @@ from repro.core.continuous import ContinuousReplacer, generation_band
 from repro.core.funcptr_map import FunctionPointerMap
 from repro.core.replacement import CodeReplacer
 from repro.errors import ReplacementError
+from repro.fleet.rollback import restore_original_text, try_collect_bands
 from repro.profiling.perf import PerfSession
 from repro.profiling.perf2bolt import extract_profile
 
@@ -111,8 +112,10 @@ class TestContinuousReplacement:
     def test_requires_wrap_hook(self, tiny_fresh):
         proc = tiny_fresh.process()
         fp_map = FunctionPointerMap(tiny_fresh.binary)
-        with pytest.raises(ReplacementError):
+        with pytest.raises(ReplacementError, match="wrapFuncPtrCreation"):
             ContinuousReplacer(proc, tiny_fresh.binary, fp_map)
+        assert proc.wrap_hook is None  # nothing was half-installed
+        assert not proc.paused
 
     def test_generation_mismatch_rejected(self, replaced):
         bundle, proc, fp_map, result1 = replaced
@@ -135,6 +138,91 @@ class TestContinuousReplacement:
         cont = ContinuousReplacer(proc, bundle.binary, fp_map)
         with pytest.raises(ReplacementError):
             cont.replace_next(result2, result1.binary)
+
+    def test_mid_replace_failure_rolls_back_bit_identical(
+        self, tiny_fresh, monkeypatch
+    ):
+        """A patch that dies halfway through ``replace_next`` is fully
+        recoverable: after the steering undo the process is bit-identical
+        to a twin that rolled back from a clean generation-1 state without
+        ever attempting the failed install."""
+        bundle = tiny_fresh
+
+        def gen1_pipeline():
+            # single-threaded so stop positions are scheduling-independent
+            proc = bundle.process(n_threads=1)
+            proc.run(max_transactions=50)
+            profile = profile_of(proc, bundle.binary)
+            result1 = run_bolt(
+                bundle.program,
+                bundle.binary,
+                profile,
+                compiler_options=bundle.options,
+            )
+            fp_map = FunctionPointerMap(bundle.binary)
+            CodeReplacer(proc, bundle.binary, fp_map=fp_map).replace(result1)
+            proc.run(max_transactions=100)
+            result2 = bolt_next(bundle, proc, result1.binary, 2)
+            return proc, fp_map, result1, result2
+
+        def digest(proc):
+            threads = tuple(
+                (t.tid, t.pc, t.sp, t.state.name) for t in proc.threads
+            )
+            counted = tuple(sorted(proc.behaviour.counted_state.items()))
+            return (
+                proc.counters_total().transactions,
+                threads,
+                proc.rng.getstate(),
+                counted,
+            )
+
+        proc_a, fp_a, r1_a, r2_a = gen1_pipeline()
+        proc_b, fp_b, _, _ = gen1_pipeline()
+
+        cont = ContinuousReplacer(proc_a, bundle.binary, fp_a)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected mid-replace fault")
+
+        # fires after v-tables already point at generation 2, so the
+        # process is genuinely half-patched when the exception unwinds
+        monkeypatch.setattr(cont, "_repatch_c0_calls", boom)
+        with pytest.raises(RuntimeError, match="injected mid-replace fault"):
+            cont.replace_next(r2_a, r1_a.binary)
+        assert not proc_a.paused  # the finally clause resumed the target
+
+        lo2, hi2 = generation_band(2)
+        slots = [
+            proc_a.address_space.read_u64(vt.slot_addr(s))
+            for vt in bundle.binary.vtables
+            for s in range(len(vt.slots))
+        ]
+        assert any(lo2 <= v < hi2 for v in slots)  # half-applied for real
+
+        report = restore_original_text(proc_a, bundle.binary, fp_map=fp_a)
+        assert report.pointer_writes > 0
+        again = restore_original_text(proc_a, bundle.binary, fp_map=fp_a)
+        assert again.pointer_writes == 0  # idempotent: one pass converged
+        restore_original_text(proc_b, bundle.binary, fp_map=fp_b)
+
+        for vt in bundle.binary.vtables:
+            for s, func in enumerate(vt.slots):
+                assert (
+                    proc_a.address_space.read_u64(vt.slot_addr(s))
+                    == bundle.binary.functions[func].addr
+                )
+
+        for proc in (proc_a, proc_b):
+            proc.run(max_transactions=400)
+        assert digest(proc_a) == digest(proc_b)
+
+        # in-flight frames drained during serving, so both quiesce to a
+        # state indistinguishable from never-optimized C_0
+        for proc in (proc_a, proc_b):
+            collected, quiesced = try_collect_bands(proc, bundle.binary)
+            assert quiesced and collected >= 1
+            assert proc.replacement_generation == 0
 
     def test_three_generations(self, replaced):
         bundle, proc, fp_map, result1 = replaced

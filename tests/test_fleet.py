@@ -1,0 +1,362 @@
+"""Fleet control plane tests: fault matrix, canary rollback, bit-identity.
+
+Rollouts are deterministic (seeded traffic, virtual time), so the expensive
+controller runs are shared module-wide and every assertion on them is exact.
+The fault matrix asserts, for each named site, the three contract clauses:
+(a) the fleet keeps serving (no loss beyond the faulted node), (b) the
+configured retry/backoff or rollback fired, and (c) replica state stays
+bit-identical to an unoptimized reference (directly, via the demand-schedule
+replay oracle, where the site leaves replicas on original code).
+"""
+
+import pytest
+
+from repro.binary.binaryfile import BOLT_TEXT_BASE, RODATA_BASE
+from repro.fleet import (
+    PERSISTENT,
+    FaultPlan,
+    FaultSpec,
+    FleetConfig,
+    FleetController,
+    analytic_prediction,
+    unoptimized_reference_digests,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_spec(small_server):
+    return small_server.make_input("readish", 0.1, {"read_op": 8.0, "scan_op": 1.0})
+
+
+def run_rollout(workload, spec, *, drain=True, plan=None, **overrides):
+    overrides.setdefault("n_replicas", 3)
+    config = FleetConfig(drain=drain, **overrides)
+    controller = FleetController(workload, spec, config, plan)
+    return controller, controller.run(), config
+
+
+@pytest.fixture(scope="module")
+def clean_drain(small_server, fleet_spec):
+    return run_rollout(small_server, fleet_spec, drain=True)
+
+
+@pytest.fixture(scope="module")
+def clean_unaware(small_server, fleet_spec):
+    return run_rollout(small_server, fleet_spec, drain=False)
+
+
+@pytest.fixture(scope="module")
+def degraded(small_server, fleet_spec):
+    """Persistent BOLT crashes exhaust the retry budget: graceful degradation."""
+    plan = FaultPlan([FaultSpec("bolt.crash", times=PERSISTENT)])
+    return run_rollout(small_server, fleet_spec, drain=False, plan=plan)
+
+
+def band_regions(process):
+    return [
+        r for r in process.address_space.regions()
+        if BOLT_TEXT_BASE <= r.start < RODATA_BASE
+    ]
+
+
+class TestCleanRollout:
+    def test_drain_rollout_optimizes_whole_fleet(self, clean_drain):
+        controller, outcome, _cfg = clean_drain
+        assert outcome.status == "optimized"
+        assert outcome.installs == 3
+        assert [r["generation"] for r in outcome.replicas] == [1, 1, 1]
+        assert outcome.generation_skew == 0
+        assert outcome.error_rate == 0.0
+        assert outcome.rollbacks == 0
+        assert float(outcome.canary["speedup"]) > 1.0
+
+    def test_unaware_rollout_also_lands_but_hurts_p99(
+        self, clean_drain, clean_unaware
+    ):
+        _, drain_out, _ = clean_drain
+        _, unaware_out, _ = clean_unaware
+        assert unaware_out.status == "optimized"
+        # The pause-aware balancer absorbs the stop-the-world windows; the
+        # unaware one eats them as backlog (the paper's §IV-D motivation).
+        assert unaware_out.worst_p99_ms > 1.5 * drain_out.worst_p99_ms
+
+    def test_rates_cover_the_paper_pipeline_phases(self, clean_drain):
+        _, outcome, _ = clean_drain
+        rates = outcome.rates
+        assert rates["tps_original"] > 0
+        # Profiling overhead and background-BOLT contention genuinely
+        # depress the measured service rate.
+        assert rates["tps_profiling"] < rates["tps_original"]
+        assert rates["tps_contention"] < rates["tps_original"]
+        assert rates["tps_optimized"] > rates["tps_original"]
+        assert rates["pause_seconds"] > 0
+
+    def test_slo_rows_publish_as_fleet_gauges(self, clean_drain):
+        from repro.harness.reporting import publish_bench_rows
+        from repro.obs import metrics as _metrics
+
+        _, outcome, _ = clean_drain
+        _metrics.install()
+        try:
+            publish_bench_rows("fleet", outcome.slo_rows())
+            snapshot = _metrics.current().snapshot()
+            worst = snapshot["bench.fleet.worst_p99_ms"]
+            (labels,) = worst.keys()
+            assert "policy=drain" in labels and "status=optimized" in labels
+            assert list(worst.values()) == [pytest.approx(outcome.worst_p99_ms)]
+            assert "bench.fleet.canary_speedup" in snapshot
+        finally:
+            _metrics.uninstall()
+
+
+class TestCanaryRollback:
+    @pytest.fixture(scope="class")
+    def pessimized(self, small_server, fleet_spec):
+        return run_rollout(
+            small_server, fleet_spec, drain=True, pessimize_layout=True
+        )
+
+    def test_measured_regression_rolls_back_fleet_wide(self, pessimized):
+        controller, outcome, config = pessimized
+        assert outcome.status == "rolled_back"
+        assert float(outcome.canary["speedup"]) < config.rollback_below
+        assert outcome.rollbacks == len(controller.replicas)
+        assert [r["generation"] for r in outcome.replicas] == [0, 0, 0]
+        assert outcome.error_rate == 0.0
+
+    def test_rollback_restores_original_text_and_collects_bands(
+        self, pessimized
+    ):
+        controller, outcome, _cfg = pessimized
+        for replica in controller.replicas:
+            assert not band_regions(replica.process)
+            binary = replica.original
+            for vtable in binary.vtables:
+                for slot, func in enumerate(vtable.slots):
+                    value = replica.process.address_space.read_u64(
+                        vtable.slot_addr(slot)
+                    )
+                    assert value == binary.functions[func].addr
+        assert outcome.events.count("replica.rollback") >= len(controller.replicas)
+
+
+class TestFaultMatrix:
+    def test_profile_truncated_retries_then_lands(self, small_server, fleet_spec):
+        plan = FaultPlan([FaultSpec("profile.truncate")])
+        _, outcome, _ = run_rollout(small_server, fleet_spec, plan=plan)
+        assert outcome.faults_injected == 1
+        assert outcome.retries >= 1            # (b) retry with backoff fired
+        assert outcome.status == "optimized"   # transient: second attempt wins
+        assert outcome.error_rate == 0.0       # (a) no request was lost
+        assert [r["generation"] for r in outcome.replicas] == [1, 1, 1]
+
+    def test_bolt_crash_transient_retries_then_lands(
+        self, small_server, fleet_spec
+    ):
+        plan = FaultPlan([FaultSpec("bolt.crash")])
+        _, outcome, _ = run_rollout(small_server, fleet_spec, plan=plan)
+        assert outcome.faults_injected == 1
+        assert outcome.retries >= 1
+        assert outcome.status == "optimized"
+        assert outcome.error_rate == 0.0
+
+    def test_bolt_crash_persistent_degrades_gracefully(self, degraded):
+        controller, outcome, config = degraded
+        # (b) every retry was consumed, then the controller gave up cleanly.
+        assert outcome.faults_injected == config.max_retries + 1
+        assert outcome.retries == config.max_retries
+        assert outcome.status == "degraded"
+        assert outcome.installs == 0
+        assert outcome.rollbacks >= 1  # the defensive (no-op) canary rollback
+        # (a) the fleet served the whole stream on original code.
+        assert outcome.error_rate == 0.0
+        assert [r["generation"] for r in outcome.replicas] == [0, 0, 0]
+
+    def test_degraded_fleet_bit_identical_to_unoptimized_replay(
+        self, degraded, small_server, fleet_spec
+    ):
+        controller, outcome, config = degraded
+        # (c) replaying the recorded demand schedule into fresh, never-
+        # optimized replicas reproduces the exact machine state.
+        digests = [r.semantic_digest() for r in controller.replicas]
+        references = unoptimized_reference_digests(
+            small_server, fleet_spec, config, outcome.demand_schedule
+        )
+        assert digests == references
+
+    def test_mid_patch_exception_rolls_back_then_retries(
+        self, small_server, fleet_spec
+    ):
+        plan = FaultPlan([FaultSpec("patch.mid_replace")])
+        controller, outcome, _ = run_rollout(small_server, fleet_spec, plan=plan)
+        assert outcome.faults_injected == 1
+        assert outcome.rollbacks >= 1          # (b) half-applied patch undone
+        assert outcome.retries >= 1
+        assert outcome.status == "optimized"   # retry completed the install
+        assert outcome.error_rate == 0.0       # (a)
+        assert [r["generation"] for r in outcome.replicas] == [1, 1, 1]
+
+    def test_replica_death_under_drain_is_contained(
+        self, small_server, fleet_spec
+    ):
+        plan = FaultPlan([FaultSpec("replica.die_drain", node=1)])
+        controller, outcome, _ = run_rollout(small_server, fleet_spec, plan=plan)
+        assert outcome.faults_injected == 1
+        assert outcome.status == "optimized"
+        assert outcome.installs == 2
+        assert [r["generation"] for r in outcome.replicas] == [1, 0, 1]
+        assert outcome.replicas[1]["state"] == "failed"
+        # (a) loss is confined to requests routed at the dead node before
+        # the health check evicted it; the survivors lost nothing.
+        assert outcome.requests_lost == outcome.replicas[1]["requests_lost"]
+        assert 0 < outcome.error_rate < 0.05
+        assert outcome.events.count("replica.detected_dead") == 1
+
+    def test_straggler_holds_at_health_gate_then_proceeds(
+        self, small_server, fleet_spec, clean_drain
+    ):
+        plan = FaultPlan([FaultSpec("replica.slow", node=2, slow_factor=4.0)])
+        controller, outcome, _ = run_rollout(small_server, fleet_spec, plan=plan)
+        _, clean_out, _ = clean_drain
+        assert outcome.faults_injected == 1
+        assert outcome.retries >= 1            # (b) health gate held + backoff
+        assert outcome.status == "optimized"   # straggler recovered in time
+        assert outcome.error_rate == 0.0       # (a)
+        # The slow ticks are real idle cycles: the straggler's latency spike
+        # is measured, not modelled.
+        assert outcome.worst_p99_ms > 2 * clean_out.worst_p99_ms
+
+    def test_optimized_fleet_preserves_workload_semantics(
+        self, clean_drain, small_server, fleet_spec
+    ):
+        controller, outcome, config = clean_drain
+        # (c) for the no-fault path: layout changes never change what the
+        # workload computed.  Full machine-state identity is only defined
+        # for same-layout runs (TestDeterminism) and never-patched replicas
+        # (the degraded path): run stop points are round-quantized, rounds
+        # are layout-length-dependent, so an optimized replica parks at a
+        # slightly different intra-transaction position.  The workload-
+        # visible state — counted site outcomes and demand satisfaction —
+        # must match exactly.
+        references = unoptimized_reference_digests(
+            small_server, fleet_spec, config, outcome.demand_schedule
+        )
+        for replica, reference in zip(controller.replicas, references):
+            txns, _threads, _rng, counted = replica.semantic_digest()
+            ref_txns, _ref_threads, _ref_rng, ref_counted = reference
+            assert counted == ref_counted
+            assert abs(txns - ref_txns) <= 1  # round-boundary overshoot only
+            assert txns >= replica.demand_total
+
+
+class TestDeterminism:
+    def test_event_log_replays_from_seed(self, degraded, small_server, fleet_spec):
+        _, outcome, _ = degraded
+        plan = FaultPlan([FaultSpec("bolt.crash", times=PERSISTENT)])
+        _, again, _ = run_rollout(small_server, fleet_spec, drain=False, plan=plan)
+        assert again.events.replay_digest() == outcome.events.replay_digest()
+        assert again.p99_series == outcome.p99_series
+
+    def test_superblock_twin_fleets_machine_identical(
+        self, small_server, fleet_spec
+    ):
+        digests = {}
+        for superblocks in (True, False):
+            controller, outcome, _ = run_rollout(
+                small_server, fleet_spec, n_replicas=2, superblocks=superblocks
+            )
+            assert outcome.status == "optimized"
+            digests[superblocks] = [
+                r.machine_digest() for r in controller.replicas
+            ]
+        assert digests[True] == digests[False]
+
+    def test_one_bolt_serves_all_installs(
+        self, fresh_engine, small_server, fleet_spec
+    ):
+        _, outcome, _ = run_rollout(small_server, fleet_spec)
+        assert outcome.installs == 3
+        stats = fresh_engine.stats()["bolt"]
+        # One background BOLT built the artifact; every other replica's
+        # install reused it through the content-addressed store.
+        assert stats.misses == 1
+
+
+class TestAnalyticModel:
+    def test_analytic_model_agrees_in_shape(self, clean_drain, clean_unaware):
+        """`harness.cluster`'s closed-form drain-vs-unaware claim, checked
+        against measured replicas.
+
+        Observed error band (recorded in the cluster module docstring): with
+        the analytic model driven by the measured phase rates on the fleet's
+        clock, absolute p99s agree within ~±25% after the tick-unit
+        conversion, per-policy worst/baseline shapes within ~±30%, and the
+        drain-vs-unaware separation direction always.
+        """
+        _, drain_out, drain_cfg = clean_drain
+        _, unaware_out, unaware_cfg = clean_unaware
+        rates = drain_out.rates
+        tick = drain_cfg.tick_seconds
+        drain_pred = analytic_prediction(rates, drain_cfg, drain=True)
+        unaware_pred = analytic_prediction(rates, unaware_cfg, drain=False)
+
+        # Direction: both agree the unaware balancer hurts worst-case p99.
+        assert unaware_out.worst_p99_ms > 1.5 * drain_out.worst_p99_ms
+        assert unaware_pred.worst_p99_ms > 1.5 * drain_pred.worst_p99_ms
+
+        # Shape: worst/baseline degradation ratio per policy, within ±40%.
+        for outcome, prediction in (
+            (drain_out, drain_pred),
+            (unaware_out, unaware_pred),
+        ):
+            measured = outcome.worst_p99_ms / outcome.baseline_p99_ms
+            analytic = prediction.worst_p99_ms / prediction.baseline_p99_ms
+            assert 0.6 < measured / analytic < 1.4
+
+        # Absolute: the analytic model's "second" is one tick here, so its
+        # p99s convert at tick_seconds; they then land within ±40%.
+        for measured_ms, analytic_ms in (
+            (drain_out.baseline_p99_ms, drain_pred.baseline_p99_ms * tick),
+            (drain_out.worst_p99_ms, drain_pred.worst_p99_ms * tick),
+            (unaware_out.worst_p99_ms, unaware_pred.worst_p99_ms * tick),
+        ):
+            assert 0.6 < measured_ms / analytic_ms < 1.4
+
+
+class TestCli:
+    def test_fleet_run_subcommand(self, fresh_engine, small_server, fleet_spec, capsys):
+        from repro.cli import main
+        from repro.engine.cells import WorkloadBundle, register_bundle, unregister_bundle
+
+        register_bundle(
+            "small_server_fleet",
+            WorkloadBundle(
+                name="small_server_fleet",
+                workload=small_server,
+                inputs={"readish": fleet_spec},
+                eval_inputs=["readish"],
+            ),
+        )
+        try:
+            rc = main([
+                "fleet", "run", "--workload", "small_server_fleet",
+                "--replicas", "2", "--seed", "5",
+                "--fault", "bolt.crash",
+            ])
+        finally:
+            unregister_bundle("small_server_fleet")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "status optimized" in out
+        assert "retries 1" in out
+        assert "replay digest" in out
+
+    def test_fault_spec_parsing(self):
+        from repro.cli import _parse_fault
+
+        spec = _parse_fault("replica.slow:2:persistent")
+        assert (spec.site, spec.node) == ("replica.slow", 2)
+        assert spec.persistent
+        assert _parse_fault("bolt.crash").times == 1
+        with pytest.raises(Exception):
+            _parse_fault("not.a.site")
