@@ -1,0 +1,77 @@
+"""Forensics overhead: checkpoint cadence sweep, replay speedup, bisect cost.
+
+Records the same targeted-pessimization rollout at several checkpoint
+cadences, then prices the two things the forensics layer sells: suffix
+replay from a checkpoint (vs a full from-scratch replay, both verified
+bit-identical) and the automatic canary-regression bisect (which must name
+the injected function).  ``benchmarks/data/forensics.json`` is the
+committed record.
+
+Modes:
+    Full run:   pytest benchmarks/bench_forensics.py --benchmark-only
+    Smoke run:  BENCH_SMOKE=1 pytest ... (CI: 2 replicas, one cadence)
+    JSON out:   BENCH_JSON_OUT=path.json pytest ... (payload artifact)
+"""
+
+import json
+import os
+
+from repro.forensics.bench import run_forensics_bench
+from repro.harness.reporting import format_table
+
+
+def bench_forensics(once):
+    smoke = os.environ.get("BENCH_SMOKE") == "1"
+    payload = once(
+        run_forensics_bench,
+        "memcached",
+        n_replicas=2 if smoke else 3,
+        cadences=(2,) if smoke else (1, 2, 4),
+    )
+
+    print()
+    rows = [
+        [
+            s["checkpoint_every"], s["checkpoints"],
+            f"{s['bytes_total']:,}", f"{s['bytes_mean']:,}",
+            f"{s['wall_s']:.2f}", f"{s['overhead_vs_off']:+.1%}",
+        ]
+        for s in payload["cadence_sweep"]
+    ]
+    print(
+        format_table(
+            ["every N ticks", "checkpoints", "bytes", "bytes/ckpt",
+             "wall s", "overhead"],
+            rows,
+            title=f"checkpoint cadence, {payload['workload']} "
+                  f"x{payload['config']['n_replicas']} replicas "
+                  f"(recording off: {payload['recording_off_wall_s']:.2f} s)",
+        )
+    )
+    replay = payload["replay"]
+    print(
+        f"replay: full {replay['full_wall_s']:.2f} s "
+        f"({replay['full_quanta']} quanta) vs from checkpoint at tick "
+        f"{replay['checkpoint_tick']} {replay['checkpoint_wall_s']:.2f} s "
+        f"({replay['checkpoint_quanta']} quanta) -> {replay['speedup']}x"
+    )
+    bisect = payload["bisect"]
+    print(
+        f"bisect: {bisect['culprit']} "
+        f"({'matched' if bisect['matched'] else 'NOT matched'}), "
+        f"first divergence tick {bisect['first_diverging_tick']}, "
+        f"{bisect['steps']} steps, {bisect['replay_quanta']} quanta, "
+        f"{bisect['wall_s']:.2f} s"
+    )
+
+    # Replay must verify bit-identical and the suffix must be cheaper.
+    assert replay["verified"] is True
+    assert replay["checkpoint_quanta"] < replay["full_quanta"]
+    # The bisector must name the injected function.
+    assert bisect["matched"] is True
+
+    out = os.environ.get("BENCH_JSON_OUT")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")

@@ -341,6 +341,8 @@ def _fleet_run(args) -> int:
         drain=args.policy == "drain",
         optimize=not args.no_optimize,
         pessimize_layout=args.pessimize_layout,
+        pessimize_function=args.pessimize_function,
+        checkpoint_every=args.checkpoint_every,
     )
     plan = FaultPlan(args.fault) if args.fault else None
     _log.info(
@@ -378,6 +380,95 @@ def _fleet_run(args) -> int:
         print(f"event log: {len(outcome.events.events)} events, "
               f"replay digest {outcome.events.replay_digest()[:16]} "
               f"(seed {args.seed})")
+    recorder = controller._forensics
+    if args.events_out and outcome.events is not None:
+        from repro.engine.fingerprint import fingerprint
+
+        header = {
+            "workload": args.workload,
+            "input": input_name,
+            "config_digest": fingerprint("fleet.config", config.to_jsonable()),
+        }
+        if recorder is not None:
+            header["run_id"] = recorder.run_id
+        outcome.events.write_jsonl(args.events_out, **header)
+        print(f"events: {args.events_out} "
+              f"({len(outcome.events.events)} records + header)")
+    if recorder is not None and recorder.manifest is not None:
+        manifest = recorder.manifest
+        checkpoint_bytes = sum(c.nbytes for c in manifest.checkpoints)
+        print(
+            f"forensics: run {manifest.run_id[:16]}, "
+            f"{len(manifest.checkpoints)} checkpoints "
+            f"({checkpoint_bytes:,} bytes), "
+            f"{len(manifest.mutations)} mutations ledgered"
+        )
+    return 0
+
+
+def _fleet_bisect(args) -> int:
+    """Bisect a recorded canary regression to its culprit function."""
+    from repro.engine.cells import workload_bundle
+    from repro.errors import ReproError
+    from repro.fleet.events import EventLog
+    from repro.forensics import ForensicsError, load_manifest, run_bisect
+
+    try:
+        events, header = EventLog.load_jsonl(args.events)
+    except (OSError, ReproError) as exc:
+        print(f"error: cannot load events: {exc}", file=sys.stderr)
+        return 1
+    run_id = header.get("run_id")
+    if not run_id:
+        print(
+            "error: events file has no forensics run id — record the "
+            "rollout with --checkpoint-every N and --events-out",
+            file=sys.stderr,
+        )
+        return 1
+    def _resolve_bundle(workload_name: str):
+        # Manifests record the workload's own name; registered test bundles
+        # resolve directly, the built-in "<bundle>_like" workloads resolve
+        # through their bundle name.
+        try:
+            return workload_bundle(workload_name)
+        except KeyError:
+            pass
+        if workload_name.endswith("_like"):
+            try:
+                return workload_bundle(workload_name[: -len("_like")])
+            except KeyError:
+                pass
+        raise ForensicsError(
+            f"cannot resolve workload {workload_name!r} to a bundle"
+        )
+
+    try:
+        manifest = load_manifest(str(run_id))
+        bundle = _resolve_bundle(manifest.workload_name)
+        input_spec = bundle.inputs[manifest.input_name]
+        _log.info(
+            "forensics.bisect.start", run_id=str(run_id)[:16],
+            workload=manifest.workload_name, node=args.node,
+        )
+        report = run_bisect(
+            manifest,
+            bundle.workload,
+            input_spec,
+            events=events,
+            node=args.node,
+            ratio=args.ratio,
+            force=args.force,
+        )
+    except ForensicsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.to_text())
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_jsonable(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report: {args.report_out}")
     return 0
 
 
@@ -523,7 +614,10 @@ def _engine_gc(args) -> int:
             file=sys.stderr,
         )
         return 1
-    evicted = st.disk.gc(args.max_bytes)
+    from repro.forensics import collect_gc_pins
+
+    pinned = collect_gc_pins(st.disk)
+    evicted = st.disk.gc(args.max_bytes, pinned=pinned)
     kept = st.disk.entries()
     print(
         f"evicted {len(evicted)} artifacts "
@@ -532,6 +626,7 @@ def _engine_gc(args) -> int:
     print(
         f"kept {len(kept)} artifacts ({sum(s for _, _, s in kept):,} bytes), "
         f"cap {args.max_bytes:,} bytes"
+        + (f", {len(pinned)} pinned by forensics manifests" if pinned else "")
     )
     _log.info(
         "engine.gc",
@@ -539,6 +634,7 @@ def _engine_gc(args) -> int:
         cap_bytes=args.max_bytes,
         evicted=len(evicted),
         kept=len(kept),
+        pinned=len(pinned),
     )
     return 0
 
@@ -688,6 +784,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-optimize", action="store_true",
         help="serve only: skip the rollout pipeline (baseline runs)",
     )
+    fleet_run.add_argument(
+        "--pessimize-function", metavar="NAME", default=None,
+        help="pessimize only this function's layout ('hottest' resolves "
+             "against the collected profile) — the known-culprit injection "
+             "`fleet bisect` must find",
+    )
+    fleet_run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="forensics: checkpoint every replica each N served ticks into "
+             "the artifact cache (0 disables recording; default 0)",
+    )
+    fleet_run.add_argument(
+        "--events-out", metavar="PATH", default=None,
+        help="write the rollout event log as versioned JSONL (header "
+             "record + one event per line; `fleet bisect --events` input)",
+    )
+    fleet_bisect = fleet_sub.add_parser(
+        "bisect",
+        help="replay a recorded canary regression against the previous "
+             "layout and name the culprit function",
+        parents=[obs_flags, engine_flags],
+    )
+    fleet_bisect.add_argument(
+        "--events", metavar="PATH", required=True,
+        help="event-log JSONL written by `fleet run --events-out`",
+    )
+    fleet_bisect.add_argument(
+        "--node", type=int, default=0,
+        help="replica to bisect (default 0, the canary)",
+    )
+    fleet_bisect.add_argument(
+        "--ratio", type=float, default=1.05,
+        help="cycles-per-transaction divergence threshold (default 1.05)",
+    )
+    fleet_bisect.add_argument(
+        "--force", action="store_true",
+        help="bisect even without a recorded rollback verdict",
+    )
+    fleet_bisect.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="also write the culprit report as JSON",
+    )
 
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -817,6 +955,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _log.info("experiment.done", kind="table", number=args.number)
             return 0
         if args.command == "fleet":
+            if args.fleet_command == "bisect":
+                return _fleet_bisect(args)
             return _fleet_run(args)
         if args.command == "obs":
             return _obs_view(args)

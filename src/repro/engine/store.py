@@ -29,7 +29,7 @@ import os
 import pickle
 import tempfile
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Collection, Dict, List, Optional, Tuple
 
 from repro.engine.fingerprint import fingerprint
 from repro.errors import ReproError
@@ -135,7 +135,11 @@ class DiskBackend:
                 out.append((kind, name[: -len(".pkl")], os.path.getsize(path)))
         return out
 
-    def gc(self, max_bytes: int) -> List[Tuple[str, str, int]]:
+    def gc(
+        self,
+        max_bytes: int,
+        pinned: Collection[Tuple[str, str]] = (),
+    ) -> List[Tuple[str, str, int]]:
         """Evict least-recently-used artifacts until the cache fits.
 
         Recency is the file's access time, which :meth:`get` refreshes
@@ -146,12 +150,18 @@ class DiskBackend:
         Args:
             max_bytes: size cap; artifacts are deleted, oldest access
                 first, until the total on-disk size is at or below it.
+            pinned: ``(kind, digest)`` pairs that must never be evicted —
+                forensics manifests pin their checkpoints and bolt
+                artifacts this way (:func:`repro.forensics.collect_gc_pins`)
+                so a bisect long after the rollout can still replay.
+                Pinned bytes still count toward the cap.
 
         Returns:
             ``(kind, digest, bytes)`` for every evicted artifact.
         """
         if max_bytes < 0:
             raise StoreError(f"gc size cap must be >= 0, got {max_bytes}")
+        pinned = set(pinned)
         ranked: List[Tuple[float, str, str, int, str]] = []
         for kind, digest, size in self.entries():
             path = os.path.join(self.root, kind, f"{digest}.pkl")
@@ -165,6 +175,8 @@ class DiskBackend:
         for _atime, kind, digest, size, path in sorted(ranked):
             if total <= max_bytes:
                 break
+            if (kind, digest) in pinned:
+                continue
             try:
                 os.unlink(path)
             except FileNotFoundError:

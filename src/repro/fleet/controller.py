@@ -60,7 +60,9 @@ from repro.workloads.generator import SyntheticWorkload
 from repro.workloads.inputs import InputSpec
 
 
-def inverted_profile(profile: BoltProfile) -> BoltProfile:
+def inverted_profile(
+    profile: BoltProfile, only_function: Optional[str] = None
+) -> BoltProfile:
     """A deliberately pessimized profile: hotness inverted everywhere.
 
     Two lies combine into the canonical "bad rollout" a canary stage must
@@ -75,6 +77,15 @@ def inverted_profile(profile: BoltProfile) -> BoltProfile:
       section — which the layout places half a generation-stride away.
       The real hot path then ping-pongs between the two bands on nearly
       every block transition, defeating the i-side caches and iTLB.
+
+    With ``only_function``, the lies are confined to that one function and
+    every *other* function is dropped from the profile entirely.  BOLT only
+    relays functions the profile marks hot, so the built binary differs
+    from the original in exactly one function's layout — a pure injected
+    regression (bystander wins can't mask it) and the forensics ground
+    truth: the bisector must name exactly this function from measurements
+    alone.  Edges touching the target are dropped too, so the layout pass
+    cannot reconstruct its hot path from a neighbor.
     """
     out = BoltProfile(
         sample_count=profile.sample_count, record_count=profile.record_count
@@ -86,7 +97,9 @@ def inverted_profile(profile: BoltProfile) -> BoltProfile:
         for label, c in counts.items():
             per_function.setdefault(label.rsplit("#", 1)[0], []).append((label, c))
         kept: Dict[str, int] = {}
-        for blocks in per_function.values():
+        for func, blocks in per_function.items():
+            if only_function is not None and func != only_function:
+                continue  # bystanders vanish: their layout stays original
             blocks.sort(key=lambda pair: -pair[1])
             for rank, (label, c) in enumerate(blocks):
                 if rank % 2 == 1:
@@ -94,13 +107,36 @@ def inverted_profile(profile: BoltProfile) -> BoltProfile:
         out.block_counts = kept or {
             label: top + 1 - c for label, c in counts.items()
         }
+    def _touches_target(key: Tuple[str, str]) -> bool:
+        return only_function is not None and any(
+            label.rsplit("#", 1)[0] == only_function for label in key
+        )
+
     for attr in ("branch_edges", "fallthrough_edges", "call_edges"):
         table = getattr(profile, attr)
         if not table:
             continue
+        if only_function is not None:
+            setattr(
+                out, attr,
+                {k: v for k, v in table.items() if not _touches_target(k)},
+            )
+            continue
         top = max(table.values())
         setattr(out, attr, {k: top + 1 - v for k, v in table.items()})
     return out
+
+
+def hottest_function(profile: BoltProfile) -> Optional[str]:
+    """The profile's hottest function by total block count (name-stable)."""
+    totals: Dict[str, int] = {}
+    for label, count in profile.block_counts.items():
+        func = label.rsplit("#", 1)[0]
+        totals[func] = totals.get(func, 0) + count
+    if not totals:
+        return None
+    top = max(totals.values())
+    return sorted(f for f, v in totals.items() if v == top)[0]
 
 
 class _MidPatchFaultPatcher:
@@ -172,6 +208,12 @@ class FleetConfig:
     straggler_ticks: int = 3
     gc_retry_ticks: int = 6
     superblocks: Optional[bool] = None
+    #: Forensic recording cadence: checkpoint every N served ticks
+    #: (0 disables the :class:`~repro.forensics.checkpoint.ForensicsRecorder`).
+    checkpoint_every: int = 0
+    #: Pessimize only this function's layout (``"hottest"`` resolves
+    #: against the collected profile) — the bisector's injected culprit.
+    pessimize_function: Optional[str] = None
 
     def to_jsonable(self) -> Dict[str, object]:
         out: Dict[str, object] = {}
@@ -325,10 +367,16 @@ class FleetController:
         self._p99_series: List[float] = []
         self._demands: List[List[int]] = [[] for _ in self.replicas]
         self._bolt_result: Optional[BoltResult] = None
+        self._bolt_digest: Optional[str] = None
         self._rollbacks = 0
         self._retries = 0
         self._installs = 0
         self._last_pause_seconds = 0.0
+        self._forensics = None
+        if self.cfg.checkpoint_every > 0:
+            from repro.forensics.checkpoint import ForensicsRecorder
+
+            self._forensics = ForensicsRecorder(self)
 
     # ------------------------------------------------------------------
     # metrics helpers
@@ -344,6 +392,11 @@ class FleetController:
         registry = _metrics.current()
         if registry is not None and n:
             registry.counter(f"fleet.{name}", "fleet lifecycle counter").inc(n)
+
+    def _mutation(self, node: int, kind: str, **attrs: object) -> None:
+        """Ledger one machine-state mutation with the forensics recorder."""
+        if self._forensics is not None:
+            self._forensics.on_mutation(node, kind, **attrs)
 
     # ------------------------------------------------------------------
     # serving
@@ -372,7 +425,10 @@ class FleetController:
             self._gauge("p99_ms", p99, policy=policy)
             self._gauge("error_rate", self.router.error_rate, policy=policy)
             self._gauge("generation_skew", skew, policy=policy)
+            _trace.sample("fleet.p99_ms", p99)
             self.tick += 1
+            if self._forensics is not None:
+                self._forensics.on_tick()
 
     def _backoff(self, attempt: int, site: str, node: int) -> None:
         """Exponential backoff, spent serving (the fleet never stops)."""
@@ -408,11 +464,16 @@ class FleetController:
         while True:
             session = PerfSession(period=cfg.perf_period, overhead=cfg.perf_overhead)
             session.attach(canary.process)
+            self._mutation(
+                canary.node, "perf_attach",
+                period=cfg.perf_period, overhead=cfg.perf_overhead,
+            )
             mark = canary.counters_mark()
             try:
                 self._serve_ticks(cfg.profile_ticks)
             finally:
                 session.detach()
+                self._mutation(canary.node, "perf_detach")
             tps_profiling = canary.measured_tps(canary.window_delta(mark))
             samples = session.samples
             if self.plan.should_fire("profile.truncate", canary.node):
@@ -444,12 +505,22 @@ class FleetController:
     def _build_bolt(self, canary: Replica, profile: BoltProfile) -> Tuple[BoltResult, float]:
         """One shared background BOLT, contention charged to the canary."""
         cfg = self.cfg
-        used = inverted_profile(profile) if cfg.pessimize_layout else profile
+        target = cfg.pessimize_function
+        if target == "hottest":
+            target = hottest_function(profile)
+        if target is not None:
+            used = inverted_profile(profile, only_function=target)
+        elif cfg.pessimize_layout:
+            used = inverted_profile(profile)
+        else:
+            used = profile
+        if target is not None:
+            tag = f"pessimal:{target}"
+        else:
+            tag = "pessimal" if cfg.pessimize_layout else "faithful"
         context = fingerprint(self.workload)
-        parts = (
-            context, fingerprint(used), cfg.bolt_options, None, 1,
-            "pessimal" if cfg.pessimize_layout else "faithful",
-        )
+        parts = (context, fingerprint(used), cfg.bolt_options, None, 1, tag)
+        key = store().key("bolt", parts)
         attempt = 0
         while True:
             def build() -> BoltResult:
@@ -489,15 +560,29 @@ class FleetController:
             f = min(0.9, max(0.0, cfg.background_contention))
             if f > 0:
                 canary.make_slow(1.0 / (1.0 - f), cfg.background_ticks)
+                self._mutation(
+                    canary.node, "slow",
+                    factor=1.0 / (1.0 - f), ticks=cfg.background_ticks,
+                )
             mark = canary.counters_mark()
             self._serve_ticks(cfg.background_ticks)
             tps_contention = canary.measured_tps(canary.window_delta(mark))
+            built_attrs: Dict[str, object] = {
+                "hot_functions": len(result.hot_functions),
+                "generation": result.generation,
+                "tps_contention": round(tps_contention, 1),
+            }
+            if cfg.pessimize_function is not None:
+                built_attrs["pessimized"] = target
             self.log.emit(
-                self.tick, "bolt.built", node=canary.node,
-                hot_functions=len(result.hot_functions),
-                generation=result.generation,
-                tps_contention=round(tps_contention, 1),
+                self.tick, "bolt.built", node=canary.node, **built_attrs
             )
+            self._bolt_digest = key.digest
+            if self._forensics is not None:
+                expected = target
+                if expected is None and cfg.pessimize_layout:
+                    expected = hottest_function(profile)
+                self._forensics.on_bolt(key.digest, result, expected)
             return result, tps_contention
 
     def _install(self, replica: Replica, bolt_result: BoltResult) -> bool:
@@ -513,12 +598,18 @@ class FleetController:
             self.log.emit(self.tick, "replica.drain", node=node)
 
         try:
+            # Forced pre-install restore point: the bisector's replay base
+            # must predate every machine mutation this install performs.
+            if self._forensics is not None:
+                self._forensics.checkpoint_now(replica, reason="pre_install")
+
             if self.plan.should_fire("replica.die_drain", node):
                 self.log.emit(
                     self.tick, "fault.injected", node=node, site="replica.die_drain"
                 )
                 self._count("faults_injected_total")
                 replica.kill()
+                self._mutation(node, "kill")
                 self.log.emit(self.tick, "replica.died", node=node, drained=cfg.drain)
                 return False
 
@@ -559,6 +650,10 @@ class FleetController:
                 break
 
             replica.charge_stall(report.pause_seconds)
+            self._mutation(
+                node, "install",
+                digest=self._bolt_digest, generation=replica.generation,
+            )
             self._last_pause_seconds = report.pause_seconds
             self._installs += 1
             self._count("installs_total")
@@ -588,6 +683,7 @@ class FleetController:
             call_sites=self.call_sites,
             fp_map=self.fp_maps.get(replica.node),
         )
+        self._mutation(replica.node, "rollback")
         self._rollbacks += 1
         self._count("rollbacks_total")
         collected = 0
@@ -622,6 +718,10 @@ class FleetController:
             )
             self._count("faults_injected_total")
             replica.make_slow(spec.slow_factor, cfg.straggler_ticks)
+            self._mutation(
+                replica.node, "slow",
+                factor=spec.slow_factor, ticks=cfg.straggler_ticks,
+            )
         attempt = 0
         while True:
             window = self._measure_window(1)
@@ -712,23 +812,32 @@ class FleetController:
         self.canary_summary: Dict[str, object] = {}
         rates: Dict[str, float] = {}
 
+        tracer = _trace.current()
+        if tracer is not None and tracer.sim_clock is None and self.replicas:
+            tracer.bind_sim_clock(self.replicas[0].process.sim_seconds)
+
         with _trace.span(
             "fleet.rollout", policy=policy, replicas=cfg.n_replicas,
             optimize=cfg.optimize,
         ):
             # Warmup + baseline (fixed transaction counts: identical across
             # policies and replay runs by construction).
-            for replica in self.replicas:
-                replica.process.run(max_transactions=cfg.warmup_transactions)
-                replica.demand_total = (
-                    replica.process.counters_total().transactions
-                )
-            marks = {r.node: r.counters_mark() for r in self.replicas}
-            for replica in self.replicas:
-                replica.process.run(max_transactions=cfg.baseline_transactions)
-                replica.demand_total = (
-                    replica.process.counters_total().transactions
-                )
+            with _trace.span("fleet.phase.warmup", replicas=cfg.n_replicas):
+                for replica in self.replicas:
+                    replica.process.run(
+                        max_transactions=cfg.warmup_transactions
+                    )
+                    replica.demand_total = (
+                        replica.process.counters_total().transactions
+                    )
+                marks = {r.node: r.counters_mark() for r in self.replicas}
+                for replica in self.replicas:
+                    replica.process.run(
+                        max_transactions=cfg.baseline_transactions
+                    )
+                    replica.demand_total = (
+                        replica.process.counters_total().transactions
+                    )
             baselines = {
                 r.node: r.measured_tps(r.window_delta(marks[r.node]))
                 for r in self.replicas
@@ -743,6 +852,8 @@ class FleetController:
                     self.replicas
                 )
             self._stream = TrafficStream(rate, cfg.seed, jitter=cfg.jitter)
+            if self._forensics is not None:
+                self._forensics.on_serving_start()
             self.log.emit(
                 0, "rollout.start", policy=policy, replicas=cfg.n_replicas,
                 tps_original=round(tps_original, 1),
@@ -756,7 +867,8 @@ class FleetController:
             if cfg.optimize:
                 status = self._rollout(rates)
 
-            self._serve_ticks(cfg.settle_ticks)
+            with _trace.span("fleet.phase.settle", ticks=cfg.settle_ticks):
+                self._serve_ticks(cfg.settle_ticks)
             self.log.emit(self.tick, "rollout.done", status=status)
 
         outcome.status = status
@@ -787,6 +899,8 @@ class FleetController:
             }
             for r in self.replicas
         ]
+        if self._forensics is not None:
+            self._forensics.finalize(outcome)
         return outcome
 
     def _rollout(self, rates: Dict[str, float]) -> str:
@@ -796,9 +910,13 @@ class FleetController:
 
         # -- canary pipeline --------------------------------------------
         try:
-            profile, tps_profiling = self._profile_canary(canary)
+            with _trace.span("fleet.phase.profile", node=canary.node):
+                profile, tps_profiling = self._profile_canary(canary)
             rates["tps_profiling"] = tps_profiling
-            self._bolt_result, tps_contention = self._build_bolt(canary, profile)
+            with _trace.span("fleet.phase.bolt", node=canary.node):
+                self._bolt_result, tps_contention = self._build_bolt(
+                    canary, profile
+                )
             rates["tps_contention"] = tps_contention
         except (ProfileError, BoltError, FaultInjected):
             self._rollback_replica(canary, reason="pipeline_failed")
@@ -806,35 +924,40 @@ class FleetController:
             self.log.emit(self.tick, "rollout.degraded", node=canary.node)
             return "degraded"
 
-        if not self._install(canary, self._bolt_result):
+        with _trace.span("fleet.phase.install", node=canary.node):
+            installed = self._install(canary, self._bolt_result)
+        if not installed:
             return "degraded"
         rates["pause_seconds"] = self._last_pause_seconds
         rates["profile_seconds"] = cfg.profile_ticks * cfg.tick_seconds
         rates["background_seconds"] = cfg.background_ticks * cfg.tick_seconds
 
         # -- canary evaluation ------------------------------------------
-        self._serve_ticks(cfg.warm_ticks)
-        verdict = self._evaluate_canary(canary, rates)
+        with _trace.span("fleet.phase.warm", ticks=cfg.warm_ticks):
+            self._serve_ticks(cfg.warm_ticks)
+        with _trace.span("fleet.phase.evaluate", node=canary.node):
+            verdict = self._evaluate_canary(canary, rates)
         if verdict == "rollback":
             self._rollback_fleet("canary_regression")
             return "rolled_back"
 
         # -- fleet rollout ----------------------------------------------
-        for replica in self.replicas[1:]:
-            if not replica.healthy:
-                continue
-            window = self._measure_window(1)
-            fleet_median = sorted(
-                tps for _node, (tps, _td) in window.items()
-            )[len(window) // 2] if window else 0.0
-            if not self._health_gate(replica, fleet_median):
-                replica.degraded = True
-                self.log.emit(
-                    self.tick, "replica.skipped", node=replica.node,
-                    reason="unhealthy",
-                )
-                continue
-            self._install(replica, self._bolt_result)
+        with _trace.span("fleet.phase.rollout", replicas=cfg.n_replicas - 1):
+            for replica in self.replicas[1:]:
+                if not replica.healthy:
+                    continue
+                window = self._measure_window(1)
+                fleet_median = sorted(
+                    tps for _node, (tps, _td) in window.items()
+                )[len(window) // 2] if window else 0.0
+                if not self._health_gate(replica, fleet_median):
+                    replica.degraded = True
+                    self.log.emit(
+                        self.tick, "replica.skipped", node=replica.node,
+                        reason="unhealthy",
+                    )
+                    continue
+                self._install(replica, self._bolt_result)
 
         return "optimized"
 

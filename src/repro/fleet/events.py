@@ -14,11 +14,16 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.obs import log as _obs_log
 
 _log = _obs_log.get_logger("fleet.events")
+
+#: Schema version written into the JSONL header record.
+EVENTS_SCHEMA_VERSION = 1
+_HEADER_KIND = "fleet.events.header"
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,57 @@ class EventLog:
             "seed": self.seed,
             "events": [e.to_jsonable() for e in self.events],
         }
+
+    def write_jsonl(self, path: str, **header: object) -> None:
+        """Persist the log as versioned JSON Lines.
+
+        The first record is a header (``v`` schema field, the seed, plus
+        any caller metadata — config digest, forensics run id, workload);
+        every following line is one event.  :meth:`load_jsonl` round-trips
+        the log bit-exactly (``replay_digest`` included), which is what
+        lets ``repro fleet bisect`` work from the file alone.
+        """
+        record: Dict[str, object] = {
+            "v": EVENTS_SCHEMA_VERSION,
+            "kind": _HEADER_KIND,
+            "seed": self.seed,
+        }
+        record.update(header)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            for event in self.events:
+                fh.write(json.dumps(event.to_jsonable(), sort_keys=True) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "Tuple[EventLog, Dict[str, object]]":
+        """Load a :meth:`write_jsonl` file; returns ``(log, header)``."""
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [line for line in fh.read().splitlines() if line.strip()]
+        if not lines:
+            raise ReproError(f"{path}: empty event log")
+        header = json.loads(lines[0])
+        if header.get("kind") != _HEADER_KIND or "v" not in header:
+            raise ReproError(
+                f"{path}: missing events header record (not an "
+                "--events-out file?)"
+            )
+        if int(header["v"]) > EVENTS_SCHEMA_VERSION:
+            raise ReproError(
+                f"{path}: events schema v{header['v']} is newer than this "
+                f"build understands (v{EVENTS_SCHEMA_VERSION})"
+            )
+        log = cls(int(header["seed"]))
+        for line in lines[1:]:
+            rec = json.loads(line)
+            log.events.append(
+                FleetEvent(
+                    tick=int(rec["tick"]),
+                    kind=str(rec["kind"]),
+                    node=rec.get("node"),
+                    attrs=rec.get("attrs", {}),
+                )
+            )
+        return log, header
 
     def replay_digest(self) -> str:
         """Stable content hash of the full log (seed included).

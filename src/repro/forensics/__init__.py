@@ -1,0 +1,49 @@
+"""Fleet forensics: checkpointed record/replay and divergence bisection.
+
+rr's deployable record-and-replay (PAPERS.md) turns "something regressed"
+into "this exact divergence caused it" by replaying from periodic
+checkpoints.  This package is that machinery for the fleet control plane:
+
+* :mod:`repro.forensics.checkpoint` — the recorder: periodic full-VM
+  replica snapshots (:mod:`repro.vm.snapshot`) into the content-addressed
+  :mod:`~repro.engine.store`, a mutations ledger (installs, rollbacks,
+  perf windows, straggler injections) and a per-tick trajectory, all tied
+  together by a fleet-level :class:`~repro.forensics.checkpoint.FleetManifest`;
+* :mod:`repro.forensics.replay` — ``replay_from_checkpoint``: restore a
+  replica mid-rollout and re-execute the recorded demand suffix
+  bit-identically, verified against the recorded machine digests;
+* :mod:`repro.forensics.bisect` — the canary-regression bisector behind
+  ``repro fleet bisect``: replays the canary against its previous binary
+  generation, binary-searches to the first diverging tick, narrows to the
+  first diverging quantum and superblock, and names the function whose
+  layout change caused the divergence.
+
+Everything here consumes only the event log and stored artifacts — a
+bisect never reruns the original fleet.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    # checkpoint / manifest
+    "CHECKPOINT_KIND": ".checkpoint",
+    "MANIFEST_KIND": ".checkpoint",
+    "CheckpointRecord": ".checkpoint",
+    "FleetManifest": ".checkpoint",
+    "ForensicsError": ".checkpoint",
+    "ForensicsRecorder": ".checkpoint",
+    "MutationRecord": ".checkpoint",
+    "ReplicaCheckpoint": ".checkpoint",
+    "collect_gc_pins": ".checkpoint",
+    "load_manifest": ".checkpoint",
+    # replay
+    "ReplayDivergence": ".replay",
+    "ReplayResult": ".replay",
+    "ReplicaReplayer": ".replay",
+    "replay_from_checkpoint": ".replay",
+    # bisect
+    "CulpritReport": ".bisect",
+    "run_bisect": ".bisect",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,147 @@
+"""Forensics cost benchmark: checkpoint cadence sweep and replay speedup.
+
+Measures what the record/replay layer costs and what it buys:
+
+* **cadence sweep** — the same targeted-pessimization rollout recorded at
+  several ``checkpoint_every`` settings, against an identical run with
+  recording off: wall-clock overhead, checkpoint count, and serialized
+  bytes (the ``forensics.checkpoint_bytes`` metric, aggregated);
+* **replay speedup** — restoring the canary from its *last* checkpoint and
+  replaying the suffix, against a full replay from tick zero (fresh
+  replica, warmup and baseline included).  Both must verify bit-identical
+  to the recorded run; the wall-clock ratio is the figure of merit;
+* **bisect cost** — the end-to-end ``repro fleet bisect`` on the recorded
+  regression: steps, replayed quanta, wall seconds, and whether the named
+  culprit matches the injected ground truth.
+
+The payload is committed as ``benchmarks/data/forensics.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.engine.cells import workload_bundle
+from repro.fleet.controller import FleetConfig, FleetController, RolloutOutcome
+from repro.forensics.bisect import run_bisect
+from repro.forensics.checkpoint import FleetManifest, machine_sha
+from repro.forensics.replay import ReplicaReplayer, replay_from_checkpoint
+
+
+def _run(
+    workload, spec, cfg: FleetConfig
+) -> Tuple[FleetController, RolloutOutcome, float]:
+    controller = FleetController(workload, spec, cfg, None)
+    start = time.perf_counter()
+    outcome = controller.run()
+    return controller, outcome, time.perf_counter() - start
+
+
+def run_forensics_bench(
+    workload_name: str = "memcached",
+    *,
+    n_replicas: int = 3,
+    seed: int = 2024,
+    cadences: Sequence[int] = (1, 2, 4),
+) -> Dict[str, object]:
+    """Cadence sweep + replay-speedup measurement; the committed payload."""
+    bundle = workload_bundle(workload_name)
+    input_name = bundle.eval_inputs[0]
+    spec = bundle.inputs[input_name]
+
+    def make_cfg(every: int) -> FleetConfig:
+        return FleetConfig(
+            n_replicas=n_replicas,
+            seed=seed,
+            drain=True,
+            pessimize_layout=True,
+            pessimize_function="hottest",
+            checkpoint_every=every,
+        )
+
+    # Warm the artifact store (BOLT build, linked binaries) so every timed
+    # run below pays the same marginal cost and the overhead column isolates
+    # checkpointing itself.
+    _run(bundle.workload, spec, make_cfg(0))
+    _, _, base_wall = _run(bundle.workload, spec, make_cfg(0))
+
+    sweep = []
+    recorded: Optional[Tuple[FleetManifest, RolloutOutcome]] = None
+    for every in cadences:
+        controller, outcome, wall = _run(bundle.workload, spec, make_cfg(every))
+        manifest = controller._forensics.manifest
+        nbytes = [ck.nbytes for ck in manifest.checkpoints]
+        sweep.append(
+            {
+                "checkpoint_every": every,
+                "checkpoints": len(manifest.checkpoints),
+                "bytes_total": sum(nbytes),
+                "bytes_mean": round(sum(nbytes) / max(1, len(nbytes))),
+                "wall_s": round(wall, 4),
+                "overhead_vs_off": round(wall / base_wall - 1.0, 4),
+            }
+        )
+        if recorded is None or every == 2:
+            recorded = (manifest, outcome)
+
+    manifest, outcome = recorded
+    node = 0
+
+    # Full replay: fresh replica, warmup + baseline + every recorded tick.
+    start = time.perf_counter()
+    full = ReplicaReplayer(manifest, bundle.workload, spec, node)
+    full.start_fresh()
+    full.run_to(manifest.n_ticks())
+    full_wall = time.perf_counter() - start
+    full_sha = machine_sha(full.replica)
+    assert full_sha == manifest.final_machine_sha[node], "full replay diverged"
+
+    # Suffix replay: restore the last checkpoint, replay the tail only.
+    last = manifest.checkpoints_for(node)[-1]
+    start = time.perf_counter()
+    from_ck = replay_from_checkpoint(
+        manifest, bundle.workload, spec, node=node, checkpoint=last
+    )
+    ck_wall = time.perf_counter() - start
+    assert from_ck.verified, "checkpoint replay diverged"
+
+    start = time.perf_counter()
+    report = run_bisect(
+        manifest, bundle.workload, spec, events=outcome.events
+    )
+    bisect_wall = time.perf_counter() - start
+
+    return {
+        "benchmark": "forensics",
+        "workload": workload_name,
+        "config": {
+            "n_replicas": n_replicas,
+            "seed": seed,
+            "cadences": list(cadences),
+            "pessimize_function": manifest.pessimized_function,
+        },
+        "recording_off_wall_s": round(base_wall, 4),
+        "cadence_sweep": sweep,
+        "replay": {
+            "node": node,
+            "ticks": manifest.n_ticks(),
+            "full_wall_s": round(full_wall, 4),
+            "full_quanta": full.quanta_replayed,
+            "checkpoint_tick": last.tick,
+            "checkpoint_wall_s": round(ck_wall, 4),
+            "checkpoint_quanta": from_ck.quanta,
+            "speedup": round(full_wall / ck_wall, 2) if ck_wall > 0 else None,
+            "verified": bool(from_ck.verified),
+        },
+        "bisect": {
+            "culprit": report.culprit_function,
+            "expected": report.expected_function,
+            "matched": report.culprit_function == report.expected_function,
+            "first_diverging_tick": report.first_diverging_tick,
+            "first_diverging_quantum": report.first_diverging_quantum,
+            "steps": report.bisect_steps,
+            "replay_quanta": report.replay_quanta,
+            "wall_s": round(bisect_wall, 4),
+        },
+    }

@@ -1,0 +1,480 @@
+"""The canary-regression bisector behind ``repro fleet bisect``.
+
+Given a recorded rollout whose canary verdict was "rollback", the bisector
+answers *which layout change did it* — from the event log and stored
+checkpoints alone, never rerunning the original fleet:
+
+1. **counterfactual replay** — the canary is restored from the nearest
+   pre-install (generation-0) checkpoint and replayed with install and
+   rollback mutations dropped: same demand, same perf overhead, same
+   slow-downs, previous binary.  The recorded trajectory supplies the
+   actual side's per-tick cycles, so only the counterfactual executes.
+2. **tick bisection** — binary search over served ticks for the first
+   tick whose actual cycles-per-transaction exceeds the counterfactual's
+   by more than ``ratio`` (pre-install ticks are bit-identical, so the
+   predicate is monotone across the install boundary).
+3. **quantum narrowing** — both sides replay the first diverging tick
+   under the reference stepper with a per-run probe.  Run boundaries
+   differ across layouts (split layouts add jumps), so quanta are compared
+   on a within-tick *instruction-offset* axis: each actual scheduling
+   quantum covers an instruction interval, and the counterfactual's cycles
+   are prorated over the same interval.  The first quantum whose actual
+   cycles exceed the prorated counterfactual names the first diverging
+   superblock (its costliest run's PC).
+4. **culprit attribution** — per-function excess cycles over the whole
+   tick, each side resolved through its own generation's block-level
+   layout map; the argmax is the function whose layout change caused the
+   divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.forensics.checkpoint import (
+    FleetManifest,
+    ForensicsError,
+    function_at,
+)
+from repro.forensics.replay import ReplicaReplayer, _MemState
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+#: Cache an in-memory restore point every this many counterfactual ticks,
+#: so backward bisection probes rewind instead of replaying from the start.
+_CACHE_STRIDE = 4
+
+#: Absolute slack (cycles) under the ratio test at quantum granularity.
+_QUANTUM_EPS = 1.0
+
+
+@dataclass
+class CulpritReport:
+    """What the bisector concluded, plus the path it took."""
+
+    run_id: str
+    node: int
+    install_tick: int
+    generation: int
+    checkpoint_tick: int
+    verdict_tick: Optional[int]
+    first_diverging_tick: int
+    first_diverging_quantum: int
+    superblock_pc: int
+    superblock_function: Optional[str]
+    culprit_function: str
+    excess_cycles: float
+    #: ``(function, excess_cycles)`` — largest first, top five.
+    per_function_excess: List[Tuple[str, float]] = field(default_factory=list)
+    bisect_steps: int = 0
+    replay_quanta: int = 0
+    #: The function the run deliberately pessimized, when recorded — the
+    #: ground truth CI asserts the culprit against.
+    expected_function: Optional[str] = None
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "run_id": self.run_id,
+            "node": self.node,
+            "install_tick": self.install_tick,
+            "generation": self.generation,
+            "checkpoint_tick": self.checkpoint_tick,
+            "verdict_tick": self.verdict_tick,
+            "first_diverging_tick": self.first_diverging_tick,
+            "first_diverging_quantum": self.first_diverging_quantum,
+            "superblock_pc": self.superblock_pc,
+            "superblock_function": self.superblock_function,
+            "culprit_function": self.culprit_function,
+            "excess_cycles": round(self.excess_cycles, 1),
+            "per_function_excess": [
+                {"function": f, "excess_cycles": round(c, 1)}
+                for f, c in self.per_function_excess
+            ],
+            "bisect_steps": self.bisect_steps,
+            "replay_quanta": self.replay_quanta,
+            "expected_function": self.expected_function,
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"forensic bisect — run {self.run_id[:12]}, node {self.node}",
+            f"  regression window : install at tick {self.install_tick} "
+            f"(generation {self.generation}), verdict at tick "
+            f"{self.verdict_tick if self.verdict_tick is not None else '?'}",
+            f"  replayed from     : generation-0 checkpoint at tick "
+            f"{self.checkpoint_tick}",
+            f"  first divergence  : tick {self.first_diverging_tick}, "
+            f"quantum {self.first_diverging_quantum}, superblock at "
+            f"0x{self.superblock_pc:x}"
+            + (
+                f" in {self.superblock_function}"
+                if self.superblock_function
+                else ""
+            ),
+            f"  culprit           : {self.culprit_function} "
+            f"(+{self.excess_cycles:.0f} cycles vs previous layout)",
+        ]
+        if len(self.per_function_excess) > 1:
+            lines.append("  runners-up        : " + ", ".join(
+                f"{f} (+{c:.0f})"
+                for f, c in self.per_function_excess[1:]
+            ))
+        if self.expected_function is not None:
+            hit = self.culprit_function == self.expected_function
+            lines.append(
+                f"  injected target   : {self.expected_function} "
+                f"({'matched' if hit else 'NOT matched'})"
+            )
+        lines.append(
+            f"  cost              : {self.bisect_steps} bisect steps, "
+            f"{self.replay_quanta} quanta replayed"
+        )
+        return "\n".join(lines)
+
+
+def _verdict_tick(events) -> Optional[int]:
+    """Tick of the first rollback canary verdict in an event log."""
+    if events is None:
+        return None
+    for event in events.events:
+        if event.kind == "canary.verdict" and (
+            event.attrs.get("verdict") == "rollback"
+        ):
+            return event.tick
+    return None
+
+
+class _CfSide:
+    """Counterfactual tick measurements with in-memory rewind caching."""
+
+    def __init__(self, replayer: ReplicaReplayer, base) -> None:
+        self.replayer = replayer
+        self.stats: Dict[int, Tuple[int, float]] = {}
+        self.cache: Dict[int, _MemState] = {}
+        replayer.restore(base)
+        state = replayer.capture_mem()
+        if state is None:
+            raise ForensicsError(
+                f"checkpoint at tick {base.tick} restored into an "
+                "un-capturable state"
+            )
+        self.cache[replayer.tick] = state
+
+    def _cycles(self) -> float:
+        return sum(
+            fe.counters.cycles for fe in self.replayer.replica.process.frontends
+        )
+
+    def delta(self, tick: int) -> Tuple[int, float]:
+        """(served, cycles) of counterfactual tick ``tick``, memoized."""
+        if tick in self.stats:
+            return self.stats[tick]
+        replayer = self.replayer
+        if replayer.tick > tick:
+            anchor = max(k for k in self.cache if k <= tick)
+            replayer.restore_mem(self.cache[anchor])
+        while replayer.tick <= tick:
+            at = replayer.tick
+            before = self._cycles()
+            served = replayer.step_tick()
+            self.stats[at] = (served, self._cycles() - before)
+            if replayer.tick % _CACHE_STRIDE == 0 and (
+                replayer.tick not in self.cache
+            ):
+                state = replayer.capture_mem()
+                if state is not None:
+                    self.cache[replayer.tick] = state
+        return self.stats[tick]
+
+
+def _prorated_cycles(
+    spans: List[Tuple[int, int, float]], start: int, end: int
+) -> float:
+    """Counterfactual cycles attributable to instruction offsets [start, end).
+
+    ``spans`` is the counterfactual tick as ``(offset_start, offset_end,
+    cycles)`` per run; cycles of partially-overlapping runs are split
+    proportionally to instruction overlap.
+    """
+    total = 0.0
+    for s, e, cycles in spans:
+        if e <= start or s >= end:
+            continue
+        overlap = min(e, end) - max(s, start)
+        total += cycles * (overlap / max(1, e - s))
+    return total
+
+
+def run_bisect(
+    manifest: FleetManifest,
+    workload,
+    input_spec,
+    *,
+    events=None,
+    node: int = 0,
+    ratio: float = 1.05,
+    force: bool = False,
+) -> CulpritReport:
+    """Bisect one node's canary regression down to the culprit function.
+
+    Args:
+        manifest: the rollout's forensics manifest (``load_manifest``).
+        events: the rollout's :class:`~repro.fleet.events.EventLog`
+            (e.g. loaded from ``--events-out`` JSONL); supplies the
+            verdict and is integrity-checked against the manifest.
+        force: bisect even without a recorded rollback verdict.
+    """
+    if events is not None and (
+        events.replay_digest() != manifest.events_digest
+    ) and not force:
+        raise ForensicsError(
+            "event log does not match the manifest's recorded digest — "
+            "stale or truncated events file (use --force to override)"
+        )
+    verdict_tick = _verdict_tick(events)
+    if verdict_tick is None and not force:
+        raise ForensicsError(
+            "no rollback canary verdict in the event log — nothing "
+            "regressed (use --force to bisect anyway)"
+        )
+    installs = manifest.install_mutations(node)
+    if not installs:
+        raise ForensicsError(f"node {node} never installed a new layout")
+    install = installs[0]
+    generation = int(install.attrs.get("generation", 1))
+    base = manifest.nearest_checkpoint(node, install.tick, max_generation=0)
+    if base is None:
+        raise ForensicsError(
+            f"no generation-0 checkpoint at or before the install at tick "
+            f"{install.tick} — was the rollout recorded with forensics on?"
+        )
+
+    rows = manifest.trajectory[node]
+    baseline = manifest.baseline[node]
+
+    def actual_delta(tick: int) -> Tuple[int, float]:
+        prev = rows[tick - 1] if tick > 0 else baseline
+        cur = rows[tick]
+        return cur[0] - prev[0], cur[1] - prev[1]
+
+    # The regression window closes at the fleet rollback (the recorded run
+    # reverts to the old layout there, re-converging the two sides).
+    rollbacks = [
+        m for m in manifest.mutations_for(node)
+        if m.kind == "rollback" and m.tick > install.tick
+    ]
+    window_end = rollbacks[0].tick if rollbacks else len(rows)
+    candidates = [
+        t for t in range(install.tick, min(window_end, len(rows)))
+        if actual_delta(t)[0] > 0
+    ]
+    if not candidates:
+        raise ForensicsError(
+            f"node {node} served no transactions between install and "
+            "rollback — nothing to bisect"
+        )
+
+    steps = 0
+    with _trace.span(
+        "forensics.bisect", node=node, run_id=manifest.run_id[:12],
+    ) as bisect_span:
+        with _trace.span("forensics.bisect.search", ticks=len(candidates)):
+            cf = _CfSide(
+                ReplicaReplayer(
+                    manifest, workload, input_spec, node,
+                    include_installs=False, verify_checkpoints=False,
+                ),
+                base,
+            )
+            tracer = _trace.current()
+            if tracer is not None and tracer.sim_clock is None:
+                tracer.bind_sim_clock(cf.replayer.replica.process.sim_seconds)
+
+            _tick_diverged: Dict[int, bool] = {}
+
+            def tick_diverged(tick: int) -> bool:
+                hit = _tick_diverged.get(tick)
+                if hit is None:
+                    served_a, cycles_a = actual_delta(tick)
+                    served_c, cycles_c = cf.delta(tick)
+                    hit = (
+                        served_a > 0
+                        and served_c > 0
+                        and (cycles_a / served_a)
+                        > ratio * (cycles_c / served_c)
+                    )
+                    _tick_diverged[tick] = hit
+                return hit
+
+            # Per-tick divergence is NOT monotone: the bad layout hurts
+            # most while its i-side caches are cold and decays toward a
+            # (possibly sub-threshold) steady state.  "Has diverged by
+            # tick t" — a cumulative any() — IS monotone, and its flip
+            # point is exactly the first diverging tick.
+            def diverged_by(idx: int) -> bool:
+                return any(tick_diverged(t) for t in candidates[: idx + 1])
+
+            lo, hi = 0, len(candidates) - 1
+            if not diverged_by(hi):
+                raise ForensicsError(
+                    "counterfactual replay never diverged beyond the "
+                    f"{ratio:.2f}x threshold — the regression is not "
+                    "explained by the layout change"
+                )
+            steps += 1
+            _trace.event(
+                "forensics.bisect.step", tick=candidates[hi], diverged=True,
+            )
+            while lo < hi:
+                mid = (lo + hi) // 2
+                hit = diverged_by(mid)
+                steps += 1
+                _trace.event(
+                    "forensics.bisect.step", tick=candidates[mid],
+                    diverged=hit,
+                )
+                if hit:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            first_tick = candidates[lo]
+
+        # -- narrow within the tick, reference stepper + per-run probe ----
+        with _trace.span("forensics.bisect.narrow", tick=first_tick):
+            actual_probe = ReplicaReplayer(
+                manifest, workload, input_spec, node, superblocks=False,
+            )
+            anchor = manifest.nearest_checkpoint(node, first_tick)
+            actual_probe.restore(anchor)
+            actual_probe.run_to(first_tick)
+            actual_runs: List[Tuple[int, int, int, int]] = []
+            actual_probe.probe_tick(
+                lambda q, pc, n, c: actual_runs.append((q, pc, n, c))
+            )
+
+            cf_probe = ReplicaReplayer(
+                manifest, workload, input_spec, node, superblocks=False,
+                include_installs=False, verify_checkpoints=False,
+            )
+            cf_probe.restore(base)
+            cf_probe.run_to(first_tick)
+            cf_runs: List[Tuple[int, int, int, int]] = []
+            cf_probe.probe_tick(
+                lambda q, pc, n, c: cf_runs.append((q, pc, n, c))
+            )
+            if not actual_runs or not cf_runs:
+                raise ForensicsError(
+                    f"tick {first_tick} executed no runs under the probe"
+                )
+
+            # Within-tick instruction-offset axis (layout-independent).
+            cf_spans: List[Tuple[int, int, float]] = []
+            offset = 0
+            for _q, _pc, n_instr, cycles in cf_runs:
+                cf_spans.append((offset, offset + n_instr, float(cycles)))
+                offset += n_instr
+
+            # (quantum, start_off, end_off, cycles, [(pc, off, n, cycles)])
+            quanta: List[Tuple[int, int, int, float, list]] = []
+            offset = 0
+            for q, pc, n_instr, cycles in actual_runs:
+                if not quanta or quanta[-1][0] != q:
+                    quanta.append((q, offset, offset, 0.0, []))
+                entry = quanta[-1]
+                quanta[-1] = (
+                    entry[0], entry[1], offset + n_instr,
+                    entry[3] + cycles,
+                    entry[4] + [(pc, offset, n_instr, cycles)],
+                )
+                offset += n_instr
+
+            first_quantum = None
+            for q, start, end, cycles_a, runs in quanta:
+                cf_cycles = _prorated_cycles(cf_spans, start, end)
+                if cycles_a > ratio * cf_cycles + _QUANTUM_EPS:
+                    first_quantum = (q, cycles_a, cf_cycles, runs)
+                    break
+            if first_quantum is None:
+                # Ratio held per-quantum but not in aggregate slack; fall
+                # back to the largest-excess quantum.
+                first_quantum = max(
+                    (
+                        (q, c, _prorated_cycles(cf_spans, s, e), runs)
+                        for q, s, e, c, runs in quanta
+                    ),
+                    key=lambda item: item[1] - item[2],
+                )
+            q_index, _qa, _qc, q_runs = first_quantum
+
+            gen_map = manifest.layout_maps.get(generation)
+            base_map = manifest.layout_maps[0]
+
+            def resolve_actual(pc: int) -> Optional[str]:
+                name = function_at(gen_map, pc) if gen_map else None
+                return name if name is not None else function_at(base_map, pc)
+
+            # Costliest run in the first diverging quantum = the first
+            # diverging superblock.
+            worst_pc, worst_excess = q_runs[0][0], float("-inf")
+            for pc, off, n_instr, cycles in q_runs:
+                excess = cycles - _prorated_cycles(cf_spans, off, off + n_instr)
+                if excess > worst_excess:
+                    worst_excess = excess
+                    worst_pc = pc
+
+            # Whole-tick per-function attribution, each side through its
+            # own generation's layout map.
+            actual_func: Dict[str, float] = {}
+            for _q, pc, _n, cycles in actual_runs:
+                name = resolve_actual(pc) or f"0x{pc:x}"
+                actual_func[name] = actual_func.get(name, 0.0) + cycles
+            cf_func: Dict[str, float] = {}
+            for _q, pc, _n, cycles in cf_runs:
+                name = function_at(base_map, pc) or f"0x{pc:x}"
+                cf_func[name] = cf_func.get(name, 0.0) + cycles
+            excess_by_func = {
+                name: cycles - cf_func.get(name, 0.0)
+                for name, cycles in actual_func.items()
+            }
+            ranked = sorted(
+                excess_by_func.items(), key=lambda kv: -kv[1]
+            )
+            culprit, culprit_excess = ranked[0]
+
+        replay_quanta = (
+            cf.replayer.quanta_replayed
+            + actual_probe.quanta_replayed
+            + cf_probe.quanta_replayed
+        )
+        bisect_span.set_attrs(
+            steps=steps, first_tick=first_tick, culprit=culprit,
+        )
+
+    registry = _metrics.current()
+    if registry is not None:
+        registry.counter(
+            "forensics.bisect_steps", "tick-bisection probes performed"
+        ).inc(steps)
+        registry.counter(
+            "forensics.replay_quanta", "scheduling quanta re-executed"
+        ).inc(replay_quanta)
+
+    return CulpritReport(
+        run_id=manifest.run_id,
+        node=node,
+        install_tick=install.tick,
+        generation=generation,
+        checkpoint_tick=base.tick,
+        verdict_tick=verdict_tick,
+        first_diverging_tick=first_tick,
+        first_diverging_quantum=q_index,
+        superblock_pc=worst_pc,
+        superblock_function=resolve_actual(worst_pc),
+        culprit_function=culprit,
+        excess_cycles=culprit_excess,
+        per_function_excess=ranked[:5],
+        bisect_steps=steps,
+        replay_quanta=replay_quanta,
+        expected_function=manifest.pessimized_function,
+    )

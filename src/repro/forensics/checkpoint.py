@@ -1,0 +1,468 @@
+"""The forensic recorder: checkpoints, mutations ledger, fleet manifest.
+
+Recording is arm'd by ``FleetConfig.checkpoint_every > 0`` and rides along
+inside a normal rollout without perturbing it: checkpoint capture copies
+state (it never advances a clock or consumes RNG), and the ledger only
+observes control-plane actions the controller was taking anyway.
+
+Three record streams make a rollout replayable from any checkpoint:
+
+* **checkpoints** — full :class:`~repro.vm.snapshot.VMState` plus replica
+  bookkeeping and the ``wrapFuncPtrCreation`` map, stored content-addressed
+  under ``forensics.checkpoint``; taken on the ``checkpoint_every`` cadence
+  and forced immediately before every install (so the bisector always has
+  a previous-generation restore point);
+* **mutations** — every control-plane action that changes machine state
+  outside plain serving: perf attach/detach (profiling overhead is charged
+  as real idle cycles), straggler slow-downs, kills, installs (by bolt
+  artifact digest) and rollbacks.  Replay re-applies them at their recorded
+  tick, in recorded order;
+* **trajectory** — per-node per-tick cumulative transactions / cycles /
+  quanta, the "actual" side the bisector compares counterfactual replays
+  against without rerunning the fleet.
+
+The :class:`FleetManifest` bundles all three with the demand schedule and
+per-generation code-layout maps, and is itself stored content-addressed so
+``repro fleet bisect`` needs only the event log and the artifact cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.engine.fingerprint import fingerprint
+from repro.engine.store import ArtifactKey, DiskBackend, store
+from repro.errors import ReproError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.vm.snapshot import SnapshotError, VMState, capture_vm_state
+
+#: Artifact-store kinds this package owns.
+CHECKPOINT_KIND = "forensics.checkpoint"
+MANIFEST_KIND = "forensics.manifest"
+
+MANIFEST_VERSION = 1
+
+
+class ForensicsError(ReproError):
+    """Raised for unusable forensic records (missing manifests, gaps)."""
+
+
+def machine_sha(replica) -> str:
+    """Stable content hash of a replica's full machine digest.
+
+    The digest tuple is plain ints/floats/strings, so its ``repr`` is
+    bit-stable across runs — two replicas with equal shas are in
+    bit-identical machine state (same-layout comparison; see
+    :meth:`repro.fleet.replica.Replica.machine_digest`).
+    """
+    payload = repr(replica.machine_digest()).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def layout_map(binary) -> List[Tuple[int, int, str]]:
+    """``(start, end, function)`` for every basic block of ``binary``.
+
+    Function-level maps would mislabel hot/cold-split functions (their
+    blocks land in two bands); block granularity maps any probed PC to the
+    function that owns it regardless of splitting.
+    """
+    spans: List[Tuple[int, int, str]] = []
+    for name, info in binary.functions.items():
+        for block in info.blocks:
+            spans.append((block.addr, block.addr + block.size, name))
+    spans.sort()
+    return spans
+
+
+def function_at(spans: List[Tuple[int, int, str]], pc: int) -> Optional[str]:
+    """Resolve ``pc`` against a :func:`layout_map` (None when unmapped)."""
+    i = bisect_right(spans, (pc, float("inf"), "")) - 1
+    if i >= 0 and spans[i][0] <= pc < spans[i][1]:
+        return spans[i][2]
+    return None
+
+
+@dataclass
+class ReplicaCheckpoint:
+    """One replica frozen at a tick boundary (the store-resident payload)."""
+
+    node: int
+    tick: int
+    seq: int
+    generation: int
+    vm: VMState
+    #: Replica-level serving bookkeeping (demand target, backlog, ...).
+    bookkeeping: Dict[str, object]
+    #: ``(_to_c0, wraps_total, wraps_translated)`` of the node's
+    #: :class:`~repro.core.funcptr_map.FunctionPointerMap`, or None when no
+    #: install ever touched this node.
+    wrap_state: Optional[Tuple[Dict[int, int], int, int]]
+    #: Fleet-level cursor state at capture time (round-robin offset and
+    #: routing totals) — not needed for per-replica replay (demands are
+    #: recorded per node) but kept so a checkpoint fully describes the
+    #: control plane.
+    router_state: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class CheckpointRecord:
+    """Manifest-resident checkpoint metadata (the payload stays on disk)."""
+
+    seq: int
+    tick: int
+    node: int
+    generation: int
+    digest: str
+    nbytes: int
+    machine_sha: str
+    reason: str = "periodic"
+
+    def key(self) -> ArtifactKey:
+        return ArtifactKey(kind=CHECKPOINT_KIND, digest=self.digest)
+
+
+@dataclass
+class MutationRecord:
+    """One control-plane action replay must re-apply at its recorded tick.
+
+    ``kind`` is one of ``perf_attach``, ``perf_detach``, ``slow``, ``kill``,
+    ``install`` (attrs carry the bolt artifact digest) or ``rollback``.
+    Records at the same tick apply in ``seq`` order, always *before* that
+    tick's demand is served — every controller action happens at a tick
+    boundary, between serve calls.
+    """
+
+    seq: int
+    tick: int
+    node: int
+    kind: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class FleetManifest:
+    """Everything ``repro fleet bisect`` needs, minus the bulk checkpoints."""
+
+    version: int
+    run_id: str
+    workload_name: str
+    input_name: str
+    config: Dict[str, object]
+    fault_plan: List[Dict[str, object]]
+    #: Per-node per-tick routed arrivals (the replayable demand schedule).
+    demands: List[List[int]]
+    #: Per-node totals *before* tick 0 (end of warmup+baseline):
+    #: ``(transactions, cycles, quanta)``.
+    baseline: Dict[int, Tuple[int, float, int]]
+    #: Per-node rows, one per tick: ``(transactions, cycles, quanta,
+    #: generation)`` — cumulative totals at the END of that tick.
+    trajectory: Dict[int, List[Tuple[int, float, int, int]]]
+    checkpoints: List[CheckpointRecord]
+    mutations: List[MutationRecord]
+    #: Per-generation block-level code maps (:func:`layout_map`); 0 is the
+    #: original binary.
+    layout_maps: Dict[int, List[Tuple[int, int, str]]]
+    bolt_digests: List[str]
+    #: The function whose layout the run deliberately pessimized (targeted
+    #: mode records the target; global ``--pessimize-layout`` records the
+    #: profile-hottest function) — the bisector's expected culprit.
+    pessimized_function: Optional[str]
+    final_machine_sha: Dict[int, str]
+    events_digest: str
+
+    # -- queries ---------------------------------------------------------
+
+    def checkpoints_for(self, node: int) -> List[CheckpointRecord]:
+        """This node's checkpoints, oldest first."""
+        return sorted(
+            (c for c in self.checkpoints if c.node == node),
+            key=lambda c: c.seq,
+        )
+
+    def nearest_checkpoint(
+        self, node: int, tick: int, *, max_generation: Optional[int] = None
+    ) -> Optional[CheckpointRecord]:
+        """Latest checkpoint of ``node`` at or before ``tick`` (optionally
+        capped to a maximum installed generation)."""
+        best: Optional[CheckpointRecord] = None
+        for record in self.checkpoints_for(node):
+            if record.tick > tick:
+                break
+            if max_generation is not None and record.generation > max_generation:
+                continue
+            best = record
+        return best
+
+    def mutations_for(self, node: int) -> List[MutationRecord]:
+        """This node's mutations in application (seq) order."""
+        return sorted(
+            (m for m in self.mutations if m.node == node), key=lambda m: m.seq
+        )
+
+    def install_mutations(self, node: int) -> List[MutationRecord]:
+        return [m for m in self.mutations_for(node) if m.kind == "install"]
+
+    def n_ticks(self) -> int:
+        return max((len(d) for d in self.demands), default=0)
+
+    def pinned_keys(self) -> Set[Tuple[str, str]]:
+        """``(kind, digest)`` pairs GC must never evict while this manifest
+        lives: every checkpoint, every installed bolt artifact, and the
+        manifest itself."""
+        pins: Set[Tuple[str, str]] = {
+            (CHECKPOINT_KIND, c.digest) for c in self.checkpoints
+        }
+        pins.update(("bolt", d) for d in self.bolt_digests)
+        pins.add((MANIFEST_KIND, manifest_key(self.run_id).digest))
+        return pins
+
+
+def manifest_key(run_id: str) -> ArtifactKey:
+    """Content address of a run's manifest."""
+    return store().key(MANIFEST_KIND, (run_id,))
+
+
+def load_manifest(run_id: str) -> FleetManifest:
+    """Fetch a stored manifest (raises :class:`ForensicsError` if absent)."""
+    try:
+        return store().get(manifest_key(run_id))
+    except KeyError:
+        raise ForensicsError(
+            f"no forensics manifest for run {run_id[:12]} in the artifact "
+            "store — rerun the fleet with --checkpoint-every and the same "
+            "--artifact-cache"
+        ) from None
+
+
+def collect_gc_pins(disk: DiskBackend) -> Set[Tuple[str, str]]:
+    """Union of pin sets of every manifest living in ``disk``.
+
+    ``repro engine gc`` calls this so LRU eviction can never orphan a live
+    manifest's checkpoints (a bisect months later still replays).
+    """
+    pins: Set[Tuple[str, str]] = set()
+    for kind, digest, _size in disk.entries():
+        if kind != MANIFEST_KIND:
+            continue
+        try:
+            manifest = disk.get(ArtifactKey(kind=kind, digest=digest))
+        except (KeyError, ReproError):
+            continue
+        pins.update(manifest.pinned_keys())
+    return pins
+
+
+#: Replica bookkeeping fields checkpointed alongside the VM state.
+_BOOKKEEPING_FIELDS = (
+    "degraded",
+    "demand_total",
+    "requests_lost",
+    "requests_routed",
+    "backlog",
+    "stall_pending_seconds",
+    "slow_ticks_left",
+    "slow_factor",
+    "last_capacity_tps",
+)
+
+
+class ForensicsRecorder:
+    """Rides inside a :class:`~repro.fleet.controller.FleetController`.
+
+    The controller calls the ``on_*`` hooks at the relevant pipeline
+    points; the recorder never initiates serving and never mutates the
+    fleet, so an armed recorder leaves the rollout's machine state — and
+    its event-log replay digest — untouched except for the
+    ``forensics.checkpoint`` events it appends.
+    """
+
+    def __init__(self, controller) -> None:
+        self.controller = controller
+        cfg = controller.cfg
+        self.every = int(cfg.checkpoint_every)
+        self._seq = 0
+        self.run_id = fingerprint(
+            "forensics.run",
+            fingerprint(controller.workload),
+            fingerprint(controller.input_spec),
+            cfg.to_jsonable(),
+            controller.plan.to_jsonable(),
+        )
+        self.baseline: Dict[int, Tuple[int, float, int]] = {}
+        self.trajectory: Dict[int, List[Tuple[int, float, int, int]]] = {
+            r.node: [] for r in controller.replicas
+        }
+        self.checkpoints: List[CheckpointRecord] = []
+        self.mutations: List[MutationRecord] = []
+        self.layout_maps: Dict[int, List[Tuple[int, int, str]]] = {
+            0: layout_map(controller.original)
+        }
+        self.bolt_digests: List[str] = []
+        self.pessimized_function: Optional[str] = None
+        self.manifest: Optional[FleetManifest] = None
+
+    # -- internals -------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    @staticmethod
+    def _totals(replica) -> Tuple[int, float, int]:
+        process = replica.process
+        cycles = sum(fe.counters.cycles for fe in process.frontends)
+        return (
+            process.counters_total().transactions,
+            cycles,
+            process._quantum_counter,
+        )
+
+    # -- controller hooks ------------------------------------------------
+
+    def on_serving_start(self) -> None:
+        """Called once, after warmup+baseline, before the first tick."""
+        for replica in self.controller.replicas:
+            self.baseline[replica.node] = self._totals(replica)
+
+    def on_tick(self) -> None:
+        """Called after every served tick (controller.tick already bumped)."""
+        served_tick = self.controller.tick - 1
+        for replica in self.controller.replicas:
+            txn, cycles, quanta = self._totals(replica)
+            self.trajectory[replica.node].append(
+                (txn, cycles, quanta, replica.generation)
+            )
+        if self.every > 0 and (served_tick + 1) % self.every == 0:
+            for replica in self.controller.replicas:
+                self.checkpoint_now(replica, reason="periodic")
+
+    def checkpoint_now(self, replica, *, reason: str) -> Optional[CheckpointRecord]:
+        """Snapshot one replica now (skips states a snapshot cannot carry:
+        failed replicas, and replicas with a live perf session)."""
+        if not replica.healthy:
+            return None
+        controller = self.controller
+        tick = controller.tick
+        seq = self._next_seq()
+        try:
+            vm = capture_vm_state(replica.process)
+        except SnapshotError:
+            return None  # profiling window or paused — next cadence point
+        bookkeeping: Dict[str, object] = {
+            name: getattr(replica, name) for name in _BOOKKEEPING_FIELDS
+        }
+        bookkeeping["state"] = replica.state.name
+        fp_map = controller.fp_maps.get(replica.node)
+        wrap_state = (
+            (dict(fp_map._to_c0), fp_map.wraps_total, fp_map.wraps_translated)
+            if fp_map is not None
+            else None
+        )
+        router = controller.router
+        payload = ReplicaCheckpoint(
+            node=replica.node,
+            tick=tick,
+            seq=seq,
+            generation=replica.generation,
+            vm=vm,
+            bookkeeping=bookkeeping,
+            wrap_state=wrap_state,
+            router_state={
+                "rr_offset": getattr(router, "_rr_offset", 0),
+                "requests_routed": router.requests_routed,
+                "requests_lost": router.requests_lost,
+            },
+        )
+        nbytes = vm.size_bytes()
+        with _trace.span(
+            "forensics.checkpoint", node=replica.node, tick=tick,
+            reason=reason, bytes=nbytes,
+        ):
+            key = store().key(
+                CHECKPOINT_KIND, (self.run_id, replica.node, tick, seq)
+            )
+            store().put(key, payload)
+        record = CheckpointRecord(
+            seq=seq,
+            tick=tick,
+            node=replica.node,
+            generation=replica.generation,
+            digest=key.digest,
+            nbytes=nbytes,
+            machine_sha=machine_sha(replica),
+            reason=reason,
+        )
+        self.checkpoints.append(record)
+        controller.log.emit(
+            tick, "forensics.checkpoint", node=replica.node,
+            reason=reason, bytes=nbytes, generation=replica.generation,
+        )
+        registry = _metrics.current()
+        if registry is not None:
+            registry.counter(
+                "forensics.checkpoints_total", "replica checkpoints taken"
+            ).inc()
+            registry.counter(
+                "forensics.checkpoint_bytes", "serialized checkpoint bytes"
+            ).inc(nbytes)
+        _trace.sample("forensics.checkpoint_bytes", nbytes)
+        return record
+
+    def on_mutation(self, node: int, kind: str, **attrs: object) -> None:
+        """Ledger one control-plane action at the current tick boundary."""
+        self.mutations.append(
+            MutationRecord(
+                seq=self._next_seq(),
+                tick=self.controller.tick,
+                node=node,
+                kind=kind,
+                attrs=dict(attrs),
+            )
+        )
+
+    def on_bolt(self, digest: str, result, pessimized: Optional[str]) -> None:
+        """Record the shared bolt artifact and its generation's layout."""
+        if digest not in self.bolt_digests:
+            self.bolt_digests.append(digest)
+        self.layout_maps[result.generation] = layout_map(result.binary)
+        if pessimized is not None:
+            self.pessimized_function = pessimized
+
+    def finalize(self, outcome) -> FleetManifest:
+        """Assemble and store the manifest; returns it (also on
+        ``self.manifest`` and announced in the outcome's event log)."""
+        controller = self.controller
+        manifest = FleetManifest(
+            version=MANIFEST_VERSION,
+            run_id=self.run_id,
+            workload_name=controller.workload.name,
+            input_name=controller.input_spec.name,
+            config=controller.cfg.to_jsonable(),
+            fault_plan=controller.plan.to_jsonable(),
+            demands=[list(d) for d in controller._demands],
+            baseline=dict(self.baseline),
+            trajectory={n: list(rows) for n, rows in self.trajectory.items()},
+            checkpoints=list(self.checkpoints),
+            mutations=list(self.mutations),
+            layout_maps=dict(self.layout_maps),
+            bolt_digests=list(self.bolt_digests),
+            pessimized_function=self.pessimized_function,
+            final_machine_sha={
+                r.node: machine_sha(r)
+                for r in controller.replicas
+                if r.healthy
+            },
+            events_digest=controller.log.replay_digest(),
+        )
+        with _trace.span(
+            "forensics.finalize", run_id=self.run_id[:12],
+            checkpoints=len(manifest.checkpoints),
+            mutations=len(manifest.mutations),
+        ):
+            store().put(manifest_key(self.run_id), manifest)
+        self.manifest = manifest
+        return manifest

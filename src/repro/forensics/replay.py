@@ -1,0 +1,499 @@
+"""Deterministic replica replay from forensic checkpoints.
+
+A :class:`ReplicaReplayer` re-executes one node of a recorded rollout from
+its :class:`~repro.forensics.checkpoint.FleetManifest` alone: the demand
+schedule supplies every serve tick, the mutations ledger supplies every
+control-plane action (perf windows, straggler slow-downs, kills, installs
+by bolt-artifact digest, rollbacks), and checkpoints supply restore points.
+Because replicas serve against absolute transaction targets and every
+mutation re-applies at its recorded tick boundary, the replayed machine
+state is bit-identical to the original run — verified against the
+``machine_sha`` recorded on every checkpoint it passes and against the
+run's final digest.
+
+Two replay modes power the bisector (:mod:`repro.forensics.bisect`):
+
+* **faithful** — all mutations; resuming from any checkpoint reproduces
+  the recorded run's suffix exactly (``replay_from_checkpoint``);
+* **counterfactual** (``include_installs=False``) — install and rollback
+  mutations are dropped, so the node keeps executing the previous binary
+  generation while still absorbing the same perf overhead, slow-downs and
+  demand.  Divergence between the two isolates the layout change.
+
+Rollback replay relies on the collect loop being state-determined: the
+original controller attempts band collection once per tick boundary for up
+to ``gc_retry_ticks`` boundaries after a rollback; the replayer schedules
+the same attempts at the same boundaries, and because the machine state is
+bit-identical the quiesce decision falls on the same attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.costs import CostModel
+from repro.core.funcptr_map import FunctionPointerMap
+from repro.core.patcher import scan_direct_call_sites
+from repro.core.replacement import CodeReplacer
+from repro.engine.store import ArtifactKey, store
+from repro.fleet.controller import FleetConfig
+from repro.fleet.replica import Replica, ReplicaState
+from repro.fleet.rollback import restore_original_text, try_collect_bands
+from repro.forensics.checkpoint import (
+    _BOOKKEEPING_FIELDS,
+    CheckpointRecord,
+    FleetManifest,
+    ForensicsError,
+    MutationRecord,
+    ReplicaCheckpoint,
+    machine_sha,
+)
+from repro.harness.runner import link_original
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.profiling.perf import PerfSession
+from repro.vm.snapshot import SnapshotError, VMState, capture_vm_state, restore_vm_state
+
+
+class ReplayDivergence(ForensicsError):
+    """A replayed machine state disagreed with the recorded digest."""
+
+    def __init__(self, message: str, tick: int) -> None:
+        super().__init__(message)
+        self.tick = tick
+
+
+def config_from_manifest(manifest: FleetManifest) -> FleetConfig:
+    """Rebuild the recorded :class:`FleetConfig` (bolt options included)."""
+    fields_dict = dict(manifest.config)
+    bolt = fields_dict.pop("bolt_options", None)
+    cfg = FleetConfig(**fields_dict)
+    if bolt is not None:
+        from repro.bolt.optimizer import BoltOptions
+
+        cfg.bolt_options = BoltOptions(**bolt)
+    return cfg
+
+
+@dataclass
+class _MemState:
+    """An in-memory restore point the bisector caches at probed ticks."""
+
+    tick: int
+    mut_idx: int
+    pending_collects: int
+    vm: VMState
+    bookkeeping: Dict[str, object]
+    wrap_state: Optional[Tuple[Dict[int, int], int, int]]
+
+
+@dataclass
+class ReplayResult:
+    """What one ``replay_from_checkpoint`` produced."""
+
+    node: int
+    from_tick: int
+    to_tick: int
+    quanta: int
+    machine_sha: str
+    verified: bool
+    #: Number of recorded digests the replay was checked against.
+    checks: int = 0
+
+
+class ReplicaReplayer:
+    """Replays one node's recorded rollout trajectory tick by tick.
+
+    The replayer owns a fresh :class:`~repro.fleet.replica.Replica` of the
+    recorded workload.  Start it either with :meth:`start_fresh` (the
+    recorded warmup+baseline run pattern, then tick 0) or with
+    :meth:`restore` (a stored checkpoint); then :meth:`step_tick` /
+    :meth:`run_to` advance it along the recorded demand schedule, applying
+    ledgered mutations at their boundaries.
+    """
+
+    def __init__(
+        self,
+        manifest: FleetManifest,
+        workload,
+        input_spec,
+        node: int,
+        *,
+        superblocks: Optional[bool] = None,
+        include_installs: bool = True,
+        verify_checkpoints: bool = True,
+    ) -> None:
+        if node >= len(manifest.demands):
+            raise ForensicsError(f"manifest has no node {node}")
+        self.manifest = manifest
+        self.node = node
+        self.cfg = config_from_manifest(manifest)
+        if superblocks is not None:
+            self.cfg.superblocks = superblocks
+        self.include_installs = include_installs
+        self.verify_checkpoints = verify_checkpoints
+        self.demands: List[int] = list(manifest.demands[node])
+        self.mutations: List[MutationRecord] = manifest.mutations_for(node)
+        self._checkpoints_by_tick: Dict[int, List[CheckpointRecord]] = {}
+        for record in manifest.checkpoints_for(node):
+            self._checkpoints_by_tick.setdefault(record.tick, []).append(record)
+        self.original = link_original(workload)
+        self.call_sites = scan_direct_call_sites(self.original)
+        self.replica = Replica(
+            node,
+            workload,
+            input_spec,
+            self.original,
+            seed=self.cfg.seed + node,
+            superblocks=self.cfg.superblocks,
+        )
+        self.fp_map: Optional[FunctionPointerMap] = None
+        self.perf_session: Optional[PerfSession] = None
+        self.tick = 0
+        self._mut_idx = 0
+        self._pending_collects = 0
+        self.checks = 0
+        self.quanta_replayed = 0
+
+    # -- starting points -------------------------------------------------
+
+    def start_fresh(self) -> None:
+        """Recreate the recorded pre-serving state (warmup + baseline)."""
+        replica = self.replica
+        process = replica.process
+        process.run(max_transactions=self.cfg.warmup_transactions)
+        replica.demand_total = process.counters_total().transactions
+        mark = replica.counters_mark()
+        process.run(max_transactions=self.cfg.baseline_transactions)
+        replica.demand_total = process.counters_total().transactions
+        replica.last_capacity_tps = replica.measured_tps(replica.window_delta(mark))
+        self.tick = 0
+        self._mut_idx = 0
+        self._pending_collects = 0
+
+    def restore(self, record: CheckpointRecord) -> None:
+        """Restore a stored checkpoint; replay resumes at ``record.tick``."""
+        try:
+            payload: ReplicaCheckpoint = store().get(record.key())
+        except KeyError:
+            raise ForensicsError(
+                f"checkpoint {record.digest[:12]} (node {record.node}, tick "
+                f"{record.tick}) is not in the artifact store"
+            ) from None
+        if self.perf_session is not None:
+            self.perf_session.detach()
+            self.perf_session = None
+        replica = self.replica
+        restore_vm_state(replica.process, payload.vm)
+        self._restore_bookkeeping(payload.bookkeeping)
+        self._restore_wrap(payload.wrap_state)
+        self.tick = record.tick
+        self._mut_idx = 0
+        while self._mut_idx < len(self.mutations):
+            mut = self.mutations[self._mut_idx]
+            if mut.tick > record.tick:
+                break
+            if mut.tick == record.tick and mut.seq > record.seq:
+                break  # same boundary, ledgered after this checkpoint
+            self._mut_idx += 1
+        self._pending_collects = self._derive_pending_collects(record.tick)
+        if self.verify_checkpoints:
+            sha = machine_sha(replica)
+            self.checks += 1
+            if sha != record.machine_sha:
+                raise ReplayDivergence(
+                    f"restored state of node {self.node} at tick {record.tick} "
+                    f"does not match the checkpoint digest", record.tick,
+                )
+
+    def _restore_bookkeeping(self, bookkeeping: Dict[str, object]) -> None:
+        replica = self.replica
+        for name in _BOOKKEEPING_FIELDS:
+            setattr(replica, name, bookkeeping[name])
+        replica.state = ReplicaState[bookkeeping["state"]]
+
+    def _restore_wrap(
+        self, wrap_state: Optional[Tuple[Dict[int, int], int, int]]
+    ) -> None:
+        if wrap_state is None:
+            self.fp_map = None
+            self.replica.process.set_wrap_hook(None)
+            return
+        fp_map = FunctionPointerMap(self.original)
+        fp_map._to_c0 = dict(wrap_state[0])
+        fp_map.wraps_total = wrap_state[1]
+        fp_map.wraps_translated = wrap_state[2]
+        fp_map.install(self.replica.process)
+        self.fp_map = fp_map
+
+    def _derive_pending_collects(self, tick: int) -> int:
+        """Collect attempts still owed after restoring at ``tick``.
+
+        The controller attempts collection at boundaries ``rb.tick ..
+        rb.tick + gc_retry_ticks - 1`` after a rollback, stopping early on
+        quiesce.  A restored state that has already quiesced shows
+        ``replacement_generation == 0``; otherwise the remaining attempts
+        follow from the boundary arithmetic.
+        """
+        if self.replica.process.replacement_generation == 0:
+            return 0
+        last_rollback = None
+        for mut in self.mutations:
+            if mut.tick > tick:
+                break
+            if mut.kind == "rollback":
+                last_rollback = mut
+        if last_rollback is None:
+            return 0
+        remaining = self.cfg.gc_retry_ticks - (tick - last_rollback.tick)
+        return max(0, remaining)
+
+    # -- stepping --------------------------------------------------------
+
+    def step_tick(self) -> int:
+        """Replay one boundary + serve tick; returns transactions served.
+
+        Boundary order mirrors the recorder: checkpoint digests were taken
+        at the end of the previous tick's serving (verify first), pending
+        band-collect attempts run next, then ledgered mutations in seq
+        order, then the tick's demand is served.
+        """
+        t = self.tick
+        if t >= len(self.demands):
+            raise ForensicsError(
+                f"node {self.node} has no recorded demand for tick {t}"
+            )
+        replica = self.replica
+        if self.verify_checkpoints and self.include_installs:
+            for record in self._checkpoints_by_tick.get(t, ()):  # seq order
+                sha = machine_sha(replica)
+                self.checks += 1
+                if sha != record.machine_sha:
+                    raise ReplayDivergence(
+                        f"replayed node {self.node} diverged from checkpoint "
+                        f"{record.digest[:12]} at tick {t}", t,
+                    )
+        if self._pending_collects > 0:
+            _collected, quiesced = try_collect_bands(
+                replica.process, self.original
+            )
+            self._pending_collects = (
+                0 if quiesced else self._pending_collects - 1
+            )
+        while (
+            self._mut_idx < len(self.mutations)
+            and self.mutations[self._mut_idx].tick == t
+        ):
+            self._apply(self.mutations[self._mut_idx])
+            self._mut_idx += 1
+        before = replica.process._quantum_counter
+        sample = replica.serve_tick(t, self.demands[t], self.cfg.tick_seconds)
+        self.quanta_replayed += replica.process._quantum_counter - before
+        self.tick = t + 1
+        return sample.served
+
+    def run_to(self, tick: int) -> None:
+        """Replay boundaries until ``self.tick == tick``."""
+        while self.tick < tick:
+            self.step_tick()
+
+    def probe_tick(self, probe: Callable[[int, int, int, int], None]) -> int:
+        """Replay one tick under a per-run forensic probe.
+
+        ``probe(quantum, pc, n_instr, cycles)`` fires once per decoded run;
+        ``quantum`` is the process's global scheduling-quantum index.  The
+        replayer must be running the reference stepper (``superblocks=False``)
+        — the superblock fast path bypasses per-run probes.
+        """
+        process = self.replica.process
+        interp = process.interpreter
+        if interp.use_superblocks:
+            raise ForensicsError(
+                "probe_tick requires the reference stepper "
+                "(ReplicaReplayer(..., superblocks=False))"
+            )
+
+        def on_run(pc: int, n_instr: int, cycles: int) -> None:
+            probe(process._quantum_counter, pc, n_instr, cycles)
+
+        interp.set_probe(on_run)
+        try:
+            return self.step_tick()
+        finally:
+            interp.set_probe(None)
+
+    # -- mutations -------------------------------------------------------
+
+    def _apply(self, mut: MutationRecord) -> None:
+        replica = self.replica
+        process = replica.process
+        kind = mut.kind
+        if kind == "perf_attach":
+            session = PerfSession(
+                period=int(mut.attrs["period"]),
+                overhead=float(mut.attrs["overhead"]),
+            )
+            session.attach(process)
+            self.perf_session = session
+        elif kind == "perf_detach":
+            if self.perf_session is not None:
+                self.perf_session.detach()
+                self.perf_session = None
+        elif kind == "slow":
+            replica.make_slow(
+                float(mut.attrs["factor"]), int(mut.attrs["ticks"])
+            )
+        elif kind == "kill":
+            replica.kill()
+        elif kind == "install":
+            if not self.include_installs:
+                return
+            digest = str(mut.attrs["digest"])
+            try:
+                bolt_result = store().get(
+                    ArtifactKey(kind="bolt", digest=digest)
+                )
+            except KeyError:
+                raise ForensicsError(
+                    f"bolt artifact {digest[:12]} is not in the artifact "
+                    "store (was it GC'd without forensics pinning?)"
+                ) from None
+            if self.fp_map is None:
+                self.fp_map = FunctionPointerMap(self.original)
+            replacer = CodeReplacer(
+                process,
+                self.original,
+                call_sites=self.call_sites,
+                cost_model=CostModel(),
+                fp_map=self.fp_map,
+            )
+            report = replacer.replace(bolt_result)
+            replica.charge_stall(report.pause_seconds)
+        elif kind == "rollback":
+            if not self.include_installs:
+                return
+            restore_original_text(
+                process,
+                self.original,
+                call_sites=self.call_sites,
+                fp_map=self.fp_map,
+            )
+            _collected, quiesced = try_collect_bands(process, self.original)
+            self._pending_collects = (
+                0 if quiesced else self.cfg.gc_retry_ticks - 1
+            )
+        else:
+            raise ForensicsError(f"unknown mutation kind {kind!r}")
+
+    # -- in-memory restore points (bisector caching) ---------------------
+
+    def capture_mem(self) -> Optional[_MemState]:
+        """Snapshot the replayer in memory (None while un-capturable)."""
+        try:
+            vm = capture_vm_state(self.replica.process)
+        except SnapshotError:
+            return None
+        replica = self.replica
+        bookkeeping = {
+            name: getattr(replica, name) for name in _BOOKKEEPING_FIELDS
+        }
+        bookkeeping["state"] = replica.state.name
+        wrap_state = (
+            (
+                dict(self.fp_map._to_c0),
+                self.fp_map.wraps_total,
+                self.fp_map.wraps_translated,
+            )
+            if self.fp_map is not None
+            else None
+        )
+        return _MemState(
+            tick=self.tick,
+            mut_idx=self._mut_idx,
+            pending_collects=self._pending_collects,
+            vm=vm,
+            bookkeeping=bookkeeping,
+            wrap_state=wrap_state,
+        )
+
+    def restore_mem(self, state: _MemState) -> None:
+        """Rewind to a :meth:`capture_mem` point."""
+        if self.perf_session is not None:
+            self.perf_session.detach()
+            self.perf_session = None
+        restore_vm_state(self.replica.process, state.vm)
+        self._restore_bookkeeping(state.bookkeeping)
+        self._restore_wrap(state.wrap_state)
+        self.tick = state.tick
+        self._mut_idx = state.mut_idx
+        self._pending_collects = state.pending_collects
+
+
+def replay_from_checkpoint(
+    manifest: FleetManifest,
+    workload,
+    input_spec,
+    *,
+    node: int = 0,
+    checkpoint: Optional[CheckpointRecord] = None,
+    to_tick: Optional[int] = None,
+    superblocks: Optional[bool] = None,
+    strict: bool = True,
+) -> ReplayResult:
+    """Restore ``node`` from a checkpoint and replay the recorded suffix.
+
+    Every checkpoint passed on the way is verified against its recorded
+    ``machine_sha``; a replay that reaches the end of the schedule is also
+    verified against the run's final digest.  ``strict=False`` reports
+    ``verified=False`` instead of raising :class:`ReplayDivergence`.
+    """
+    replayer = ReplicaReplayer(
+        manifest, workload, input_spec, node, superblocks=superblocks
+    )
+    if checkpoint is None:
+        records = manifest.checkpoints_for(node)
+        if not records:
+            raise ForensicsError(
+                f"node {node} has no checkpoints — was the rollout run with "
+                "checkpoint_every > 0?"
+            )
+        checkpoint = records[0]
+    end = len(replayer.demands) if to_tick is None else to_tick
+    verified = True
+    with _trace.span(
+        "forensics.replay", node=node, from_tick=checkpoint.tick, to_tick=end,
+    ) as span:
+        try:
+            replayer.restore(checkpoint)
+            replayer.run_to(end)
+        except ReplayDivergence:
+            if strict:
+                raise
+            verified = False
+        final_sha = machine_sha(replayer.replica)
+        recorded = manifest.final_machine_sha.get(node)
+        if end >= len(replayer.demands) and recorded is not None:
+            replayer.checks += 1
+            if final_sha != recorded:
+                if strict:
+                    raise ReplayDivergence(
+                        f"node {node} replayed to tick {end} but its final "
+                        "machine digest does not match the recorded run", end,
+                    )
+                verified = False
+        span.set_attrs(quanta=replayer.quanta_replayed, verified=verified)
+    registry = _metrics.current()
+    if registry is not None:
+        registry.counter(
+            "forensics.replay_quanta", "scheduling quanta re-executed"
+        ).inc(replayer.quanta_replayed)
+    return ReplayResult(
+        node=node,
+        from_tick=checkpoint.tick,
+        to_tick=end,
+        quanta=replayer.quanta_replayed,
+        machine_sha=final_sha,
+        verified=verified,
+        checks=replayer.checks,
+    )

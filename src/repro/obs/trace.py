@@ -47,6 +47,7 @@ __all__ = [
     "span",
     "event",
     "install",
+    "sample",
     "uninstall",
 ]
 
@@ -190,6 +191,7 @@ class Tracer:
     def __init__(self, sim_clock: Optional[Callable[[], float]] = None) -> None:
         self.sim_clock = sim_clock
         self.finished: List[Span] = []
+        self.samples: List[tuple] = []
         self._stack: List[Span] = []
         self._next_id = 1
 
@@ -237,9 +239,20 @@ class Tracer:
             sp.set_sim_duration(0.0)
         return sp
 
+    def sample(self, name: str, value: float) -> None:
+        """Record a counter sample at the current sim time.
+
+        Samples form per-name counter tracks (Chrome ``"C"`` events) —
+        e.g. ``fleet.p99_ms`` per tick, ``forensics.checkpoint_bytes``
+        per checkpoint — plotted as stepped area charts in Perfetto.
+        They are Chrome-export only and do not appear in JSONL output.
+        """
+        self.samples.append((name, self.sim_now(), float(value)))
+
     def clear(self) -> None:
-        """Drop all recorded spans (the open stack is preserved)."""
+        """Drop all recorded spans and samples (the open stack is preserved)."""
         self.finished.clear()
+        self.samples.clear()
 
     # -- queries --------------------------------------------------------
 
@@ -292,6 +305,18 @@ class Tracer:
                     "pid": 1,
                     "tid": 1,
                     "args": args,
+                }
+            )
+        for name, sim_ts, value in self.samples:
+            events.append(
+                {
+                    "name": name,
+                    "cat": name.split(".", 1)[0],
+                    "ph": "C",
+                    "ts": sim_ts * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"value": value},
                 }
             )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
@@ -348,6 +373,13 @@ def event(name: str, **attrs: Any) -> None:
     t = _TRACER
     if t is not None:
         t.event(name, **attrs)
+
+
+def sample(name: str, value: float) -> None:
+    """Record a counter sample on the installed tracer, if any."""
+    t = _TRACER
+    if t is not None:
+        t.sample(name, value)
 
 
 def apportion(parent, children, total_seconds: float) -> None:

@@ -252,6 +252,10 @@ class Interpreter:
         from repro.obs import metrics as _obs_metrics
 
         self._obs = _obs_metrics.vm_counters()
+        # Forensic probe: when set, the non-superblock path reports every
+        # executed run as (start_pc, n_instr, cycle_delta).  Never enabled
+        # during normal serving — only bisect narrowing replays attach one.
+        self._probe = None
 
     @property
     def observer(self):
@@ -321,6 +325,18 @@ class Interpreter:
         unobserved :meth:`step` and pays nothing.
         """
         self._obs = counters
+
+    def set_probe(self, probe) -> None:
+        """Attach (or with None, detach) a per-run forensic probe.
+
+        ``probe(start_pc, n_instr, cycle_delta)`` is called after every run
+        executed on the reference (non-superblock) path; the cycle delta is
+        taken from core 0's front-end counters, which is exact for the
+        single-threaded replicas bisect replays.  The probe observes without
+        perturbing: stepping itself is unchanged, so machine state stays
+        bit-identical to an unprobed run.
+        """
+        self._probe = probe
 
     def cached_runs(self) -> int:
         """Number of cached decoded runs (for tests/diagnostics)."""
@@ -730,10 +746,33 @@ class Interpreter:
         are identical across the reference and superblock paths.
         """
         if not self.use_superblocks:
-            step = self.step if self._obs is None else self._obs_step
+            if self._probe is not None:
+                step = self._probe_step
+            else:
+                step = self.step if self._obs is None else self._obs_step
             for _ in range(n_runs):
                 if thread.state != ThreadState.RUNNABLE:
                     return
                 step(thread)
             return
         run_superblock_quantum(self, thread, n_runs)
+
+    def _probe_step(self, thread: SimThread) -> None:
+        """Probed variant of :meth:`step` for bisect narrowing replays.
+
+        Decodes/caches the run before stepping (like :meth:`_obs_step`, so
+        in-run code writes cannot hide it), snapshots core 0's cycle counter
+        around the step, and reports ``(start_pc, n_instr, cycle_delta)``
+        to the attached probe.
+        """
+        if thread.state != ThreadState.RUNNABLE:
+            return
+        pc = thread.pc
+        run = self._cache.get(pc)
+        if run is None:
+            run = self._decode(pc)
+            self._cache[pc] = run
+        counters = self.process.frontends[0].counters
+        before = counters.cycles
+        self.step(thread)
+        self._probe(pc, run.n_instr, counters.cycles - before)

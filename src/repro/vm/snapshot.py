@@ -1,0 +1,195 @@
+"""Checkpointable VM state: capture and restore at quantum boundaries.
+
+A :class:`VMState` is everything :meth:`~repro.vm.process.Process.run` reads
+or writes — memory image, architectural thread state, the seeded RNG, the
+compiled input's counted-branch state, the full microarchitectural model
+(caches, TLBs, predictors, counters, the shared DRAM controller) and the
+scheduler's quantum bookkeeping.  Capturing between ``run()`` calls and
+restoring into a *fresh* process of the same binary therefore resumes
+execution bit-identically: the absolute-demand serving contract
+(:mod:`repro.fleet.replica`) pins the stop points, and everything those
+stop points depend on is in the snapshot.
+
+Deliberately **not** captured:
+
+* decode/superblock caches and the online trace-bias profile — pure
+  wall-clock accelerators whose absence is bit-invisible (the PR-3/PR-4
+  equivalence contract); restore just invalidates and lets them re-warm;
+* the wrap hook — a bound method on controller-owned state
+  (:class:`~repro.core.funcptr_map.FunctionPointerMap`); the fleet
+  checkpoint layer (:mod:`repro.forensics.checkpoint`) records and
+  reinstalls it, since only the control plane knows which map is live.
+
+Capture refuses to run mid-profiling (``perf_session`` attached): the
+session holds un-serializable sampling state and detaches within a few
+ticks, so the recorder simply skips those cadence points.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.vm.process import Process
+from repro.vm.thread import ThreadState
+
+
+class SnapshotError(ReproError):
+    """Raised for uncapturable or unrestorable process states."""
+
+
+@dataclass
+class VMState:
+    """One process's complete execution state, picklable and self-contained.
+
+    ``regions`` carries the full memory image (zlib-compressed per region),
+    including any injected BOLT generation bands, so a restore reproduces
+    patched code byte-for-byte.  ``uarch_blob`` pickles the front-ends and
+    the memory controller *together*, preserving the shared-controller
+    aliasing between cores.
+    """
+
+    #: (start, name, executable, compressed bytes) per mapped region.
+    regions: List[Tuple[int, str, bool, bytes]] = field(default_factory=list)
+    #: Architectural fields per thread, keyed like the SimThread dataclass.
+    threads: List[Dict[str, object]] = field(default_factory=list)
+    rng_state: Optional[tuple] = None
+    counted_state: Dict[int, int] = field(default_factory=dict)
+    uarch_blob: bytes = b""
+    quantum_counter: int = 0
+    mc_mark: Tuple[float, int, float] = (0.0, 0, 0.0)
+    lbr_rings: List[List[Tuple[int, int]]] = field(default_factory=list)
+    lbr_enabled: bool = False
+    lbr_depth: int = 32
+    replacement_generation: int = 0
+
+    def size_bytes(self) -> int:
+        """Serialized size of this snapshot (the checkpoint-cost metric)."""
+        return len(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def capture_vm_state(process: Process) -> VMState:
+    """Snapshot ``process`` between ``run()`` calls (a quantum boundary).
+
+    Raises:
+        SnapshotError: if the process is paused mid-replacement or has a
+            perf session attached (both hold state a snapshot cannot carry).
+    """
+    if process.paused:
+        raise SnapshotError("cannot checkpoint a paused process")
+    if process.perf_session is not None:
+        raise SnapshotError("cannot checkpoint while a perf session is attached")
+    state = VMState()
+    for region in process.address_space.regions():
+        state.regions.append(
+            (region.start, region.name, region.executable,
+             zlib.compress(bytes(region.data), level=1))
+        )
+    for t in process.threads:
+        state.threads.append(
+            {
+                "tid": t.tid,
+                "pc": t.pc,
+                "sp": t.sp,
+                "stack_base": t.stack_base,
+                "stack_limit": t.stack_limit,
+                "state": t.state.name,
+                "cycles": t.cycles,
+                "blocked_until": t.blocked_until,
+                "instructions": t.instructions,
+                "stack_start": t._stack_start,  # type: ignore[attr-defined]
+            }
+        )
+    state.rng_state = process.rng.getstate()
+    state.counted_state = dict(process.behaviour.counted_state)
+    # Front-ends and the DRAM controller are pickled together so the
+    # BackendModel -> shared-controller references survive the round trip.
+    state.uarch_blob = pickle.dumps(
+        (process.frontends, process.memory_controller),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    state.quantum_counter = process._quantum_counter
+    state.mc_mark = process._mc_mark
+    state.lbr_rings = [list(ring) for ring in process.lbr_rings]
+    state.lbr_enabled = process.lbr_enabled
+    state.lbr_depth = process.lbr_depth
+    state.replacement_generation = process.replacement_generation
+    return state
+
+
+def restore_vm_state(process: Process, state: VMState) -> None:
+    """Overwrite ``process`` with ``state``; execution resumes bit-identically.
+
+    The target must run the same binary the snapshot was taken from (same
+    base mappings).  Region bytes are restored *in place* where a region of
+    the same extent exists — preserving the stack-bytearray aliases threads
+    hold — and mapped/unmapped where the snapshot and the process disagree
+    (injected BOLT bands).
+    """
+    space = process.address_space
+    existing = {r.start: r for r in space.regions()}
+    saved_starts = set()
+    for start, name, executable, blob in state.regions:
+        raw = zlib.decompress(blob)
+        saved_starts.add(start)
+        region = existing.get(start)
+        if region is not None and len(region.data) == len(raw):
+            region.data[:] = raw
+            region.name = name
+            region.executable = executable
+        else:
+            if region is not None:
+                space.unmap_region(start)
+            space.map_region(
+                start=start, data=raw, name=name, executable=executable
+            )
+    for start in list(existing):
+        if start not in saved_starts:
+            space.unmap_region(start)
+
+    by_tid = {t.tid: t for t in process.threads}
+    for saved in state.threads:
+        thread = by_tid.get(saved["tid"])  # type: ignore[arg-type]
+        if thread is None:
+            raise SnapshotError(
+                f"snapshot has thread {saved['tid']} the process lacks"
+            )
+        thread.pc = saved["pc"]
+        thread.sp = saved["sp"]
+        thread.stack_base = saved["stack_base"]
+        thread.stack_limit = saved["stack_limit"]
+        thread.state = ThreadState[saved["state"]]
+        thread.cycles = saved["cycles"]
+        thread.blocked_until = saved["blocked_until"]
+        thread.instructions = saved["instructions"]
+        stack_region = space.region_at(saved["stack_start"])  # type: ignore[arg-type]
+        if stack_region is None:
+            raise SnapshotError(
+                f"snapshot stack for thread {saved['tid']} is unmapped"
+            )
+        thread._stack_data = stack_region.data  # type: ignore[attr-defined]
+        thread._stack_start = stack_region.start  # type: ignore[attr-defined]
+
+    process.rng.setstate(state.rng_state)
+    process.behaviour.counted_state.clear()
+    process.behaviour.counted_state.update(state.counted_state)
+    frontends, controller = pickle.loads(state.uarch_blob)
+    if len(frontends) != len(process.frontends):
+        raise SnapshotError(
+            f"snapshot has {len(frontends)} cores, process has "
+            f"{len(process.frontends)}"
+        )
+    process.frontends = frontends
+    process.memory_controller = controller
+    process._quantum_counter = state.quantum_counter
+    process._mc_mark = state.mc_mark
+    process.lbr_rings = [list(ring) for ring in state.lbr_rings]
+    process.lbr_enabled = state.lbr_enabled
+    process.lbr_depth = state.lbr_depth
+    process.replacement_generation = state.replacement_generation
+    # Decode/superblock caches may hold stale decodes of the pre-restore
+    # bytes; in-place region restores bypass the write observers.
+    process.interpreter.invalidate()

@@ -1,0 +1,466 @@
+"""Forensics tests: checkpoints, record/replay bit-identity, the bisector.
+
+The layer under test is ``repro.forensics``: periodic VM snapshots into the
+artifact store, suffix replay from a checkpoint verified against the
+recorded machine state, GC pinning of everything a manifest references, and
+the canary-regression bisector that must name an injected pessimized
+function from the event log and checkpoints alone.
+
+Rollouts are deterministic, so every assertion is exact — replay either
+reproduces the recorded run bit-for-bit or it is a bug.  The recorded
+fixture uses a disk-backed artifact store (reconfigured per dependent test)
+so the bisector genuinely works from stored artifacts, not from objects
+left over in process memory.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine.store import DiskBackend
+from repro.engine import store as store_mod
+from repro.errors import ReproError
+from repro.fleet import FaultPlan, FaultSpec, FleetConfig, FleetController
+from repro.fleet.controller import hottest_function, inverted_profile
+from repro.fleet.events import EventLog
+from repro.forensics import (
+    ForensicsError,
+    collect_gc_pins,
+    load_manifest,
+    replay_from_checkpoint,
+    run_bisect,
+)
+from repro.profiling.perf import PerfSession
+from repro.vm.snapshot import SnapshotError, capture_vm_state, restore_vm_state
+
+FAULT_SITES = [
+    "profile.truncate",
+    "bolt.crash",
+    "patch.mid_replace",
+    "replica.die_drain",
+    "replica.slow",
+]
+
+
+@pytest.fixture(scope="module")
+def fleet_spec(small_server):
+    return small_server.make_input("readish", 0.1, {"read_op": 8.0, "scan_op": 1.0})
+
+
+def run_recorded(workload, spec, *, plan=None, **overrides):
+    """A forensics-armed rollout; returns (controller, outcome, manifest)."""
+    overrides.setdefault("n_replicas", 3)
+    overrides.setdefault("checkpoint_every", 2)
+    config = FleetConfig(drain=True, **overrides)
+    controller = FleetController(workload, spec, config, plan)
+    outcome = controller.run()
+    return controller, outcome, controller._forensics.manifest
+
+
+def process_state(p):
+    """Full machine state of a process, as an equality-comparable value."""
+    return (
+        p.counters_total().transactions,
+        tuple(repr(fe.counters) for fe in p.frontends),
+        tuple((t.tid, t.pc, t.sp, t.state.name) for t in p.threads),
+        p.rng.getstate(),
+        p._quantum_counter,
+        tuple(tuple(ring) for ring in p.lbr_rings),
+    )
+
+
+# ---------------------------------------------------------------------------
+# VM snapshot layer
+# ---------------------------------------------------------------------------
+
+
+class TestVMSnapshot:
+    def test_restore_resumes_bit_identical(self, tiny):
+        """capture -> run -> (elsewhere) restore -> run reaches the same state."""
+        p = tiny.process(n_threads=2, seed=11)
+        p.run(max_transactions=40)
+        state = capture_vm_state(p)
+        p.run(max_transactions=25)
+        reference = process_state(p)
+
+        q = tiny.process(n_threads=2, seed=11)
+        q.run(max_transactions=7)  # desynchronize before restoring
+        restore_vm_state(q, state)
+        q.run(max_transactions=25)
+        assert process_state(q) == reference
+
+    def test_snapshot_roundtrips_through_pickle_bytes(self, tiny):
+        p = tiny.process(n_threads=2, seed=11)
+        p.run(max_transactions=30)
+        state = capture_vm_state(p)
+        assert state.size_bytes() > 0
+        q = tiny.process(n_threads=2, seed=11)
+        restore_vm_state(q, state)
+        assert process_state(q) == process_state(p)
+
+    def test_capture_refuses_perf_attached(self, tiny):
+        p = tiny.process(n_threads=2, seed=11)
+        p.run(max_transactions=10)
+        session = PerfSession(period=500, overhead=0.1)
+        session.attach(p)
+        try:
+            with pytest.raises(SnapshotError):
+                capture_vm_state(p)
+        finally:
+            session.detach()
+        capture_vm_state(p)  # detached again: capturable
+
+
+# ---------------------------------------------------------------------------
+# recorded rollout (disk-backed, shared by the replay/bisect tests)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def recorded(small_server, fleet_spec, tmp_path_factory):
+    """A rolled-back targeted-pessimization rollout, recorded to disk.
+
+    The gate thresholds are strict (an SLO-tight fleet): the single
+    pessimized function costs only a few percent, which a default gate
+    would wave through but this one rolls back — producing the canary
+    verdict the bisector keys on.
+    """
+    cache_dir = str(tmp_path_factory.mktemp("forensics-store"))
+    store_mod.configure(cache_dir=cache_dir)
+    controller, outcome, manifest = run_recorded(
+        small_server,
+        fleet_spec,
+        pessimize_layout=True,
+        pessimize_function="hottest",
+        proceed_above=1.10,
+        rollback_below=1.05,
+    )
+    yield SimpleNamespace(
+        controller=controller,
+        outcome=outcome,
+        manifest=manifest,
+        cache_dir=cache_dir,
+        workload=small_server,
+        spec=fleet_spec,
+        use=lambda: store_mod.configure(cache_dir=cache_dir),
+    )
+    store_mod.reset()
+
+
+class TestRecordedRollout:
+    def test_injection_rolled_back_and_was_recorded(self, recorded):
+        assert recorded.outcome.status == "rolled_back"
+        assert recorded.outcome.events.count("canary.verdict") >= 1
+        m = recorded.manifest
+        assert m.pessimized_function  # resolved from "hottest"
+        assert m.checkpoints, "no checkpoints recorded"
+        assert any(mu.kind == "install" for mu in m.mutations)
+        assert any(mu.kind == "rollback" for mu in m.mutations)
+        # every checkpoint is content-addressed and loadable
+        recorded.use()
+        ck = m.checkpoints_for(0)[0]
+        payload = store_mod.store().get(ck.key())
+        assert payload.tick == ck.tick and payload.node == 0
+
+    def test_recording_does_not_perturb_the_fleet(
+        self, small_server, fleet_spec, fresh_engine
+    ):
+        """checkpoint_every on/off twins are machine-identical (no observer
+        effect) and emit the same control-plane events.  The recording run
+        additionally ledgers ``forensics.checkpoint`` events — those are the
+        only difference."""
+        c_off, o_off, = (lambda c: (c, c.run()))(
+            FleetController(
+                small_server, fleet_spec,
+                FleetConfig(n_replicas=2, drain=True), None,
+            )
+        )
+        c_on, o_on, m_on = run_recorded(
+            small_server, fleet_spec, n_replicas=2, checkpoint_every=2
+        )
+        assert c_on._forensics is not None and m_on is not None
+        control_plane = [
+            e.to_jsonable() for e in o_on.events.events
+            if not e.kind.startswith("forensics.")
+        ]
+        assert control_plane == [e.to_jsonable() for e in o_off.events.events]
+        assert o_on.events.count("forensics.checkpoint") > 0
+        assert [r.machine_digest() for r in c_on.replicas] == [
+            r.machine_digest() for r in c_off.replicas
+        ]
+
+    def test_forensics_off_by_default(self, small_server, fleet_spec):
+        config = FleetConfig(n_replicas=2, drain=True)
+        controller = FleetController(small_server, fleet_spec, config, None)
+        assert controller._forensics is None
+
+
+# ---------------------------------------------------------------------------
+# replay from checkpoint
+# ---------------------------------------------------------------------------
+
+
+class TestReplayFromCheckpoint:
+    def test_replay_matches_recorded_run(self, recorded):
+        """Earliest-checkpoint replay of the canary reproduces the recorded
+        machine state bit-for-bit, through install, serving on the bad
+        layout, and rollback."""
+        recorded.use()
+        m = recorded.manifest
+        res = replay_from_checkpoint(m, recorded.workload, recorded.spec, node=0)
+        assert res.verified
+        assert res.machine_sha == m.final_machine_sha[0]
+        assert res.checks > 0, "no intermediate checkpoints were verified"
+        assert res.quanta > 0
+
+    def test_replay_from_mid_run_checkpoint(self, recorded):
+        recorded.use()
+        m = recorded.manifest
+        cks = m.checkpoints_for(0)
+        assert len(cks) >= 3
+        mid = cks[len(cks) // 2]
+        res = replay_from_checkpoint(
+            m, recorded.workload, recorded.spec, node=0, checkpoint=mid
+        )
+        assert res.verified
+        assert res.from_tick == mid.tick
+        assert res.machine_sha == m.final_machine_sha[0]
+
+    def test_all_healthy_nodes_replay_verified(self, recorded):
+        recorded.use()
+        m = recorded.manifest
+        assert set(m.final_machine_sha) == {0, 1, 2}
+        for node in sorted(m.final_machine_sha):
+            res = replay_from_checkpoint(
+                m, recorded.workload, recorded.spec, node=node
+            )
+            assert res.verified, f"node {node} replay diverged"
+
+    def test_load_manifest_unknown_run_raises(self, fresh_engine):
+        with pytest.raises(ForensicsError, match="checkpoint-every"):
+            load_manifest("deadbeef" * 8)
+
+
+class TestFaultSiteDeterminism:
+    @pytest.mark.parametrize("site", FAULT_SITES)
+    def test_replay_digest_and_checkpoints_identical(
+        self, site, small_server, fleet_spec, fresh_engine
+    ):
+        """For every fault site: twin rollouts emit identical event logs,
+        and suffix replay from a checkpoint is bit-identical to the
+        recorded (faulted) run."""
+        _, o1, m1 = run_recorded(
+            small_server, fleet_spec, plan=FaultPlan([FaultSpec(site)])
+        )
+        _, o2, _ = run_recorded(
+            small_server, fleet_spec, plan=FaultPlan([FaultSpec(site)])
+        )
+        assert o1.events.replay_digest() == o2.events.replay_digest()
+        assert o1.events.count("fault.injected") >= 1
+
+        assert m1.final_machine_sha, "no healthy replica recorded a final sha"
+        node = sorted(m1.final_machine_sha)[0]
+        res = replay_from_checkpoint(m1, small_server, fleet_spec, node=node)
+        assert res.verified, f"{site}: replay diverged from recorded run"
+        assert res.machine_sha == m1.final_machine_sha[node]
+
+
+# ---------------------------------------------------------------------------
+# event log JSONL
+# ---------------------------------------------------------------------------
+
+
+class TestEventsJsonl:
+    def test_roundtrip_preserves_replay_digest(self, recorded, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events = recorded.outcome.events
+        events.write_jsonl(
+            path, run_id=recorded.manifest.run_id, workload="small_server"
+        )
+        loaded, header = EventLog.load_jsonl(path)
+        assert header["v"] == 1
+        assert header["seed"] == events.seed
+        assert header["run_id"] == recorded.manifest.run_id
+        assert header["workload"] == "small_server"
+        assert loaded.replay_digest() == events.replay_digest()
+        assert loaded.kinds() == events.kinds()
+
+    def test_header_is_first_line_and_versioned(self, tmp_path):
+        log = EventLog(seed=7)
+        log.emit(0, "rollout.start", replicas=2)
+        path = str(tmp_path / "e.jsonl")
+        log.write_jsonl(path)
+        first = json.loads(open(path, encoding="utf-8").readline())
+        assert first["kind"] == "fleet.events.header"
+        assert first["v"] == 1 and first["seed"] == 7
+
+    def test_load_rejects_headerless_and_newer_files(self, tmp_path):
+        bare = tmp_path / "bare.jsonl"
+        bare.write_text('{"tick": 0, "kind": "rollout.start"}\n')
+        with pytest.raises(ReproError, match="header"):
+            EventLog.load_jsonl(str(bare))
+        future = tmp_path / "future.jsonl"
+        future.write_text(
+            '{"v": 99, "kind": "fleet.events.header", "seed": 1}\n'
+        )
+        with pytest.raises(ReproError, match="newer"):
+            EventLog.load_jsonl(str(future))
+
+
+# ---------------------------------------------------------------------------
+# GC pinning
+# ---------------------------------------------------------------------------
+
+
+class TestGcPinning:
+    def test_lru_eviction_skips_pinned_entries(self, tmp_path):
+        disk = DiskBackend(str(tmp_path / "cache"))
+        keys = []
+        for i in range(4):
+            key = store_mod.ArtifactKey("blob", f"{i:064x}")
+            disk.put(key, b"x" * 1000)
+            keys.append(key)
+        # refresh atimes in order: keys[0] is the LRU victim-to-be
+        for key in keys:
+            disk.get(key)
+        pinned = {(keys[0].kind, keys[0].digest)}
+        evicted = disk.gc(1, pinned=pinned)
+        evicted_digests = {d for _, d, _ in evicted}
+        assert keys[0].digest not in evicted_digests
+        assert disk.contains(keys[0])
+        assert {k.digest for k in keys[1:]} == evicted_digests
+
+    def test_manifest_pins_survive_gc_and_still_replay(self, recorded):
+        """`repro engine gc` with a zero cap must keep every artifact a
+        live forensics manifest references — and a bisect-grade replay
+        must still work afterwards."""
+        recorded.use()
+        disk = store_mod.store().disk
+        pins = collect_gc_pins(disk)
+        m = recorded.manifest
+        assert all(
+            (ck.key().kind, ck.key().digest) in pins for ck in m.checkpoints
+        )
+        assert any(kind == "bolt" for kind, _ in pins)
+
+        disk.gc(0, pinned=pins)
+        survivors = {(kind, digest) for kind, digest, _ in disk.entries()}
+        assert survivors == pins
+
+        recorded.use()  # drop the in-memory layer: force disk loads
+        again = load_manifest(m.run_id)
+        res = replay_from_checkpoint(again, recorded.workload, recorded.spec, node=0)
+        assert res.verified
+
+
+# ---------------------------------------------------------------------------
+# the bisector
+# ---------------------------------------------------------------------------
+
+
+class TestBisect:
+    def test_names_the_injected_function(self, recorded):
+        """From the event log and stored checkpoints alone, the bisector
+        pins the canary regression on the injected pessimized function."""
+        recorded.use()
+        m = recorded.manifest
+        report = run_bisect(
+            m, recorded.workload, recorded.spec, events=recorded.outcome.events
+        )
+        assert report.culprit_function == m.pessimized_function
+        assert report.expected_function == m.pessimized_function
+        assert report.first_diverging_tick >= report.install_tick
+        assert report.first_diverging_quantum >= 0
+        assert report.superblock_function
+        assert report.excess_cycles > 0
+        assert report.bisect_steps > 0 and report.replay_quanta > 0
+
+        text = report.to_text()
+        assert m.pessimized_function in text
+        assert "matched" in text and "NOT matched" not in text
+        jsonable = report.to_jsonable()
+        assert jsonable["culprit_function"] == m.pessimized_function
+        json.dumps(jsonable)  # structured output is JSON-clean
+
+    def test_emits_forensics_spans_and_metrics(self, recorded):
+        from repro.obs import metrics as metrics_mod
+        from repro.obs import trace as trace_mod
+
+        recorded.use()
+        tracer = trace_mod.install()
+        registry = metrics_mod.install()
+        try:
+            run_bisect(
+                recorded.manifest,
+                recorded.workload,
+                recorded.spec,
+                events=recorded.outcome.events,
+            )
+            replay_from_checkpoint(
+                recorded.manifest, recorded.workload, recorded.spec, node=0
+            )
+            names = {s.name for s in tracer.finished}
+            assert {
+                "forensics.bisect",
+                "forensics.bisect.search",
+                "forensics.bisect.narrow",
+                "forensics.replay",
+            } <= names
+            chrome = tracer.to_chrome()
+            chrome_names = {
+                e["name"] for e in chrome["traceEvents"] if e.get("ph") == "X"
+            }
+            assert "forensics.bisect.step" in chrome_names
+        finally:
+            trace_mod.uninstall()
+            metrics_mod.uninstall()
+
+    def test_tampered_event_log_is_rejected(self, recorded):
+        recorded.use()
+        tampered = EventLog(seed=recorded.outcome.events.seed)
+        tampered.events = list(recorded.outcome.events.events[:-1])
+        with pytest.raises(ForensicsError, match="match"):
+            run_bisect(
+                recorded.manifest, recorded.workload, recorded.spec,
+                events=tampered,
+            )
+
+
+# ---------------------------------------------------------------------------
+# targeted profile pessimization (the injection itself)
+# ---------------------------------------------------------------------------
+
+
+class TestTargetedPessimization:
+    def make_profile(self):
+        from repro.profiling.profile import BoltProfile
+
+        profile = BoltProfile(sample_count=10, record_count=10)
+        profile.block_counts = {
+            "hot_fn#0": 100, "hot_fn#1": 90, "hot_fn#2": 10,
+            "other#0": 50, "other#1": 5,
+        }
+        profile.branch_edges = {("hot_fn#0", "hot_fn#1"): 80, ("other#0", "other#1"): 4}
+        profile.call_edges = {("other", "hot_fn"): 30}
+        return profile
+
+    def test_hottest_function_by_total_count(self):
+        assert hottest_function(self.make_profile()) == "hot_fn"
+
+    def test_targeted_inversion_drops_bystanders(self):
+        out = inverted_profile(self.make_profile(), only_function="hot_fn")
+        funcs = {label.rsplit("#", 1)[0] for label in out.block_counts}
+        assert funcs == {"hot_fn"}, "bystander blocks must vanish"
+        # surviving counts are inverted (cold blocks look hot)
+        original = self.make_profile().block_counts
+        for label, count in out.block_counts.items():
+            assert count == 101 - original[label]
+        # no edge may touch the target
+        for table in (out.branch_edges, out.fallthrough_edges, out.call_edges):
+            for a, b in table:
+                assert "hot_fn" not in (a.rsplit("#", 1)[0], b.rsplit("#", 1)[0])
+
+    def test_global_inversion_unchanged(self):
+        out = inverted_profile(self.make_profile())
+        assert out.block_counts["other#1"] == 96  # 100 + 1 - 5
