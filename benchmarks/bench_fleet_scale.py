@@ -1,0 +1,118 @@
+"""Fleet scale-out: batched lock-step cohorts vs the serial reference.
+
+Fleets of identical replicas (``seed_stride=0``) batch into lock-step
+cohorts: every cohort runs on one shared VM with a single ``run_to_target``
+dispatch per tick, so the per-replica per-tick cost falls with fleet size
+while the serial reference (one VM per replica) stays flat.  This benchmark
+sweeps both execution modes across fleet sizes, proves the modes
+bit-identical at every paired size (event replay digests plus a machine
+digest subsample), and records the headline scaling claim: a >=1000-replica
+lock-step rollout whose per-replica per-tick cost beats serial execution at
+256 replicas by at least ``MIN_SCALE_ADVANTAGE``.
+
+``benchmarks/data/fleet_scale.json`` is the committed record.  The digest
+equalities and speedup direction are deterministic; the raw wall-second
+columns are one host's measurement.
+
+Modes:
+    Full run:   pytest benchmarks/bench_fleet_scale.py --benchmark-only
+    Smoke run:  BENCH_SMOKE=1 pytest ... (CI: one 64-replica pair)
+    JSON out:   BENCH_JSON_OUT=path.json pytest ... (payload artifact)
+"""
+
+import dataclasses
+import json
+import os
+
+from repro.fleet.bench import run_fleet_scale_bench
+from repro.harness.reporting import format_table, publish_bench_rows
+
+
+@dataclasses.dataclass
+class ScaleRow:
+    """One sweep point, publish_bench_rows-ready (``bench.fleet_scale.*``)."""
+
+    mode: str
+    status: str
+    replicas: int
+    ticks: int
+    wall_seconds: float
+    per_replica_tick_us: float
+    steady_p99_ms: float
+
+#: Batched execution must beat the serial baseline's per-replica per-tick
+#: cost by at least this factor (measured ~40x at the committed sizes; the
+#: smoke pair at 64 replicas already clears ~10x).
+MIN_SCALE_ADVANTAGE = 5.0
+
+
+def bench_fleet_scale(once):
+    smoke = os.environ.get("BENCH_SMOKE") == "1"
+    if smoke:
+        payload = once(
+            run_fleet_scale_bench,
+            "memcached",
+            serial_sizes=(64,),
+            lockstep_sizes=(64,),
+        )
+    else:
+        payload = once(run_fleet_scale_bench, "memcached")
+
+    print()
+    print(
+        format_table(
+            ["mode", "replicas", "status", "ticks", "wall s",
+             "per-replica-tick us", "steady p99 ms"],
+            [
+                [r["mode"], r["replicas"], r["status"], r["ticks"],
+                 f"{r['wall_seconds']:.2f}", f"{r['per_replica_tick_us']:.1f}",
+                 f"{r['steady_p99_ms']:.2f}"]
+                for r in payload["sweep"]
+            ],
+            title=f"fleet scale sweep, {payload['workload']} "
+                  f"(seed {payload['seed']})",
+        )
+    )
+    scale = payload["scale"]
+    print(
+        f"lockstep x{scale['lockstep_replicas']} vs serial "
+        f"x{scale['serial_baseline_replicas']}: "
+        f"{scale['per_replica_tick_improvement']:.1f}x cheaper per replica-tick"
+    )
+
+    # Every rollout at every size must land cleanly.
+    assert all(r["status"] == "optimized" for r in payload["sweep"])
+    assert all(r["error_rate"] == 0.0 for r in payload["sweep"])
+    # Equivalence oracle at every paired size: batched execution is
+    # bit-identical to the serial reference.
+    assert payload["pairs"], "no paired sizes to compare"
+    for pair in payload["pairs"]:
+        assert pair["machine_digests_equal"], pair
+        assert pair["event_digests_equal"], pair
+    # The scaling claim itself.
+    assert scale["per_replica_tick_improvement"] >= MIN_SCALE_ADVANTAGE
+    if not smoke:
+        assert scale["lockstep_replicas"] >= 1000
+        assert scale["serial_baseline_replicas"] >= 256
+
+    publish_bench_rows(
+        "fleet_scale",
+        [
+            ScaleRow(
+                mode=r["mode"],
+                status=r["status"],
+                replicas=r["replicas"],
+                ticks=r["ticks"],
+                wall_seconds=r["wall_seconds"],
+                per_replica_tick_us=r["per_replica_tick_us"],
+                steady_p99_ms=r["steady_p99_ms"],
+            )
+            for r in payload["sweep"]
+        ],
+    )
+
+    out = os.environ.get("BENCH_JSON_OUT")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")

@@ -320,11 +320,52 @@ def _parse_fault(text: str):
         raise argparse.ArgumentTypeError(f"bad fault spec {text!r}: {exc}") from None
 
 
+def _fleet_scenario(args) -> int:
+    """Run every tenant fleet described by a --scenario TOML file."""
+    from repro.fleet.scenario import load_scenario, run_tenant
+    from repro.harness.reporting import publish_bench_rows
+
+    scenario = load_scenario(args.scenario)
+    rows = []
+    for tenant in scenario.tenants:
+        cfg = tenant.config
+        _log.info(
+            "fleet.scenario.tenant", scenario=scenario.name,
+            tenant=tenant.name, workload=tenant.workload,
+            replicas=cfg.n_replicas, lockstep=cfg.lockstep,
+        )
+        outcome = run_tenant(tenant)
+        publish_bench_rows("fleet", outcome.slo_rows())
+        mode = (
+            "lockstep" if cfg.lockstep
+            else ("cohorts" if cfg.cohorts else "classic")
+        )
+        rows.append([
+            tenant.name, tenant.workload, cfg.n_replicas, mode,
+            outcome.status, f"{outcome.steady_p99_ms:.2f}",
+            f"{outcome.error_rate:.2%}", outcome.installs,
+            outcome.events.count("cohort.peel"),
+            outcome.events.count("cohort.merge"),
+        ])
+    print(
+        format_table(
+            ["tenant", "workload", "replicas", "mode", "status",
+             "steady p99 ms", "errors", "installs", "peels", "merges"],
+            rows,
+            title=f"scenario: {scenario.name} ({args.scenario})",
+        )
+    )
+    return 0
+
+
 def _fleet_run(args) -> int:
     """One supervised canary rollout over a real replica fleet."""
     from repro.engine.cells import workload_bundle
     from repro.fleet import FaultPlan, FleetConfig, FleetController
     from repro.harness.reporting import publish_bench_rows
+
+    if args.scenario:
+        return _fleet_scenario(args)
 
     bundle = workload_bundle(args.workload)
     input_name = args.input or bundle.eval_inputs[0]
@@ -799,6 +840,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--events-out", metavar="PATH", default=None,
         help="write the rollout event log as versioned JSONL (header "
              "record + one event per line; `fleet bisect --events` input)",
+    )
+    fleet_run.add_argument(
+        "--scenario", metavar="TOML", default=None,
+        help="run a declarative scenario file (tenant fleets with cohort "
+             "mode, faults, drain windows) instead of a single rollout; "
+             "other rollout flags are ignored",
     )
     fleet_bisect = fleet_sub.add_parser(
         "bisect",

@@ -9,8 +9,15 @@ on regression, and pluggable fault injection at every pipeline site.
 
 * :mod:`repro.fleet.replica` — one serving node: a real process driven by
   absolute transaction demand, with virtual-time p99 from measured rates;
+* :mod:`repro.fleet.cohort` — batched lock-step execution: replicas
+  sharing (lineage seed, generation) run as one cohort on one shared VM
+  with SoA bookkeeping, peeling to singletons on divergence and merging
+  back on reconvergence;
 * :mod:`repro.fleet.router` — seeded open-loop traffic + deterministic
-  request routing (drain-aware, failure-accounting);
+  request routing (drain-aware, failure-accounting), plus the
+  cohort-quantized variant feeding lock-step fleets;
+* :mod:`repro.fleet.scenario` — declarative TOML scenarios
+  (``repro fleet run --scenario targets.toml``);
 * :mod:`repro.fleet.controller` — the rollout state machine (canary,
   verdicts, retries with exponential backoff, graceful degradation);
 * :mod:`repro.fleet.rollback` — steering undo back onto ``C_0`` plus lazy
@@ -37,9 +44,22 @@ _EXPORTS = {
     "Replica": ".replica",
     "ReplicaState": ".replica",
     "TickSample": ".replica",
+    # cohort
+    "Cohort": ".cohort",
+    "CohortManager": ".cohort",
+    "CohortSoA": ".cohort",
+    "fork_replica_process": ".cohort",
     # router
+    "CohortRouter": ".router",
     "Router": ".router",
     "TrafficStream": ".router",
+    # scenario
+    "Scenario": ".scenario",
+    "ScenarioTenant": ".scenario",
+    "load_scenario": ".scenario",
+    "parse_scenario": ".scenario",
+    "run_scenario": ".scenario",
+    "run_tenant": ".scenario",
     # rollback
     "RollbackReport": ".rollback",
     "restore_original_text": ".rollback",
@@ -54,6 +74,7 @@ _EXPORTS = {
     # bench
     "analytic_prediction": ".bench",
     "run_fleet_rollout_bench": ".bench",
+    "run_fleet_scale_bench": ".bench",
 }
 
 __getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

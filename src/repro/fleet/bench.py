@@ -19,7 +19,8 @@ seed.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cells import workload_bundle
 from repro.fleet.controller import FleetConfig, FleetController, RolloutOutcome
@@ -148,3 +149,142 @@ def run_fleet_rollout_bench(
         "replayed_from_seed": replayed,
     }
     return payload
+
+
+def _scale_rollout(
+    workload_name: str, *, n_replicas: int, lockstep: bool, seed: int
+) -> Tuple[FleetController, RolloutOutcome, float]:
+    """One timed cohort rollout (wall seconds include the serve loop only
+    in aggregate — launch, warmup and rollout are all part of the cost a
+    deployment pays per replica, so the clock wraps the whole run)."""
+    bundle = workload_bundle(workload_name)
+    spec = bundle.inputs[bundle.eval_inputs[0]]
+    cfg = FleetConfig(
+        n_replicas=n_replicas,
+        seed=seed,
+        seed_stride=0,  # identical lineages: the batched fleet case
+        cohorts=True,
+        lockstep=lockstep,
+        settle_ticks=14,
+        drain=True,
+    )
+    controller = FleetController(bundle.workload, spec, cfg, None)
+    start = time.perf_counter()
+    outcome = controller.run()
+    wall = time.perf_counter() - start
+    return controller, outcome, wall
+
+
+def _digest_sample_nodes(n_replicas: int) -> List[int]:
+    """A deterministic subsample of nodes for cross-mode digest checks."""
+    return sorted({0, n_replicas // 2, n_replicas - 1})
+
+
+def run_fleet_scale_bench(
+    workload_name: str = "memcached",
+    *,
+    serial_sizes: Sequence[int] = (16, 64, 256),
+    lockstep_sizes: Sequence[int] = (16, 64, 256, 1024),
+    seed: int = 2024,
+) -> Dict[str, object]:
+    """Batched lock-step vs serial execution across fleet sizes.
+
+    Runs the same supervised rollout over fleets of identical replicas
+    (``seed_stride=0``) in both execution modes and records the
+    **per-replica per-tick wall cost** of each.  Lock-step batching runs
+    every cohort on one shared VM with a single dispatch per tick, so its
+    per-replica cost falls roughly linearly with fleet size while the
+    serial reference stays flat.
+
+    For every size present in both sweeps the payload records the
+    cross-mode equivalence evidence: event replay digests and a machine
+    digest subsample (first/middle/last node) must match bit-for-bit.
+    Digest equality and the speedup ratios are deterministic; the raw
+    wall-second columns are host-dependent and committed as a record of
+    one measurement, not a contract.
+
+    Returns the committed-JSON payload (``benchmarks/data/fleet_scale.json``).
+    """
+    sweep: List[Dict[str, object]] = []
+    pairs: List[Dict[str, object]] = []
+    per_cost: Dict[Tuple[bool, int], float] = {}
+    kept: Dict[Tuple[bool, int], Tuple[FleetController, RolloutOutcome]] = {}
+
+    # Interleave by size so each serial/lockstep pair is compared — and
+    # its fleets released — before the next size launches.
+    runs = [
+        (lockstep, n)
+        for n in sorted(set(serial_sizes) | set(lockstep_sizes))
+        for lockstep in (False, True)
+        if n in (lockstep_sizes if lockstep else serial_sizes)
+    ]
+    for lockstep, n in runs:
+        controller, outcome, wall = _scale_rollout(
+            workload_name, n_replicas=n, lockstep=lockstep, seed=seed
+        )
+        ticks = len(outcome.p99_series)
+        per_tick_us = wall / (n * ticks) * 1e6 if ticks else math.inf
+        per_cost[(lockstep, n)] = per_tick_us
+        sweep.append(
+            {
+                "mode": "lockstep" if lockstep else "serial",
+                "replicas": n,
+                "status": outcome.status,
+                "installs": outcome.installs,
+                "ticks": ticks,
+                "wall_seconds": round(wall, 3),
+                "per_replica_tick_us": round(per_tick_us, 2),
+                "steady_p99_ms": round(outcome.steady_p99_ms, 4),
+                "error_rate": outcome.error_rate,
+                "event_digest": (
+                    outcome.events.replay_digest() if outcome.events else None
+                ),
+            }
+        )
+        if (not lockstep, n) in kept:
+            peer_ctl, peer_out = kept.pop((not lockstep, n))
+            lock_ctl, lock_out = (
+                (controller, outcome) if lockstep else (peer_ctl, peer_out)
+            )
+            ser_ctl, ser_out = (
+                (peer_ctl, peer_out) if lockstep else (controller, outcome)
+            )
+            nodes = _digest_sample_nodes(n)
+            lock_digests = [
+                repr(lock_ctl.replicas[i].machine_digest()) for i in nodes
+            ]
+            ser_digests = [
+                repr(ser_ctl.replicas[i].machine_digest()) for i in nodes
+            ]
+            pairs.append(
+                {
+                    "replicas": n,
+                    "digest_nodes": nodes,
+                    "machine_digests_equal": lock_digests == ser_digests,
+                    "event_digests_equal": (
+                        lock_out.events.replay_digest()
+                        == ser_out.events.replay_digest()
+                    ),
+                    "per_replica_tick_speedup": round(
+                        per_cost[(False, n)] / per_cost[(True, n)], 2
+                    ),
+                }
+            )
+        else:
+            kept[(lockstep, n)] = (controller, outcome)
+
+    serial_baseline = max(serial_sizes)
+    lockstep_top = max(lockstep_sizes)
+    headline = per_cost[(False, serial_baseline)] / per_cost[(True, lockstep_top)]
+    return {
+        "benchmark": "fleet_scale",
+        "workload": workload_name,
+        "seed": seed,
+        "sweep": sweep,
+        "pairs": pairs,
+        "scale": {
+            "serial_baseline_replicas": serial_baseline,
+            "lockstep_replicas": lockstep_top,
+            "per_replica_tick_improvement": round(headline, 2),
+        },
+    }

@@ -1,0 +1,648 @@
+"""Batched lock-step cohort execution: one VM drives many replicas.
+
+The scaling lever is dedup, justified end to end by the absolute-demand
+invariant (:mod:`repro.fleet.replica`): a replica's entire machine state is
+a function of (lineage seed, binary generation, cumulative demand schedule).
+Replicas that share all three are **byte-identical**, so simulating each of
+them separately is redundant work — a :class:`Cohort` keeps exactly one
+shared VM whose state stands in for every member, and one
+:meth:`~repro.vm.process.Process.run_to_target` call per cohort per tick
+replaces one per replica.  Per-replica *mutable* state lives in the
+cohort's :class:`CohortSoA`: request accounting that must keep per-node
+identity is a column per member, while everything lock-step provably
+equalizes (demand, backlog, stall, measured capacity) collapses to a shared
+scalar.  Member :class:`~repro.fleet.replica.Replica` objects are views
+reading through their SoA slot, so the rest of the control plane is
+oblivious to batching.
+
+The cohort's single interpreter also acts as the **shared read-only code
+cache**: decoded runs and superblock chains are formed once per cohort per
+code generation instead of once per replica.  Decoded state is deliberately
+*never* shared across process boundaries — decoded runs memoize per-process
+stall tokens and capture per-process bias cells by reference — so a peeled
+clone re-warms from entry-pc hints only
+(:func:`~repro.vm.superblock.prewarm_superblocks`).
+
+**Peel** handles divergence: a canary install, an armed per-replica fault,
+or a drain window makes one member's future differ from the cohort's, so
+the member materializes a private VM — a snapshot fork of the shared one
+(:func:`fork_replica_process`) — and becomes a singleton cohort that the
+control plane drives exactly like a classic replica.  **Merge** handles
+reconvergence: when a peeled member has caught back up to its origin's
+cumulative demand (the cohort router steers bounded catch-up extras to
+lagging members) on the same binary generation, and its *semantic* digest —
+the layout- and overhead-invariant execution history — matches the
+cohort's, the member is re-imaged from the cohort (lock-step: rebinds to
+the shared VM; serial reference mode: the cohort's full VM state is
+restored into the member's own process, the fleet operation "replace stray
+replica with a clone of the cohort").  Both modes leave the member
+bit-identical to the cohort, which is what keeps batched and serial
+execution equivalent — the property ``tests/test_cohort.py``'s equivalence
+oracle enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.binary.binaryfile import Binary
+from repro.core.funcptr_map import FunctionPointerMap
+from repro.errors import ReproError
+from repro.fleet.events import EventLog
+from repro.fleet.replica import Replica, ReplicaState, TickSample
+from repro.harness.cluster import node_p99_ms
+from repro.harness.runner import launch
+from repro.vm.process import Process
+from repro.vm.snapshot import SnapshotError, capture_vm_state, restore_vm_state
+from repro.vm.superblock import prewarm_superblocks
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.inputs import InputSpec
+
+
+def fork_replica_process(
+    donor: Process,
+    workload: SyntheticWorkload,
+    input_spec: InputSpec,
+    *,
+    seed: int,
+    superblocks: Optional[bool] = None,
+) -> Process:
+    """Materialize a byte-identical private clone of ``donor`` (the peel
+    primitive).
+
+    A fresh process of the same lineage (same workload/input/seed, so the
+    base mappings line up) is launched and the donor's full
+    :class:`~repro.vm.snapshot.VMState` is restored into it — memory image
+    including injected BOLT bands, architectural threads, RNG, counted
+    branches, the entire microarchitectural model.  Wall-clock accelerators
+    that a snapshot deliberately excludes are warm-started instead of
+    re-learned: the clone adopts the donor's trace-bias profile and
+    pre-forms superblocks at the donor's cached entry pcs (both
+    bit-invisible by the trace-equivalence contract).
+    """
+    state = capture_vm_state(donor)
+    clone = launch(workload, input_spec, n_threads=1, seed=seed, with_agent=True)
+    restore_vm_state(clone, state)
+    src, dst = donor.interpreter, clone.interpreter
+    dst.use_superblocks = src.use_superblocks
+    if superblocks is not None:
+        dst.use_superblocks = superblocks
+    dst.set_trace_policy(
+        trace_superblocks=src.trace_superblocks,
+        max_chain=src.max_chain,
+        bias_threshold=src.trace_bias_threshold,
+        min_samples=src.trace_min_samples,
+    )
+    dst.adopt_trace_profile(src.export_trace_profile())
+    if dst.use_superblocks:
+        prewarm_superblocks(dst, src._sb_cache.keys())
+    return clone
+
+
+@dataclass
+class CohortSoA:
+    """Per-cohort replica state, SoA-style.
+
+    Scalars are the fields lock-step makes provably equal across members
+    (the cohort router hands every member the same share each tick, so
+    their values never diverge while bound); columns keep per-node request
+    accounting, indexed by each member's slot.
+    """
+
+    demand_total: int = 0
+    backlog: float = 0.0
+    stall_pending_seconds: float = 0.0
+    slow_ticks_left: int = 0
+    slow_factor: float = 1.0
+    last_capacity_tps: float = 0.0
+    requests_routed: List[int] = field(default_factory=list)
+    requests_lost: List[int] = field(default_factory=list)
+    samples: List[TickSample] = field(default_factory=list)
+
+    @classmethod
+    def from_replica(cls, replica: Replica) -> "CohortSoA":
+        """Seed shared state from one (unbound) replica's current values."""
+        return cls(
+            demand_total=replica.demand_total,
+            backlog=replica.backlog,
+            stall_pending_seconds=replica.stall_pending_seconds,
+            slow_ticks_left=replica.slow_ticks_left,
+            slow_factor=replica.slow_factor,
+            last_capacity_tps=replica.last_capacity_tps,
+            requests_routed=[replica.requests_routed],
+            requests_lost=[replica.requests_lost],
+            samples=list(replica.samples),
+        )
+
+
+class Cohort:
+    """A group of replicas sharing (lineage seed, binary generation).
+
+    In lock-step mode a multi-member cohort owns one shared VM
+    (``process``) plus the :class:`CohortSoA`; members are bound views.  In
+    the serial reference mode (``lockstep=False``) members keep private
+    VMs and the cohort is a pure control-plane grouping — the two modes
+    run the *same* controller code and must produce bit-identical fleets.
+    """
+
+    def __init__(
+        self,
+        ident: int,
+        members: List[Replica],
+        *,
+        seed: int,
+        process: Optional[Process] = None,
+        origin: Optional[int] = None,
+    ) -> None:
+        self.ident = ident
+        self.members = sorted(members, key=lambda m: m.node)
+        self.seed = seed
+        #: The shared VM (lock-step multi-member cohorts only).
+        self.process = process
+        self.soa: Optional[CohortSoA] = None
+        #: Ident of the cohort this one peeled from (merge target).
+        self.origin = origin
+        #: Peeled-for-reconvergence cohorts are steered catch-up traffic
+        #: and re-merged on demand+digest equality; fault/canary peels are
+        #: only merge-eligible once their divergence heals the same way.
+        self.merge_eligible = False
+        if process is not None:
+            self.soa = CohortSoA(
+                requests_routed=[0] * len(self.members),
+                requests_lost=[0] * len(self.members),
+            )
+            for slot, member in enumerate(self.members):
+                member.bind_cohort(self, slot)
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def rep(self) -> Replica:
+        """The representative member (lowest node)."""
+        return self.members[0]
+
+    @property
+    def nodes(self) -> List[int]:
+        return [m.node for m in self.members]
+
+    @property
+    def shared(self) -> bool:
+        """Whether members execute on one shared VM."""
+        return self.process is not None
+
+    def distinct_processes(self) -> List[Process]:
+        """The physical VMs behind this cohort (one if shared)."""
+        if self.process is not None:
+            return [self.process]
+        return [m.process for m in self.members]
+
+    @property
+    def in_rotation(self) -> bool:
+        return self.rep.in_rotation
+
+    @property
+    def healthy(self) -> bool:
+        return self.rep.healthy
+
+    @property
+    def generation(self) -> int:
+        return self.rep.generation
+
+    @property
+    def demand_total(self) -> int:
+        return self.rep.demand_total
+
+    # -- execution -----------------------------------------------------
+
+    def run_fixed(self, max_transactions: int) -> None:
+        """Warmup/baseline: run every physical VM the same fixed budget and
+        re-anchor demand to the executed total."""
+        for process in self.distinct_processes():
+            process.run(max_transactions=max_transactions)
+        if self.soa is not None:
+            assert self.process is not None
+            self.soa.demand_total = self.process.counters_total().transactions
+        else:
+            for member in self.members:
+                member.demand_total = (
+                    member.process.counters_total().transactions
+                )
+
+    def serve_tick(
+        self, tick: int, arrivals: int, tick_seconds: float
+    ) -> TickSample:
+        """Serve one tick: ``arrivals`` is the per-member share (the cohort
+        router quantizes shares so every member's is equal).
+
+        One batched ``run_to_target`` dispatch on the shared VM stands in
+        for every member; the serial reference mode runs each member
+        through the identical per-replica path instead.
+        """
+        if self.process is None:
+            samples = [
+                member.serve_tick(tick, arrivals, tick_seconds)
+                for member in self.members
+            ]
+            return samples[0]
+        return self._serve_lockstep(tick, arrivals, tick_seconds)
+
+    def _serve_lockstep(
+        self, tick: int, arrivals: int, tick_seconds: float
+    ) -> TickSample:
+        # Mirrors Replica.serve_tick statement for statement against the
+        # shared VM and the SoA state: the float sequencing must match the
+        # serial reference exactly for the equivalence oracle to hold.
+        soa = self.soa
+        assert soa is not None
+        process = self.process
+        for slot in range(len(self.members)):
+            soa.requests_routed[slot] += arrivals
+        soa.demand_total += arrivals
+        busy = 0.0
+        served = 0
+        delta = process.run_to_target(soa.demand_total)
+        if delta is not None:
+            served = delta.transactions
+            busy = process.wall_seconds(delta)
+            if soa.slow_ticks_left > 0 and soa.slow_factor > 1.0:
+                extra_cycles = delta.cycles * (soa.slow_factor - 1.0)
+                per_core = extra_cycles / max(1, len(process.frontends))
+                for fe in process.frontends:
+                    fe.idle_cycles(per_core)
+                busy *= soa.slow_factor
+                soa.slow_ticks_left -= 1
+            if busy > 0:
+                soa.last_capacity_tps = served / busy
+
+        stall = min(soa.stall_pending_seconds, tick_seconds)
+        soa.stall_pending_seconds -= stall
+        capacity = soa.last_capacity_tps * max(0.0, 1.0 - stall / tick_seconds)
+        p99_ms, soa.backlog = node_p99_ms(
+            capacity, arrivals / tick_seconds, soa.backlog,
+            step_seconds=tick_seconds,
+        )
+        sample = TickSample(
+            tick=tick, arrivals=arrivals, served=served, busy_seconds=busy,
+            stall_seconds=stall, capacity_tps=capacity, p99_ms=p99_ms,
+            backlog=soa.backlog,
+        )
+        soa.samples.append(sample)
+        return sample
+
+    # -- lifecycle -----------------------------------------------------
+
+    def drain(self) -> None:
+        for member in self.members:
+            member.drain()
+
+    def undrain(self) -> None:
+        for member in self.members:
+            member.undrain()
+
+
+class CohortManager:
+    """Forms, peels and merges the fleet's cohorts.
+
+    Both execution modes go through the same manager so the control flow —
+    grouping, peel decisions, merge gates, every emitted event — is
+    byte-identical; only the execution substrate (one shared VM vs N
+    private ones) differs.
+    """
+
+    def __init__(
+        self,
+        workload: SyntheticWorkload,
+        input_spec: InputSpec,
+        original: Binary,
+        cfg,
+        fp_maps: Dict[int, FunctionPointerMap],
+    ) -> None:
+        self.workload = workload
+        self.input_spec = input_spec
+        self.original = original
+        self.cfg = cfg
+        self.fp_maps = fp_maps
+        self._next_ident = 0
+        self.units: List[Cohort] = []
+        self._by_ident: Dict[int, Cohort] = {}
+
+        groups: Dict[int, List[int]] = {}
+        for node in range(cfg.n_replicas):
+            seed = cfg.seed + node * cfg.seed_stride
+            groups.setdefault(seed, []).append(node)
+
+        self.replicas: List[Replica] = [None] * cfg.n_replicas  # type: ignore[list-item]
+        for seed, nodes in sorted(groups.items(), key=lambda kv: kv[1][0]):
+            shared = cfg.lockstep and len(nodes) > 1
+            members = [
+                Replica(
+                    node,
+                    workload,
+                    input_spec,
+                    original,
+                    seed=seed,
+                    superblocks=cfg.superblocks,
+                    launch_process=not shared,
+                )
+                for node in nodes
+            ]
+            process = None
+            if shared:
+                process = launch(
+                    workload, input_spec, n_threads=1, seed=seed,
+                    with_agent=True,
+                )
+                if cfg.superblocks is not None:
+                    process.interpreter.use_superblocks = cfg.superblocks
+            cohort = self._new_cohort(members, seed=seed, process=process)
+            for member in members:
+                self.replicas[member.node] = member
+
+    def _new_cohort(
+        self,
+        members: List[Replica],
+        *,
+        seed: int,
+        process: Optional[Process] = None,
+        origin: Optional[int] = None,
+    ) -> Cohort:
+        cohort = Cohort(
+            self._next_ident, members, seed=seed, process=process,
+            origin=origin,
+        )
+        self._next_ident += 1
+        self.units.append(cohort)
+        self._by_ident[cohort.ident] = cohort
+        return cohort
+
+    def units_in_order(self) -> List[Cohort]:
+        """Units ordered by representative node (the deterministic
+        iteration order every controller phase uses)."""
+        return sorted(self.units, key=lambda u: u.rep.node)
+
+    def unit_of(self, node: int) -> Cohort:
+        for unit in self.units:
+            if any(m.node == node for m in unit.members):
+                return unit
+        raise ReproError(f"no cohort contains node {node}")
+
+    # -- peel ----------------------------------------------------------
+
+    def peel(
+        self,
+        cohort: Cohort,
+        member: Replica,
+        *,
+        tick: int,
+        log: EventLog,
+        reason: str,
+        merge_eligible: bool = False,
+    ) -> Cohort:
+        """Split ``member`` out of ``cohort`` into its own singleton unit.
+
+        In lock-step mode the member's private VM is a snapshot fork of
+        the shared one; in serial mode it already owns a byte-identical VM
+        and only the grouping changes.  Either way the member leaves with
+        exactly the machine and bookkeeping state it had as a view.
+        """
+        assert member in cohort.members
+        assert len(cohort.members) > 1, "peeling the last member"
+        if cohort.shared:
+            clone = fork_replica_process(
+                cohort.process, self.workload, self.input_spec,
+                seed=cohort.seed, superblocks=self.cfg.superblocks,
+            )
+            self._clone_wrap_hook(cohort, member, clone)
+            slot = cohort.members.index(member)
+            member.release_cohort(clone)
+            cohort.members.remove(member)
+            soa = cohort.soa
+            assert soa is not None
+            soa.requests_routed.pop(slot)
+            soa.requests_lost.pop(slot)
+            for new_slot, remaining in enumerate(cohort.members):
+                remaining._slot = new_slot
+            if len(cohort.members) == 1:
+                self._dissolve_sharing(cohort)
+        else:
+            cohort.members.remove(member)
+        peeled = self._new_cohort(
+            [member], seed=cohort.seed, origin=cohort.ident
+        )
+        peeled.merge_eligible = merge_eligible
+        log.emit(
+            tick, "cohort.peel", node=member.node, cohort=cohort.ident,
+            new_cohort=peeled.ident, reason=reason,
+            members_left=len(cohort.members),
+        )
+        return peeled
+
+    def _clone_wrap_hook(
+        self, cohort: Cohort, member: Replica, clone: Process
+    ) -> None:
+        """Post-install peel: the clone needs its own wrap hook bound to a
+        private copy of the function-pointer map (the serial reference
+        gives every VM its own map, so the lock-step fork must too)."""
+        shared_map = self.fp_maps.get(member.node)
+        if shared_map is None or cohort.process.wrap_hook is None:
+            return
+        private = FunctionPointerMap(self.original)
+        private._to_c0 = dict(shared_map._to_c0)
+        private.wraps_total = shared_map.wraps_total
+        private.wraps_translated = shared_map.wraps_translated
+        private.install(clone)
+        self.fp_maps[member.node] = private
+
+    def _dissolve_sharing(self, cohort: Cohort) -> None:
+        """A shared cohort down to one member: hand the shared VM to the
+        last member and drop the SoA indirection."""
+        last = cohort.members[0]
+        process = cohort.process
+        cohort.process = None
+        last.release_cohort(process)
+        cohort.soa = None
+
+    def _ensure_shared(self, cohort: Cohort) -> None:
+        """Re-establish VM sharing on a dissolved lock-step cohort so a
+        merged member has something to bind to."""
+        if cohort.shared or not self.cfg.lockstep:
+            return
+        rep = cohort.members[0]
+        assert len(cohort.members) == 1 and rep._process is not None
+        cohort.soa = CohortSoA.from_replica(rep)
+        cohort.process = rep._process
+        rep._process = None
+        rep.bind_cohort(cohort, 0)
+
+    # -- merge ---------------------------------------------------------
+
+    def catchup_deficit(self, unit: Cohort) -> int:
+        """How far ``unit`` lags the cumulative demand of its merge partner
+        (the router steers bounded extras to close this).
+
+        Symmetric on purpose: a peeled singleton catches up to its origin
+        cohort, *and* an origin cohort catches up to a merge-eligible peel
+        that ran ahead of it (e.g. the peel kept serving through the
+        origin's install drain).  Only the lagging side ever receives
+        extras, so the gap closes monotonically to exact equality — the
+        merge gate's demand condition.
+        """
+        if unit.rep.state != ReplicaState.SERVING:
+            return 0
+        deficit = 0
+        if unit.merge_eligible and len(unit.members) == 1:
+            origin = (
+                self._by_ident.get(unit.origin)
+                if unit.origin is not None else None
+            )
+            if origin is not None and origin.members:
+                deficit = max(
+                    deficit, origin.demand_total - unit.demand_total
+                )
+        for peer in self.units:
+            if (
+                peer.origin == unit.ident
+                and peer.merge_eligible
+                and len(peer.members) == 1
+                and peer.rep.state == ReplicaState.SERVING
+            ):
+                deficit = max(deficit, peer.demand_total - unit.demand_total)
+        return max(0, deficit)
+
+    def try_merges(self, tick: int, log: EventLog) -> int:
+        """Merge every reconverged peel back into its origin cohort.
+
+        The gate is exact equality of (binary generation, cumulative
+        demand) on a healthy serving member with no pending stall or slow
+        window.  The merge then **re-images** the member from the cohort —
+        lock-step binds it to the shared VM, the serial reference restores
+        the cohort's full VM state into the member's process — so both
+        modes leave the member bit-identical to the cohort by construction.
+
+        When the peel's entire history ran on the cohort's code generation
+        (a drain window), equal demand already implies a bit-identical
+        machine (stop points are quantized on absolute run counts), and
+        the re-image is a no-op.  A peel that spent a window on a
+        *different* generation (the canary, a retried patch) retires the
+        same transactions from the same demand but lands on a different
+        sub-quantum phase — different runs-per-transaction while the
+        layouts differed — which no amount of catch-up ever re-aligns.
+        The re-image normalizes exactly that phase: the fleet operation
+        "replace the stray replica with a clone of the cohort".  The event
+        records whether the merge was bit-exact.
+        """
+        merged = 0
+        for unit in list(self.units):
+            if not unit.merge_eligible or len(unit.members) != 1:
+                continue
+            origin = (
+                self._by_ident.get(unit.origin)
+                if unit.origin is not None else None
+            )
+            if origin is None or origin is unit or not origin.members:
+                continue
+            member = unit.members[0]
+            if member.state != ReplicaState.SERVING or member.degraded:
+                continue
+            if member.slow_ticks_left > 0 or member.stall_pending_seconds > 0:
+                continue
+            if not origin.in_rotation:
+                continue
+            if member.generation != origin.generation:
+                continue
+            if member.demand_total != origin.demand_total:
+                continue
+            self._merge(unit, origin, member, tick, log)
+            merged += 1
+        return merged
+
+    def _merge(
+        self,
+        unit: Cohort,
+        origin: Cohort,
+        member: Replica,
+        tick: int,
+        log: EventLog,
+    ) -> None:
+        routed = member.requests_routed
+        lost = member.requests_lost
+        samples = list(member.samples)
+        bit_exact = member.semantic_digest() == origin.rep.semantic_digest()
+        if self.cfg.lockstep:
+            self._ensure_shared(origin)
+            member._process = None
+            soa = origin.soa
+            assert soa is not None
+            origin.members.append(member)
+            origin.members.sort(key=lambda m: m.node)
+            soa.requests_routed.insert(0, 0)  # placeholder; re-slot below
+            soa.requests_lost.insert(0, 0)
+            # Rebuild columns in node order around the newcomer.
+            values = {
+                m.node: (m.requests_routed, m.requests_lost)
+                for m in origin.members
+                if m is not member
+            }
+            values[member.node] = (routed, lost)
+            for slot, m in enumerate(origin.members):
+                m._cohort = origin
+                m._slot = slot
+            for slot, m in enumerate(origin.members):
+                soa.requests_routed[slot], soa.requests_lost[slot] = values[
+                    m.node
+                ]
+            member._samples = []
+        else:
+            # Re-image the member's VM from the cohort representative.
+            try:
+                state = capture_vm_state(origin.rep.process)
+            except SnapshotError:
+                return  # origin mid-pause or perf-attached; retry next tick
+            restore_vm_state(member.process, state)
+            member.backlog = origin.rep.backlog
+            member.stall_pending_seconds = origin.rep.stall_pending_seconds
+            member.slow_ticks_left = origin.rep.slow_ticks_left
+            member.slow_factor = origin.rep.slow_factor
+            member.last_capacity_tps = origin.rep.last_capacity_tps
+            origin.members.append(member)
+            origin.members.sort(key=lambda m: m.node)
+        if member.node in self.fp_maps and origin.rep.node in self.fp_maps:
+            self.fp_maps[member.node] = self.fp_maps[origin.rep.node]
+        self.units.remove(unit)
+        del self._by_ident[unit.ident]
+        log.emit(
+            tick, "cohort.merge", node=member.node, cohort=origin.ident,
+            from_cohort=unit.ident, members=len(origin.members),
+            bit_exact=bit_exact,
+        )
+        del samples  # per-member history is absorbed by the cohort's
+
+    # -- drain windows -------------------------------------------------
+
+    def drain_node(self, node: int, tick: int, log: EventLog) -> None:
+        """Scheduled drain-window start: peel (if batched) and drain."""
+        unit = self.unit_of(node)
+        member = next(m for m in unit.members if m.node == node)
+        if member.state != ReplicaState.SERVING:
+            return
+        if len(unit.members) > 1:
+            unit = self.peel(
+                unit, member, tick=tick, log=log, reason="drain_window",
+                merge_eligible=True,
+            )
+        else:
+            unit.merge_eligible = unit.origin is not None
+        member.drain()
+        log.emit(tick, "replica.drain_window", node=node, phase="start")
+
+    def undrain_node(self, node: int, tick: int, log: EventLog) -> None:
+        """Scheduled drain-window end: back into rotation; the router's
+        catch-up steering then closes the demand gap so the member can
+        merge home."""
+        unit = self.unit_of(node)
+        member = next(m for m in unit.members if m.node == node)
+        if member.state != ReplicaState.DRAINED:
+            return
+        member.undrain()
+        log.emit(tick, "replica.drain_window", node=node, phase="end")

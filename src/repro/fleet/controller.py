@@ -45,10 +45,11 @@ from repro.core.replacement import CodeReplacer
 from repro.engine.fingerprint import fingerprint
 from repro.engine.store import store
 from repro.errors import BoltError, ProfileError, ReproError
+from repro.fleet.cohort import Cohort, CohortManager
 from repro.fleet.events import EventLog
 from repro.fleet.faults import FaultInjected, FaultPlan
 from repro.fleet.replica import Replica, ReplicaState
-from repro.fleet.router import Router, TrafficStream
+from repro.fleet.router import CohortRouter, Router, TrafficStream
 from repro.fleet.rollback import restore_original_text, try_collect_bands
 from repro.harness.runner import link_original
 from repro.obs import metrics as _metrics
@@ -214,6 +215,25 @@ class FleetConfig:
     #: Pessimize only this function's layout (``"hottest"`` resolves
     #: against the collected profile) — the bisector's injected culprit.
     pessimize_function: Optional[str] = None
+    #: Cohort-aware control plane: group replicas by lineage seed, route
+    #: quantized shares, run cohort-granular installs/rollbacks and emit
+    #: ``cohort.*`` events.  ``False`` keeps the classic per-replica path.
+    cohorts: bool = False
+    #: With ``cohorts``: multi-member cohorts execute batched on one shared
+    #: VM (lock-step).  ``False`` is the serial reference mode — same
+    #: control flow, private VMs — which must be bit-identical to lock-step.
+    lockstep: bool = False
+    #: Per-node seed spacing: node ``i`` launches with ``seed + i * stride``.
+    #: The default 1 preserves the classic fleet (every node distinct);
+    #: ``0`` gives every node the same lineage, the batchable configuration.
+    seed_stride: int = 1
+    #: Max extra requests per tick steered to a peeled member catching up
+    #: to its origin cohort's cumulative demand (cohort mode only).
+    catchup_per_tick: int = 64
+    #: Scheduled drain windows as ``(node, start_tick, n_ticks)`` — the node
+    #: leaves rotation at ``start_tick`` and rejoins ``n_ticks`` later, then
+    #: catch-up steering closes its demand gap so it can merge home.
+    drain_windows: Optional[List[Tuple[int, int, int]]] = None
 
     def to_jsonable(self) -> Dict[str, object]:
         out: Dict[str, object] = {}
@@ -245,6 +265,11 @@ class FleetSloRow:
     retries: int
     faults_injected: int
     generation_skew: int
+    #: Router-level traffic displacement (satellite of the silently-dead
+    #: fix): total black-holed requests and arrivals redistributed away
+    #: from out-of-rotation nodes.
+    router_lost_requests: int = 0
+    router_rerouted_requests: int = 0
 
 
 @dataclass
@@ -261,6 +286,7 @@ class RolloutOutcome:
     canary: Dict[str, object] = field(default_factory=dict)
     requests_routed: int = 0
     requests_lost: int = 0
+    rerouted_requests: int = 0
     error_rate: float = 0.0
     rollbacks: int = 0
     retries: int = 0
@@ -303,6 +329,8 @@ class RolloutOutcome:
                 retries=self.retries,
                 faults_injected=self.faults_injected,
                 generation_skew=self.generation_skew,
+                router_lost_requests=self.requests_lost,
+                router_rerouted_requests=self.rerouted_requests,
             )
         ]
 
@@ -319,6 +347,7 @@ class RolloutOutcome:
             "canary": self.canary,
             "requests_routed": self.requests_routed,
             "requests_lost": self.requests_lost,
+            "rerouted_requests": self.rerouted_requests,
             "error_rate": round(self.error_rate, 6),
             "rollbacks": self.rollbacks,
             "retries": self.retries,
@@ -348,19 +377,36 @@ class FleetController:
         #: Offline pre-work shared by every replica (one scan, N installs).
         self.call_sites = scan_direct_call_sites(self.original)
         self.cost_model = CostModel()
-        self.replicas: List[Replica] = [
-            Replica(
-                node,
-                workload,
-                input_spec,
-                self.original,
-                seed=self.cfg.seed + node,
-                superblocks=self.cfg.superblocks,
-            )
-            for node in range(self.cfg.n_replicas)
-        ]
         self.fp_maps: Dict[int, FunctionPointerMap] = {}
-        self.router = Router(self.replicas)
+        if self.cfg.lockstep and not self.cfg.cohorts:
+            raise ReproError("lockstep execution requires cohorts=True")
+        if self.cfg.cohorts and self.cfg.checkpoint_every > 0:
+            raise ReproError(
+                "forensic checkpointing is per-replica and not supported in "
+                "cohort mode (set checkpoint_every=0 or cohorts=False)"
+            )
+        self.manager: Optional[CohortManager] = None
+        if self.cfg.cohorts:
+            self.manager = CohortManager(
+                workload, input_spec, self.original, self.cfg, self.fp_maps
+            )
+            self.replicas: List[Replica] = self.manager.replicas
+            self.router: Router = CohortRouter(
+                self.replicas, self.manager, self.cfg.catchup_per_tick
+            )
+        else:
+            self.replicas = [
+                Replica(
+                    node,
+                    workload,
+                    input_spec,
+                    self.original,
+                    seed=self.cfg.seed + node * self.cfg.seed_stride,
+                    superblocks=self.cfg.superblocks,
+                )
+                for node in range(self.cfg.n_replicas)
+            ]
+            self.router = Router(self.replicas)
         self.log = EventLog(self.cfg.seed)
         self.tick = 0
         self._stream: Optional[TrafficStream] = None
@@ -402,19 +448,49 @@ class FleetController:
     # serving
     # ------------------------------------------------------------------
 
+    def _apply_drain_windows(self) -> None:
+        """Start/stop any scheduled drain window landing on this tick."""
+        assert self.manager is not None
+        for node, start, length in self.cfg.drain_windows or []:
+            if self.tick == start:
+                self.manager.drain_node(node, self.tick, self.log)
+            elif self.tick == start + length:
+                self.manager.undrain_node(node, self.tick, self.log)
+
     def _serve_ticks(self, n: int) -> None:
         """Advance the fleet ``n`` ticks of open-loop serving."""
         assert self._stream is not None
         cfg = self.cfg
         for _ in range(n):
+            if self.manager is not None:
+                self._apply_drain_windows()
+                self.manager.try_merges(self.tick, self.log)
             shares = self.router.route(self._stream.arrivals())
             p99 = 0.0
-            for replica in self.replicas:
-                arrivals = shares.get(replica.node, 0)
-                self._demands[replica.node].append(arrivals)
-                sample = replica.serve_tick(self.tick, arrivals, cfg.tick_seconds)
-                if replica.in_rotation:
-                    p99 = max(p99, sample.p99_ms)
+            if self.manager is not None:
+                # One serve call per cohort: a lock-step unit runs its
+                # shared VM once for all members; the serial reference
+                # walks members through the identical per-replica path.
+                for unit in self.manager.units_in_order():
+                    arrivals = shares.get(unit.rep.node, 0)
+                    for member in unit.members:
+                        self._demands[member.node].append(
+                            shares.get(member.node, 0)
+                        )
+                    sample = unit.serve_tick(
+                        self.tick, arrivals, cfg.tick_seconds
+                    )
+                    if unit.in_rotation:
+                        p99 = max(p99, sample.p99_ms)
+            else:
+                for replica in self.replicas:
+                    arrivals = shares.get(replica.node, 0)
+                    self._demands[replica.node].append(arrivals)
+                    sample = replica.serve_tick(
+                        self.tick, arrivals, cfg.tick_seconds
+                    )
+                    if replica.in_rotation:
+                        p99 = max(p99, sample.p99_ms)
             self._p99_series.append(p99)
             for dead in self.router.evict_failed():
                 self.log.emit(self.tick, "replica.detected_dead", node=dead.node)
@@ -703,6 +779,11 @@ class FleetController:
         )
 
     def _rollback_fleet(self, reason: str) -> None:
+        if self.manager is not None:
+            for unit in self.manager.units_in_order():
+                if unit.healthy:
+                    self._rollback_unit(unit, reason=reason)
+            return
         for replica in self.replicas:
             if replica.healthy:
                 self._rollback_replica(replica, reason=reason)
@@ -823,21 +904,30 @@ class FleetController:
             # Warmup + baseline (fixed transaction counts: identical across
             # policies and replay runs by construction).
             with _trace.span("fleet.phase.warmup", replicas=cfg.n_replicas):
-                for replica in self.replicas:
-                    replica.process.run(
-                        max_transactions=cfg.warmup_transactions
-                    )
-                    replica.demand_total = (
-                        replica.process.counters_total().transactions
-                    )
-                marks = {r.node: r.counters_mark() for r in self.replicas}
-                for replica in self.replicas:
-                    replica.process.run(
-                        max_transactions=cfg.baseline_transactions
-                    )
-                    replica.demand_total = (
-                        replica.process.counters_total().transactions
-                    )
+                if self.manager is not None:
+                    # One warmup run per physical VM: a lock-step cohort's
+                    # shared VM warms once for all members.
+                    for unit in self.manager.units_in_order():
+                        unit.run_fixed(cfg.warmup_transactions)
+                    marks = {r.node: r.counters_mark() for r in self.replicas}
+                    for unit in self.manager.units_in_order():
+                        unit.run_fixed(cfg.baseline_transactions)
+                else:
+                    for replica in self.replicas:
+                        replica.process.run(
+                            max_transactions=cfg.warmup_transactions
+                        )
+                        replica.demand_total = (
+                            replica.process.counters_total().transactions
+                        )
+                    marks = {r.node: r.counters_mark() for r in self.replicas}
+                    for replica in self.replicas:
+                        replica.process.run(
+                            max_transactions=cfg.baseline_transactions
+                        )
+                        replica.demand_total = (
+                            replica.process.counters_total().transactions
+                        )
             baselines = {
                 r.node: r.measured_tps(r.window_delta(marks[r.node]))
                 for r in self.replicas
@@ -854,6 +944,13 @@ class FleetController:
             self._stream = TrafficStream(rate, cfg.seed, jitter=cfg.jitter)
             if self._forensics is not None:
                 self._forensics.on_serving_start()
+            if self.manager is not None:
+                for unit in self.manager.units_in_order():
+                    if len(unit.members) > 1:
+                        self.log.emit(
+                            0, "cohort.formed", node=unit.rep.node,
+                            cohort=unit.ident, members=unit.nodes,
+                        )
             self.log.emit(
                 0, "rollout.start", policy=policy, replicas=cfg.n_replicas,
                 tps_original=round(tps_original, 1),
@@ -865,7 +962,11 @@ class FleetController:
 
             status = "serving"
             if cfg.optimize:
-                status = self._rollout(rates)
+                status = (
+                    self._rollout_cohorts(rates)
+                    if self.manager is not None
+                    else self._rollout(rates)
+                )
 
             with _trace.span("fleet.phase.settle", ticks=cfg.settle_ticks):
                 self._serve_ticks(cfg.settle_ticks)
@@ -876,10 +977,11 @@ class FleetController:
         outcome.canary = dict(self.canary_summary)
         outcome.p99_series = list(self._p99_series)
         outcome.requests_routed = self.router.requests_routed
-        outcome.requests_lost = self.router.requests_lost + sum(
-            r.requests_lost for r in self.replicas
-        )
+        outcome.requests_lost = self.router.lost_requests
+        outcome.rerouted_requests = self.router.rerouted_requests
         outcome.error_rate = self.router.error_rate
+        self._count("router.lost_requests", self.router.lost_requests)
+        self._count("router.rerouted_requests", self.router.rerouted_requests)
         outcome.rollbacks = self._rollbacks
         outcome.retries = self._retries
         outcome.faults_injected = self.plan.fired_total()
@@ -961,6 +1063,324 @@ class FleetController:
 
         return "optimized"
 
+    # ------------------------------------------------------------------
+    # cohort-granular rollout
+    # ------------------------------------------------------------------
+
+    def _peel_armed_faults(self, unit: Cohort) -> List[Cohort]:
+        """Peel members with armed per-member faults into singleton units.
+
+        A fault mutates one member's state, which a shared VM cannot
+        express; the serial reference peels identically so both modes keep
+        the same unit structure (and the same event log).  Peeled members
+        are merge-eligible: a transient straggler or a retried patch heals
+        back onto the cohort's generation and merges home.
+        """
+        assert self.manager is not None
+        peeled: List[Cohort] = []
+        for member in list(unit.members):
+            if len(unit.members) <= 1:
+                break
+            armed = any(
+                self.plan.active(site, member.node) is not None
+                for site in (
+                    "replica.slow", "replica.die_drain", "patch.mid_replace"
+                )
+            )
+            if armed:
+                # Ineligible until the fault has actually played out (a
+                # fresh peel is bit-identical to its origin and would merge
+                # straight back); the install path arms it afterwards.
+                peeled.append(
+                    self.manager.peel(
+                        unit, member, tick=self.tick, log=self.log,
+                        reason="fault_armed",
+                    )
+                )
+        return peeled
+
+    def _install_unit(self, unit: Cohort, bolt_result: BoltResult) -> bool:
+        """Drain (per policy), pause, patch, resume one cohort unit.
+
+        A lock-step cohort patches its one shared VM — one stop-the-world
+        pause stands in for every member — while the serial reference
+        patches each member's private VM with identical inputs.  Returns
+        True on success; persistent failure rolls the whole unit back and
+        leaves its members degraded (serving original code).
+        """
+        cfg = self.cfg
+        rep = unit.rep
+        multi = len(unit.members) > 1
+        if cfg.drain:
+            unit.drain()
+            if multi:
+                self.log.emit(
+                    self.tick, "cohort.drain", node=rep.node,
+                    cohort=unit.ident, members=unit.nodes,
+                )
+            else:
+                self.log.emit(self.tick, "replica.drain", node=rep.node)
+
+        try:
+            for member in unit.members:
+                # Armed per-member faults were peeled to singletons before
+                # install, so a firing here always hits a one-member unit.
+                if self.plan.should_fire("replica.die_drain", member.node):
+                    self.log.emit(
+                        self.tick, "fault.injected", node=member.node,
+                        site="replica.die_drain",
+                    )
+                    self._count("faults_injected_total")
+                    member.kill()
+                    self.log.emit(
+                        self.tick, "replica.died", node=member.node,
+                        drained=cfg.drain,
+                    )
+                    return False
+
+            attempt = 0
+            report = None
+            while True:
+                try:
+                    if unit.shared:
+                        fp_map = self.fp_maps.setdefault(
+                            rep.node, FunctionPointerMap(self.original)
+                        )
+                        for member in unit.members:
+                            self.fp_maps[member.node] = fp_map
+                        replacer = CodeReplacer(
+                            unit.process,
+                            self.original,
+                            call_sites=self.call_sites,
+                            cost_model=self.cost_model,
+                            fp_map=fp_map,
+                        )
+                        report = replacer.replace(bolt_result)
+                    else:
+                        for member in unit.members:
+                            fp_map = self.fp_maps.setdefault(
+                                member.node, FunctionPointerMap(self.original)
+                            )
+                            replacer = CodeReplacer(
+                                member.process,
+                                self.original,
+                                call_sites=self.call_sites,
+                                cost_model=self.cost_model,
+                                fp_map=fp_map,
+                            )
+                            if self.plan.should_fire(
+                                "patch.mid_replace", member.node
+                            ):
+                                self.log.emit(
+                                    self.tick, "fault.injected",
+                                    node=member.node,
+                                    site="patch.mid_replace",
+                                )
+                                self._count("faults_injected_total")
+                                replacer.patcher = _MidPatchFaultPatcher(
+                                    replacer.patcher, member.node
+                                )
+                            report = replacer.replace(bolt_result)
+                except (FaultInjected, ReproError) as exc:
+                    self.log.emit(
+                        self.tick, "patch.failed", node=rep.node,
+                        error=str(exc), attempt=attempt,
+                    )
+                    self._rollback_unit(unit, reason="patch_failed")
+                    if attempt >= cfg.max_retries:
+                        for member in unit.members:
+                            member.degraded = True
+                        self.log.emit(
+                            self.tick, "replica.degraded", node=rep.node
+                        )
+                        return False
+                    self._backoff(attempt, "patch.mid_replace", rep.node)
+                    attempt += 1
+                    continue
+                break
+
+            assert report is not None
+            if unit.shared:
+                rep.charge_stall(report.pause_seconds)
+            else:
+                for member in unit.members:
+                    member.charge_stall(report.pause_seconds)
+            self._last_pause_seconds = report.pause_seconds
+            self._installs += len(unit.members)
+            self._count("installs_total", len(unit.members))
+            attrs: Dict[str, object] = dict(
+                generation=rep.generation,
+                pause_ms=round(report.pause_seconds * 1000.0, 3),
+                pointer_writes=report.pointer_writes,
+            )
+            if multi:
+                self.log.emit(
+                    self.tick, "cohort.patched", node=rep.node,
+                    cohort=unit.ident, members=unit.nodes, **attrs,
+                )
+            else:
+                self.log.emit(
+                    self.tick, "replica.patched", node=rep.node, **attrs
+                )
+            # Let the stall play out (under drain it hits zero arrivals —
+            # that is the entire point of the policy).
+            stall_ticks = max(
+                1, math.ceil(rep.stall_pending_seconds / cfg.tick_seconds)
+            )
+            self._serve_ticks(stall_ticks)
+            return True
+        finally:
+            if cfg.drain and rep.state == ReplicaState.DRAINED:
+                unit.undrain()
+                if multi:
+                    self.log.emit(
+                        self.tick, "cohort.undrain", node=rep.node,
+                        cohort=unit.ident, members=unit.nodes,
+                    )
+                else:
+                    self.log.emit(self.tick, "replica.undrain", node=rep.node)
+
+    def _rollback_unit(self, unit: Cohort, *, reason: str) -> None:
+        """Steer a whole unit back onto original ``.text``, jointly GC its
+        injected bands (every physical VM must quiesce)."""
+        report = None
+        if unit.shared:
+            report = restore_original_text(
+                unit.process, self.original, call_sites=self.call_sites,
+                fp_map=self.fp_maps.get(unit.rep.node),
+            )
+        else:
+            for member in unit.members:
+                report = restore_original_text(
+                    member.process, self.original,
+                    call_sites=self.call_sites,
+                    fp_map=self.fp_maps.get(member.node),
+                )
+        self._rollbacks += len(unit.members)
+        self._count("rollbacks_total", len(unit.members))
+        collected = 0
+        quiesced = False
+        for _ in range(self.cfg.gc_retry_ticks):
+            quiesced = True
+            for process in unit.distinct_processes():
+                got, q = try_collect_bands(process, self.original)
+                collected += got
+                quiesced = quiesced and q
+            if quiesced:
+                break
+            self._serve_ticks(1)
+        assert report is not None
+        report.regions_collected = collected
+        report.quiesced = quiesced
+        attrs = dict(
+            reason=reason, pointer_writes=report.pointer_writes,
+            regions_collected=collected, quiesced=quiesced,
+            generation=unit.rep.generation,
+        )
+        if len(unit.members) > 1:
+            self.log.emit(
+                self.tick, "cohort.rollback", node=unit.rep.node,
+                cohort=unit.ident, members=unit.nodes, **attrs,
+            )
+        else:
+            self.log.emit(
+                self.tick, "replica.rollback", node=unit.rep.node, **attrs
+            )
+
+    def _rollout_cohorts(self, rates: Dict[str, float]) -> str:
+        """Cohort-granular optimization pipeline.  Returns the final status.
+
+        Same phases as :meth:`_rollout` at unit granularity: the canary is
+        peeled out of its cohort (one node takes the new layout first — the
+        definition of a canary), installs happen once per unit — one patch
+        per physical VM — and units shed members with armed per-member
+        faults to singletons before entering the install path.  A merged
+        canary rejoining its origin after the fleet converges is the
+        steady-state end: one cohort, one VM, N replicas.
+        """
+        cfg = self.cfg
+        manager = self.manager
+        assert manager is not None
+        canary_unit = manager.unit_of(0)
+        canary = next(m for m in canary_unit.members if m.node == 0)
+        # The peel starts merge-ineligible: a fresh peel is still
+        # bit-identical to its origin, so an eager merge gate would absorb
+        # it right back before the divergence (perf attach, contention,
+        # install) it was peeled for.  It arms for merge once installed.
+        if len(canary_unit.members) > 1:
+            canary_unit = manager.peel(
+                canary_unit, canary, tick=self.tick, log=self.log,
+                reason="canary",
+            )
+
+        # -- canary pipeline --------------------------------------------
+        try:
+            with _trace.span("fleet.phase.profile", node=canary.node):
+                profile, tps_profiling = self._profile_canary(canary)
+            rates["tps_profiling"] = tps_profiling
+            with _trace.span("fleet.phase.bolt", node=canary.node):
+                self._bolt_result, tps_contention = self._build_bolt(
+                    canary, profile
+                )
+            rates["tps_contention"] = tps_contention
+        except (ProfileError, BoltError, FaultInjected):
+            self._rollback_unit(canary_unit, reason="pipeline_failed")
+            canary.degraded = True
+            self.log.emit(self.tick, "rollout.degraded", node=canary.node)
+            return "degraded"
+
+        with _trace.span("fleet.phase.install", node=canary.node):
+            installed = self._install_unit(canary_unit, self._bolt_result)
+        if not installed:
+            return "degraded"
+        # Divergence done: the canary can merge home once its origin
+        # reaches the same generation (or everyone rolls back to gen 0)
+        # and catch-up steering closes the demand gap.
+        canary_unit.merge_eligible = canary_unit.origin is not None
+        rates["pause_seconds"] = self._last_pause_seconds
+        rates["profile_seconds"] = cfg.profile_ticks * cfg.tick_seconds
+        rates["background_seconds"] = cfg.background_ticks * cfg.tick_seconds
+
+        # -- canary evaluation ------------------------------------------
+        with _trace.span("fleet.phase.warm", ticks=cfg.warm_ticks):
+            self._serve_ticks(cfg.warm_ticks)
+        with _trace.span("fleet.phase.evaluate", node=canary.node):
+            verdict = self._evaluate_canary(canary, rates)
+        if verdict == "rollback":
+            self._rollback_fleet("canary_regression")
+            return "rolled_back"
+
+        # -- fleet rollout ----------------------------------------------
+        with _trace.span("fleet.phase.rollout", replicas=cfg.n_replicas - 1):
+            queue = [
+                u for u in manager.units_in_order() if u is not canary_unit
+            ]
+            while queue:
+                unit = queue.pop(0)
+                if unit not in manager.units:
+                    continue  # merged away while an earlier unit installed
+                if not unit.healthy:
+                    continue
+                queue.extend(self._peel_armed_faults(unit))
+                window = self._measure_window(1)
+                fleet_median = sorted(
+                    tps for _node, (tps, _td) in window.items()
+                )[len(window) // 2] if window else 0.0
+                if not self._health_gate(unit.rep, fleet_median):
+                    for member in unit.members:
+                        member.degraded = True
+                    self.log.emit(
+                        self.tick, "replica.skipped", node=unit.rep.node,
+                        reason="unhealthy",
+                    )
+                    continue
+                if self._install_unit(unit, self._bolt_result):
+                    # Healed fault peels can now merge home (same
+                    # generation as their origin once it installs too).
+                    unit.merge_eligible = unit.origin is not None
+
+        return "optimized"
+
 
 def unoptimized_reference_digests(
     workload: SyntheticWorkload,
@@ -983,7 +1403,7 @@ def unoptimized_reference_digests(
             workload,
             input_spec,
             link_original(workload),
-            seed=config.seed + node,
+            seed=config.seed + node * config.seed_stride,
             superblocks=config.superblocks,
         )
         replica.process.run(max_transactions=config.warmup_transactions)

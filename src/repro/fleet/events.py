@@ -22,7 +22,16 @@ from repro.obs import log as _obs_log
 _log = _obs_log.get_logger("fleet.events")
 
 #: Schema version written into the JSONL header record.
-EVENTS_SCHEMA_VERSION = 1
+#:
+#: * **v1** — ``tick``/``kind``/``node``/``attrs`` control-plane events.
+#: * **v2** — cohort lifecycle events ride along: ``cohort.formed``,
+#:   ``cohort.peel``, ``cohort.merge``, ``cohort.drain``/``undrain``,
+#:   ``cohort.patched``/``rollback``/``skipped`` carry cohort ids in
+#:   ``attrs`` (``cohort``, ``new_cohort``, ``from_cohort``, ``members``).
+#:   The record shape is unchanged, so v1 logs load as before (the loader
+#:   rejects only *newer*-than-this versions — ``repro fleet bisect`` keeps
+#:   working against v1 ``--events-out`` files).
+EVENTS_SCHEMA_VERSION = 2
 _HEADER_KIND = "fleet.events.header"
 
 

@@ -3,13 +3,23 @@ per-node bookkeeping the control plane needs.
 
 Serving is transaction-driven and uses **absolute demand targets**: each
 tick raises ``demand_total`` by the routed arrivals and runs the VM until
-its cumulative transaction count reaches the target.  Because the process
+its cumulative transaction count reaches the target
+(:meth:`~repro.vm.process.Process.run_to_target`).  Because the process
 scheduler checks budgets at fixed round boundaries, composing run calls
 against absolute targets makes the stop points — and therefore the entire
 machine state — a function of the cumulative demand schedule alone, not of
 how it was split into ticks.  That is what makes fleet runs comparable
 bit-for-bit: two runs that route the same cumulative demand to a replica
 leave it in the same state, regardless of drain windows or phase timing.
+
+The same invariant is what lets identical replicas batch: a replica bound
+into a lock-step :class:`~repro.fleet.cohort.Cohort` is a *view* — its
+``process`` resolves to the cohort's shared VM and its bookkeeping fields
+read through to the cohort's SoA state (one column per member where the
+router accounts per node, one shared scalar where lock-step makes every
+member's value provably equal).  Peeling materializes a private VM and
+copies the view's values back into instance attributes, so the rest of the
+control plane never needs to know whether a replica is batched.
 
 Latency is virtual-time: the tick's *measured* service rate (transactions
 over :meth:`~repro.vm.process.Process.wall_seconds`) feeds the same
@@ -62,8 +72,55 @@ class TickSample:
     backlog: float
 
 
+def _cohort_scalar(name: str):
+    """A bookkeeping field that is one shared scalar while lock-step bound.
+
+    Lock-step members receive equal arrivals every tick by construction
+    (the cohort router quantizes shares), so these values are provably
+    equal across members — the SoA column collapses to a scalar.
+    """
+    attr = "_" + name
+
+    def get(self):
+        cohort = self._cohort
+        if cohort is not None:
+            return getattr(cohort.soa, name)
+        return getattr(self, attr)
+
+    def set(self, value):
+        cohort = self._cohort
+        if cohort is not None:
+            setattr(cohort.soa, name, value)
+        else:
+            setattr(self, attr, value)
+
+    return property(get, set, doc=f"cohort-shared bookkeeping scalar {name!r}")
+
+
+def _cohort_column(name: str):
+    """A bookkeeping field kept as a per-member SoA column while bound
+    (per-node request accounting must survive peels and membership churn
+    with per-node identity intact)."""
+    attr = "_" + name
+
+    def get(self):
+        cohort = self._cohort
+        if cohort is not None:
+            return getattr(cohort.soa, name)[self._slot]
+        return getattr(self, attr)
+
+    def set(self, value):
+        cohort = self._cohort
+        if cohort is not None:
+            getattr(cohort.soa, name)[self._slot] = value
+        else:
+            setattr(self, attr, value)
+
+    return property(get, set, doc=f"cohort SoA bookkeeping column {name!r}")
+
+
 class Replica:
-    """A single fleet node."""
+    """A single fleet node (possibly a lock-step view over cohort state)."""
 
     def __init__(
         self,
@@ -74,15 +131,23 @@ class Replica:
         *,
         seed: int,
         superblocks: Optional[bool] = None,
+        launch_process: bool = True,
     ) -> None:
         self.node = node
         self.workload = workload
         self.original = original
-        self.process: Process = launch(
-            workload, input_spec, n_threads=1, seed=seed, with_agent=True
-        )
-        if superblocks is not None:
-            self.process.interpreter.use_superblocks = superblocks
+        self.seed = seed
+        self.superblocks = superblocks
+        #: Lock-step binding: the owning cohort and this member's SoA slot.
+        self._cohort = None
+        self._slot = 0
+        self._process: Optional[Process] = None
+        if launch_process:
+            self._process = launch(
+                workload, input_spec, n_threads=1, seed=seed, with_agent=True
+            )
+            if superblocks is not None:
+                self._process.interpreter.use_superblocks = superblocks
         self.state = ReplicaState.SERVING
         self.degraded = False
         #: Cumulative transaction target (absolute-demand serving).
@@ -99,7 +164,85 @@ class Replica:
         self.slow_factor = 1.0
         #: Last known intrinsic service rate (carried over idle ticks).
         self.last_capacity_tps = 0.0
-        self.samples: List[TickSample] = []
+        self.samples = []
+
+    # ------------------------------------------------------------------
+    # cohort view plumbing
+    # ------------------------------------------------------------------
+
+    demand_total = _cohort_scalar("demand_total")
+    backlog = _cohort_scalar("backlog")
+    stall_pending_seconds = _cohort_scalar("stall_pending_seconds")
+    slow_ticks_left = _cohort_scalar("slow_ticks_left")
+    slow_factor = _cohort_scalar("slow_factor")
+    last_capacity_tps = _cohort_scalar("last_capacity_tps")
+    requests_routed = _cohort_column("requests_routed")
+    requests_lost = _cohort_column("requests_lost")
+
+    @property
+    def samples(self) -> List[TickSample]:
+        cohort = self._cohort
+        if cohort is not None:
+            return cohort.soa.samples
+        return self._samples
+
+    @samples.setter
+    def samples(self, value: List[TickSample]) -> None:
+        cohort = self._cohort
+        if cohort is not None:
+            cohort.soa.samples = value
+        else:
+            self._samples = value
+
+    @property
+    def process(self) -> Process:
+        """The executing VM: private, or the lock-step cohort's shared one."""
+        if self._process is not None:
+            return self._process
+        cohort = self._cohort
+        if cohort is None or cohort.process is None:
+            raise RuntimeError(
+                f"replica {self.node} has no process (unbound and unlaunched)"
+            )
+        return cohort.process
+
+    @property
+    def bound(self) -> bool:
+        """Whether this replica is a lock-step view over a shared VM."""
+        return self._cohort is not None
+
+    def bind_cohort(self, cohort, slot: int) -> None:
+        """Become a view over ``cohort``'s shared VM and SoA state.
+
+        The replica must not hold a private process (the cohort owns the
+        one VM that stands in for every member).
+        """
+        assert self._process is None, "bind_cohort on a replica owning a VM"
+        self._cohort = cohort
+        self._slot = slot
+
+    def release_cohort(self, process: Process) -> None:
+        """Peel: stop viewing the cohort; own ``process`` and a private copy
+        of every bookkeeping value the view was reading through."""
+        cohort = self._cohort
+        assert cohort is not None, "release_cohort on an unbound replica"
+        values = {
+            "demand_total": self.demand_total,
+            "backlog": self.backlog,
+            "stall_pending_seconds": self.stall_pending_seconds,
+            "slow_ticks_left": self.slow_ticks_left,
+            "slow_factor": self.slow_factor,
+            "last_capacity_tps": self.last_capacity_tps,
+            "requests_routed": self.requests_routed,
+            "requests_lost": self.requests_lost,
+        }
+        samples = list(self.samples)
+        self._cohort = None
+        self._slot = 0
+        self._process = process
+        for name, value in values.items():
+            setattr(self, name, value)
+        self._samples = samples
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -136,6 +279,7 @@ class Replica:
 
     def make_slow(self, factor: float, ticks: int) -> None:
         """Arm the straggler injection for the next ``ticks`` serve ticks."""
+        assert self._cohort is None, "make_slow on a lock-step view (peel first)"
         self.slow_factor = max(1.0, factor)
         self.slow_ticks_left = max(0, ticks)
 
@@ -148,7 +292,10 @@ class Replica:
 
         A failed replica loses every routed request.  A slow replica burns
         real idle cycles, so its measured rate (and IPC) genuinely drop.
+        Lock-step views never serve individually — their cohort's batched
+        ``serve_tick`` runs the shared VM once for all members.
         """
+        assert self._cohort is None, "serve_tick on a lock-step view"
         if self.state == ReplicaState.FAILED:
             self.requests_lost += arrivals
             self.requests_routed += arrivals
@@ -163,12 +310,10 @@ class Replica:
         self.requests_routed += arrivals
         self.demand_total += arrivals
         process = self.process
-        start = process.counters_total().transactions
-        want = self.demand_total - start
         busy = 0.0
         served = 0
-        if want > 0:
-            delta = process.run(max_transactions=want)
+        delta = process.run_to_target(self.demand_total)
+        if delta is not None:
             served = delta.transactions
             busy = process.wall_seconds(delta)
             if self.slow_ticks_left > 0 and self.slow_factor > 1.0:
@@ -240,7 +385,8 @@ class Replica:
 
     def machine_digest(self) -> Tuple:
         """Full state, for same-layout twin runs (superblock vs reference
-        stepper): semantic digest plus counters and LBR rings."""
+        stepper, batched vs serial cohorts): semantic digest plus counters
+        and LBR rings."""
         process = self.process
         counters = tuple(repr(fe.counters) for fe in process.frontends)
         lbr = tuple(tuple(ring) for ring in process.lbr_rings)

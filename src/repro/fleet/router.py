@@ -9,7 +9,20 @@ The :class:`Router` splits each tick's arrivals evenly across in-rotation
 replicas, distributing the remainder round-robin so the split is fair *and*
 deterministic.  Requests routed to a replica that has silently died count
 as lost (errors) until the health check removes it from rotation; a drained
-replica's share is re-routed, not lost.
+replica's share is re-routed, not lost.  Both kinds of displaced traffic
+are surfaced: :attr:`Router.lost_requests` totals every request that went
+into a black hole (router-level plus silently-dead replicas) and
+:attr:`Router.rerouted_requests` counts arrivals redistributed away from
+out-of-rotation nodes — the controller publishes them as
+``fleet.router.lost_requests`` / ``fleet.router.rerouted_requests``.
+
+The :class:`CohortRouter` is the sharded, cohort-aware variant feeding
+batched lock-step execution (:mod:`repro.fleet.cohort`): shares are
+**quantized** so every member of a multi-member cohort receives exactly the
+same arrivals each tick (the precondition for one shared VM standing in for
+all of them), with the sub-quantum remainder carried to the next tick and
+bounded catch-up extras steered to peeled members lagging their origin
+cohort's cumulative demand.
 """
 
 from __future__ import annotations
@@ -44,6 +57,9 @@ class Router:
         self._rr_offset = 0
         self.requests_routed = 0
         self.requests_lost = 0
+        #: Arrivals redistributed away from out-of-rotation (drained or
+        #: evicted) nodes — the drain policy's visible work.
+        self.rerouted_requests = 0
 
     def in_rotation(self) -> List[Replica]:
         """Replicas currently receiving traffic.
@@ -65,6 +81,12 @@ class Router:
             r._evicted = True  # type: ignore[attr-defined]
         return detected
 
+    def _account_rerouted(self, total: int, targets: int) -> None:
+        """Count the share that out-of-rotation nodes would have received."""
+        excluded = len(self.replicas) - targets
+        if targets > 0 and excluded > 0:
+            self.rerouted_requests += (total * excluded) // (targets + excluded)
+
     def route(self, total: int) -> Dict[int, int]:
         """Split ``total`` arrivals across the rotation.
 
@@ -79,6 +101,7 @@ class Router:
         if not targets:
             self.requests_lost += total
             return {}
+        self._account_rerouted(total, len(targets))
         base, rem = divmod(total, len(targets))
         shares: Dict[int, int] = {}
         for i, replica in enumerate(targets):
@@ -88,8 +111,78 @@ class Router:
         return shares
 
     @property
+    def lost_requests(self) -> int:
+        """Every request that went into a black hole: router-level losses
+        (no targets at all) plus requests routed to silently-dead replicas
+        before the health check evicted them."""
+        return self.requests_lost + sum(r.requests_lost for r in self.replicas)
+
+    @property
     def error_rate(self) -> float:
         """Fraction of routed requests lost (router blackholes plus
         requests that died with their replica)."""
-        lost = self.requests_lost + sum(r.requests_lost for r in self.replicas)
-        return lost / self.requests_routed if self.requests_routed else 0.0
+        return (
+            self.lost_requests / self.requests_routed
+            if self.requests_routed else 0.0
+        )
+
+
+class CohortRouter(Router):
+    """Cohort-aware quantized splits for batched lock-step fleets.
+
+    Lock-step execution requires every member of a multi-member cohort to
+    receive *exactly* equal arrivals each tick — a stray remainder request
+    would force a peel.  So the split is quantized: each in-rotation head
+    gets ``pool // heads`` and the sub-quantum remainder is **carried** to
+    the next tick instead of being smeared round-robin (long-run offered
+    load is conserved; the classic :class:`Router` keeps its round-robin
+    remainder for unbatched fleets).  On top of the equal base, peeled
+    members lagging their origin cohort's cumulative demand are steered
+    bounded catch-up extras (``catchup_per_tick``) until their demand
+    matches and they can merge home.
+    """
+
+    def __init__(
+        self, replicas: Sequence[Replica], manager, catchup_per_tick: int
+    ) -> None:
+        super().__init__(replicas)
+        self.manager = manager
+        self.catchup_per_tick = max(0, int(catchup_per_tick))
+        self._carry = 0
+
+    def route(self, total: int) -> Dict[int, int]:
+        self.requests_routed += total
+        eligible = [
+            unit for unit in self.manager.units_in_order()
+            if unit.rep.state.value != "drained"
+            and not getattr(unit.rep, "_evicted", False)
+        ]
+        heads = sum(len(unit.members) for unit in eligible)
+        if heads == 0:
+            self.requests_lost += total
+            return {}
+        pool = total + self._carry
+        self._account_rerouted(pool, heads)
+        # Catch-up extras first: bounded per tick, never more than the
+        # pool.  An extra goes to *every* member of the lagging unit (a
+        # lock-step cohort's members must stay on equal shares), so the
+        # budget is charged per head.
+        extras: Dict[int, int] = {}
+        budget = pool
+        for unit in eligible:
+            deficit = self.manager.catchup_deficit(unit)
+            if deficit <= 0:
+                continue
+            size = len(unit.members)
+            extra = min(deficit, self.catchup_per_tick, budget // size)
+            if extra > 0:
+                extras[unit.rep.node] = extra
+                budget -= extra * size
+        base, rem = divmod(budget, heads)
+        self._carry = rem
+        shares: Dict[int, int] = {}
+        for unit in eligible:
+            extra = extras.get(unit.rep.node, 0)
+            for member in unit.members:
+                shares[member.node] = base + extra
+        return shares

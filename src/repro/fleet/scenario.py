@@ -1,0 +1,229 @@
+"""Declarative fleet scenarios: TOML targets for batched rollouts.
+
+A scenario file describes one or more *tenants* — independent fleets, each
+with its own workload, replica count, execution mode (lock-step cohorts or
+the serial reference), rollout policy, armed faults and scheduled drain
+windows — and ``repro fleet run --scenario targets.toml`` drives every
+tenant through a supervised rollout.  The file is the deployment-config
+analogue of the cohort control plane: the same knobs
+:class:`~repro.fleet.controller.FleetConfig` exposes programmatically,
+versioned alongside the code that consumes them.
+
+Example::
+
+    [scenario]
+    name = "prod-canary"
+    seed = 2024
+
+    [[tenants]]
+    name = "edge"
+    workload = "memcached"
+    replicas = 64
+    lockstep = true
+    seed_stride = 0
+    policy = "drain"
+    settle_ticks = 14
+
+      [[tenants.faults]]
+      site = "replica.slow"
+      node = 5
+
+      [[tenants.drain_windows]]
+      node = 4
+      start = 3
+      length = 4
+
+Every key under ``[[tenants]]`` other than the reserved ones (``name``,
+``workload``, ``input``, ``policy``, ``faults``, ``drain_windows``) must
+name a :class:`~repro.fleet.controller.FleetConfig` field; unknown keys are
+a hard error, so a typo cannot silently run the default rollout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tomllib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.fleet.controller import FleetConfig, RolloutOutcome
+from repro.fleet.faults import FaultPlan, FaultSpec
+
+#: ``[[tenants]]`` keys handled by the loader itself (everything else must
+#: be a FleetConfig field).
+_RESERVED_KEYS = frozenset(
+    {"name", "workload", "input", "policy", "faults", "drain_windows"}
+)
+
+
+@dataclass
+class ScenarioTenant:
+    """One fleet in a scenario: a workload plus its rollout configuration."""
+
+    name: str
+    workload: str
+    config: FleetConfig
+    input: Optional[str] = None
+    plan: Optional[FaultPlan] = None
+
+
+@dataclass
+class Scenario:
+    """A parsed scenario file."""
+
+    name: str
+    tenants: List[ScenarioTenant] = field(default_factory=list)
+
+    def tenant(self, name: str) -> ScenarioTenant:
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        raise ReproError(f"scenario {self.name!r} has no tenant {name!r}")
+
+
+def _tenant_from_table(
+    index: int, table: Dict[str, object], default_seed: Optional[int]
+) -> ScenarioTenant:
+    if not isinstance(table, dict):
+        raise ReproError(f"tenants[{index}] must be a table")
+    name = str(table.get("name", f"tenant{index}"))
+    workload = table.get("workload")
+    if not isinstance(workload, str) or not workload:
+        raise ReproError(f"tenant {name!r}: 'workload' (string) is required")
+
+    config_fields = {f.name for f in dataclasses.fields(FleetConfig)}
+    kwargs: Dict[str, object] = {}
+    for key, value in table.items():
+        if key in _RESERVED_KEYS:
+            continue
+        if key == "replicas":  # ergonomic alias for n_replicas
+            kwargs["n_replicas"] = value
+            continue
+        if key not in config_fields:
+            raise ReproError(
+                f"tenant {name!r}: unknown config key {key!r} "
+                "(not a FleetConfig field)"
+            )
+        kwargs[key] = value
+    policy = table.get("policy", "drain")
+    if policy not in ("drain", "unaware"):
+        raise ReproError(
+            f"tenant {name!r}: policy must be 'drain' or 'unaware', "
+            f"got {policy!r}"
+        )
+    kwargs["drain"] = policy == "drain"
+    if "seed" not in kwargs and default_seed is not None:
+        kwargs["seed"] = default_seed
+    # Scenario fleets are cohort-native unless the tenant opts out.
+    kwargs.setdefault("cohorts", True)
+
+    windows = table.get("drain_windows")
+    if windows is not None:
+        parsed = []
+        for w in windows:
+            try:
+                parsed.append((int(w["node"]), int(w["start"]), int(w["length"])))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ReproError(
+                    f"tenant {name!r}: drain window needs integer "
+                    f"node/start/length ({exc})"
+                ) from None
+        kwargs["drain_windows"] = parsed
+
+    try:
+        config = FleetConfig(**kwargs)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ReproError(f"tenant {name!r}: bad config: {exc}") from None
+
+    plan = None
+    faults = table.get("faults")
+    if faults is not None:
+        specs = []
+        for f in faults:
+            try:
+                specs.append(
+                    FaultSpec(
+                        site=str(f["site"]),
+                        node=(None if f.get("node") is None else int(f["node"])),
+                        times=int(f.get("times", 1)),
+                        slow_factor=float(f.get("slow_factor", 4.0)),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ReproError(
+                    f"tenant {name!r}: bad fault spec: {exc}"
+                ) from None
+        plan = FaultPlan(specs)
+
+    spec_input = table.get("input")
+    return ScenarioTenant(
+        name=name,
+        workload=workload,
+        config=config,
+        input=None if spec_input is None else str(spec_input),
+        plan=plan,
+    )
+
+
+def parse_scenario(text: str, *, source: str = "<scenario>") -> Scenario:
+    """Parse scenario TOML text into a :class:`Scenario`."""
+    try:
+        doc = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ReproError(f"{source}: invalid TOML: {exc}") from None
+    head = doc.get("scenario", {})
+    if not isinstance(head, dict):
+        raise ReproError(f"{source}: [scenario] must be a table")
+    name = str(head.get("name", source))
+    default_seed = head.get("seed")
+    if default_seed is not None:
+        default_seed = int(default_seed)
+    tenants_raw = doc.get("tenants", [])
+    if not tenants_raw:
+        raise ReproError(f"{source}: scenario has no [[tenants]]")
+    tenants = [
+        _tenant_from_table(i, t, default_seed)
+        for i, t in enumerate(tenants_raw)
+    ]
+    seen = set()
+    for tenant in tenants:
+        if tenant.name in seen:
+            raise ReproError(
+                f"{source}: duplicate tenant name {tenant.name!r}"
+            )
+        seen.add(tenant.name)
+    return Scenario(name=name, tenants=tenants)
+
+
+def load_scenario(path: str) -> Scenario:
+    """Load and parse a scenario TOML file."""
+    try:
+        with open(path, "rb") as fh:
+            text = fh.read().decode("utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read scenario {path!r}: {exc}") from None
+    return parse_scenario(text, source=path)
+
+
+def run_tenant(tenant: ScenarioTenant) -> RolloutOutcome:
+    """Run one tenant's rollout (resolving its workload bundle)."""
+    from repro.engine.cells import workload_bundle
+    from repro.fleet.controller import FleetController
+
+    bundle = workload_bundle(tenant.workload)
+    input_name = tenant.input or bundle.eval_inputs[0]
+    if input_name not in bundle.inputs:
+        raise ReproError(
+            f"tenant {tenant.name!r}: unknown input {input_name!r} for "
+            f"workload {tenant.workload!r}"
+        )
+    controller = FleetController(
+        bundle.workload, bundle.inputs[input_name], tenant.config, tenant.plan
+    )
+    return controller.run()
+
+
+def run_scenario(scenario: Scenario) -> Dict[str, RolloutOutcome]:
+    """Run every tenant in order; outcomes keyed by tenant name."""
+    return {tenant.name: run_tenant(tenant) for tenant in scenario.tenants}

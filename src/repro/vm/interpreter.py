@@ -342,6 +342,32 @@ class Interpreter:
         """Number of cached decoded runs (for tests/diagnostics)."""
         return len(self._cache)
 
+    # ------------------------------------------------------------------
+    # cohort warm-start (trace-profile transfer)
+    # ------------------------------------------------------------------
+
+    def export_trace_profile(self) -> Dict[int, Tuple[int, int]]:
+        """Snapshot the online branch-bias profile as plain tuples.
+
+        Used when a lock-step cohort peels a replica onto its own VM: the
+        clone adopts the donor's profile so re-formed chains speculate
+        immediately instead of re-learning thousands of outcomes.  The
+        profile only steers *formation* (which chains get built), never
+        results — the trace-equivalence contract — so transferring it is
+        bit-invisible and purely a wall-clock warm-start.
+        """
+        return {site: (ent[0], ent[1]) for site, ent in self._trace_bias.items()}
+
+    def adopt_trace_profile(self, profile: Dict[int, Tuple[int, int]]) -> None:
+        """Install an :meth:`export_trace_profile` snapshot.
+
+        Entries are copied into fresh mutable cells (bias entries are
+        captured by reference into decoded runs, so sharing the donor's
+        lists would couple two processes' online profiles).
+        """
+        for site, (taken, total) in profile.items():
+            self._trace_bias[site] = [int(taken), int(total)]
+
     def iter_cached_runs(self):
         """Snapshot of the cached decoded runs (coverage analyses read the
         decode cache as an exact record of the code executed since the last

@@ -240,6 +240,27 @@ class Process:
                     break
         return self.counters_total().delta(start)
 
+    def run_to_target(self, target_transactions: int) -> Optional[PerfCounters]:
+        """Run until the cumulative transaction count reaches an absolute
+        target; the batched fleet entry point.
+
+        Absolute targets are what make execution a function of the demand
+        *schedule* rather than its tick splitting (budget checks happen at
+        fixed round boundaries), so one call per cohort per tick drives any
+        number of lock-step replicas that share this process: each replica's
+        individual history is the same ``run_to_target`` sequence, so the
+        shared machine state stands in for all of them bit-for-bit.
+
+        Returns:
+            the counter delta for this call, or ``None`` when the target was
+            already met (no quantum runs — the zero-demand tick is a no-op,
+            which is exactly what makes drain windows splitting-invariant).
+        """
+        want = target_transactions - self.counters_total().transactions
+        if want <= 0:
+            return None
+        return self.run(max_transactions=want)
+
     def _update_memory_controller(self) -> None:
         total_dram = sum(fe.counters.dram_requests for fe in self.frontends)
         total_cycles = sum(fe.counters.cycles for fe in self.frontends)

@@ -661,6 +661,44 @@ def _add_const(obj, attr: str, const: float, count: int) -> None:
 
 
 # ----------------------------------------------------------------------
+# cohort cache warm-start
+# ----------------------------------------------------------------------
+
+
+def prewarm_superblocks(interp, entry_pcs, *, limit: int = 512) -> int:
+    """Pre-form superblocks at known-hot entry pcs on a fresh interpreter.
+
+    The superblock cache is the per-VM half of a lock-step cohort's shared
+    read-only code cache: while replicas share one process they share one
+    cache for free, and when a replica *peels* onto a private VM its clone
+    starts cold.  This helper re-forms chains from the donor's cached entry
+    points against the clone's own code bytes — no decoded state crosses
+    the process boundary (decoded runs memoize per-process stall tokens and
+    capture per-process bias cells by reference, so sharing them would be
+    bit-wrong), only the entry-pc *hint* does.  Formation here passes no
+    thread, so returns above the chain's entry depth are simply not linked —
+    a strict subset of on-demand formation, covered by the same deopt
+    guards, hence bit-invisible and purely a wall-clock warm-start.
+
+    Returns:
+        number of superblocks formed (bounded by ``limit``).
+    """
+    formed = 0
+    cache = interp._sb_cache
+    for pc in sorted(entry_pcs):
+        if formed >= limit:
+            break
+        if pc in cache:
+            continue
+        try:
+            cache[pc] = interp._form_superblock(pc)
+        except Exception:
+            continue  # stale hint (unmapped/rewritten bytes): skip, not fatal
+        formed += 1
+    return formed
+
+
+# ----------------------------------------------------------------------
 # quantum executor
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,459 @@
+"""Batched lock-step fleet tests: equivalence oracle, invariants, scenarios.
+
+The central contract is the **equivalence oracle**: a cohort fleet run in
+batched lock-step mode (``lockstep=True``, one shared VM per cohort) must
+be bit-identical — machine digests and the full event log — to the same
+fleet run in the serial reference mode (``lockstep=False``, one VM per
+member).  The oracle covers a clean rollout (canary peel and merge
+included) and a rollout with every named fault site armed plus a scheduled
+drain window.  Rollouts are deterministic, so the expensive controller runs
+are shared module-wide and every assertion on them is exact.
+
+The supporting invariants get direct tests: absolute-demand serving (same
+cumulative demand, any tick split → same machine state), deterministic
+router splits under membership churn, quantized cohort routing, the
+schema-v2 event log's v1 backward compatibility, and the scenario loader.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fleet import (
+    FAULT_SITES,
+    EventLog,
+    FaultPlan,
+    FaultSpec,
+    FleetConfig,
+    FleetController,
+    Replica,
+    ReplicaState,
+    Router,
+)
+from repro.fleet.events import EVENTS_SCHEMA_VERSION
+from repro.fleet.router import CohortRouter
+from repro.fleet.scenario import load_scenario, parse_scenario
+from repro.harness.runner import link_original
+from repro.obs import metrics
+
+
+@pytest.fixture(scope="module")
+def fleet_spec(small_server):
+    return small_server.make_input("readish", 0.1, {"read_op": 8.0, "scan_op": 1.0})
+
+
+def run_cohort_rollout(workload, spec, *, lockstep, plan=None, **overrides):
+    overrides.setdefault("n_replicas", 4)
+    config = FleetConfig(
+        cohorts=True,
+        lockstep=lockstep,
+        seed=99,
+        seed_stride=0,
+        settle_ticks=14,
+        drain=True,
+        **overrides,
+    )
+    controller = FleetController(workload, spec, config, plan)
+    return controller, controller.run(), config
+
+
+def all_sites_plan():
+    """One armed fault at every named site (each on a distinct stage)."""
+    return FaultPlan(
+        [
+            FaultSpec("profile.truncate", node=0),
+            FaultSpec("bolt.crash", node=0),
+            FaultSpec("patch.mid_replace", node=2),
+            FaultSpec("replica.die_drain", node=3),
+            FaultSpec("replica.slow", node=5),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def lockstep_clean(small_server, fleet_spec):
+    return run_cohort_rollout(small_server, fleet_spec, lockstep=True)
+
+
+@pytest.fixture(scope="module")
+def serial_clean(small_server, fleet_spec):
+    return run_cohort_rollout(small_server, fleet_spec, lockstep=False)
+
+
+@pytest.fixture(scope="module")
+def faulted_pair(small_server, fleet_spec):
+    """Six replicas, all five fault sites armed, one scheduled drain window.
+
+    The lock-step run is executed under a metrics registry so the
+    router-displacement counters can be asserted from the same rollout.
+    """
+    kwargs = dict(
+        n_replicas=6,
+        plan=all_sites_plan(),
+        drain_windows=[(4, 3, 4)],
+    )
+    registry = metrics.install()
+    try:
+        lock = run_cohort_rollout(
+            small_server, fleet_spec, lockstep=True,
+            plan=all_sites_plan(), n_replicas=6, drain_windows=[(4, 3, 4)],
+        )
+    finally:
+        metrics.uninstall()
+    serial = run_cohort_rollout(small_server, fleet_spec, lockstep=False, **kwargs)
+    return lock, serial, registry
+
+
+def fleet_machine_digests(controller):
+    return [r.machine_digest() for r in sorted(controller.replicas, key=lambda r: r.node)]
+
+
+def unit_memberships(controller):
+    return sorted(tuple(m.node for m in u.members) for u in controller.manager.units)
+
+
+class TestEquivalenceOracleClean:
+    def test_both_modes_optimize(self, lockstep_clean, serial_clean):
+        _, lock_out, _ = lockstep_clean
+        _, ser_out, _ = serial_clean
+        assert lock_out.status == "optimized"
+        assert ser_out.status == "optimized"
+        assert lock_out.installs == ser_out.installs == 4
+
+    def test_event_logs_bit_identical(self, lockstep_clean, serial_clean):
+        _, lock_out, _ = lockstep_clean
+        _, ser_out, _ = serial_clean
+        assert lock_out.events.replay_digest() == ser_out.events.replay_digest()
+
+    def test_machine_state_bit_identical(self, lockstep_clean, serial_clean):
+        lock_ctl, _, _ = lockstep_clean
+        ser_ctl, _, _ = serial_clean
+        assert fleet_machine_digests(lock_ctl) == fleet_machine_digests(ser_ctl)
+
+    def test_canary_peels_and_merges_home(self, lockstep_clean):
+        _, out, _ = lockstep_clean
+        peels = [e for e in out.events.events if e.kind == "cohort.peel"]
+        merges = [e for e in out.events.events if e.kind == "cohort.merge"]
+        assert any(e.attrs.get("reason") == "canary" for e in peels)
+        assert merges, "canary never merged back into its origin cohort"
+        # v2 schema: cohort lifecycle events carry cohort identities.
+        assert all("new_cohort" in e.attrs for e in peels)
+        assert all("into_cohort" in e.attrs or "cohort" in e.attrs for e in merges)
+
+    def test_fleet_reconverges_to_one_shared_vm(self, lockstep_clean):
+        ctl, _, _ = lockstep_clean
+        assert unit_memberships(ctl) == [(0, 1, 2, 3)]
+        (unit,) = ctl.manager.units
+        assert len(unit.distinct_processes()) == 1
+
+    def test_serial_mode_reconverges_to_same_membership(self, serial_clean):
+        ctl, _, _ = serial_clean
+        assert unit_memberships(ctl) == [(0, 1, 2, 3)]
+
+
+class TestEquivalenceOracleFaulted:
+    def test_every_site_fires_in_both_modes(self, faulted_pair):
+        (_, lock_out, _), (_, ser_out, _), _ = faulted_pair
+        for out in (lock_out, ser_out):
+            fired = {
+                e.attrs["site"]
+                for e in out.events.events
+                if e.kind == "fault.injected"
+            }
+            assert fired == set(FAULT_SITES)
+            assert out.faults_injected == len(FAULT_SITES)
+
+    def test_event_logs_bit_identical(self, faulted_pair):
+        (_, lock_out, _), (_, ser_out, _), _ = faulted_pair
+        assert lock_out.events.replay_digest() == ser_out.events.replay_digest()
+
+    def test_machine_state_bit_identical(self, faulted_pair):
+        (lock_ctl, _, _), (ser_ctl, _, _), _ = faulted_pair
+        assert fleet_machine_digests(lock_ctl) == fleet_machine_digests(ser_ctl)
+
+    def test_memberships_converge_identically(self, faulted_pair):
+        (lock_ctl, _, _), (ser_ctl, _, _), _ = faulted_pair
+        assert unit_memberships(lock_ctl) == unit_memberships(ser_ctl)
+
+    def test_drain_window_peel_merges_bit_exact(self, faulted_pair):
+        # Node 4 spent its drain window on the *same* generation as its
+        # origin, so its merge is bit-exact even before re-imaging; merges
+        # after a generation change normalize sub-quantum phase instead.
+        (_, lock_out, _), _, _ = faulted_pair
+        merges = [e for e in lock_out.events.events if e.kind == "cohort.merge"]
+        assert merges
+        assert any(e.attrs.get("bit_exact") for e in merges)
+
+    def test_router_displacement_counters_published(self, faulted_pair):
+        (_, lock_out, _), _, registry = faulted_pair
+        # The drain window rerouted node 4's share; FleetSloRow mirrors the
+        # totals and the metrics registry carries the fleet-wide counters.
+        (row,) = lock_out.slo_rows()
+        assert row.router_rerouted_requests == lock_out.rerouted_requests > 0
+        assert row.router_lost_requests == lock_out.requests_lost
+        rerouted = registry.counter("fleet.router.rerouted_requests")
+        assert rerouted.value == lock_out.rerouted_requests
+        assert (
+            registry.counter("fleet.router.lost_requests").value
+            == lock_out.requests_lost
+        )
+
+
+class TestAbsoluteDemandInvariant:
+    """Machine state is a function of cumulative demand, not tick splits."""
+
+    def _replica(self, workload, spec, seed):
+        replica = Replica(0, workload, spec, link_original(workload), seed=seed)
+        replica.process.run(max_transactions=300)
+        replica.demand_total = replica.process.counters_total().transactions
+        return replica
+
+    def test_tick_splits_do_not_change_machine_state(self, small_server, fleet_spec):
+        # Same cumulative demand, three different schedules — one bursty,
+        # one smeared, one with an idle gap standing in for a drain window.
+        splits = [
+            [400, 0, 0, 150, 50],
+            [50, 150, 200, 0, 200],
+            [0, 0, 300, 0, 300],
+        ]
+        assert len({sum(s) for s in splits}) == 1
+        digests = []
+        for split in splits:
+            replica = self._replica(small_server, fleet_spec, seed=99)
+            for tick, arrivals in enumerate(split):
+                replica.serve_tick(tick, arrivals, 0.05)
+            digests.append(replica.machine_digest())
+        assert digests[0] == digests[1] == digests[2]
+
+    def test_different_seed_actually_changes_the_digest(self, small_server, fleet_spec):
+        a = self._replica(small_server, fleet_spec, seed=99)
+        b = self._replica(small_server, fleet_spec, seed=100)
+        for tick in range(3):
+            a.serve_tick(tick, 200, 0.05)
+            b.serve_tick(tick, 200, 0.05)
+        assert a.machine_digest() != b.machine_digest()
+
+
+class _StubReplica:
+    def __init__(self, node):
+        self.node = node
+        self.state = ReplicaState.SERVING
+        self.requests_lost = 0
+        self.healthy = True
+
+
+class _StubUnit:
+    def __init__(self, head, members):
+        self.rep = head
+        self.members = members
+
+
+class _StubManager:
+    def __init__(self, units, deficits=None):
+        self.units = units
+        self.deficits = deficits or {}
+
+    def units_in_order(self):
+        return sorted(self.units, key=lambda u: u.rep.node)
+
+    def catchup_deficit(self, unit):
+        return self.deficits.get(unit.rep.node, 0)
+
+
+class TestRouterChurn:
+    """Satellite: routing stays deterministic under membership churn."""
+
+    def _churn_trace(self):
+        replicas = [_StubReplica(n) for n in range(5)]
+        router = Router(replicas)
+        trace = []
+        for tick in range(12):
+            if tick == 3:
+                replicas[1].state = ReplicaState.DRAINED
+            if tick == 6:
+                replicas[1].state = ReplicaState.SERVING
+                replicas[4].state = ReplicaState.DRAINED
+            if tick == 9:
+                replicas[4].state = ReplicaState.SERVING
+            trace.append(sorted(router.route(103).items()))
+        return router, trace
+
+    def test_identical_churn_gives_identical_splits(self):
+        router_a, trace_a = self._churn_trace()
+        router_b, trace_b = self._churn_trace()
+        assert trace_a == trace_b
+        assert router_a.rerouted_requests == router_b.rerouted_requests > 0
+        assert router_a.lost_requests == router_b.lost_requests == 0
+
+    def test_every_request_lands_each_tick(self):
+        _, trace = self._churn_trace()
+        for shares in trace:
+            assert sum(n for _, n in shares) == 103
+
+    def test_remainder_rotates_instead_of_pinning(self):
+        _, trace = self._churn_trace()
+        # 103 over 5 targets leaves remainder 3: the +1 extras must move
+        # across nodes tick to tick, not pin to the lowest node ids.
+        first, second = dict(trace[0]), dict(trace[1])
+        assert first != second
+        assert sorted(first.values()) == sorted(second.values())
+
+    def test_all_drained_blackholes_deterministically(self):
+        replicas = [_StubReplica(0)]
+        router = Router(replicas)
+        replicas[0].state = ReplicaState.DRAINED
+        assert router.route(50) == {}
+        assert router.requests_lost == 50
+        assert router.lost_requests == 50
+
+
+class TestCohortRouterQuantization:
+    def _fleet(self, deficits=None):
+        cohort_members = [_StubReplica(n) for n in (0, 1, 2)]
+        loner = _StubReplica(3)
+        units = [
+            _StubUnit(cohort_members[0], cohort_members),
+            _StubUnit(loner, [loner]),
+        ]
+        manager = _StubManager(units, deficits)
+        router = CohortRouter(
+            cohort_members + [loner], manager, catchup_per_tick=64
+        )
+        return router
+
+    def test_cohort_members_get_exactly_equal_shares(self):
+        router = self._fleet()
+        for total in (103, 97, 1, 0, 555):
+            shares = router.route(total)
+            assert shares[0] == shares[1] == shares[2]
+
+    def test_remainder_is_carried_not_smeared(self):
+        router = self._fleet()
+        offered = 0
+        landed = 0
+        for total in (103, 103, 103, 103):
+            offered += total
+            landed += sum(router.route(total).values())
+        # Long-run load is conserved: only the current sub-quantum carry
+        # (strictly less than the head count) is outstanding.
+        assert offered - landed == router._carry < 4
+
+    def test_catchup_extras_are_bounded_and_per_member(self):
+        router = self._fleet(deficits={3: 500})
+        shares = router.route(400)
+        # The lagging singleton gets base + min(deficit, catchup_per_tick);
+        # the cohort stays on equal base shares.
+        assert shares[0] == shares[1] == shares[2]
+        assert shares[3] - shares[0] == 64
+
+    def test_lagging_cohort_charges_budget_per_head(self):
+        router = self._fleet(deficits={0: 10})
+        shares = router.route(400)
+        # Every member of the lagging 3-wide cohort receives the extra, so
+        # the pool is charged 3 * 10 before the equal base split.
+        assert shares[0] == shares[1] == shares[2]
+        assert shares[0] - shares[3] == 10
+        assert sum(shares.values()) + router._carry == 400
+
+
+class TestEventsSchemaCompat:
+    """Satellite: v2 logs carry cohort ids; v1 files still load."""
+
+    def test_v1_event_file_still_loads(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        records = [
+            {"v": 1, "kind": "fleet.events.header", "seed": 5, "workload": "w"},
+            {"tick": 0, "kind": "rollout.start"},
+            {"tick": 1, "kind": "replica.drain", "node": 0},
+            {"tick": 2, "kind": "replica.patched", "node": 0,
+             "attrs": {"generation": 1}},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        log, header = EventLog.load_jsonl(str(path))
+        assert header["v"] == 1
+        assert log.seed == 5
+        assert log.kinds() == ["rollout.start", "replica.drain", "replica.patched"]
+        assert log.events[2].attrs == {"generation": 1}
+
+    def test_written_logs_carry_v2_and_round_trip(self, tmp_path, lockstep_clean):
+        _, out, _ = lockstep_clean
+        path = tmp_path / "v2.jsonl"
+        out.events.write_jsonl(str(path), workload="small_server")
+        log, header = EventLog.load_jsonl(str(path))
+        assert header["v"] == EVENTS_SCHEMA_VERSION == 2
+        assert log.replay_digest() == out.events.replay_digest()
+
+    def test_newer_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "v99.jsonl"
+        path.write_text(
+            json.dumps(
+                {"v": EVENTS_SCHEMA_VERSION + 1,
+                 "kind": "fleet.events.header", "seed": 1}
+            )
+            + "\n"
+        )
+        with pytest.raises(ReproError, match="newer"):
+            EventLog.load_jsonl(str(path))
+
+
+class TestScenarioLoader:
+    GOOD = """
+[scenario]
+name = "t"
+seed = 7
+
+[[tenants]]
+name = "a"
+workload = "memcached"
+replicas = 3
+lockstep = true
+policy = "drain"
+
+  [[tenants.faults]]
+  site = "bolt.crash"
+
+  [[tenants.drain_windows]]
+  node = 1
+  start = 3
+  length = 4
+"""
+
+    def test_round_trip(self):
+        scenario = parse_scenario(self.GOOD)
+        tenant = scenario.tenant("a")
+        cfg = tenant.config
+        assert scenario.name == "t"
+        assert cfg.n_replicas == 3
+        assert cfg.seed == 7          # inherited scenario default
+        assert cfg.cohorts is True    # scenario fleets are cohort-native
+        assert cfg.lockstep is True
+        assert cfg.drain is True
+        assert cfg.drain_windows == [(1, 3, 4)]
+        assert tenant.plan is not None
+        assert tenant.plan.specs[0].site == "bolt.crash"
+
+    @pytest.mark.parametrize(
+        "text, message",
+        [
+            ('[[tenants]]\nname="a"\nworkload="w"\nbogus=1\n', "unknown config key"),
+            ('[scenario]\nname="x"\n', r"no \[\[tenants\]\]"),
+            (
+                '[[tenants]]\nname="a"\nworkload="w"\n'
+                '[[tenants]]\nname="a"\nworkload="w"\n',
+                "duplicate tenant",
+            ),
+            ('[[tenants]]\nname="a"\nworkload="w"\npolicy="x"\n', "policy must be"),
+            ('[[tenants]]\nname="a"\n', "'workload'"),
+            ("=", "invalid TOML"),
+        ],
+    )
+    def test_bad_scenarios_fail_loudly(self, text, message):
+        with pytest.raises(ReproError, match=message):
+            parse_scenario(text)
+
+    def test_committed_example_parses(self):
+        scenario = load_scenario("examples/fleet_targets.toml")
+        assert [t.name for t in scenario.tenants] == ["edge", "ref"]
+        assert scenario.tenant("edge").config.lockstep is True
+        assert scenario.tenant("ref").config.lockstep is False

@@ -23,7 +23,7 @@ from repro.engine import store as store_mod
 from repro.errors import ReproError
 from repro.fleet import FaultPlan, FaultSpec, FleetConfig, FleetController
 from repro.fleet.controller import hottest_function, inverted_profile
-from repro.fleet.events import EventLog
+from repro.fleet.events import EVENTS_SCHEMA_VERSION, EventLog
 from repro.forensics import (
     ForensicsError,
     collect_gc_pins,
@@ -279,7 +279,7 @@ class TestEventsJsonl:
             path, run_id=recorded.manifest.run_id, workload="small_server"
         )
         loaded, header = EventLog.load_jsonl(path)
-        assert header["v"] == 1
+        assert header["v"] == EVENTS_SCHEMA_VERSION
         assert header["seed"] == events.seed
         assert header["run_id"] == recorded.manifest.run_id
         assert header["workload"] == "small_server"
@@ -293,7 +293,7 @@ class TestEventsJsonl:
         log.write_jsonl(path)
         first = json.loads(open(path, encoding="utf-8").readline())
         assert first["kind"] == "fleet.events.header"
-        assert first["v"] == 1 and first["seed"] == 7
+        assert first["v"] == EVENTS_SCHEMA_VERSION and first["seed"] == 7
 
     def test_load_rejects_headerless_and_newer_files(self, tmp_path):
         bare = tmp_path / "bare.jsonl"
