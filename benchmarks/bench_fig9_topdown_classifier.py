@@ -18,10 +18,11 @@ def bench_fig9_topdown_classifier(once):
     print()
     print(
         format_table(
-            ["workload", "input", "FE latency %", "retiring %", "speedup", "benefits", "predicted"],
+            ["workload", "input", "FE latency %", "retiring %", "iTLB MPKI",
+             "speedup", "benefits", "predicted"],
             [
                 [p.workload, p.input_name, p.frontend_latency, p.retiring,
-                 p.ocolos_speedup, p.benefits, pred]
+                 p.itlb_mpki, p.ocolos_speedup, p.benefits, pred]
                 for p, pred in zip(points, fit.predictions)
             ],
             title="Fig 9: TopDown metrics vs OCOLOS benefit",

@@ -1,0 +1,235 @@
+"""Inter-procedural page-aware layout: stitch + huge pages vs default BOLT.
+
+The stitch pass (``repro.bolt.stitch``) packs hot caller→callee→return block
+chains across function boundaries into cache lines, 4 KiB pages and 2 MiB
+huge pages.  This benchmark measures what that buys over the default BOLT
+layout on the paper's large-code workloads — iTLB-MPKI, L1i-MPKI, front-end
+bound % and IPC — with memcached as the small-code control (its hot text
+fits a handful of pages either way, so stitch must simply not regress).
+
+Every variant is held to the layout-equivalence oracle: counted site
+outcomes identical to the original binary over the same transaction budget
+(the fleet's cross-layout semantic digest), and the clang-like single-shot
+compiler must HALT with identical counted state.
+
+``benchmarks/data/layout_stitch.json`` is the committed record.  The
+equivalence bits and stitched-chain counts are deterministic; counter
+columns depend only on (workload, input, seed, budget), not the host.
+
+Modes:
+    Full run:   pytest benchmarks/bench_layout_stitch.py --benchmark-only
+    Smoke run:  BENCH_SMOKE=1 pytest ... (CI: memcached + clangbuild, small budgets)
+    JSON out:   BENCH_JSON_OUT=path.json pytest ... (payload artifact)
+"""
+
+import dataclasses
+import json
+import os
+
+from repro.bolt.optimizer import BoltOptions, run_bolt
+from repro.engine.cells import workload_bundle
+from repro.harness.reporting import format_table, publish_bench_rows
+from repro.harness.runner import collect_profile, launch, link_original, measure
+from repro.profiling.perf import PerfSession
+from repro.profiling.perf2bolt import extract_profile
+from repro.profiling.profile import BoltProfile
+from repro.uarch.perfcounters import PerfCounters
+from repro.uarch.topdown import topdown_from_counters
+from repro.vm.process import Process
+from repro.workloads.clangbuild import N_SOURCE_CLASSES, clang_like_compiler, source_file_input
+
+#: (variant name, BoltOptions) — "orig" is the unoptimized reference row.
+VARIANTS = [
+    ("bolt", BoltOptions()),
+    ("stitch", BoltOptions(layout="stitch")),
+    ("stitch+hp", BoltOptions(layout="stitch", huge_pages=True)),
+]
+
+
+@dataclasses.dataclass
+class LayoutRow:
+    """One (workload, variant) measurement (``bench.layout_stitch.*``)."""
+
+    workload: str
+    variant: str
+    ipc: float
+    itlb_mpki: float
+    l1i_mpki: float
+    fe_bound_pct: float
+    fe_latency_pct: float
+
+
+def _digest(process):
+    return (
+        process.counters_total().transactions,
+        tuple(sorted(process.behaviour.counted_state.items())),
+    )
+
+
+def _row(workload, variant, counters):
+    td = topdown_from_counters(counters)
+    return {
+        "workload": workload,
+        "variant": variant,
+        "ipc": round(counters.ipc, 4),
+        "itlb_mpki": round(counters.itlb_mpki, 4),
+        "l1i_mpki": round(counters.l1i_mpki, 4),
+        "fe_bound_pct": round(td.frontend_bound, 2),
+        "fe_latency_pct": round(td.frontend_latency, 2),
+    }
+
+
+def _server_rows(name, *, transactions, profile_seconds):
+    """Measure one server-style bundle workload across all layout variants."""
+    bundle = workload_bundle(name)
+    wl = bundle.workload
+    spec = bundle.inputs[bundle.eval_inputs[0]]
+    original = link_original(wl)
+    profile, _ = collect_profile(wl, spec, seconds=profile_seconds)
+
+    rows, stitch_stats = [], {}
+    # warmup=0: the window starts at process birth on purpose — once the
+    # few hot pages are resident every layout's iTLB is quiet, so the
+    # translation-coverage win of page packing + huge pages lives in the
+    # cold-start compulsory misses, which are deterministic here.
+    p0 = launch(wl, spec, with_agent=False, seed=7)
+    m0 = measure(p0, transactions=transactions, warmup=0)
+    rows.append(_row(name, "orig", m0.counters))
+    txn0, counted0 = _digest(p0)
+
+    equivalent = True
+    for variant, options in VARIANTS:
+        result = run_bolt(wl.program, original, profile,
+                          options=options, compiler_options=wl.options)
+        proc = launch(wl, spec, binary=result.binary, with_agent=False, seed=7)
+        m = measure(proc, transactions=transactions, warmup=0)
+        rows.append(_row(name, variant, m.counters))
+        if result.stitch_stats is not None:
+            stitch_stats[variant] = result.stitch_stats.to_jsonable()
+        # cross-layout oracle: counted site outcomes exact over the same
+        # transaction budget; the stop point is quantum-quantized per
+        # thread, so allow that much overshoot on the count itself
+        txn, counted = _digest(proc)
+        equivalent &= abs(txn - txn0) <= wl.params.n_threads and counted == counted0
+    return rows, stitch_stats, equivalent
+
+
+def _clang_rows(*, n_profile, n_measure):
+    """Measure the single-shot clang-like compiler (BAM-style, run to HALT)."""
+    wl = clang_like_compiler()
+    original = link_original(wl)
+
+    aggregate = BoltProfile()
+    for k in range(n_profile):
+        spec = source_file_input(wl, k % N_SOURCE_CLASSES)
+        proc = Process(original, wl.program, spec, n_threads=1, seed=100 + k)
+        session = PerfSession(period=4500, overhead=0.0)
+        session.attach(proc)
+        proc.run(max_instructions=50_000_000)
+        session.detach()
+        profile, _ = extract_profile(session.samples, original)
+        aggregate.merge(profile)
+
+    def invoke_all(binary):
+        """Sum counters + counted-state digests over ``n_measure`` compiles."""
+        total = PerfCounters()
+        digests = []
+        for k in range(n_measure):
+            spec = source_file_input(wl, k % N_SOURCE_CLASSES)
+            proc = Process(binary, wl.program, spec, n_threads=1, seed=300 + k)
+            total.merge(proc.run(max_instructions=50_000_000))
+            assert not proc.runnable_threads(), "invocation did not HALT"
+            digests.append(_digest(proc))
+        return total, digests
+
+    rows, stitch_stats = [], {}
+    counters0, digests0 = invoke_all(original)
+    rows.append(_row("clangbuild", "orig", counters0))
+
+    equivalent = True
+    for variant, options in VARIANTS:
+        result = run_bolt(wl.program, original, aggregate,
+                          options=options, compiler_options=wl.options)
+        counters, digests = invoke_all(result.binary)
+        rows.append(_row("clangbuild", variant, counters))
+        if result.stitch_stats is not None:
+            stitch_stats[variant] = result.stitch_stats.to_jsonable()
+        # single-shot: every invocation HALTs, so the digest must be exact
+        equivalent &= digests == digests0
+    return rows, stitch_stats, equivalent
+
+
+def run_layout_stitch_bench(smoke=False):
+    workloads = {}
+    rows = []
+    if smoke:
+        plan = [("memcached", dict(transactions=1500, profile_seconds=0.3))]
+        clang_kwargs = dict(n_profile=2, n_measure=2)
+    else:
+        plan = [
+            ("mysql", dict(transactions=3000, profile_seconds=0.5)),
+            ("memcached", dict(transactions=3000, profile_seconds=0.5)),
+        ]
+        clang_kwargs = dict(n_profile=6, n_measure=6)
+
+    for name, kwargs in plan:
+        wrows, stats, equivalent = _server_rows(name, **kwargs)
+        rows.extend(wrows)
+        workloads[name] = {"stitch_stats": stats, "equivalent": equivalent}
+
+    crows, cstats, cequiv = _clang_rows(**clang_kwargs)
+    rows.extend(crows)
+    workloads["clangbuild"] = {"stitch_stats": cstats, "equivalent": cequiv}
+
+    return {"smoke": smoke, "rows": rows, "workloads": workloads}
+
+
+def bench_layout_stitch(once):
+    smoke = os.environ.get("BENCH_SMOKE") == "1"
+    payload = once(run_layout_stitch_bench, smoke=smoke)
+    rows = payload["rows"]
+
+    print()
+    print(
+        format_table(
+            ["workload", "variant", "IPC", "iTLB MPKI", "L1i MPKI",
+             "FE bound %", "FE latency %"],
+            [
+                [r["workload"], r["variant"], r["ipc"], r["itlb_mpki"],
+                 r["l1i_mpki"], r["fe_bound_pct"], r["fe_latency_pct"]]
+                for r in rows
+            ],
+            title="inter-procedural stitch layout vs default BOLT",
+        )
+    )
+
+    by = {(r["workload"], r["variant"]): r for r in rows}
+
+    # correctness: every layout is semantically invisible
+    for name, info in payload["workloads"].items():
+        assert info["equivalent"], f"{name}: layout changed program behaviour"
+        # and the stitch pass actually stitched something
+        assert info["stitch_stats"]["stitch"]["chains"] >= 1, name
+        assert info["stitch_stats"]["stitch"]["splices"] >= 1, name
+        assert info["stitch_stats"]["stitch+hp"]["huge_pages_used"] >= 1, name
+
+    # the paper-shaped claims: on large-code workloads, stitch + huge pages
+    # must cut iTLB pressure beyond what BOLT achieves and not hurt the
+    # front end; memcached (small code) must simply not regress IPC.
+    large = ["clangbuild"] if payload["smoke"] else ["clangbuild", "mysql"]
+    for name in large:
+        assert by[name, "stitch+hp"]["itlb_mpki"] < by[name, "bolt"]["itlb_mpki"], name
+        assert by[name, "stitch+hp"]["fe_bound_pct"] <= by[name, "bolt"]["fe_bound_pct"], name
+        assert by[name, "stitch+hp"]["ipc"] >= by[name, "orig"]["ipc"], name
+    assert by["memcached", "stitch+hp"]["ipc"] >= by["memcached", "orig"]["ipc"] * 0.98
+
+    publish_bench_rows(
+        "layout_stitch",
+        [LayoutRow(**{k: r[k] for k in LayoutRow.__dataclass_fields__}) for r in rows],
+    )
+
+    out = os.environ.get("BENCH_JSON_OUT")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")

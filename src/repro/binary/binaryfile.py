@@ -57,6 +57,9 @@ class Section:
     addr: int
     data: bytes
     executable: bool = False
+    #: Request 2 MiB page backing when the loader maps this section (the
+    #: huge-page text mode; meaningful for executable sections only).
+    hugepage: bool = False
 
     @property
     def end(self) -> int:
@@ -131,10 +134,17 @@ class JumpTableInfo:
 
 @dataclass
 class Fragment:
-    """A run of blocks from one function placed contiguously."""
+    """A run of blocks from one function placed contiguously.
+
+    ``align`` is the placement alignment of the fragment's first byte.  The
+    default matches the linker's historical per-function alignment; the
+    stitch pass raises it to a page for page-group heads in 4 KiB mode
+    (under huge pages groups pack densely and keep the default).
+    """
 
     function: str
     block_ids: Tuple[int, ...]
+    align: int = 16
 
 
 @dataclass
@@ -145,6 +155,9 @@ class SectionLayout:
     base: int
     fragments: List[Fragment] = field(default_factory=list)
     executable: bool = True
+    #: Propagated to the emitted :class:`Section` — ask the loader for
+    #: 2 MiB page backing.
+    hugepage: bool = False
 
 
 @dataclass

@@ -108,6 +108,7 @@ def link_program(
     placed: Dict[str, List[Tuple[LoweredBlock, int, str]]] = {}
     table_requests: List[JumpTableRequest] = []
     section_images: Dict[str, Tuple[int, int]] = {}  # name -> (base, size)
+    section_hugepage: Dict[str, bool] = {}
     lowered_by_section: Dict[str, List[Tuple[int, LoweredBlock]]] = {}
     frag_sections: Dict[str, List[str]] = {}
     for section_layout in layout.sections:
@@ -117,7 +118,7 @@ def link_program(
             func = program.functions.get(frag.function)
             if func is None:
                 raise LinkError(f"layout places unknown function {frag.function!r}")
-            cursor = _align(cursor, _FUNCTION_ALIGN)
+            cursor = _align(cursor, max(frag.align, _FUNCTION_ALIGN))
             blocks, tables = lower_fragment(program, func, frag.block_ids, options)
             table_requests.extend(tables)
             for lowered in blocks:
@@ -133,6 +134,7 @@ def link_program(
             section_layout.base,
             cursor - section_layout.base,
         )
+        section_hugepage[section_layout.name] = section_layout.hugepage
         lowered_by_section[section_layout.name] = entries
 
     # Jump tables in this link's rodata section.
@@ -189,7 +191,11 @@ def link_program(
                 off += len(encoded)
                 pc += len(encoded)
         binary.sections[section_name] = Section(
-            name=section_name, addr=base, data=bytes(image), executable=True
+            name=section_name,
+            addr=base,
+            data=bytes(image),
+            executable=True,
+            hugepage=section_hugepage.get(section_name, False),
         )
 
     if jump_tables:
@@ -229,7 +235,10 @@ def link_program(
 
     # ---- function records --------------------------------------------------
     for func_name, entries_list in placed.items():
-        sections_used = frag_sections.get(func_name, [])
+        # A stitched layout places several fragments of one function in the
+        # same (hot) section; dedupe so the second *distinct* section — the
+        # cold exile, if any — is reported, not a repeat of the hot one.
+        sections_used = list(dict.fromkeys(frag_sections.get(func_name, [])))
         info = FunctionInfo(
             name=func_name,
             addr=symbols[func_name],

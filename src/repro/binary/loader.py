@@ -27,4 +27,5 @@ def load_binary(binary: Binary, address_space: AddressSpace) -> None:
             data=section.data,
             name=f"{binary.name}:{section.name}",
             executable=section.executable,
+            hugepage=section.hugepage,
         )

@@ -38,6 +38,7 @@ from repro.binary.linker import link_program
 from repro.bolt.bb_reorder import reorder_blocks
 from repro.bolt.func_reorder import c3_order, pettis_hansen_order
 from repro.bolt.splitting import SplitResult, split_hot_cold
+from repro.bolt.stitch import StitchStats, finalize_stats, stitch_layout
 from repro.compiler.codegen import CompilerOptions
 from repro.compiler.ir import Program
 from repro.errors import AlreadyBoltedError, BoltError, ProfileError
@@ -61,6 +62,12 @@ class BoltOptions:
         allow_rebolt: permit optimizing an already-BOLTed binary (extension;
             real BOLT refuses, which is why the paper could not evaluate
             continuous optimization).
+        layout: hot-section layout policy — ``"bolt"`` places whole hot
+            fragments in function order (the paper's BOLT), ``"stitch"``
+            runs the inter-procedural block-stitching + page-packing pass
+            (:mod:`repro.bolt.stitch`).
+        huge_pages: map the emitted hot text with 2 MiB pages (the loader's
+            huge-page text mode).
     """
 
     split_functions: bool = True
@@ -68,6 +75,8 @@ class BoltOptions:
     reorder_blocks: bool = True
     min_block_count: int = 1
     allow_rebolt: bool = False
+    layout: str = "bolt"
+    huge_pages: bool = False
 
 
 @dataclass
@@ -80,6 +89,8 @@ class BoltResult:
     functions_split: int = 0
     hot_text_bytes: int = 0
     generation: int = 1
+    #: Set when ``options.layout == "stitch"``.
+    stitch_stats: Optional["StitchStats"] = None
 
 
 def run_bolt(
@@ -187,11 +198,33 @@ def run_bolt(
         cold_base = hot_base + BOLT_GEN_STRIDE // 2
         hot_name = f".text.bolt{generation}"
         cold_name = f".text.bolt{generation}.cold"
-        hot_section = SectionLayout(name=hot_name, base=hot_base, fragments=[])
+        hot_section = SectionLayout(
+            name=hot_name,
+            base=hot_base,
+            fragments=[],
+            hugepage=options.huge_pages,
+        )
         cold_section = SectionLayout(name=cold_name, base=cold_base, fragments=[])
+        stitch_stats: Optional[StitchStats] = None
+        if options.layout == "stitch":
+            stitched = stitch_layout(
+                original,
+                profile,
+                splits,
+                func_order,
+                huge_pages=options.huge_pages,
+            )
+            hot_section.fragments = stitched.fragments
+            stitch_stats = stitched.stats
+        elif options.layout == "bolt":
+            for name in func_order:
+                hot_section.fragments.append(
+                    Fragment(function=name, block_ids=splits[name].hot)
+                )
+        else:
+            raise BoltError(f"unknown layout {options.layout!r}")
         for name in func_order:
             split = splits[name]
-            hot_section.fragments.append(Fragment(function=name, block_ids=split.hot))
             if split.cold:
                 cold_section.fragments.append(Fragment(function=name, block_ids=split.cold))
         sections = [hot_section]
@@ -229,9 +262,20 @@ def run_bolt(
             _retarget_cold_references(binary, original, splits)
 
         hot_bytes = len(binary.sections[hot_name].data)
+        if stitch_stats is not None:
+            finalize_stats(
+                stitch_stats,
+                hot_bytes,
+                huge_pages=options.huge_pages,
+            )
         if cold_section.fragments:
             hot_bytes += len(binary.sections[cold_name].data)
-        root.set_attrs(hot_functions=len(func_order), hot_text_bytes=hot_bytes)
+        root.set_attrs(
+            hot_functions=len(func_order),
+            hot_text_bytes=hot_bytes,
+            layout=options.layout,
+            huge_pages=options.huge_pages,
+        )
 
     registry = _metrics.current()
     if registry is not None:
@@ -253,6 +297,7 @@ def run_bolt(
         functions_split=sum(1 for s in splits.values() if s.is_split),
         hot_text_bytes=hot_bytes,
         generation=generation,
+        stitch_stats=stitch_stats,
     )
 
 

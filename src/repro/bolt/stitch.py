@@ -1,0 +1,382 @@
+"""Inter-procedural block stitching with hierarchical page packing.
+
+The BOLT tier reorders blocks *within* a function and orders functions
+*whole*; this pass (the Codestitcher tier, see PAPERS.md) goes one level
+further: it lays out hot caller→callee→return block chains **across**
+function boundaries and then packs the resulting chains hierarchically —
+cache line → 4 KiB page → 2 MiB huge page — so the hot working set touches
+as few fetch-translation structures as possible.
+
+The pass runs entirely on the profile the LBR pipeline already produces:
+
+1. **Stitch.**  ``branch_edges`` records taken transfers at block-label
+   granularity, including calls (``caller#i → callee#0``).  Each hot
+   callee is attached to its single hottest hot call site, forming a
+   forest over functions: a DFS emission then places the callee's hot
+   chain directly after the caller's — spliced inline when the call site
+   is the caller's chain tail, deferred to just past the chain otherwise.
+   Mid-chain inline splices are deliberately *not* done: breaking the
+   caller's fallthrough spine turns an elided jump into a taken branch on
+   every execution, and a continuation the sampled profile calls cold
+   still executes at runtime, so no seam is ever free.  The return
+   address of a call is mid-block (calls do not end IR basic blocks
+   here), so a stitched callee sits within lines of its return target —
+   caller tail, callee body and return path share pages.  Attachment is
+   capped by subtree size so a large callee cannot drag its caller's page
+   group over budget, and cycles are rejected, exactly like C³'s
+   most-likely-predecessor rule lifted to block granularity.
+
+   Splitting a callee out of its home function's layout order is safe by
+   construction: :func:`repro.compiler.codegen.lower_fragment` only elides
+   jumps for *intra-fragment* fallthrough and materialises explicit
+   ``jmp``/inverted branches at every fragment seam, and the linker
+   resolves block labels globally across fragments.
+
+2. **Pack.**  Top-level chains are greedily grouped into ≤ 4 KiB page
+   groups by inter-chain affinity (profile weight between their blocks),
+   and groups are emitted hottest-density-first so the hottest pages
+   cluster at the front of the hot section — inside the first 2 MiB huge
+   page when the huge-page text mode is on.  In 4 KiB mode each group
+   head is page-aligned so a group's translations never straddle two
+   pages; in huge-page mode everything packs densely (intra-huge-page
+   boundaries cost nothing to translate).  Neither chains nor huge-mode
+   groups are cache-line aligned: that was measured to lose — the padding
+   and the 64-byte clustering of branch addresses (BTB set aliasing) cost
+   more front-end cycles than line sharing saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.binary.binaryfile import PAGE_SIZE, Binary, Fragment
+from repro.bolt.splitting import SplitResult
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.profiling.profile import BoltProfile
+
+#: Default cap on the byte size of a spliced callee subtree: one page.  A
+#: callee bigger than this would evict the caller's continuation from the
+#: page (and its lines from the immediate fetch window), so it stays a
+#: top-level chain instead.
+MAX_SPLICE_BYTES = PAGE_SIZE
+
+
+@dataclass
+class StitchStats:
+    """What the stitch pass did, for obs/forensics and the emitted JSON."""
+
+    chains: int = 0
+    splices: int = 0
+    cross_function_splits: int = 0
+    page_groups: int = 0
+    hot_text_bytes: int = 0
+    pages_used: int = 0
+    huge_pages_used: int = 0
+
+    def to_jsonable(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass
+class StitchLayout:
+    """Hot-section fragment order plus the pass statistics."""
+
+    fragments: List[Fragment] = field(default_factory=list)
+    stats: StitchStats = field(default_factory=StitchStats)
+
+
+def _block_sizes(
+    original: Binary, functions: Dict[str, Tuple[int, ...]]
+) -> Dict[Tuple[str, int], int]:
+    """Byte size per hot block, read off the original binary's placement."""
+    sizes: Dict[Tuple[str, int], int] = {}
+    for name, hot_ids in functions.items():
+        info = original.functions.get(name)
+        placed: Dict[int, int] = {}
+        if info is not None:
+            for block in info.blocks:
+                func, _, bb = block.label.rpartition("#")
+                if func == name:
+                    placed[int(bb)] = block.size
+        for bb_id in hot_ids:
+            sizes[(name, bb_id)] = placed.get(bb_id, 16)
+    return sizes
+
+
+def stitch_layout(
+    original: Binary,
+    profile: BoltProfile,
+    splits: Dict[str, SplitResult],
+    func_order: List[str],
+    *,
+    huge_pages: bool = False,
+    max_splice_bytes: int = MAX_SPLICE_BYTES,
+) -> StitchLayout:
+    """Compute the stitched hot-section layout.
+
+    Args:
+        original: the binary the profile was collected on (block sizes).
+        profile: aggregated LBR profile.
+        splits: per-function hot/cold split (hot order = BOLT's intra-
+            function chain, the stitch pass's starting material).
+        func_order: C³/PH function order — the deterministic fallback
+            priority for chains the profile gives no affinity for.
+        huge_pages: pack for a 2 MiB-mapped hot section (dense groups)
+            instead of page-aligned 4 KiB groups.
+        max_splice_bytes: subtree size cap for callee attachment.
+
+    Returns:
+        the fragment order for the hot section plus stats.
+    """
+    with _trace.span("bolt.stitch", functions=len(splits)) as span:
+        hot_ids = {name: split.hot for name, split in splits.items()}
+        sizes = _block_sizes(original, hot_ids)
+        hot_sets = {name: frozenset(ids) for name, ids in hot_ids.items()}
+
+        # ---- 1. attach callees to their hottest call site ----------------
+        candidates: List[Tuple[int, str, str, int]] = []
+        for (src, dst), weight in profile.branch_edges.items():
+            if weight <= 0:
+                continue
+            src_func, _, src_bb = src.rpartition("#")
+            dst_func, _, dst_bb = dst.rpartition("#")
+            if src_func == dst_func or dst_bb != "0":
+                continue
+            if src_func not in splits or dst_func not in splits:
+                continue
+            src_id = int(src_bb)
+            if src_id not in hot_sets[src_func]:
+                continue
+            candidates.append((weight, src_func, dst_func, src_id))
+        candidates.sort(key=lambda c: (-c[0], c[1], c[2], c[3]))
+
+        parent: Dict[str, str] = {}
+        children: Dict[str, Dict[int, List[Tuple[int, str]]]] = {
+            name: {} for name in splits
+        }
+        subtree_bytes: Dict[str, int] = {
+            name: sum(sizes[(name, bb)] for bb in ids)
+            for name, ids in hot_ids.items()
+        }
+
+        def root_of(name: str) -> str:
+            while name in parent:
+                name = parent[name]
+            return name
+
+        splices = 0
+        for weight, caller, callee, call_bb in candidates:
+            if callee in parent:  # already attached to a hotter site
+                continue
+            if root_of(caller) == callee:  # would create a cycle
+                continue
+            if subtree_bytes[callee] > max_splice_bytes:
+                continue
+            site = hot_ids[caller].index(call_bb)
+            parent[callee] = caller
+            children[caller].setdefault(site, []).append((weight, callee))
+            grown = subtree_bytes[callee]
+            walk = caller
+            while True:
+                subtree_bytes[walk] += grown
+                if walk not in parent:
+                    break
+                walk = parent[walk]
+            splices += 1
+
+        # ---- 2. flatten each root's forest into one block chain ----------
+        order_rank = {name: i for i, name in enumerate(func_order)}
+        block_counts = profile.block_counts
+
+        def emit(name: str, out: List[Tuple[str, int]]) -> None:
+            attached = children[name]
+            chain = hot_ids[name]
+            deferred: List[Tuple[int, str]] = []
+            last = len(chain) - 1
+            for pos, bb_id in enumerate(chain):
+                out.append((name, bb_id))
+                # A mid-chain inline splice breaks the caller's fallthrough
+                # to its next hot block — the elided jump becomes a taken
+                # branch on every execution, and sampling-cold continuations
+                # still execute at runtime, so there is no "free" seam.
+                # Callees are spliced inline only at the chain tail; all
+                # others follow the caller's chain, hottest first — same
+                # page group, fallthrough spine intact.
+                for weight, callee in sorted(
+                    attached.get(pos, ()), key=lambda e: (-e[0], e[1])
+                ):
+                    if pos == last:
+                        emit(callee, out)
+                    else:
+                        deferred.append((weight, callee))
+            for _w, callee in sorted(deferred, key=lambda e: (-e[0], e[1])):
+                emit(callee, out)
+
+        roots = [name for name in func_order if name not in parent]
+        chains: Dict[str, List[Tuple[str, int]]] = {}
+        chain_weight: Dict[str, int] = {}
+        chain_size: Dict[str, int] = {}
+        for root in roots:
+            items: List[Tuple[str, int]] = []
+            emit(root, items)
+            chains[root] = items
+            chain_size[root] = sum(sizes[item] for item in items)
+            chain_weight[root] = sum(
+                block_counts.get(f"{f}#{b}", 0) for f, b in items
+            )
+
+        # ---- 3. pack chains into page groups by affinity ------------------
+        home: Dict[str, str] = {}
+        for root, items in chains.items():
+            for func, _bb in items:
+                home.setdefault(func, root)
+        affinity: Dict[Tuple[str, str], int] = {}
+
+        def add_affinity(fa: str, fb: str, weight: int) -> None:
+            ra, rb = home.get(fa), home.get(fb)
+            if ra is None or rb is None or ra == rb:
+                return
+            key = (ra, rb) if ra < rb else (rb, ra)
+            affinity[key] = affinity.get(key, 0) + weight
+
+        for (src, dst), weight in profile.branch_edges.items():
+            add_affinity(src.rpartition("#")[0], dst.rpartition("#")[0], weight)
+        for (src, dst), weight in profile.call_edges.items():
+            add_affinity(src, dst, weight)
+
+        def density(root: str) -> float:
+            return chain_weight[root] / max(1, chain_size[root])
+
+        unplaced = set(roots)
+        groups: List[List[str]] = []
+        while unplaced:
+            seed = min(
+                unplaced, key=lambda r: (-density(r), -chain_weight[r], order_rank[r])
+            )
+            unplaced.discard(seed)
+            group = [seed]
+            budget = PAGE_SIZE - chain_size[seed]
+            while budget > 0:
+                best: Optional[str] = None
+                best_key: Tuple[float, float, int] = (0.0, 0.0, 0)
+                for cand in unplaced:
+                    if chain_size[cand] > budget:
+                        continue
+                    pull = sum(
+                        affinity.get((min(cand, g), max(cand, g)), 0)
+                        for g in group
+                    )
+                    key = (float(pull), density(cand), -order_rank[cand])
+                    if best is None or key > best_key:
+                        best, best_key = cand, key
+                if best is None:
+                    break
+                group.append(best)
+                unplaced.discard(best)
+                budget -= chain_size[best]
+            groups.append(group)
+
+        def group_density(group: List[str]) -> float:
+            weight = sum(chain_weight[r] for r in group)
+            size = sum(chain_size[r] for r in group)
+            return weight / max(1, size)
+
+        groups.sort(key=lambda g: (-group_density(g), order_rank[g[0]]))
+
+        # ---- 4. fragments: collapse runs, set alignment hierarchy --------
+        # Huge-page mode packs fully dense: page-group boundaries inside a
+        # 2 MiB page translate for free, and any coarser alignment was
+        # measured to cost front-end cycles (see the flush() note below).
+        group_align = 16 if huge_pages else PAGE_SIZE
+        fragments: List[Fragment] = []
+        frag_count: Dict[str, int] = {}
+        for group in groups:
+            group_head = True
+            for root in group:
+                run_func: Optional[str] = None
+                run_ids: List[int] = []
+
+                # Only group heads get coarse alignment.  Aligning every
+                # chain head to a cache line was measured to *lose*: the
+                # padding plus the 64-byte-boundary clustering of branch
+                # addresses (BTB set aliasing) cost more front-end cycles
+                # than the line sharing saved.
+                def flush() -> None:
+                    nonlocal group_head
+                    if run_func is None:
+                        return
+                    fragments.append(
+                        Fragment(
+                            function=run_func,
+                            block_ids=tuple(run_ids),
+                            align=group_align if group_head else 16,
+                        )
+                    )
+                    frag_count[run_func] = frag_count.get(run_func, 0) + 1
+                    group_head = False
+
+                for func, bb_id in chains[root]:
+                    if func != run_func:
+                        flush()
+                        run_func, run_ids = func, [bb_id]
+                    else:
+                        run_ids.append(bb_id)
+                flush()
+
+        stats = StitchStats(
+            chains=len(roots),
+            splices=splices,
+            cross_function_splits=sum(
+                1 for n in frag_count.values() if n > 1
+            ),
+            page_groups=len(groups),
+        )
+        span.set_attrs(
+            chains=stats.chains,
+            splices=stats.splices,
+            cross_function_splits=stats.cross_function_splits,
+            page_groups=stats.page_groups,
+        )
+
+    registry = _metrics.current()
+    if registry is not None:
+        registry.counter("bolt.stitch.runs_total", "stitch pass invocations").inc()
+        registry.counter("bolt.stitch.chains_total", "top-level stitched chains").inc(
+            stats.chains
+        )
+        registry.counter(
+            "bolt.stitch.splices_total", "cross-function callee splices"
+        ).inc(stats.splices)
+        registry.counter(
+            "bolt.stitch.split_functions_total",
+            "functions split across multiple hot fragments",
+        ).inc(stats.cross_function_splits)
+
+    return StitchLayout(fragments=fragments, stats=stats)
+
+
+def finalize_stats(
+    stats: StitchStats, hot_section_bytes: int, *, huge_pages: bool
+) -> None:
+    """Fill in the post-link size/page numbers and publish them."""
+    stats.hot_text_bytes = hot_section_bytes
+    stats.pages_used = -(-hot_section_bytes // PAGE_SIZE) if hot_section_bytes else 0
+    huge = 1 << 21
+    stats.huge_pages_used = (
+        -(-hot_section_bytes // huge) if (huge_pages and hot_section_bytes) else 0
+    )
+    registry = _metrics.current()
+    if registry is not None:
+        registry.histogram(
+            "bolt.stitch.hot_text_bytes",
+            "stitched hot-text size",
+            buckets=(256, 1024, 4096, 16384, 65536, 262144, 1048576),
+        ).observe(hot_section_bytes)
+        registry.counter("bolt.stitch.pages_total", "4 KiB pages of hot text").inc(
+            stats.pages_used
+        )
+        registry.counter(
+            "bolt.stitch.huge_pages_total", "2 MiB pages of hot text"
+        ).inc(stats.huge_pages_used)

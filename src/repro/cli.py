@@ -158,10 +158,11 @@ def _fig9(args) -> None:
     )
     print(
         format_table(
-            ["workload", "input", "FE latency %", "retiring %", "speedup", "benefits"],
+            ["workload", "input", "FE latency %", "retiring %", "iTLB MPKI",
+             "speedup", "benefits"],
             [
                 [p.workload, p.input_name, p.frontend_latency, p.retiring,
-                 p.ocolos_speedup, p.benefits]
+                 p.itlb_mpki, p.ocolos_speedup, p.benefits]
                 for p in points
             ],
             title="Fig 9: TopDown metrics vs OCOLOS benefit",
@@ -207,8 +208,15 @@ def _table2(args) -> None:
     )
 
 
-def _run_one_cycle(transactions: int, seed: int) -> None:
+def _run_one_cycle(
+    transactions: int,
+    seed: int,
+    layout: str = "bolt",
+    huge_pages: bool = False,
+) -> None:
     """One full OCOLOS cycle on the MySQL-like workload (quickstart body)."""
+    from repro.bolt.optimizer import BoltOptions
+    from repro.core.orchestrator import OcolosConfig
     from repro.engine.cells import workload_bundle
     from repro.harness.runner import launch, measure, run_ocolos_pipeline
 
@@ -216,11 +224,19 @@ def _run_one_cycle(transactions: int, seed: int) -> None:
     workload = bundle.workload
     spec = bundle.inputs["oltp_read_only"]
     _log.info("pipeline.start", workload=workload.name, input=spec.name,
-              transactions=transactions, seed=seed)
+              transactions=transactions, seed=seed, layout=layout,
+              huge_pages=huge_pages)
     baseline = measure(
         launch(workload, spec, seed=seed, with_agent=False), transactions=transactions
     )
-    process, _ocolos, report = run_ocolos_pipeline(workload, spec, seed=seed)
+    config = None
+    if layout != "bolt" or huge_pages:
+        config = OcolosConfig(
+            bolt_options=BoltOptions(layout=layout, huge_pages=huge_pages)
+        )
+    process, _ocolos, report = run_ocolos_pipeline(
+        workload, spec, seed=seed, config=config
+    )
     process.run(max_transactions=transactions + 200)
     optimized = measure(process, transactions=transactions, warmup=0)
     _publish_process_metrics(process)
@@ -242,7 +258,12 @@ def _quickstart(_args) -> None:
 
 
 def _run_pipeline(args) -> None:
-    _run_one_cycle(transactions=args.transactions, seed=args.seed)
+    _run_one_cycle(
+        transactions=args.transactions,
+        seed=args.seed,
+        layout=args.layout,
+        huge_pages=args.huge_pages,
+    )
 
 
 def _publish_process_metrics(process) -> None:
@@ -384,6 +405,8 @@ def _fleet_run(args) -> int:
         pessimize_layout=args.pessimize_layout,
         pessimize_function=args.pessimize_function,
         checkpoint_every=args.checkpoint_every,
+        layout=args.layout,
+        huge_pages=args.huge_pages,
     )
     plan = FaultPlan(args.fault) if args.fault else None
     _log.info(
@@ -768,6 +791,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline.add_argument("--transactions", type=int, default=400)
     pipeline.add_argument("--seed", type=int, default=2)
+    pipeline.add_argument(
+        "--layout", choices=("bolt", "stitch"), default="bolt",
+        help="hot-section layout policy: BOLT function order or "
+             "inter-procedural block stitching + page packing",
+    )
+    pipeline.add_argument(
+        "--huge-pages", action="store_true",
+        help="map the optimized hot text with 2 MiB pages",
+    )
 
     fig = sub.add_parser(
         "fig", help="regenerate a figure",
@@ -830,6 +862,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="pessimize only this function's layout ('hottest' resolves "
              "against the collected profile) — the known-culprit injection "
              "`fleet bisect` must find",
+    )
+    fleet_run.add_argument(
+        "--layout", choices=("bolt", "stitch"), default="bolt",
+        help="hot-section layout policy for the background BOLT "
+             "(default: bolt)",
+    )
+    fleet_run.add_argument(
+        "--huge-pages", action="store_true",
+        help="map each generation's hot text with 2 MiB pages",
     )
     fleet_run.add_argument(
         "--checkpoint-every", type=int, default=0, metavar="N",

@@ -26,6 +26,7 @@ class InjectionReport:
     sections: List[str] = field(default_factory=list)
     bytes_copied: int = 0
     regions_mapped: int = 0
+    hugepage_regions: int = 0
 
 
 class CodeInjector:
@@ -62,11 +63,13 @@ class CodeInjector:
                 start=section.addr,
                 size=len(section.data),
                 name=f"ocolos:{section.name}",
+                hugepage=section.hugepage,
             )
             self.agent.copy_into(section.addr, section.data)
             report.sections.append(section.name)
             report.bytes_copied += len(section.data)
             report.regions_mapped += 1
+            report.hugepage_regions += int(section.hugepage)
         if not report.sections:
             raise ReplacementError(
                 f"binary {bolted.name!r} has no generation-{generation} sections"

@@ -32,6 +32,7 @@ metrics (p99, error rate, generation skew).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -234,6 +235,22 @@ class FleetConfig:
     #: leaves rotation at ``start_tick`` and rejoins ``n_ticks`` later, then
     #: catch-up steering closes its demand gap so it can merge home.
     drain_windows: Optional[List[Tuple[int, int, int]]] = None
+    #: Hot-section layout policy for the background BOLT: ``"bolt"`` or
+    #: ``"stitch"`` (inter-procedural block stitching + page packing).
+    #: Plain scalars rather than a nested BoltOptions so scenario TOML can
+    #: express them per tenant.
+    layout: str = "bolt"
+    #: Map each generation's hot text with 2 MiB pages.
+    huge_pages: bool = False
+
+    def effective_bolt_options(self) -> Optional[BoltOptions]:
+        """``bolt_options`` with the scenario-level layout knobs folded in."""
+        if self.layout == "bolt" and not self.huge_pages:
+            return self.bolt_options
+        base = self.bolt_options or BoltOptions()
+        return dataclasses.replace(
+            base, layout=self.layout, huge_pages=self.huge_pages
+        )
 
     def to_jsonable(self) -> Dict[str, object]:
         out: Dict[str, object] = {}
@@ -595,7 +612,8 @@ class FleetController:
         else:
             tag = "pessimal" if cfg.pessimize_layout else "faithful"
         context = fingerprint(self.workload)
-        parts = (context, fingerprint(used), cfg.bolt_options, None, 1, tag)
+        bolt_options = cfg.effective_bolt_options()
+        parts = (context, fingerprint(used), bolt_options, None, 1, tag)
         key = store().key("bolt", parts)
         attempt = 0
         while True:
@@ -604,7 +622,7 @@ class FleetController:
                     self.workload.program,
                     self.original,
                     used,
-                    options=cfg.bolt_options,
+                    options=bolt_options,
                     compiler_options=self.workload.options,
                     generation=1,
                 )

@@ -524,6 +524,7 @@ class Fig9Point:
     input_name: str
     frontend_latency: float
     retiring: float
+    itlb_mpki: float
     ocolos_speedup: float
 
     @property
@@ -558,6 +559,7 @@ def fig9_topdown_points(
                     input_name=input_name,
                     frontend_latency=td.frontend_latency,
                     retiring=td.retiring,
+                    itlb_mpki=td.itlb_mpki,
                     ocolos_speedup=pipe.ocolos_speedup,
                 )
             )

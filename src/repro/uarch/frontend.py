@@ -35,7 +35,7 @@ from repro.uarch.btb import BranchTargetBuffer
 from repro.uarch.cache import SetAssociativeCache
 from repro.uarch.memsys import BackendModel, MemoryControllerModel
 from repro.uarch.perfcounters import PerfCounters
-from repro.uarch.tlb import Tlb
+from repro.uarch.tlb import Tlb, page_span
 
 #: Simulated core clock: 2.1 GHz / 1000.  Synthetic transactions execute
 #: ~1000x fewer instructions than their real counterparts, so this keeps
@@ -99,6 +99,10 @@ class FrontEnd:
         self._page_shift = 12
         self._prefetched_line = -1
         self._itlb_cache = self.itlb.cache
+        #: Address ranges mapped with 2 MiB pages, as ``(start, end)`` pairs.
+        #: Empty for every process without huge-page text, which keeps
+        #: :meth:`fetch_run`'s geometry on the original two-shift path.
+        self.hugepage_ranges: Tuple[Tuple[int, int], ...] = ()
         #: Whether the fused single-line fetch path (:meth:`fetch_line`) is
         #: valid for this core.  With the next-line prefetcher enabled every
         #: fetch must also issue the sequential prefetch probe, so callers
@@ -109,17 +113,34 @@ class FrontEnd:
     # events
     # ------------------------------------------------------------------
 
+    def set_hugepage_ranges(self, ranges: Tuple[Tuple[int, int], ...]) -> None:
+        """Register the address ranges backed by 2 MiB code mappings.
+
+        Fetches whose start byte falls in a registered range probe the iTLB
+        at huge-page granularity (tagged page numbers, see
+        :mod:`repro.uarch.tlb`).  The interpreter bakes the same tagged
+        numbers into its decode cache, so the fast tiers and this
+        specification stay probe-for-probe equivalent.
+        """
+        self.hugepage_ranges = tuple(ranges)
+
     def fetch_run(self, start: int, size: int, n_instr: int) -> float:
         """Account for sequentially fetching ``size`` bytes at ``start``.
 
         Returns:
             cycles charged for this fetch (base + fetch stalls).
         """
+        last_byte = start + size - 1
+        if self.hugepage_ranges:
+            first_page, last_page = page_span(start, last_byte, self.hugepage_ranges)
+        else:
+            first_page = start >> self._page_shift
+            last_page = last_byte >> self._page_shift
         return self.fetch_lines(
             start >> self._line_shift,
-            (start + size - 1) >> self._line_shift,
-            start >> self._page_shift,
-            (start + size - 1) >> self._page_shift,
+            last_byte >> self._line_shift,
+            first_page,
+            last_page,
             n_instr,
             n_instr / self.params.issue_width,
         )

@@ -1,45 +1,94 @@
-"""Instruction TLB model: a small set-associative cache over page numbers."""
+"""Instruction TLB model: a small set-associative cache over page numbers.
+
+Dual page sizes
+---------------
+
+The iTLB holds translations for both 4 KiB base pages and 2 MiB huge pages
+in **one unified array** (the alternative — Broadwell's split design with a
+separate 8-entry 2 MiB array — was considered and rejected because a second
+array would have to be threaded through the superblock tier's inlined probe
+sequences; the unified policy keeps page numbers as plain ints in a single
+structure, so every existing probe path works unchanged).
+
+A translation's identity is its *tagged page number*: 4 KiB pages map to
+``addr >> 12`` and 2 MiB pages to ``(addr >> 21) | HUGE_TAG``, where
+``HUGE_TAG`` is a bit far above any byte address, so the two kinds can never
+collide.  Both sizes compete for the same ``entries`` slots under LRU — a
+unified-victim policy.  The huge-page win falls out naturally: one 2 MiB
+entry covers the reach of 512 base-page entries, so hot text packed into a
+couple of huge pages pins its translations with almost no capacity pressure.
+"""
 
 from __future__ import annotations
 
+from typing import Sequence, Tuple
+
 from repro.uarch.cache import SetAssociativeCache
+
+#: log2 of the base (4 KiB) page size.
+PAGE_BITS = 12
+#: log2 of the huge (2 MiB) page size.
+HUGE_PAGE_BITS = 21
+#: Tag OR-ed into huge-page numbers so they occupy a disjoint key space from
+#: base-page numbers inside the unified array (addresses are < 2**40).
+HUGE_TAG = 1 << 40
+
+
+def page_span(
+    start: int, last_byte: int, hugepage_ranges: Sequence[Tuple[int, int]]
+) -> Tuple[int, int]:
+    """Tagged first/last page numbers for the byte range ``[start, last_byte]``.
+
+    A range whose first byte lies inside a registered huge mapping is
+    translated entirely at 2 MiB granularity (code runs never straddle a
+    mapping boundary — sections are mapped whole).
+    """
+    for lo, hi in hugepage_ranges:
+        if lo <= start < hi:
+            return (
+                HUGE_TAG | (start >> HUGE_PAGE_BITS),
+                HUGE_TAG | (last_byte >> HUGE_PAGE_BITS),
+            )
+    return (start >> PAGE_BITS, last_byte >> PAGE_BITS)
 
 
 class Tlb:
-    """An iTLB of ``entries`` page translations.
+    """An iTLB of ``entries`` page translations (both sizes, unified).
 
     Args:
         entries: total entries (e.g. 64, as on the paper's Broadwell cores).
         ways: associativity (Broadwell's iTLB is 8-way for 4 KiB pages).
-        page_bits: log2 of the page size.
+        page_bits: log2 of the base page size.
     """
 
-    def __init__(self, entries: int = 64, ways: int = 8, page_bits: int = 12) -> None:
+    def __init__(self, entries: int = 64, ways: int = 8, page_bits: int = PAGE_BITS) -> None:
         self.page_bits = page_bits
-        #: Underlying page-number cache.  Public because the front-end's
-        #: fused fetch path probes it directly (one call fewer per run);
-        #: treat it as read/probe-only from outside this class.
+        #: Underlying page-number cache — the single probe surface.  Public
+        #: because the front-end's fused fetch path probes it directly (one
+        #: call fewer per run); treat it as read/probe-only from outside
+        #: this class.
         self.cache = SetAssociativeCache(n_sets=max(1, entries // ways), ways=ways)
-        self._cache = self.cache
 
     def access_page(self, page: int) -> bool:
-        """Probe the translation for page number ``page``; ``True`` on hit."""
-        return self._cache.access(page)
+        """Probe the translation for (tagged) page number ``page``."""
+        return self.cache.access(page)
 
-    def access_addr(self, addr: int) -> bool:
+    def access_addr(self, addr: int, huge: bool = False) -> bool:
         """Probe the translation covering byte address ``addr``."""
-        return self._cache.access(addr >> self.page_bits)
+        if huge:
+            return self.cache.access(HUGE_TAG | (addr >> HUGE_PAGE_BITS))
+        return self.cache.access(addr >> self.page_bits)
 
     @property
     def hits(self) -> int:
         """Total hits."""
-        return self._cache.hits
+        return self.cache.hits
 
     @property
     def misses(self) -> int:
         """Total misses (page walks)."""
-        return self._cache.misses
+        return self.cache.misses
 
     def flush(self) -> None:
         """Invalidate all translations."""
-        self._cache.flush()
+        self.cache.flush()

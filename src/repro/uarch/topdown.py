@@ -24,6 +24,10 @@ class TopDownMetrics:
     backend_bound: float
     frontend_latency: float
     frontend_bandwidth: float
+    #: iTLB misses per 1,000 instructions over the same window — carried
+    #: alongside the slot percentages because it is the headline metric of
+    #: the page-aware layout tier (not a TopDown slot bucket itself).
+    itlb_mpki: float = 0.0
 
     def dominant(self) -> str:
         """The largest top-level bucket's name."""
@@ -55,4 +59,5 @@ def topdown_from_counters(counters: PerfCounters) -> TopDownMetrics:
         backend_bound=100.0 * counters.cyc_backend / total,
         frontend_latency=100.0 * fe_latency / total,
         frontend_bandwidth=100.0 * fe_bandwidth / total,
+        itlb_mpki=counters.itlb_mpki,
     )

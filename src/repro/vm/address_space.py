@@ -11,7 +11,7 @@ from __future__ import annotations
 import bisect
 import struct
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import LoaderError, SegmentationFault
 
@@ -28,6 +28,9 @@ class MappedRegion:
     data: bytearray
     name: str = ""
     executable: bool = False
+    #: Backed by 2 MiB pages (the loader's huge-page text mode).  Purely a
+    #: translation-granularity attribute — byte access is unaffected.
+    hugepage: bool = False
 
     @property
     def end(self) -> int:
@@ -52,6 +55,7 @@ class AddressSpace:
         data: Optional[bytes] = None,
         name: str = "",
         executable: bool = False,
+        hugepage: bool = False,
     ) -> MappedRegion:
         """Map a new region at ``start``.
 
@@ -66,7 +70,9 @@ class AddressSpace:
             buf = bytearray(size)
         else:
             raise LoaderError("map_region needs data or a positive size")
-        region = MappedRegion(start=start, data=buf, name=name, executable=executable)
+        region = MappedRegion(
+            start=start, data=buf, name=name, executable=executable, hugepage=hugepage
+        )
         idx = bisect.bisect_left(self._starts, start)
         if idx > 0 and self._regions[idx - 1].end > start:
             raise LoaderError(
@@ -109,6 +115,12 @@ class AddressSpace:
     def mapped_bytes(self) -> int:
         """Total mapped bytes (the simulator's RSS analogue)."""
         return sum(len(r.data) for r in self._regions)
+
+    def hugepage_ranges(self) -> "Tuple[Tuple[int, int], ...]":
+        """``(start, end)`` spans of all huge-page-backed regions, in
+        address order — the translation geometry the front-ends and the
+        decode cache consume."""
+        return tuple((r.start, r.end) for r in self._regions if r.hugepage)
 
     # ---- access ----------------------------------------------------------
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ExecutionError
 from repro.isa.disassembler import decode_instruction
 from repro.isa.instructions import Opcode
+from repro.uarch.tlb import page_span
 from repro.vm.superblock import (
     INTERIOR_CALL,
     INTERIOR_GUARD,
@@ -245,6 +246,12 @@ class Interpreter:
         self._line_shift = params.line_bytes.bit_length() - 1
         self._page_shift = 12
         self._issue_width = params.issue_width
+        # Huge-page code mappings: runs decoded inside one get size-tagged
+        # 2 MiB page numbers (see repro.uarch.tlb), so every fetch tier —
+        # reference, fused and superblock — probes the unified iTLB at the
+        # right granularity without any per-fetch range check.  Refreshed on
+        # invalidate(), which the injector triggers after mapping new text.
+        self._huge_ranges = process.address_space.hugepage_ranges()
         # Observability is opt-in: when the obs metrics pillar is enabled a
         # fresh VMCounters bag is allocated here; otherwise the observer is
         # None and run_quantum dispatches to the plain step function, keeping
@@ -281,6 +288,7 @@ class Interpreter:
         self._cache.clear()
         self._sb_cache.clear()
         self._epoch += 1
+        self._huge_ranges = self.process.address_space.hugepage_ranges()
 
     def set_trace_policy(
         self,
@@ -423,8 +431,13 @@ class Interpreter:
         last_byte = next_addr - 1
         run.first_line = pc >> self._line_shift
         run.last_line = last_byte >> self._line_shift
-        run.first_page = pc >> self._page_shift
-        run.last_page = last_byte >> self._page_shift
+        if self._huge_ranges:
+            run.first_page, run.last_page = page_span(
+                pc, last_byte, self._huge_ranges
+            )
+        else:
+            run.first_page = pc >> self._page_shift
+            run.last_page = last_byte >> self._page_shift
         run.fused_fetch = (
             run.first_line == run.last_line and run.first_page == run.last_page
         )

@@ -43,12 +43,20 @@ class PreloadAgent:
             )
         return agent
 
-    def map_region(self, start: int, size: int, name: str) -> None:
-        """mmap a fresh region inside the target (for injected code)."""
+    def map_region(
+        self, start: int, size: int, name: str, hugepage: bool = False
+    ) -> None:
+        """mmap a fresh region inside the target (for injected code).
+
+        ``hugepage`` requests 2 MiB page backing (``MAP_HUGETLB``); the
+        injector passes it through for huge-mapped hot text.
+        """
         self.process.address_space.map_region(
-            start=start, size=size, name=name, executable=True
+            start=start, size=size, name=name, executable=True, hugepage=hugepage
         )
         self.regions_mapped += 1
+        if hugepage:
+            self.process.refresh_hugepage_ranges()
 
     def copy_into(self, addr: int, data: bytes) -> None:
         """Copy ``data`` to ``addr`` from inside the target process."""

@@ -104,6 +104,7 @@ class Process:
                 class_costs=costs,
             )
             self.frontends.append(FrontEnd(params=self._uarch_params, backend=backend))
+        self._sync_hugepage_ranges()
 
         self.wrap_hook: Optional[WrapHook] = None
         self.lbr_enabled = False
@@ -145,6 +146,24 @@ class Process:
     def set_wrap_hook(self, hook: Optional[WrapHook]) -> None:
         """Install the ``wrapFuncPtrCreation`` interposer."""
         self.wrap_hook = hook
+
+    def _sync_hugepage_ranges(self) -> None:
+        """Push the address space's huge-page spans into every core."""
+        ranges = self.address_space.hugepage_ranges()
+        for fe in self.frontends:
+            fe.set_hugepage_ranges(ranges)
+
+    def refresh_hugepage_ranges(self) -> None:
+        """Re-read huge-page mappings after the injector added one.
+
+        Updates every front-end's translation geometry and drops cached
+        decodes, whose page numbers bake in the old geometry.  (The copy
+        into a fresh executable mapping already invalidates decodes via the
+        write observer; this makes the refresh correct even for an empty
+        mapping and keeps the ordering obligation out of callers.)
+        """
+        self._sync_hugepage_ranges()
+        self.interpreter.invalidate()
 
     # ------------------------------------------------------------------
     # LBR

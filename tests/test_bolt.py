@@ -260,3 +260,90 @@ class TestOptimizer:
         d_old = p_old.run(max_transactions=400)
         d_new = p_new.run(max_transactions=400)
         assert d_new.taken_branch_pki <= d_old.taken_branch_pki
+
+
+class TestReorderEdgeCases:
+    """Degenerate profiles and tie-breaking (paper §II-B/C corner cases)."""
+
+    def test_chain_layout_score_empty_profile(self):
+        assert chain_layout_score([0, 1, 2], {}) == 0
+        assert chain_layout_score([], {(0, 1): 10}) == 0
+
+    def test_chain_layout_score_single_block(self):
+        assert chain_layout_score([0], {(0, 0): 99}) == 0
+
+    def test_chain_layout_score_counts_only_adjacent_pairs(self):
+        edges = {(0, 1): 7, (1, 2): 5, (0, 2): 100}
+        assert chain_layout_score([0, 1, 2], edges) == 12
+        assert chain_layout_score([1, 0, 2], edges) == 100
+
+    def test_reorder_blocks_empty_profile_is_identity(self):
+        assert reorder_blocks(5, {}, {}) == [0, 1, 2, 3, 4]
+
+    def test_reorder_blocks_single_block(self):
+        assert reorder_blocks(1, {}, {0: 100}) == [0]
+
+    def test_reorder_blocks_tied_weights_deterministic(self):
+        # two equally heavy successors: the smaller block id wins the
+        # fallthrough slot, and insertion order of the dict cannot matter
+        edges_a = {(0, 2): 50, (0, 1): 50}
+        edges_b = {(0, 1): 50, (0, 2): 50}
+        counts = {0: 100, 1: 50, 2: 50}
+        assert reorder_blocks(3, edges_a, counts) == reorder_blocks(3, edges_b, counts)
+        assert reorder_blocks(3, edges_a, counts) == [0, 1, 2]
+
+    def test_c3_order_empty_profile(self):
+        assert c3_order({}, {}) == []
+        assert pettis_hansen_order({}, {}) == []
+
+    def test_c3_order_single_function(self):
+        assert c3_order({"f": 10}, {}) == ["f"]
+        assert pettis_hansen_order({"f": 10}, {}) == ["f"]
+
+    def test_c3_order_ignores_edges_to_unknown_functions(self):
+        order = c3_order({"a": 5}, {("a", "ghost"): 100, ("ghost", "a"): 100})
+        assert order == ["a"]
+
+    def test_c3_order_tied_weights_deterministic(self):
+        hot = {"a": 10, "b": 10, "c": 10}
+        edges_a = {("a", "c"): 5, ("b", "c"): 5}
+        edges_b = {("b", "c"): 5, ("a", "c"): 5}
+        assert c3_order(hot, edges_a) == c3_order(hot, edges_b)
+        assert pettis_hansen_order(hot, edges_a) == pettis_hansen_order(hot, edges_b)
+
+    def test_orders_are_permutations(self):
+        from hypothesis import given, settings, strategies as st
+
+        names = st.sampled_from(["f0", "f1", "f2", "f3", "f4", "f5"])
+
+        @settings(max_examples=50, deadline=None)
+        @given(
+            hotness=st.dictionaries(names, st.integers(0, 1000), min_size=1),
+            edges=st.dictionaries(
+                st.tuples(names, names), st.integers(0, 1000), max_size=12
+            ),
+        )
+        def check(hotness, edges):
+            for fn in (c3_order, pettis_hansen_order):
+                order = fn(hotness, edges)
+                assert sorted(order) == sorted(hotness)
+
+        check()
+
+    def test_block_order_is_permutation(self):
+        from hypothesis import given, settings, strategies as st
+
+        ids = st.integers(0, 7)
+
+        @settings(max_examples=50, deadline=None)
+        @given(
+            n=st.integers(1, 8),
+            edges=st.dictionaries(st.tuples(ids, ids), st.integers(0, 500), max_size=16),
+            counts=st.dictionaries(ids, st.integers(0, 500), max_size=8),
+        )
+        def check(n, edges, counts):
+            order = reorder_blocks(n, edges, counts)
+            assert sorted(order) == list(range(n))
+            assert order[0] == 0  # entry first
+
+        check()

@@ -1,0 +1,278 @@
+"""Tests for the inter-procedural stitch layout pass and huge-page text mode.
+
+Covers the `repro.bolt.stitch` pass (cross-function block stitching + page
+packing), the size-tagged unified iTLB, the loader/preload huge-page plumbing
+and the fleet/scenario configuration surface.
+"""
+
+import pytest
+
+from repro.bolt.optimizer import BoltOptions, run_bolt
+from repro.bolt.stitch import MAX_SPLICE_BYTES, StitchStats
+from repro.errors import BoltError
+from repro.profiling.perf import PerfSession
+from repro.profiling.perf2bolt import extract_profile
+from repro.uarch.tlb import HUGE_PAGE_BITS, HUGE_TAG, PAGE_BITS, Tlb, page_span
+from repro.vm.process import Process
+
+
+@pytest.fixture(scope="module")
+def tiny_profile(tiny):
+    proc = tiny.process()
+    proc.run(max_transactions=50)
+    session = PerfSession(period=300, overhead=0.0)
+    session.attach(proc)
+    proc.run(max_instructions=80_000)
+    session.detach()
+    profile, _ = extract_profile(session.samples, tiny.binary)
+    return profile
+
+
+@pytest.fixture(scope="module")
+def bolted(tiny, tiny_profile):
+    return run_bolt(tiny.program, tiny.binary, tiny_profile,
+                    compiler_options=tiny.options)
+
+
+@pytest.fixture(scope="module")
+def stitched(tiny, tiny_profile):
+    return run_bolt(tiny.program, tiny.binary, tiny_profile,
+                    options=BoltOptions(layout="stitch"),
+                    compiler_options=tiny.options)
+
+
+@pytest.fixture(scope="module")
+def stitched_hp(tiny, tiny_profile):
+    return run_bolt(tiny.program, tiny.binary, tiny_profile,
+                    options=BoltOptions(layout="stitch", huge_pages=True),
+                    compiler_options=tiny.options)
+
+
+def _block_labels(binary):
+    """Every placed block label, with multiplicity."""
+    labels = []
+    for info in binary.functions.values():
+        labels.extend(b.label for b in info.blocks)
+    return sorted(labels)
+
+
+class TestStitchPass:
+    def test_stats_populated(self, stitched):
+        stats = stitched.stitch_stats
+        assert isinstance(stats, StitchStats)
+        assert stats.chains >= 1
+        assert stats.splices >= 1  # tiny's main hotly calls helpers
+        assert stats.hot_text_bytes > 0
+        assert stats.pages_used >= 1
+        assert stats.huge_pages_used == 0  # huge pages were off
+
+    def test_huge_page_stats(self, stitched_hp):
+        stats = stitched_hp.stitch_stats
+        assert stats.huge_pages_used >= 1
+        assert stats.hot_text_bytes <= stats.huge_pages_used * (1 << HUGE_PAGE_BITS)
+
+    def test_stats_jsonable(self, stitched):
+        d = stitched.stitch_stats.to_jsonable()
+        assert d["splices"] == stitched.stitch_stats.splices
+        assert all(isinstance(v, int) for v in d.values())
+
+    def test_layout_is_block_permutation(self, bolted, stitched):
+        # stitching moves blocks across sections but must place every block
+        # exactly once — same multiset of labels as the default BOLT layout
+        assert _block_labels(stitched.binary) == _block_labels(bolted.binary)
+
+    def test_layout_differs_from_bolt(self, bolted, stitched):
+        hot_bolt = bolted.binary.sections[".text.bolt1"]
+        hot_stitch = stitched.binary.sections[".text.bolt1"]
+        assert hot_bolt.data != hot_stitch.data
+
+    def test_default_pipeline_unchanged(self, tiny, tiny_profile, bolted):
+        again = run_bolt(tiny.program, tiny.binary, tiny_profile,
+                         options=BoltOptions(layout="bolt", huge_pages=False),
+                         compiler_options=tiny.options)
+        assert again.stitch_stats is None
+        for a, b in zip(bolted.binary.sections.values(), again.binary.sections.values()):
+            assert (a.name, a.addr, a.data, a.hugepage) == (b.name, b.addr, b.data, b.hugepage)
+
+    def test_unknown_layout_rejected(self, tiny, tiny_profile):
+        with pytest.raises(BoltError):
+            run_bolt(tiny.program, tiny.binary, tiny_profile,
+                     options=BoltOptions(layout="exttsp"),
+                     compiler_options=tiny.options)
+
+    def test_splice_cap_is_a_page(self):
+        assert MAX_SPLICE_BYTES == 1 << PAGE_BITS
+
+
+class TestStitchSemantics:
+    """Program behaviour must be layout-invariant (the equivalence oracle).
+
+    Run stop points are quantum-quantized and run boundaries are
+    layout-dependent, so RNG state / thread PCs may legitimately differ after
+    ``run(max_transactions=N)``; the cross-layout oracle is the counted-site
+    outcome state (exact) plus the transaction count (within one quantum's
+    overshoot), matching the fleet's semantic digest.
+    """
+
+    def _digest(self, tiny, binary, n=300):
+        proc = Process(binary, tiny.program, tiny.input_spec(), n_threads=2, seed=11)
+        proc.run(max_transactions=n)
+        return (proc.counters_total().transactions,
+                tuple(sorted(proc.behaviour.counted_state.items())))
+
+    def test_counted_state_matches_across_layouts(self, tiny, bolted, stitched, stitched_hp):
+        txn0, counted0 = self._digest(tiny, tiny.binary)
+        for result in (bolted, stitched, stitched_hp):
+            txn, counted = self._digest(tiny, result.binary)
+            assert counted == counted0
+            assert abs(txn - txn0) <= 1
+
+
+class TestHugePageModel:
+    def test_page_span_base_pages(self):
+        assert page_span(0x40_1000, 0x40_1fff, ()) == (0x401, 0x401)
+        lo, hi = page_span(0x40_0ff0, 0x40_100f, ())
+        assert (lo, hi) == (0x400, 0x401)
+
+    def test_page_span_huge_tagging(self):
+        ranges = ((0x200_0000, 0x400_0000),)
+        lo, hi = page_span(0x200_0000, 0x200_0000 + (1 << 20), ranges)
+        assert lo == hi == (HUGE_TAG | (0x200_0000 >> HUGE_PAGE_BITS))
+        # outside the range: plain 4 KiB numbering, untagged
+        lo, hi = page_span(0x40_0000, 0x40_0000, ranges)
+        assert lo == (0x40_0000 >> PAGE_BITS) and not (lo & HUGE_TAG)
+
+    def test_tlb_one_huge_entry_covers_512_base_pages(self):
+        tlb = Tlb(entries=8, ways=8)
+        base = 0x200_0000
+        assert not tlb.access_addr(base, huge=True)          # cold miss
+        assert tlb.access_addr(base + (1 << 20), huge=True)  # same 2 MiB page
+        assert tlb.access_addr(base + (1 << 21) - 1, huge=True)
+        assert tlb.misses == 1
+
+    def test_tlb_sizes_do_not_alias(self):
+        # a huge entry and a base entry for the same address coexist: tagged
+        # page numbers keep the two translation sizes distinct
+        tlb = Tlb(entries=8, ways=8)
+        addr = 0x200_0000
+        assert not tlb.access_addr(addr, huge=True)
+        assert not tlb.access_addr(addr)  # base-page lookup still misses
+        assert tlb.access_addr(addr, huge=True)
+        assert tlb.access_addr(addr)
+
+    def test_hot_section_carries_hugepage_flag(self, stitched, stitched_hp):
+        assert stitched_hp.binary.sections[".text.bolt1"].hugepage
+        cold = stitched_hp.binary.sections.get(".text.bolt1.cold")
+        assert cold is None or not cold.hugepage  # only hot text gets 2 MiB pages
+        assert not any(s.hugepage for s in stitched.binary.sections.values())
+
+    def test_loader_and_frontends_see_huge_ranges(self, tiny, stitched_hp):
+        proc = Process(stitched_hp.binary, tiny.program, tiny.input_spec(),
+                       n_threads=1, seed=3)
+        ranges = proc.address_space.hugepage_ranges()
+        assert ranges
+        hot = next(s for s in stitched_hp.binary.sections.values() if s.hugepage)
+        assert any(lo <= hot.addr < hi for lo, hi in ranges)
+        for fe in proc.frontends:
+            assert fe.hugepage_ranges == ranges
+
+    def test_decoded_runs_are_huge_tagged(self, tiny, stitched_hp):
+        proc = Process(stitched_hp.binary, tiny.program, tiny.input_spec(),
+                       n_threads=1, seed=3)
+        proc.run(max_transactions=50)
+        hot = next(s for s in stitched_hp.binary.sections.values() if s.hugepage)
+        tagged = [run for pc, run in proc.interpreter._cache.items()
+                  if hot.contains(pc)]
+        assert tagged
+        assert all(run.first_page & HUGE_TAG for run in tagged)
+
+    def test_preload_map_region_syncs_ranges(self, tiny):
+        from repro.vm.preload import PreloadAgent
+
+        proc = tiny.process(with_agent=False)
+        agent = PreloadAgent(proc)
+        assert proc.address_space.hugepage_ranges() == ()
+        start = 0x4000_0000
+        agent.map_region(start, 1 << 21, "hp.test", hugepage=True)
+        assert (start, start + (1 << 21)) in proc.address_space.hugepage_ranges()
+        for fe in proc.frontends:
+            assert (start, start + (1 << 21)) in fe.hugepage_ranges
+
+
+class TestLinkerFragments:
+    def _full_layout(self, binary, **overrides):
+        """A Layout placing every function of ``binary`` in source order."""
+        from repro.binary.binaryfile import Fragment, Layout, SectionLayout
+        from repro.binary.binaryfile import TEXT_BASE
+
+        fragments = []
+        for name, info in binary.functions.items():
+            ids = tuple(int(b.label.split("#")[1]) for b in info.blocks)
+            fragments.append(Fragment(name, ids, align=overrides.get(name, 16)))
+        return Layout(sections=[SectionLayout(name=".text", base=TEXT_BASE,
+                                              fragments=fragments)])
+
+    def test_fragment_align_honoured(self, tiny):
+        from repro.binary.linker import link_program
+
+        layout = self._full_layout(tiny.binary, switchy=4096)
+        binary = link_program(tiny.program, layout, options=tiny.options)
+        assert binary.functions["switchy"].addr % 4096 == 0
+
+    def test_multi_fragment_same_section_has_no_cold_section(self, tiny):
+        from repro.binary.binaryfile import Fragment, Layout, SectionLayout
+        from repro.binary.binaryfile import TEXT_BASE
+        from repro.binary.linker import link_program
+
+        fragments = []
+        for name, info in tiny.binary.functions.items():
+            ids = tuple(int(b.label.split("#")[1]) for b in info.blocks)
+            if name == "helper0":
+                # split into two fragments, both in the same section — the
+                # FunctionInfo must not report a phantom cold section
+                fragments.append(Fragment(name, ids[:2]))
+                fragments.append(Fragment(name, ids[2:]))
+            else:
+                fragments.append(Fragment(name, ids))
+        layout = Layout(sections=[SectionLayout(name=".text", base=TEXT_BASE,
+                                                fragments=fragments)])
+        binary = link_program(tiny.program, layout, options=tiny.options)
+        info = binary.functions["helper0"]
+        assert info.section == ".text"
+        assert info.cold_section is None
+        assert len(info.blocks) == len(tiny.binary.functions["helper0"].blocks)
+
+
+class TestFleetLayoutConfig:
+    def test_effective_bolt_options_default_passthrough(self):
+        from repro.fleet.controller import FleetConfig
+
+        cfg = FleetConfig()
+        assert cfg.effective_bolt_options() is cfg.bolt_options
+
+    def test_effective_bolt_options_folds_layout(self):
+        from repro.fleet.controller import FleetConfig
+
+        cfg = FleetConfig(layout="stitch", huge_pages=True)
+        opts = cfg.effective_bolt_options()
+        assert opts.layout == "stitch"
+        assert opts.huge_pages is True
+
+    def test_scenario_toml_accepts_layout_keys(self):
+        from repro.fleet.scenario import parse_scenario
+
+        scenario = parse_scenario(
+            """
+            [scenario]
+            name = "layout-canary"
+
+            [[tenants]]
+            name = "edge"
+            workload = "memcached"
+            layout = "stitch"
+            huge_pages = true
+            """
+        )
+        cfg = scenario.tenant("edge").config
+        assert cfg.layout == "stitch"
+        assert cfg.huge_pages is True
