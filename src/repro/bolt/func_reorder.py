@@ -9,6 +9,7 @@ targets; clusters are finally sorted by density (heat per byte).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Mapping, Optional, Tuple
 
 #: C³ stops growing a cluster past this many bytes (the real implementation
@@ -16,11 +17,26 @@ from typing import Dict, List, Mapping, Optional, Tuple
 DEFAULT_MAX_CLUSTER_BYTES = 64 * 1024
 
 
+def order_tie_key(name: str, seed: int) -> str:
+    """Deterministic tie-break key for function ordering.
+
+    ``seed == 0`` (the default everywhere) keeps the plain name — byte-
+    identical to the historical ordering.  A nonzero seed replaces name
+    ties with a seeded hash rank, so the layout autotuner can explore
+    alternative orders among equally-hot functions without touching the
+    heuristic itself; every seed is stable across processes.
+    """
+    if not seed:
+        return name
+    return hashlib.sha256(f"{seed}:{name}".encode("utf-8")).hexdigest()
+
+
 def c3_order(
     hotness: Mapping[str, int],
     call_edges: Mapping[Tuple[str, str], int],
     sizes: Optional[Mapping[str, int]] = None,
     max_cluster_bytes: int = DEFAULT_MAX_CLUSTER_BYTES,
+    seed: int = 0,
 ) -> List[str]:
     """Order functions by call-chain clustering.
 
@@ -29,12 +45,13 @@ def c3_order(
         call_edges: ``(caller, callee) -> count``.
         sizes: code bytes per function (for the cluster-size cap and density).
         max_cluster_bytes: cap on merged cluster size.
+        seed: tie-break seed (see :func:`order_tie_key`; 0 = plain names).
 
     Returns:
         function names in placement order.
     """
     sizes = sizes or {}
-    functions = sorted(hotness, key=lambda f: (-hotness[f], f))
+    functions = sorted(hotness, key=lambda f: (-hotness[f], order_tie_key(f, seed)))
     cluster_of: Dict[str, int] = {}
     clusters: Dict[int, List[str]] = {}
     for idx, func in enumerate(functions):
@@ -75,7 +92,10 @@ def c3_order(
         size = max(1, cluster_bytes(cid)) if sizes else len(clusters[cid])
         return heat / size
 
-    ordered = sorted(clusters, key=lambda cid: (-density(cid), clusters[cid][0]))
+    ordered = sorted(
+        clusters,
+        key=lambda cid: (-density(cid), order_tie_key(clusters[cid][0], seed)),
+    )
     out: List[str] = []
     for cid in ordered:
         out.extend(clusters[cid])
@@ -85,8 +105,12 @@ def c3_order(
 def pettis_hansen_order(
     hotness: Mapping[str, int],
     call_edges: Mapping[Tuple[str, str], int],
+    seed: int = 0,
 ) -> List[str]:
-    """Order functions by the classic Pettis-Hansen undirected merge."""
+    """Order functions by the classic Pettis-Hansen undirected merge.
+
+    ``seed`` perturbs name tie-breaks only (see :func:`order_tie_key`).
+    """
     undirected: Dict[Tuple[str, str], int] = {}
     for (a, b), w in call_edges.items():
         if a == b or a not in hotness or b not in hotness:
@@ -96,7 +120,9 @@ def pettis_hansen_order(
 
     cluster_of: Dict[str, int] = {}
     clusters: Dict[int, List[str]] = {}
-    for idx, func in enumerate(sorted(hotness, key=lambda f: (-hotness[f], f))):
+    for idx, func in enumerate(
+        sorted(hotness, key=lambda f: (-hotness[f], order_tie_key(f, seed)))
+    ):
         cluster_of[func] = idx
         clusters[idx] = [func]
 
@@ -112,7 +138,10 @@ def pettis_hansen_order(
     def heat(cid: int) -> int:
         return sum(hotness.get(f, 0) for f in clusters[cid])
 
-    ordered = sorted(clusters, key=lambda cid: (-heat(cid), clusters[cid][0]))
+    ordered = sorted(
+        clusters,
+        key=lambda cid: (-heat(cid), order_tie_key(clusters[cid][0], seed)),
+    )
     out: List[str] = []
     for cid in ordered:
         out.extend(clusters[cid])

@@ -36,9 +36,14 @@ from repro.binary.binaryfile import (
 )
 from repro.binary.linker import link_program
 from repro.bolt.bb_reorder import reorder_blocks
-from repro.bolt.func_reorder import c3_order, pettis_hansen_order
+from repro.bolt.func_reorder import c3_order, order_tie_key, pettis_hansen_order
 from repro.bolt.splitting import SplitResult, split_hot_cold
-from repro.bolt.stitch import StitchStats, finalize_stats, stitch_layout
+from repro.bolt.stitch import (
+    MAX_SPLICE_BYTES,
+    StitchStats,
+    finalize_stats,
+    stitch_layout,
+)
 from repro.compiler.codegen import CompilerOptions
 from repro.compiler.ir import Program
 from repro.errors import AlreadyBoltedError, BoltError, ProfileError
@@ -68,6 +73,16 @@ class BoltOptions:
             (:mod:`repro.bolt.stitch`).
         huge_pages: map the emitted hot text with 2 MiB pages (the loader's
             huge-page text mode).
+        max_splice_bytes: stitch-pass cap on the byte size of a spliced
+            callee subtree (default: one 4 KiB page).
+        stitch_order: stitch chain-formation priority — ``"weight"``
+            (hottest call edges first, the historical behaviour),
+            ``"density"`` (edge weight per callee byte) or ``"size"``
+            (smallest callees first).
+        order_seed: tie-break seed for function ordering; 0 (default)
+            keeps plain-name ties, byte-identical to the historical
+            layouts.  Nonzero seeds let the autotuner explore alternative
+            orders among equally-hot functions.
     """
 
     split_functions: bool = True
@@ -77,6 +92,9 @@ class BoltOptions:
     allow_rebolt: bool = False
     layout: str = "bolt"
     huge_pages: bool = False
+    max_splice_bytes: int = MAX_SPLICE_BYTES
+    stitch_order: str = "weight"
+    order_seed: int = 0
 
 
 @dataclass
@@ -185,11 +203,15 @@ def run_bolt(
             call_edges=len(call_edges),
         ):
             if options.function_order == "c3":
-                func_order = c3_order(hotness, call_edges, sizes)
+                func_order = c3_order(hotness, call_edges, sizes, seed=options.order_seed)
             elif options.function_order == "ph":
-                func_order = pettis_hansen_order(hotness, call_edges)
+                func_order = pettis_hansen_order(
+                    hotness, call_edges, seed=options.order_seed
+                )
             elif options.function_order == "none":
-                func_order = sorted(splits)
+                func_order = sorted(
+                    splits, key=lambda f: order_tie_key(f, options.order_seed)
+                )
             else:
                 raise BoltError(f"unknown function_order {options.function_order!r}")
 
@@ -213,6 +235,8 @@ def run_bolt(
                 splits,
                 func_order,
                 huge_pages=options.huge_pages,
+                max_splice_bytes=options.max_splice_bytes,
+                order=options.stitch_order,
             )
             hot_section.fragments = stitched.fragments
             stitch_stats = stitched.stats

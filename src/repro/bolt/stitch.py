@@ -52,6 +52,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.binary.binaryfile import PAGE_SIZE, Binary, Fragment
 from repro.bolt.splitting import SplitResult
+from repro.errors import BoltError
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.profiling.profile import BoltProfile
@@ -59,8 +60,16 @@ from repro.profiling.profile import BoltProfile
 #: Default cap on the byte size of a spliced callee subtree: one page.  A
 #: callee bigger than this would evict the caller's continuation from the
 #: page (and its lines from the immediate fetch window), so it stays a
-#: top-level chain instead.
+#: top-level chain instead.  Promoted to ``BoltOptions.max_splice_bytes``
+#: so the layout autotuner can search it; this constant stays the default.
 MAX_SPLICE_BYTES = PAGE_SIZE
+
+#: Chain-formation orders: the priority in which callee→call-site
+#: attachments are considered.  ``weight`` (default, the historical
+#: behaviour) takes the hottest edges first; ``density`` divides edge
+#: weight by the callee's hot-code bytes, preferring small hot callees;
+#: ``size`` attaches the smallest callees first (weight breaks ties).
+STITCH_ORDERS = ("weight", "density", "size")
 
 
 @dataclass
@@ -113,6 +122,7 @@ def stitch_layout(
     *,
     huge_pages: bool = False,
     max_splice_bytes: int = MAX_SPLICE_BYTES,
+    order: str = "weight",
 ) -> StitchLayout:
     """Compute the stitched hot-section layout.
 
@@ -126,14 +136,23 @@ def stitch_layout(
         huge_pages: pack for a 2 MiB-mapped hot section (dense groups)
             instead of page-aligned 4 KiB groups.
         max_splice_bytes: subtree size cap for callee attachment.
+        order: chain-formation priority, one of :data:`STITCH_ORDERS`.
 
     Returns:
         the fragment order for the hot section plus stats.
     """
+    if order not in STITCH_ORDERS:
+        raise BoltError(
+            f"unknown stitch order {order!r}; expected one of {STITCH_ORDERS}"
+        )
     with _trace.span("bolt.stitch", functions=len(splits)) as span:
         hot_ids = {name: split.hot for name, split in splits.items()}
         sizes = _block_sizes(original, hot_ids)
         hot_sets = {name: frozenset(ids) for name, ids in hot_ids.items()}
+        base_bytes: Dict[str, int] = {
+            name: sum(sizes[(name, bb)] for bb in ids)
+            for name, ids in hot_ids.items()
+        }
 
         # ---- 1. attach callees to their hottest call site ----------------
         candidates: List[Tuple[int, str, str, int]] = []
@@ -150,16 +169,22 @@ def stitch_layout(
             if src_id not in hot_sets[src_func]:
                 continue
             candidates.append((weight, src_func, dst_func, src_id))
-        candidates.sort(key=lambda c: (-c[0], c[1], c[2], c[3]))
+        if order == "weight":
+            candidates.sort(key=lambda c: (-c[0], c[1], c[2], c[3]))
+        elif order == "density":
+            # weight per callee byte: a small hot callee packs more of its
+            # heat into the caller's page group than a big lukewarm one.
+            candidates.sort(
+                key=lambda c: (-c[0] / max(1, base_bytes[c[2]]), c[1], c[2], c[3])
+            )
+        else:  # size: smallest callees first, hottest edge breaking ties
+            candidates.sort(key=lambda c: (base_bytes[c[2]], -c[0], c[1], c[2], c[3]))
 
         parent: Dict[str, str] = {}
         children: Dict[str, Dict[int, List[Tuple[int, str]]]] = {
             name: {} for name in splits
         }
-        subtree_bytes: Dict[str, int] = {
-            name: sum(sizes[(name, bb)] for bb in ids)
-            for name, ids in hot_ids.items()
-        }
+        subtree_bytes: Dict[str, int] = dict(base_bytes)
 
         def root_of(name: str) -> str:
             while name in parent:

@@ -213,6 +213,8 @@ def _run_one_cycle(
     seed: int,
     layout: str = "bolt",
     huge_pages: bool = False,
+    max_splice_bytes: Optional[int] = None,
+    stitch_order: str = "weight",
 ) -> None:
     """One full OCOLOS cycle on the MySQL-like workload (quickstart body)."""
     from repro.bolt.optimizer import BoltOptions
@@ -230,9 +232,24 @@ def _run_one_cycle(
         launch(workload, spec, seed=seed, with_agent=False), transactions=transactions
     )
     config = None
-    if layout != "bolt" or huge_pages:
+    defaults = BoltOptions()
+    if (
+        layout != "bolt"
+        or huge_pages
+        or stitch_order != defaults.stitch_order
+        or (max_splice_bytes is not None and max_splice_bytes != defaults.max_splice_bytes)
+    ):
         config = OcolosConfig(
-            bolt_options=BoltOptions(layout=layout, huge_pages=huge_pages)
+            bolt_options=BoltOptions(
+                layout=layout,
+                huge_pages=huge_pages,
+                stitch_order=stitch_order,
+                max_splice_bytes=(
+                    defaults.max_splice_bytes
+                    if max_splice_bytes is None
+                    else max_splice_bytes
+                ),
+            )
         )
     process, _ocolos, report = run_ocolos_pipeline(
         workload, spec, seed=seed, config=config
@@ -263,6 +280,8 @@ def _run_pipeline(args) -> None:
         seed=args.seed,
         layout=args.layout,
         huge_pages=args.huge_pages,
+        max_splice_bytes=args.max_splice_bytes,
+        stitch_order=args.stitch_order,
     )
 
 
@@ -388,6 +407,24 @@ def _fleet_run(args) -> int:
     if args.scenario:
         return _fleet_scenario(args)
 
+    tuned = None
+    if args.policy.startswith("tuned:"):
+        from repro.errors import ReproError
+        from repro.tune.policy import load_policy
+
+        try:
+            tuned = load_policy(args.policy[len("tuned:"):])
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    elif args.policy not in ("drain", "unaware"):
+        print(
+            f"error: --policy must be 'drain', 'unaware' or 'tuned:<file>', "
+            f"got {args.policy!r}",
+            file=sys.stderr,
+        )
+        return 1
+
     bundle = workload_bundle(args.workload)
     input_name = args.input or bundle.eval_inputs[0]
     if input_name not in bundle.inputs:
@@ -400,7 +437,7 @@ def _fleet_run(args) -> int:
     config = FleetConfig(
         n_replicas=args.replicas,
         seed=args.seed,
-        drain=args.policy == "drain",
+        drain=args.policy != "unaware",
         optimize=not args.no_optimize,
         pessimize_layout=args.pessimize_layout,
         pessimize_function=args.pessimize_function,
@@ -408,6 +445,15 @@ def _fleet_run(args) -> int:
         layout=args.layout,
         huge_pages=args.huge_pages,
     )
+    if tuned is not None:
+        from repro.tune.policy import apply_policy
+
+        config = apply_policy(config, tuned)
+        _log.info(
+            "fleet.tuned_policy", workload=tuned.workload,
+            params=dict(tuned.params), tuned_ipc=tuned.ipc,
+            default_ipc=tuned.default_ipc,
+        )
     plan = FaultPlan(args.fault) if args.fault else None
     _log.info(
         "fleet.start", workload=args.workload, input=input_name,
@@ -536,6 +582,172 @@ def _fleet_bisect(args) -> int:
     return 0
 
 
+def _condense_params(params: Dict[str, object]) -> str:
+    """Render a tuned parameter vector as its non-default assignments."""
+    from repro.bolt.optimizer import BoltOptions
+
+    defaults = BoltOptions()
+    shown = [
+        f"{k}={v}"
+        for k, v in sorted(params.items())
+        if getattr(defaults, k, None) != v
+    ]
+    return ", ".join(shown) if shown else "(default)"
+
+
+def _tune_run(args) -> int:
+    """Staged layout search: random sweep -> beam -> successive halving."""
+    from repro.errors import ReproError
+    from repro.tune import (
+        TuneConfig,
+        default_space,
+        policy_from_result,
+        publish_tune_rows,
+        run_search,
+        save_policy,
+        small_space,
+    )
+
+    try:
+        budgets = tuple(int(b) for b in args.budgets.split(",") if b.strip())
+    except ValueError:
+        print(f"error: bad --budgets {args.budgets!r} (want e.g. 150,300,600)",
+              file=sys.stderr)
+        return 1
+    space = small_space() if args.space == "small" else default_space()
+    config = TuneConfig(
+        workload=args.workload,
+        input_name=args.input or "",
+        seed=args.seed,
+        n_random=args.n_random,
+        beam_width=args.beam_width,
+        budgets=budgets,
+        exhaustive=args.exhaustive,
+        jobs=args.jobs,
+    )
+    _log.info(
+        "tune.start", workload=args.workload, seed=args.seed,
+        space=args.space, budgets=list(budgets), jobs=args.jobs,
+    )
+    try:
+        result = run_search(space, config)
+    except (ReproError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    publish_tune_rows([result])
+
+    final = budgets[-1]
+    finals = [e for e in result.evaluations if e["budget"] == final]
+    finals.sort(key=lambda e: -e["ipc"])
+    print(
+        format_table(
+            ["rank", "IPC", "iTLB MPKI", "params"],
+            [
+                [i + 1, f"{e['ipc']:.4f}", f"{e['itlb_mpki']:.4f}",
+                 _condense_params(e["params"])]
+                for i, e in enumerate(finals)
+            ],
+            title=f"tune: {result.workload}/{result.input_name} "
+                  f"final budget {final} txns",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["stage", "budget", "cells", "computed", "cache hits", "seconds"],
+            [
+                [s.stage, s.budget, s.cells, s.computed, s.cache_hits,
+                 f"{s.seconds:.3f}"]
+                for s in result.stages
+            ],
+            title="search stages",
+        )
+    )
+    print(
+        f"\nwinner: {_condense_params(dict(result.winner))} | "
+        f"IPC {result.winner_ipc:.4f} vs default {result.default_ipc:.4f} "
+        f"({result.speedup:.4f}x) | {result.candidates} candidates, "
+        f"{result.cells} cells, {result.cache_hit_rate:.0%} cache hits"
+    )
+    if args.policy_out:
+        save_policy(policy_from_result(result), args.policy_out)
+        print(f"policy: {args.policy_out} "
+              f"(use: repro fleet run --policy tuned:{args.policy_out})")
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_jsonable(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report: {args.report_out}")
+    return 0
+
+
+def _tune_report(args) -> int:
+    """Summarize a saved search report (tune run --report-out or the
+    committed benchmarks/data/tune_search.json)."""
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read report {args.path!r}: {exc}", file=sys.stderr)
+        return 1
+    searches = doc.get("searches") if isinstance(doc, dict) else None
+    if searches is None:
+        if not isinstance(doc, dict) or "winner" not in doc:
+            print(f"error: {args.path} is not a tune report", file=sys.stderr)
+            return 1
+        searches = {doc.get("workload", "?"): doc}
+    rows = []
+    for name, search in sorted(searches.items()):
+        rows.append([
+            name,
+            f"{search['winner_ipc']:.4f}",
+            f"{search['default_ipc']:.4f}",
+            f"{search.get('speedup', search['winner_ipc'] / search['default_ipc']):.4f}",
+            search.get("cells", ""),
+            f"{search.get('cache_hit_rate', 0):.0%}",
+            _condense_params(search["winner"]),
+        ])
+    print(
+        format_table(
+            ["workload", "best IPC", "default IPC", "speedup", "cells",
+             "cache hits", "winning params"],
+            rows,
+            title=f"tune report: {args.path}",
+        )
+    )
+    return 0
+
+
+def _print_tune_stats(cache_dir: str) -> None:
+    """Per-stage totals of the last tune search run against this cache."""
+    from repro.tune.search import load_tune_stats
+
+    doc = load_tune_stats(cache_dir)
+    if not doc:
+        return
+    stages = doc.get("stages", [])
+    if not stages:
+        return
+    print()
+    print(
+        format_table(
+            ["stage", "budget", "cells", "computed", "cache hits", "seconds"],
+            [
+                [s["stage"], s["budget"], s["cells"], s["computed"],
+                 s["cache_hits"], f"{s['seconds']:.3f}"]
+                for s in stages
+            ],
+            title=f"last tune search: {doc.get('workload')} "
+                  f"(seed {doc.get('seed')})",
+        )
+    )
+    cells = sum(s["cells"] for s in stages)
+    hits = sum(s["cache_hits"] for s in stages)
+    print(f"\ntune totals: {cells} cells, {hits} cache hits "
+          f"({hits / max(1, cells):.0%} hit rate), "
+          f"{sum(s['seconds'] for s in stages):.3f}s")
+
+
 def _print_task_timings(cache_dir: str) -> None:
     """Per-stage cost profile and critical path of the last sweep run
     against this cache (recorded by the scheduler; absent until a sweep
@@ -633,6 +845,7 @@ def _engine_stats(args) -> int:
         print(f"\ntotal: {len(entries)} artifacts, "
               f"{sum(s for _, _, s in entries):,} bytes")
         _print_task_timings(st.disk.root)
+        _print_tune_stats(st.disk.root)
     else:
         print("artifact cache: in-memory only (pass --artifact-cache DIR)")
     stats = st.stats()
@@ -800,6 +1013,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--huge-pages", action="store_true",
         help="map the optimized hot text with 2 MiB pages",
     )
+    pipeline.add_argument(
+        "--max-splice-bytes", type=int, default=None, metavar="N",
+        help="stitch layout: cap on a spliced callee subtree's byte size "
+             "(default: one 4 KiB page)",
+    )
+    pipeline.add_argument(
+        "--stitch-order", choices=("weight", "density", "size"),
+        default="weight",
+        help="stitch layout: chain-formation priority (default: weight — "
+             "hottest call edges first)",
+    )
 
     fig = sub.add_parser(
         "fig", help="regenerate a figure",
@@ -838,9 +1062,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for traffic + event log (rollouts replay from it)",
     )
     fleet_run.add_argument(
-        "--policy", choices=("drain", "unaware"), default="drain",
-        help="balancer policy: drain nodes before pausing them, or leave "
-             "the balancer unaware of the rollout (default: drain)",
+        "--policy", default="drain", metavar="POLICY",
+        help="rollout policy: 'drain' (route around installing nodes), "
+             "'unaware' (balancer ignores the rollout) or 'tuned:<file>' "
+             "(drain rollout of a `repro tune` TunedPolicy layout); "
+             "default: drain",
     )
     fleet_run.add_argument(
         "--fault", metavar="SITE[:NODE][:TIMES]", type=_parse_fault,
@@ -913,6 +1139,70 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_bisect.add_argument(
         "--report-out", metavar="PATH", default=None,
         help="also write the culprit report as JSON",
+    )
+
+    tune = sub.add_parser("tune", help="layout autotuner (search + reports)")
+    tune_sub = tune.add_subparsers(dest="tune_command", required=True)
+    tune_run = tune_sub.add_parser(
+        "run",
+        help="staged search over the BOLT/stitch parameter space against "
+             "measured IPC (random sweep -> beam -> successive halving)",
+        parents=[obs_flags, engine_flags, vm_flags],
+    )
+    tune_run.add_argument(
+        "--workload", default="memcached",
+        help="workload bundle name (default: memcached)",
+    )
+    tune_run.add_argument(
+        "--input", default=None,
+        help="measurement input (default: the bundle's first eval input)",
+    )
+    tune_run.add_argument(
+        "--seed", type=int, default=0,
+        help="search seed: drives sampling and every tie-break (default 0)",
+    )
+    tune_run.add_argument(
+        "--n-random", type=int, default=8, metavar="N",
+        help="random candidates in the screening stage (default 8; the "
+             "default-BoltOptions candidate always rides along)",
+    )
+    tune_run.add_argument(
+        "--beam-width", type=int, default=3, metavar="N",
+        help="screening leaders refined by single-axis mutation (default 3)",
+    )
+    tune_run.add_argument(
+        "--budgets", default="150,300,600", metavar="T1,T2,...",
+        help="measurement budgets (transactions) per halving rung; the "
+             "last one decides the winner (default 150,300,600)",
+    )
+    tune_run.add_argument(
+        "--space", choices=("default", "small"), default="default",
+        help="parameter space: the full knob set, or the 8-candidate "
+             "layout/huge-pages/function-order smoke space",
+    )
+    tune_run.add_argument(
+        "--exhaustive", action="store_true",
+        help="evaluate the whole grid in stage 1 and skip the beam "
+             "(sensible for --space small)",
+    )
+    tune_run.add_argument(
+        "--policy-out", metavar="PATH", default=None,
+        help="write the winner as a TunedPolicy JSON file "
+             "(consumed by fleet run --policy tuned:<file>)",
+    )
+    tune_run.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="write the full search record (stages, evaluations) as JSON",
+    )
+    tune_report = tune_sub.add_parser(
+        "report",
+        help="summarize a saved search report",
+        parents=[obs_flags],
+    )
+    tune_report.add_argument(
+        "path",
+        help="report JSON (tune run --report-out, or the committed "
+             "benchmarks/data/tune_search.json)",
     )
 
     obs = sub.add_parser("obs", help="observability utilities")
@@ -1022,7 +1312,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "list":
             print("figures : " + ", ".join(f"fig {n}" for n in sorted(FIGS)))
             print("tables  : " + ", ".join(f"table {n}" for n in sorted(TABLES)))
-            print("other   : quickstart, run-pipeline, fleet run, obs view")
+            print("other   : quickstart, run-pipeline, fleet run, tune run, obs view")
             print("\nfig 10 (BAM) and the ablations run via the benchmark suite:")
             print("  pytest benchmarks/ --benchmark-only")
             return 0
@@ -1046,6 +1336,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.fleet_command == "bisect":
                 return _fleet_bisect(args)
             return _fleet_run(args)
+        if args.command == "tune":
+            if args.tune_command == "report":
+                return _tune_report(args)
+            return _tune_run(args)
         if args.command == "obs":
             return _obs_view(args)
         if args.command == "engine":

@@ -51,6 +51,7 @@ __all__ = [
     "CellSpec",
     "Fig6Cell",
     "PipelineResult",
+    "TuneCellResult",
     "WorkloadBundle",
     "WORKLOADS",
     "cached_profile",
@@ -59,6 +60,7 @@ __all__ = [
     "register_bundle",
     "reset",
     "run_cell",
+    "tune_profile",
     "unregister_bundle",
     "workload_bundle",
     "workload_fingerprint",
@@ -89,6 +91,9 @@ _WORKLOAD_FACTORIES: Dict[str, Tuple[str, str, str]] = {
     "mongodb": ("repro.workloads.mongodb", "mongodb_bundle", "mongodb_params"),
     "memcached": ("repro.workloads.memcached", "memcached_bundle", "memcached_params"),
     "verilator": ("repro.workloads.verilator", "verilator_bundle", "verilator_params"),
+    # Registered for the layout autotuner (single-shot compiler invocations);
+    # deliberately NOT in WORKLOADS — the figure sweeps stay server-only.
+    "clangbuild": ("repro.workloads.clangbuild", "clangbuild_bundle", "clangbuild_params"),
 }
 
 WORKLOADS = ("mysql", "mongodb", "memcached", "verilator")
@@ -184,6 +189,51 @@ def _aggregate_profile(bundle: WorkloadBundle, seconds: float) -> BoltProfile:
     return aggregate
 
 
+def tune_profile(bundle: WorkloadBundle) -> BoltProfile:
+    """The profile the autotuner builds every candidate from (oracle blend).
+
+    Server workloads use the merged per-input offline profile (the paper's
+    "all" blend).  Single-shot workloads exhaust their work items long
+    before a steady-state warmup window, so each evaluation input is
+    instead run to HALT once under a :class:`PerfSession` and the extracted
+    profiles merged — cached in the store like any other profile artifact.
+    """
+    workload = bundle.workload
+    if not workload.params.single_shot:
+        return _aggregate_profile(bundle, DEFAULT_PROFILE_SECONDS)
+
+    def build() -> BoltProfile:
+        from repro.profiling.perf import PerfSession
+        from repro.profiling.perf2bolt import extract_profile
+        from repro.vm.process import Process
+
+        original = link_original(workload)
+        aggregate = BoltProfile()
+        for k, input_name in enumerate(bundle.eval_inputs):
+            proc = Process(
+                original,
+                workload.program,
+                bundle.inputs[input_name],
+                n_threads=1,
+                seed=100 + k,
+            )
+            session = PerfSession(period=4500, overhead=0.0)
+            session.attach(proc)
+            proc.run(max_instructions=50_000_000)
+            session.detach()
+            profile, _stats = extract_profile(session.samples, original)
+            aggregate.merge(profile)
+        return aggregate
+
+    parts = (
+        fingerprint(workload),
+        fingerprint([bundle.inputs[n] for n in bundle.eval_inputs]),
+        "single_shot",
+        4500,
+    )
+    return store().get_or_build("profile", parts, build)
+
+
 # ----------------------------------------------------------------------
 # cell specs and results
 # ----------------------------------------------------------------------
@@ -194,7 +244,8 @@ class CellSpec:
     """Declarative description of one experiment cell.
 
     Attributes:
-        kind: ``pipeline`` | ``pgo`` | ``average`` | ``train`` | ``duration``.
+        kind: ``pipeline`` | ``pgo`` | ``average`` | ``train`` | ``duration``
+            | ``tune``.
         workload: workload registry name.
         input_name: the input driving the cell (for ``train`` cells, the
             *training* input).
@@ -202,6 +253,10 @@ class CellSpec:
         run_input: for ``train`` cells, the input the trained binary is
             measured on.
         profile_seconds: LBR window for ``train``/``duration`` cells.
+        tune_params: for ``tune`` cells, the candidate's BoltOptions
+            overrides as a sorted tuple of ``(field, value)`` pairs —
+            hashable, so specs stay usable in sets, and fingerprinted as
+            part of the cell key.
     """
 
     kind: str
@@ -210,6 +265,7 @@ class CellSpec:
     transactions: int = 500
     run_input: str = ""
     profile_seconds: float = DEFAULT_PROFILE_SECONDS
+    tune_params: Tuple[Tuple[str, Any], ...] = ()
 
     @property
     def cell_id(self) -> str:
@@ -217,6 +273,11 @@ class CellSpec:
         parts = [self.kind, self.workload, self.input_name]
         if self.run_input:
             parts.append(f"on_{self.run_input}")
+        if self.kind == "tune":
+            # Distinguish candidates and measurement budgets (successive
+            # halving re-runs the same candidate at a bigger budget).
+            parts.append(f"t{self.transactions}")
+            parts.append(fingerprint(self.tune_params)[:12])
         return "/".join(parts)
 
 
@@ -253,6 +314,24 @@ class Fig6Cell:
     samples: int
     ocolos: Measurement
     bolt: Measurement
+
+
+@dataclass
+class TuneCellResult:
+    """One autotuner candidate measurement (picklable, store-friendly).
+
+    ``ipc`` is the selection objective; the MPKI columns feed the
+    ``bench.tune.*`` rows and the search report.
+    """
+
+    workload: str
+    input_name: str
+    transactions: int
+    params: Tuple[Tuple[str, Any], ...]
+    ipc: float
+    itlb_mpki: float
+    l1i_mpki: float
+    tps: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -413,6 +492,93 @@ def _stage_duration_measure(spec: CellSpec, live) -> Fig6Cell:
     return Fig6Cell(samples=report.samples, ocolos=m_oc, bolt=m_b)
 
 
+def _stage_tune_profile(spec: CellSpec, _binary) -> BoltProfile:
+    """The shared oracle-blend profile every tune candidate builds from."""
+    return tune_profile(workload_bundle(spec.workload))
+
+
+def _stage_tune_optimize(spec: CellSpec, profile: BoltProfile):
+    """BOLT the original with this candidate's parameter vector."""
+    from repro.bolt.optimizer import BoltOptions, run_bolt_cached
+
+    bundle = workload_bundle(spec.workload)
+    return run_bolt_cached(
+        bundle.workload.program,
+        link_original(bundle.workload),
+        profile,
+        context=workload_fingerprint(bundle.workload),
+        options=BoltOptions(**dict(spec.tune_params)),
+        compiler_options=bundle.workload.options,
+    )
+
+
+def _single_shot_counters(bundle: WorkloadBundle, binary, transactions: int):
+    """Summed counters over enough single-shot invocations to cover
+    ``transactions`` work items, cycling the bundle's evaluation inputs."""
+    from repro.uarch.perfcounters import PerfCounters
+    from repro.vm.process import Process
+
+    workload = bundle.workload
+    link_original(workload)  # replay derived-site allocations
+    per_run = max(1, workload.params.work_items)
+    invocations = max(1, -(-transactions // per_run))
+    total = PerfCounters()
+    for k in range(invocations):
+        input_name = bundle.eval_inputs[k % len(bundle.eval_inputs)]
+        proc = Process(
+            binary,
+            workload.program,
+            bundle.inputs[input_name],
+            n_threads=1,
+            seed=300 + k,
+        )
+        total.merge(proc.run(max_instructions=50_000_000))
+        if proc.runnable_threads():
+            raise RuntimeError("single-shot invocation did not HALT")
+    return total
+
+
+def _stage_tune_measure(spec: CellSpec, result) -> TuneCellResult:
+    """Measure the candidate binary; IPC is the selection objective.
+
+    Server workloads measure from process birth (``warmup=0``) on purpose:
+    once the few hot pages are resident every layout's iTLB is quiet, so
+    the translation-coverage differences between candidates live in the
+    deterministic cold-start misses — same protocol as the layout bench.
+    """
+    bundle = workload_bundle(spec.workload)
+    workload = bundle.workload
+    if workload.params.single_shot:
+        counters = _single_shot_counters(bundle, result.binary, spec.transactions)
+        return TuneCellResult(
+            workload=spec.workload,
+            input_name=spec.input_name,
+            transactions=spec.transactions,
+            params=spec.tune_params,
+            ipc=counters.ipc,
+            itlb_mpki=counters.itlb_mpki,
+            l1i_mpki=counters.l1i_mpki,
+        )
+    process = launch(
+        workload,
+        bundle.inputs[spec.input_name],
+        binary=result.binary,
+        seed=7,
+        with_agent=False,
+    )
+    m = measure(process, transactions=spec.transactions, warmup=0)
+    return TuneCellResult(
+        workload=spec.workload,
+        input_name=spec.input_name,
+        transactions=spec.transactions,
+        params=spec.tune_params,
+        ipc=m.counters.ipc,
+        itlb_mpki=m.counters.itlb_mpki,
+        l1i_mpki=m.counters.l1i_mpki,
+        tps=m.tps,
+    )
+
+
 #: Stage chains per cell kind.  Every chain ends in ``measure`` — the task
 #: whose return value is the cell's result.
 _STAGES: Dict[str, Tuple[Tuple[str, Any], ...]] = {
@@ -445,6 +611,12 @@ _STAGES: Dict[str, Tuple[Tuple[str, Any], ...]] = {
         ("optimize", _stage_duration_optimize),
         ("measure", _stage_duration_measure),
     ),
+    "tune": (
+        ("build", _stage_build),
+        ("profile", _stage_tune_profile),
+        ("optimize", _stage_tune_optimize),
+        ("measure", _stage_tune_measure),
+    ),
 }
 
 
@@ -462,7 +634,7 @@ def _cell_parts(spec: CellSpec) -> Tuple[Any, ...]:
         fingerprint(bundle.inputs[spec.input_name]),
         fingerprint(bundle.inputs[run_name]),
         fingerprint([bundle.inputs[n] for n in bundle.eval_inputs])
-        if spec.kind == "average"
+        if spec.kind in ("average", "tune")
         else "",
         spec,
     )

@@ -42,6 +42,7 @@ a hard error, so a typo cannot silently run the default rollout.
 from __future__ import annotations
 
 import dataclasses
+import os
 import tomllib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -82,8 +83,34 @@ class Scenario:
         raise ReproError(f"scenario {self.name!r} has no tenant {name!r}")
 
 
+def _resolve_tuned_policy(name: str, policy: str, base_dir: Optional[str]):
+    """Load the ``tuned:<file>`` policy a tenant names.
+
+    The path is resolved relative to the scenario file's directory; a
+    missing or invalid policy file fails here, at parse time, with the
+    tenant named — not deep inside the controller.
+    """
+    from repro.tune.policy import load_policy
+
+    rel = policy[len("tuned:"):]
+    if not rel:
+        raise ReproError(f"tenant {name!r}: 'tuned:' policy needs a file path")
+    path = rel if os.path.isabs(rel) else os.path.join(base_dir or ".", rel)
+    if not os.path.exists(path):
+        raise ReproError(
+            f"tenant {name!r}: tuned policy file {path!r} does not exist"
+        )
+    try:
+        return load_policy(path)
+    except ReproError as exc:
+        raise ReproError(f"tenant {name!r}: {exc}") from None
+
+
 def _tenant_from_table(
-    index: int, table: Dict[str, object], default_seed: Optional[int]
+    index: int,
+    table: Dict[str, object],
+    default_seed: Optional[int],
+    base_dir: Optional[str] = None,
 ) -> ScenarioTenant:
     if not isinstance(table, dict):
         raise ReproError(f"tenants[{index}] must be a table")
@@ -107,12 +134,17 @@ def _tenant_from_table(
             )
         kwargs[key] = value
     policy = table.get("policy", "drain")
-    if policy not in ("drain", "unaware"):
+    tuned = None
+    if isinstance(policy, str) and policy.startswith("tuned:"):
+        tuned = _resolve_tuned_policy(name, policy, base_dir)
+        kwargs["drain"] = True  # tuned rollouts use the safe drain path
+    elif policy in ("drain", "unaware"):
+        kwargs["drain"] = policy == "drain"
+    else:
         raise ReproError(
-            f"tenant {name!r}: policy must be 'drain' or 'unaware', "
-            f"got {policy!r}"
+            f"tenant {name!r}: policy must be 'drain', 'unaware' or "
+            f"'tuned:<file>', got {policy!r}"
         )
-    kwargs["drain"] = policy == "drain"
     if "seed" not in kwargs and default_seed is not None:
         kwargs["seed"] = default_seed
     # Scenario fleets are cohort-native unless the tenant opts out.
@@ -135,6 +167,10 @@ def _tenant_from_table(
         config = FleetConfig(**kwargs)  # type: ignore[arg-type]
     except TypeError as exc:
         raise ReproError(f"tenant {name!r}: bad config: {exc}") from None
+    if tuned is not None:
+        from repro.tune.policy import apply_policy
+
+        config = apply_policy(config, tuned)
 
     plan = None
     faults = table.get("faults")
@@ -166,8 +202,15 @@ def _tenant_from_table(
     )
 
 
-def parse_scenario(text: str, *, source: str = "<scenario>") -> Scenario:
-    """Parse scenario TOML text into a :class:`Scenario`."""
+def parse_scenario(
+    text: str, *, source: str = "<scenario>", base_dir: Optional[str] = None
+) -> Scenario:
+    """Parse scenario TOML text into a :class:`Scenario`.
+
+    ``base_dir`` anchors relative ``tuned:<file>`` policy paths (defaults
+    to the current directory; :func:`load_scenario` passes the scenario
+    file's own directory).
+    """
     try:
         doc = tomllib.loads(text)
     except tomllib.TOMLDecodeError as exc:
@@ -183,7 +226,7 @@ def parse_scenario(text: str, *, source: str = "<scenario>") -> Scenario:
     if not tenants_raw:
         raise ReproError(f"{source}: scenario has no [[tenants]]")
     tenants = [
-        _tenant_from_table(i, t, default_seed)
+        _tenant_from_table(i, t, default_seed, base_dir)
         for i, t in enumerate(tenants_raw)
     ]
     seen = set()
@@ -203,7 +246,7 @@ def load_scenario(path: str) -> Scenario:
             text = fh.read().decode("utf-8")
     except OSError as exc:
         raise ReproError(f"cannot read scenario {path!r}: {exc}") from None
-    return parse_scenario(text, source=path)
+    return parse_scenario(text, source=path, base_dir=os.path.dirname(path))
 
 
 def run_tenant(tenant: ScenarioTenant) -> RolloutOutcome:

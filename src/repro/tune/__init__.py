@@ -1,0 +1,53 @@
+"""Layout autotuner: staged search from profile to measured IPC.
+
+``repro.tune`` closes the loop the ROADMAP's autotuner item calls for: the
+BOLT reproduction's free parameters (:class:`~repro.bolt.optimizer.BoltOptions`
+plus the stitch knobs and function-order seeds) form a declarative
+:class:`~repro.tune.space.ParamSpace`; :func:`~repro.tune.search.run_search`
+drives a staged search — multi-seed random sampling, beam refinement around
+the leaders, successive halving on measurement budget — where every
+candidate evaluation is an engine cell memoized by the content-addressed
+artifact store, so replays and overlapping stages are cache hits and the
+whole search is deterministic down to the tie-breaks.  The per-workload
+winner lands as a :class:`~repro.tune.policy.TunedPolicy` file that
+``repro fleet run --policy tuned:<file>`` and scenario TOML consume.
+"""
+
+from repro.tune.policy import (
+    TunedPolicy,
+    apply_policy,
+    load_policy,
+    policy_from_result,
+    policy_options,
+    save_policy,
+)
+from repro.tune.search import (
+    StageRecord,
+    TuneConfig,
+    TuneResult,
+    TuneRow,
+    persist_tune_stats,
+    publish_tune_rows,
+    run_search,
+)
+from repro.tune.space import Candidate, ParamSpace, default_space, small_space
+
+__all__ = [
+    "Candidate",
+    "ParamSpace",
+    "StageRecord",
+    "TuneConfig",
+    "TuneResult",
+    "TuneRow",
+    "TunedPolicy",
+    "apply_policy",
+    "default_space",
+    "load_policy",
+    "persist_tune_stats",
+    "policy_from_result",
+    "policy_options",
+    "publish_tune_rows",
+    "run_search",
+    "save_policy",
+    "small_space",
+]

@@ -1,0 +1,141 @@
+"""TunedPolicy: the committed artifact a search produces and fleets consume.
+
+A policy file is a small versioned JSON document::
+
+    {
+      "version": 1,
+      "workload": "mysql",
+      "input": "oltp_read_only",
+      "seed": 0,
+      "params": {"layout": "stitch", "huge_pages": true, ...},
+      "ipc": 0.4028,
+      "default_ipc": 0.4020
+    }
+
+``params`` holds only :class:`~repro.bolt.optimizer.BoltOptions` field
+overrides, so :func:`policy_options` can always rebuild the exact winning
+configuration; the IPC columns are provenance, not configuration.  Fleets
+apply a policy with ``repro fleet run --policy tuned:<file>`` or a
+scenario-TOML ``policy = "tuned:<file>"`` key (resolved relative to the
+scenario file) — both route through :func:`apply_policy`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.bolt.optimizer import BoltOptions
+from repro.errors import ReproError
+
+POLICY_VERSION = 1
+
+_BOLT_FIELDS = {f.name for f in dataclasses.fields(BoltOptions)}
+
+
+@dataclass
+class TunedPolicy:
+    """A per-workload tuned layout: BoltOptions overrides plus provenance."""
+
+    workload: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    ipc: float = 0.0
+    default_ipc: float = 0.0
+    seed: int = 0
+    input_name: str = ""
+    version: int = POLICY_VERSION
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "workload": self.workload,
+            "input": self.input_name,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "ipc": self.ipc,
+            "default_ipc": self.default_ipc,
+        }
+
+
+def policy_from_result(result) -> TunedPolicy:
+    """Build a policy from a :class:`~repro.tune.search.TuneResult`."""
+    return TunedPolicy(
+        workload=result.workload,
+        params=dict(result.winner),
+        ipc=round(result.winner_ipc, 6),
+        default_ipc=round(result.default_ipc, 6),
+        seed=result.seed,
+        input_name=result.input_name,
+    )
+
+
+def save_policy(policy: TunedPolicy, path: str) -> None:
+    """Write a policy file (stable key order, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(policy.to_jsonable(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_policy(path: str) -> TunedPolicy:
+    """Load and validate a policy file.
+
+    Raises:
+        ReproError: missing/unreadable file, bad JSON, unsupported version
+            or a ``params`` key that is not a BoltOptions field.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ReproError(f"cannot read tuned policy {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"tuned policy {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ReproError(f"tuned policy {path!r}: expected a JSON object")
+    version = doc.get("version", POLICY_VERSION)
+    if version != POLICY_VERSION:
+        raise ReproError(
+            f"tuned policy {path!r}: unsupported version {version!r} "
+            f"(this build reads version {POLICY_VERSION})"
+        )
+    params = doc.get("params")
+    if not isinstance(params, dict) or not params:
+        raise ReproError(f"tuned policy {path!r}: 'params' (object) is required")
+    unknown = sorted(set(params) - _BOLT_FIELDS)
+    if unknown:
+        raise ReproError(
+            f"tuned policy {path!r}: unknown BoltOptions params {unknown}"
+        )
+    return TunedPolicy(
+        workload=str(doc.get("workload", "")),
+        params=dict(params),
+        ipc=float(doc.get("ipc", 0.0)),
+        default_ipc=float(doc.get("default_ipc", 0.0)),
+        seed=int(doc.get("seed", 0)),
+        input_name=str(doc.get("input", "")),
+        version=int(version),
+    )
+
+
+def policy_options(policy: TunedPolicy) -> BoltOptions:
+    """The exact winning BoltOptions the policy records."""
+    return BoltOptions(**policy.params)
+
+
+def apply_policy(config, policy: TunedPolicy):
+    """A fleet config running the tuned layout.
+
+    Sets ``bolt_options`` to the policy's full vector and mirrors the
+    ``layout``/``huge_pages`` scalars so
+    :meth:`~repro.fleet.controller.FleetConfig.effective_bolt_options`
+    folds to the same options either way.
+    """
+    options = policy_options(policy)
+    return dataclasses.replace(
+        config,
+        bolt_options=options,
+        layout=options.layout,
+        huge_pages=options.huge_pages,
+    )

@@ -1,0 +1,384 @@
+"""The staged search driver: random sweep → beam refinement → halving.
+
+Every candidate evaluation is one ``tune`` engine cell
+(:class:`~repro.engine.cells.CellSpec`), prefetched through the parallel
+:class:`~repro.engine.scheduler.Scheduler` and memoized by the artifact
+store — so overlapping stages, repeated candidates and whole-search replays
+are cache hits, and ``--jobs N`` changes wall-clock only, never results.
+
+Determinism: candidate generation uses a seeded ``random.Random``; every
+ranking breaks IPC ties with a seeded hash of the candidate's fingerprint
+(:func:`_tie_key`), so the search replays bit-identically from a warm
+cache regardless of scheduler parallelism or dict iteration order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.cells import CellSpec, TuneCellResult, prefetch, run_cell, workload_bundle
+from repro.engine.fingerprint import fingerprint
+from repro.engine.store import store
+from repro.errors import ReproError
+from repro.harness.reporting import publish_bench_rows
+from repro.obs import log as _obs_log
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.tune.space import Candidate, ParamSpace
+
+_log = _obs_log.get_logger("tune")
+
+#: File (inside the disk artifact cache) recording the last search's
+#: per-stage totals, for ``repro engine stats``.
+TUNE_STATS_FILE = "tune_stats.json"
+
+
+@dataclass(frozen=True)
+class TuneConfig:
+    """Search-driver knobs.
+
+    Attributes:
+        workload: workload registry name.
+        input_name: measurement input ("" = the bundle's first eval input).
+        seed: search seed — drives sampling and every tie-break.
+        n_random: stage-1 random candidates (the default candidate always
+            rides along, so stage 1 evaluates ``n_random + 1`` cells cold).
+        beam_width: leaders refined by single-axis mutation in stage 2.
+        budgets: measurement budgets (transactions) per halving rung; the
+            first is the cheap screening budget, the last decides the
+            winner.
+        exhaustive: evaluate the whole grid in stage 1 and skip the beam
+            (small spaces / CI smoke).
+        jobs: scheduler fan-out for cache misses.
+    """
+
+    workload: str
+    input_name: str = ""
+    seed: int = 0
+    n_random: int = 8
+    beam_width: int = 3
+    budgets: Tuple[int, ...] = (150, 300, 600)
+    exhaustive: bool = False
+    jobs: int = 1
+
+
+@dataclass
+class StageRecord:
+    """What one search stage cost: cells asked for vs actually computed."""
+
+    stage: str
+    budget: int
+    cells: int
+    computed: int
+    cache_hits: int
+    seconds: float
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return dict(vars(self))
+
+
+@dataclass
+class TuneResult:
+    """Everything one search produced."""
+
+    workload: str
+    input_name: str
+    seed: int
+    space: Dict[str, List[Any]]
+    winner: Candidate
+    winner_ipc: float
+    winner_itlb_mpki: float
+    default_ipc: float
+    default_itlb_mpki: float
+    stages: List[StageRecord] = field(default_factory=list)
+    evaluations: List[Dict[str, Any]] = field(default_factory=list)
+    candidates: int = 0
+
+    @property
+    def speedup(self) -> float:
+        """Winner IPC over default-BOLT IPC on the final budget."""
+        return self.winner_ipc / self.default_ipc if self.default_ipc else 1.0
+
+    @property
+    def cells(self) -> int:
+        return sum(s.cells for s in self.stages)
+
+    @property
+    def computed(self) -> int:
+        return sum(s.computed for s in self.stages)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.stages)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.cells if self.cells else 0.0
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "input": self.input_name,
+            "seed": self.seed,
+            "space": self.space,
+            "winner": dict(self.winner),
+            "winner_fingerprint": fingerprint(self.winner),
+            "winner_ipc": self.winner_ipc,
+            "winner_itlb_mpki": self.winner_itlb_mpki,
+            "default_ipc": self.default_ipc,
+            "default_itlb_mpki": self.default_itlb_mpki,
+            "speedup": round(self.speedup, 4),
+            "candidates": self.candidates,
+            "cells": self.cells,
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "stages": [s.to_jsonable() for s in self.stages],
+            "evaluations": self.evaluations,
+        }
+
+
+@dataclass
+class TuneRow:
+    """``bench.tune.*`` row: string fields become labels, numbers gauges."""
+
+    workload: str
+    best_ipc: float
+    default_ipc: float
+    speedup: float
+    best_itlb_mpki: float
+    default_itlb_mpki: float
+    cells: int
+    computed: int
+    cache_hit_rate: float
+
+
+def _tie_key(seed: int, candidate: Candidate) -> str:
+    """Deterministic, seed-dependent ranking tie-break for equal IPC."""
+    return hashlib.sha256(f"{seed}:{fingerprint(candidate)}".encode()).hexdigest()
+
+
+def _spec(config: TuneConfig, input_name: str, candidate: Candidate, budget: int) -> CellSpec:
+    return CellSpec(
+        kind="tune",
+        workload=config.workload,
+        input_name=input_name,
+        transactions=budget,
+        tune_params=candidate,
+    )
+
+
+def run_search(space: ParamSpace, config: TuneConfig) -> TuneResult:
+    """Run the staged search; returns the replayable result record."""
+    bundle = workload_bundle(config.workload)
+    input_name = config.input_name or bundle.eval_inputs[0]
+    if input_name not in bundle.inputs:
+        raise ReproError(
+            f"unknown input {input_name!r} for workload {config.workload!r}"
+        )
+    if not config.budgets:
+        raise ReproError("TuneConfig.budgets must not be empty")
+
+    rng = random.Random(config.seed)
+    default = space.default()
+    #: (candidate, budget) -> TuneCellResult
+    scores: Dict[Tuple[Candidate, int], TuneCellResult] = {}
+    stages: List[StageRecord] = []
+    registry = _metrics.current()
+
+    def evaluate(stage: str, candidates: List[Candidate], budget: int) -> None:
+        """Fill ``scores`` for every (candidate, budget) not yet measured."""
+        todo = [c for c in candidates if (c, budget) not in scores]
+        specs = [_spec(config, input_name, c, budget) for c in todo]
+        t0 = time.perf_counter()
+        computed = prefetch(specs, jobs=config.jobs) if specs else 0
+        for candidate, spec in zip(todo, specs):
+            scores[(candidate, budget)] = run_cell(spec)
+        seconds = time.perf_counter() - t0
+        record = StageRecord(
+            stage=stage,
+            budget=budget,
+            cells=len(specs),
+            computed=computed,
+            cache_hits=len(specs) - computed,
+            seconds=round(seconds, 4),
+        )
+        stages.append(record)
+        _log.info(
+            "tune.stage", stage=stage, budget=budget, cells=record.cells,
+            computed=record.computed, cache_hits=record.cache_hits,
+            seconds=record.seconds,
+        )
+        if registry is not None:
+            registry.counter("tune.cells_total", "tune cells requested").inc(record.cells)
+            registry.counter("tune.cells_computed_total", "tune cells computed").inc(
+                record.computed
+            )
+            registry.counter("tune.cache_hits_total", "tune cells served from cache").inc(
+                record.cache_hits
+            )
+
+    def ranked(candidates: List[Candidate], budget: int) -> List[Candidate]:
+        """Best-first by IPC at ``budget``; seeded-hash tie-break."""
+        return sorted(
+            candidates,
+            key=lambda c: (-scores[(c, budget)].ipc, _tie_key(config.seed, c)),
+        )
+
+    with _trace.span(
+        "tune.search", workload=config.workload, input=input_name, seed=config.seed
+    ) as span:
+        screen = config.budgets[0]
+
+        # ---- stage 1: seeded random sweep (default always rides) ---------
+        with _trace.span("tune.stage", stage="random", budget=screen):
+            pool: List[Candidate] = [default]
+            seen = {default}
+            if config.exhaustive:
+                for candidate in space.grid():
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        pool.append(candidate)
+            else:
+                attempts = 0
+                while len(pool) < config.n_random + 1 and attempts < config.n_random * 20:
+                    candidate = space.sample(rng)
+                    attempts += 1
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        pool.append(candidate)
+            evaluate("random", pool, screen)
+
+        # ---- stage 2: beam refinement around the screening leaders -------
+        if not config.exhaustive and config.beam_width > 0:
+            with _trace.span("tune.stage", stage="beam", budget=screen):
+                beam = ranked(pool, screen)[: config.beam_width]
+                fresh: List[Candidate] = []
+                for leader in beam:
+                    for neighbor in space.neighbors(leader):
+                        if neighbor not in seen:
+                            seen.add(neighbor)
+                            fresh.append(neighbor)
+                            pool.append(neighbor)
+                evaluate("beam", fresh, screen)
+
+        # ---- stage 3: successive halving on measurement budget -----------
+        survivors = ranked(pool, screen)
+        for rung, budget in enumerate(config.budgets[1:], start=1):
+            keep = max(2, -(-len(survivors) // 2))
+            survivors = survivors[:keep]
+            if default not in survivors:
+                # The default is always promoted so the winner-vs-default
+                # comparison exists at the final, most-trusted budget.
+                survivors.append(default)
+            with _trace.span(
+                "tune.stage", stage=f"halving{rung}", budget=budget,
+                survivors=len(survivors),
+            ):
+                evaluate(f"halving{rung}", survivors, budget)
+            survivors = ranked(survivors, budget)
+
+        final_budget = config.budgets[-1]
+        winner = survivors[0]
+        winner_score = scores[(winner, final_budget)]
+        default_score = scores[(default, final_budget)]
+        span.set_attrs(
+            candidates=len(seen),
+            winner_ipc=round(winner_score.ipc, 4),
+            default_ipc=round(default_score.ipc, 4),
+        )
+
+    if registry is not None:
+        registry.gauge("tune.winner_ipc", "winning candidate IPC").set(winner_score.ipc)
+        registry.gauge("tune.default_ipc", "default BOLT IPC").set(default_score.ipc)
+        registry.gauge("tune.speedup", "winner IPC / default IPC").set(
+            winner_score.ipc / default_score.ipc if default_score.ipc else 1.0
+        )
+
+    evaluations = [
+        {
+            "params": dict(candidate),
+            "budget": budget,
+            "ipc": round(result.ipc, 6),
+            "itlb_mpki": round(result.itlb_mpki, 6),
+            "l1i_mpki": round(result.l1i_mpki, 6),
+        }
+        for (candidate, budget), result in sorted(
+            scores.items(), key=lambda kv: (kv[0][1], _tie_key(config.seed, kv[0][0]))
+        )
+    ]
+    result = TuneResult(
+        workload=config.workload,
+        input_name=input_name,
+        seed=config.seed,
+        space=space.to_jsonable(),
+        winner=winner,
+        winner_ipc=winner_score.ipc,
+        winner_itlb_mpki=winner_score.itlb_mpki,
+        default_ipc=default_score.ipc,
+        default_itlb_mpki=default_score.itlb_mpki,
+        stages=stages,
+        evaluations=evaluations,
+        candidates=len(seen),
+    )
+    persist_tune_stats(result)
+    return result
+
+
+def persist_tune_stats(result: TuneResult) -> Optional[str]:
+    """Record per-stage totals in the disk cache for ``engine stats``.
+
+    No-op (returns ``None``) without a bound disk cache.
+    """
+    disk = store().disk
+    if disk is None:
+        return None
+    path = os.path.join(disk.root, TUNE_STATS_FILE)
+    doc = {
+        "workload": result.workload,
+        "input": result.input_name,
+        "seed": result.seed,
+        "winner_ipc": round(result.winner_ipc, 6),
+        "default_ipc": round(result.default_ipc, 6),
+        "stages": [s.to_jsonable() for s in result.stages],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_tune_stats(cache_dir: str) -> Optional[Dict[str, Any]]:
+    """Read the last search's stage totals from a disk cache (or None)."""
+    path = os.path.join(cache_dir, TUNE_STATS_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def publish_tune_rows(results: List[TuneResult]) -> List[TuneRow]:
+    """Export one ``bench.tune.*`` row per search result."""
+    rows = [
+        TuneRow(
+            workload=r.workload,
+            best_ipc=round(r.winner_ipc, 4),
+            default_ipc=round(r.default_ipc, 4),
+            speedup=round(r.speedup, 4),
+            best_itlb_mpki=round(r.winner_itlb_mpki, 4),
+            default_itlb_mpki=round(r.default_itlb_mpki, 4),
+            cells=r.cells,
+            computed=r.computed,
+            cache_hit_rate=round(r.cache_hit_rate, 4),
+        )
+        for r in results
+    ]
+    publish_bench_rows("tune", rows)
+    return rows

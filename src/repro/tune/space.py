@@ -1,0 +1,123 @@
+"""Declarative parameter spaces over :class:`BoltOptions`.
+
+A *candidate* is a full assignment over the space's axes, canonicalized as
+a name-sorted tuple of ``(field, value)`` pairs — hashable (it rides inside
+frozen :class:`~repro.engine.cells.CellSpec`\\ s), fingerprintable (it keys
+the artifact cache) and trivially JSON-serializable.  Axis names must be
+``BoltOptions`` fields, so ``BoltOptions(**dict(candidate))`` is always
+valid and a typo'd axis fails at space construction, not mid-search.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.bolt.optimizer import BoltOptions
+from repro.errors import ReproError
+
+#: A full assignment over a space's axes, sorted by field name.
+Candidate = Tuple[Tuple[str, Any], ...]
+
+_BOLT_FIELDS = {f.name: f for f in dataclasses.fields(BoltOptions)}
+
+
+@dataclass(frozen=True)
+class ParamSpace:
+    """A finite search space: ``(field, candidate values)`` per axis."""
+
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name, values in self.axes:
+            if name not in _BOLT_FIELDS:
+                raise ReproError(
+                    f"param space axis {name!r} is not a BoltOptions field"
+                )
+            if name in seen:
+                raise ReproError(f"param space axis {name!r} appears twice")
+            if not values:
+                raise ReproError(f"param space axis {name!r} has no values")
+            seen.add(name)
+        object.__setattr__(
+            self, "axes", tuple(sorted(self.axes, key=lambda ax: ax[0]))
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of distinct candidates in the space."""
+        n = 1
+        for _name, values in self.axes:
+            n *= len(values)
+        return n
+
+    def default(self) -> Candidate:
+        """The candidate matching plain ``BoltOptions()`` on every axis."""
+        base = BoltOptions()
+        return tuple((name, getattr(base, name)) for name, _values in self.axes)
+
+    def sample(self, rng: random.Random) -> Candidate:
+        """One uniformly random candidate (deterministic given ``rng``)."""
+        return tuple((name, rng.choice(values)) for name, values in self.axes)
+
+    def neighbors(self, candidate: Candidate) -> List[Candidate]:
+        """All single-axis mutations of ``candidate`` (beam refinement)."""
+        assigned = dict(candidate)
+        out: List[Candidate] = []
+        for name, values in self.axes:
+            for value in values:
+                if value == assigned.get(name):
+                    continue
+                mutated = dict(assigned)
+                mutated[name] = value
+                out.append(tuple(sorted(mutated.items())))
+        return out
+
+    def grid(self) -> Iterator[Candidate]:
+        """Every candidate, in deterministic axis-major order."""
+        def rec(i: int, acc: Dict[str, Any]) -> Iterator[Candidate]:
+            if i == len(self.axes):
+                yield tuple(sorted(acc.items()))
+                return
+            name, values = self.axes[i]
+            for value in values:
+                acc[name] = value
+                yield from rec(i + 1, acc)
+            del acc[name]
+
+        return rec(0, {})
+
+    def to_jsonable(self) -> Dict[str, List[Any]]:
+        return {name: list(values) for name, values in self.axes}
+
+
+def default_space() -> ParamSpace:
+    """The full autotuner space: every layout knob the papers call
+    workload-sensitive, including the stitch splice cap, chain-formation
+    order and function-order tie-break seeds."""
+    return ParamSpace(
+        axes=(
+            ("function_order", ("c3", "ph")),
+            ("huge_pages", (False, True)),
+            ("layout", ("bolt", "stitch")),
+            ("max_splice_bytes", (2048, 4096, 8192)),
+            ("min_block_count", (1, 2)),
+            ("order_seed", (0, 1, 2)),
+            ("stitch_order", ("weight", "density", "size")),
+        )
+    )
+
+
+def small_space() -> ParamSpace:
+    """An 8-candidate space (CI smoke / tests): layout x huge pages x
+    function order — the axes with the largest measured effects."""
+    return ParamSpace(
+        axes=(
+            ("function_order", ("c3", "ph")),
+            ("huge_pages", (False, True)),
+            ("layout", ("bolt", "stitch")),
+        )
+    )

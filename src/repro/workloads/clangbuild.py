@@ -73,6 +73,33 @@ def source_file_input(workload: SyntheticWorkload, file_id: int) -> InputSpec:
     )
 
 
+def clangbuild_params(seed: int = 1400) -> WorkloadParams:
+    """Bundle-registry params fn for the ``clangbuild`` workload name."""
+    return clang_params(seed)
+
+
+def clangbuild_bundle(seed: int = 1400):
+    """Engine bundle for the ``clangbuild`` workload registry name.
+
+    One input per source-file behaviour class; every class is an
+    evaluation input, so profile blends and measurement sweeps cycle the
+    whole build's behaviour mix.
+    """
+    from repro.engine.cells import WorkloadBundle
+
+    workload = clang_like_compiler(seed)
+    inputs = {
+        f"src{cls}": source_file_input(workload, cls)
+        for cls in range(N_SOURCE_CLASSES)
+    }
+    return WorkloadBundle(
+        name="clangbuild",
+        workload=workload,
+        inputs=inputs,
+        eval_inputs=list(inputs),
+    )
+
+
 @dataclass
 class ClangBuildWorkload:
     """A from-scratch build: a list of compiler invocations.

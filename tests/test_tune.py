@@ -1,0 +1,434 @@
+"""Layout autotuner: parameter space, staged search, policy artifacts.
+
+The determinism guarantees under test are the acceptance criteria of the
+search driver: same seed + warm cache reproduces the identical winner with
+identical cell fingerprints and zero rebuilds, and successive-halving
+promotion is invariant under scheduler parallelism (``jobs=1`` == ``jobs=4``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.bolt.optimizer import BoltOptions, run_bolt
+from repro.engine import cells as engine_cells
+from repro.engine.cells import CellSpec, WorkloadBundle, run_cell
+from repro.engine.fingerprint import fingerprint
+from repro.errors import BoltError, ReproError
+from repro.tune import (
+    TuneConfig,
+    TunedPolicy,
+    apply_policy,
+    default_space,
+    load_policy,
+    policy_from_result,
+    policy_options,
+    publish_tune_rows,
+    run_search,
+    save_policy,
+    small_space,
+)
+from repro.tune.search import load_tune_stats, persist_tune_stats
+from repro.tune.space import ParamSpace
+
+
+def _register_mini(small_server, small_inputs) -> WorkloadBundle:
+    bundle = WorkloadBundle(
+        name="mini",
+        workload=small_server,
+        inputs=dict(small_inputs),
+        eval_inputs=list(small_inputs),
+    )
+    engine_cells.register_bundle("mini", bundle)
+    return bundle
+
+
+def _mini_config(**overrides) -> TuneConfig:
+    defaults = dict(
+        workload="mini",
+        seed=7,
+        n_random=4,
+        beam_width=2,
+        budgets=(80, 160),
+        jobs=1,
+    )
+    defaults.update(overrides)
+    return TuneConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# ParamSpace
+# ----------------------------------------------------------------------
+
+
+class TestParamSpace:
+    def test_axes_must_be_bolt_options_fields(self):
+        with pytest.raises(ReproError, match="not a BoltOptions field"):
+            ParamSpace(axes=(("no_such_knob", (1, 2)),))
+
+    def test_duplicate_and_empty_axes_rejected(self):
+        with pytest.raises(ReproError, match="appears twice"):
+            ParamSpace(axes=(("layout", ("bolt",)), ("layout", ("stitch",))))
+        with pytest.raises(ReproError, match="no values"):
+            ParamSpace(axes=(("layout", ()),))
+
+    def test_default_matches_plain_bolt_options(self):
+        space = default_space()
+        base = BoltOptions()
+        for name, value in space.default():
+            assert getattr(base, name) == value
+
+    def test_grid_size_and_determinism(self):
+        space = small_space()
+        grid = list(space.grid())
+        assert len(grid) == space.size == 8
+        assert grid == list(space.grid())
+        assert len(set(grid)) == 8
+
+    def test_sample_is_seed_deterministic(self):
+        space = default_space()
+        a = [space.sample(random.Random(3)) for _ in range(5)]
+        b = [space.sample(random.Random(3)) for _ in range(5)]
+        assert a == b
+
+    def test_neighbors_are_single_axis_mutations(self):
+        space = small_space()
+        origin = space.default()
+        neighbors = space.neighbors(origin)
+        # one per alternative value on each axis
+        assert len(neighbors) == sum(len(v) - 1 for _, v in space.axes)
+        for n in neighbors:
+            diffs = [k for (k, va), (_k, vb) in zip(origin, n) if va != vb]
+            assert len(diffs) == 1
+
+    def test_candidates_build_valid_bolt_options(self):
+        for candidate in small_space().grid():
+            options = BoltOptions(**dict(candidate))
+            assert isinstance(options, BoltOptions)
+
+
+# ----------------------------------------------------------------------
+# tune cells
+# ----------------------------------------------------------------------
+
+
+class TestTuneCells:
+    def test_cell_ids_distinguish_candidates_and_budgets(self):
+        a = CellSpec("tune", "mini", "readish", transactions=80,
+                     tune_params=(("layout", "stitch"),))
+        b = CellSpec("tune", "mini", "readish", transactions=80,
+                     tune_params=(("layout", "bolt"),))
+        c = CellSpec("tune", "mini", "readish", transactions=160,
+                     tune_params=(("layout", "stitch"),))
+        assert len({a.cell_id, b.cell_id, c.cell_id}) == 3
+
+    def test_tune_cell_result_cached_and_stable(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        _register_mini(small_server, small_inputs)
+        spec = CellSpec("tune", "mini", "readish", transactions=80,
+                        tune_params=(("huge_pages", True), ("layout", "stitch")))
+        first = run_cell(spec)
+        again = run_cell(spec)
+        assert first.ipc == again.ipc
+        assert first.params == spec.tune_params
+        assert first.ipc > 0 and first.itlb_mpki >= 0
+
+    def test_single_shot_workload_measures_to_halt(self, fresh_engine):
+        spec = CellSpec("tune", "clangbuild", "src0", transactions=60)
+        result = run_cell(spec)
+        assert result.ipc > 0
+        assert result.tps == 0.0  # single-shot: no steady-state throughput
+
+
+# ----------------------------------------------------------------------
+# the staged search
+# ----------------------------------------------------------------------
+
+
+class TestSearch:
+    def test_same_seed_warm_cache_identical_winner(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        """Acceptance: replaying the search against a warm cache reproduces
+        the same winner, same scores, and computes zero new cells."""
+        _register_mini(small_server, small_inputs)
+        config = _mini_config()
+        space = small_space()
+        cold = run_search(space, config)
+        warm = run_search(space, config)
+        assert warm.winner == cold.winner
+        assert warm.winner_ipc == cold.winner_ipc
+        assert warm.evaluations == cold.evaluations
+        assert fingerprint(warm.winner) == fingerprint(cold.winner)
+        assert cold.computed > 0
+        assert warm.computed == 0
+        assert warm.cache_hits == warm.cells
+
+    def test_jobs_invariance(self, fresh_engine, small_server, small_inputs):
+        """Acceptance: successive-halving promotion is stable under
+        scheduler parallelism — jobs=1 and jobs=4 pick the same winner
+        from identical evaluations."""
+        _register_mini(small_server, small_inputs)
+        space = small_space()
+        serial = run_search(space, _mini_config(jobs=1))
+        engine_cells.reset()
+        _register_mini(small_server, small_inputs)
+        parallel = run_search(space, _mini_config(jobs=4))
+        assert parallel.winner == serial.winner
+        assert parallel.evaluations == serial.evaluations
+
+    def test_default_always_scored_at_final_budget(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        _register_mini(small_server, small_inputs)
+        space = small_space()
+        result = run_search(space, _mini_config())
+        default = dict(space.default())
+        final = result.stages[-1].budget
+        assert any(
+            e["params"] == default and e["budget"] == final
+            for e in result.evaluations
+        )
+        assert result.default_ipc > 0
+        assert result.winner_ipc >= result.default_ipc
+
+    def test_exhaustive_covers_grid_and_skips_beam(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        _register_mini(small_server, small_inputs)
+        space = small_space()
+        result = run_search(space, _mini_config(exhaustive=True))
+        assert result.candidates == space.size
+        assert all(s.stage != "beam" for s in result.stages)
+
+    def test_seed_changes_tie_breaks_not_validity(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        _register_mini(small_server, small_inputs)
+        space = small_space()
+        result = run_search(space, _mini_config(seed=99))
+        assert dict(result.winner).keys() == dict(space.default()).keys()
+
+    def test_unknown_input_rejected(self, fresh_engine, small_server, small_inputs):
+        _register_mini(small_server, small_inputs)
+        with pytest.raises(ReproError, match="unknown input"):
+            run_search(small_space(), _mini_config(input_name="nope"))
+
+    def test_empty_budgets_rejected(self, fresh_engine, small_server, small_inputs):
+        _register_mini(small_server, small_inputs)
+        with pytest.raises(ReproError, match="budgets"):
+            run_search(small_space(), _mini_config(budgets=()))
+
+    def test_publish_tune_rows_exports_bench_metrics(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        from repro.obs import metrics as _metrics
+
+        _register_mini(small_server, small_inputs)
+        result = run_search(small_space(), _mini_config())
+        registry = _metrics.install()
+        try:
+            rows = publish_tune_rows([result])
+        finally:
+            _metrics.uninstall()
+        assert rows[0].workload == "mini"
+        assert rows[0].speedup == pytest.approx(result.speedup, abs=1e-3)
+        snap = registry.snapshot()
+        assert "bench.tune.best_ipc" in snap
+        assert "bench.tune.cache_hit_rate" in snap
+        assert snap.value("bench.tune.best_ipc", workload="mini") == pytest.approx(
+            round(result.winner_ipc, 4)
+        )
+
+    def test_tune_stats_persisted_to_disk_cache(
+        self, small_server, small_inputs, tmp_path
+    ):
+        from repro.engine.store import configure
+
+        configure(cache_dir=str(tmp_path))
+        try:
+            _register_mini(small_server, small_inputs)
+            result = run_search(small_space(), _mini_config())
+            doc = load_tune_stats(str(tmp_path))
+            assert doc is not None
+            assert doc["workload"] == "mini"
+            assert [s["stage"] for s in doc["stages"]] == [
+                s.stage for s in result.stages
+            ]
+            assert persist_tune_stats(result) is not None
+        finally:
+            engine_cells.reset()
+
+
+# ----------------------------------------------------------------------
+# TunedPolicy artifacts
+# ----------------------------------------------------------------------
+
+
+class TestPolicy:
+    def _result(self, fresh_engine, small_server, small_inputs):
+        _register_mini(small_server, small_inputs)
+        return run_search(small_space(), _mini_config())
+
+    def test_roundtrip(self, fresh_engine, small_server, small_inputs, tmp_path):
+        result = self._result(fresh_engine, small_server, small_inputs)
+        policy = policy_from_result(result)
+        path = tmp_path / "policy.json"
+        save_policy(policy, str(path))
+        loaded = load_policy(str(path))
+        assert loaded.params == dict(result.winner)
+        assert loaded.workload == "mini"
+        assert policy_options(loaded) == BoltOptions(**dict(result.winner))
+
+    def test_load_missing_file_is_clear_error(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read tuned policy"):
+            load_policy(str(tmp_path / "absent.json"))
+
+    def test_load_rejects_unknown_params(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "version": 1, "workload": "x", "params": {"warp_drive": True},
+        }))
+        with pytest.raises(ReproError, match="unknown BoltOptions params"):
+            load_policy(str(path))
+
+    def test_load_rejects_bad_version_and_shape(self, tmp_path):
+        path = tmp_path / "v9.json"
+        path.write_text(json.dumps({
+            "version": 9, "workload": "x", "params": {"layout": "stitch"},
+        }))
+        with pytest.raises(ReproError, match="unsupported version"):
+            load_policy(str(path))
+        path.write_text("[1, 2]")
+        with pytest.raises(ReproError, match="JSON object"):
+            load_policy(str(path))
+        path.write_text("not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_policy(str(path))
+
+    def test_apply_policy_folds_into_fleet_config(self):
+        from repro.fleet.controller import FleetConfig
+
+        policy = TunedPolicy(
+            workload="memcached",
+            params={"layout": "stitch", "huge_pages": True, "stitch_order": "density"},
+        )
+        config = apply_policy(FleetConfig(), policy)
+        assert config.layout == "stitch"
+        assert config.huge_pages is True
+        effective = config.effective_bolt_options()
+        assert effective == policy_options(policy)
+        assert effective.stitch_order == "density"
+
+
+# ----------------------------------------------------------------------
+# scenario TOML tuned policies
+# ----------------------------------------------------------------------
+
+
+class TestScenarioTunedPolicy:
+    def test_missing_policy_file_fails_at_parse_time(self, tmp_path):
+        from repro.fleet.scenario import parse_scenario
+
+        text = """
+        [[tenants]]
+        name = "edge"
+        workload = "memcached"
+        policy = "tuned:absent.json"
+        """
+        with pytest.raises(ReproError, match="does not exist"):
+            parse_scenario(text, base_dir=str(tmp_path))
+
+    def test_unknown_policy_string_rejected(self):
+        from repro.fleet.scenario import parse_scenario
+
+        text = """
+        [[tenants]]
+        name = "edge"
+        workload = "memcached"
+        policy = "yolo"
+        """
+        with pytest.raises(ReproError, match="policy must be"):
+            parse_scenario(text)
+
+    def test_tuned_policy_resolved_relative_to_scenario(self, tmp_path):
+        from repro.fleet.scenario import parse_scenario
+
+        save_policy(
+            TunedPolicy(workload="memcached",
+                        params={"layout": "stitch", "huge_pages": True}),
+            str(tmp_path / "mem.json"),
+        )
+        text = """
+        [[tenants]]
+        name = "edge"
+        workload = "memcached"
+        policy = "tuned:mem.json"
+        """
+        scenario = parse_scenario(text, base_dir=str(tmp_path))
+        config = scenario.tenants[0].config
+        assert config.drain is True
+        assert config.layout == "stitch"
+        assert config.huge_pages is True
+        assert config.effective_bolt_options().layout == "stitch"
+
+
+# ----------------------------------------------------------------------
+# the promoted stitch knobs stay byte-identical at defaults
+# ----------------------------------------------------------------------
+
+
+class TestStitchKnobs:
+    def _bolt(self, small_server, small_inputs, options):
+        from repro.harness.runner import collect_profile, link_original
+
+        original = link_original(small_server)
+        profile, _ = collect_profile(small_server, small_inputs["readish"], seconds=0.3)
+        return run_bolt(small_server.program, original, profile, options=options)
+
+    def test_default_knobs_byte_identical(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        """Explicit defaults must reproduce the implicit-default binary."""
+        implicit = self._bolt(small_server, small_inputs,
+                              BoltOptions(layout="stitch"))
+        explicit = self._bolt(
+            small_server, small_inputs,
+            BoltOptions(layout="stitch", max_splice_bytes=4096,
+                        stitch_order="weight", order_seed=0),
+        )
+        for name, section in implicit.binary.sections.items():
+            assert explicit.binary.sections[name].data == section.data, name
+
+    def test_stitch_order_variants_produce_valid_layouts(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        for order in ("weight", "density", "size"):
+            result = self._bolt(
+                small_server, small_inputs,
+                BoltOptions(layout="stitch", stitch_order=order),
+            )
+            assert result.stitch_stats.chains >= 1, order
+
+    def test_unknown_stitch_order_rejected(
+        self, fresh_engine, small_server, small_inputs
+    ):
+        with pytest.raises(BoltError, match="unknown stitch order"):
+            self._bolt(small_server, small_inputs,
+                       BoltOptions(layout="stitch", stitch_order="alphabetical"))
+
+    def test_order_seed_zero_is_identity(self):
+        from repro.bolt.func_reorder import c3_order, order_tie_key
+
+        assert order_tie_key("f", 0) == "f"
+        assert order_tie_key("f", 1) != "f"
+        assert order_tie_key("f", 1) == order_tie_key("f", 1)
+        hotness = {"a": 10, "b": 10, "c": 5}
+        edges = {("a", "c"): 3}
+        assert c3_order(hotness, edges) == c3_order(hotness, edges, seed=0)
+        seeded = c3_order(hotness, edges, seed=2)
+        assert sorted(seeded) == sorted(hotness)
