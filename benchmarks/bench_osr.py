@@ -1,0 +1,152 @@
+"""On-stack replacement vs the quiesce/pin baseline (extension, ISSUE 10).
+
+The scenario the subsystem exists for: ``loop_server``'s dispatch loop never
+returns, so under the paper's design principle #1 its ``main`` is stack-live
+at every replacement and can never be moved — the pin baseline serves the
+hot loop from unoptimized ``C_0`` forever.  With ``osr=True`` the live
+frames transfer onto each new layout at a safe point, so the very first
+generation already covers the whole hot set.
+
+Measured per mode over three generations: stop-the-world pause per
+replacement (pinning patches direct calls in every pinned function, which
+OSR avoids), carry bytes, pinned stack-live counts, whether the loop PC
+ever reaches the newest generation band, and the simulated time until the
+process is *fully* optimized (no pins, no carry) — infinite for the
+baseline, one generation for OSR.
+
+``benchmarks/data/osr.json`` is the committed record.
+
+Modes:
+    Full run:   pytest benchmarks/bench_osr.py --benchmark-only
+    Smoke run:  BENCH_SMOKE=1 pytest ... (CI: 2 generations)
+    JSON out:   BENCH_JSON_OUT=path.json pytest ... (payload artifact)
+"""
+
+import json
+import os
+
+from repro.core.continuous import generation_band
+from repro.core.orchestrator import Ocolos, OcolosConfig
+from repro.harness.reporting import format_table
+from repro.harness.runner import launch, link_original, measure
+from repro.workloads.loop_server import loop_server_inputs, loop_server_like
+
+
+def _run_mode(workload, spec, binary, *, osr, generations):
+    process = launch(workload, spec, seed=5)
+    process.run(max_transactions=200)
+    ocolos = Ocolos(
+        process, binary,
+        compiler_options=workload.options,
+        config=OcolosConfig(osr=osr),
+    )
+    per_gen = []
+    time_to_full = None
+    for _ in range(generations):
+        report = ocolos.optimize_once()
+        rep = report.replacement or report.continuous
+        osr_rep = rep.osr
+        carry = getattr(rep, "bytes_copied_forward", 0)
+        pinned = (
+            rep.pinned_stack_live
+            if report.replacement is not None
+            else len(osr_rep.functions_pinned) if osr_rep is not None
+            else getattr(rep, "functions_copied", 0)
+        )
+        per_gen.append({
+            "generation": report.generation,
+            "pause_ms": rep.pause_seconds * 1000,
+            "pinned_stack_live": pinned,
+            "carry_bytes": carry,
+            "osr_frames_transferred":
+                osr_rep.frames_transferred if osr_rep is not None else 0,
+        })
+        if time_to_full is None and pinned == 0 and carry == 0:
+            time_to_full = process.sim_seconds()
+        process.run(max_transactions=300)
+    lo, hi = generation_band(process.replacement_generation)
+    throughput = measure(process, transactions=300, warmup=0)
+    return {
+        "osr": osr,
+        "per_generation": per_gen,
+        "pause_ms_total": sum(g["pause_ms"] for g in per_gen),
+        "pinned_final": per_gen[-1]["pinned_stack_live"],
+        "carry_bytes_total": sum(g["carry_bytes"] for g in per_gen),
+        "osr_frames_total": sum(g["osr_frames_transferred"] for g in per_gen),
+        # The loop PC sits in the newest band only if its frame moved.
+        "loop_in_latest_band": all(
+            lo <= t.pc < hi for t in process.threads
+        ),
+        "time_to_full_optimization_s": time_to_full,
+        "tps": throughput.tps,
+    }
+
+
+def run_osr_bench(generations=3):
+    workload = loop_server_like()
+    spec = loop_server_inputs(workload)["steady"]
+    binary = link_original(workload)
+    modes = {
+        name: _run_mode(workload, spec, binary, osr=osr, generations=generations)
+        for name, osr in (("pin", False), ("osr", True))
+    }
+    pin, osr = modes["pin"], modes["osr"]
+    return {
+        "workload": "loop_server",
+        "generations": generations,
+        "modes": modes,
+        "comparison": {
+            "pause_ratio_pin_over_osr":
+                pin["pause_ms_total"] / osr["pause_ms_total"],
+            "pin_ever_fully_optimized":
+                pin["time_to_full_optimization_s"] is not None,
+            "osr_fully_optimized_after_s": osr["time_to_full_optimization_s"],
+        },
+    }
+
+
+def bench_osr(once):
+    smoke = os.environ.get("BENCH_SMOKE") == "1"
+    payload = once(run_osr_bench, generations=2 if smoke else 3)
+
+    print()
+    rows = []
+    for name, m in payload["modes"].items():
+        ttf = m["time_to_full_optimization_s"]
+        rows.append([
+            name,
+            f"{m['pause_ms_total']:.2f}",
+            m["pinned_final"],
+            m["carry_bytes_total"],
+            m["osr_frames_total"],
+            "yes" if m["loop_in_latest_band"] else "no",
+            f"{ttf:.3f}" if ttf is not None else "never",
+            f"{m['tps']:.0f}",
+        ])
+    print(
+        format_table(
+            ["mode", "pause ms (total)", "pinned", "carry B", "frames moved",
+             "loop optimized", "fully optimized (s)", "tps"],
+            rows,
+            title=f"OSR vs quiesce/pin, loop_server x"
+                  f"{payload['generations']} generations",
+        )
+    )
+
+    pin, osr = payload["modes"]["pin"], payload["modes"]["osr"]
+    # The retired limitation, stated as data: the baseline never gets the
+    # never-returning loop onto optimized code; OSR does in generation 1.
+    assert not pin["loop_in_latest_band"] and pin["pinned_final"] > 0
+    assert pin["time_to_full_optimization_s"] is None
+    assert osr["loop_in_latest_band"] and osr["pinned_final"] == 0
+    assert osr["time_to_full_optimization_s"] is not None
+    # OSR carries zero bytes and skips the pin call-site patching, so its
+    # stop-the-world pause is strictly cheaper here.
+    assert osr["carry_bytes_total"] == 0
+    assert payload["comparison"]["pause_ratio_pin_over_osr"] > 1.0
+
+    out = os.environ.get("BENCH_JSON_OUT")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")

@@ -30,6 +30,8 @@ _EXPORTS = {
     "BoltOptions": ".optimizer",
     "BoltResult": ".optimizer",
     "run_bolt": ".optimizer",
+    "block_address_map": ".addressmap",
+    "moved_function_names": ".addressmap",
 }
 
 __getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,79 @@
+"""Block-level address maps between two layouts of the same program.
+
+BOLT (and the stitch layout pass) move blocks but never rename them: a
+:class:`~repro.binary.binaryfile.BlockInfo` keeps its ``"func#bb_id"``
+label across reorderings, splits, carry copies and generation bands.  That
+stable identity is what lets on-stack replacement (:mod:`repro.osr`) pair
+each old-layout block with its new-layout incarnation and derive an
+old-PC -> new-PC mapping for live frames.
+
+This module is the export surface: given a source and a target binary it
+yields, per function, the matched ``(old BlockInfo, new BlockInfo)`` pairs —
+skipping blocks that did not move, which need no frame transfer at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.binary.binaryfile import Binary, BlockInfo
+
+#: label -> (source block, target block); labels are ``"func#bb_id"``.
+BlockPairMap = Dict[str, Tuple[BlockInfo, BlockInfo]]
+
+
+def block_address_map(
+    source: Binary,
+    target: Binary,
+    functions: Optional[Iterable[str]] = None,
+    *,
+    include_unmoved: bool = False,
+) -> Dict[str, BlockPairMap]:
+    """Pair each source block with its target-layout incarnation.
+
+    Args:
+        source: the layout frames currently execute in (``C_0``, a carry
+            copy, or a previous generation band).
+        target: the freshly linked layout frames should transfer into.
+        functions: restrict the map to these function names; defaults to
+            every function present in *both* binaries.
+        include_unmoved: also pair blocks whose address is identical in
+            both layouts.  OSR leaves those frames in place, so they are
+            skipped by default.
+
+    Returns:
+        ``{function: {label: (source_block, target_block)}}`` for every
+        requested function present in both binaries.  Functions missing
+        from either side are silently omitted — the caller decides whether
+        that makes a frame unmappable.
+    """
+    if functions is None:
+        names: Iterable[str] = [n for n in source.functions if n in target.functions]
+    else:
+        names = [
+            n for n in functions if n in source.functions and n in target.functions
+        ]
+    result: Dict[str, BlockPairMap] = {}
+    for name in names:
+        src_blocks = {b.label: b for b in source.functions[name].blocks}
+        dst_blocks = {b.label: b for b in target.functions[name].blocks}
+        pairs: BlockPairMap = {}
+        for label, src in src_blocks.items():
+            dst = dst_blocks.get(label)
+            if dst is None:
+                continue
+            if src.addr == dst.addr and not include_unmoved:
+                continue
+            pairs[label] = (src, dst)
+        result[name] = pairs
+    return result
+
+
+def moved_function_names(source: Binary, target: Binary) -> List[str]:
+    """Functions whose entry block sits at a different address in *target*."""
+    moved = []
+    for name, info in source.functions.items():
+        other = target.functions.get(name)
+        if other is not None and other.addr != info.addr:
+            moved.append(name)
+    return sorted(moved)

@@ -215,6 +215,7 @@ def _run_one_cycle(
     huge_pages: bool = False,
     max_splice_bytes: Optional[int] = None,
     stitch_order: str = "weight",
+    osr: bool = False,
 ) -> None:
     """One full OCOLOS cycle on the MySQL-like workload (quickstart body)."""
     from repro.bolt.optimizer import BoltOptions
@@ -236,10 +237,12 @@ def _run_one_cycle(
     if (
         layout != "bolt"
         or huge_pages
+        or osr
         or stitch_order != defaults.stitch_order
         or (max_splice_bytes is not None and max_splice_bytes != defaults.max_splice_bytes)
     ):
         config = OcolosConfig(
+            osr=osr,
             bolt_options=BoltOptions(
                 layout=layout,
                 huge_pages=huge_pages,
@@ -282,6 +285,7 @@ def _run_pipeline(args) -> None:
         huge_pages=args.huge_pages,
         max_splice_bytes=args.max_splice_bytes,
         stitch_order=args.stitch_order,
+        osr=args.osr == "on",
     )
 
 
@@ -444,6 +448,7 @@ def _fleet_run(args) -> int:
         checkpoint_every=args.checkpoint_every,
         layout=args.layout,
         huge_pages=args.huge_pages,
+        osr=args.osr == "on",
     )
     if tuned is not None:
         from repro.tune.policy import apply_policy
@@ -1024,6 +1029,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="stitch layout: chain-formation priority (default: weight — "
              "hottest call edges first)",
     )
+    pipeline.add_argument(
+        "--osr", choices=("on", "off"), default="off",
+        help="on-stack replacement: transfer live frames onto each new "
+             "layout instead of pinning stack-live C_0 functions "
+             "(default: off)",
+    )
 
     fig = sub.add_parser(
         "fig", help="regenerate a figure",
@@ -1097,6 +1108,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument(
         "--huge-pages", action="store_true",
         help="map each generation's hot text with 2 MiB pages",
+    )
+    fleet_run.add_argument(
+        "--osr", choices=("on", "off"), default="off",
+        help="on-stack replacement: transfer live frames onto each new "
+             "layout at install time and evacuate bands at rollback "
+             "(default: off)",
     )
     fleet_run.add_argument(
         "--checkpoint-every", type=int, default=0, metavar="N",

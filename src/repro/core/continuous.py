@@ -78,16 +78,20 @@ class ContinuousReport:
     pcs_rewritten: int = 0
     regions_collected: int = 0
     pause_seconds: float = 0.0
+    osr: Optional[object] = None  # OsrReport when the osr ladder ran
 
     @property
     def pointer_writes(self) -> int:
         """Pointers rewritten during the pause."""
-        return (
+        writes = (
             self.patches.vtable_slots_patched
             + self.patches.call_sites_patched
             + self.return_addresses_rewritten
             + self.pcs_rewritten
         )
+        if self.osr is not None:
+            writes += self.osr.frames_transferred
+        return writes
 
 
 class ContinuousReplacer:
@@ -101,6 +105,7 @@ class ContinuousReplacer:
         *,
         call_sites: Optional[Dict[str, List[CallSite]]] = None,
         cost_model: Optional[CostModel] = None,
+        osr: bool = False,
     ) -> None:
         if process.wrap_hook is None:
             raise ReplacementError(
@@ -114,6 +119,9 @@ class ContinuousReplacer:
         self.ptrace = PtraceController(process)
         self.patcher = PointerPatcher(self.ptrace, original, call_sites)
         self.cost_model = cost_model or CostModel()
+        #: Transfer live frames out of the retiring band via repro.osr,
+        #: carry-copying only what the mapper rejects.
+        self.osr = osr
         #: Synthetic binaries describing carry copies, per generation.
         self.carry_binaries: Dict[int, Binary] = {}
         self.history: List[ContinuousReport] = []
@@ -153,12 +161,17 @@ class ContinuousReplacer:
             try:
                 self._check_fp_invariant(old_gen)
 
-                # Step 4: inject C_{i+1} and carry-copy stack-live C_i code.
+                # Step 4: inject C_{i+1}, OSR-transfer live frames out of
+                # the retiring band, and carry-copy whatever remains.
                 with _trace.span("ocolos.inject", step=4) as s4:
                     injector = CodeInjector(self.process)
                     report.injection = injector.inject(bolted)
 
                     band = generation_band(old_gen)
+                    if self.osr:
+                        report.osr = self._transfer_frames(current, bolted, band)
+                    # Re-scans live pointers, so after a full OSR transfer
+                    # nothing is left in the band and this no-ops.
                     addr_map = self._copy_stack_live_code(current, bolted, band, report)
                     s4.set_attrs(
                         bytes_copied=report.injection.bytes_copied,
@@ -201,6 +214,39 @@ class ContinuousReplacer:
 
     # ------------------------------------------------------------------
 
+    def _transfer_frames(self, current: Binary, bolted: Binary, band: Tuple[int, int]):
+        """OSR rung of the ladder: move live frames out of the retiring band.
+
+        Sources are the retiring generation plus the carry copies riding
+        in its band (carry block labels are stable, so frames that were
+        carry-copied in an earlier round transfer out the same way);
+        ``C_0`` pointers stay foreign because only in-band source blocks
+        are mapped.  Whatever the mapper rejects is left in the band for
+        the carry-copy rung that follows.
+        """
+        from repro.errors import OsrError
+        from repro.osr.mapper import FrameMapper
+        from repro.osr.points import collect_osr_points
+        from repro.osr.transfer import transfer_live_frames
+
+        read = self.process.address_space.read
+        sources = [current]
+        carry = self.carry_binaries.get(current.bolt_generation)
+        if carry is not None:
+            sources.append(carry)
+        mapper = FrameMapper.build(read, sources, bolted, source_range=band)
+        points = collect_osr_points(read, current, mapper.functions)
+        try:
+            return transfer_live_frames(
+                self.process,
+                self.ptrace,
+                mapper,
+                jmpbuf_binary=self.original,
+                points=points,
+            )
+        except OsrError as exc:
+            return getattr(exc, "report", None)
+
     def _record_metrics(self, report: ContinuousReport) -> None:
         """Publish per-round convergence gauges.
 
@@ -221,6 +267,10 @@ class ContinuousReplacer:
             ("continuous.bytes_copied_forward", report.bytes_copied_forward),
             ("continuous.pointer_writes", report.pointer_writes),
             ("continuous.regions_collected", report.regions_collected),
+            (
+                "continuous.osr_frames_transferred",
+                report.osr.frames_transferred if report.osr is not None else 0,
+            ),
         ):
             registry.gauge(name, "per-round convergence indicator").labels(
                 generation=gen

@@ -61,6 +61,9 @@ class OcolosConfig:
             duration still appears in the cost report and timelines).
         patch_all_calls: patch calls in every ``C_0`` function (the paper's
             rejected variant; ablation only).
+        osr: transfer live frames onto each new layout via on-stack
+            replacement (:mod:`repro.osr`) instead of pinning stack-live
+            ``C_0`` functions / carry-copying stack-live ``C_i`` code.
         bolt_options: knobs forwarded to BOLT.
     """
 
@@ -72,6 +75,7 @@ class OcolosConfig:
     background_contention: float = 0.22
     background_sim_cap_seconds: float = 0.8
     patch_all_calls: bool = False
+    osr: bool = False
     bolt_options: Optional[BoltOptions] = None
 
 
@@ -127,6 +131,7 @@ class Ocolos:
             cost_model=self.cost_model,
             patch_all_calls=self.config.patch_all_calls,
             fp_map=self.fp_map,
+            osr=self.config.osr,
         )
         self.continuous_replacer: Optional[ContinuousReplacer] = None
         self.current_binary = original
@@ -239,6 +244,7 @@ class Ocolos:
                         self.fp_map,
                         call_sites=self.call_sites,
                         cost_model=self.cost_model,
+                        osr=self.config.osr,
                     )
                 report.continuous = self.continuous_replacer.replace_next(
                     bolt_result, self.current_binary

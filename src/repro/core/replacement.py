@@ -14,6 +14,12 @@
 (function pointers in heap/registers, return addresses, saved PCs) keeps
 working, merely running unoptimized code until a patched call or v-table
 steers execution back into the new generation (design principles #1 and #2).
+
+With ``osr=True`` the replacer first *transfers* live frames of moved
+functions onto the new layout through :mod:`repro.osr` (the paused PC is a
+safe point), so a never-returning dispatch loop runs optimized code
+immediately instead of being pinned behind call-site patches.  Call-site
+pinning survives as the fallback rung for frames OSR cannot map.
 """
 
 from __future__ import annotations
@@ -42,8 +48,12 @@ class ReplacementReport:
     injection: InjectionReport = field(default_factory=InjectionReport)
     patches: PatchReport = field(default_factory=PatchReport)
     stack_live_count: int = 0
+    #: stack-live *moved* functions still anchored to old code after the
+    #: pause — what OSR drives to zero (without OSR: all moved live ones).
+    pinned_stack_live: int = 0
     pause_seconds: float = 0.0
     trampolines: Optional[object] = None  # TrampolineReport when enabled
+    osr: Optional[object] = None  # OsrReport when the osr ladder ran
 
     @property
     def pointer_writes(self) -> int:
@@ -51,6 +61,8 @@ class ReplacementReport:
         writes = self.patches.vtable_slots_patched + self.patches.call_sites_patched
         if self.trampolines is not None:
             writes += self.trampolines.installed
+        if self.osr is not None:
+            writes += self.osr.frames_transferred
         return writes
 
 
@@ -67,6 +79,7 @@ class CodeReplacer:
         patch_all_calls: bool = False,
         fp_map: Optional[FunctionPointerMap] = None,
         trampolines: bool = False,
+        osr: bool = False,
     ) -> None:
         """
         Args:
@@ -83,6 +96,9 @@ class CodeReplacer:
                 jumps to their new versions, so *every* invocation reaches
                 optimized code (the paper's security/debugging variant,
                 §IV-B).
+            osr: transfer live frames of moved functions onto the new
+                layout (:mod:`repro.osr`) before falling back to call-site
+                pinning for whatever could not be mapped.
         """
         self.process = process
         self.original = original
@@ -92,6 +108,7 @@ class CodeReplacer:
         self.cost_model = cost_model or CostModel()
         self.patch_all_calls = patch_all_calls
         self.trampolines = trampolines
+        self.osr = osr
         self.history: List[ReplacementReport] = []
 
     def replace(self, bolt_result: BoltResult) -> ReplacementReport:
@@ -128,6 +145,18 @@ class CodeReplacer:
                     live = stack_live_functions(self.process, index)
                     report.patches.stack_live_functions = live
                     report.stack_live_count = len(live)
+                    moved = set(self.patcher.moved_entries(bolted))
+                    if self.osr and live & moved:
+                        report.osr = self._transfer_frames(bolted, live & moved)
+                        # Re-unwind against C_0 alone: a transferred frame
+                        # no longer resolves into old code, so its function
+                        # needs no call-site pinning — its C_0 copy can
+                        # never execute again.
+                        live = stack_live_functions(
+                            self.process, AddressIndex([self.original])
+                        )
+                        report.patches.stack_live_functions = live
+                    report.pinned_stack_live = len(live & moved)
                     if self.patch_all_calls:
                         targets: Set[str] = set(self.patcher.all_c0_functions())
                     else:
@@ -167,3 +196,31 @@ class CodeReplacer:
             sr.set_attrs(pause_seconds=report.pause_seconds)
             _trace.apportion(sr, (s3, s4, s5, s6), report.pause_seconds)
             return report
+
+    def _transfer_frames(self, bolted: Binary, functions: Set[str]):
+        """OSR rung of the ladder: map and move live frames of ``functions``.
+
+        Returns the :class:`~repro.osr.transfer.OsrReport` — on an
+        all-or-nothing rollback, the report of the undone attempt, with
+        the pin fallback handled by the caller's re-unwind.
+        """
+        from repro.errors import OsrError
+        from repro.osr.mapper import FrameMapper
+        from repro.osr.points import collect_osr_points
+        from repro.osr.transfer import transfer_live_frames
+
+        read = self.process.address_space.read
+        mapper = FrameMapper.build(
+            read, [self.original], bolted, functions=sorted(functions)
+        )
+        points = collect_osr_points(read, self.original, mapper.functions)
+        try:
+            return transfer_live_frames(
+                self.process,
+                self.ptrace,
+                mapper,
+                jmpbuf_binary=self.original,
+                points=points,
+            )
+        except OsrError as exc:
+            return getattr(exc, "report", None)

@@ -94,6 +94,9 @@ _WORKLOAD_FACTORIES: Dict[str, Tuple[str, str, str]] = {
     # Registered for the layout autotuner (single-shot compiler invocations);
     # deliberately NOT in WORKLOADS — the figure sweeps stay server-only.
     "clangbuild": ("repro.workloads.clangbuild", "clangbuild_bundle", "clangbuild_params"),
+    # Registered for the OSR subsystem (never-returning dispatch loop);
+    # also NOT in WORKLOADS for the same reason.
+    "loop_server": ("repro.workloads.loop_server", "loop_server_bundle", "loop_server_params"),
 }
 
 WORKLOADS = ("mysql", "mongodb", "memcached", "verilator")

@@ -59,6 +59,10 @@ class ReplacementError(ReproError):
     """OCOLOS code replacement failed or was attempted in an invalid state."""
 
 
+class OsrError(ReplacementError):
+    """An on-stack replacement frame transfer failed and was rolled back."""
+
+
 class ProfileError(ReproError):
     """Profiling data is missing, empty, or cannot be mapped to a binary."""
 

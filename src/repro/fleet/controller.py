@@ -242,6 +242,11 @@ class FleetConfig:
     layout: str = "bolt"
     #: Map each generation's hot text with 2 MiB pages.
     huge_pages: bool = False
+    #: On-stack replacement install mode (:mod:`repro.osr`): transfer live
+    #: frames onto each new layout instead of pinning stack-live functions,
+    #: and evacuate generation bands before rollback GC so nothing waits
+    #: on quiesce.  Scenario TOML key: ``osr = true``.
+    osr: bool = False
 
     def effective_bolt_options(self) -> Optional[BoltOptions]:
         """``bolt_options`` with the scenario-level layout knobs folded in."""
@@ -287,6 +292,14 @@ class FleetSloRow:
     #: from out-of-rotation nodes.
     router_lost_requests: int = 0
     router_rerouted_requests: int = 0
+    #: On-stack replacement visibility: peak stack-live functions seen at
+    #: an install pause, how many stayed pinned to old code afterwards
+    #: (0 with OSR on a mappable workload), frames OSR moved, and ticks
+    #: served waiting for generation bands to quiesce before GC.
+    stack_live_count: int = 0
+    pinned_stack_live: int = 0
+    osr_frames_transferred: int = 0
+    quiesce_wait_ticks: int = 0
 
 
 @dataclass
@@ -310,6 +323,11 @@ class RolloutOutcome:
     faults_injected: int = 0
     installs: int = 0
     generation_skew: int = 0
+    #: OSR visibility (see the matching FleetSloRow columns).
+    stack_live_count: int = 0
+    pinned_stack_live: int = 0
+    osr_frames_transferred: int = 0
+    quiesce_wait_ticks: int = 0
     events: Optional[EventLog] = None
     #: Per-node per-tick routed arrivals (the replayable demand schedule).
     demand_schedule: List[List[int]] = field(default_factory=list)
@@ -348,6 +366,10 @@ class RolloutOutcome:
                 generation_skew=self.generation_skew,
                 router_lost_requests=self.requests_lost,
                 router_rerouted_requests=self.rerouted_requests,
+                stack_live_count=self.stack_live_count,
+                pinned_stack_live=self.pinned_stack_live,
+                osr_frames_transferred=self.osr_frames_transferred,
+                quiesce_wait_ticks=self.quiesce_wait_ticks,
             )
         ]
 
@@ -371,6 +393,10 @@ class RolloutOutcome:
             "faults_injected": self.faults_injected,
             "installs": self.installs,
             "generation_skew": self.generation_skew,
+            "stack_live_count": self.stack_live_count,
+            "pinned_stack_live": self.pinned_stack_live,
+            "osr_frames_transferred": self.osr_frames_transferred,
+            "quiesce_wait_ticks": self.quiesce_wait_ticks,
             "events": self.events.to_jsonable() if self.events else None,
             "event_digest": self.events.replay_digest() if self.events else None,
         }
@@ -435,6 +461,11 @@ class FleetController:
         self._retries = 0
         self._installs = 0
         self._last_pause_seconds = 0.0
+        #: OSR visibility accounting (surfaced on RolloutOutcome/FleetSloRow).
+        self._stack_live_peak = 0
+        self._pinned_peak = 0
+        self._osr_frames = 0
+        self._quiesce_wait_ticks = 0
         self._forensics = None
         if self.cfg.checkpoint_every > 0:
             from repro.forensics.checkpoint import ForensicsRecorder
@@ -460,6 +491,74 @@ class FleetController:
         """Ledger one machine-state mutation with the forensics recorder."""
         if self._forensics is not None:
             self._forensics.on_mutation(node, kind, **attrs)
+
+    def _note_install_report(self, report, node: int) -> None:
+        """Surface one install's stack-live / OSR accounting.
+
+        Emits the first-class ``fleet.stack_live_count`` /
+        ``fleet.pinned_stack_live`` gauges and, when the OSR ladder ran,
+        the schema-v3 ``replica.osr`` event carrying per-frame transfer
+        outcomes.
+        """
+        self._stack_live_peak = max(self._stack_live_peak, report.stack_live_count)
+        self._pinned_peak = max(self._pinned_peak, report.pinned_stack_live)
+        self._gauge("stack_live_count", report.stack_live_count)
+        self._gauge("pinned_stack_live", report.pinned_stack_live)
+        osr = getattr(report, "osr", None)
+        if osr is None:
+            return
+        self._osr_frames += osr.frames_transferred
+        self._count("osr_frames_transferred_total", osr.frames_transferred)
+        self.log.emit(
+            self.tick, "replica.osr", node=node,
+            transferred=osr.frames_transferred,
+            unmappable=osr.frames_unmappable,
+            pinned=list(osr.functions_pinned),
+            rolled_back=osr.snapshot_rolled_back,
+            frames=osr.frame_outcomes(),
+        )
+
+    def _evacuate_bands(self, process):
+        """Reverse-OSR live frames out of the optimized bands onto ``C_0``.
+
+        Run before rollback GC when ``osr`` is on: instead of serving
+        quiesce-wait ticks until band frames drain by themselves, transfer
+        them back through the inverse block map so
+        :func:`~repro.fleet.rollback.try_collect_bands` quiesces on its
+        first attempt.  Returns the transfer report (None when nothing ran
+        or the attempt was rolled back) — the caller emits the event, so
+        lock-step and serial cohorts log identically.
+        """
+        if self._bolt_result is None or process.replacement_generation == 0:
+            return None
+        from repro.errors import OsrError
+        from repro.osr.mapper import FrameMapper, binary_reader
+        from repro.osr.transfer import transfer_live_frames
+        from repro.vm.ptrace import PtraceController
+
+        # Read from pristine images, not process memory: a replica that
+        # faulted mid-install may not have every band region mapped.
+        read = binary_reader(self._bolt_result.binary, self.original)
+        mapper = FrameMapper.build(read, [self._bolt_result.binary], self.original)
+        try:
+            return transfer_live_frames(
+                process,
+                PtraceController(process),
+                mapper,
+                jmpbuf_binary=self.original,
+            )
+        except OsrError:
+            return None
+
+    def _emit_evacuation(self, report, node: int) -> None:
+        if report is None:
+            return
+        if report.frames_transferred or report.frames_unmappable:
+            self.log.emit(
+                self.tick, "replica.osr_evacuate", node=node,
+                transferred=report.frames_transferred,
+                unmappable=report.frames_unmappable,
+            )
 
     # ------------------------------------------------------------------
     # serving
@@ -718,6 +817,7 @@ class FleetController:
                     call_sites=self.call_sites,
                     cost_model=self.cost_model,
                     fp_map=fp_map,
+                    osr=cfg.osr,
                 )
                 if self.plan.should_fire("patch.mid_replace", node):
                     self.log.emit(
@@ -751,6 +851,7 @@ class FleetController:
             self._last_pause_seconds = report.pause_seconds
             self._installs += 1
             self._count("installs_total")
+            self._note_install_report(report, node)
             self.log.emit(
                 self.tick, "replica.patched", node=node,
                 generation=replica.generation,
@@ -780,6 +881,10 @@ class FleetController:
         self._mutation(replica.node, "rollback")
         self._rollbacks += 1
         self._count("rollbacks_total")
+        if self.cfg.osr:
+            self._emit_evacuation(
+                self._evacuate_bands(replica.process), replica.node
+            )
         collected = 0
         quiesced = False
         for _ in range(self.cfg.gc_retry_ticks):
@@ -787,6 +892,8 @@ class FleetController:
             collected += got
             if quiesced:
                 break
+            self._quiesce_wait_ticks += 1
+            self._count("quiesce_wait_ticks_total")
             self._serve_ticks(1)
         report.regions_collected = collected
         report.quiesced = quiesced
@@ -1004,6 +1111,11 @@ class FleetController:
         outcome.retries = self._retries
         outcome.faults_injected = self.plan.fired_total()
         outcome.installs = self._installs
+        outcome.stack_live_count = self._stack_live_peak
+        outcome.pinned_stack_live = self._pinned_peak
+        outcome.osr_frames_transferred = self._osr_frames
+        outcome.quiesce_wait_ticks = self._quiesce_wait_ticks
+        self._gauge("quiesce_wait_ticks", self._quiesce_wait_ticks)
         healthy_gens = [r.generation for r in self.replicas if r.healthy]
         outcome.generation_skew = (
             max(healthy_gens) - min(healthy_gens) if healthy_gens else 0
@@ -1172,6 +1284,7 @@ class FleetController:
                             call_sites=self.call_sites,
                             cost_model=self.cost_model,
                             fp_map=fp_map,
+                            osr=cfg.osr,
                         )
                         report = replacer.replace(bolt_result)
                     else:
@@ -1185,6 +1298,7 @@ class FleetController:
                                 call_sites=self.call_sites,
                                 cost_model=self.cost_model,
                                 fp_map=fp_map,
+                                osr=cfg.osr,
                             )
                             if self.plan.should_fire(
                                 "patch.mid_replace", member.node
@@ -1226,6 +1340,9 @@ class FleetController:
             self._last_pause_seconds = report.pause_seconds
             self._installs += len(unit.members)
             self._count("installs_total", len(unit.members))
+            # One accounting call per unit: in serial mode every member's
+            # report is bit-identical, so logging the last matches lock-step.
+            self._note_install_report(report, rep.node)
             attrs: Dict[str, object] = dict(
                 generation=rep.generation,
                 pause_ms=round(report.pause_seconds * 1000.0, 3),
@@ -1276,6 +1393,12 @@ class FleetController:
                 )
         self._rollbacks += len(unit.members)
         self._count("rollbacks_total", len(unit.members))
+        if self.cfg.osr:
+            evac = None
+            for process in unit.distinct_processes():
+                got_report = self._evacuate_bands(process)
+                evac = evac or got_report
+            self._emit_evacuation(evac, unit.rep.node)
         collected = 0
         quiesced = False
         for _ in range(self.cfg.gc_retry_ticks):
@@ -1286,6 +1409,8 @@ class FleetController:
                 quiesced = quiesced and q
             if quiesced:
                 break
+            self._quiesce_wait_ticks += 1
+            self._count("quiesce_wait_ticks_total")
             self._serve_ticks(1)
         assert report is not None
         report.regions_collected = collected

@@ -31,7 +31,14 @@ _log = _obs_log.get_logger("fleet.events")
 #:   The record shape is unchanged, so v1 logs load as before (the loader
 #:   rejects only *newer*-than-this versions — ``repro fleet bisect`` keeps
 #:   working against v1 ``--events-out`` files).
-EVENTS_SCHEMA_VERSION = 2
+#: * **v3** — on-stack replacement events ride along: ``replica.osr``
+#:   records one install's per-frame transfer outcomes in ``attrs``
+#:   (``transferred``, ``unmappable``, ``pinned``, ``rolled_back`` and a
+#:   ``frames`` list of ``{tid, kind, slot, from, to, function, point,
+#:   outcome}`` dicts), and ``replica.osr_evacuate`` records rollback-time
+#:   band evacuation.  The record shape is again unchanged; v1/v2 logs
+#:   keep loading.
+EVENTS_SCHEMA_VERSION = 3
 _HEADER_KIND = "fleet.events.header"
 
 

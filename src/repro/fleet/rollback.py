@@ -31,7 +31,12 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.binary.binaryfile import BOLT_TEXT_BASE, RODATA_BASE, Binary
+from repro.binary.binaryfile import (
+    BOLT_GEN_STRIDE,
+    BOLT_TEXT_BASE,
+    RODATA_BASE,
+    Binary,
+)
 from repro.core.funcptr_map import FunctionPointerMap
 from repro.core.patcher import CallSite, scan_direct_call_sites
 from repro.isa.instructions import Opcode
@@ -171,8 +176,22 @@ def _live_band_addresses(process: Process, original: Binary) -> List[int]:
     return out
 
 
+def _band_index(addr: int) -> int:
+    """Which generation band (1-based) owns ``addr``.
+
+    Carry regions live inside their generation's band, so a pointer into a
+    carry copy pins exactly the band that holds the copy.
+    """
+    return (addr - BOLT_TEXT_BASE) // BOLT_GEN_STRIDE + 1
+
+
 def try_collect_bands(process: Process, original: Binary) -> Tuple[int, bool]:
     """Unmap retired generation bands once nothing live references them.
+
+    Collection is per-band: a band is retained only while a live pointer
+    targets *that* band, so with OSR draining frames incrementally each
+    band is reclaimed the very tick its last frame transfers out, instead
+    of every band waiting on the slowest one.
 
     Returns:
         ``(regions_collected, quiesced)`` — ``quiesced`` is True when no
@@ -186,10 +205,16 @@ def try_collect_bands(process: Process, original: Binary) -> Tuple[int, bool]:
         if process.replacement_generation != 0:
             process.replacement_generation = 0
         return 0, True
-    if _live_band_addresses(process, original):
-        return 0, False
+    pinned = {_band_index(a) for a in _live_band_addresses(process, original)}
+    collected = 0
     for region in band_regions:
+        if _band_index(region.start) in pinned:
+            continue
         space.unmap_region(region.start)
-    process.interpreter.invalidate()
+        collected += 1
+    if collected:
+        process.interpreter.invalidate()
+    if pinned:
+        return collected, False
     process.replacement_generation = 0
-    return len(band_regions), True
+    return collected, True

@@ -1,0 +1,49 @@
+"""On-stack replacement: transfer live frames between code layouts.
+
+OCOLOS's central compromise (paper §IV-B) is that a function with live
+frames can never be moved — ``core.replacement`` pins stack-live ``C_0``
+functions behind call-site patches and ``core.continuous`` byte-copies
+stack-live ``C_i`` code into carry regions.  A server whose main dispatch
+loop never returns therefore never gets fully BOLTed, and fleet rollbacks
+wait on quiesce.
+
+This package retires that limitation in the style of *On-Stack Replacement
+à la Carte*: every quantum boundary is a safe point (the interpreter — and
+every superblock deopt guard, see :mod:`repro.vm.superblock` — re-establishes
+the exact reference PC on pause), so a paused frame can be transferred to
+the new layout by rewriting its PC, return addresses and jmpbuf slots
+through a block-level address map.
+
+* :mod:`repro.osr.points` — the OSR-point pass: classify decoded
+  instruction boundaries as entry / loop-back-edge / call-return /
+  quantum-boundary transfer sites;
+* :mod:`repro.osr.mapper` — :class:`FrameMapper`: an old-PC -> new-PC map
+  built from the BOLT/stitch block address maps
+  (:func:`repro.bolt.addressmap.block_address_map`), with per-function
+  mappability verification;
+* :mod:`repro.osr.transfer` — the ``vm``-level transfer primitive:
+  enumerate live code pointers, rewrite them through the mapper with the
+  process paused, snapshot/restore as the all-or-nothing fallback.
+
+The fallback ladder is OSR -> carry-copy -> pin: frames the mapper cannot
+prove safe stay on the old code and flow through the pre-existing
+carry/pin machinery unchanged.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "OsrPoint": ".points",
+    "OsrPointIndex": ".points",
+    "collect_osr_points": ".points",
+    "FrameMapper": ".mapper",
+    "binary_reader": ".mapper",
+    "MAPPED": ".mapper",
+    "UNMAPPABLE": ".mapper",
+    "FOREIGN": ".mapper",
+    "FrameTransfer": ".transfer",
+    "OsrReport": ".transfer",
+    "transfer_live_frames": ".transfer",
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,282 @@
+""":class:`FrameMapper`: old-PC -> new-PC maps between code layouts.
+
+The map is built from the block address maps that BOLT/stitch export
+(:func:`repro.bolt.addressmap.block_address_map`) plus a disassembly of
+both incarnations of every moved block.  The soundness argument leans on
+two repo invariants:
+
+* **Safe points.** A paused PC always sits on an instruction boundary of
+  the reference interpretation: the interpreter pauses between
+  instructions and every superblock exit — deopt, side exit, budget cut —
+  re-establishes the exact reference PC (:mod:`repro.vm.superblock`).  So
+  the only state a frame transfer must compensate is the PC itself (and
+  return addresses / jmpbuf slots, which are just saved PCs): operand
+  state lives in the simulated heap/stack, which layouts share.
+
+* **Layout invariance.** Codegen lowers block *bodies* 1:1 from IR in
+  every layout; only the terminator tail differs (elided jumps, inverted
+  branch senses, split switch chains — see
+  ``compiler/codegen.py:_lower_terminator``).  So old and new bodies pair
+  index-wise, conditional branches pair by site id (the invert bit is
+  encoding-level and does not change RNG draw order), and a trailing jump
+  maps either onto the new trailing jump or — when the new layout elided
+  it — onto its target block's new entry.
+
+Every mapping is *verified* during construction: a block pair whose
+bodies or branch tails disagree marks the whole function unmappable, and
+its frames fall down the ladder to carry-copy/pin.  Lookups are a
+trichotomy: ``MAPPED`` (rewrite the slot), ``UNMAPPABLE`` (inside a moved
+block of a known function, but no safe mapping — carry or pin it), or
+``FOREIGN`` (not in any moved block: ``C_0`` cold code, unmoved blocks,
+data — leave it alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.binary.binaryfile import Binary, BlockInfo
+from repro.bolt.addressmap import block_address_map
+from repro.errors import ReproError
+from repro.isa.disassembler import ReadBytes, disassemble_range
+from repro.isa.instructions import Instruction, Opcode
+
+MAPPED = "mapped"
+UNMAPPABLE = "unmappable"
+FOREIGN = "foreign"
+
+
+def binary_reader(*binaries: Binary) -> ReadBytes:
+    """``read(addr, n)`` over the binaries' own section bytes.
+
+    Lets a mapper build from pristine images when a layout may not be
+    mapped in the target process (fleet rollback evacuates replicas whose
+    install never completed).  Pristine bytes are equivalent for mapping:
+    injection copies sections verbatim, and the only post-injection code
+    writes are call-site rel32 retargets, which body compatibility
+    deliberately ignores.
+    """
+    sections = [s for b in binaries for s in b.sections.values()]
+
+    def read(addr: int, n: int) -> bytes:
+        for s in sections:
+            if s.addr <= addr and addr + n <= s.end:
+                off = addr - s.addr
+                return bytes(s.data[off : off + n])
+        raise ReproError(f"address {addr:#x} outside every section")
+
+    return read
+
+_TRAILING = (Opcode.JMP, Opcode.RET, Opcode.HALT, Opcode.JTAB)
+
+Decoded = List[Tuple[int, Instruction]]
+
+
+def _split_tail(insns: Decoded) -> Tuple[Decoded, Decoded, Optional[Tuple[int, Instruction]]]:
+    """Split a block into (body, br_cond chain, trailing transfer)."""
+    i = len(insns)
+    trailing = None
+    if i and insns[i - 1][1].op in _TRAILING:
+        trailing = insns[i - 1]
+        i -= 1
+    j = i
+    while j and insns[j - 1][1].op == Opcode.BR_COND:
+        j -= 1
+    return insns[:j], insns[j:i], trailing
+
+
+def _body_compatible(old: Instruction, new: Instruction) -> bool:
+    """Same reference-semantics instruction, allowing relinked targets."""
+    return (
+        old.op is new.op
+        and old.site == new.site
+        and old.weight == new.weight
+        and old.slot == new.slot
+        and old.wrapped == new.wrapped
+    )
+
+
+@dataclass
+class FrameMapper:
+    """Verified old-address -> new-address map over moved blocks."""
+
+    #: exact old instruction address -> new instruction address.
+    addresses: Dict[int, int] = field(default_factory=dict)
+    #: (start, end, function) spans of every moved source block considered.
+    spans: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: functions whose every moved block verified and mapped.
+    functions: List[str] = field(default_factory=list)
+    #: function -> reason it could not be mapped.
+    unmappable: Dict[str, str] = field(default_factory=dict)
+
+    def lookup(self, addr: int) -> Tuple[str, Optional[int], Optional[str]]:
+        """Classify ``addr`` -> (outcome, new address or None, function)."""
+        new = self.addresses.get(addr)
+        if new is not None:
+            return MAPPED, new, self._owner(addr)
+        for start, end, function in self.spans:
+            if start <= addr < end:
+                return UNMAPPABLE, None, function
+        return FOREIGN, None, None
+
+    def _owner(self, addr: int) -> Optional[str]:
+        for start, end, function in self.spans:
+            if start <= addr < end:
+                return function
+        return None
+
+    @classmethod
+    def build(
+        cls,
+        read: ReadBytes,
+        sources: Sequence[Binary],
+        target: Binary,
+        functions: Optional[Iterable[str]] = None,
+        source_range: Optional[Tuple[int, int]] = None,
+    ) -> "FrameMapper":
+        """Build and verify a mapper from live layouts in process memory.
+
+        Args:
+            read: ``read(addr, n) -> bytes`` over the process address
+                space (both layouts must already be mapped — the target is
+                mapped by code injection before any transfer happens).
+            sources: layouts frames may currently execute in, e.g.
+                ``[C_0]`` for first replacement or ``[C_i, carry(C_i-1)]``
+                for a continuous generation.  Block labels are stable
+                across all of them.
+            target: the layout to transfer frames into.
+            functions: restrict mapping to these functions.
+            source_range: only consider source blocks whose entry lies in
+                ``[start, end)`` — used by the continuous optimizer to map
+                only the retiring generation band, leaving ``C_0``
+                pointers foreign.
+        """
+        mapper = cls()
+        failed: Dict[str, str] = {}
+        for source in sources:
+            pair_map = block_address_map(source, target, functions)
+            for name, pairs in pair_map.items():
+                src_info = source.functions[name]
+                entry_label = {b.addr: b.label for b in src_info.blocks}
+                dst_blocks = {b.label: b for b in target.functions[name].blocks}
+                for label, (src, dst) in pairs.items():
+                    if source_range is not None and not (
+                        source_range[0] <= src.addr < source_range[1]
+                    ):
+                        continue
+                    if src.size:
+                        mapper.spans.append((src.addr, src.addr + src.size, name))
+                    if name in failed:
+                        continue
+                    reason = mapper._map_block_pair(
+                        read, src, dst, entry_label, dst_blocks
+                    )
+                    if reason is not None:
+                        failed[name] = f"{label}: {reason}"
+            # Functions whose source blocks exist but vanished from the
+            # target (dropped from the link) are unmappable wholesale.
+            wanted = (
+                set(functions) if functions is not None else set(source.functions)
+            )
+            for name in wanted & set(source.functions):
+                if name in target.functions:
+                    continue
+                for block in source.functions[name].blocks:
+                    if source_range is not None and not (
+                        source_range[0] <= block.addr < source_range[1]
+                    ):
+                        continue
+                    if block.size:
+                        mapper.spans.append((block.addr, block.addr + block.size, name))
+                failed.setdefault(name, "function absent from target layout")
+        if failed:
+            # Transfers are all-or-nothing per function: drop every staged
+            # mapping that lives inside a failed function's source spans.
+            mapper.unmappable.update(failed)
+            bad = [(s, e) for s, e, name in mapper.spans if name in failed]
+            mapper.addresses = {
+                old: new
+                for old, new in mapper.addresses.items()
+                if not any(s <= old < e for s, e in bad)
+            }
+        mapper.spans.sort()
+        seen = {f for _, _, f in mapper.spans}
+        mapper.functions = sorted(seen - set(failed))
+        return mapper
+
+    def _map_block_pair(
+        self,
+        read: ReadBytes,
+        src: BlockInfo,
+        dst: BlockInfo,
+        entry_label: Dict[int, str],
+        dst_blocks: Dict[str, BlockInfo],
+    ) -> Optional[str]:
+        """Map one verified block pair; return a reason string on failure."""
+        old = disassemble_range(read, src.addr, src.addr + src.size)
+        new = disassemble_range(read, dst.addr, dst.addr + dst.size)
+        old_body, old_brs, old_trail = _split_tail(old)
+        new_body, new_brs, new_trail = _split_tail(new)
+        if len(old_body) != len(new_body):
+            return f"body length {len(old_body)} != {len(new_body)}"
+        staged: Dict[int, int] = {}
+        for (old_addr, old_insn), (new_addr, new_insn) in zip(old_body, new_body):
+            if not _body_compatible(old_insn, new_insn):
+                return f"body mismatch at {old_addr:#x}"
+            staged[old_addr] = new_addr
+        if len(old_brs) != len(new_brs):
+            return f"branch tail {len(old_brs)} != {len(new_brs)}"
+        for (old_addr, old_insn), (new_addr, new_insn) in zip(old_brs, new_brs):
+            if old_insn.site != new_insn.site:
+                return f"branch site {old_insn.site} != {new_insn.site}"
+            staged[old_addr] = new_addr
+        reason = self._map_trailing(
+            staged, old_trail, new_trail, entry_label, dst_blocks
+        )
+        if reason is not None:
+            return reason
+        self.addresses.update(staged)
+        return None
+
+    @staticmethod
+    def _map_trailing(
+        staged: Dict[int, int],
+        old_trail: Optional[Tuple[int, Instruction]],
+        new_trail: Optional[Tuple[int, Instruction]],
+        entry_label: Dict[int, str],
+        dst_blocks: Dict[str, BlockInfo],
+    ) -> Optional[str]:
+        if old_trail is None:
+            return None
+        old_addr, old_insn = old_trail
+        if old_insn.op in (Opcode.RET, Opcode.HALT, Opcode.JTAB):
+            if new_trail is None or new_trail[1].op is not old_insn.op:
+                return f"trailing {old_insn.op.name} missing from target"
+            if old_insn.op is Opcode.JTAB and new_trail[1].site != old_insn.site:
+                return "jump-table site mismatch"
+            staged[old_addr] = new_trail[0]
+            return None
+        # Trailing unconditional jump: the new layout either kept it or
+        # elided it by placing the target as the fallthrough.  A PC parked
+        # on the jump (e.g. a loop back-edge at a quantum boundary) maps
+        # onto the kept jump, or straight onto the target block's new
+        # entry when elided — executing the jump and landing there are the
+        # same reference step sequence for everything the VM counts at
+        # block granularity.
+        label = entry_label.get(old_insn.target)
+        if label is None:
+            return f"jump target {old_insn.target:#x} is not a block entry"
+        if (
+            new_trail is not None
+            and new_trail[1].op is Opcode.JMP
+            and dst_blocks.get(label) is not None
+            and new_trail[1].target == dst_blocks[label].addr
+        ):
+            staged[old_addr] = new_trail[0]
+            return None
+        dst_target = dst_blocks.get(label)
+        if dst_target is None:
+            return f"jump target block {label} absent from target"
+        staged[old_addr] = dst_target.addr
+        return None

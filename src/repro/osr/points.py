@@ -1,0 +1,105 @@
+"""The OSR-point pass: classify safe transfer sites in decoded functions.
+
+Every instruction boundary in the VM is a quantum boundary — the
+interpreter only pauses between instructions, and every superblock exit
+(deopt guard, side exit, budget cut) re-establishes the exact reference PC
+(:mod:`repro.vm.superblock`).  So *any* paused PC is technically
+transferable; this pass exists to tell the interesting sites apart so that
+per-frame transfer outcomes can name what kind of point a frame was
+sitting at:
+
+* ``entry`` — the first instruction of a function;
+* ``backedge`` — the head of a loop, i.e. a block entry that is the
+  target of a backward branch (the classic OSR instrumentation site: a
+  never-returning dispatch loop parks its PC here between iterations);
+* ``return`` — the instruction following a call (where a frame's return
+  address points while a callee is live);
+* ``quantum`` — any other instruction boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.binary.binaryfile import Binary
+from repro.isa.disassembler import ReadBytes, disassemble_range
+from repro.isa.instructions import Opcode
+
+_CALLS = (Opcode.CALL, Opcode.ICALL, Opcode.VCALL)
+_BRANCHES = (Opcode.BR_COND, Opcode.JMP)
+
+
+@dataclass(frozen=True)
+class OsrPoint:
+    """One classified transfer site."""
+
+    addr: int
+    function: str
+    block_label: str
+    #: instruction index within the block.
+    index: int
+    #: ``entry`` | ``backedge`` | ``return`` | ``quantum``.
+    kind: str
+
+
+class OsrPointIndex:
+    """Address -> :class:`OsrPoint` lookup over a set of functions."""
+
+    def __init__(self, points: Iterable[OsrPoint]):
+        self._by_addr: Dict[int, OsrPoint] = {p.addr: p for p in points}
+
+    def __len__(self) -> int:
+        return len(self._by_addr)
+
+    def classify(self, addr: int) -> str:
+        """Kind of the point at ``addr`` (``quantum`` if unknown)."""
+        point = self._by_addr.get(addr)
+        return point.kind if point is not None else "quantum"
+
+    def get(self, addr: int) -> Optional[OsrPoint]:
+        return self._by_addr.get(addr)
+
+
+def collect_osr_points(
+    read: ReadBytes,
+    binary: Binary,
+    functions: Optional[Iterable[str]] = None,
+) -> OsrPointIndex:
+    """Run the OSR-point pass over ``functions`` of ``binary``.
+
+    Precedence when a site qualifies for several kinds:
+    backedge > entry > return > quantum — a never-returning main loop's
+    head is both the function entry and a backedge target, and "backedge"
+    is the classification that explains why OSR can retire it.
+    """
+    names = list(functions) if functions is not None else list(binary.functions)
+    points: List[OsrPoint] = []
+    for name in names:
+        info = binary.functions.get(name)
+        if info is None:
+            continue
+        backedge_targets = set()
+        decoded: List[tuple] = []  # (block, [(addr, insn), ...])
+        for block in info.blocks:
+            if block.size == 0:
+                continue
+            insns = disassemble_range(read, block.addr, block.addr + block.size)
+            decoded.append((block, insns))
+            for addr, insn in insns:
+                if insn.op in _BRANCHES and insn.target <= addr:
+                    backedge_targets.add(insn.target)
+        for block, insns in decoded:
+            after_call = False
+            for index, (addr, insn) in enumerate(insns):
+                if addr in backedge_targets:
+                    kind = "backedge"
+                elif addr == info.addr:
+                    kind = "entry"
+                elif after_call:
+                    kind = "return"
+                else:
+                    kind = "quantum"
+                points.append(OsrPoint(addr, name, block.label, index, kind))
+                after_call = insn.op in _CALLS
+    return OsrPointIndex(points)

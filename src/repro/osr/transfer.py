@@ -1,0 +1,185 @@
+"""The ``vm``-level OSR transfer primitive.
+
+With the process ptrace-paused at a safe point, rewrite every live code
+pointer — thread PCs, stack return addresses, armed jmpbuf continuations —
+through a verified :class:`~repro.osr.mapper.FrameMapper`, moving frames
+from the old layout onto the new one in place.  No other state moves: the
+simulated heap, stack contents (other than saved PCs) and RNG are shared
+between layouts, so the PC rewrite *is* the whole frame transfer.
+
+Failure discipline is all-or-nothing: before the first write the process
+is snapshotted (:func:`repro.vm.snapshot.capture_vm_state` with
+``allow_paused=True``); if any write fails the snapshot is restored and
+:class:`~repro.errors.OsrError` raised, leaving the caller to fall down
+the ladder to carry-copy/pin.  Frames the mapper marks unmappable are
+never touched — they are reported per-frame so callers can retain carry
+regions (or call-site pins) for exactly those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.binary.binaryfile import Binary
+from repro.errors import OsrError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.osr.mapper import FOREIGN, MAPPED, FrameMapper
+from repro.osr.points import OsrPointIndex
+from repro.vm.process import Process
+from repro.vm.ptrace import PtraceController
+from repro.vm.snapshot import capture_vm_state, restore_vm_state
+from repro.vm.unwind import live_code_slots
+
+
+@dataclass(frozen=True)
+class FrameTransfer:
+    """Outcome of one live code pointer's transfer attempt."""
+
+    tid: int
+    #: ``"pc"`` | ``"retaddr"`` | ``"jmpbuf"``.
+    kind: str
+    #: stack-slot index / jmpbuf id / -1 for a PC.
+    slot: int
+    old: int
+    new: Optional[int]
+    function: Optional[str]
+    #: OSR-point classification of the old address (entry/backedge/...).
+    point: str
+    #: ``"mapped"`` | ``"unmappable"``.
+    outcome: str
+    #: memory address of the u64 slot (0 for a PC); not serialized.
+    location: int = 0
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "tid": self.tid,
+            "kind": self.kind,
+            "slot": self.slot,
+            "from": f"{self.old:#x}",
+            "to": f"{self.new:#x}" if self.new is not None else None,
+            "function": self.function,
+            "point": self.point,
+            "outcome": self.outcome,
+        }
+
+
+@dataclass
+class OsrReport:
+    """What one transfer pass scanned, moved, and left behind."""
+
+    transfers: List[FrameTransfer] = field(default_factory=list)
+    frames_scanned: int = 0
+    frames_transferred: int = 0
+    frames_unmappable: int = 0
+    #: pointers outside any moved block (C_0 cold code etc.) — untouched.
+    frames_foreign: int = 0
+    functions_transferred: List[str] = field(default_factory=list)
+    #: functions left with at least one unmappable live frame.
+    functions_pinned: List[str] = field(default_factory=list)
+    snapshot_rolled_back: bool = False
+
+    def frame_outcomes(self) -> List[Dict[str, object]]:
+        """Per-frame outcomes in event-log-safe form."""
+        return [t.to_jsonable() for t in self.transfers]
+
+
+def transfer_live_frames(
+    process: Process,
+    ptrace: PtraceController,
+    mapper: FrameMapper,
+    *,
+    jmpbuf_binary: Optional[Binary] = None,
+    points: Optional[OsrPointIndex] = None,
+) -> OsrReport:
+    """Transfer every mappable live frame through ``mapper``.
+
+    Pauses the process if the caller has not already (and resumes it
+    again on the way out, mirroring :func:`fleet.rollback.restore_original_text`).
+
+    Raises:
+        OsrError: a write failed mid-transfer; the process has been
+            restored from the pre-transfer snapshot (no partial state).
+    """
+    report = OsrReport()
+    already_stopped = ptrace.stopped
+    if not already_stopped:
+        ptrace.pause()
+    try:
+        with _trace.span("osr.transfer") as span:
+            for slot in live_code_slots(process, jmpbuf_binary):
+                report.frames_scanned += 1
+                outcome, new, function = mapper.lookup(slot.value)
+                if outcome == FOREIGN:
+                    report.frames_foreign += 1
+                    continue
+                point = points.classify(slot.value) if points else "quantum"
+                report.transfers.append(
+                    FrameTransfer(
+                        slot.tid, slot.kind, slot.index, slot.value, new,
+                        function, point, outcome, slot.location,
+                    )
+                )
+            _apply(process, ptrace, report)
+            span.set_attrs(
+                scanned=report.frames_scanned,
+                transferred=report.frames_transferred,
+                unmappable=report.frames_unmappable,
+                pinned=len(report.functions_pinned),
+            )
+    finally:
+        if not already_stopped:
+            ptrace.resume()
+    _record_metrics(report)
+    return report
+
+
+def _apply(process: Process, ptrace: PtraceController, report: OsrReport) -> None:
+    """Apply the planned writes under the all-or-nothing snapshot."""
+    mapped = [t for t in report.transfers if t.outcome == MAPPED]
+    report.frames_unmappable = len(report.transfers) - len(mapped)
+    report.functions_pinned = sorted(
+        {t.function for t in report.transfers if t.outcome != MAPPED and t.function}
+    )
+    if not mapped:
+        return
+    snapshot = capture_vm_state(process, allow_paused=True)
+    try:
+        for t in mapped:
+            if t.kind == "pc":
+                regs = ptrace.get_regs(t.tid)
+                regs.pc = t.new
+                ptrace.set_regs(t.tid, regs)
+            else:
+                ptrace.write_u64(t.location, t.new)
+    except Exception as exc:
+        restore_vm_state(process, snapshot)
+        report.snapshot_rolled_back = True
+        report.transfers.clear()
+        err = OsrError(f"frame transfer failed, state restored: {exc}")
+        err.report = report
+        raise err from exc
+    report.frames_transferred = len(mapped)
+    report.functions_transferred = sorted({t.function for t in mapped if t.function})
+    process.interpreter.invalidate()
+
+
+def _record_metrics(report: OsrReport) -> None:
+    registry = _metrics.current()
+    if registry is None:
+        return
+    registry.counter("osr.transfers_total", "OSR transfer passes").inc()
+    registry.counter(
+        "osr.frames_transferred_total", "live frames moved to the new layout"
+    ).inc(report.frames_transferred)
+    registry.counter(
+        "osr.frames_unmappable_total", "live frames left for carry/pin"
+    ).inc(report.frames_unmappable)
+    registry.gauge(
+        "osr.functions_pinned", "functions with unmappable frames (last pass)"
+    ).set(len(report.functions_pinned))
+    if report.snapshot_rolled_back:
+        registry.counter(
+            "osr.snapshot_rollbacks_total", "failed transfers undone via snapshot"
+        ).inc()

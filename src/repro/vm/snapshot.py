@@ -71,14 +71,23 @@ class VMState:
         return len(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
 
 
-def capture_vm_state(process: Process) -> VMState:
+def capture_vm_state(process: Process, *, allow_paused: bool = False) -> VMState:
     """Snapshot ``process`` between ``run()`` calls (a quantum boundary).
 
+    Args:
+        allow_paused: permit capturing while the process is ptrace-paused.
+            Used by the OSR transfer primitive, which snapshots *at* the
+            pause point as its all-or-nothing fallback — a paused PC is a
+            valid reference PC (every superblock exit re-establishes it),
+            so the snapshot is still a quantum-boundary state.  Forensics
+            checkpoints keep the strict default.
+
     Raises:
-        SnapshotError: if the process is paused mid-replacement or has a
-            perf session attached (both hold state a snapshot cannot carry).
+        SnapshotError: if the process is paused mid-replacement (unless
+            ``allow_paused``) or has a perf session attached (which holds
+            state a snapshot cannot carry).
     """
-    if process.paused:
+    if process.paused and not allow_paused:
         raise SnapshotError("cannot checkpoint a paused process")
     if process.perf_session is not None:
         raise SnapshotError("cannot checkpoint while a perf session is attached")

@@ -55,6 +55,15 @@ class SimThread:
         """Number of return addresses currently on the stack."""
         return (self.stack_base - self.sp) // 8
 
+    def return_slot_addresses(self) -> range:
+        """Addresses of the u64 return-address slots, innermost first.
+
+        The OSR transfer primitive walks these to rewrite saved return
+        addresses in place; an empty range for a frameless thread (sp at
+        stack_base) falls out naturally.
+        """
+        return range(self.sp, self.stack_base, 8)
+
     def is_runnable_at(self, now: float) -> bool:
         """Whether the thread can execute once its clock reaches ``now``."""
         if self.state == ThreadState.RUNNABLE:

@@ -9,6 +9,7 @@ whose code must be copied forward (continuous optimization, paper §IV-C1).
 from __future__ import annotations
 
 import bisect
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.binary.binaryfile import Binary
@@ -65,6 +66,55 @@ def live_code_pointers(process: Process) -> List[Tuple[int, str]]:
         out.append((thread.pc, "pc"))
         for ret in stack_return_addresses(process, thread):
             out.append((ret, "retaddr"))
+    return out
+
+
+@dataclass(frozen=True)
+class LiveSlot:
+    """One live code pointer together with the slot that holds it.
+
+    Where :func:`live_code_pointers` answers "which addresses are live",
+    this answers "and where would I write to change them" — the shape the
+    OSR transfer primitive (:mod:`repro.osr.transfer`) needs.
+
+    Attributes:
+        value: the code address the slot currently holds.
+        kind: ``"pc"`` | ``"retaddr"`` | ``"jmpbuf"``.
+        tid: owning thread id.
+        location: absolute address of the u64 slot holding ``value``
+            (0 for a thread PC, which lives in registers, not memory).
+        index: stack-slot index from ``sp`` for retaddrs, jmpbuf id for
+            jmpbufs, -1 for a PC.
+    """
+
+    value: int
+    kind: str
+    tid: int
+    location: int = 0
+    index: int = -1
+
+
+def live_code_slots(
+    process: Process, jmpbuf_binary: Optional[Binary] = None
+) -> List[LiveSlot]:
+    """Every live code pointer as a writable :class:`LiveSlot`.
+
+    Covers thread PCs, every u64 on every stack, and — when
+    ``jmpbuf_binary`` provides the jmpbuf table layout — the saved PC of
+    each armed jmpbuf.  Deterministically ordered by (tid, kind, index).
+    """
+    out: List[LiveSlot] = []
+    for thread in process.threads:
+        out.append(LiveSlot(thread.pc, "pc", thread.tid))
+        for index, location in enumerate(thread.return_slot_addresses()):
+            value = process.address_space.read_u64(location)
+            out.append(LiveSlot(value, "retaddr", thread.tid, location, index))
+        if jmpbuf_binary is not None:
+            for buf in range(jmpbuf_binary.jmpbuf_count):
+                location = jmpbuf_binary.jmpbuf_addr(buf, thread.tid)
+                value = process.address_space.read_u64(location)
+                if value:
+                    out.append(LiveSlot(value, "jmpbuf", thread.tid, location, buf))
     return out
 
 

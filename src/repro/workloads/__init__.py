@@ -28,6 +28,9 @@ _EXPORTS = {
     "verilator_like": ".verilator",
     "verilator_inputs": ".verilator",
     "verilator_params": ".verilator",
+    "loop_server_like": ".loop_server",
+    "loop_server_inputs": ".loop_server",
+    "loop_server_params": ".loop_server",
     "clang_like_compiler": ".clangbuild",
     "clang_params": ".clangbuild",
     "source_file_input": ".clangbuild",

@@ -103,6 +103,11 @@ class WorkloadParams:
     n_jmpbufs: int = 0
     single_shot: bool = False  # batch programs halt after one work item
     work_items: int = 1  # for single_shot programs: transactions before halt
+    #: Inline hot blocks executed by ``main`` itself before each dispatch.
+    #: > 0 makes the dispatch loop's own body hot (an event-loop server whose
+    #: ``main`` never returns and is itself worth optimizing); 0 keeps the
+    #: classic thin trampoline loop.
+    main_inline_ops: int = 0
 
 
 @dataclass
@@ -244,7 +249,7 @@ def build_workload(params: WorkloadParams) -> SyntheticWorkload:
         _build_dispatch_tables(program, params, wl, handlers)
     _build_data_vtables(program, params, rng, work_fns)
     _init_fp_slots(program, params, callbacks)
-    _build_main(program, params, wl, handlers)
+    _build_main(program, params, wl, handlers, rng)
     program.validate()
     return wl
 
@@ -561,18 +566,41 @@ def _build_main(
     params: WorkloadParams,
     wl: SyntheticWorkload,
     handlers: List[str],
+    rng: random.Random,
 ) -> None:
     func = IRFunction("main")
     b0 = func.new_block()
     b0.body = [syscall(0), alu(), call("parse")]
+
+    # Inline event-loop body (main_inline_ops > 0): ``main`` itself executes
+    # a chain of hot blocks before every dispatch — poll/timer bookkeeping
+    # inlined into the loop, like an event-driven server whose dispatch loop
+    # never returns yet is itself worth laying out.  Each chain block may
+    # short-circuit straight to the dispatch block, so the traversed subset
+    # is input-dependent (layout-sensitive).  With the default 0 the classic
+    # thin trampoline shape (dispatch straight out of ``b0``) is unchanged
+    # and ``rng`` is never consumed here.
+    dispatch_entry = b0
+    if params.main_inline_ops > 0:
+        chain = [func.new_block() for _ in range(params.main_inline_ops)]
+        dispatch_block = func.new_block()
+        b0.terminator = Jump(chain[0].bb_id)
+        for i, block in enumerate(chain):
+            block.body = _body(rng, params, mem_class=i % 4)
+            nxt = chain[i + 1].bb_id if i + 1 < len(chain) else dispatch_block.bb_id
+            site = _branch_site(program, wl, rng, "main", "hot_path")
+            block.terminator = CondBr(
+                site=site, taken=dispatch_block.bb_id, fallthrough=nxt
+            )
+        dispatch_entry = dispatch_block
 
     if params.dispatch_mode == "vcall":
         dispatch_site = program.sites.allocate(SiteKind.VCALL, "main")
         wl.dispatch_site = dispatch_site
         wl.dispatch_kind = "vcall"
         wl.vcall_sites[dispatch_site] = list(wl.op_class_ids)
-        b0.body.extend([vcall(dispatch_site, 0), txn_mark()])
-        end_source = b0
+        dispatch_entry.body.extend([vcall(dispatch_site, 0), txn_mark()])
+        end_source = dispatch_entry
     elif params.dispatch_mode == "switch":
         dispatch_site = program.sites.allocate(
             SiteKind.SWITCH, "main", n_cases=len(handlers)
@@ -581,7 +609,7 @@ def _build_main(
         wl.dispatch_kind = "switch"
         op_blocks = [func.new_block() for _ in handlers]
         join = func.new_block()
-        b0.terminator = Switch(
+        dispatch_entry.terminator = Switch(
             site=dispatch_site, targets=tuple(b.bb_id for b in op_blocks)
         )
         for block, handler in zip(op_blocks, handlers):

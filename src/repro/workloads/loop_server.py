@@ -1,0 +1,82 @@
+"""Event-loop server whose main dispatch loop never returns.
+
+The classic OCOLOS limitation (design principle #1) pins every stack-live
+function: ``main`` here is always stack-live — its dispatch loop runs for
+the process lifetime and never pops — and with ``main_inline_ops`` the loop
+*body itself* is hot, so pinning it forfeits real layout wins.  This
+workload exists to exercise the :mod:`repro.osr` subsystem: with OSR on,
+the live ``main`` frame is transferred onto each new layout at a safe
+point, the never-returning loop reaches the fully-BOLTed final generation,
+and no carry copy or pin is needed for it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.generator import SyntheticWorkload, WorkloadParams, build_workload
+from repro.workloads.inputs import InputSpec
+
+OPS = ["poll_op", "dispatch_op", "timer_op", "stats_op", "flush_op", "gc_op"]
+
+INPUT_DEFS = {
+    "steady": (0.25, {"poll_op": 6.0, "dispatch_op": 5.0, "timer_op": 2.0,
+                      "stats_op": 1.0}),
+    "bursty": (0.7, {"dispatch_op": 6.0, "flush_op": 3.0, "gc_op": 1.5,
+                     "poll_op": 2.0}),
+}
+
+
+def loop_server_params(seed: int = 2207) -> WorkloadParams:
+    """Generator parameters for the event-loop server."""
+    return WorkloadParams(
+        name="loop_server",
+        n_work_functions=160,
+        n_utility_functions=40,
+        n_callback_functions=16,
+        n_op_types=len(OPS),
+        op_names=list(OPS),
+        steps_per_op=(16, 30),
+        n_subsystems=5,
+        shared_fraction=0.35,
+        parse_blocks=16,
+        n_data_classes=0,       # plain C event loop: no v-tables
+        data_vtable_slots=0,
+        vcall_step_fraction=0.0,
+        icall_share_per_op=[0.05, 0.08, 0.05, 0.04, 0.05, 0.04],
+        mem_class_per_op=[1, 2, 1, 1, 2, 2],
+        creates_fp_per_op=[False, True, False, False, False, False],
+        syscall_cycles=160.0,   # epoll_wait-ish
+        n_threads=1,            # single event-loop thread
+        scale=2.0,
+        seed=seed,
+        dispatch_mode="switch",
+        main_inline_ops=12,     # hot loop body inlined into never-returning main
+    )
+
+
+def loop_server_like(seed: int = 2207) -> SyntheticWorkload:
+    """Build the event-loop-server workload."""
+    return build_workload(loop_server_params(seed))
+
+
+def loop_server_inputs(workload: SyntheticWorkload) -> Dict[str, InputSpec]:
+    """Event-mix inputs, keyed by name."""
+    out: Dict[str, InputSpec] = {}
+    for name, (theta, mix) in INPUT_DEFS.items():
+        out[name] = workload.make_input(name, theta, mix)
+    return out
+
+
+def loop_server_bundle():
+    """Workload bundle for the engine registry."""
+    from repro.engine.cells import WorkloadBundle
+
+    workload = loop_server_like()
+    inputs = loop_server_inputs(workload)
+    return WorkloadBundle(
+        name="loop_server",
+        workload=workload,
+        inputs=inputs,
+        eval_inputs=["steady"],
+    )

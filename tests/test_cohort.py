@@ -358,7 +358,7 @@ class TestCohortRouterQuantization:
 
 
 class TestEventsSchemaCompat:
-    """Satellite: v2 logs carry cohort ids; v1 files still load."""
+    """Satellite: v3 logs carry cohort + OSR kinds; v1/v2 files still load."""
 
     def test_v1_event_file_still_loads(self, tmp_path):
         path = tmp_path / "v1.jsonl"
@@ -376,12 +376,14 @@ class TestEventsSchemaCompat:
         assert log.kinds() == ["rollout.start", "replica.drain", "replica.patched"]
         assert log.events[2].attrs == {"generation": 1}
 
-    def test_written_logs_carry_v2_and_round_trip(self, tmp_path, lockstep_clean):
+    def test_written_logs_carry_current_version_and_round_trip(
+        self, tmp_path, lockstep_clean
+    ):
         _, out, _ = lockstep_clean
-        path = tmp_path / "v2.jsonl"
+        path = tmp_path / "v3.jsonl"
         out.events.write_jsonl(str(path), workload="small_server")
         log, header = EventLog.load_jsonl(str(path))
-        assert header["v"] == EVENTS_SCHEMA_VERSION == 2
+        assert header["v"] == EVENTS_SCHEMA_VERSION == 3
         assert log.replay_digest() == out.events.replay_digest()
 
     def test_newer_schema_is_rejected(self, tmp_path):

@@ -1,0 +1,374 @@
+"""On-stack replacement tests: mapper verification, transfer, oracles.
+
+The headline claims under test (ISSUE 10 acceptance criteria):
+
+* a server whose dispatch loop never returns (``loop_server``) reaches the
+  fully-BOLTed final generation — zero pinned stack-live functions, zero
+  carry bytes for mappable frames;
+* execution after OSR stays bit-identical to the reference interpreter
+  (superblock-twin machine digests) and workload-identical to a
+  never-optimized run (semantic digest vs the demand-schedule replay);
+* ``FleetConfig(osr=True)`` rollouts and rollbacks complete with zero
+  quiesce-wait ticks — rollback evacuates band frames instead of serving
+  ticks until they drain;
+* band GC is per-band: a band is reclaimed the tick its last frame leaves,
+  independent of other bands (regression for the all-or-nothing collector).
+"""
+
+import pytest
+
+from repro.binary.binaryfile import (
+    BOLT_GEN_STRIDE,
+    BOLT_TEXT_BASE,
+    RODATA_BASE,
+    Binary,
+)
+from repro.core.orchestrator import Ocolos, OcolosConfig
+from repro.errors import ReproError
+from repro.fleet import FleetConfig, FleetController, unoptimized_reference_digests
+from repro.fleet.rollback import try_collect_bands
+from repro.harness.runner import launch, link_original
+from repro.osr import (
+    FOREIGN,
+    MAPPED,
+    UNMAPPABLE,
+    FrameMapper,
+    binary_reader,
+    collect_osr_points,
+)
+from repro.workloads.loop_server import loop_server_inputs, loop_server_like
+
+
+@pytest.fixture(scope="module")
+def loop_server():
+    return loop_server_like()
+
+
+@pytest.fixture(scope="module")
+def loop_spec(loop_server):
+    return loop_server_inputs(loop_server)["steady"]
+
+
+@pytest.fixture(scope="module")
+def osr_pipeline(loop_server, loop_spec):
+    """Three OSR generations on the never-returning loop_server."""
+    binary = link_original(loop_server)
+    process = launch(loop_server, loop_spec, seed=5)
+    process.run(max_transactions=200)
+    ocolos = Ocolos(
+        process, binary,
+        compiler_options=loop_server.options,
+        config=OcolosConfig(osr=True),
+    )
+    reports = [ocolos.optimize_once()]
+    for _ in range(2):
+        process.run(max_transactions=300)
+        reports.append(ocolos.optimize_once())
+    return process, binary, ocolos, reports
+
+
+def band_regions(process):
+    return [
+        r for r in process.address_space.regions()
+        if BOLT_TEXT_BASE <= r.start < RODATA_BASE
+    ]
+
+
+# ----------------------------------------------------------------------
+# OSR points
+# ----------------------------------------------------------------------
+
+
+class TestOsrPoints:
+    def test_every_instruction_boundary_is_a_point(self, tiny):
+        index = collect_osr_points(
+            binary_reader(tiny.binary), tiny.binary, ["main"]
+        )
+        info = tiny.binary.functions["main"]
+        assert len(index) == sum(b.n_instr for b in info.blocks)
+        for block in info.blocks:
+            point = index.get(block.addr)
+            assert point is not None and point.function == "main"
+
+    def test_entry_and_backedge_classification(self, tiny):
+        index = collect_osr_points(binary_reader(tiny.binary), tiny.binary)
+        main = tiny.binary.functions["main"]
+        # main's single block ends in Jump(0): its own entry is the target
+        # of a backward jump, so "backedge" outranks "entry".
+        assert index.classify(main.blocks[0].addr) == "backedge"
+        # helper0's entry is never a loop target.
+        helper = tiny.binary.functions["helper0"]
+        assert index.classify(helper.blocks[0].addr) == "entry"
+        # Off-index addresses degrade to the quantum-boundary default.
+        assert index.classify(0xDEAD_0000) == "quantum"
+
+
+# ----------------------------------------------------------------------
+# FrameMapper
+# ----------------------------------------------------------------------
+
+
+class TestFrameMapper:
+    @pytest.fixture(scope="class")
+    def mapper(self, osr_pipeline):
+        _process, binary, _ocolos, reports = osr_pipeline
+        bolted = reports[0].bolt.binary
+        read = binary_reader(binary, bolted)
+        return FrameMapper.build(read, [binary], bolted), binary, bolted
+
+    def test_moved_entries_map_to_target_entries(self, mapper):
+        m, original, bolted = mapper
+        for name in m.functions:
+            outcome, new, func = m.lookup(original.functions[name].addr)
+            assert outcome == MAPPED and func == name
+            assert new == bolted.functions[name].blocks[0].addr
+
+    def test_lookup_trichotomy(self, mapper):
+        m, original, _bolted = mapper
+        assert m.functions, "BOLT moved nothing?"
+        # Data addresses and unmoved code are foreign.
+        assert m.lookup(RODATA_BASE)[0] == FOREIGN
+        assert m.lookup(0)[0] == FOREIGN
+        # Every span address is either mapped or (per-function) unmappable.
+        for start, end, func in m.spans:
+            outcome, _new, owner = m.lookup(start)
+            assert outcome in (MAPPED, UNMAPPABLE)
+            assert owner == func
+
+    def test_absent_function_is_unmappable_wholesale(self, mapper):
+        m, original, bolted = mapper
+        victim = m.functions[0]
+        pruned = Binary(
+            name=bolted.name,
+            sections=bolted.sections,
+            functions={k: v for k, v in bolted.functions.items() if k != victim},
+            bolted=True,
+            bolt_generation=bolted.bolt_generation,
+        )
+        read = binary_reader(original, bolted)
+        m2 = FrameMapper.build(read, [original], pruned)
+        assert victim in m2.unmappable
+        assert victim not in m2.functions
+        # All-or-nothing: no address inside the victim stays mapped.
+        info = original.functions[victim]
+        for block in info.blocks:
+            outcome, new, owner = m2.lookup(block.addr)
+            assert outcome == UNMAPPABLE and new is None and owner == victim
+
+    def test_source_range_restricts_spans(self, mapper):
+        m, original, bolted = mapper
+        read = binary_reader(original, bolted)
+        m2 = FrameMapper.build(
+            read, [original], bolted, source_range=(0, 1)
+        )
+        assert m2.addresses == {} and m2.spans == []
+
+    def test_binary_reader_matches_sections_and_rejects_gaps(self, tiny):
+        read = binary_reader(tiny.binary)
+        text = tiny.binary.sections[".text"]
+        assert read(text.addr, 8) == bytes(text.data[:8])
+        with pytest.raises(ReproError):
+            read(0x1, 4)
+
+
+# ----------------------------------------------------------------------
+# The retired limitation: never-returning loops get fully optimized
+# ----------------------------------------------------------------------
+
+
+class TestNeverReturningLoop:
+    def test_first_replacement_moves_stack_live_main(self, osr_pipeline):
+        _process, _binary, _ocolos, reports = osr_pipeline
+        rep = reports[0].replacement
+        assert rep.osr is not None
+        assert rep.osr.frames_transferred > 0
+        assert rep.osr.functions_pinned == []
+        # The C_0 pin set is empty: OSR moved every stack-live frame.
+        assert rep.pinned_stack_live == 0
+        assert rep.patches.stack_live_functions == set()
+
+    def test_continuous_generations_carry_zero_bytes(self, osr_pipeline):
+        _process, _binary, _ocolos, reports = osr_pipeline
+        for report in reports[1:]:
+            cont = report.continuous
+            assert cont.osr is not None
+            assert cont.osr.frames_transferred > 0
+            assert cont.osr.functions_pinned == []
+            # Zero carry for mappable frames (the old C_i limitation).
+            assert cont.functions_copied == 0
+            assert cont.bytes_copied_forward == 0
+
+    def test_reaches_final_generation_and_collects_old_bands(self, osr_pipeline):
+        process, _binary, _ocolos, reports = osr_pipeline
+        assert process.replacement_generation == len(reports)
+        # Only the live generation's band remains mapped: each retired band
+        # was collected the moment its frames transferred out.
+        bands = band_regions(process)
+        live = {
+            (r.start - BOLT_TEXT_BASE) // BOLT_GEN_STRIDE + 1 for r in bands
+        }
+        assert live == {process.replacement_generation}
+
+    def test_keeps_serving_after_transfers(self, osr_pipeline):
+        process, _binary, _ocolos, _reports = osr_pipeline
+        before = process.counters_total().transactions
+        process.run(max_transactions=100)
+        assert process.counters_total().transactions >= before + 100
+
+
+# ----------------------------------------------------------------------
+# Equivalence oracles
+# ----------------------------------------------------------------------
+
+
+class TestEquivalenceOracle:
+    @pytest.fixture(scope="class")
+    def twin_rollouts(self, loop_server, loop_spec):
+        out = {}
+        for superblocks in (True, False):
+            cfg = FleetConfig(n_replicas=2, osr=True, superblocks=superblocks)
+            controller = FleetController(loop_server, loop_spec, cfg)
+            out[superblocks] = (controller, controller.run(), cfg)
+        return out
+
+    def test_superblock_twins_machine_identical_with_osr(self, twin_rollouts):
+        digests = {}
+        for superblocks, (controller, outcome, _cfg) in twin_rollouts.items():
+            assert outcome.status == "optimized"
+            assert outcome.pinned_stack_live == 0
+            digests[superblocks] = [
+                r.machine_digest() for r in controller.replicas
+            ]
+        # Counters, LBR rings, RNG position: bit-identical between the
+        # superblock engine and the reference interpreter across OSR.
+        assert digests[True] == digests[False]
+
+    def test_twin_event_logs_bit_identical(self, twin_rollouts):
+        a = twin_rollouts[True][1].events
+        b = twin_rollouts[False][1].events
+        assert a.replay_digest() == b.replay_digest()
+        assert a.count("replica.osr") == 2  # one per install
+
+    def test_semantics_match_never_optimized_reference(self, twin_rollouts,
+                                                       loop_server, loop_spec):
+        controller, outcome, cfg = twin_rollouts[False]
+        references = unoptimized_reference_digests(
+            loop_server, loop_spec, cfg, outcome.demand_schedule
+        )
+        for replica, reference in zip(controller.replicas, references):
+            txns, _threads, _rng, counted = replica.semantic_digest()
+            ref_txns, _rt, _rr, ref_counted = reference
+            assert counted == ref_counted
+            assert abs(txns - ref_txns) <= 1
+
+
+# ----------------------------------------------------------------------
+# Fleet integration
+# ----------------------------------------------------------------------
+
+
+class TestFleetOsr:
+    def test_clean_rollout_zero_quiesce_zero_pinned(self, loop_server, loop_spec):
+        cfg = FleetConfig(n_replicas=2, osr=True)
+        controller = FleetController(loop_server, loop_spec, cfg)
+        outcome = controller.run()
+        assert outcome.status == "optimized"
+        assert outcome.quiesce_wait_ticks == 0
+        assert outcome.pinned_stack_live == 0
+        assert outcome.osr_frames_transferred > 0
+        assert outcome.stack_live_count > 0  # main is always stack-live
+        for row in outcome.slo_rows():
+            assert row.quiesce_wait_ticks == 0
+            assert row.pinned_stack_live == 0
+            assert row.stack_live_count == outcome.stack_live_count
+            assert row.osr_frames_transferred == outcome.osr_frames_transferred
+
+    def test_rollback_evacuates_bands_instead_of_waiting(
+        self, loop_server, loop_spec
+    ):
+        cfg = FleetConfig(n_replicas=2, osr=True, pessimize_layout=True)
+        controller = FleetController(loop_server, loop_spec, cfg)
+        outcome = controller.run()
+        assert outcome.status == "rolled_back"
+        # main lives in the band after install; without evacuation the
+        # never-returning loop would pin it forever.  With OSR the rollback
+        # transfers it home and the band quiesces on the first attempt.
+        assert outcome.events.count("replica.osr_evacuate") > 0
+        assert outcome.quiesce_wait_ticks == 0
+        for replica in controller.replicas:
+            assert band_regions(replica.process) == []
+            assert replica.process.replacement_generation == 0
+
+    def test_cohort_serial_and_lockstep_twins_agree(self, loop_server, loop_spec):
+        digests = {}
+        for lockstep in (True, False):
+            cfg = FleetConfig(
+                n_replicas=3, osr=True, cohorts=True, lockstep=lockstep,
+                pessimize_layout=True,
+            )
+            outcome = FleetController(loop_server, loop_spec, cfg).run()
+            assert outcome.status == "rolled_back"
+            digests[lockstep] = outcome.events.replay_digest()
+        assert digests[True] == digests[False]
+
+    def test_osr_off_still_pins_stack_live(self, loop_server, loop_spec):
+        cfg = FleetConfig(n_replicas=2, osr=False)
+        outcome = FleetController(loop_server, loop_spec, cfg).run()
+        assert outcome.status == "optimized"
+        assert outcome.osr_frames_transferred == 0
+        # The limitation OSR retires: without it, the never-returning main
+        # stays pinned on C_0 in every install.
+        assert outcome.pinned_stack_live > 0
+
+
+# ----------------------------------------------------------------------
+# Per-band GC (regression: collection used to be all-or-nothing)
+# ----------------------------------------------------------------------
+
+
+class TestPerBandCollection:
+    def _map_band(self, process, band):
+        start = BOLT_TEXT_BASE + (band - 1) * BOLT_GEN_STRIDE
+        process.address_space.map_region(
+            start, 64, name=f"band{band}", executable=True
+        )
+        return start
+
+    def test_band_collected_the_tick_its_last_frame_leaves(self, tiny):
+        proc = tiny.process(n_threads=1)
+        proc.run(max_transactions=5)
+        proc.replacement_generation = 2
+        b1 = self._map_band(proc, 1)
+        b2 = self._map_band(proc, 2)
+        thread = proc.threads[0]
+        # One live return address inside band 2 only.
+        thread.sp -= 8
+        proc.address_space.write_u64(thread.sp, b2 + 8)
+        collected, quiesced = try_collect_bands(proc, tiny.binary)
+        # Band 1 is reclaimed immediately; band 2 stays pinned by its frame.
+        assert collected == 1 and not quiesced
+        starts = {r.start for r in band_regions(proc)}
+        assert starts == {b2}
+        assert proc.replacement_generation == 2
+        # The frame leaves (transferred out / returned): band 2 follows.
+        thread.sp += 8
+        collected, quiesced = try_collect_bands(proc, tiny.binary)
+        assert collected == 1 and quiesced
+        assert band_regions(proc) == []
+        assert proc.replacement_generation == 0
+
+    def test_pc_in_band_pins_only_its_band(self, tiny):
+        proc = tiny.process(n_threads=1)
+        proc.run(max_transactions=5)
+        proc.replacement_generation = 3
+        b1 = self._map_band(proc, 1)
+        b3 = self._map_band(proc, 3)
+        thread = proc.threads[0]
+        saved_pc = thread.pc
+        thread.pc = b3 + 4
+        try:
+            collected, quiesced = try_collect_bands(proc, tiny.binary)
+            assert collected == 1 and not quiesced
+            assert {r.start for r in band_regions(proc)} == {b3}
+        finally:
+            thread.pc = saved_pc

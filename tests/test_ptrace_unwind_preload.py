@@ -1,6 +1,8 @@
 """Tests for the ptrace controller, stack unwinding and the preload agent."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import PtraceError, ReplacementError
 from repro.vm.preload import PreloadAgent
@@ -8,6 +10,7 @@ from repro.vm.ptrace import PtraceController, Registers
 from repro.vm.unwind import (
     AddressIndex,
     live_code_pointers,
+    live_code_slots,
     stack_live_functions,
     stack_return_addresses,
 )
@@ -130,3 +133,98 @@ class TestPreload:
         assert agent.bytes_copied == 3
         assert agent.regions_mapped == 1
         assert agent.copy_calls == 1
+
+
+class TestUnwindEdgeCases:
+    """Edge cases the OSR transfer primitive leans on ``unwind`` for."""
+
+    def test_pc_at_function_entry_and_exit_boundaries(self, tiny):
+        proc = tiny.process(n_threads=1)
+        proc.run(max_transactions=3)
+        thread = proc.threads[0]
+        index = AddressIndex([tiny.binary])
+        info = tiny.binary.functions["helper0"]
+        first, last = info.blocks[0], info.blocks[-1]
+        saved_pc = thread.pc
+        try:
+            # Entry boundary: the function's very first byte resolves to it
+            # and surfaces as a register-held (location 0) slot.
+            thread.pc = first.addr
+            assert index.resolve(thread.pc) == (tiny.binary.name, "helper0")
+            (pc_slot,) = [s for s in live_code_slots(proc) if s.kind == "pc"]
+            assert pc_slot.value == first.addr
+            assert pc_slot.location == 0 and pc_slot.index == -1
+            # Exit boundary: the last byte still belongs to the function;
+            # one past the end does not.
+            thread.pc = last.addr + last.size - 1
+            assert index.resolve(thread.pc) == (tiny.binary.name, "helper0")
+            past = index.resolve(last.addr + last.size)
+            assert past is None or past[1] != "helper0"
+        finally:
+            thread.pc = saved_pc
+
+    @given(
+        pushed=st.lists(
+            st.integers(min_value=0x40_0000, max_value=0x50_0000),
+            min_size=1, max_size=24,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_longjmp_truncated_stack_unwinds_consistently(
+        self, tiny, pushed, data
+    ):
+        proc = tiny.process(n_threads=1, with_agent=False)
+        thread = proc.threads[0]
+        for value in pushed:
+            thread.sp -= 8
+            proc.address_space.write_u64(thread.sp, value)
+        # Innermost-first: the most recently pushed address leads.
+        assert stack_return_addresses(proc, thread) == list(reversed(pushed))
+        # longjmp restores an older sp, truncating the stack mid-crawl
+        # depth; only the outermost `keep` frames must remain, and the
+        # crawl must never read below the restored sp.
+        keep = data.draw(st.integers(min_value=0, max_value=len(pushed)))
+        thread.sp = thread.stack_base - keep * 8
+        rets = stack_return_addresses(proc, thread)
+        assert rets == list(reversed(pushed[:keep]))
+        assert thread.stack_depth == keep
+        slots = [s for s in live_code_slots(proc) if s.kind == "retaddr"]
+        assert [s.value for s in slots] == rets
+        assert [s.location for s in slots] == [
+            thread.sp + 8 * i for i in range(keep)
+        ]
+
+    @given(
+        frames=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=3),     # generation band
+                st.integers(min_value=0, max_value=4096),  # offset in band
+            ),
+            min_size=1, max_size=12,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_retaddrs_in_carry_bands_surface_as_writable_slots(
+        self, tiny, frames
+    ):
+        from repro.binary.binaryfile import BOLT_GEN_STRIDE, BOLT_TEXT_BASE
+
+        proc = tiny.process(n_threads=1, with_agent=False)
+        thread = proc.threads[0]
+        addrs = [
+            BOLT_TEXT_BASE + (band - 1) * BOLT_GEN_STRIDE + off
+            for band, off in frames
+        ]
+        for addr in addrs:
+            thread.sp -= 8
+            proc.address_space.write_u64(thread.sp, addr)
+        slots = [s for s in live_code_slots(proc) if s.kind == "retaddr"]
+        assert [s.value for s in slots] == list(reversed(addrs))
+        # Each slot's location is writable: rewriting through it (what the
+        # OSR transfer does) is visible to the next crawl.
+        target = slots[0]
+        proc.address_space.write_u64(target.location, 0x40_0123)
+        again = [s for s in live_code_slots(proc) if s.kind == "retaddr"]
+        assert again[0].value == 0x40_0123
+        assert [s.value for s in again[1:]] == [s.value for s in slots[1:]]
